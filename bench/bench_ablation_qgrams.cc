@@ -1,0 +1,78 @@
+/// Ablation for the q-gram length choice in the edit-similarity join
+/// (§3.1 / Property 4): larger q makes individual grams more selective but
+/// weakens the count bound (each edit destroys up to q grams), so the
+/// candidate count and runtime trade off against each other. The paper
+/// fixes q=3; this bench shows why that is a sweet spot.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "simjoin/string_joins.h"
+
+namespace ssjoin::bench {
+namespace {
+
+constexpr size_t kRecords = 6000;
+constexpr double kAlpha = 0.85;
+
+struct QRow {
+  size_t q;
+  double total_ms;
+  size_t candidates;
+  size_t verifier_calls;
+  size_t results;
+};
+
+std::vector<QRow>& QRows() {
+  static auto* rows = new std::vector<QRow>();
+  return *rows;
+}
+
+void BM_QGram(benchmark::State& state, size_t q) {
+  const auto& data = AddressCorpus(kRecords, /*with_name=*/false);
+  simjoin::SimJoinStats stats;
+  double total_ms = 0.0;
+  for (auto _ : state) {
+    stats = {};
+    Timer timer;
+    auto result = simjoin::EditSimilarityJoin(
+        data, data, kAlpha, q,
+        {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+    result.status().AbortIfError();
+    total_ms = timer.ElapsedMillis();
+    benchmark::DoNotOptimize(result->size());
+  }
+  ExportCounters(state, stats);
+  QRows().push_back({q, total_ms, stats.ssjoin.candidate_pairs,
+                     stats.verifier_calls, stats.result_pairs});
+}
+
+void RegisterAll() {
+  for (size_t q : {2ul, 3ul, 4ul, 5ul}) {
+    std::string name = "qgram/q=" + std::to_string(q);
+    benchmark::RegisterBenchmark(name.c_str(), BM_QGram, q)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ssjoin::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n=== Ablation: q-gram length (edit similarity 0.85, 6K "
+              "addresses, inline SSJoin) ===\n");
+  std::printf("%4s %12s %14s %14s %10s\n", "q", "time(ms)", "candidates",
+              "UDF calls", "results");
+  for (const auto& row : ssjoin::bench::QRows()) {
+    std::printf("%4zu %12.1f %14zu %14zu %10zu\n", row.q, row.total_ms,
+                row.candidates, row.verifier_calls, row.results);
+  }
+  return 0;
+}

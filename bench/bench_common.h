@@ -1,0 +1,81 @@
+#ifndef SSJOIN_BENCH_BENCH_COMMON_H_
+#define SSJOIN_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/address_gen.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::bench {
+
+/// Seed shared by all benchmarks so every binary sees the same relation.
+inline constexpr uint64_t kBenchSeed = 20060403;  // ICDE 2006
+
+/// The paper's Customer relation stand-in. `with_name` controls whether the
+/// customer name is part of the string (the q-gram benches use the shorter
+/// address-only form so the basic plan's equi-join fits in memory at
+/// laptop scale; see DESIGN.md).
+inline const std::vector<std::string>& AddressCorpus(size_t n, bool with_name) {
+  static std::vector<std::pair<std::pair<size_t, bool>, std::vector<std::string>>>
+      cache;
+  for (const auto& [key, records] : cache) {
+    if (key == std::make_pair(n, with_name)) return records;
+  }
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.25;
+  opts.include_name = with_name;
+  opts.seed = kBenchSeed;
+  cache.emplace_back(std::make_pair(n, with_name),
+                     datagen::GenerateAddresses(opts).records);
+  return cache.back().second;
+}
+
+/// One result row of a paper-style summary table.
+struct ResultRow {
+  std::string label;        // implementation / configuration
+  double threshold = 0.0;
+  simjoin::SimJoinStats stats;
+  double total_ms = 0.0;
+};
+
+inline std::vector<ResultRow>& Rows() {
+  static std::vector<ResultRow>* rows = new std::vector<ResultRow>();
+  return *rows;
+}
+
+/// Copies phase timings and counters into benchmark counters so they show in
+/// the google-benchmark output.
+inline void ExportCounters(benchmark::State& state,
+                           const simjoin::SimJoinStats& stats) {
+  for (const auto& [phase, ms] : stats.phases.phases()) {
+    state.counters[phase + "_ms"] = ms;
+  }
+  state.counters["verifier_calls"] = static_cast<double>(stats.verifier_calls);
+  state.counters["result_pairs"] = static_cast<double>(stats.result_pairs);
+  state.counters["candidates"] = static_cast<double>(stats.ssjoin.candidate_pairs);
+  state.counters["equijoin_rows"] = static_cast<double>(stats.ssjoin.equijoin_rows);
+}
+
+/// Prints the collected rows as a phase-stacked table (the Figures 10-13
+/// presentation): one row per (implementation, threshold).
+inline void PrintPhaseTable(const char* title, const std::vector<std::string>& phases) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-24s %9s", "implementation", "threshold");
+  for (const auto& p : phases) std::printf(" %14s", (p + "(ms)").c_str());
+  std::printf(" %12s %12s %12s\n", "total(ms)", "candidates", "results");
+  for (const ResultRow& row : Rows()) {
+    std::printf("%-24s %9.2f", row.label.c_str(), row.threshold);
+    for (const auto& p : phases) std::printf(" %14.1f", row.stats.phases.Millis(p));
+    std::printf(" %12.1f %12zu %12zu\n", row.total_ms,
+                row.stats.ssjoin.candidate_pairs, row.stats.result_pairs);
+  }
+}
+
+}  // namespace ssjoin::bench
+
+#endif  // SSJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+/// Extension bench (§6's top-K composition): FuzzyMatchIndex build cost and
+/// per-query lookup latency/throughput against reference tables of
+/// increasing size, with dirty queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "datagen/error_model.h"
+#include "simjoin/fuzzy_match.h"
+
+namespace ssjoin::bench {
+namespace {
+
+struct FmRow {
+  size_t reference_size;
+  double build_ms;
+  double per_lookup_ms;
+  double top1_accuracy;
+};
+
+std::vector<FmRow>& FmRows() {
+  static auto* rows = new std::vector<FmRow>();
+  return *rows;
+}
+
+void BM_FuzzyLookup(benchmark::State& state, size_t reference_size) {
+  const auto& master = AddressCorpus(reference_size, /*with_name=*/true);
+  simjoin::FuzzyMatchIndex::Options options;
+  options.alpha = 0.35;
+  Timer build_timer;
+  auto index = simjoin::FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+  double build_ms = build_timer.ElapsedMillis();
+
+  Rng rng(kBenchSeed);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.5;
+  const size_t kQueries = 2000;
+  std::vector<uint32_t> truth(kQueries);
+  std::vector<std::string> queries(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    truth[i] = static_cast<uint32_t>(rng.Uniform(master.size()));
+    queries[i] = datagen::CorruptRecord(master[truth[i]], {}, errors, &rng);
+  }
+
+  size_t correct = 0;
+  double lookup_ms = 0.0;
+  for (auto _ : state) {
+    correct = 0;
+    Timer t;
+    for (size_t i = 0; i < kQueries; ++i) {
+      auto matches = index.Lookup(queries[i], 1);
+      if (!matches.empty() && matches[0].ref_index == truth[i]) ++correct;
+    }
+    lookup_ms = t.ElapsedMillis();
+  }
+  double per_lookup = lookup_ms / static_cast<double>(kQueries);
+  state.counters["build_ms"] = build_ms;
+  state.counters["per_lookup_ms"] = per_lookup;
+  state.counters["top1_accuracy"] =
+      static_cast<double>(correct) / static_cast<double>(kQueries);
+  FmRows().push_back({reference_size, build_ms, per_lookup,
+                      static_cast<double>(correct) / kQueries});
+}
+
+void RegisterAll() {
+  for (size_t n : {10000ul, 50000ul, 100000ul}) {
+    std::string name = "fuzzy-match/reference=" + std::to_string(n / 1000) + "K";
+    benchmark::RegisterBenchmark(name.c_str(), BM_FuzzyLookup, n)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ssjoin::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\n=== Top-K fuzzy match (2000 dirty queries, k=1, alpha=0.35) ===\n");
+  std::printf("%12s %12s %16s %10s\n", "reference", "build(ms)", "per-lookup(ms)",
+              "top-1 acc");
+  for (const auto& row : ssjoin::bench::FmRows()) {
+    std::printf("%12zu %12.1f %16.3f %9.1f%%\n", row.reference_size, row.build_ms,
+                row.per_lookup_ms, row.top1_accuracy * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// Table 2: varying the input data size — a Jaccard self-join at threshold
+/// 0.85 with the prefix-filtered implementation, reporting the size of the
+/// normalized SSJoin input (rows of the 1NF set representation), the output
+/// size and the time, for relations of 100K..330K records.
+///
+/// Expected shape: SSJoin input grows linearly with the record count; time
+/// grows with input and output size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "simjoin/string_joins.h"
+
+namespace ssjoin::bench {
+namespace {
+
+constexpr double kAlpha = 0.85;  // the paper's fixed threshold
+
+struct Table2Row {
+  size_t records;
+  size_t ssjoin_input_rows;
+  size_t output_pairs;
+  double total_ms;
+};
+
+std::vector<Table2Row>& Table2Rows() {
+  static auto* rows = new std::vector<Table2Row>();
+  return *rows;
+}
+
+void BM_Scaling(benchmark::State& state, size_t records) {
+  const auto& data = AddressCorpus(records, /*with_name=*/true);
+  simjoin::SimJoinStats stats;
+  double total_ms = 0.0;
+  for (auto _ : state) {
+    stats = {};
+    Timer timer;
+    auto result = simjoin::JaccardResemblanceJoin(
+        data, data, kAlpha, {},
+        {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+    result.status().AbortIfError();
+    total_ms = timer.ElapsedMillis();
+    benchmark::DoNotOptimize(result->size());
+    // Input rows of the 1NF set representation = prefix-filter input size.
+    Table2Rows().push_back(
+        {records, stats.ssjoin.r_prefix_elements + stats.ssjoin.s_prefix_elements,
+         stats.result_pairs, total_ms});
+  }
+  ExportCounters(state, stats);
+}
+
+void RegisterAll() {
+  for (size_t records : {100000ul, 200000ul, 250000ul, 330000ul}) {
+    std::string name = "table2/records=" + std::to_string(records / 1000) + "K";
+    benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, records)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ssjoin::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\n=== Table 2: varying input data sizes (Jaccard 0.85, "
+      "prefix-filter-inline) ===\n");
+  std::printf("%10s %18s %12s %12s\n", "records", "prefix input rows", "output",
+              "time(ms)");
+  for (const auto& row : ssjoin::bench::Table2Rows()) {
+    std::printf("%10zu %18zu %12zu %12.1f\n", row.records, row.ssjoin_input_rows,
+                row.output_pairs, row.total_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Beyond textual similarity (§3.4, Example 5, Figure 5): identifying
+/// authors across two publication sources whose naming conventions differ
+/// ("Jennifer Thorveen" vs "Thorveen, J.") — textual similarity of the
+/// names is useless, but the sets of paper titles co-occurring with each
+/// author overlap heavily. The co-occurrence join is a direct SSJoin with
+/// A = author name, B = paper title.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "datagen/publication_gen.h"
+#include "simjoin/cooccurrence.h"
+
+int main() {
+  using namespace ssjoin;
+
+  datagen::PublicationGenOptions gen;
+  gen.num_authors = 1000;
+  gen.coverage_noise = 0.25;  // each source misses some papers
+  datagen::PublicationDataset data = datagen::GeneratePublications(gen);
+  std::printf("source 1: %zu (author, title) rows; source 2: %zu rows\n",
+              data.source1_rows.size(), data.source2_rows.size());
+  std::printf("e.g. source 1 knows \"%s\", source 2 knows \"%s\"\n\n",
+              data.source1_names[0].c_str(), data.source2_names[0].c_str());
+
+  simjoin::SimJoinStats stats;
+  simjoin::EntityJoinResult result = *simjoin::CooccurrenceJoin(
+      data.source1_rows, data.source2_rows, /*alpha=*/0.55,
+      simjoin::JaccardVariant::kContainment, simjoin::WeightMode::kIdf,
+      {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+
+  // Score against ground truth.
+  std::unordered_map<std::string, size_t> s1_index;
+  std::unordered_map<std::string, size_t> s2_index;
+  for (size_t i = 0; i < data.source1_names.size(); ++i) {
+    s1_index[data.source1_names[i]] = i;
+  }
+  for (size_t i = 0; i < data.source2_names.size(); ++i) {
+    s2_index[data.source2_names[i]] = i;
+  }
+  size_t correct = 0;
+  for (const auto& m : result.matches) {
+    if (s1_index.at(result.r_entities[m.r]) == s2_index.at(result.s_entities[m.s])) {
+      ++correct;
+    }
+  }
+
+  std::printf("matched %zu author pairs (%zu correct, %zu ground-truth "
+              "authors)\n",
+              result.matches.size(), correct, data.source1_names.size());
+  std::printf("a few matches:\n");
+  size_t shown = 0;
+  for (const auto& m : result.matches) {
+    if (shown++ >= 5) break;
+    std::printf("  %-28s ~ %-24s  containment=%.2f\n",
+                result.r_entities[m.r].c_str(), result.s_entities[m.s].c_str(),
+                m.similarity);
+  }
+  std::printf("\nSSJoin candidates: %zu; equi-join rows: %zu\n",
+              stats.ssjoin.candidate_pairs, stats.ssjoin.equijoin_rows);
+  return 0;
+}

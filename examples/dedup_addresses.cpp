@@ -1,0 +1,106 @@
+/// End-to-end data-cleaning pipeline: deduplicating a dirty customer table.
+///
+/// The paper's motivating scenario (§1): a sales warehouse whose customer
+/// records contain typos and convention differences. This example generates
+/// a dirty relation with known ground truth, finds similar pairs with an
+/// edit-similarity join, clusters them with union-find, and reports
+/// precision/recall of the recovered duplicate groups plus the per-phase
+/// cost breakdown.
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "datagen/address_gen.h"
+#include "simjoin/string_joins.h"
+
+namespace {
+
+/// Minimal union-find for clustering match pairs.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ssjoin;
+
+  // A dirty customer relation with 30% injected near-duplicates.
+  datagen::AddressGenOptions gen;
+  gen.num_records = 10000;
+  gen.duplicate_fraction = 0.3;
+  gen.errors.char_edits_mean = 1.5;
+  gen.errors.abbreviation_prob = 0.15;
+  datagen::AddressDataset data = datagen::GenerateAddresses(gen);
+  std::printf("generated %zu records, %zu of them duplicates\n",
+              data.records.size(), data.num_duplicates());
+  std::printf("sample: %s\n", data.records[0].c_str());
+
+  // Similarity join: edit similarity >= 0.85 over 3-grams.
+  simjoin::SimJoinStats stats;
+  auto matches = *simjoin::EditSimilarityJoin(
+      data.records, data.records, 0.85, 3,
+      {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+
+  std::printf("\nphase breakdown (the paper's Prep/Prefix-filter/SSJoin/Filter):\n");
+  for (const auto& [phase, ms] : stats.phases.phases()) {
+    std::printf("  %-14s %8.1f ms\n", phase.c_str(), ms);
+  }
+  std::printf("SSJoin candidates: %zu, UDF verifications: %zu, matches: %zu\n",
+              stats.ssjoin.candidate_pairs, stats.verifier_calls, matches.size());
+
+  // Cluster matched pairs into duplicate groups.
+  UnionFind clusters(data.records.size());
+  for (const auto& m : matches) {
+    if (m.r < m.s) clusters.Union(m.r, m.s);
+  }
+
+  // Score against ground truth: a duplicate is recovered if it clusters
+  // with its source record.
+  size_t recovered = 0;
+  size_t total_dups = 0;
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    if (data.duplicate_of[i] < 0) continue;
+    ++total_dups;
+    if (clusters.Find(i) ==
+        clusters.Find(static_cast<size_t>(data.duplicate_of[i]))) {
+      ++recovered;
+    }
+  }
+  // Precision proxy: matched pairs (r < s) whose members share a ground-truth
+  // source chain. Walk duplicate_of to the root record.
+  auto root_of = [&](size_t i) {
+    while (data.duplicate_of[i] >= 0) i = static_cast<size_t>(data.duplicate_of[i]);
+    return i;
+  };
+  size_t correct_pairs = 0;
+  size_t scored_pairs = 0;
+  for (const auto& m : matches) {
+    if (m.r >= m.s) continue;
+    ++scored_pairs;
+    if (root_of(m.r) == root_of(m.s)) ++correct_pairs;
+  }
+
+  std::printf("\nduplicate recall:  %zu / %zu (%.1f%%)\n", recovered, total_dups,
+              100.0 * recovered / total_dups);
+  std::printf("pair precision:    %zu / %zu (%.1f%%)\n", correct_pairs, scored_pairs,
+              scored_pairs ? 100.0 * correct_pairs / scored_pairs : 100.0);
+  std::printf("\nnote: recall < 100%% is expected — heavily edited duplicates "
+              "fall below the 0.85 similarity threshold by construction.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Soft functional dependencies (§3.4, Definition 7, Example 6, Figure 6):
+/// joining contact records that agree on at least k of h FD source
+/// attributes ({address, email, phone} -> person). Each record becomes the
+/// set of its <Column, Value> pairs and the SSJoin predicate is the
+/// absolute overlap `Overlap >= k` — an exact reduction, no post-filter.
+
+#include <cstdio>
+
+#include "datagen/contact_gen.h"
+#include "simjoin/cooccurrence.h"
+
+int main() {
+  using namespace ssjoin;
+
+  datagen::ContactGenOptions gen;
+  gen.num_records = 5000;
+  gen.duplicate_fraction = 0.25;
+  gen.max_perturbed_attrs = 1;  // duplicates keep >= 2 of the 3 attributes
+  datagen::ContactDataset data = datagen::GenerateContacts(gen);
+  std::printf("%zu contact records (name + address/email/phone)\n",
+              data.aep_rows.size());
+  std::printf("e.g. %-22s | %s | %s | %s\n\n", data.names[0].c_str(),
+              data.aep_rows[0][0].c_str(), data.aep_rows[0][1].c_str(),
+              data.aep_rows[0][2].c_str());
+
+  for (size_t k : {1ul, 2ul, 3ul}) {
+    simjoin::SimJoinStats stats;
+    auto matches =
+        *simjoin::FDAgreementJoin(data.aep_rows, data.aep_rows, k, {}, &stats);
+    size_t nontrivial = 0;
+    for (const auto& m : matches) nontrivial += (m.r < m.s);
+    std::printf("k=%zu of 3: %6zu matching pairs (%zu beyond self-matches), "
+                "SSJoin candidates %zu\n",
+                k, matches.size(), nontrivial, stats.ssjoin.candidate_pairs);
+  }
+
+  // Show one recovered duplicate at k=2.
+  auto matches = *simjoin::FDAgreementJoin(data.aep_rows, data.aep_rows, 2);
+  for (const auto& m : matches) {
+    if (m.r >= m.s) continue;
+    std::printf("\nexample agreement (%g of 3 attributes):\n", m.similarity);
+    std::printf("  [%u] %s | %s | %s\n", m.r, data.aep_rows[m.r][0].c_str(),
+                data.aep_rows[m.r][1].c_str(), data.aep_rows[m.r][2].c_str());
+    std::printf("  [%u] %s | %s | %s\n", m.s, data.aep_rows[m.s][0].c_str(),
+                data.aep_rows[m.s][1].c_str(), data.aep_rows[m.s][2].c_str());
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Multi-attribute record matching — §1's full scenario: customer records
+/// match when their *names and contact attributes* are jointly similar, not
+/// just one string. Rules are a DNF of per-column similarity thresholds;
+/// the first rule of each set drives SSJoin-based candidate generation and
+/// the rest are verified exactly.
+
+#include <cstdio>
+
+#include "datagen/contact_gen.h"
+#include "simjoin/record_match.h"
+
+int main() {
+  using namespace ssjoin;
+
+  datagen::ContactGenOptions gen;
+  gen.num_records = 5000;
+  gen.duplicate_fraction = 0.25;
+  gen.max_perturbed_attrs = 1;
+  datagen::ContactDataset data = datagen::GenerateContacts(gen);
+
+  // Rows: {name, address, email, phone}.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(data.names.size());
+  for (size_t i = 0; i < data.names.size(); ++i) {
+    rows.push_back({data.names[i], data.aep_rows[i][0], data.aep_rows[i][1],
+                    data.aep_rows[i][2]});
+  }
+
+  simjoin::RecordMatchOptions options;
+  // Match if (email equal) OR (name sounds alike AND address similar AND
+  // name Jaro-Winkler high).
+  options.rule_sets = {
+      {{2, simjoin::ColumnSim::kEquality, 0.0}},
+      {{1, simjoin::ColumnSim::kJaccard, 0.6},
+       {0, simjoin::ColumnSim::kSoundex, 0.0},
+       {0, simjoin::ColumnSim::kJaroWinkler, 0.9}},
+  };
+
+  simjoin::SimJoinStats stats;
+  auto matches = *simjoin::RecordMatchJoin(rows, rows, options, &stats);
+
+  size_t nontrivial = 0;
+  size_t correct = 0;
+  for (const auto& m : matches) {
+    if (m.r >= m.s) continue;
+    ++nontrivial;
+    int64_t root_r = data.duplicate_of[m.r] >= 0 ? data.duplicate_of[m.r]
+                                                 : static_cast<int64_t>(m.r);
+    int64_t root_s = data.duplicate_of[m.s] >= 0 ? data.duplicate_of[m.s]
+                                                 : static_cast<int64_t>(m.s);
+    correct += (root_r == root_s || root_r == static_cast<int64_t>(m.s) ||
+                root_s == static_cast<int64_t>(m.r));
+  }
+  std::printf("%zu records, %zu non-trivial match pairs, %zu consistent with "
+              "ground truth\n",
+              rows.size(), nontrivial, correct);
+  std::printf("rule verifications after blocking: %zu\n", stats.verifier_calls);
+
+  // Show a recovered duplicate.
+  for (const auto& m : matches) {
+    if (m.r >= m.s) continue;
+    std::printf("\nexample match:\n  [%u] %s | %s | %s\n  [%u] %s | %s | %s\n",
+                m.r, rows[m.r][0].c_str(), rows[m.r][1].c_str(),
+                rows[m.r][3].c_str(), m.s, rows[m.s][0].c_str(),
+                rows[m.s][1].c_str(), rows[m.s][3].c_str());
+    break;
+  }
+  return 0;
+}

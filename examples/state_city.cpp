@@ -1,0 +1,95 @@
+/// The introduction's example, executed as relational plans: joining
+/// R[state, city] with S[state, city] on overlapping city sets returns
+/// ('washington', 'wa') and ('wisconsin', 'wi'). This example builds the
+/// paper's Figure 7 (basic) and Figure 8 (prefix-filtered) operator trees
+/// literally from the engine's relational operators — equi-join, group-by
+/// with HAVING, and the groupwise-processing prefix filter — demonstrating
+/// that SSJoin needs nothing beyond standard operators.
+
+#include <cstdio>
+
+#include "core/relational_ssjoin.h"
+#include "core/ssjoin_plan.h"
+#include "text/dictionary.h"
+
+int main() {
+  using namespace ssjoin;
+  using engine::Table;
+
+  // The two input relations, as (state, city) pairs.
+  std::vector<std::pair<std::string, std::string>> r_rows = {
+      {"washington", "seattle"}, {"washington", "redmond"},
+      {"washington", "spokane"}, {"washington", "tacoma"},
+      {"wisconsin", "madison"},  {"wisconsin", "milwaukee"},
+      {"wisconsin", "green bay"}, {"wisconsin", "kenosha"},
+      {"texas", "austin"},       {"texas", "houston"},
+      {"texas", "dallas"}};
+  std::vector<std::pair<std::string, std::string>> s_rows = {
+      {"wa", "seattle"},   {"wa", "redmond"}, {"wa", "spokane"},
+      {"wa", "olympia"},   {"wi", "madison"}, {"wi", "milwaukee"},
+      {"wi", "green bay"}, {"ca", "fresno"},  {"ca", "san jose"}};
+
+  // Normalize: states become groups, cities become elements of a shared
+  // dictionary, unit weights.
+  text::TokenDictionary dict;
+  std::vector<std::string> r_states;
+  std::vector<std::vector<std::string>> r_city_lists;
+  std::vector<std::string> s_states;
+  std::vector<std::vector<std::string>> s_city_lists;
+  auto group = [](const auto& rows, auto* names, auto* lists) {
+    for (const auto& [state, city] : rows) {
+      if (names->empty() || names->back() != state) {
+        names->push_back(state);
+        lists->emplace_back();
+      }
+      lists->back().push_back(city);
+    }
+  };
+  group(r_rows, &r_states, &r_city_lists);
+  group(s_rows, &s_states, &s_city_lists);
+
+  std::vector<std::vector<text::TokenId>> r_docs;
+  for (const auto& cities : r_city_lists) r_docs.push_back(dict.EncodeDocument(cities));
+  std::vector<std::vector<text::TokenId>> s_docs;
+  for (const auto& cities : s_city_lists) s_docs.push_back(dict.EncodeDocument(cities));
+
+  core::WeightVector weights(dict.num_elements(), 1.0);
+  core::ElementOrder order = core::ElementOrder::ByIncreasingFrequency(dict);
+  core::SetsRelation r = *core::BuildSetsRelation(r_docs, weights);
+  core::SetsRelation s = *core::BuildSetsRelation(s_docs, weights);
+
+  // First-normal-form tables (Figure 1's layout) feeding the plans.
+  Table r_table = *core::ToNormalizedTable(r, weights, order);
+  Table s_table = *core::ToNormalizedTable(s, weights, order);
+  std::printf("normalized R (one row per state-city pair):\n%s\n",
+              r_table.ToString(6).c_str());
+
+  // Jaccard containment >= 0.6 of the R state's city set in the S state's.
+  core::OverlapPredicate pred = core::OverlapPredicate::OneSidedNormalized(0.6);
+
+  Table basic = *core::BasicSSJoinPlan(r_table, s_table, pred);
+  Table prefix = *core::PrefixFilterSSJoinPlan(r_table, s_table, pred);
+  std::printf("Figure 7 (basic plan) result:\n%s\n", basic.ToString().c_str());
+  std::printf("Figure 8 (prefix-filtered plan) result:\n%s\n",
+              prefix.ToString().c_str());
+
+  std::printf("decoded pairs:\n");
+  for (size_t row = 0; row < basic.num_rows(); ++row) {
+    auto r_group = static_cast<size_t>(basic.GetValue(0, row).int64());
+    auto s_group = static_cast<size_t>(basic.GetValue(1, row).int64());
+    std::printf("  ('%s', '%s')  overlap=%g\n", r_states[r_group].c_str(),
+                s_states[s_group].c_str(), basic.GetValue(2, row).float64());
+  }
+
+  // The §7 integration: SSJoin as a logical plan node whose physical
+  // implementation the optimizer chooses from the inputs' statistics.
+  engine::PlanPtr plan =
+      core::SSJoinNode(engine::ScanNode(r_table, "R(state,city)"),
+                       engine::ScanNode(s_table, "S(state,city)"), pred);
+  std::printf("logical plan:\n%s\n", plan->ToString(1).c_str());
+  std::printf("%s", core::ExplainSSJoin(r_table, s_table, pred)->c_str());
+  Table via_plan = *plan->Execute();
+  std::printf("plan node result rows: %zu (same pairs as above)\n",
+              via_plan.num_rows());
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef SSJOIN_COMMON_LOGGING_H_
+#define SSJOIN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssjoin {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "%s:%d: SSJOIN_CHECK(%s) failed\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ssjoin
+
+/// Invariant check that is always on. Use only for conditions whose failure
+/// indicates a bug in the library or its caller, never for data errors
+/// (those return Status).
+#define SSJOIN_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::ssjoin::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define SSJOIN_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define SSJOIN_DCHECK(cond) SSJOIN_CHECK(cond)
+#endif
+
+#endif  // SSJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,86 @@
+#ifndef SSJOIN_COMMON_RESULT_H_
+#define SSJOIN_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace ssjoin {
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// The usual Arrow-style accessor set: `ok()`, `status()`, `ValueOrDie()`,
+/// plus `SSJOIN_ASSIGN_OR_RETURN` for composing fallible calls.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error status. Constructing a Result from
+  /// an OK status is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    SSJOIN_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; dies if this result holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out of the result; dies if it holds an error.
+  T&& MoveValueUnsafe() {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::get<Status>(repr_).AbortIfError();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define SSJOIN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SSJOIN_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define SSJOIN_ASSIGN_OR_RETURN_CONCAT(x, y) SSJOIN_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define SSJOIN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SSJOIN_ASSIGN_OR_RETURN_IMPL(             \
+      SSJOIN_ASSIGN_OR_RETURN_CONCAT(_ssjoin_result_, __LINE__), lhs, rexpr)
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_COMMON_RESULT_H_

@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssjoin {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  SSJOIN_DCHECK(n > 0);
+  ZipfTable table(n, s);
+  return table.Sample(this);
+}
+
+ZipfTable::ZipfTable(uint64_t n, double s) {
+  SSJOIN_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+uint64_t ZipfTable::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssjoin {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kTypeError:
+      return "Type error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternalError:
+      return "Internal error";
+    case StatusCode::kIOError:
+      return "IO error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::AbortIfError() const {
+  if (ok()) return;
+  std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace ssjoin

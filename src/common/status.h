@@ -1,0 +1,112 @@
+#ifndef SSJOIN_COMMON_STATUS_H_
+#define SSJOIN_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ssjoin {
+
+/// \brief Error categories used across the library.
+///
+/// Mirrors the Arrow/RocksDB convention: library code never throws; fallible
+/// operations return `Status` (or `Result<T>`, see result.h) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,
+  kTypeError = 3,
+  kIndexError = 4,
+  kOutOfRange = 5,
+  kNotImplemented = 6,
+  kInternalError = 7,
+  kIOError = 8,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument" etc.).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a code plus message.
+///
+/// The OK status is represented without allocation; error statuses carry a
+/// heap-allocated state. `Status` is cheap to move and to test for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternalError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// Renders e.g. "Invalid argument: threshold must be positive".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. For use in
+  /// examples and benchmarks where errors are programming bugs.
+  void AbortIfError() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+/// Propagates an error status from the current function, RocksDB-style.
+#define SSJOIN_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::ssjoin::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_COMMON_STATUS_H_

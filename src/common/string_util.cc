@@ -1,0 +1,89 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ssjoin {
+
+namespace {
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+
+}  // namespace
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && IsAsciiSpace(s[begin])) ++begin;
+  while (end > begin && IsAsciiSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string CollapseWhitespace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // Leading whitespace is dropped.
+  for (char c : s) {
+    if (IsAsciiSpace(c)) {
+      if (!in_space) {
+        out.push_back(' ');
+        in_space = true;
+      }
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> SplitAndDropEmpty(std::string_view s, std::string_view delims) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) pieces.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  int needed = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap_copy);
+  }
+  va_end(ap_copy);
+  return out;
+}
+
+}  // namespace ssjoin

@@ -1,0 +1,31 @@
+#ifndef SSJOIN_COMMON_STRING_UTIL_H_
+#define SSJOIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssjoin {
+
+/// \brief ASCII-lowercases a string.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Trims ASCII whitespace from both ends.
+std::string_view TrimAscii(std::string_view s);
+
+/// \brief Collapses runs of ASCII whitespace into single spaces and trims.
+/// "  Microsoft   Corp " -> "Microsoft Corp".
+std::string CollapseWhitespace(std::string_view s);
+
+/// \brief Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAndDropEmpty(std::string_view s, std::string_view delims);
+
+/// \brief Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// \brief printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_COMMON_STRING_UTIL_H_

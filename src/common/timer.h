@@ -1,0 +1,90 @@
+#ifndef SSJOIN_COMMON_TIMER_H_
+#define SSJOIN_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssjoin {
+
+/// \brief Monotonic stopwatch measuring elapsed wall-clock time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates named phase timings (Prep / Prefix-filter / SSJoin /
+/// Filter), matching the per-phase breakdown reported in the paper's figures.
+class PhaseTimer {
+ public:
+  /// Adds `millis` to the phase named `phase`, creating it on first use.
+  /// Phases keep their first-recorded order.
+  void Add(const std::string& phase, double millis) {
+    for (auto& [name, total] : phases_) {
+      if (name == phase) {
+        total += millis;
+        return;
+      }
+    }
+    phases_.emplace_back(phase, millis);
+  }
+
+  /// Runs `fn` and records its duration under `phase`.
+  template <typename Fn>
+  auto Measure(const std::string& phase, Fn&& fn) {
+    Timer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      Add(phase, t.ElapsedMillis());
+    } else {
+      auto result = fn();
+      Add(phase, t.ElapsedMillis());
+      return result;
+    }
+  }
+
+  /// Total time recorded under `phase`, or 0 if the phase never ran.
+  double Millis(const std::string& phase) const {
+    for (const auto& [name, total] : phases_) {
+      if (name == phase) return total;
+    }
+    return 0.0;
+  }
+
+  /// Sum over all phases.
+  double TotalMillis() const {
+    double total = 0.0;
+    for (const auto& [name, millis] : phases_) total += millis;
+    return total;
+  }
+
+  /// Phases in first-recorded order.
+  const std::vector<std::pair<std::string, double>>& phases() const { return phases_; }
+
+  void Clear() { phases_.clear(); }
+
+  /// Merges another timer's phases into this one.
+  void Merge(const PhaseTimer& other) {
+    for (const auto& [name, millis] : other.phases_) Add(name, millis);
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+}  // namespace ssjoin
+
+#endif  // SSJOIN_COMMON_TIMER_H_

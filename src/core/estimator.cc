@@ -1,0 +1,54 @@
+#include "core/estimator.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ssjoin::core {
+
+Result<SizeEstimate> EstimateResultSize(const SetsRelation& r,
+                                        const SetsRelation& s,
+                                        const OverlapPredicate& pred,
+                                        const SSJoinContext& ctx,
+                                        size_t sample_size, uint64_t seed) {
+  if (sample_size == 0) return Status::Invalid("sample_size must be positive");
+  SizeEstimate estimate;
+  if (r.num_groups() == 0 || s.num_groups() == 0) return estimate;
+
+  SetsRelation sample;
+  const SetsRelation* input = &r;
+  if (sample_size >= r.num_groups()) {
+    estimate.sampled_groups = r.num_groups();
+  } else {
+    // Uniform sample without replacement: partial Fisher-Yates over ids.
+    std::vector<GroupId> ids(r.num_groups());
+    std::iota(ids.begin(), ids.end(), 0);
+    Rng rng(seed);
+    for (size_t i = 0; i < sample_size; ++i) {
+      size_t j = i + rng.Uniform(ids.size() - i);
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(sample_size);
+    sample.sets.reserve(sample_size);
+    for (GroupId g : ids) {
+      sample.sets.push_back(r.sets[g]);
+      sample.norms.push_back(r.norms[g]);
+      sample.set_weights.push_back(r.set_weights[g]);
+    }
+    estimate.sampled_groups = sample_size;
+    input = &sample;
+  }
+
+  SSJoinStats stats;
+  SSJOIN_ASSIGN_OR_RETURN(
+      std::vector<SSJoinPair> pairs,
+      ExecuteSSJoin(SSJoinAlgorithm::kPrefixFilterInline, *input, s, pred, ctx,
+                    &stats));
+  estimate.sample_pairs = pairs.size();
+  double scale =
+      static_cast<double>(r.num_groups()) / static_cast<double>(estimate.sampled_groups);
+  estimate.estimated_pairs = static_cast<double>(pairs.size()) * scale;
+  return estimate;
+}
+
+}  // namespace ssjoin::core

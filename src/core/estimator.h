@@ -1,0 +1,39 @@
+#ifndef SSJOIN_CORE_ESTIMATOR_H_
+#define SSJOIN_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/ssjoin.h"
+
+namespace ssjoin::core {
+
+/// \brief Sampling-based estimate of an SSJoin's output cardinality.
+///
+/// §5 observes that "the time required depends crucially on the output size
+/// besides the input relation size", and §7 calls for cost-conscious
+/// choices; a cost-based optimizer therefore needs an output-size estimate.
+/// This estimator runs the join for a uniform sample of R-groups against the
+/// full S and scales up — an unbiased estimator of the true output size,
+/// with cost proportional to the sampling fraction.
+struct SizeEstimate {
+  /// Estimated |R SSJoin S| (scaled from the sample).
+  double estimated_pairs = 0.0;
+  /// Groups actually sampled (min(sample_size, |R|)).
+  size_t sampled_groups = 0;
+  /// Result pairs observed for the sample.
+  size_t sample_pairs = 0;
+};
+
+/// \brief Estimates the SSJoin output size from `sample_size` R-groups
+/// (uniform, without replacement, deterministic in `seed`). With
+/// `sample_size >= |R|` the estimate is exact.
+Result<SizeEstimate> EstimateResultSize(const SetsRelation& r,
+                                        const SetsRelation& s,
+                                        const OverlapPredicate& pred,
+                                        const SSJoinContext& ctx,
+                                        size_t sample_size, uint64_t seed);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_ESTIMATOR_H_

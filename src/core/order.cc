@@ -1,0 +1,64 @@
+#include "core/order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ssjoin::core {
+
+namespace {
+
+std::vector<uint32_t> PermutationToRank(const std::vector<uint32_t>& perm) {
+  std::vector<uint32_t> rank(perm.size());
+  for (uint32_t pos = 0; pos < perm.size(); ++pos) rank[perm[pos]] = pos;
+  return rank;
+}
+
+}  // namespace
+
+ElementOrder ElementOrder::ByDecreasingWeight(const WeightVector& weights) {
+  std::vector<uint32_t> perm(weights.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  return ElementOrder(PermutationToRank(perm));
+}
+
+ElementOrder ElementOrder::ByIncreasingWeight(const WeightVector& weights) {
+  std::vector<uint32_t> perm(weights.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    if (weights[a] != weights[b]) return weights[a] < weights[b];
+    return a < b;
+  });
+  return ElementOrder(PermutationToRank(perm));
+}
+
+ElementOrder ElementOrder::ByIncreasingFrequency(const text::TokenDictionary& dict) {
+  std::vector<uint32_t> perm(dict.num_elements());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    if (dict.DocFrequency(a) != dict.DocFrequency(b)) {
+      return dict.DocFrequency(a) < dict.DocFrequency(b);
+    }
+    return a < b;
+  });
+  return ElementOrder(PermutationToRank(perm));
+}
+
+ElementOrder ElementOrder::ById(size_t num_elements) {
+  std::vector<uint32_t> rank(num_elements);
+  std::iota(rank.begin(), rank.end(), 0);
+  return ElementOrder(std::move(rank));
+}
+
+ElementOrder ElementOrder::Random(size_t num_elements, uint64_t seed) {
+  std::vector<uint32_t> perm(num_elements);
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&perm);
+  return ElementOrder(PermutationToRank(perm));
+}
+
+}  // namespace ssjoin::core

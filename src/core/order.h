@@ -1,0 +1,57 @@
+#ifndef SSJOIN_CORE_ORDER_H_
+#define SSJOIN_CORE_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sets.h"
+
+namespace ssjoin::core {
+
+/// \brief A fixed total ordering O of the element universe (§4.2/§4.3.2).
+///
+/// `rank[e]` is the position of element `e` under O; prefixes are taken in
+/// increasing rank. The ordering choice does not affect correctness (Lemma 1
+/// holds for any O) but strongly affects how selective prefixes are — the
+/// ablation bench `bench_ablation_ordering` measures this.
+class ElementOrder {
+ public:
+  /// An empty order (no elements); assign a factory result before use.
+  ElementOrder() = default;
+
+  /// Elements ordered by decreasing weight (rare/high-IDF elements first) —
+  /// the paper's choice: frequent elements are filtered out of prefixes.
+  /// Ties broken by element id for determinism.
+  static ElementOrder ByDecreasingWeight(const WeightVector& weights);
+
+  /// Elements ordered by increasing weight (frequent first) — the
+  /// pessimal-ish order, for the ablation.
+  static ElementOrder ByIncreasingWeight(const WeightVector& weights);
+
+  /// Elements ordered by increasing document frequency (rarest first) — the
+  /// frequency formulation of §4.3.2; equals ByDecreasingWeight under IDF.
+  static ElementOrder ByIncreasingFrequency(const text::TokenDictionary& dict);
+
+  /// Element id order (arbitrary but deterministic baseline).
+  static ElementOrder ById(size_t num_elements);
+
+  /// A random permutation (ablation baseline).
+  static ElementOrder Random(size_t num_elements, uint64_t seed);
+
+  uint32_t Rank(text::TokenId id) const {
+    SSJOIN_DCHECK(id < rank_.size());
+    return rank_[id];
+  }
+
+  size_t num_elements() const { return rank_.size(); }
+
+ private:
+  explicit ElementOrder(std::vector<uint32_t> rank) : rank_(std::move(rank)) {}
+
+  std::vector<uint32_t> rank_;
+};
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_ORDER_H_

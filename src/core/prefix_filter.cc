@@ -1,0 +1,50 @@
+#include "core/prefix_filter.h"
+
+#include <algorithm>
+
+namespace ssjoin::core {
+
+namespace {
+
+// Tolerance shielding the prune decision from floating-point accumulation
+// noise; pruning must only happen when the group provably cannot match.
+constexpr double kPruneEps = 1e-6;
+
+}  // namespace
+
+std::vector<text::TokenId> ComputePrefix(const std::vector<text::TokenId>& set,
+                                         const WeightVector& weights,
+                                         const ElementOrder& order, double beta) {
+  if (beta < -kPruneEps) return {};  // group can never satisfy the predicate
+  std::vector<text::TokenId> by_rank = set;
+  std::sort(by_rank.begin(), by_rank.end(), [&](text::TokenId a, text::TokenId b) {
+    return order.Rank(a) < order.Rank(b);
+  });
+  double cum = 0.0;
+  for (size_t i = 0; i < by_rank.size(); ++i) {
+    cum += weights[by_rank[i]];
+    if (cum > beta + kPruneEps) {
+      by_rank.resize(i + 1);
+      return by_rank;
+    }
+  }
+  return by_rank;  // whole set: weights never exceeded beta
+}
+
+PrefixFilteredRelation PrefixFilterRelation(const SetsRelation& rel,
+                                            const WeightVector& weights,
+                                            const ElementOrder& order,
+                                            const OverlapPredicate& pred,
+                                            JoinSide side) {
+  PrefixFilteredRelation out;
+  out.prefixes.resize(rel.num_groups());
+  for (size_t g = 0; g < rel.num_groups(); ++g) {
+    double required = side == JoinSide::kR ? pred.RSideRequired(rel.norms[g])
+                                           : pred.SSideRequired(rel.norms[g]);
+    double beta = rel.set_weights[g] - required;
+    out.prefixes[g] = ComputePrefix(rel.sets[g], weights, order, beta);
+  }
+  return out;
+}
+
+}  // namespace ssjoin::core

@@ -1,0 +1,55 @@
+#ifndef SSJOIN_CORE_PREFIX_FILTER_H_
+#define SSJOIN_CORE_PREFIX_FILTER_H_
+
+#include <vector>
+
+#include "core/order.h"
+#include "core/predicate.h"
+#include "core/sets.h"
+
+namespace ssjoin::core {
+
+/// \brief `prefix_beta(s)` of §4.2: the shortest prefix of `set` in
+/// increasing `order`-rank whose element weights sum to **more than** `beta`.
+///
+/// Returns element ids (not sorted by id — sorted by rank). If the whole
+/// set's weight is <= beta, the whole set is returned (no filtering).
+/// A clearly negative beta (beta < -epsilon) means the caller's required
+/// overlap exceeds the set's total weight: the group can never satisfy the
+/// predicate and the prefix is empty (the group is pruned). A beta within
+/// floating-point noise of zero conservatively yields a one-element prefix.
+std::vector<text::TokenId> ComputePrefix(const std::vector<text::TokenId>& set,
+                                         const WeightVector& weights,
+                                         const ElementOrder& order, double beta);
+
+/// \brief The prefix-filtered image of a whole relation:
+/// for group g, `prefixes[g]` = prefix_{beta_g}(sets[g]) where
+/// `beta_g = wt(sets[g]) - required_g` and `required_g` is the predicate's
+/// one-side overlap bound for that group (OverlapPredicate::RSideRequired /
+/// SSideRequired). Groups whose required overlap exceeds their total weight
+/// can never join and get an empty prefix (they are pruned).
+struct PrefixFilteredRelation {
+  std::vector<std::vector<text::TokenId>> prefixes;
+
+  size_t total_prefix_elements() const {
+    size_t n = 0;
+    for (const auto& p : prefixes) n += p.size();
+    return n;
+  }
+};
+
+/// Which side of the predicate a relation plays (determines whether
+/// RSideRequired or SSideRequired supplies beta).
+enum class JoinSide { kR, kS };
+
+/// \brief Applies the prefix filter to every group of `rel` (§4.2, extended
+/// to normalized predicates per the bullets at the end of that section).
+PrefixFilteredRelation PrefixFilterRelation(const SetsRelation& rel,
+                                            const WeightVector& weights,
+                                            const ElementOrder& order,
+                                            const OverlapPredicate& pred,
+                                            JoinSide side);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_PREFIX_FILTER_H_

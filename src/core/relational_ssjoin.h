@@ -1,0 +1,54 @@
+#ifndef SSJOIN_CORE_RELATIONAL_SSJOIN_H_
+#define SSJOIN_CORE_RELATIONAL_SSJOIN_H_
+
+#include "core/order.h"
+#include "core/predicate.h"
+#include "core/sets.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ssjoin::core {
+
+/// This header builds the paper's SSJoin plans *literally* out of the
+/// relational engine's operators (hash equi-join, group-by + HAVING,
+/// groupwise-apply), demonstrating the paper's central systems claim: SSJoin
+/// needs nothing beyond standard relational operators (§4, Figures 7 and 8).
+/// The columnar executors in ssjoin.h are the tuned physical counterparts;
+/// tests assert both produce identical results.
+
+/// \brief Converts a SetsRelation into the paper's First-Normal-Form
+/// representation (Figure 1): one row per (group, element) with columns
+///   a: int64      — the group (distinct A-value) id
+///   b: int64      — the element (set member) id
+///   weight: float64 — the element's weight
+///   norm: float64 — the group's norm
+///   rank: int64   — the element's position under the global ordering O
+///                   (the paper's "order table" join, §4.3.3)
+Result<engine::Table> ToNormalizedTable(const SetsRelation& rel,
+                                        const WeightVector& weights,
+                                        const ElementOrder& order);
+
+/// \brief Figure 7: the basic SSJoin plan — equi-join on b, group by
+/// (r.a, s.a), HAVING the summed weight satisfy `pred`.
+/// Output schema: (r_a: int64, s_a: int64, overlap: float64).
+Result<engine::Table> BasicSSJoinPlan(const engine::Table& r, const engine::Table& s,
+                                      const OverlapPredicate& pred);
+
+/// \brief Figure 8: the prefix-filtered SSJoin plan — prefix-filter both
+/// inputs with the groupwise-processing operator, equi-join the prefixes for
+/// candidate pairs, re-join candidates with the base relations, group and
+/// apply the HAVING clause. Same output schema as BasicSSJoinPlan.
+Result<engine::Table> PrefixFilterSSJoinPlan(const engine::Table& r,
+                                             const engine::Table& s,
+                                             const OverlapPredicate& pred);
+
+/// \brief The prefix-filter as a groupwise-processing subquery (§4.3.3):
+/// groups rows of a normalized table by `a` and keeps each group's shortest
+/// rank-ordered prefix whose weights exceed wt(group) - required(norm).
+/// `r_side` selects which side of `pred` supplies the required overlap.
+Result<engine::Table> PrefixFilterPlan(const engine::Table& input,
+                                       const OverlapPredicate& pred, bool r_side);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_RELATIONAL_SSJOIN_H_

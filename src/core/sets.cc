@@ -1,0 +1,44 @@
+#include "core/sets.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ssjoin::core {
+
+WeightVector MaterializeWeights(const text::TokenDictionary& dict,
+                                const text::WeightProvider& provider) {
+  WeightVector weights(dict.num_elements());
+  for (text::TokenId id = 0; id < weights.size(); ++id) {
+    weights[id] = provider.Weight(id);
+  }
+  return weights;
+}
+
+Result<SetsRelation> BuildSetsRelation(std::vector<std::vector<text::TokenId>> docs,
+                                       const WeightVector& weights,
+                                       std::optional<std::vector<double>> norms) {
+  if (norms && norms->size() != docs.size()) {
+    return Status::Invalid(StringPrintf("norms has %zu entries for %zu documents",
+                                        norms->size(), docs.size()));
+  }
+  SetsRelation rel;
+  rel.sets = std::move(docs);
+  rel.set_weights.reserve(rel.sets.size());
+  for (auto& set : rel.sets) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    double wt = 0.0;
+    for (text::TokenId id : set) {
+      if (id == text::kInvalidToken || id >= weights.size()) {
+        return Status::Invalid("document contains an element missing from weights");
+      }
+      wt += weights[id];
+    }
+    rel.set_weights.push_back(wt);
+  }
+  rel.norms = norms ? std::move(*norms) : rel.set_weights;
+  return rel;
+}
+
+}  // namespace ssjoin::core

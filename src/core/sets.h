@@ -1,0 +1,62 @@
+#ifndef SSJOIN_CORE_SETS_H_
+#define SSJOIN_CORE_SETS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "text/dictionary.h"
+#include "text/weights.h"
+
+namespace ssjoin::core {
+
+/// Dense per-element weights, indexed by text::TokenId. The core executors
+/// work on this materialized form rather than virtual WeightProvider calls;
+/// build one with MaterializeWeights.
+using WeightVector = std::vector<double>;
+
+/// Index of a group (a distinct R.A / S.A value) within a SetsRelation.
+using GroupId = uint32_t;
+
+/// \brief The normalized input of the SSJoin operator: one weighted set per
+/// group (per distinct A-value), in First Normal Form conceptually — here
+/// stored columnar for efficiency.
+///
+/// `sets[g]` is canonical (sorted by element id, duplicate-free; multiset
+/// occurrences were made distinct by ordinal encoding upstream).
+/// `norms[g]` is the group's norm column (Figure 1): by default the set's
+/// weight, but callers may supply e.g. string lengths.
+/// `set_weights[g]` caches wt(sets[g]).
+struct SetsRelation {
+  std::vector<std::vector<text::TokenId>> sets;
+  std::vector<double> norms;
+  std::vector<double> set_weights;
+
+  size_t num_groups() const { return sets.size(); }
+
+  /// Total number of (group, element) rows in the 1NF representation.
+  size_t total_elements() const {
+    size_t n = 0;
+    for (const auto& s : sets) n += s.size();
+    return n;
+  }
+};
+
+/// \brief Materializes provider weights for all elements of a dictionary.
+WeightVector MaterializeWeights(const text::TokenDictionary& dict,
+                                const text::WeightProvider& provider);
+
+/// \brief Builds a SetsRelation from encoded documents.
+///
+/// Each document's ids are canonicalized (sorted, deduplicated — duplicates
+/// cannot normally occur after ordinal encoding). If `norms` is provided it
+/// must have one entry per document; otherwise norms default to set weights.
+/// Documents containing kInvalidToken are rejected.
+Result<SetsRelation> BuildSetsRelation(
+    std::vector<std::vector<text::TokenId>> docs, const WeightVector& weights,
+    std::optional<std::vector<double>> norms = std::nullopt);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_SETS_H_

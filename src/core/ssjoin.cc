@@ -1,0 +1,475 @@
+#include "core/ssjoin.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ssjoin::core {
+
+namespace {
+
+/// Inverted index over a relation's sets (or prefixes): element -> groups.
+class InvertedIndex {
+ public:
+  InvertedIndex(const std::vector<std::vector<text::TokenId>>& sets,
+                size_t num_elements) {
+    offsets_.assign(num_elements + 1, 0);
+    for (const auto& set : sets) {
+      for (text::TokenId e : set) ++offsets_[e + 1];
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+    lists_.resize(offsets_.back());
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (GroupId g = 0; g < sets.size(); ++g) {
+      for (text::TokenId e : sets[g]) lists_[cursor[e]++] = g;
+    }
+  }
+
+  /// Groups containing element `e`, in increasing group id.
+  std::pair<const GroupId*, const GroupId*> Lookup(text::TokenId e) const {
+    return {lists_.data() + offsets_[e], lists_.data() + offsets_[e + 1]};
+  }
+
+  size_t total_postings() const { return lists_.size(); }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<GroupId> lists_;
+};
+
+/// Weighted overlap of two canonical sets via sorted merge.
+double MergeOverlap(const std::vector<text::TokenId>& a,
+                    const std::vector<text::TokenId>& b, const WeightVector& w) {
+  double overlap = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      overlap += w[a[i]];
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t MaxElementId(const SetsRelation& r, const SetsRelation& s) {
+  size_t max_id = 0;
+  for (const auto& set : r.sets) {
+    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  }
+  for (const auto& set : s.sets) {
+    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  }
+  return max_id;
+}
+
+Status ValidateInputs(const SetsRelation& r, const SetsRelation& s,
+                      const SSJoinContext& ctx, bool needs_order) {
+  if (ctx.weights == nullptr) {
+    return Status::Invalid("SSJoinContext.weights must be set");
+  }
+  if (needs_order && ctx.order == nullptr) {
+    return Status::Invalid("this SSJoin algorithm requires an element order");
+  }
+  if (r.norms.size() != r.num_groups() || s.norms.size() != s.num_groups() ||
+      r.set_weights.size() != r.num_groups() ||
+      s.set_weights.size() != s.num_groups()) {
+    return Status::Invalid("SetsRelation columns have inconsistent lengths");
+  }
+  if (r.total_elements() + s.total_elements() > 0) {
+    size_t max_id = MaxElementId(r, s);
+    if (max_id >= ctx.weights->size()) {
+      return Status::Invalid("weights vector does not cover all element ids");
+    }
+    if (needs_order && max_id >= ctx.order->num_elements()) {
+      return Status::Invalid("element order does not cover all element ids");
+    }
+  }
+  return Status::OK();
+}
+
+/// Candidate generation shared by the two prefix-filter variants:
+/// equi-join of the prefix relations, deduplicated per R-group.
+/// Appends candidate S-group lists per R-group via `emit(r, s_groups)`.
+template <typename EmitFn>
+void GeneratePrefixCandidates(const PrefixFilteredRelation& r_pref,
+                              const InvertedIndex& s_index, size_t num_s_groups,
+                              SSJoinStats* stats, const EmitFn& emit) {
+  // Epoch-marked dense seen array: O(1) dedup per probe.
+  std::vector<uint32_t> seen_epoch(num_s_groups, 0);
+  uint32_t epoch = 0;
+  std::vector<GroupId> cands;
+  for (GroupId rg = 0; rg < r_pref.prefixes.size(); ++rg) {
+    const auto& prefix = r_pref.prefixes[rg];
+    if (prefix.empty()) continue;
+    ++epoch;
+    cands.clear();
+    for (text::TokenId e : prefix) {
+      auto [begin, end] = s_index.Lookup(e);
+      stats->equijoin_rows += static_cast<size_t>(end - begin);
+      for (const GroupId* p = begin; p != end; ++p) {
+        if (seen_epoch[*p] != epoch) {
+          seen_epoch[*p] = epoch;
+          cands.push_back(*p);
+        }
+      }
+    }
+    if (!cands.empty()) emit(rg, cands);
+  }
+}
+
+class NaiveSSJoin final : public SSJoinExecutor {
+ public:
+  std::string name() const override { return "naive"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    std::vector<SSJoinPair> out;
+    Timer timer;
+    for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
+      for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
+        ++stats->candidate_pairs;
+        double overlap = MergeOverlap(r.sets[rg], s.sets[sg], w);
+        if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+          out.push_back({rg, sg, overlap});
+        }
+      }
+    }
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class BasicSSJoin final : public SSJoinExecutor {
+ public:
+  std::string name() const override { return "basic"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    Timer timer;
+
+    // Equi-join R.B = S.B, materialized as (r, s, weight) rows. The inverted
+    // index over S is the hash table of a hash join with R as probe side.
+    size_t num_elements = MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s.sets, num_elements);
+    struct JoinRow {
+      uint64_t key;  // (r << 32) | s
+      double weight;
+    };
+    // Size the join output exactly (sum of per-element frequency products),
+    // as a hash join's build-side statistics would.
+    size_t total_rows = 0;
+    for (const auto& set : r.sets) {
+      for (text::TokenId e : set) {
+        auto [begin, end] = s_index.Lookup(e);
+        total_rows += static_cast<size_t>(end - begin);
+      }
+    }
+    std::vector<JoinRow> rows;
+    rows.reserve(total_rows);
+    for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
+      for (text::TokenId e : r.sets[rg]) {
+        auto [begin, end] = s_index.Lookup(e);
+        double we = w[e];
+        for (const GroupId* p = begin; p != end; ++p) {
+          rows.push_back({(static_cast<uint64_t>(rg) << 32) | *p, we});
+        }
+      }
+    }
+    stats->equijoin_rows = rows.size();
+
+    // Group by (R.A, S.A): sort on the packed key, then aggregate runs and
+    // apply the HAVING clause.
+    std::sort(rows.begin(), rows.end(),
+              [](const JoinRow& a, const JoinRow& b) { return a.key < b.key; });
+    std::vector<SSJoinPair> out;
+    size_t i = 0;
+    while (i < rows.size()) {
+      uint64_t key = rows[i].key;
+      double overlap = 0.0;
+      while (i < rows.size() && rows[i].key == key) {
+        overlap += rows[i].weight;
+        ++i;
+      }
+      ++stats->candidate_pairs;
+      GroupId rg = static_cast<GroupId>(key >> 32);
+      GroupId sg = static_cast<GroupId>(key & 0xffffffffu);
+      if (pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+        out.push_back({rg, sg, overlap});
+      }
+    }
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class InvertedIndexSSJoin final : public SSJoinExecutor {
+ public:
+  std::string name() const override { return "inverted-index"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    Timer timer;
+    size_t num_elements = MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s.sets, num_elements);
+
+    // Score accumulation: stream R groups, accumulate per-S overlap in a
+    // dense epoch-marked accumulator (the OptMerge-style plan of [13]).
+    std::vector<double> acc(s.num_groups(), 0.0);
+    std::vector<uint32_t> seen_epoch(s.num_groups(), 0);
+    std::vector<GroupId> touched;
+    uint32_t epoch = 0;
+    std::vector<SSJoinPair> out;
+    for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
+      ++epoch;
+      touched.clear();
+      for (text::TokenId e : r.sets[rg]) {
+        auto [begin, end] = s_index.Lookup(e);
+        stats->equijoin_rows += static_cast<size_t>(end - begin);
+        double we = w[e];
+        for (const GroupId* p = begin; p != end; ++p) {
+          if (seen_epoch[*p] != epoch) {
+            seen_epoch[*p] = epoch;
+            acc[*p] = 0.0;
+            touched.push_back(*p);
+          }
+          acc[*p] += we;
+        }
+      }
+      stats->candidate_pairs += touched.size();
+      for (GroupId sg : touched) {
+        if (pred.Test(acc[sg], r.norms[rg], s.norms[sg])) {
+          out.push_back({rg, sg, acc[sg]});
+        }
+      }
+    }
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class PrefixFilterSSJoin final : public SSJoinExecutor {
+ public:
+  std::string name() const override { return "prefix-filter"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/true));
+    const WeightVector& w = *ctx.weights;
+
+    // Phase 1: prefix-filter both relations (Figure 8, bottom operators).
+    Timer prefix_timer;
+    PrefixFilteredRelation r_pref =
+        PrefixFilterRelation(r, w, *ctx.order, pred, JoinSide::kR);
+    PrefixFilteredRelation s_pref =
+        PrefixFilterRelation(s, w, *ctx.order, pred, JoinSide::kS);
+    RecordPrefixStats(r, s, r_pref, s_pref, stats);
+    size_t num_elements = MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s_pref.prefixes, num_elements);
+    stats->phases.Add("Prefix-filter", prefix_timer.ElapsedMillis());
+
+    // Phase 2: equi-join the prefixes to produce candidate <R.A, S.A> pairs,
+    // then re-join the candidates with the *base* relations and group by the
+    // pair to compute the overlap (the two upper joins + group-by of
+    // Figure 8). The re-join is materialized as (candidate, weight) rows —
+    // this materialization is exactly the cost the inline variant avoids.
+    Timer join_timer;
+    struct Candidate {
+      GroupId r;
+      GroupId s;
+    };
+    std::vector<Candidate> candidates;
+    GeneratePrefixCandidates(r_pref, s_index, s.num_groups(), stats,
+                             [&](GroupId rg, const std::vector<GroupId>& ss) {
+                               for (GroupId sg : ss) candidates.push_back({rg, sg});
+                             });
+    stats->candidate_pairs = candidates.size();
+
+    struct VerifyRow {
+      uint32_t candidate;
+      double weight;
+    };
+    std::vector<VerifyRow> rows;
+    for (uint32_t c = 0; c < candidates.size(); ++c) {
+      const auto& rset = r.sets[candidates[c].r];
+      const auto& sset = s.sets[candidates[c].s];
+      size_t i = 0;
+      size_t j = 0;
+      while (i < rset.size() && j < sset.size()) {
+        if (rset[i] < sset[j]) {
+          ++i;
+        } else if (sset[j] < rset[i]) {
+          ++j;
+        } else {
+          rows.push_back({c, w[rset[i]]});
+          ++i;
+          ++j;
+        }
+      }
+    }
+    // Group by candidate (rows are clustered by construction) + HAVING.
+    std::vector<SSJoinPair> out;
+    size_t i = 0;
+    while (i < rows.size()) {
+      uint32_t c = rows[i].candidate;
+      double overlap = 0.0;
+      while (i < rows.size() && rows[i].candidate == c) {
+        overlap += rows[i].weight;
+        ++i;
+      }
+      GroupId rg = candidates[c].r;
+      GroupId sg = candidates[c].s;
+      if (pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+        out.push_back({rg, sg, overlap});
+      }
+    }
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", join_timer.ElapsedMillis());
+    return out;
+  }
+
+ private:
+  static void RecordPrefixStats(const SetsRelation& r, const SetsRelation& s,
+                                const PrefixFilteredRelation& r_pref,
+                                const PrefixFilteredRelation& s_pref,
+                                SSJoinStats* stats) {
+    stats->r_prefix_elements = r_pref.total_prefix_elements();
+    stats->s_prefix_elements = s_pref.total_prefix_elements();
+    for (GroupId g = 0; g < r.num_groups(); ++g) {
+      if (r_pref.prefixes[g].empty() && !r.sets[g].empty()) ++stats->pruned_groups_r;
+    }
+    for (GroupId g = 0; g < s.num_groups(); ++g) {
+      if (s_pref.prefixes[g].empty() && !s.sets[g].empty()) ++stats->pruned_groups_s;
+    }
+  }
+};
+
+class InlinePrefixFilterSSJoin final : public SSJoinExecutor {
+ public:
+  std::string name() const override { return "prefix-filter-inline"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/true));
+    const WeightVector& w = *ctx.weights;
+
+    Timer prefix_timer;
+    PrefixFilteredRelation r_pref =
+        PrefixFilterRelation(r, w, *ctx.order, pred, JoinSide::kR);
+    PrefixFilteredRelation s_pref =
+        PrefixFilterRelation(s, w, *ctx.order, pred, JoinSide::kS);
+    stats->r_prefix_elements = r_pref.total_prefix_elements();
+    stats->s_prefix_elements = s_pref.total_prefix_elements();
+    size_t num_elements = MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s_pref.prefixes, num_elements);
+    stats->phases.Add("Prefix-filter", prefix_timer.ElapsedMillis());
+
+    // Candidates carry their groups inline (Figure 9): the overlap of each
+    // candidate pair is computed by a direct merge of the two stored sets
+    // (the overlap "UDF"), with no join back to the base relations.
+    Timer join_timer;
+    std::vector<SSJoinPair> out;
+    GeneratePrefixCandidates(
+        r_pref, s_index, s.num_groups(), stats,
+        [&](GroupId rg, const std::vector<GroupId>& ss) {
+          stats->candidate_pairs += ss.size();
+          for (GroupId sg : ss) {
+            double overlap = MergeOverlap(r.sets[rg], s.sets[sg], w);
+            if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+              out.push_back({rg, sg, overlap});
+            }
+          }
+        });
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", join_timer.ElapsedMillis());
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* SSJoinAlgorithmName(SSJoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case SSJoinAlgorithm::kNaive:
+      return "naive";
+    case SSJoinAlgorithm::kBasic:
+      return "basic";
+    case SSJoinAlgorithm::kInvertedIndex:
+      return "inverted-index";
+    case SSJoinAlgorithm::kPrefixFilter:
+      return "prefix-filter";
+    case SSJoinAlgorithm::kPrefixFilterInline:
+      return "prefix-filter-inline";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SSJoinExecutor> MakeExecutor(SSJoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case SSJoinAlgorithm::kNaive:
+      return std::make_unique<NaiveSSJoin>();
+    case SSJoinAlgorithm::kBasic:
+      return std::make_unique<BasicSSJoin>();
+    case SSJoinAlgorithm::kInvertedIndex:
+      return std::make_unique<InvertedIndexSSJoin>();
+    case SSJoinAlgorithm::kPrefixFilter:
+      return std::make_unique<PrefixFilterSSJoin>();
+    case SSJoinAlgorithm::kPrefixFilterInline:
+      return std::make_unique<InlinePrefixFilterSSJoin>();
+  }
+  return nullptr;
+}
+
+Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,
+                                              const SetsRelation& r,
+                                              const SetsRelation& s,
+                                              const OverlapPredicate& pred,
+                                              const SSJoinContext& ctx,
+                                              SSJoinStats* stats) {
+  std::unique_ptr<SSJoinExecutor> executor = MakeExecutor(algorithm);
+  if (executor == nullptr) {
+    return Status::Invalid("unknown SSJoin algorithm");
+  }
+  SSJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  return executor->Execute(r, s, pred, ctx, stats);
+}
+
+void SortPairs(std::vector<SSJoinPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end(), [](const SSJoinPair& a, const SSJoinPair& b) {
+    if (a.r != b.r) return a.r < b.r;
+    return a.s < b.s;
+  });
+}
+
+}  // namespace ssjoin::core

@@ -1,0 +1,114 @@
+#ifndef SSJOIN_CORE_SSJOIN_H_
+#define SSJOIN_CORE_SSJOIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timer.h"
+#include "core/order.h"
+#include "core/predicate.h"
+#include "core/prefix_filter.h"
+#include "core/sets.h"
+
+namespace ssjoin::core {
+
+/// \brief One output pair of the SSJoin operator: group ids of the joined
+/// distinct A-values plus their (weighted) overlap.
+struct SSJoinPair {
+  GroupId r;
+  GroupId s;
+  double overlap;
+
+  bool operator==(const SSJoinPair& other) const {
+    return r == other.r && s == other.s;
+  }
+};
+
+/// \brief Execution statistics, mirroring the quantities §5 reports:
+/// equi-join blowup, candidate counts, per-phase timings.
+struct SSJoinStats {
+  /// Rows produced by the equi-join on B (Basic) or by the prefix equi-join
+  /// (prefix variants, before per-R dedup).
+  size_t equijoin_rows = 0;
+  /// Distinct <R.A, S.A> pairs whose overlap was computed/verified.
+  size_t candidate_pairs = 0;
+  /// Pairs in the final result.
+  size_t result_pairs = 0;
+  /// Elements surviving the prefix filter on each side.
+  size_t r_prefix_elements = 0;
+  size_t s_prefix_elements = 0;
+  /// Groups pruned outright (required overlap exceeds total set weight).
+  size_t pruned_groups_r = 0;
+  size_t pruned_groups_s = 0;
+  /// Phase timings ("Prefix-filter", "SSJoin"; callers add "Prep"/"Filter").
+  PhaseTimer phases;
+};
+
+/// \brief Shared inputs of every executor: the element weights (fixed, per
+/// Section 2) and the global element ordering used by prefix filters.
+struct SSJoinContext {
+  const WeightVector* weights = nullptr;
+  const ElementOrder* order = nullptr;  // required by prefix variants only
+};
+
+/// \brief Physical implementation strategies for the SSJoin operator.
+enum class SSJoinAlgorithm {
+  /// Cross-product + overlap UDF; the strawman the paper's introduction
+  /// dismisses. Quadratic — for tests and the bench_naive_udf bench only.
+  kNaive,
+  /// Figure 7: equi-join on B materialized, then group-by (R.A, S.A) with a
+  /// HAVING clause on the summed weights.
+  kBasic,
+  /// Inverted-index score accumulation in the style of Sarawagi & Kirpal
+  /// [13] (§6 related work); no prefix filter, no join materialization.
+  kInvertedIndex,
+  /// Figure 8: prefix-filter both sides, equi-join prefixes for candidates,
+  /// re-join candidates with the base relations and group to verify.
+  kPrefixFilter,
+  /// Figure 9: prefix filter with inlined set representation — candidates
+  /// are verified by a direct overlap "UDF" on the carried sets, avoiding
+  /// the re-joins with the base relations.
+  kPrefixFilterInline,
+};
+
+const char* SSJoinAlgorithmName(SSJoinAlgorithm algorithm);
+
+/// \brief Abstract physical operator. Implementations are stateless;
+/// everything flows through Execute.
+///
+/// Contract (Definition 1): returns every pair of groups <r, s> with
+/// Overlap_B(r, s) >= max_i e_i(norm_r, norm_s) **and** a non-empty
+/// intersection (the operator's standing positive-threshold assumption:
+/// pairs sharing no element are never produced).
+class SSJoinExecutor {
+ public:
+  virtual ~SSJoinExecutor() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                                  const SetsRelation& s,
+                                                  const OverlapPredicate& pred,
+                                                  const SSJoinContext& ctx,
+                                                  SSJoinStats* stats) const = 0;
+};
+
+/// Factory for a named algorithm.
+std::unique_ptr<SSJoinExecutor> MakeExecutor(SSJoinAlgorithm algorithm);
+
+/// One-shot convenience: builds the executor and runs it.
+Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,
+                                              const SetsRelation& r,
+                                              const SetsRelation& s,
+                                              const OverlapPredicate& pred,
+                                              const SSJoinContext& ctx,
+                                              SSJoinStats* stats = nullptr);
+
+/// Sorts pairs by (r, s) — canonical order for comparing implementations.
+void SortPairs(std::vector<SSJoinPair>* pairs);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_SSJOIN_H_

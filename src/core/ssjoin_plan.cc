@@ -1,0 +1,174 @@
+#include "core/ssjoin_plan.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ssjoin::core {
+
+const char* SSJoinStrategyName(SSJoinStrategy strategy) {
+  switch (strategy) {
+    case SSJoinStrategy::kBasic:
+      return "basic";
+    case SSJoinStrategy::kPrefixFilter:
+      return "prefix-filter";
+    case SSJoinStrategy::kCostBased:
+      return "cost-based";
+  }
+  return "unknown";
+}
+
+Result<DecodedRelation> TableToSetsRelation(const engine::Table& table) {
+  SSJOIN_ASSIGN_OR_RETURN(size_t a_col, table.schema().FieldIndex("a"));
+  SSJOIN_ASSIGN_OR_RETURN(size_t b_col, table.schema().FieldIndex("b"));
+  SSJOIN_ASSIGN_OR_RETURN(size_t w_col, table.schema().FieldIndex("weight"));
+  SSJOIN_ASSIGN_OR_RETURN(size_t n_col, table.schema().FieldIndex("norm"));
+  SSJOIN_ASSIGN_OR_RETURN(size_t r_col, table.schema().FieldIndex("rank"));
+
+  DecodedRelation out;
+  int64_t max_group = -1;
+  int64_t max_element = -1;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    max_group = std::max(max_group, table.GetValue(a_col, row).int64());
+    max_element = std::max(max_element, table.GetValue(b_col, row).int64());
+  }
+  if (max_group >= static_cast<int64_t>(table.num_rows())) {
+    return Status::Invalid("group ids must be dense 0..n-1");
+  }
+  out.rel.sets.resize(static_cast<size_t>(max_group + 1));
+  out.rel.norms.assign(out.rel.sets.size(), 0.0);
+  out.weights.assign(static_cast<size_t>(max_element + 1), 0.0);
+  std::vector<uint32_t> ranks(static_cast<size_t>(max_element + 1), 0);
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    int64_t a = table.GetValue(a_col, row).int64();
+    int64_t b = table.GetValue(b_col, row).int64();
+    if (a < 0 || b < 0) return Status::Invalid("negative group/element id");
+    out.rel.sets[static_cast<size_t>(a)].push_back(
+        static_cast<text::TokenId>(b));
+    out.rel.norms[static_cast<size_t>(a)] = table.GetValue(n_col, row).AsDouble();
+    out.weights[static_cast<size_t>(b)] = table.GetValue(w_col, row).AsDouble();
+    ranks[static_cast<size_t>(b)] =
+        static_cast<uint32_t>(table.GetValue(r_col, row).int64());
+  }
+  out.rel.set_weights.reserve(out.rel.sets.size());
+  for (auto& set : out.rel.sets) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    double wt = 0.0;
+    for (text::TokenId e : set) wt += out.weights[e];
+    out.rel.set_weights.push_back(wt);
+  }
+  // Rebuild the element order from the rank column. Ranks recovered from the
+  // table may be sparse (elements missing from this relation keep rank 0),
+  // so re-rank by (stored rank, id) to get a valid permutation preserving
+  // the relative order of present elements.
+  out.ranks = ranks;
+  WeightVector rank_keys(ranks.size());
+  for (size_t e = 0; e < ranks.size(); ++e) {
+    rank_keys[e] = -static_cast<double>(ranks[e]);  // decreasing weight = rank asc
+  }
+  out.order = ElementOrder::ByDecreasingWeight(rank_keys);
+  return out;
+}
+
+namespace {
+
+/// Merged weights + ordering covering both sides' element-id ranges (the
+/// sides come from the same dictionary in any sane pipeline, so entries
+/// agree where both are present; the merge just widens coverage).
+struct MergedContext {
+  WeightVector weights;
+  ElementOrder order;
+
+  SSJoinContext Context() const { return {&weights, &order}; }
+};
+
+MergedContext MergeContexts(const DecodedRelation& a, const DecodedRelation& b) {
+  MergedContext merged;
+  size_t n = std::max(a.weights.size(), b.weights.size());
+  merged.weights.assign(n, 0.0);
+  std::vector<uint32_t> ranks(n, 0);
+  for (size_t e = 0; e < b.weights.size(); ++e) {
+    merged.weights[e] = b.weights[e];
+    ranks[e] = b.ranks[e];
+  }
+  for (size_t e = 0; e < a.weights.size(); ++e) {
+    if (a.weights[e] != 0.0) merged.weights[e] = a.weights[e];
+    if (a.ranks[e] != 0) ranks[e] = a.ranks[e];
+  }
+  WeightVector rank_keys(n);
+  for (size_t e = 0; e < n; ++e) rank_keys[e] = -static_cast<double>(ranks[e]);
+  merged.order = ElementOrder::ByDecreasingWeight(rank_keys);
+  return merged;
+}
+
+}  // namespace
+
+namespace {
+
+class SSJoinNodeImpl final : public engine::PlanNode {
+ public:
+  SSJoinNodeImpl(engine::PlanPtr r, engine::PlanPtr s, OverlapPredicate pred,
+                 SSJoinStrategy strategy)
+      : r_(std::move(r)),
+        s_(std::move(s)),
+        pred_(std::move(pred)),
+        strategy_(strategy) {}
+
+  Result<engine::Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(engine::Table rt, r_->Execute());
+    SSJOIN_ASSIGN_OR_RETURN(engine::Table st, s_->Execute());
+    SSJoinStrategy chosen = strategy_;
+    if (strategy_ == SSJoinStrategy::kCostBased) {
+      SSJOIN_ASSIGN_OR_RETURN(SSJoinAlgorithm algorithm, Choose(rt, st));
+      chosen = algorithm == SSJoinAlgorithm::kBasic ? SSJoinStrategy::kBasic
+                                                    : SSJoinStrategy::kPrefixFilter;
+    }
+    if (chosen == SSJoinStrategy::kBasic) {
+      return BasicSSJoinPlan(rt, st, pred_);
+    }
+    return PrefixFilterSSJoinPlan(rt, st, pred_);
+  }
+
+  std::string Describe() const override {
+    return StringPrintf("SSJoin(%s, strategy=%s)", pred_.ToString().c_str(),
+                        SSJoinStrategyName(strategy_));
+  }
+
+  std::vector<engine::PlanPtr> children() const override { return {r_, s_}; }
+
+ private:
+  Result<SSJoinAlgorithm> Choose(const engine::Table& rt,
+                                 const engine::Table& st) const {
+    SSJOIN_ASSIGN_OR_RETURN(DecodedRelation r, TableToSetsRelation(rt));
+    SSJOIN_ASSIGN_OR_RETURN(DecodedRelation s, TableToSetsRelation(st));
+    MergedContext merged = MergeContexts(r, s);
+    return ChooseAlgorithm(r.rel, s.rel, pred_, merged.Context());
+  }
+
+  engine::PlanPtr r_;
+  engine::PlanPtr s_;
+  OverlapPredicate pred_;
+  SSJoinStrategy strategy_;
+};
+
+}  // namespace
+
+engine::PlanPtr SSJoinNode(engine::PlanPtr r, engine::PlanPtr s,
+                           OverlapPredicate pred, SSJoinStrategy strategy) {
+  return std::make_shared<SSJoinNodeImpl>(std::move(r), std::move(s),
+                                          std::move(pred), strategy);
+}
+
+Result<std::string> ExplainSSJoin(const engine::Table& r, const engine::Table& s,
+                                  const OverlapPredicate& pred) {
+  SSJOIN_ASSIGN_OR_RETURN(DecodedRelation dr, TableToSetsRelation(r));
+  SSJOIN_ASSIGN_OR_RETURN(DecodedRelation ds, TableToSetsRelation(s));
+  MergedContext merged = MergeContexts(dr, ds);
+  CostEstimate est = EstimateCosts(dr.rel, ds.rel, pred, merged.Context());
+  return StringPrintf("SSJoin %s\n  %s\n  physical plan: %s\n",
+                      pred.ToString().c_str(), est.ToString().c_str(),
+                      SSJoinAlgorithmName(est.chosen));
+}
+
+}  // namespace ssjoin::core

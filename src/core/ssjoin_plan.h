@@ -1,0 +1,60 @@
+#ifndef SSJOIN_CORE_SSJOIN_PLAN_H_
+#define SSJOIN_CORE_SSJOIN_PLAN_H_
+
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/relational_ssjoin.h"
+#include "engine/plan.h"
+
+namespace ssjoin::core {
+
+/// §7 of the paper: "In future, we intend to integrate the SSJoin operator
+/// with the query optimizer in order to make cost-conscious choices among
+/// the basic, prefix-filtered, and inline prefix-filtered implementations."
+/// This header implements that integration for the engine's plan trees:
+/// SSJoinNode is a *logical* operator whose physical implementation is
+/// chosen when the plan runs, using the cost model over the actual inputs.
+
+/// Physical strategy for an SSJoinNode.
+enum class SSJoinStrategy {
+  kBasic,         ///< always the Figure 7 plan
+  kPrefixFilter,  ///< always the Figure 8 plan
+  kCostBased,     ///< let core::EstimateCosts pick per input (§7)
+};
+
+const char* SSJoinStrategyName(SSJoinStrategy strategy);
+
+/// \brief The inverse of ToNormalizedTable: reconstructs a SetsRelation
+/// (plus the element weights and ordering) from a normalized table with
+/// columns (a, b, weight, norm, rank). Group ids must be dense 0..n-1;
+/// weights/ranks must be consistent per element.
+struct DecodedRelation {
+  SetsRelation rel;
+  WeightVector weights;
+  ElementOrder order;
+  /// Raw ranks recovered from the rank column (by element id), used to
+  /// merge orderings when the two join sides cover different id ranges.
+  std::vector<uint32_t> ranks;
+};
+Result<DecodedRelation> TableToSetsRelation(const engine::Table& table);
+
+/// \brief Logical SSJoin plan node over two subplans that produce normalized
+/// tables (schema of ToNormalizedTable). Output schema:
+/// (r_a: int64, s_a: int64, overlap: float64).
+///
+/// With kCostBased, Execute() materializes the inputs, runs the cost model
+/// on their statistics, and dispatches to the basic (Figure 7) or
+/// prefix-filtered (Figure 8) relational plan.
+engine::PlanPtr SSJoinNode(engine::PlanPtr r, engine::PlanPtr s,
+                           OverlapPredicate pred,
+                           SSJoinStrategy strategy = SSJoinStrategy::kCostBased);
+
+/// \brief EXPLAIN helper: reports which physical plan the cost model picks
+/// for these concrete inputs, with the underlying estimates.
+Result<std::string> ExplainSSJoin(const engine::Table& r, const engine::Table& s,
+                                  const OverlapPredicate& pred);
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_SSJOIN_PLAN_H_

@@ -1,0 +1,88 @@
+#include "datagen/address_gen.h"
+
+#include "common/string_util.h"
+#include "datagen/wordlists.h"
+
+namespace ssjoin::datagen {
+
+namespace {
+
+std::vector<std::pair<std::string, std::string>> AbbreviationPairs() {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const auto& abbr = StreetTypes();
+  const auto& full = StreetTypesLong();
+  for (size_t i = 0; i < abbr.size(); ++i) pairs.emplace_back(abbr[i], full[i]);
+  pairs.emplace_back("N", "North");
+  pairs.emplace_back("S", "South");
+  pairs.emplace_back("E", "East");
+  pairs.emplace_back("W", "West");
+  pairs.emplace_back("Apt", "Apartment");
+  pairs.emplace_back("Ste", "Suite");
+  return pairs;
+}
+
+}  // namespace
+
+AddressDataset GenerateAddresses(const AddressGenOptions& options) {
+  Rng rng(options.seed);
+  ZipfPool streets(GenerateProperNouns(options.street_name_pool, options.seed ^ 0x5747),
+                   options.zipf_skew);
+  ZipfPool cities(GenerateProperNouns(options.city_pool, options.seed ^ 0xC171),
+                  options.zipf_skew);
+  ZipfPool last_names(GenerateProperNouns(options.last_name_pool, options.seed ^ 0x1A57),
+                      options.zipf_skew * 0.7);
+  const auto& first_names = FirstNames();
+  const auto& street_types = StreetTypes();
+  const auto& directions = Directions();
+  const auto& units = UnitTypes();
+  const auto& states = StateCodes();
+  auto abbrev_pairs = AbbreviationPairs();
+
+  AddressDataset out;
+  out.records.reserve(options.num_records);
+  out.duplicate_of.reserve(options.num_records);
+  for (size_t i = 0; i < options.num_records; ++i) {
+    bool make_duplicate =
+        !out.records.empty() && rng.Bernoulli(options.duplicate_fraction);
+    if (make_duplicate) {
+      size_t source = rng.Uniform(out.records.size());
+      out.records.push_back(
+          CorruptRecord(out.records[source], abbrev_pairs, options.errors, &rng));
+      out.duplicate_of.push_back(static_cast<int64_t>(source));
+      continue;
+    }
+    std::string rec;
+    if (options.include_name) {
+      rec += first_names[rng.Uniform(first_names.size())];
+      rec += ' ';
+      rec += last_names.Sample(&rng);
+      rec += ' ';
+    }
+    rec += std::to_string(1 + rng.Uniform(9899));  // street number
+    rec += ' ';
+    if (rng.Bernoulli(0.4)) {
+      rec += directions[rng.Uniform(directions.size())];
+      rec += ' ';
+    }
+    rec += streets.Sample(&rng);
+    rec += ' ';
+    rec += street_types[rng.Uniform(street_types.size())];
+    rec += ' ';
+    if (rng.Bernoulli(0.25)) {
+      rec += units[rng.Uniform(units.size())];
+      rec += ' ';
+      rec += std::to_string(1 + rng.Uniform(99));
+      rec += ' ';
+    }
+    rec += cities.Sample(&rng);
+    rec += ' ';
+    rec += states[rng.Uniform(states.size())];
+    rec += ' ';
+    rec += StringPrintf("%05d", static_cast<int>(10000 + rng.Uniform(89999)));
+    out.records.push_back(std::move(rec));
+    out.duplicate_of.push_back(-1);
+  }
+  return out;
+}
+
+}  // namespace ssjoin::datagen

@@ -1,0 +1,55 @@
+#ifndef SSJOIN_DATAGEN_ADDRESS_GEN_H_
+#define SSJOIN_DATAGEN_ADDRESS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/error_model.h"
+
+namespace ssjoin::datagen {
+
+/// Options for the synthetic customer-address relation — the stand-in for
+/// the paper's proprietary 25K-row operational Customer table (§5,
+/// substitution documented in DESIGN.md §2).
+struct AddressGenOptions {
+  size_t num_records = 25000;
+  /// Fraction of records that are error-injected near-duplicates of earlier
+  /// records (these create the similar pairs the joins must find).
+  double duplicate_fraction = 0.25;
+  /// Sizes of the long-tail proper-noun pools. Smaller pools = more
+  /// frequent-token skew.
+  size_t street_name_pool = 400;
+  size_t city_pool = 120;
+  size_t last_name_pool = 600;
+  /// Zipf exponent for street/city sampling (token-frequency skew).
+  double zipf_skew = 0.9;
+  /// Include the customer name in the record string.
+  bool include_name = true;
+  ErrorModelOptions errors;
+  uint64_t seed = 42;
+};
+
+/// \brief The generated relation plus ground truth for recall checks.
+struct AddressDataset {
+  std::vector<std::string> records;
+  /// duplicate_of[i] is the index of the record i was corrupted from, or -1
+  /// if i is an original.
+  std::vector<int64_t> duplicate_of;
+
+  size_t num_duplicates() const {
+    size_t n = 0;
+    for (int64_t d : duplicate_of) n += (d >= 0);
+    return n;
+  }
+};
+
+/// \brief Generates a customer-address relation: records like
+/// "Mary Crouvel 4821 NE Thorveen Ave Apt 12 Shauner WA 98052", with
+/// Zipf-skewed token frequencies and controlled duplicate injection.
+/// Deterministic for a fixed seed.
+AddressDataset GenerateAddresses(const AddressGenOptions& options);
+
+}  // namespace ssjoin::datagen
+
+#endif  // SSJOIN_DATAGEN_ADDRESS_GEN_H_

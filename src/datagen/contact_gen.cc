@@ -1,0 +1,82 @@
+#include "datagen/contact_gen.h"
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/wordlists.h"
+
+namespace ssjoin::datagen {
+
+namespace {
+
+std::string MakePhone(Rng* rng) {
+  return StringPrintf("(%03d) %03d-%04d", static_cast<int>(200 + rng->Uniform(799)),
+                      static_cast<int>(200 + rng->Uniform(799)),
+                      static_cast<int>(rng->Uniform(10000)));
+}
+
+std::string ToLowerCopy(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+ContactDataset GenerateContacts(const ContactGenOptions& options) {
+  Rng rng(options.seed);
+  const auto& first_names = FirstNames();
+  std::vector<std::string> last_names =
+      GenerateProperNouns(std::max<size_t>(options.num_records / 4, 50),
+                          options.seed ^ 0xF00D);
+  ZipfPool streets(GenerateProperNouns(200, options.seed ^ 0xBEEF), 0.8);
+  const auto& street_types = StreetTypes();
+  static const char* kDomains[] = {"example.com", "mail.net", "corp.org",
+                                   "inbox.io"};
+
+  ContactDataset out;
+  for (size_t i = 0; i < options.num_records; ++i) {
+    if (!out.names.empty() && rng.Bernoulli(options.duplicate_fraction)) {
+      size_t source = rng.Uniform(out.names.size());
+      std::vector<std::string> row = out.aep_rows[source];
+      // Perturb up to max_perturbed_attrs attributes so duplicates agree on
+      // the remaining k-of-h sources.
+      size_t perturb = rng.Uniform(options.max_perturbed_attrs + 1);
+      for (size_t p = 0; p < perturb; ++p) {
+        size_t attr = rng.Uniform(row.size());
+        switch (attr) {
+          case 0:
+            row[0] = std::to_string(1 + rng.Uniform(9899)) + ' ' +
+                     streets.Sample(&rng) + ' ' +
+                     street_types[rng.Uniform(street_types.size())];
+            break;
+          case 1:
+            row[1] = "user" + std::to_string(rng.Uniform(100000)) + '@' +
+                     kDomains[rng.Uniform(std::size(kDomains))];
+            break;
+          default:
+            row[2] = MakePhone(&rng);
+            break;
+        }
+      }
+      out.names.push_back(out.names[source]);
+      out.aep_rows.push_back(std::move(row));
+      out.duplicate_of.push_back(static_cast<int64_t>(source));
+      continue;
+    }
+    const std::string& first = first_names[rng.Uniform(first_names.size())];
+    const std::string& last = last_names[rng.Uniform(last_names.size())];
+    std::string address = std::to_string(1 + rng.Uniform(9899)) + ' ' +
+                          streets.Sample(&rng) + ' ' +
+                          street_types[rng.Uniform(street_types.size())];
+    std::string email = ToLowerCopy(first) + '.' + ToLowerCopy(last) + '@' +
+                        kDomains[rng.Uniform(std::size(kDomains))];
+    out.names.push_back(first + ' ' + last);
+    out.aep_rows.push_back({std::move(address), std::move(email), MakePhone(&rng)});
+    out.duplicate_of.push_back(-1);
+  }
+  return out;
+}
+
+}  // namespace ssjoin::datagen

@@ -1,0 +1,39 @@
+#ifndef SSJOIN_DATAGEN_CONTACT_GEN_H_
+#define SSJOIN_DATAGEN_CONTACT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssjoin::datagen {
+
+/// Options for the contact-record relation of Example 6
+/// ({name, address, city, state, zip, email, phone}-style records used by
+/// the soft-FD agreement join).
+struct ContactGenOptions {
+  size_t num_records = 2000;
+  /// Fraction of records that are duplicates of earlier records, with a
+  /// random subset of attributes perturbed (so duplicates agree on most but
+  /// not all FD source attributes).
+  double duplicate_fraction = 0.25;
+  /// Number of attributes perturbed in a duplicate (at most).
+  size_t max_perturbed_attrs = 1;
+  uint64_t seed = 11;
+};
+
+/// \brief Contact records as rows of [address, email, phone] (the AEP set of
+/// Example 6), plus names and ground truth.
+struct ContactDataset {
+  std::vector<std::string> names;
+  /// One row per record: {address, email, phone}.
+  std::vector<std::vector<std::string>> aep_rows;
+  /// duplicate_of[i] >= 0 identifies the original of duplicate i.
+  std::vector<int64_t> duplicate_of;
+};
+
+/// \brief Generates contact records. Deterministic for a fixed seed.
+ContactDataset GenerateContacts(const ContactGenOptions& options);
+
+}  // namespace ssjoin::datagen
+
+#endif  // SSJOIN_DATAGEN_CONTACT_GEN_H_

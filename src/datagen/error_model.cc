@@ -1,0 +1,98 @@
+#include "datagen/error_model.h"
+
+#include <cstddef>
+
+#include "common/string_util.h"
+
+namespace ssjoin::datagen {
+
+namespace {
+
+char RandomLowerAlpha(Rng* rng) {
+  return static_cast<char>('a' + rng->Uniform(26));
+}
+
+/// Draws a small count with the given mean (geometric-ish; bounded at 6 so
+/// a duplicate never degenerates beyond recognition).
+size_t DrawEditCount(double mean, Rng* rng) {
+  size_t count = 0;
+  double p = mean / (1.0 + mean);  // geometric with the requested mean
+  while (count < 6 && rng->Bernoulli(p)) ++count;
+  return count;
+}
+
+}  // namespace
+
+std::string ApplyCharEdit(const std::string& s, Rng* rng) {
+  std::string out = s;
+  if (out.empty()) {
+    out.push_back(RandomLowerAlpha(rng));
+    return out;
+  }
+  switch (rng->Uniform(4)) {
+    case 0: {  // insert
+      size_t pos = rng->Uniform(out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), RandomLowerAlpha(rng));
+      break;
+    }
+    case 1: {  // delete
+      size_t pos = rng->Uniform(out.size());
+      out.erase(out.begin() + static_cast<ptrdiff_t>(pos));
+      break;
+    }
+    case 2: {  // substitute
+      size_t pos = rng->Uniform(out.size());
+      out[pos] = RandomLowerAlpha(rng);
+      break;
+    }
+    default: {  // transpose (two char edits in distance terms, common typo)
+      if (out.size() >= 2) {
+        size_t pos = rng->Uniform(out.size() - 1);
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out[0] = RandomLowerAlpha(rng);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::string CorruptRecord(
+    const std::string& record,
+    const std::vector<std::pair<std::string, std::string>>& abbrev_pairs,
+    const ErrorModelOptions& opts, Rng* rng) {
+  std::vector<std::string> tokens = SplitAndDropEmpty(record, " ");
+
+  // Abbreviation convention changes (bidirectional lookup).
+  for (std::string& token : tokens) {
+    if (!rng->Bernoulli(opts.abbreviation_prob)) continue;
+    for (const auto& [abbr, full] : abbrev_pairs) {
+      if (token == abbr) {
+        token = full;
+        break;
+      }
+      if (token == full) {
+        token = abbr;
+        break;
+      }
+    }
+  }
+  // Token drop.
+  if (tokens.size() > 2 && rng->Bernoulli(opts.token_drop_prob)) {
+    size_t pos = rng->Uniform(tokens.size());
+    tokens.erase(tokens.begin() + static_cast<ptrdiff_t>(pos));
+  }
+  // Adjacent token swap.
+  if (tokens.size() >= 2 && rng->Bernoulli(opts.token_swap_prob)) {
+    size_t pos = rng->Uniform(tokens.size() - 1);
+    std::swap(tokens[pos], tokens[pos + 1]);
+  }
+  std::string out = Join(tokens, " ");
+  // Character-level typos.
+  size_t edits = DrawEditCount(opts.char_edits_mean, rng);
+  for (size_t i = 0; i < edits; ++i) out = ApplyCharEdit(out, rng);
+  return out;
+}
+
+}  // namespace ssjoin::datagen

@@ -1,0 +1,41 @@
+#ifndef SSJOIN_DATAGEN_ERROR_MODEL_H_
+#define SSJOIN_DATAGEN_ERROR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ssjoin::datagen {
+
+/// \brief Knobs of the dirty-data error model applied to duplicate records.
+/// Defaults produce the "typing mistakes, differences in conventions"
+/// mixture the paper's introduction describes.
+struct ErrorModelOptions {
+  /// Expected number of character-level edits per duplicated string.
+  double char_edits_mean = 2.0;
+  /// Probability that a token is replaced by its abbreviation/expansion
+  /// (e.g. "Ave" <-> "Avenue") when a mapping exists.
+  double abbreviation_prob = 0.25;
+  /// Probability of dropping one token.
+  double token_drop_prob = 0.08;
+  /// Probability of swapping two adjacent tokens.
+  double token_swap_prob = 0.05;
+};
+
+/// \brief Applies one random character edit (insert / delete / substitute /
+/// transpose, uniformly) at a random position. Empty strings only receive
+/// inserts.
+std::string ApplyCharEdit(const std::string& s, Rng* rng);
+
+/// \brief Applies the full error model to a whitespace-tokenized record:
+/// abbreviation swaps from `abbrev_pairs` (bidirectional), token drop/swap,
+/// then Poisson-ish character edits. Deterministic given the Rng state.
+std::string CorruptRecord(
+    const std::string& record,
+    const std::vector<std::pair<std::string, std::string>>& abbrev_pairs,
+    const ErrorModelOptions& opts, Rng* rng);
+
+}  // namespace ssjoin::datagen
+
+#endif  // SSJOIN_DATAGEN_ERROR_MODEL_H_

@@ -1,0 +1,74 @@
+#include "datagen/publication_gen.h"
+
+#include "common/rng.h"
+#include "datagen/wordlists.h"
+
+namespace ssjoin::datagen {
+
+namespace {
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "efficient",   "scalable",  "distributed", "adaptive",  "incremental",
+      "approximate", "robust",    "parallel",    "streaming", "probabilistic",
+      "query",       "index",     "join",        "storage",   "transaction",
+      "cache",       "graph",     "learning",    "cleaning",  "integration",
+      "processing",  "evaluation", "optimization", "estimation", "mining",
+      "databases",   "systems",   "networks",    "warehouses", "clusters",
+      "records",     "streams",   "tables",      "schemas",   "workloads"};
+  return *kWords;
+}
+
+std::string MakeTitle(Rng* rng) {
+  const auto& words = TitleWords();
+  std::string title;
+  size_t len = 4 + rng->Uniform(4);
+  for (size_t i = 0; i < len; ++i) {
+    if (i > 0) title += ' ';
+    title += words[rng->Uniform(words.size())];
+  }
+  return title;
+}
+
+}  // namespace
+
+PublicationDataset GeneratePublications(const PublicationGenOptions& options) {
+  Rng rng(options.seed);
+  const auto& first_names = FirstNames();
+  std::vector<std::string> last_names =
+      GenerateProperNouns(options.num_authors, options.seed ^ 0xAB1E);
+
+  PublicationDataset out;
+  out.source1_names.reserve(options.num_authors);
+  out.source2_names.reserve(options.num_authors);
+  for (size_t a = 0; a < options.num_authors; ++a) {
+    const std::string& first = first_names[rng.Uniform(first_names.size())];
+    const std::string& last = last_names[a];
+    // Source 1: "First Last"; source 2: "Last, F." — textually dissimilar
+    // renderings of the same author (Example 5's premise).
+    std::string name1 = first + ' ' + last;
+    std::string name2 = last + ", " + first[0] + '.';
+    out.source1_names.push_back(name1);
+    out.source2_names.push_back(name2);
+
+    size_t span = options.max_papers_per_author - options.min_papers_per_author + 1;
+    size_t papers = options.min_papers_per_author + rng.Uniform(span);
+    for (size_t p = 0; p < papers; ++p) {
+      std::string title = MakeTitle(&rng);
+      bool only_one_source = rng.Bernoulli(options.coverage_noise);
+      if (only_one_source) {
+        if (rng.Bernoulli(0.5)) {
+          out.source1_rows.emplace_back(name1, title);
+        } else {
+          out.source2_rows.emplace_back(name2, title);
+        }
+      } else {
+        out.source1_rows.emplace_back(name1, title);
+        out.source2_rows.emplace_back(name2, title);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssjoin::datagen

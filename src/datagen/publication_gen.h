@@ -1,0 +1,41 @@
+#ifndef SSJOIN_DATAGEN_PUBLICATION_GEN_H_
+#define SSJOIN_DATAGEN_PUBLICATION_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssjoin::datagen {
+
+/// Options for the synthetic publication database of Example 5 (two sources
+/// being integrated, with different author-naming conventions — textual
+/// similarity of names is deliberately weak, so co-occurrence with paper
+/// titles is the identifying signal).
+struct PublicationGenOptions {
+  size_t num_authors = 500;
+  size_t min_papers_per_author = 4;
+  size_t max_papers_per_author = 15;
+  /// Fraction of an author's papers present in only one of the two sources
+  /// (sources have overlapping but not identical coverage).
+  double coverage_noise = 0.2;
+  uint64_t seed = 7;
+};
+
+/// \brief Two <author-name, paper-title> relations with ground truth.
+struct PublicationDataset {
+  /// Source 1 renders authors "First Last"; source 2 renders "Last, F.".
+  std::vector<std::pair<std::string, std::string>> source1_rows;
+  std::vector<std::pair<std::string, std::string>> source2_rows;
+  /// Parallel ground truth: canonical author i appears as
+  /// source1_names[i] in source 1 and source2_names[i] in source 2.
+  std::vector<std::string> source1_names;
+  std::vector<std::string> source2_names;
+};
+
+/// \brief Generates the publication database. Deterministic for a fixed seed.
+PublicationDataset GeneratePublications(const PublicationGenOptions& options);
+
+}  // namespace ssjoin::datagen
+
+#endif  // SSJOIN_DATAGEN_PUBLICATION_GEN_H_

@@ -1,0 +1,97 @@
+#include "datagen/wordlists.h"
+
+#include <unordered_set>
+
+namespace ssjoin::datagen {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "James",   "Mary",      "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",     "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",     "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",     "Christopher", "Lisa", "Daniel",  "Nancy",
+      "Matthew", "Betty",     "Anthony", "Margaret", "Mark",    "Sandra",
+      "Donald",  "Ashley",    "Steven",  "Kimberly", "Paul",    "Emily",
+      "Andrew",  "Donna",     "Joshua",  "Michelle", "Kenneth", "Carol",
+      "Kevin",   "Amanda",    "Brian",   "Dorothy",  "George",  "Melissa",
+      "Timothy", "Deborah",   "Ronald",  "Stephanie", "Edward", "Rebecca",
+      "Jason",   "Sharon",    "Jeffrey", "Laura",    "Ryan",    "Cynthia",
+      "Jacob",   "Kathleen",  "Gary",    "Amy",      "Nicholas", "Angela",
+      "Eric",    "Shirley",   "Jonathan", "Anna",    "Stephen", "Brenda",
+      "Larry",   "Pamela",    "Justin",  "Emma",     "Scott",   "Nicole",
+      "Brandon", "Helen",     "Benjamin", "Samantha", "Samuel", "Katherine",
+      "Gregory", "Christine", "Alexander", "Debra",  "Patrick", "Rachel",
+      "Frank",   "Carolyn",   "Raymond", "Janet",    "Jack",    "Maria",
+      "Dennis",  "Catherine", "Jerry",   "Heather",  "Tyler",   "Diane"};
+  return *kNames;
+}
+
+const std::vector<std::string>& StreetTypes() {
+  static const std::vector<std::string>* kTypes = new std::vector<std::string>{
+      "St", "Ave", "Rd", "Dr", "Ln", "Blvd", "Ct", "Pl", "Way", "Ter", "Cir", "Pkwy"};
+  return *kTypes;
+}
+
+const std::vector<std::string>& StreetTypesLong() {
+  static const std::vector<std::string>* kTypes = new std::vector<std::string>{
+      "Street", "Avenue", "Road",    "Drive",   "Lane",   "Boulevard",
+      "Court",  "Place",  "Way",     "Terrace", "Circle", "Parkway"};
+  return *kTypes;
+}
+
+const std::vector<std::string>& Directions() {
+  static const std::vector<std::string>* kDirs =
+      new std::vector<std::string>{"N", "S", "E", "W", "NE", "NW", "SE", "SW"};
+  return *kDirs;
+}
+
+const std::vector<std::string>& UnitTypes() {
+  static const std::vector<std::string>* kUnits =
+      new std::vector<std::string>{"Apt", "Suite", "Unit", "Ste", "Fl"};
+  return *kUnits;
+}
+
+const std::vector<std::string>& StateCodes() {
+  static const std::vector<std::string>* kStates = new std::vector<std::string>{
+      "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL",
+      "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT",
+      "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI",
+      "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY"};
+  return *kStates;
+}
+
+std::vector<std::string> GenerateProperNouns(size_t count, uint64_t seed) {
+  static const char* kOnsets[] = {"b",  "br", "c",  "ch", "cl", "d",  "f",  "g",
+                                  "gr", "h",  "j",  "k",  "l",  "m",  "n",  "p",
+                                  "r",  "s",  "sh", "st", "t",  "th", "v",  "w"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ee", "ou"};
+  static const char* kCodas[] = {"",   "n",  "r",  "l",  "s",  "t",
+                                 "rd", "ck", "nd", "ll", "m",  "y"};
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    std::string word;
+    size_t syllables = 2 + rng.Uniform(2);
+    for (size_t i = 0; i < syllables; ++i) {
+      word += kOnsets[rng.Uniform(std::size(kOnsets))];
+      word += kVowels[rng.Uniform(std::size(kVowels))];
+      if (i + 1 == syllables) word += kCodas[rng.Uniform(std::size(kCodas))];
+    }
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    if (seen.insert(word).second) out.push_back(std::move(word));
+  }
+  return out;
+}
+
+ZipfPool::ZipfPool(std::vector<std::string> words, double skew)
+    : words_(std::move(words)), table_(words_.empty() ? 1 : words_.size(), skew) {
+  SSJOIN_CHECK(!words_.empty());
+}
+
+const std::string& ZipfPool::Sample(Rng* rng) const {
+  return words_[table_.Sample(rng)];
+}
+
+}  // namespace ssjoin::datagen

@@ -1,0 +1,59 @@
+#ifndef SSJOIN_DATAGEN_WORDLISTS_H_
+#define SSJOIN_DATAGEN_WORDLISTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ssjoin::datagen {
+
+/// Token pools backing the synthetic datasets. Small curated lists supply
+/// the high-frequency heads (street types, directions, common first names);
+/// a deterministic syllable generator supplies arbitrarily large tails of
+/// plausible proper nouns, so generated corpora have both the frequent-token
+/// skew and the long tail of real address/name data.
+
+/// Common US-style first names (curated head pool).
+const std::vector<std::string>& FirstNames();
+
+/// Street-type tokens ("St", "Ave", ...) — the very frequent tokens whose
+/// equi-join blowup motivates the prefix filter (§4.1).
+const std::vector<std::string>& StreetTypes();
+
+/// Full spellings of street types, paired with StreetTypes() by index
+/// ("Street" for "St", ...), used by the abbreviation error model.
+const std::vector<std::string>& StreetTypesLong();
+
+/// Directional tokens ("N", "NE", ...).
+const std::vector<std::string>& Directions();
+
+/// Unit designators ("Apt", "Suite", ...).
+const std::vector<std::string>& UnitTypes();
+
+/// US state codes.
+const std::vector<std::string>& StateCodes();
+
+/// \brief Deterministically generates `count` distinct capitalized
+/// pseudo-words (syllable concatenation) for surname / street-name / city
+/// pools of any size.
+std::vector<std::string> GenerateProperNouns(size_t count, uint64_t seed);
+
+/// \brief Word pool with Zipf-distributed sampling.
+class ZipfPool {
+ public:
+  /// `skew` is the Zipf exponent (0 = uniform; ~1 = natural language-ish).
+  ZipfPool(std::vector<std::string> words, double skew);
+
+  const std::string& Sample(Rng* rng) const;
+  size_t size() const { return words_.size(); }
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+  ZipfTable table_;
+};
+
+}  // namespace ssjoin::datagen
+
+#endif  // SSJOIN_DATAGEN_WORDLISTS_H_

@@ -1,0 +1,245 @@
+#include "engine/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+namespace {
+
+/// Splits CSV content into records of raw fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view content,
+                                                       char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_field = false;
+  size_t i = 0;
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+    any_field = true;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_field = false;
+  };
+  while (i < content.size()) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty() || field_was_quoted) {
+        return Status::Invalid(StringPrintf(
+            "CSV parse error at byte %zu: quote inside unquoted field", i));
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+    } else if (c == delimiter) {
+      end_field();
+      ++i;
+    } else if (c == '\r' && i + 1 < content.size() && content[i + 1] == '\n') {
+      end_record();
+      i += 2;
+    } else if (c == '\n' || c == '\r') {
+      end_record();
+      ++i;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) return Status::Invalid("CSV parse error: unterminated quote");
+  // Final record without trailing newline.
+  if (any_field || !field.empty() || field_was_quoted) end_record();
+  return records;
+}
+
+bool ParsesAsInt64(const std::string& s, int64_t* value) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *value = v;
+  return true;
+}
+
+bool ParsesAsFloat64(const std::string& s, double* value) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *value = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delimiter) {
+  for (char c : s) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& s, char delimiter) {
+  if (!NeedsQuoting(s, delimiter)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Table> ParseCsv(std::string_view content, const CsvReadOptions& options) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> records,
+                          Tokenize(content, options.delimiter));
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  size_t num_columns = 0;
+  if (records.empty()) return Table(Schema{});
+  if (options.has_header) {
+    names = records[0];
+    num_columns = names.size();
+    first_data_row = 1;
+  } else {
+    num_columns = records[0].size();
+    for (size_t c = 0; c < num_columns; ++c) names.push_back("c" + std::to_string(c));
+  }
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (records[r].size() != num_columns) {
+      return Status::Invalid(StringPrintf(
+          "CSV row %zu has %zu fields, expected %zu", r, records[r].size(),
+          num_columns));
+    }
+  }
+
+  // Type inference: a column is int64/float64 iff every non-empty cell
+  // parses and there is at least one non-empty cell.
+  std::vector<DataType> types(num_columns, DataType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      bool all_int = true;
+      bool all_float = true;
+      bool any_value = false;
+      for (size_t r = first_data_row; r < records.size(); ++r) {
+        const std::string& cell = records[r][c];
+        if (cell.empty()) continue;
+        any_value = true;
+        int64_t iv;
+        double dv;
+        if (!ParsesAsInt64(cell, &iv)) all_int = false;
+        if (!ParsesAsFloat64(cell, &dv)) all_float = false;
+        if (!all_float) break;
+      }
+      if (!any_value) continue;
+      if (all_int) {
+        types[c] = DataType::kInt64;
+      } else if (all_float) {
+        types[c] = DataType::kFloat64;
+      }
+    }
+  }
+
+  Schema schema;
+  for (size_t c = 0; c < num_columns; ++c) {
+    SSJOIN_RETURN_NOT_OK(schema.AddField({names[c], types[c]}));
+  }
+  Table table{schema};
+  table.Reserve(records.size() - first_data_row);
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    std::vector<Value> row;
+    row.reserve(num_columns);
+    for (size_t c = 0; c < num_columns; ++c) {
+      const std::string& cell = records[r][c];
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          ParsesAsInt64(cell, &v);  // empty cells become 0
+          row.emplace_back(v);
+          break;
+        }
+        case DataType::kFloat64: {
+          double v = 0.0;
+          ParsesAsFloat64(cell, &v);
+          row.emplace_back(v);
+          break;
+        }
+        case DataType::kString:
+          row.emplace_back(cell);
+          break;
+      }
+    }
+    SSJOIN_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Table& table, char delimiter) {
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back(delimiter);
+    AppendField(&out, table.schema().field(c).name, delimiter);
+  }
+  out.push_back('\n');
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(delimiter);
+      // float64 uses round-trip precision (%.17g) so ParseCsv(ToCsv(t))
+      // reproduces t exactly; Value::ToString's %g is for display only.
+      Value v = table.GetValue(c, r);
+      std::string cell = v.is_float64() ? StringPrintf("%.17g", v.float64())
+                                        : v.ToString();
+      AppendField(&out, cell, delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToCsv(table, delimiter);
+  if (!out) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ssjoin::engine

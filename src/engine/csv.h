@@ -1,0 +1,38 @@
+#ifndef SSJOIN_ENGINE_CSV_H_
+#define SSJOIN_ENGINE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+
+/// CSV parsing options (RFC 4180 dialect: quoted fields, doubled quotes,
+/// delimiters/newlines inside quotes).
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are named c0, c1, ...
+  bool has_header = true;
+  /// Infer int64/float64 column types (a column is numeric only if every
+  /// non-empty value parses); otherwise everything is string.
+  bool infer_types = true;
+};
+
+/// \brief Parses CSV text into a Table.
+Result<Table> ParseCsv(std::string_view content, const CsvReadOptions& options = {});
+
+/// \brief Reads a CSV file into a Table.
+Result<Table> ReadCsvFile(const std::string& path, const CsvReadOptions& options = {});
+
+/// \brief Serializes a Table as RFC 4180 CSV (header row included).
+std::string ToCsv(const Table& table, char delimiter = ',');
+
+/// \brief Writes a Table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_CSV_H_

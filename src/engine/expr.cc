@@ -1,0 +1,373 @@
+#include "engine/expr.h"
+
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kFloat64;
+}
+
+bool IsArithmetic(OpCode op) {
+  return op == OpCode::kAdd || op == OpCode::kSub || op == OpCode::kMul ||
+         op == OpCode::kDiv;
+}
+
+bool IsComparison(OpCode op) {
+  switch (op) {
+    case OpCode::kEq:
+    case OpCode::kNe:
+    case OpCode::kLt:
+    case OpCode::kLe:
+    case OpCode::kGt:
+    case OpCode::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpName(OpCode op) {
+  switch (op) {
+    case OpCode::kAdd:
+      return "+";
+    case OpCode::kSub:
+      return "-";
+    case OpCode::kMul:
+      return "*";
+    case OpCode::kDiv:
+      return "/";
+    case OpCode::kEq:
+      return "==";
+    case OpCode::kNe:
+      return "!=";
+    case OpCode::kLt:
+      return "<";
+    case OpCode::kLe:
+      return "<=";
+    case OpCode::kGt:
+      return ">";
+    case OpCode::kGe:
+      return ">=";
+    case OpCode::kAnd:
+      return "AND";
+    case OpCode::kOr:
+      return "OR";
+    case OpCode::kNot:
+      return "NOT";
+    case OpCode::kNeg:
+      return "-";
+  }
+  return "?";
+}
+
+class ColumnExpr final : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  std::string ToString() const override { return name_; }
+
+ protected:
+  Result<int> BindNode(const Schema& schema, BoundExpr* out) const override {
+    SSJOIN_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(name_));
+    BoundExpr::Node node;
+    node.kind = ExprKind::kColumn;
+    node.type = schema.field(idx).type;
+    node.column = idx;
+    MutableNodes(out).push_back(node);
+    return static_cast<int>(MutableNodes(out).size() - 1);
+  }
+
+ private:
+  std::string name_;
+};
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  std::string ToString() const override {
+    if (value_.is_string()) return "'" + value_.string() + "'";
+    return value_.ToString();
+  }
+
+ protected:
+  Result<int> BindNode(const Schema&, BoundExpr* out) const override {
+    BoundExpr::Node node;
+    node.kind = ExprKind::kLiteral;
+    node.type = value_.type();
+    node.literal = value_;
+    MutableNodes(out).push_back(node);
+    return static_cast<int>(MutableNodes(out).size() - 1);
+  }
+
+ private:
+  Value value_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(OpCode op, ExprPtr child) : op_(op), child_(std::move(child)) {}
+  std::string ToString() const override {
+    return std::string("(") + OpName(op_) + " " + child_->ToString() + ")";
+  }
+
+ protected:
+  Result<int> BindNode(const Schema& schema, BoundExpr* out) const override {
+    SSJOIN_ASSIGN_OR_RETURN(int child, BindInto(*child_, schema, out));
+    DataType child_type = MutableNodes(out)[child].type;
+    BoundExpr::Node node;
+    node.kind = ExprKind::kUnary;
+    node.op = op_;
+    node.left = child;
+    if (op_ == OpCode::kNot) {
+      if (child_type == DataType::kString) {
+        return Status::TypeError("NOT requires a numeric operand");
+      }
+      node.type = DataType::kInt64;
+    } else {  // kNeg
+      if (!IsNumeric(child_type)) {
+        return Status::TypeError("negation requires a numeric operand");
+      }
+      node.type = child_type;
+    }
+    MutableNodes(out).push_back(node);
+    return static_cast<int>(MutableNodes(out).size() - 1);
+  }
+
+ private:
+  OpCode op_;
+  ExprPtr child_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(OpCode op, ExprPtr l, ExprPtr r)
+      : op_(op), left_(std::move(l)), right_(std::move(r)) {}
+  std::string ToString() const override {
+    return "(" + left_->ToString() + " " + OpName(op_) + " " + right_->ToString() +
+           ")";
+  }
+
+ protected:
+  Result<int> BindNode(const Schema& schema, BoundExpr* out) const override {
+    SSJOIN_ASSIGN_OR_RETURN(int l, BindInto(*left_, schema, out));
+    SSJOIN_ASSIGN_OR_RETURN(int r, BindInto(*right_, schema, out));
+    DataType lt = MutableNodes(out)[l].type;
+    DataType rt = MutableNodes(out)[r].type;
+    BoundExpr::Node node;
+    node.kind = ExprKind::kBinary;
+    node.op = op_;
+    node.left = l;
+    node.right = r;
+    if (IsArithmetic(op_)) {
+      if (!IsNumeric(lt) || !IsNumeric(rt)) {
+        return Status::TypeError(StringPrintf("operator %s requires numeric operands",
+                                              OpName(op_)));
+      }
+      node.type = (lt == DataType::kFloat64 || rt == DataType::kFloat64 ||
+                   op_ == OpCode::kDiv)
+                      ? DataType::kFloat64
+                      : DataType::kInt64;
+    } else if (IsComparison(op_)) {
+      bool both_string = lt == DataType::kString && rt == DataType::kString;
+      bool both_numeric = IsNumeric(lt) && IsNumeric(rt);
+      if (!both_string && !both_numeric) {
+        return Status::TypeError(StringPrintf(
+            "operator %s requires two numeric or two string operands", OpName(op_)));
+      }
+      node.type = DataType::kInt64;
+    } else {  // kAnd / kOr
+      if (lt == DataType::kString || rt == DataType::kString) {
+        return Status::TypeError("boolean connectives require numeric operands");
+      }
+      node.type = DataType::kInt64;
+    }
+    MutableNodes(out).push_back(node);
+    return static_cast<int>(MutableNodes(out).size() - 1);
+  }
+
+ private:
+  OpCode op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+bool Truthy(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return v.int64() != 0;
+    case DataType::kFloat64:
+      return v.float64() != 0.0;
+    case DataType::kString:
+      return !v.string().empty();
+  }
+  return false;
+}
+
+int CompareValues(const Value& l, const Value& r) {
+  if (l.is_string()) {
+    return l.string().compare(r.string()) < 0   ? -1
+           : l.string().compare(r.string()) > 0 ? 1
+                                                : 0;
+  }
+  double a = l.AsDouble();
+  double b = r.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+}  // namespace
+
+Result<int> BindInto(const Expr& expr, const Schema& schema, BoundExpr* out) {
+  return expr.BindNode(schema, out);
+}
+
+Result<BoundExpr> Expr::Bind(const Schema& schema) const {
+  BoundExpr bound;
+  SSJOIN_RETURN_NOT_OK(BindNode(schema, &bound).status());
+  return bound;
+}
+
+Value BoundExpr::Eval(const Table& table, size_t row) const {
+  // Evaluate the post-order node list with a value stack aligned to nodes_.
+  std::vector<Value> values(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    switch (node.kind) {
+      case ExprKind::kColumn:
+        values[i] = table.GetValue(node.column, row);
+        break;
+      case ExprKind::kLiteral:
+        values[i] = node.literal;
+        break;
+      case ExprKind::kUnary: {
+        const Value& child = values[node.left];
+        if (node.op == OpCode::kNot) {
+          values[i] = Value(static_cast<int64_t>(!Truthy(child)));
+        } else if (child.is_int64()) {
+          values[i] = Value(-child.int64());
+        } else {
+          values[i] = Value(-child.float64());
+        }
+        break;
+      }
+      case ExprKind::kBinary: {
+        const Value& l = values[node.left];
+        const Value& r = values[node.right];
+        switch (node.op) {
+          case OpCode::kAdd:
+          case OpCode::kSub:
+          case OpCode::kMul:
+          case OpCode::kDiv: {
+            if (node.type == DataType::kInt64) {
+              int64_t a = l.int64();
+              int64_t b = r.int64();
+              int64_t v = node.op == OpCode::kAdd   ? a + b
+                          : node.op == OpCode::kSub ? a - b
+                                                    : a * b;
+              values[i] = Value(v);
+            } else {
+              double a = l.AsDouble();
+              double b = r.AsDouble();
+              double v = node.op == OpCode::kAdd   ? a + b
+                         : node.op == OpCode::kSub ? a - b
+                         : node.op == OpCode::kMul ? a * b
+                                                   : a / b;
+              values[i] = Value(v);
+            }
+            break;
+          }
+          case OpCode::kEq:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) == 0));
+            break;
+          case OpCode::kNe:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) != 0));
+            break;
+          case OpCode::kLt:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) < 0));
+            break;
+          case OpCode::kLe:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) <= 0));
+            break;
+          case OpCode::kGt:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) > 0));
+            break;
+          case OpCode::kGe:
+            values[i] = Value(static_cast<int64_t>(CompareValues(l, r) >= 0));
+            break;
+          case OpCode::kAnd:
+            values[i] = Value(static_cast<int64_t>(Truthy(l) && Truthy(r)));
+            break;
+          case OpCode::kOr:
+            values[i] = Value(static_cast<int64_t>(Truthy(l) || Truthy(r)));
+            break;
+          default:
+            SSJOIN_CHECK(false);
+        }
+        break;
+      }
+    }
+  }
+  return values.back();
+}
+
+bool BoundExpr::EvalBool(const Table& table, size_t row) const {
+  return Truthy(Eval(table, row));
+}
+
+ExprPtr Col(std::string name) { return std::make_shared<ColumnExpr>(std::move(name)); }
+ExprPtr Lit(Value value) { return std::make_shared<LiteralExpr>(std::move(value)); }
+
+namespace {
+ExprPtr MakeBinary(OpCode op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<BinaryExpr>(op, std::move(l), std::move(r));
+}
+}  // namespace
+
+ExprPtr Add(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kAdd, l, r); }
+ExprPtr Sub(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kSub, l, r); }
+ExprPtr Mul(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kMul, l, r); }
+ExprPtr Div(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kDiv, l, r); }
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kEq, l, r); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kNe, l, r); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kLt, l, r); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kLe, l, r); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kGt, l, r); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kGe, l, r); }
+ExprPtr And(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kAnd, l, r); }
+ExprPtr Or(ExprPtr l, ExprPtr r) { return MakeBinary(OpCode::kOr, l, r); }
+ExprPtr Not(ExprPtr e) { return std::make_shared<UnaryExpr>(OpCode::kNot, std::move(e)); }
+ExprPtr Neg(ExprPtr e) { return std::make_shared<UnaryExpr>(OpCode::kNeg, std::move(e)); }
+
+Result<Table> FilterWhere(const Table& input, const ExprPtr& predicate) {
+  if (predicate == nullptr) return Status::Invalid("FilterWhere requires a predicate");
+  SSJOIN_ASSIGN_OR_RETURN(BoundExpr bound, predicate->Bind(input.schema()));
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (bound.EvalBool(input, r)) keep.push_back(r);
+  }
+  return input.Take(keep);
+}
+
+Result<Table> ProjectExprs(const Table& input,
+                           const std::vector<std::pair<std::string, ExprPtr>>& exprs) {
+  std::vector<BoundExpr> bound;
+  Schema schema;
+  for (const auto& [name, expr] : exprs) {
+    if (expr == nullptr) return Status::Invalid("null expression for '" + name + "'");
+    SSJOIN_ASSIGN_OR_RETURN(BoundExpr b, expr->Bind(input.schema()));
+    SSJOIN_RETURN_NOT_OK(schema.AddField({name, b.output_type()}));
+    bound.push_back(std::move(b));
+  }
+  Table out{schema};
+  out.Reserve(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(bound.size());
+    for (const BoundExpr& b : bound) row.push_back(b.Eval(input, r));
+    SSJOIN_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace ssjoin::engine

@@ -1,0 +1,142 @@
+#ifndef SSJOIN_ENGINE_EXPR_H_
+#define SSJOIN_ENGINE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+
+/// \brief A scalar expression tree over a table's columns: column
+/// references, literals, arithmetic, comparisons and boolean connectives.
+///
+/// Expressions are built with the free factory functions below, bound once
+/// against a schema (resolving column names to indices and checking types),
+/// and then evaluated row-at-a-time. Booleans are represented as int64 0/1.
+///
+/// ```
+/// ExprPtr e = Gt(Add(Col("overlap"), Lit(0.5)), Mul(Lit(0.8), Col("norm")));
+/// SSJOIN_ASSIGN_OR_RETURN(BoundExpr bound, e->Bind(table.schema()));
+/// bool keep = bound.EvalBool(table, row);
+/// ```
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t { kColumn, kLiteral, kUnary, kBinary };
+
+/// Operators for unary/binary nodes.
+enum class OpCode : uint8_t {
+  // binary arithmetic (numeric only; int64 unless either side is float64)
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  // binary comparisons (numeric or string; result int64 0/1)
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // boolean connectives (int64 in, int64 0/1 out)
+  kAnd,
+  kOr,
+  // unary
+  kNot,
+  kNeg,
+};
+
+/// \brief An expression bound to a concrete schema: column indices resolved,
+/// types checked. Cheap to copy; evaluation cannot fail.
+class BoundExpr {
+ public:
+  /// Evaluates against row `row` of `table` (whose schema must be the one
+  /// the expression was bound to).
+  Value Eval(const Table& table, size_t row) const;
+
+  /// Convenience: nonzero / non-empty truthiness of Eval's result.
+  bool EvalBool(const Table& table, size_t row) const;
+
+  DataType output_type() const { return nodes_.back().type; }
+
+  /// One flattened expression node. Public so Expr subclasses can construct
+  /// nodes during Bind; not part of the user-facing API.
+  struct Node {
+    ExprKind kind;
+    OpCode op;            // unary/binary only
+    DataType type;        // output type of this node
+    size_t column = 0;    // kColumn: resolved index
+    Value literal;        // kLiteral
+    int left = -1;        // child slots (indices into nodes_)
+    int right = -1;
+  };
+
+ private:
+  friend class Expr;
+
+  // Post-order flattened tree; the root is the last node.
+  std::vector<Node> nodes_;
+};
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Resolves columns and checks types against `schema`.
+  Result<BoundExpr> Bind(const Schema& schema) const;
+
+  /// Rendering like "(overlap >= (0.8 * norm))".
+  virtual std::string ToString() const = 0;
+
+ protected:
+  friend Result<int> BindInto(const Expr& expr, const Schema& schema,
+                              BoundExpr* out);
+  /// Appends this node's (post-order) bound form to out->nodes_; returns the
+  /// node index.
+  virtual Result<int> BindNode(const Schema& schema, BoundExpr* out) const = 0;
+
+  /// Access to BoundExpr's node list for subclasses (friendship does not
+  /// inherit).
+  static std::vector<BoundExpr::Node>& MutableNodes(BoundExpr* bound) {
+    return bound->nodes_;
+  }
+};
+
+/// Column reference by name.
+ExprPtr Col(std::string name);
+/// Literal value.
+ExprPtr Lit(Value value);
+
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+ExprPtr Div(ExprPtr l, ExprPtr r);
+
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr Ne(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+ExprPtr Not(ExprPtr e);
+ExprPtr Neg(ExprPtr e);
+
+/// \brief Filter with a declarative predicate: keeps rows where `predicate`
+/// evaluates truthy.
+Result<Table> FilterWhere(const Table& input, const ExprPtr& predicate);
+
+/// \brief Project computed columns: each (name, expression) pair becomes an
+/// output column.
+Result<Table> ProjectExprs(const Table& input,
+                           const std::vector<std::pair<std::string, ExprPtr>>& exprs);
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_EXPR_H_

@@ -1,0 +1,411 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+namespace {
+
+/// Resolves column names to indices, or KeyError.
+Result<std::vector<size_t>> ResolveColumns(const Table& t,
+                                           const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    SSJOIN_ASSIGN_OR_RETURN(size_t idx, t.schema().FieldIndex(name));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+uint64_t HashRowKey(const Table& t, const std::vector<size_t>& cols, size_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t c : cols) h = HashCombine(h, t.GetValue(c, row).Hash());
+  return h;
+}
+
+bool RowKeysEqual(const Table& a, const std::vector<size_t>& a_cols, size_t a_row,
+                  const Table& b, const std::vector<size_t>& b_cols, size_t b_row) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (!(a.GetValue(a_cols[i], a_row) == b.GetValue(b_cols[i], b_row))) return false;
+  }
+  return true;
+}
+
+/// Three-way comparison of rows on key columns; types must match pairwise.
+int CompareRowKeys(const Table& a, const std::vector<size_t>& a_cols, size_t a_row,
+                   const Table& b, const std::vector<size_t>& b_cols, size_t b_row) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    Value va = a.GetValue(a_cols[i], a_row);
+    Value vb = b.GetValue(b_cols[i], b_row);
+    if (va < vb) return -1;
+    if (vb < va) return 1;
+  }
+  return 0;
+}
+
+Status CheckKeyTypesMatch(const Table& left, const std::vector<size_t>& lcols,
+                          const Table& right, const std::vector<size_t>& rcols) {
+  if (lcols.size() != rcols.size() || lcols.empty()) {
+    return Status::Invalid("join key lists must be non-empty and equal length");
+  }
+  for (size_t i = 0; i < lcols.size(); ++i) {
+    if (left.schema().field(lcols[i]).type != right.schema().field(rcols[i]).type) {
+      return Status::TypeError(StringPrintf(
+          "join key %zu type mismatch: %s vs %s", i,
+          DataTypeToString(left.schema().field(lcols[i]).type),
+          DataTypeToString(right.schema().field(rcols[i]).type)));
+    }
+  }
+  return Status::OK();
+}
+
+Table BuildJoinOutput(const Table& left, const Table& right,
+                      const std::vector<std::pair<size_t, size_t>>& matches) {
+  Schema out_schema = left.schema().Concat(right.schema());
+  Table out(out_schema);
+  out.Reserve(matches.size());
+  for (const auto& [l, r] : matches) {
+    out.AppendConcatRow(left, l, right, r);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> Project(const Table& input, const std::vector<std::string>& columns) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> cols, ResolveColumns(input, columns));
+  std::vector<Field> fields;
+  for (size_t c : cols) fields.push_back(input.schema().field(c));
+  Table out{Schema(std::move(fields))};
+  out.Reserve(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(cols.size());
+    for (size_t c : cols) row.push_back(input.GetValue(c, r));
+    SSJOIN_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> Rename(const Table& input,
+                     const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::vector<Field> fields = input.schema().fields();
+  for (const auto& [old_name, new_name] : renames) {
+    bool found = false;
+    for (Field& f : fields) {
+      if (f.name == old_name) {
+        f.name = new_name;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::KeyError("no column named '" + old_name + "'");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    for (size_t j = i + 1; j < fields.size(); ++j) {
+      if (fields[i].name == fields[j].name) {
+        return Status::Invalid("rename would duplicate column '" + fields[i].name +
+                               "'");
+      }
+    }
+  }
+  Table renamed{Schema(fields)};
+  renamed.Reserve(input.num_rows());
+  for (size_t r = 0; r < input.num_rows(); ++r) renamed.AppendRowFrom(input, r);
+  return renamed;
+}
+
+Result<Table> Filter(const Table& input, const RowPredicate& pred) {
+  if (!pred) return Status::Invalid("Filter requires a predicate");
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (pred(input, r)) keep.push_back(r);
+  }
+  return input.Take(keep);
+}
+
+Result<Table> HashEquiJoin(const Table& left, const Table& right,
+                           const std::vector<std::string>& left_keys,
+                           const std::vector<std::string>& right_keys) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> lcols, ResolveColumns(left, left_keys));
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> rcols, ResolveColumns(right, right_keys));
+  SSJOIN_RETURN_NOT_OK(CheckKeyTypesMatch(left, lcols, right, rcols));
+
+  // Build side: hash the smaller relation (classic build/probe choice).
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Table& build = build_left ? left : right;
+  const Table& probe = build_left ? right : left;
+  const std::vector<size_t>& bcols = build_left ? lcols : rcols;
+  const std::vector<size_t>& pcols = build_left ? rcols : lcols;
+
+  std::unordered_map<uint64_t, std::vector<size_t>> ht;
+  ht.reserve(build.num_rows() * 2);
+  for (size_t r = 0; r < build.num_rows(); ++r) {
+    ht[HashRowKey(build, bcols, r)].push_back(r);
+  }
+
+  std::vector<std::pair<size_t, size_t>> matches;  // (left_row, right_row)
+  for (size_t pr = 0; pr < probe.num_rows(); ++pr) {
+    auto it = ht.find(HashRowKey(probe, pcols, pr));
+    if (it == ht.end()) continue;
+    for (size_t br : it->second) {
+      if (!RowKeysEqual(build, bcols, br, probe, pcols, pr)) continue;
+      if (build_left) {
+        matches.emplace_back(br, pr);
+      } else {
+        matches.emplace_back(pr, br);
+      }
+    }
+  }
+  return BuildJoinOutput(left, right, matches);
+}
+
+Result<Table> SortMergeJoin(const Table& left, const Table& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> lcols, ResolveColumns(left, left_keys));
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> rcols, ResolveColumns(right, right_keys));
+  SSJOIN_RETURN_NOT_OK(CheckKeyTypesMatch(left, lcols, right, rcols));
+
+  std::vector<size_t> lorder(left.num_rows());
+  std::iota(lorder.begin(), lorder.end(), 0);
+  std::sort(lorder.begin(), lorder.end(), [&](size_t a, size_t b) {
+    return CompareRowKeys(left, lcols, a, left, lcols, b) < 0;
+  });
+  std::vector<size_t> rorder(right.num_rows());
+  std::iota(rorder.begin(), rorder.end(), 0);
+  std::sort(rorder.begin(), rorder.end(), [&](size_t a, size_t b) {
+    return CompareRowKeys(right, rcols, a, right, rcols, b) < 0;
+  });
+
+  std::vector<std::pair<size_t, size_t>> matches;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < lorder.size() && j < rorder.size()) {
+    int cmp = CompareRowKeys(left, lcols, lorder[i], right, rcols, rorder[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      // Find the extent of the equal-key run on both sides.
+      size_t i_end = i + 1;
+      while (i_end < lorder.size() &&
+             CompareRowKeys(left, lcols, lorder[i_end], left, lcols, lorder[i]) == 0) {
+        ++i_end;
+      }
+      size_t j_end = j + 1;
+      while (j_end < rorder.size() &&
+             CompareRowKeys(right, rcols, rorder[j_end], right, rcols, rorder[j]) == 0) {
+        ++j_end;
+      }
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          matches.emplace_back(lorder[a], rorder[b]);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return BuildJoinOutput(left, right, matches);
+}
+
+Result<Table> HashGroupBy(const Table& input,
+                          const std::vector<std::string>& group_columns,
+                          const std::vector<AggSpec>& aggs,
+                          const RowPredicate& having) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> gcols,
+                          ResolveColumns(input, group_columns));
+  struct AggState {
+    size_t col = 0;  // input column (unused for kCount)
+    AggKind kind;
+  };
+  std::vector<AggState> states;
+  std::vector<Field> out_fields;
+  for (size_t c : gcols) out_fields.push_back(input.schema().field(c));
+  for (const AggSpec& spec : aggs) {
+    AggState st;
+    st.kind = spec.kind;
+    if (spec.kind != AggKind::kCount) {
+      SSJOIN_ASSIGN_OR_RETURN(st.col, input.schema().FieldIndex(spec.column));
+    }
+    DataType out_type = DataType::kInt64;
+    switch (spec.kind) {
+      case AggKind::kCount:
+        out_type = DataType::kInt64;
+        break;
+      case AggKind::kSum:
+        out_type = DataType::kFloat64;
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        out_type = input.schema().field(st.col).type;
+        break;
+    }
+    if (spec.kind == AggKind::kSum &&
+        input.schema().field(st.col).type == DataType::kString) {
+      return Status::TypeError("cannot SUM a string column");
+    }
+    out_fields.push_back({spec.output_name, out_type});
+    states.push_back(st);
+  }
+
+  // Group rows: map key-hash -> list of group ids (to resolve collisions),
+  // and per-group representative row + member rows.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<size_t> group_rep;                // representative input row per group
+  std::vector<std::vector<size_t>> group_rows;  // member rows per group
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    uint64_t h = HashRowKey(input, gcols, r);
+    auto& ids = buckets[h];
+    bool found = false;
+    for (size_t gid : ids) {
+      if (RowKeysEqual(input, gcols, group_rep[gid], input, gcols, r)) {
+        group_rows[gid].push_back(r);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ids.push_back(group_rep.size());
+      group_rep.push_back(r);
+      group_rows.push_back({r});
+    }
+  }
+
+  Table out{Schema(out_fields)};
+  out.Reserve(group_rep.size());
+  for (size_t gid = 0; gid < group_rep.size(); ++gid) {
+    std::vector<Value> row;
+    row.reserve(out_fields.size());
+    for (size_t c : gcols) row.push_back(input.GetValue(c, group_rep[gid]));
+    for (const AggState& st : states) {
+      switch (st.kind) {
+        case AggKind::kCount:
+          row.push_back(Value(static_cast<int64_t>(group_rows[gid].size())));
+          break;
+        case AggKind::kSum: {
+          double sum = 0.0;
+          for (size_t r : group_rows[gid]) sum += input.GetValue(st.col, r).AsDouble();
+          row.push_back(Value(sum));
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          Value best = input.GetValue(st.col, group_rows[gid][0]);
+          for (size_t i = 1; i < group_rows[gid].size(); ++i) {
+            Value v = input.GetValue(st.col, group_rows[gid][i]);
+            if (st.kind == AggKind::kMin ? v < best : best < v) best = v;
+          }
+          row.push_back(best);
+          break;
+        }
+      }
+    }
+    SSJOIN_RETURN_NOT_OK(out.AppendRow(row));
+  }
+  if (having) {
+    return Filter(out, having);
+  }
+  return out;
+}
+
+Result<Table> OrderBy(const Table& input, const std::vector<std::string>& columns) {
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> cols, ResolveColumns(input, columns));
+  std::vector<size_t> order(input.num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return CompareRowKeys(input, cols, a, input, cols, b) < 0;
+  });
+  return input.Take(order);
+}
+
+Result<Table> Distinct(const Table& input) {
+  std::vector<size_t> all_cols(input.num_columns());
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    uint64_t h = HashRowKey(input, all_cols, r);
+    auto& rows = seen[h];
+    bool dup = false;
+    for (size_t prev : rows) {
+      if (RowKeysEqual(input, all_cols, prev, input, all_cols, r)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      rows.push_back(r);
+      keep.push_back(r);
+    }
+  }
+  return input.Take(keep);
+}
+
+Result<Table> GroupwiseApply(const Table& input,
+                             const std::vector<std::string>& group_columns,
+                             const GroupFunction& fn) {
+  if (!fn) return Status::Invalid("GroupwiseApply requires a group function");
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<size_t> gcols,
+                          ResolveColumns(input, group_columns));
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<size_t> group_rep;
+  std::vector<std::vector<size_t>> group_rows;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    uint64_t h = HashRowKey(input, gcols, r);
+    auto& ids = buckets[h];
+    bool found = false;
+    for (size_t gid : ids) {
+      if (RowKeysEqual(input, gcols, group_rep[gid], input, gcols, r)) {
+        group_rows[gid].push_back(r);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ids.push_back(group_rep.size());
+      group_rep.push_back(r);
+      group_rows.push_back({r});
+    }
+  }
+
+  Table out;
+  bool first = true;
+  for (const auto& rows : group_rows) {
+    Table group = input.Take(rows);
+    SSJOIN_ASSIGN_OR_RETURN(Table result, fn(group));
+    if (first) {
+      out = std::move(result);
+      first = false;
+    } else {
+      SSJOIN_ASSIGN_OR_RETURN(out, UnionAll(out, result));
+    }
+  }
+  if (first) {
+    // No groups at all: empty output with the input schema (the group
+    // function never ran, so its output schema is unknowable).
+    return Table(input.schema());
+  }
+  return out;
+}
+
+Result<Table> UnionAll(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::TypeError("UnionAll requires identical schemas: " +
+                             a.schema().ToString() + " vs " + b.schema().ToString());
+  }
+  Table out = a;
+  for (size_t r = 0; r < b.num_rows(); ++r) out.AppendRowFrom(b, r);
+  return out;
+}
+
+}  // namespace ssjoin::engine

@@ -1,0 +1,88 @@
+#ifndef SSJOIN_ENGINE_OPERATORS_H_
+#define SSJOIN_ENGINE_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+
+/// Row predicate evaluated against a table: fn(table, row) -> keep?
+using RowPredicate = std::function<bool(const Table&, size_t)>;
+
+/// Per-group subquery for GroupwiseApply: consumes one group's rows,
+/// produces that group's output rows.
+using GroupFunction = std::function<Result<Table>(const Table&)>;
+
+/// \brief Keeps only the named columns, in the given order.
+Result<Table> Project(const Table& input, const std::vector<std::string>& columns);
+
+/// \brief Renames columns: pairs of (old_name, new_name).
+Result<Table> Rename(const Table& input,
+                     const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// \brief Keeps rows satisfying the predicate.
+Result<Table> Filter(const Table& input, const RowPredicate& pred);
+
+/// \brief Hash equi-join on possibly-composite keys.
+///
+/// Output schema is the concatenation of both inputs' schemas (right-side
+/// name clashes suffixed with "_r"). Inner join semantics; each matching
+/// (left,right) row pair produces one output row.
+Result<Table> HashEquiJoin(const Table& left, const Table& right,
+                           const std::vector<std::string>& left_keys,
+                           const std::vector<std::string>& right_keys);
+
+/// \brief Sort-merge equi-join; same contract as HashEquiJoin (row order of
+/// the output differs). Used to cross-check the hash join and to mirror the
+/// paper's observation that optimizers pick hash or merge joins for SSJoin.
+Result<Table> SortMergeJoin(const Table& left, const Table& right,
+                            const std::vector<std::string>& left_keys,
+                            const std::vector<std::string>& right_keys);
+
+/// Aggregate function kinds for HashGroupBy.
+enum class AggKind { kSum, kCount, kMin, kMax };
+
+/// One aggregate column specification: `kind(column) AS output_name`.
+/// For kCount the input column is ignored (may be empty).
+struct AggSpec {
+  AggKind kind;
+  std::string column;
+  std::string output_name;
+};
+
+/// \brief Hash aggregation: GROUP BY `group_columns`, computing `aggs`.
+///
+/// Output schema is the group columns followed by one column per AggSpec
+/// (float64 for kSum over float/int, int64 for kCount, input type for
+/// kMin/kMax). `having`, if set, filters output rows (the HAVING clause).
+Result<Table> HashGroupBy(const Table& input,
+                          const std::vector<std::string>& group_columns,
+                          const std::vector<AggSpec>& aggs,
+                          const RowPredicate& having = nullptr);
+
+/// \brief Sorts by the given columns ascending (stable).
+Result<Table> OrderBy(const Table& input, const std::vector<std::string>& columns);
+
+/// \brief Removes duplicate rows (considering all columns).
+Result<Table> Distinct(const Table& input);
+
+/// \brief Groupwise processing operator (Chatziantoniou & Ross [2,3]).
+///
+/// Partitions `input` by `group_columns` and applies `fn` to each group's
+/// rows (full input schema); concatenates the per-group outputs. This is the
+/// operator the paper uses to implement the prefix-filter (§4.3.3): group on
+/// R.A and emit each group's prefix.
+Result<Table> GroupwiseApply(const Table& input,
+                             const std::vector<std::string>& group_columns,
+                             const GroupFunction& fn);
+
+/// \brief Appends `b`'s rows to a copy of `a`. Schemas must match.
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_OPERATORS_H_

@@ -1,0 +1,233 @@
+#include "engine/plan.h"
+
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+std::string PlanNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe();
+  out += '\n';
+  for (const PlanPtr& child : children()) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+namespace {
+
+class ScanNodeImpl final : public PlanNode {
+ public:
+  ScanNodeImpl(Table table, std::string label)
+      : table_(std::move(table)), label_(std::move(label)) {}
+  Result<Table> Execute() const override { return table_; }
+  std::string Describe() const override {
+    return StringPrintf("Scan(%s: %zu rows, schema %s)", label_.c_str(),
+                        table_.num_rows(), table_.schema().ToString().c_str());
+  }
+
+ private:
+  Table table_;
+  std::string label_;
+};
+
+class UnaryNode : public PlanNode {
+ public:
+  explicit UnaryNode(PlanPtr input) : input_(std::move(input)) {}
+  std::vector<PlanPtr> children() const override { return {input_}; }
+
+ protected:
+  const PlanPtr input_;
+};
+
+class FilterNodeImpl final : public UnaryNode {
+ public:
+  FilterNodeImpl(PlanPtr input, ExprPtr predicate)
+      : UnaryNode(std::move(input)), predicate_(std::move(predicate)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return FilterWhere(in, predicate_);
+  }
+  std::string Describe() const override {
+    return "Filter(" + (predicate_ ? predicate_->ToString() : "<null>") + ")";
+  }
+
+ private:
+  ExprPtr predicate_;
+};
+
+class ProjectNodeImpl final : public UnaryNode {
+ public:
+  ProjectNodeImpl(PlanPtr input, std::vector<std::string> columns)
+      : UnaryNode(std::move(input)), columns_(std::move(columns)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return Project(in, columns_);
+  }
+  std::string Describe() const override {
+    return "Project(" + Join(columns_, ", ") + ")";
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+class ProjectExprsNodeImpl final : public UnaryNode {
+ public:
+  ProjectExprsNodeImpl(PlanPtr input,
+                       std::vector<std::pair<std::string, ExprPtr>> exprs)
+      : UnaryNode(std::move(input)), exprs_(std::move(exprs)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return ProjectExprs(in, exprs_);
+  }
+  std::string Describe() const override {
+    std::vector<std::string> parts;
+    for (const auto& [name, e] : exprs_) {
+      parts.push_back(name + " = " + (e ? e->ToString() : "<null>"));
+    }
+    return "ProjectExprs(" + Join(parts, ", ") + ")";
+  }
+
+ private:
+  std::vector<std::pair<std::string, ExprPtr>> exprs_;
+};
+
+class RenameNodeImpl final : public UnaryNode {
+ public:
+  RenameNodeImpl(PlanPtr input, std::vector<std::pair<std::string, std::string>> rn)
+      : UnaryNode(std::move(input)), renames_(std::move(rn)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return Rename(in, renames_);
+  }
+  std::string Describe() const override {
+    std::vector<std::string> parts;
+    for (const auto& [from, to] : renames_) parts.push_back(from + "->" + to);
+    return "Rename(" + Join(parts, ", ") + ")";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> renames_;
+};
+
+class HashJoinNodeImpl final : public PlanNode {
+ public:
+  HashJoinNodeImpl(PlanPtr left, PlanPtr right, std::vector<std::string> lk,
+                   std::vector<std::string> rk)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(lk)),
+        right_keys_(std::move(rk)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table l, left_->Execute());
+    SSJOIN_ASSIGN_OR_RETURN(Table r, right_->Execute());
+    return HashEquiJoin(l, r, left_keys_, right_keys_);
+  }
+  std::string Describe() const override {
+    return "HashJoin(" + Join(left_keys_, ",") + " = " + Join(right_keys_, ",") +
+           ")";
+  }
+  std::vector<PlanPtr> children() const override { return {left_, right_}; }
+
+ private:
+  PlanPtr left_;
+  PlanPtr right_;
+  std::vector<std::string> left_keys_;
+  std::vector<std::string> right_keys_;
+};
+
+class GroupByNodeImpl final : public UnaryNode {
+ public:
+  GroupByNodeImpl(PlanPtr input, std::vector<std::string> group_columns,
+                  std::vector<AggSpec> aggs, ExprPtr having)
+      : UnaryNode(std::move(input)),
+        group_columns_(std::move(group_columns)),
+        aggs_(std::move(aggs)),
+        having_(std::move(having)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    SSJOIN_ASSIGN_OR_RETURN(Table grouped,
+                            HashGroupBy(in, group_columns_, aggs_));
+    if (having_ == nullptr) return grouped;
+    return FilterWhere(grouped, having_);
+  }
+  std::string Describe() const override {
+    std::string out = "GroupBy(" + Join(group_columns_, ", ");
+    for (const AggSpec& a : aggs_) out += "; " + a.output_name;
+    if (having_) out += " HAVING " + having_->ToString();
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::vector<std::string> group_columns_;
+  std::vector<AggSpec> aggs_;
+  ExprPtr having_;
+};
+
+class OrderByNodeImpl final : public UnaryNode {
+ public:
+  OrderByNodeImpl(PlanPtr input, std::vector<std::string> columns)
+      : UnaryNode(std::move(input)), columns_(std::move(columns)) {}
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return OrderBy(in, columns_);
+  }
+  std::string Describe() const override {
+    return "OrderBy(" + Join(columns_, ", ") + ")";
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+class DistinctNodeImpl final : public UnaryNode {
+ public:
+  using UnaryNode::UnaryNode;
+  Result<Table> Execute() const override {
+    SSJOIN_ASSIGN_OR_RETURN(Table in, input_->Execute());
+    return Distinct(in);
+  }
+  std::string Describe() const override { return "Distinct"; }
+};
+
+}  // namespace
+
+PlanPtr ScanNode(Table table, std::string label) {
+  return std::make_shared<ScanNodeImpl>(std::move(table), std::move(label));
+}
+PlanPtr FilterNode(PlanPtr input, ExprPtr predicate) {
+  return std::make_shared<FilterNodeImpl>(std::move(input), std::move(predicate));
+}
+PlanPtr ProjectNode(PlanPtr input, std::vector<std::string> columns) {
+  return std::make_shared<ProjectNodeImpl>(std::move(input), std::move(columns));
+}
+PlanPtr ProjectExprsNode(PlanPtr input,
+                         std::vector<std::pair<std::string, ExprPtr>> exprs) {
+  return std::make_shared<ProjectExprsNodeImpl>(std::move(input), std::move(exprs));
+}
+PlanPtr RenameNode(PlanPtr input,
+                   std::vector<std::pair<std::string, std::string>> renames) {
+  return std::make_shared<RenameNodeImpl>(std::move(input), std::move(renames));
+}
+PlanPtr HashJoinNode(PlanPtr left, PlanPtr right, std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys) {
+  return std::make_shared<HashJoinNodeImpl>(std::move(left), std::move(right),
+                                            std::move(left_keys),
+                                            std::move(right_keys));
+}
+PlanPtr GroupByNode(PlanPtr input, std::vector<std::string> group_columns,
+                    std::vector<AggSpec> aggs, ExprPtr having) {
+  return std::make_shared<GroupByNodeImpl>(std::move(input),
+                                           std::move(group_columns),
+                                           std::move(aggs), std::move(having));
+}
+PlanPtr OrderByNode(PlanPtr input, std::vector<std::string> columns) {
+  return std::make_shared<OrderByNodeImpl>(std::move(input), std::move(columns));
+}
+PlanPtr DistinctNode(PlanPtr input) {
+  return std::make_shared<DistinctNodeImpl>(std::move(input));
+}
+
+}  // namespace ssjoin::engine

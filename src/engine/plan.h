@@ -1,0 +1,76 @@
+#ifndef SSJOIN_ENGINE_PLAN_H_
+#define SSJOIN_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+
+/// \brief A node of a composable query plan over the engine's operators.
+///
+/// Plans are immutable trees built with the factory functions below and run
+/// with Execute() (materialized, bottom-up). ToString() renders an
+/// EXPLAIN-style tree. The point of this layer is the paper's §7: a
+/// *logical* operator (core::SSJoinNode) can defer its physical
+/// implementation choice to optimization time — see core/ssjoin_plan.h.
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /// Runs the subtree and materializes its result.
+  virtual Result<Table> Execute() const = 0;
+
+  /// One-line description of this node (no children).
+  virtual std::string Describe() const = 0;
+
+  /// Child nodes (empty for leaves).
+  virtual std::vector<std::shared_ptr<const PlanNode>> children() const {
+    return {};
+  }
+
+  /// EXPLAIN-style rendering of the whole subtree.
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Leaf: scans an in-memory table.
+PlanPtr ScanNode(Table table, std::string label = "scan");
+
+/// Filter by a declarative predicate expression.
+PlanPtr FilterNode(PlanPtr input, ExprPtr predicate);
+
+/// Keep the named columns, in order.
+PlanPtr ProjectNode(PlanPtr input, std::vector<std::string> columns);
+
+/// Compute expression columns.
+PlanPtr ProjectExprsNode(PlanPtr input,
+                         std::vector<std::pair<std::string, ExprPtr>> exprs);
+
+/// Rename columns.
+PlanPtr RenameNode(PlanPtr input,
+                   std::vector<std::pair<std::string, std::string>> renames);
+
+/// Hash equi-join of two subplans.
+PlanPtr HashJoinNode(PlanPtr left, PlanPtr right, std::vector<std::string> left_keys,
+                     std::vector<std::string> right_keys);
+
+/// Hash group-by with aggregates and an optional HAVING expression.
+PlanPtr GroupByNode(PlanPtr input, std::vector<std::string> group_columns,
+                    std::vector<AggSpec> aggs, ExprPtr having = nullptr);
+
+/// Sort ascending by the given columns.
+PlanPtr OrderByNode(PlanPtr input, std::vector<std::string> columns);
+
+/// Duplicate elimination.
+PlanPtr DistinctNode(PlanPtr input);
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_PLAN_H_

@@ -1,0 +1,76 @@
+#include "engine/schema.h"
+
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat64:
+      return "float64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(int64());
+    case DataType::kFloat64:
+      return StringPrintf("%g", float64());
+    case DataType::kString:
+      return string();
+  }
+  return "";
+}
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  int idx = FindField(name);
+  if (idx < 0) {
+    return Status::KeyError("no column named '" + name + "' in schema " + ToString());
+  }
+  return static_cast<size_t>(idx);
+}
+
+Status Schema::AddField(Field field) {
+  if (FindField(field.name) >= 0) {
+    return Status::Invalid("duplicate column name '" + field.name + "'");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Schema Schema::Concat(const Schema& other, const std::string& suffix) const {
+  Schema out = *this;
+  for (const Field& f : other.fields_) {
+    Field renamed = f;
+    while (out.FindField(renamed.name) >= 0) renamed.name += suffix;
+    out.fields_.push_back(std::move(renamed));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ssjoin::engine

@@ -1,0 +1,60 @@
+#ifndef SSJOIN_ENGINE_SCHEMA_H_
+#define SSJOIN_ENGINE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/value.h"
+
+namespace ssjoin::engine {
+
+/// \brief A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// \brief Ordered list of fields describing a Table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const {
+    SSJOIN_DCHECK(i < fields_.size());
+    return fields_[i];
+  }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FindField(const std::string& name) const;
+
+  /// Index of the column named `name`, or KeyError if absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Appends a field. Duplicate names are rejected.
+  Status AddField(Field field);
+
+  /// Schema with the fields of `this` followed by the fields of `other`;
+  /// clashing names in `other` get `suffix` appended.
+  Schema Concat(const Schema& other, const std::string& suffix = "_r") const;
+
+  bool operator==(const Schema& other) const = default;
+
+  /// "(a: int64, b: string)" rendering for error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_SCHEMA_H_

@@ -1,0 +1,187 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ssjoin::engine {
+
+Column::Column(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      repr_ = std::vector<int64_t>{};
+      break;
+    case DataType::kFloat64:
+      repr_ = std::vector<double>{};
+      break;
+    case DataType::kString:
+      repr_ = std::vector<std::string>{};
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, repr_);
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type()) {
+    case DataType::kInt64:
+      return Value(int64s()[row]);
+    case DataType::kFloat64:
+      return Value(float64s()[row]);
+    case DataType::kString:
+      return Value(strings()[row]);
+  }
+  return Value();
+}
+
+void Column::Append(const Value& v) {
+  SSJOIN_DCHECK(v.type() == type());
+  switch (type()) {
+    case DataType::kInt64:
+      int64s().push_back(v.int64());
+      break;
+    case DataType::kFloat64:
+      float64s().push_back(v.float64());
+      break;
+    case DataType::kString:
+      strings().push_back(v.string());
+      break;
+  }
+}
+
+void Column::AppendFrom(const Column& other, size_t row) {
+  SSJOIN_DCHECK(other.type() == type());
+  switch (type()) {
+    case DataType::kInt64:
+      int64s().push_back(other.int64s()[row]);
+      break;
+    case DataType::kFloat64:
+      float64s().push_back(other.float64s()[row]);
+      break;
+    case DataType::kString:
+      strings().push_back(other.strings()[row]);
+      break;
+  }
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, repr_);
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Result<Table> Table::FromRows(Schema schema,
+                              const std::vector<std::vector<Value>>& rows) {
+  Table t(std::move(schema));
+  t.Reserve(rows.size());
+  for (const auto& row : rows) {
+    SSJOIN_RETURN_NOT_OK(t.AppendRow(row));
+  }
+  return t;
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  SSJOIN_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::Invalid(StringPrintf("row has %zu values, schema has %zu columns",
+                                        row.size(), columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::TypeError(StringPrintf(
+          "column %zu ('%s') expects %s, got %s", i, schema_.field(i).name.c_str(),
+          DataTypeToString(schema_.field(i).type), DataTypeToString(row[i].type())));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendRowFrom(const Table& other, size_t row) {
+  SSJOIN_DCHECK(other.num_columns() == num_columns());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(other.columns_[i], row);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendConcatRow(const Table& left, size_t lrow, const Table& right,
+                            size_t rrow) {
+  SSJOIN_DCHECK(num_columns() == left.num_columns() + right.num_columns());
+  for (size_t c = 0; c < left.num_columns(); ++c) {
+    columns_[c].AppendFrom(left.column(c), lrow);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    columns_[left.num_columns() + c].AppendFrom(right.column(c), rrow);
+  }
+  ++num_rows_;
+}
+
+Table Table::Take(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.Reserve(indices.size());
+  for (size_t idx : indices) {
+    SSJOIN_DCHECK(idx < num_rows_);
+    out.AppendRowFrom(*this, idx);
+  }
+  return out;
+}
+
+void Table::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const Field& f : schema_.fields()) header.push_back(f.name);
+  cells.push_back(header);
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < num_columns(); ++c) row.push_back(GetValue(c, r).ToString());
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(num_columns(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) out.append(widths[c] + 2, '-');
+      out += '\n';
+    }
+  }
+  if (shown < num_rows_) {
+    out += StringPrintf("... (%zu rows total)\n", num_rows_);
+  }
+  return out;
+}
+
+bool Table::ContentEquals(const Table& other) const {
+  if (!(schema_ == other.schema_) || num_rows_ != other.num_rows_) return false;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    for (size_t r = 0; r < num_rows_; ++r) {
+      if (!(GetValue(c, r) == other.GetValue(c, r))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ssjoin::engine

@@ -1,0 +1,126 @@
+#ifndef SSJOIN_ENGINE_TABLE_H_
+#define SSJOIN_ENGINE_TABLE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/schema.h"
+#include "engine/value.h"
+
+namespace ssjoin::engine {
+
+/// \brief A column of values, stored as a typed contiguous vector.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return static_cast<DataType>(repr_.index()); }
+  size_t size() const;
+
+  /// Typed accessors. Calling the wrong accessor for the column type is a
+  /// programming error (DCHECK).
+  std::vector<int64_t>& int64s() {
+    SSJOIN_DCHECK(type() == DataType::kInt64);
+    return std::get<std::vector<int64_t>>(repr_);
+  }
+  const std::vector<int64_t>& int64s() const {
+    SSJOIN_DCHECK(type() == DataType::kInt64);
+    return std::get<std::vector<int64_t>>(repr_);
+  }
+  std::vector<double>& float64s() {
+    SSJOIN_DCHECK(type() == DataType::kFloat64);
+    return std::get<std::vector<double>>(repr_);
+  }
+  const std::vector<double>& float64s() const {
+    SSJOIN_DCHECK(type() == DataType::kFloat64);
+    return std::get<std::vector<double>>(repr_);
+  }
+  std::vector<std::string>& strings() {
+    SSJOIN_DCHECK(type() == DataType::kString);
+    return std::get<std::vector<std::string>>(repr_);
+  }
+  const std::vector<std::string>& strings() const {
+    SSJOIN_DCHECK(type() == DataType::kString);
+    return std::get<std::vector<std::string>>(repr_);
+  }
+
+  /// Row-level access (boxes the cell into a Value).
+  Value GetValue(size_t row) const;
+  void Append(const Value& v);
+  /// Appends the cell `other[row]` to this column. Types must match.
+  void AppendFrom(const Column& other, size_t row);
+
+  void Reserve(size_t n);
+
+ private:
+  std::variant<std::vector<int64_t>, std::vector<double>, std::vector<std::string>>
+      repr_;
+};
+
+/// \brief An immutable-by-convention, column-oriented relation.
+///
+/// Tables are the unit of data flow between engine operators (materialized
+/// operator model; see DESIGN.md §6). Use TableBuilder or FromRows to create.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  /// Builds a table from row-major values. Types must match the schema.
+  static Result<Table> FromRows(Schema schema,
+                                const std::vector<std::vector<Value>>& rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const {
+    SSJOIN_DCHECK(i < columns_.size());
+    return columns_[i];
+  }
+  Column& column(size_t i) {
+    SSJOIN_DCHECK(i < columns_.size());
+    return columns_[i];
+  }
+
+  /// Column by name; KeyError if absent.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Cell accessor (boxes into Value).
+  Value GetValue(size_t col, size_t row) const { return columns_[col].GetValue(row); }
+
+  /// Appends a row of values; types must match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends row `row` of `other` (same schema) to this table.
+  void AppendRowFrom(const Table& other, size_t row);
+
+  /// Appends one row formed by concatenating row `lrow` of `left` and row
+  /// `rrow` of `right`. This table's schema must be the concatenation of the
+  /// two inputs' schemas (as produced by Schema::Concat). Used by joins.
+  void AppendConcatRow(const Table& left, size_t lrow, const Table& right, size_t rrow);
+
+  /// Returns a table with only the rows whose indices appear in `indices`,
+  /// in that order.
+  Table Take(const std::vector<size_t>& indices) const;
+
+  void Reserve(size_t n);
+
+  /// Renders the first `max_rows` rows as an aligned ASCII table.
+  std::string ToString(size_t max_rows = 20) const;
+
+  /// Equal schemas, row counts, and cell-by-cell equal contents.
+  bool ContentEquals(const Table& other) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_TABLE_H_

@@ -1,0 +1,97 @@
+#ifndef SSJOIN_ENGINE_VALUE_H_
+#define SSJOIN_ENGINE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ssjoin::engine {
+
+/// \brief Column data types supported by the mini relational engine.
+///
+/// The paper's normalized set representations only need integers (group ids,
+/// token ids, ordinals), floating point (weights, norms) and strings (raw
+/// attribute values), so the engine supports exactly those three.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+/// \brief Returns "int64" / "float64" / "string".
+const char* DataTypeToString(DataType type);
+
+/// \brief A single typed cell value, used at row-level API boundaries
+/// (TableBuilder::AppendRow, Table::GetValue). Bulk operators work directly
+/// on typed column vectors instead.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  Value(int64_t v) : repr_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : repr_(int64_t{v}) {}     // NOLINT
+  Value(double v) : repr_(v) {}           // NOLINT
+  Value(std::string v) : repr_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : repr_(std::string(v)) {}  // NOLINT
+
+  DataType type() const { return static_cast<DataType>(repr_.index()); }
+
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_float64() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t int64() const {
+    SSJOIN_DCHECK(is_int64());
+    return std::get<int64_t>(repr_);
+  }
+  double float64() const {
+    SSJOIN_DCHECK(is_float64());
+    return std::get<double>(repr_);
+  }
+  const std::string& string() const {
+    SSJOIN_DCHECK(is_string());
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: int64 widened to double. Dies on strings.
+  double AsDouble() const {
+    if (is_int64()) return static_cast<double>(int64());
+    return float64();
+  }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator<(const Value& other) const {
+    SSJOIN_DCHECK(repr_.index() == other.repr_.index());
+    return repr_ < other.repr_;
+  }
+
+  /// Renders the value for debugging / table printing.
+  std::string ToString() const;
+
+  /// Hash consistent with operator==.
+  uint64_t Hash() const {
+    switch (type()) {
+      case DataType::kInt64:
+        return Mix64(static_cast<uint64_t>(int64()));
+      case DataType::kFloat64: {
+        double d = float64();
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits);
+      }
+      case DataType::kString:
+        return HashString(string());
+    }
+    return 0;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+}  // namespace ssjoin::engine
+
+#endif  // SSJOIN_ENGINE_VALUE_H_

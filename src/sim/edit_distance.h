@@ -1,0 +1,34 @@
+#ifndef SSJOIN_SIM_EDIT_DISTANCE_H_
+#define SSJOIN_SIM_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace ssjoin::sim {
+
+/// \brief Levenshtein edit distance (Definition 2): minimum number of
+/// character insertions, deletions and substitutions transforming `a` into
+/// `b`. O(|a|*|b|) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Banded edit distance with cutoff: returns the exact edit distance
+/// if it is <= `k`, otherwise any value > `k` (specifically k+1).
+/// O((2k+1) * min(|a|,|b|)) time — this is the verifier used after the
+/// SSJoin candidate generation, where k is small.
+size_t EditDistanceBounded(std::string_view a, std::string_view b, size_t k);
+
+/// \brief True iff EditDistance(a, b) <= k, using the banded algorithm.
+bool EditDistanceAtMost(std::string_view a, std::string_view b, size_t k);
+
+/// \brief Edit similarity (Definition 2):
+/// `ES(a, b) = 1 - ED(a, b) / max(|a|, |b|)`. Two empty strings have
+/// similarity 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// \brief True iff ES(a, b) >= alpha, computed with the banded verifier
+/// (ED <= floor((1 - alpha) * max(|a|,|b|))).
+bool EditSimilarityAtLeast(std::string_view a, std::string_view b, double alpha);
+
+}  // namespace ssjoin::sim
+
+#endif  // SSJOIN_SIM_EDIT_DISTANCE_H_

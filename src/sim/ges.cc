@@ -1,0 +1,55 @@
+#include "sim/ges.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/edit_distance.h"
+
+namespace ssjoin::sim {
+
+double NormalizedEditDistance(std::string_view t1, std::string_view t2) {
+  size_t max_len = std::max(t1.size(), t2.size());
+  if (max_len == 0) return 0.0;
+  return static_cast<double>(EditDistance(t1, t2)) / static_cast<double>(max_len);
+}
+
+double TransformationCost(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const TokenWeightFn& weight) {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  // Sequence DP, O(m*n) cells, each cell evaluating one token edit distance.
+  std::vector<double> prev(n + 1);
+  std::vector<double> row(n + 1);
+  prev[0] = 0.0;
+  for (size_t j = 1; j <= n; ++j) prev[j] = prev[j - 1] + weight(b[j - 1]);
+  for (size_t i = 1; i <= m; ++i) {
+    const double wa = weight(a[i - 1]);
+    row[0] = prev[0] + wa;  // delete a[i-1]
+    for (size_t j = 1; j <= n; ++j) {
+      double del = prev[j] + wa;                 // delete a[i-1]
+      double ins = row[j - 1] + weight(b[j - 1]);  // insert b[j-1]
+      double rep = prev[j - 1] + NormalizedEditDistance(a[i - 1], b[j - 1]) * wa;
+      row[j] = std::min({del, ins, rep});
+    }
+    std::swap(prev, row);
+  }
+  return prev[n];
+}
+
+double GeneralizedEditSimilarity(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b,
+                                 const TokenWeightFn& weight) {
+  double wt_a = 0.0;
+  for (const std::string& t : a) wt_a += weight(t);
+  if (wt_a == 0.0) {
+    // No weight to normalize by: identical (both empty) means similarity 1.
+    return b.empty() ? 1.0 : 0.0;
+  }
+  double tc = TransformationCost(a, b, weight);
+  double normalized = tc / wt_a;
+  if (normalized > 1.0) normalized = 1.0;
+  return 1.0 - normalized;
+}
+
+}  // namespace ssjoin::sim

@@ -1,0 +1,36 @@
+#ifndef SSJOIN_SIM_GES_H_
+#define SSJOIN_SIM_GES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssjoin::sim {
+
+/// Weight of a token string (IDF or unit). Must be positive.
+using TokenWeightFn = std::function<double(std::string_view)>;
+
+/// \brief Transformation cost `tc(a, b)` of Definition 6: the minimum-cost
+/// sequence of token-level edits transforming token sequence `a` into `b`,
+/// where replacing token t1 by t2 costs `ed(t1, t2) * wt(t1)` (ed = edit
+/// distance normalized by max token length) and inserting/deleting token t
+/// costs `wt(t)`.
+double TransformationCost(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b,
+                          const TokenWeightFn& weight);
+
+/// \brief Generalized edit similarity (Definition 6):
+/// `GES(a, b) = 1 - min(tc(a, b) / wt(Set(a)), 1)`.
+/// An empty `a` has GES 1 against an empty `b` and 0 otherwise.
+double GeneralizedEditSimilarity(const std::vector<std::string>& a,
+                                 const std::vector<std::string>& b,
+                                 const TokenWeightFn& weight);
+
+/// \brief Normalized token edit distance used inside GES:
+/// `ed(t1, t2) = ED(t1, t2) / max(|t1|, |t2|)` (0 for two empty tokens).
+double NormalizedEditDistance(std::string_view t1, std::string_view t2);
+
+}  // namespace ssjoin::sim
+
+#endif  // SSJOIN_SIM_GES_H_

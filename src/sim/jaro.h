@@ -1,0 +1,23 @@
+#ifndef SSJOIN_SIM_JARO_H_
+#define SSJOIN_SIM_JARO_H_
+
+#include <string_view>
+
+namespace ssjoin::sim {
+
+/// \brief Jaro similarity in [0, 1]: based on the number of characters
+/// matching within a window of half the longer string's length and the
+/// number of transpositions among them. A staple of record-linkage name
+/// matching (the application domain of the paper's §1); usable as the final
+/// UDF filter of Figure 2 or as the token matcher inside the GES expansion.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaro-Winkler similarity: Jaro boosted by up to `max_prefix` (<= 4)
+/// characters of common prefix with scaling factor `prefix_scale`
+/// (Winkler's standard 0.1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1, size_t max_prefix = 4);
+
+}  // namespace ssjoin::sim
+
+#endif  // SSJOIN_SIM_JARO_H_

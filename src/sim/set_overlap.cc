@@ -1,0 +1,100 @@
+#include "sim/set_overlap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+namespace ssjoin::sim {
+
+void Canonicalize(std::vector<text::TokenId>* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+double WeightedOverlap(const std::vector<text::TokenId>& s1,
+                       const std::vector<text::TokenId>& s2,
+                       const text::WeightProvider& weights) {
+  double overlap = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < s1.size() && j < s2.size()) {
+    if (s1[i] < s2[j]) {
+      ++i;
+    } else if (s2[j] < s1[i]) {
+      ++j;
+    } else {
+      overlap += weights.Weight(s1[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+size_t OverlapCount(const std::vector<text::TokenId>& s1,
+                    const std::vector<text::TokenId>& s2) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < s1.size() && j < s2.size()) {
+    if (s1[i] < s2[j]) {
+      ++i;
+    } else if (s2[j] < s1[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardContainment(const std::vector<text::TokenId>& s1,
+                          const std::vector<text::TokenId>& s2,
+                          const text::WeightProvider& weights) {
+  double w1 = weights.SetWeight(s1);
+  if (w1 == 0.0) return 1.0;
+  return WeightedOverlap(s1, s2, weights) / w1;
+}
+
+double JaccardResemblance(const std::vector<text::TokenId>& s1,
+                          const std::vector<text::TokenId>& s2,
+                          const text::WeightProvider& weights) {
+  double w1 = weights.SetWeight(s1);
+  double w2 = weights.SetWeight(s2);
+  double inter = WeightedOverlap(s1, s2, weights);
+  double uni = w1 + w2 - inter;
+  if (uni == 0.0) return 1.0;
+  return inter / uni;
+}
+
+double DiceCoefficient(const std::vector<text::TokenId>& s1,
+                       const std::vector<text::TokenId>& s2,
+                       const text::WeightProvider& weights) {
+  double w1 = weights.SetWeight(s1);
+  double w2 = weights.SetWeight(s2);
+  if (w1 + w2 == 0.0) return 1.0;
+  return 2.0 * WeightedOverlap(s1, s2, weights) / (w1 + w2);
+}
+
+double CosineSimilarity(const std::vector<text::TokenId>& s1,
+                        const std::vector<text::TokenId>& s2,
+                        const text::WeightProvider& weights) {
+  double w1 = weights.SetWeight(s1);
+  double w2 = weights.SetWeight(s2);
+  if (w1 == 0.0 && w2 == 0.0) return 1.0;
+  if (w1 == 0.0 || w2 == 0.0) return 0.0;
+  return WeightedOverlap(s1, s2, weights) / std::sqrt(w1 * w2);
+}
+
+size_t HammingDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  size_t dist = b.size() - a.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++dist;
+  }
+  return dist;
+}
+
+}  // namespace ssjoin::sim

@@ -1,0 +1,60 @@
+#ifndef SSJOIN_SIM_SET_OVERLAP_H_
+#define SSJOIN_SIM_SET_OVERLAP_H_
+
+#include <vector>
+
+#include "text/dictionary.h"
+#include "text/weights.h"
+
+namespace ssjoin::sim {
+
+/// \brief Sorts and deduplicates element ids in place, producing the
+/// canonical set representation expected by the overlap functions below.
+/// (After TokenDictionary ordinal encoding, duplicates cannot occur within a
+/// document, but arbitrary callers may pass raw id lists.)
+void Canonicalize(std::vector<text::TokenId>* set);
+
+/// \brief Weighted overlap `wt(s1 ∩ s2)` of two canonical (sorted, unique)
+/// sets (Section 2: Overlap(s1, s2)).
+double WeightedOverlap(const std::vector<text::TokenId>& s1,
+                       const std::vector<text::TokenId>& s2,
+                       const text::WeightProvider& weights);
+
+/// \brief Unweighted overlap |s1 ∩ s2| of two canonical sets.
+size_t OverlapCount(const std::vector<text::TokenId>& s1,
+                    const std::vector<text::TokenId>& s2);
+
+/// \brief Jaccard containment `JC(s1, s2) = wt(s1 ∩ s2) / wt(s1)`
+/// (Definition 5.1). Empty s1 yields 1 by convention (it is fully contained).
+double JaccardContainment(const std::vector<text::TokenId>& s1,
+                          const std::vector<text::TokenId>& s2,
+                          const text::WeightProvider& weights);
+
+/// \brief Jaccard resemblance `JR(s1, s2) = wt(s1 ∩ s2) / wt(s1 ∪ s2)`
+/// (Definition 5.2), multiset union semantics via ordinal encoding.
+/// Two empty sets resemble fully (1).
+double JaccardResemblance(const std::vector<text::TokenId>& s1,
+                          const std::vector<text::TokenId>& s2,
+                          const text::WeightProvider& weights);
+
+/// \brief Dice coefficient `2 * wt(s1 ∩ s2) / (wt(s1) + wt(s2))`.
+double DiceCoefficient(const std::vector<text::TokenId>& s1,
+                       const std::vector<text::TokenId>& s2,
+                       const text::WeightProvider& weights);
+
+/// \brief Cosine similarity with per-element weights interpreted as squared
+/// vector components: `cos(s1, s2) = wt(s1 ∩ s2) / sqrt(wt(s1) * wt(s2))`.
+/// With `w(t) = idf(t)^2` this is the classic tf-idf cosine for binary
+/// term vectors. Empty sets have similarity 0 (1 if both empty).
+double CosineSimilarity(const std::vector<text::TokenId>& s1,
+                        const std::vector<text::TokenId>& s2,
+                        const text::WeightProvider& weights);
+
+/// \brief Hamming distance between equal-length strings: number of positions
+/// where they differ. If lengths differ, each position beyond the shorter
+/// length counts as a mismatch.
+size_t HammingDistance(std::string_view a, std::string_view b);
+
+}  // namespace ssjoin::sim
+
+#endif  // SSJOIN_SIM_SET_OVERLAP_H_

@@ -1,0 +1,78 @@
+#include "sim/soundex.h"
+
+#include <cctype>
+
+namespace ssjoin::sim {
+
+namespace {
+
+/// Soundex digit of a letter, or '0' for vowels and non-coding letters
+/// (a, e, i, o, u, y, h, w).
+char SoundexDigit(char upper) {
+  switch (upper) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+bool IsHW(char upper) { return upper == 'H' || upper == 'W'; }
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Find the first letter.
+  size_t first = 0;
+  while (first < word.size() && !std::isalpha(static_cast<unsigned char>(word[first]))) {
+    ++first;
+  }
+  if (first == word.size()) return "0000";
+
+  char first_letter = static_cast<char>(std::toupper(static_cast<unsigned char>(word[first])));
+  std::string code(1, first_letter);
+  char prev_digit = SoundexDigit(first_letter);
+
+  for (size_t i = first + 1; i < word.size() && code.size() < 4; ++i) {
+    unsigned char raw = static_cast<unsigned char>(word[i]);
+    if (!std::isalpha(raw)) continue;
+    char upper = static_cast<char>(std::toupper(raw));
+    char digit = SoundexDigit(upper);
+    if (digit != '0' && digit != prev_digit) {
+      code.push_back(digit);
+    }
+    // 'H' and 'W' are transparent: letters separated by them act adjacent.
+    // Vowels reset the previous digit so repeats across vowels are coded.
+    if (!IsHW(upper)) prev_digit = digit;
+  }
+  code.append(4 - code.size(), '0');
+  return code;
+}
+
+bool SoundexEqual(std::string_view a, std::string_view b) {
+  return Soundex(a) == Soundex(b);
+}
+
+}  // namespace ssjoin::sim

@@ -1,0 +1,21 @@
+#ifndef SSJOIN_SIM_SOUNDEX_H_
+#define SSJOIN_SIM_SOUNDEX_H_
+
+#include <string>
+#include <string_view>
+
+namespace ssjoin::sim {
+
+/// \brief American Soundex code of a word: an uppercase letter followed by
+/// three digits ("Robert" -> "R163"). Non-alphabetic characters are ignored;
+/// an input with no letters yields "0000". The paper lists soundex as one of
+/// the similarity notions SSJoin supports (two names match if their codes
+/// are equal, i.e. the overlap of their singleton code sets is 1).
+std::string Soundex(std::string_view word);
+
+/// \brief True iff the two words have equal Soundex codes.
+bool SoundexEqual(std::string_view a, std::string_view b);
+
+}  // namespace ssjoin::sim
+
+#endif  // SSJOIN_SIM_SOUNDEX_H_

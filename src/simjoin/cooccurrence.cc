@@ -1,0 +1,161 @@
+#include "simjoin/cooccurrence.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "text/weights.h"
+
+namespace ssjoin::simjoin {
+
+namespace {
+
+/// Groups (entity, item) rows into per-entity item multisets, preserving
+/// first-appearance entity order.
+void GroupByEntity(const std::vector<std::pair<std::string, std::string>>& rows,
+                   std::vector<std::string>* entities,
+                   std::vector<std::vector<std::string>>* item_lists) {
+  std::unordered_map<std::string, size_t> index;
+  for (const auto& [entity, item] : rows) {
+    auto [it, inserted] = index.try_emplace(entity, entities->size());
+    if (inserted) {
+      entities->push_back(entity);
+      item_lists->emplace_back();
+    }
+    (*item_lists)[it->second].push_back(item);
+  }
+}
+
+}  // namespace
+
+Result<EntityJoinResult> CooccurrenceJoin(
+    const std::vector<std::pair<std::string, std::string>>& r_rows,
+    const std::vector<std::pair<std::string, std::string>>& s_rows, double alpha,
+    JaccardVariant variant, WeightMode weights, const JoinExecution& exec,
+    SimJoinStats* stats) {
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  Timer prep_timer;
+  EntityJoinResult result;
+  std::vector<std::vector<std::string>> r_items;
+  std::vector<std::vector<std::string>> s_items;
+  GroupByEntity(r_rows, &result.r_entities, &r_items);
+  GroupByEntity(s_rows, &result.s_entities, &s_items);
+
+  // Encode item multisets against a shared dictionary. Items are opaque
+  // values (paper titles, ...), so the "tokenizer" is the identity: the
+  // item list is already the token multiset.
+  Prepared prep;
+  std::vector<std::vector<text::TokenId>> r_docs;
+  r_docs.reserve(r_items.size());
+  for (const auto& items : r_items) r_docs.push_back(prep.dict.EncodeDocument(items));
+  std::vector<std::vector<text::TokenId>> s_docs;
+  s_docs.reserve(s_items.size());
+  for (const auto& items : s_items) s_docs.push_back(prep.dict.EncodeDocument(items));
+
+  if (weights == WeightMode::kUnit) {
+    prep.weights.assign(prep.dict.num_elements(), 1.0);
+    prep.order = core::ElementOrder::ByIncreasingFrequency(prep.dict);
+  } else {
+    text::IdfWeights idf(prep.dict);
+    prep.weights = core::MaterializeWeights(prep.dict, idf);
+    if (weights == WeightMode::kIdfSquared) {
+      for (double& w : prep.weights) w *= w;
+    }
+    prep.order = core::ElementOrder::ByDecreasingWeight(prep.weights);
+  }
+  SSJOIN_ASSIGN_OR_RETURN(prep.r,
+                          core::BuildSetsRelation(std::move(r_docs), prep.weights));
+  SSJOIN_ASSIGN_OR_RETURN(prep.s,
+                          core::BuildSetsRelation(std::move(s_docs), prep.weights));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  core::OverlapPredicate pred =
+      variant == JaccardVariant::kContainment
+          ? core::OverlapPredicate::OneSidedNormalized(alpha)
+          : core::OverlapPredicate::TwoSidedNormalized(alpha);
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+
+  Timer filter_timer;
+  for (const core::SSJoinPair& p : pairs) {
+    double wt_r = prep.r.set_weights[p.r];
+    if (variant == JaccardVariant::kContainment) {
+      double jc = wt_r > 0.0 ? p.overlap / wt_r : 1.0;
+      result.matches.push_back({p.r, p.s, jc});
+    } else {
+      ++stats->verifier_calls;
+      double wt_union = wt_r + prep.s.set_weights[p.s] - p.overlap;
+      double jr = wt_union > 0.0 ? p.overlap / wt_union : 1.0;
+      if (jr >= alpha - 1e-12) result.matches.push_back({p.r, p.s, jr});
+    }
+  }
+  stats->result_pairs = result.matches.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return result;
+}
+
+Result<std::vector<MatchPair>> FDAgreementJoin(
+    const std::vector<std::vector<std::string>>& r,
+    const std::vector<std::vector<std::string>>& s, size_t k,
+    const JoinExecution& exec, SimJoinStats* stats) {
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (k == 0) return Status::Invalid("k must be positive");
+
+  size_t h = 0;
+  if (!r.empty()) {
+    h = r[0].size();
+  } else if (!s.empty()) {
+    h = s[0].size();
+  }
+  Timer prep_timer;
+  Prepared prep;
+  auto encode = [&](const std::vector<std::vector<std::string>>& rows,
+                    std::vector<std::vector<text::TokenId>>* docs) -> Status {
+    docs->reserve(rows.size());
+    for (const auto& row : rows) {
+      if (row.size() != h) {
+        return Status::Invalid(
+            StringPrintf("FD join rows must all have %zu columns, got %zu", h,
+                         row.size()));
+      }
+      // Element = the ordered pair <Column, Value> (Example 6's AEP set).
+      std::vector<std::string> elements;
+      elements.reserve(row.size());
+      for (size_t c = 0; c < row.size(); ++c) {
+        elements.push_back(std::to_string(c) + '=' + row[c]);
+      }
+      docs->push_back(prep.dict.EncodeDocument(elements));
+    }
+    return Status::OK();
+  };
+  std::vector<std::vector<text::TokenId>> r_docs;
+  std::vector<std::vector<text::TokenId>> s_docs;
+  SSJOIN_RETURN_NOT_OK(encode(r, &r_docs));
+  SSJOIN_RETURN_NOT_OK(encode(s, &s_docs));
+  if (k > h) {
+    return Status::Invalid(StringPrintf("k=%zu exceeds the column count h=%zu", k, h));
+  }
+  prep.weights.assign(prep.dict.num_elements(), 1.0);
+  prep.order = core::ElementOrder::ByIncreasingFrequency(prep.dict);
+  SSJOIN_ASSIGN_OR_RETURN(prep.r,
+                          core::BuildSetsRelation(std::move(r_docs), prep.weights));
+  SSJOIN_ASSIGN_OR_RETURN(prep.s,
+                          core::BuildSetsRelation(std::move(s_docs), prep.weights));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  core::OverlapPredicate pred =
+      core::OverlapPredicate::Absolute(static_cast<double>(k));
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+
+  std::vector<MatchPair> out;
+  out.reserve(pairs.size());
+  for (const core::SSJoinPair& p : pairs) out.push_back({p.r, p.s, p.overlap});
+  stats->result_pairs = out.size();
+  return out;
+}
+
+}  // namespace ssjoin::simjoin

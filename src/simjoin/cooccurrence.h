@@ -1,0 +1,53 @@
+#ifndef SSJOIN_SIMJOIN_COOCCURRENCE_H_
+#define SSJOIN_SIMJOIN_COOCCURRENCE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/prep.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::simjoin {
+
+/// Beyond-textual similarity (§3.4): joins driven by co-occurrence with
+/// other attributes and by agreement on soft functional dependencies.
+
+/// Which Jaccard variant a co-occurrence join thresholds.
+enum class JaccardVariant { kContainment, kResemblance };
+
+/// \brief Result of an entity-level join: the distinct entities of each
+/// input (in first-appearance order) and the matching index pairs.
+struct EntityJoinResult {
+  std::vector<std::string> r_entities;
+  std::vector<std::string> s_entities;
+  std::vector<MatchPair> matches;
+};
+
+/// \brief Co-occurrence join (Example 5, Figure 5): `rows` are
+/// (entity, co-occurring item) pairs — e.g. (author name, paper title).
+/// Two entities join when the Jaccard containment (or resemblance) of their
+/// item sets is at least `alpha`. Implemented as a direct SSJoin with
+/// A = entity, B = item.
+Result<EntityJoinResult> CooccurrenceJoin(
+    const std::vector<std::pair<std::string, std::string>>& r_rows,
+    const std::vector<std::pair<std::string, std::string>>& s_rows, double alpha,
+    JaccardVariant variant = JaccardVariant::kContainment,
+    WeightMode weights = WeightMode::kIdf, const JoinExecution& exec = {},
+    SimJoinStats* stats = nullptr);
+
+/// \brief Soft-FD agreement join (Definition 7, Example 6, Figure 6):
+/// records `t1 ~ t2` when they agree on at least `k` of the `h` attribute
+/// columns. Each record becomes the set of (column, value) pairs and the
+/// SSJoin predicate is the absolute overlap `Overlap >= k` — an exact
+/// reduction. `r` and `s` are row-major with `h` columns each; `similarity`
+/// in the output is the number of agreeing attributes.
+Result<std::vector<MatchPair>> FDAgreementJoin(
+    const std::vector<std::vector<std::string>>& r,
+    const std::vector<std::vector<std::string>>& s, size_t k,
+    const JoinExecution& exec = {}, SimJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_COOCCURRENCE_H_

@@ -1,0 +1,135 @@
+#include "simjoin/fuzzy_match.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/predicate.h"
+#include "core/prefix_filter.h"
+#include "sim/set_overlap.h"
+#include "text/weights.h"
+
+namespace ssjoin::simjoin {
+
+Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
+    const std::vector<std::string>& reference, const Options& options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::Invalid("alpha must be in (0, 1]");
+  }
+  FuzzyMatchIndex index;
+  index.options_ = options;
+  index.reference_ = reference;
+  if (options.word_tokens) {
+    index.tokenizer_ = std::make_unique<text::WordTokenizer>();
+  } else {
+    index.tokenizer_ = std::make_unique<text::QGramTokenizer>(options.q);
+  }
+
+  std::vector<std::vector<text::TokenId>> docs;
+  docs.reserve(reference.size());
+  for (const std::string& s : reference) {
+    docs.push_back(index.dict_.EncodeDocument(index.tokenizer_->Tokenize(s)));
+  }
+  text::IdfWeights idf(index.dict_);
+  index.weights_ = core::MaterializeWeights(index.dict_, idf);
+  // Weight assumed for query tokens absent from the reference: that of a
+  // token occurring in a single reference record.
+  index.unseen_token_weight_ =
+      std::log(std::max<double>(2.0, static_cast<double>(index.dict_.num_documents())));
+  index.order_ = core::ElementOrder::ByDecreasingWeight(index.weights_);
+  SSJOIN_ASSIGN_OR_RETURN(index.sets_,
+                          core::BuildSetsRelation(std::move(docs), index.weights_));
+
+  // Prefix-filter the reference (the S side of a 2-sided resemblance
+  // predicate: required overlap alpha * wt(set)) and build the inverted
+  // index over the surviving elements.
+  core::OverlapPredicate pred =
+      core::OverlapPredicate::TwoSidedNormalized(options.alpha);
+  core::PrefixFilteredRelation pref = core::PrefixFilterRelation(
+      index.sets_, index.weights_, index.order_, pred, core::JoinSide::kS);
+  index.prefix_offsets_.assign(index.dict_.num_elements() + 1, 0);
+  for (const auto& prefix : pref.prefixes) {
+    for (text::TokenId e : prefix) ++index.prefix_offsets_[e + 1];
+  }
+  for (size_t i = 1; i < index.prefix_offsets_.size(); ++i) {
+    index.prefix_offsets_[i] += index.prefix_offsets_[i - 1];
+  }
+  index.prefix_postings_.resize(index.prefix_offsets_.back());
+  std::vector<uint32_t> cursor(index.prefix_offsets_.begin(),
+                               index.prefix_offsets_.end() - 1);
+  for (core::GroupId g = 0; g < pref.prefixes.size(); ++g) {
+    for (text::TokenId e : pref.prefixes[g]) {
+      index.prefix_postings_[cursor[e]++] = g;
+    }
+  }
+  return index;
+}
+
+std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& query,
+                                                            size_t k) const {
+  std::vector<Match> out;
+  if (k == 0) return out;
+  std::vector<std::string> tokens = tokenizer_->Tokenize(query);
+  std::vector<text::TokenId> ids = dict_.EncodeDocumentReadOnly(tokens);
+  // Split into known elements (sorted, unique) and count unseen ones.
+  size_t unseen = 0;
+  std::vector<text::TokenId> known;
+  known.reserve(ids.size());
+  for (text::TokenId id : ids) {
+    if (id == text::kInvalidToken) {
+      ++unseen;
+    } else {
+      known.push_back(id);
+    }
+  }
+  sim::Canonicalize(&known);
+  double query_weight = static_cast<double>(unseen) * unseen_token_weight_;
+  for (text::TokenId id : known) query_weight += weights_[id];
+  if (known.empty()) return out;
+
+  // Probe with the query's prefix (the R side of the 2-sided predicate:
+  // required overlap alpha * wt(query)).
+  double beta = query_weight - options_.alpha * query_weight;
+  std::vector<text::TokenId> prefix =
+      core::ComputePrefix(known, weights_, order_, beta);
+
+  std::vector<core::GroupId> candidates;
+  for (text::TokenId e : prefix) {
+    candidates.insert(candidates.end(), prefix_postings_.begin() + prefix_offsets_[e],
+                      prefix_postings_.begin() + prefix_offsets_[e + 1]);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Verify: exact weighted resemblance against each candidate.
+  for (core::GroupId g : candidates) {
+    double overlap = 0.0;
+    size_t i = 0;
+    size_t j = 0;
+    const auto& ref_set = sets_.sets[g];
+    while (i < known.size() && j < ref_set.size()) {
+      if (known[i] < ref_set[j]) {
+        ++i;
+      } else if (ref_set[j] < known[i]) {
+        ++j;
+      } else {
+        overlap += weights_[known[i]];
+        ++i;
+        ++j;
+      }
+    }
+    double uni = query_weight + sets_.set_weights[g] - overlap;
+    double jr = uni > 0.0 ? overlap / uni : 1.0;
+    if (jr >= options_.alpha - 1e-12) out.push_back({g, jr});
+  }
+
+  // Top-K by similarity (ties by reference index for determinism).
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.ref_index < b.ref_index;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace ssjoin::simjoin

@@ -1,0 +1,83 @@
+#ifndef SSJOIN_SIMJOIN_FUZZY_MATCH_H_
+#define SSJOIN_SIMJOIN_FUZZY_MATCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/order.h"
+#include "core/sets.h"
+#include "simjoin/prep.h"
+#include "text/dictionary.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::simjoin {
+
+/// \brief Top-K fuzzy matching against a reference table — the record-lookup
+/// scenario of [4]/[6] that §6 notes is addressed "by composing the SSJoin
+/// operator with the top-k operator ... for the best matches whose
+/// similarity is above a certain threshold".
+///
+/// The reference relation is normalized and prefix-indexed once; each
+/// Lookup tokenizes the query, probes the reference prefixes (Lemma 1
+/// guarantees no candidate with resemblance >= alpha is missed), verifies
+/// candidates with the exact Jaccard resemblance, and returns the K best.
+///
+/// Query tokens never seen in the reference cannot match anything but still
+/// count toward the query's set weight (they dilute the resemblance), so
+/// scores agree with what a batch join over reference ∪ {query} would
+/// produce up to the IDF weight assigned to unseen tokens (the maximal
+/// weight log(N), a rare-token assumption).
+class FuzzyMatchIndex {
+ public:
+  struct Options {
+    /// Tokenization of both reference and query strings.
+    bool word_tokens = true;
+    size_t q = 3;
+    /// Minimum Jaccard resemblance for a match.
+    double alpha = 0.5;
+  };
+
+  /// One lookup result: index into the reference vector plus the exact
+  /// Jaccard resemblance.
+  struct Match {
+    uint32_t ref_index;
+    double similarity;
+  };
+
+  /// Builds the index over a reference table. The strings are copied.
+  static Result<FuzzyMatchIndex> Build(const std::vector<std::string>& reference,
+                                       const Options& options);
+
+  FuzzyMatchIndex(FuzzyMatchIndex&&) = default;
+  FuzzyMatchIndex& operator=(FuzzyMatchIndex&&) = default;
+
+  /// The best `k` reference strings with resemblance >= alpha, in
+  /// descending similarity (ties by reference index).
+  std::vector<Match> Lookup(const std::string& query, size_t k) const;
+
+  /// The reference string for a match.
+  const std::string& reference(uint32_t index) const { return reference_[index]; }
+  size_t size() const { return reference_.size(); }
+
+ private:
+  FuzzyMatchIndex() = default;
+
+  Options options_;
+  std::vector<std::string> reference_;
+  std::unique_ptr<text::Tokenizer> tokenizer_;
+  text::TokenDictionary dict_;
+  core::WeightVector weights_;
+  double unseen_token_weight_ = 0.0;
+  core::ElementOrder order_;
+  core::SetsRelation sets_;
+  /// Inverted index over the reference sets' prefixes (element -> groups),
+  /// CSR layout.
+  std::vector<uint32_t> prefix_offsets_;
+  std::vector<core::GroupId> prefix_postings_;
+};
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_FUZZY_MATCH_H_

@@ -1,0 +1,189 @@
+#include "simjoin/ges_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/cost_model.h"
+#include "sim/ges.h"
+#include "simjoin/prep.h"
+#include "simjoin/string_joins.h"
+#include "text/tokenizer.h"
+#include "text/weights.h"
+
+namespace ssjoin::simjoin {
+
+namespace {
+
+/// Exact GES verifier over pre-tokenized documents with dictionary weights.
+double ExactGES(const std::vector<std::string>& a, const std::vector<std::string>& b,
+                const sim::TokenWeightFn& weight) {
+  return sim::GeneralizedEditSimilarity(a, b, weight);
+}
+
+}  // namespace
+
+Result<std::vector<MatchPair>> GESJoin(const std::vector<std::string>& r,
+                                       const std::vector<std::string>& s,
+                                       double alpha, const GESJoinOptions& opts,
+                                       SimJoinStats* stats) {
+  if (alpha < 0.0 || alpha > 1.0) return Status::Invalid("alpha must be in [0, 1]");
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  // ---- Prep: word-tokenize, intern, weigh, and expand the R sets. ----
+  Timer prep_timer;
+  text::WordTokenizer word_tokenizer;
+  text::TokenDictionary dict;
+  std::vector<std::vector<std::string>> r_tokens(r.size());
+  std::vector<std::vector<std::string>> s_tokens(s.size());
+  std::vector<std::vector<text::TokenId>> r_docs(r.size());
+  std::vector<std::vector<text::TokenId>> s_docs(s.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    r_tokens[i] = word_tokenizer.Tokenize(r[i]);
+    r_docs[i] = dict.EncodeDocument(r_tokens[i]);
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    s_tokens[i] = word_tokenizer.Tokenize(s[i]);
+    s_docs[i] = dict.EncodeDocument(s_tokens[i]);
+  }
+  text::IdfWeights idf(dict);
+  core::WeightVector weights = core::MaterializeWeights(dict, idf);
+
+  // Vocabulary of distinct token strings = elements with ordinal 0.
+  std::vector<std::string> vocab;
+  std::vector<text::TokenId> vocab_ids;
+  for (text::TokenId id = 0; id < dict.num_elements(); ++id) {
+    if (dict.OrdinalOf(id) == 0) {
+      vocab.push_back(dict.TokenOf(id));
+      vocab_ids.push_back(id);
+    }
+  }
+
+  // Similar-token pairs via a recursive edit-similarity join on the
+  // vocabulary (Example 4's dictionary expansion).
+  SSJOIN_ASSIGN_OR_RETURN(
+      std::vector<MatchPair> similar_tokens,
+      EditSimilarityJoin(vocab, vocab, opts.token_sim_threshold, opts.token_q));
+  std::vector<std::vector<text::TokenId>> expansions(vocab.size());
+  for (const MatchPair& m : similar_tokens) {
+    if (m.r == m.s) continue;
+    expansions[m.r].push_back(vocab_ids[m.s]);
+  }
+  // Map any element id -> its vocab index (by base token, ordinal 0).
+  std::unordered_map<std::string_view, uint32_t> vocab_index;
+  vocab_index.reserve(vocab.size());
+  for (uint32_t v = 0; v < vocab.size(); ++v) vocab_index.emplace(vocab[v], v);
+
+  // Expanded R documents: original elements plus similar tokens (as their
+  // ordinal-0 elements) of each first-occurrence element.
+  std::vector<std::vector<text::TokenId>> r_expanded(r_docs.size());
+  std::vector<double> r_norms(r_docs.size());
+  for (size_t i = 0; i < r_docs.size(); ++i) {
+    std::vector<text::TokenId>& doc = r_expanded[i];
+    doc = r_docs[i];
+    double norm = 0.0;
+    for (text::TokenId e : r_docs[i]) {
+      norm += weights[e];
+      if (dict.OrdinalOf(e) != 0) continue;
+      auto it = vocab_index.find(dict.TokenOf(e));
+      if (it == vocab_index.end()) continue;
+      const auto& exp = expansions[it->second];
+      doc.insert(doc.end(), exp.begin(), exp.end());
+    }
+    r_norms[i] = norm;  // wt of the *unexpanded* set (Definition 6's scale)
+  }
+
+  core::ElementOrder order = core::ElementOrder::ByDecreasingWeight(weights);
+  Prepared prep;
+  prep.weights = std::move(weights);
+  prep.order = std::move(order);
+  // Token weight function for the exact GES UDF: IDF of the token's
+  // first-occurrence element; unseen tokens (impossible here) get weight 1.
+  // Captures prep.weights (stable), NOT the moved-from local.
+  const core::WeightVector& final_weights = prep.weights;
+  sim::TokenWeightFn token_weight = [&dict, &final_weights](std::string_view t) {
+    text::TokenId id = dict.Find(t, 0);
+    return id == text::kInvalidToken ? 1.0 : final_weights[id];
+  };
+  SSJOIN_ASSIGN_OR_RETURN(
+      prep.r, core::BuildSetsRelation(std::move(r_expanded), prep.weights,
+                                      std::move(r_norms)));
+  SSJOIN_ASSIGN_OR_RETURN(prep.s,
+                          core::BuildSetsRelation(std::move(s_docs), prep.weights));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  // ---- SSJoin stage: 1-sided normalized overlap on the unexpanded norm. ----
+  // Threshold derivation (sharpening the paper's "alpha - beta" sketch):
+  // GES >= alpha bounds the transformation cost by (1-alpha)*wt(Set(r)).
+  // Every r-token that is deleted, or replaced by a token farther than the
+  // expansion radius (edit similarity < beta), costs more than
+  // (1-beta)*wt(token), so the weight of such tokens is at most
+  // (1-alpha)/(1-beta) of the set. The remaining tokens' partners land in
+  // ExpandedSet(r) ∩ Set(s), giving
+  //   Overlap >= (1 - (1-alpha)/(1-beta)) * wt(Set(r))
+  // up to the weight skew between near-duplicate tokens, absorbed by
+  // `slack` (and ultimately by the exact GES filter).
+  double beta = opts.token_sim_threshold;
+  double threshold =
+      beta < 1.0 ? 1.0 - (1.0 - alpha) / (1.0 - beta) - opts.slack : 0.0;
+  if (threshold < 0.0) threshold = 0.0;
+  core::OverlapPredicate pred = core::OverlapPredicate::OneSidedNormalized(threshold);
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, opts.exec, stats));
+
+  // ---- Filter: exact GES UDF. ----
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  for (const core::SSJoinPair& p : pairs) {
+    ++stats->verifier_calls;
+    double ges = ExactGES(r_tokens[p.r], s_tokens[p.s], token_weight);
+    if (ges >= alpha - 1e-12) out.push_back({p.r, p.s, ges});
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+Result<std::vector<MatchPair>> GESJoinBruteForce(const std::vector<std::string>& r,
+                                                 const std::vector<std::string>& s,
+                                                 double alpha, SimJoinStats* stats) {
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer prep_timer;
+  text::WordTokenizer word_tokenizer;
+  text::TokenDictionary dict;
+  std::vector<std::vector<std::string>> r_tokens(r.size());
+  std::vector<std::vector<std::string>> s_tokens(s.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    r_tokens[i] = word_tokenizer.Tokenize(r[i]);
+    dict.EncodeDocument(r_tokens[i]);
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    s_tokens[i] = word_tokenizer.Tokenize(s[i]);
+    dict.EncodeDocument(s_tokens[i]);
+  }
+  text::IdfWeights idf(dict);
+  core::WeightVector weights = core::MaterializeWeights(dict, idf);
+  sim::TokenWeightFn token_weight = [&dict, &weights](std::string_view t) {
+    text::TokenId id = dict.Find(t, 0);
+    return id == text::kInvalidToken ? 1.0 : weights[id];
+  };
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  for (uint32_t i = 0; i < r.size(); ++i) {
+    for (uint32_t j = 0; j < s.size(); ++j) {
+      ++stats->verifier_calls;
+      double ges = ExactGES(r_tokens[i], s_tokens[j], token_weight);
+      if (ges >= alpha - 1e-12) out.push_back({i, j, ges});
+    }
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+}  // namespace ssjoin::simjoin

@@ -1,0 +1,60 @@
+#ifndef SSJOIN_SIMJOIN_GES_JOIN_H_
+#define SSJOIN_SIMJOIN_GES_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::simjoin {
+
+/// Options for the generalized-edit-similarity join (§3.3).
+struct GESJoinOptions {
+  /// The paper's beta (< alpha): tokens within edit similarity
+  /// `token_sim_threshold` of a set token are added to the expanded set.
+  double token_sim_threshold = 0.6;
+  /// q-gram size for the *token-level* edit-similarity join used to find
+  /// similar tokens in the dictionary (a recursive use of SSJoin).
+  size_t token_q = 2;
+  /// Extra margin subtracted from the SSJoin threshold
+  /// `1 - (1-alpha)/(1-beta)` (see ges_join.cc for the derivation); absorbs
+  /// weight skew between near-duplicate tokens. Raise to loosen candidate
+  /// generation further.
+  double slack = 0.1;
+  JoinExecution exec;
+};
+
+/// \brief Generalized-edit-similarity join (§3.3, after [4]): pairs with
+/// `GES(r, s) >= alpha`, where GES is the token-level weighted edit
+/// similarity of Definition 6.
+///
+/// Pipeline (Example 4's intuition): word-tokenize, expand each R set with
+/// all dictionary tokens whose edit similarity to a set token is at least
+/// `token_sim_threshold` (found via a recursive edit-similarity SSJoin over
+/// the token vocabulary), run SSJoin with the 1-sided predicate
+/// `Overlap >= (1 - (1-alpha)/(1-beta) - slack) * wt(Set(r))` (a sharpening
+/// of the paper's "overlap must be higher than alpha - beta" sketch; the
+/// derivation is in ges_join.cc), and
+/// verify candidates with the exact GES UDF.
+///
+/// The expansion-side weight model is the paper's admitted simplification
+/// point ("the details are intricate... we omit the details"); like the
+/// paper we treat the SSJoin stage as a high-recall candidate generator and
+/// rely on the exact UDF for precision. Tests check recall empirically
+/// against the brute-force join.
+Result<std::vector<MatchPair>> GESJoin(const std::vector<std::string>& r,
+                                       const std::vector<std::string>& s,
+                                       double alpha, const GESJoinOptions& opts = {},
+                                       SimJoinStats* stats = nullptr);
+
+/// \brief Brute-force GES join (every pair through the exact UDF), for
+/// correctness testing and the cross-product strawman benchmarks.
+Result<std::vector<MatchPair>> GESJoinBruteForce(const std::vector<std::string>& r,
+                                                 const std::vector<std::string>& s,
+                                                 double alpha,
+                                                 SimJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_GES_JOIN_H_

@@ -1,0 +1,196 @@
+#include "simjoin/gravano.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "sim/edit_distance.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::simjoin {
+
+namespace {
+
+/// Positional q-gram index over the S side: gram -> (string index, position).
+class PositionalQGramIndex {
+ public:
+  PositionalQGramIndex(const std::vector<std::string>& strings, size_t q) : q_(q) {
+    text::QGramTokenizer tokenizer(q);
+    // First pass: intern grams and count postings.
+    std::vector<std::vector<uint32_t>> gram_ids(strings.size());
+    for (size_t i = 0; i < strings.size(); ++i) {
+      std::vector<std::string> grams = tokenizer.Tokenize(strings[i]);
+      gram_ids[i].reserve(grams.size());
+      for (std::string& g : grams) {
+        auto [it, inserted] = intern_.try_emplace(std::move(g),
+                                                  static_cast<uint32_t>(intern_.size()));
+        gram_ids[i].push_back(it->second);
+      }
+    }
+    offsets_.assign(intern_.size() + 1, 0);
+    for (const auto& ids : gram_ids) {
+      for (uint32_t g : ids) ++offsets_[g + 1];
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+    postings_.resize(offsets_.back());
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (uint32_t i = 0; i < gram_ids.size(); ++i) {
+      for (uint32_t pos = 0; pos < gram_ids[i].size(); ++pos) {
+        postings_[cursor[gram_ids[i][pos]]++] = {i, pos};
+      }
+    }
+  }
+
+  struct Posting {
+    uint32_t string_index;
+    uint32_t position;
+  };
+
+  /// Postings of a gram, or an empty range if the gram never occurs in S.
+  std::pair<const Posting*, const Posting*> Lookup(const std::string& gram) const {
+    auto it = intern_.find(gram);
+    if (it == intern_.end()) return {nullptr, nullptr};
+    return {postings_.data() + offsets_[it->second],
+            postings_.data() + offsets_[it->second + 1]};
+  }
+
+  size_t q() const { return q_; }
+
+ private:
+  size_t q_;
+  std::unordered_map<std::string, uint32_t> intern_;
+  std::vector<uint32_t> offsets_;
+  std::vector<Posting> postings_;
+};
+
+/// Edit budget for a pair under edit-similarity threshold alpha.
+size_t PairBudget(double alpha, size_t len_r, size_t len_s) {
+  double allowed = (1.0 - alpha) * static_cast<double>(std::max(len_r, len_s));
+  return static_cast<size_t>(std::floor(allowed + 1e-9));
+}
+
+/// Shared candidate-enumeration + verification skeleton. `budget_fn`
+/// computes the per-pair edit budget.
+template <typename BudgetFn>
+Result<std::vector<MatchPair>> GravanoJoin(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           size_t q, const BudgetFn& budget_fn,
+                                           bool emit_similarity,
+                                           SimJoinStats* stats) {
+  if (q == 0) return Status::Invalid("q must be positive");
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  Timer prep_timer;
+  PositionalQGramIndex index(s, q);
+  text::QGramTokenizer tokenizer(q);
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  std::vector<uint32_t> seen_epoch(s.size(), 0);
+  uint32_t epoch = 0;
+  std::vector<uint32_t> candidates;
+  std::vector<MatchPair> out;
+  double enumerate_ms = 0.0;
+  double verify_ms = 0.0;
+  for (uint32_t ri = 0; ri < r.size(); ++ri) {
+    Timer enum_timer;
+    ++epoch;
+    candidates.clear();
+    std::vector<std::string> grams = tokenizer.Tokenize(r[ri]);
+    for (uint32_t pos = 0; pos < grams.size(); ++pos) {
+      auto [begin, end] = index.Lookup(grams[pos]);
+      stats->ssjoin.equijoin_rows += static_cast<size_t>(end - begin);
+      for (const auto* p = begin; p != end; ++p) {
+        if (seen_epoch[p->string_index] == epoch) continue;
+        size_t budget = budget_fn(r[ri].size(), s[p->string_index].size());
+        // Length filter: strings differing by more than the budget in
+        // length cannot match.
+        size_t len_diff = r[ri].size() > s[p->string_index].size()
+                              ? r[ri].size() - s[p->string_index].size()
+                              : s[p->string_index].size() - r[ri].size();
+        if (len_diff > budget) continue;
+        // Position filter: this common q-gram's positions must be within
+        // the budget of each other.
+        size_t pos_diff = pos > p->position ? pos - p->position : p->position - pos;
+        if (pos_diff > budget) continue;
+        seen_epoch[p->string_index] = epoch;
+        candidates.push_back(p->string_index);
+      }
+    }
+    stats->ssjoin.candidate_pairs += candidates.size();
+    enumerate_ms += enum_timer.ElapsedMillis();
+
+    Timer verify_timer;
+    for (uint32_t si : candidates) {
+      ++stats->verifier_calls;
+      size_t budget = budget_fn(r[ri].size(), s[si].size());
+      size_t ed = sim::EditDistanceBounded(r[ri], s[si], budget);
+      if (ed > budget) continue;
+      double similarity;
+      if (emit_similarity) {
+        size_t max_len = std::max(r[ri].size(), s[si].size());
+        similarity = max_len == 0
+                         ? 1.0
+                         : 1.0 - static_cast<double>(ed) / static_cast<double>(max_len);
+      } else {
+        similarity = -static_cast<double>(ed);
+      }
+      out.push_back({ri, si, similarity});
+    }
+    verify_ms += verify_timer.ElapsedMillis();
+  }
+  stats->phases.Add("Candidate-enumeration", enumerate_ms);
+  stats->phases.Add("EditSim-Filter", verify_ms);
+  stats->result_pairs = out.size();
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<MatchPair>> GravanoEditSimilarityJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, size_t q, SimJoinStats* stats) {
+  if (alpha < 0.0 || alpha > 1.0) return Status::Invalid("alpha must be in [0, 1]");
+  return GravanoJoin(
+      r, s, q,
+      [alpha](size_t lr, size_t ls) { return PairBudget(alpha, lr, ls); },
+      /*emit_similarity=*/true, stats);
+}
+
+Result<std::vector<MatchPair>> GravanoEditDistanceJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    size_t max_distance, size_t q, SimJoinStats* stats) {
+  return GravanoJoin(
+      r, s, q, [max_distance](size_t, size_t) { return max_distance; },
+      /*emit_similarity=*/false, stats);
+}
+
+Result<std::vector<MatchPair>> CrossProductEditSimilarityJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, SimJoinStats* stats) {
+  if (alpha < 0.0 || alpha > 1.0) return Status::Invalid("alpha must be in [0, 1]");
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer timer;
+  std::vector<MatchPair> out;
+  for (uint32_t ri = 0; ri < r.size(); ++ri) {
+    for (uint32_t si = 0; si < s.size(); ++si) {
+      ++stats->verifier_calls;
+      size_t budget = PairBudget(alpha, r[ri].size(), s[si].size());
+      size_t ed = sim::EditDistanceBounded(r[ri], s[si], budget);
+      if (ed > budget) continue;
+      size_t max_len = std::max(r[ri].size(), s[si].size());
+      double similarity =
+          max_len == 0 ? 1.0
+                       : 1.0 - static_cast<double>(ed) / static_cast<double>(max_len);
+      out.push_back({ri, si, similarity});
+    }
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("EditSim-Filter", timer.ElapsedMillis());
+  return out;
+}
+
+}  // namespace ssjoin::simjoin

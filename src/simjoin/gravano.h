@@ -1,0 +1,43 @@
+#ifndef SSJOIN_SIMJOIN_GRAVANO_H_
+#define SSJOIN_SIMJOIN_GRAVANO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::simjoin {
+
+/// \brief The customized edit-similarity join the paper benchmarks against
+/// (§5.1, Figure 11): Gravano et al.'s "approximate string joins in a
+/// database (almost) for free" [9], as the paper describes it — an equi-join
+/// on q-grams with two additional filters (the difference in string lengths
+/// must be small, and the positions of at least one common q-gram must be
+/// close), followed by the edit-similarity verification.
+///
+/// Unlike the SSJoin plans, candidates are *not* screened by an overlap
+/// HAVING clause, so many more pairs reach the verifier — Table 1's "Direct"
+/// column; `stats->verifier_calls` reproduces it.
+///
+/// Phases recorded: "Prep" (q-gram index build), "Candidate-enumeration",
+/// "EditSim-Filter" — the Figure 11 breakdown.
+Result<std::vector<MatchPair>> GravanoEditSimilarityJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, size_t q, SimJoinStats* stats = nullptr);
+
+/// \brief Fixed-threshold variant: pairs with `ED(r, s) <= max_distance`.
+Result<std::vector<MatchPair>> GravanoEditDistanceJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    size_t max_distance, size_t q, SimJoinStats* stats = nullptr);
+
+/// \brief The UDF-over-cross-product strawman the paper's introduction
+/// dismisses: every pair goes straight to the edit-similarity UDF. Quadratic;
+/// for the bench_naive_udf benchmark and small-input tests only.
+Result<std::vector<MatchPair>> CrossProductEditSimilarityJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, SimJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_GRAVANO_H_

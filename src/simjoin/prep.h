@@ -1,0 +1,54 @@
+#ifndef SSJOIN_SIMJOIN_PREP_H_
+#define SSJOIN_SIMJOIN_PREP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/order.h"
+#include "core/sets.h"
+#include "simjoin/types.h"
+#include "text/dictionary.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::simjoin {
+
+/// How elements are weighted during Prep.
+enum class WeightMode {
+  kUnit,        ///< all weights 1; overlaps are set-intersection sizes
+  kIdf,         ///< the paper's §5 IDF formula over the joined corpora
+  kIdfSquared,  ///< idf(t)^2 — makes Overlap/sqrt(norms) the tf-idf cosine
+};
+
+/// \brief Output of the Prep phase (Figure 2, "String to set"): both
+/// relations in normalized set form, with the shared dictionary, weights and
+/// global element ordering the executors need.
+struct Prepared {
+  text::TokenDictionary dict;
+  core::WeightVector weights;
+  core::ElementOrder order;
+  core::SetsRelation r;
+  core::SetsRelation s;
+
+  core::SSJoinContext Context() const { return {&weights, &order}; }
+};
+
+/// \brief Tokenizes and encodes both string collections with a shared
+/// dictionary, computes weights (per `mode`) and the prefix ordering
+/// (decreasing weight — the paper's IDF ordering, §4.3.2), and builds both
+/// SetsRelations. Norms default to set weights; the similarity joins override
+/// them when a different norm is needed.
+Result<Prepared> PrepareStrings(const std::vector<std::string>& r,
+                                const std::vector<std::string>& s,
+                                const text::Tokenizer& tokenizer, WeightMode mode);
+
+/// \brief Runs the SSJoin stage of a similarity-join pipeline: applies the
+/// cost model if requested, executes, and records stats/phases into `stats`.
+Result<std::vector<core::SSJoinPair>> RunSSJoinStage(const Prepared& prep,
+                                                     const core::OverlapPredicate& pred,
+                                                     const JoinExecution& exec,
+                                                     SimJoinStats* stats);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_PREP_H_

@@ -1,0 +1,56 @@
+#ifndef SSJOIN_SIMJOIN_RECORD_MATCH_H_
+#define SSJOIN_SIMJOIN_RECORD_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::simjoin {
+
+/// Multi-attribute record matching — the paper's §1 scenario ("we may join
+/// two customers if the similarity between their names and addresses is
+/// high") composed from per-column similarity joins.
+///
+/// A match specification is a DNF of column rules: records match if, for at
+/// least one rule set, *every* rule in the set passes. Each rule thresholds
+/// one similarity function on one column. The FIRST rule of each set is used
+/// as the blocking rule: its SSJoin-based similarity join generates
+/// candidates, and the remaining rules are verified per candidate with the
+/// exact similarity UDFs — so put the most selective rule first.
+
+/// Similarity functions available for column rules.
+enum class ColumnSim {
+  kEquality,        ///< exact string equality
+  kSoundex,         ///< equal Soundex codes
+  kEditSimilarity,  ///< Definition 2, 3-gram SSJoin when blocking
+  kJaccard,         ///< word-token resemblance, IDF weights
+  kJaroWinkler,     ///< verification-only (no SSJoin reduction); cannot block
+};
+
+/// One conjunct: `sim(column_r, column_s) >= threshold`.
+struct ColumnRule {
+  size_t column = 0;
+  ColumnSim sim = ColumnSim::kJaccard;
+  double threshold = 0.8;  ///< ignored for kEquality / kSoundex
+};
+
+/// DNF match specification plus execution knobs.
+struct RecordMatchOptions {
+  std::vector<std::vector<ColumnRule>> rule_sets;
+  JoinExecution exec;
+};
+
+/// \brief Joins two row-major relations (equal column counts) under the
+/// DNF specification. Output pairs are deduplicated across rule sets;
+/// `similarity` is the blocking rule's similarity of the first rule set
+/// that accepted the pair.
+Result<std::vector<MatchPair>> RecordMatchJoin(
+    const std::vector<std::vector<std::string>>& r,
+    const std::vector<std::vector<std::string>>& s,
+    const RecordMatchOptions& options, SimJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_RECORD_MATCH_H_

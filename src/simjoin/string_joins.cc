@@ -1,0 +1,269 @@
+#include "simjoin/string_joins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "common/timer.h"
+#include "sim/edit_distance.h"
+#include "sim/soundex.h"
+#include "simjoin/prep.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::simjoin {
+
+namespace {
+
+/// Tokenizer producing (position, character) pair tokens for Hamming joins.
+class PositionalTokenizer final : public text::Tokenizer {
+ public:
+  std::vector<std::string> Tokenize(std::string_view s) const override {
+    std::vector<std::string> tokens;
+    tokens.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      std::string t = std::to_string(i);
+      t.push_back(':');
+      t.push_back(s[i]);
+      tokens.push_back(std::move(t));
+    }
+    return tokens;
+  }
+  std::string Describe() const override { return "positional"; }
+};
+
+/// Tokenizer producing the singleton {Soundex(s)}.
+class SoundexTokenizer final : public text::Tokenizer {
+ public:
+  std::vector<std::string> Tokenize(std::string_view s) const override {
+    return {sim::Soundex(s)};
+  }
+  std::string Describe() const override { return "soundex"; }
+};
+
+std::unique_ptr<text::Tokenizer> MakeSetTokenizer(const SetJoinOptions& opts) {
+  if (opts.word_tokens) return std::make_unique<text::WordTokenizer>();
+  return std::make_unique<text::QGramTokenizer>(opts.q);
+}
+
+/// Runs the full Figure 2 pipeline. `verify` maps an SSJoin output pair to
+/// the exact similarity, or NaN to reject; pass nullptr when the SSJoin
+/// reduction is exact and `exact_similarity` computes the output similarity
+/// from the pair alone.
+using VerifyFn = std::function<double(const core::SSJoinPair&)>;
+
+Result<std::vector<MatchPair>> RunPipeline(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           const text::Tokenizer& tokenizer,
+                                           WeightMode mode,
+                                           const core::OverlapPredicate& pred,
+                                           const VerifyFn& verify,
+                                           const JoinExecution& exec,
+                                           SimJoinStats* stats) {
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  Timer prep_timer;
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep, PrepareStrings(r, s, tokenizer, mode));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  out.reserve(pairs.size());
+  for (const core::SSJoinPair& p : pairs) {
+    ++stats->verifier_calls;
+    double similarity = verify(p);
+    if (!std::isnan(similarity)) {
+      out.push_back({p.r, p.s, similarity});
+    }
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+constexpr double kReject = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+Result<std::vector<MatchPair>> EditDistanceJoin(const std::vector<std::string>& r,
+                                                const std::vector<std::string>& s,
+                                                size_t max_distance, size_t q,
+                                                const JoinExecution& exec,
+                                                SimJoinStats* stats) {
+  if (q == 0) return Status::Invalid("q must be positive");
+  text::QGramTokenizer tokenizer(q);
+  // Property 4: Overlap >= max(norm_r, norm_s) - max_distance * q, expressed
+  // as the conjunction of the two one-sided bounds.
+  double c = -static_cast<double>(max_distance * q);
+  core::OverlapPredicate pred;
+  pred.And({c, 1.0, 0.0}).And({c, 0.0, 1.0});
+  VerifyFn verify = [&r, &s, max_distance](const core::SSJoinPair& p) {
+    size_t ed = sim::EditDistanceBounded(r[p.r], s[p.s], max_distance);
+    if (ed > max_distance) return kReject;
+    return -static_cast<double>(ed);
+  };
+  return RunPipeline(r, s, tokenizer, WeightMode::kUnit, pred, verify, exec, stats);
+}
+
+Result<std::vector<MatchPair>> EditSimilarityJoin(const std::vector<std::string>& r,
+                                                  const std::vector<std::string>& s,
+                                                  double alpha, size_t q,
+                                                  const JoinExecution& exec,
+                                                  SimJoinStats* stats) {
+  if (q == 0) return Status::Invalid("q must be positive");
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::Invalid("alpha must be in [0, 1]");
+  }
+  text::QGramTokenizer tokenizer(q);
+  // ES >= alpha allows ED <= (1-alpha)*max(len); substituting
+  // len = norm + q - 1 into Property 4 gives, for each side,
+  //   Overlap >= k*norm + c,  k = 1 - (1-alpha)*q,  c = k*(q-1) - q + 1.
+  double k = 1.0 - (1.0 - alpha) * static_cast<double>(q);
+  double c = k * static_cast<double>(q - 1) - static_cast<double>(q) + 1.0;
+  core::OverlapPredicate pred;
+  pred.And({c, k, 0.0}).And({c, 0.0, k});
+  VerifyFn verify = [&r, &s, alpha](const core::SSJoinPair& p) {
+    const std::string& a = r[p.r];
+    const std::string& b = s[p.s];
+    size_t max_len = std::max(a.size(), b.size());
+    if (max_len == 0) return 1.0;
+    size_t budget =
+        static_cast<size_t>(std::floor((1.0 - alpha) * static_cast<double>(max_len) +
+                                       1e-9));
+    size_t ed = sim::EditDistanceBounded(a, b, budget);
+    if (ed > budget) return kReject;
+    return 1.0 - static_cast<double>(ed) / static_cast<double>(max_len);
+  };
+  return RunPipeline(r, s, tokenizer, WeightMode::kUnit, pred, verify, exec, stats);
+}
+
+Result<std::vector<MatchPair>> JaccardContainmentJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, const SetJoinOptions& opts, const JoinExecution& exec,
+    SimJoinStats* stats) {
+  std::unique_ptr<text::Tokenizer> tokenizer = MakeSetTokenizer(opts);
+  core::OverlapPredicate pred = core::OverlapPredicate::OneSidedNormalized(alpha);
+  // The reduction is exact (Example 3): no UDF rejection, similarity is the
+  // containment itself. Norms equal set weights, carried in the pair via a
+  // second lookup — we close over nothing but compute JC from the pair's
+  // overlap and the R norm at verify time.
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer prep_timer;
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
+                          PrepareStrings(r, s, *tokenizer, opts.weights));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  out.reserve(pairs.size());
+  for (const core::SSJoinPair& p : pairs) {
+    double wt_r = prep.r.set_weights[p.r];
+    double jc = wt_r > 0.0 ? p.overlap / wt_r : 1.0;
+    out.push_back({p.r, p.s, jc});
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+Result<std::vector<MatchPair>> JaccardResemblanceJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, const SetJoinOptions& opts, const JoinExecution& exec,
+    SimJoinStats* stats) {
+  std::unique_ptr<text::Tokenizer> tokenizer = MakeSetTokenizer(opts);
+  core::OverlapPredicate pred = core::OverlapPredicate::TwoSidedNormalized(alpha);
+  // JR needs both set weights; recover them inside the verifier from the
+  // prepared relations, so run the pipeline inline rather than via
+  // RunPipeline (which does not expose `prep`).
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer prep_timer;
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
+                          PrepareStrings(r, s, *tokenizer, opts.weights));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  for (const core::SSJoinPair& p : pairs) {
+    ++stats->verifier_calls;
+    double wt_union =
+        prep.r.set_weights[p.r] + prep.s.set_weights[p.s] - p.overlap;
+    double jr = wt_union > 0.0 ? p.overlap / wt_union : 1.0;
+    if (jr >= alpha - 1e-12) out.push_back({p.r, p.s, jr});
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+Result<std::vector<MatchPair>> CosineJoin(const std::vector<std::string>& r,
+                                          const std::vector<std::string>& s,
+                                          double alpha, const SetJoinOptions& opts,
+                                          const JoinExecution& exec,
+                                          SimJoinStats* stats) {
+  std::unique_ptr<text::Tokenizer> tokenizer = MakeSetTokenizer(opts);
+  // cos(r, s) = Overlap / sqrt(norm_r * norm_s) with idf^2 element weights.
+  // A matching pair satisfies norm_s >= alpha^2 * norm_r (and symmetrically),
+  // giving the conjuncts Overlap >= alpha^2 * norm on both sides.
+  core::OverlapPredicate pred =
+      core::OverlapPredicate::TwoSidedNormalized(alpha * alpha);
+  SimJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer prep_timer;
+  SSJOIN_ASSIGN_OR_RETURN(
+      Prepared prep, PrepareStrings(r, s, *tokenizer, WeightMode::kIdfSquared));
+  stats->phases.Add("Prep", prep_timer.ElapsedMillis());
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
+                          RunSSJoinStage(prep, pred, exec, stats));
+  Timer filter_timer;
+  std::vector<MatchPair> out;
+  for (const core::SSJoinPair& p : pairs) {
+    ++stats->verifier_calls;
+    double denom =
+        std::sqrt(prep.r.set_weights[p.r] * prep.s.set_weights[p.s]);
+    double cos = denom > 0.0 ? p.overlap / denom : 1.0;
+    if (cos >= alpha - 1e-12) out.push_back({p.r, p.s, cos});
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("Filter", filter_timer.ElapsedMillis());
+  return out;
+}
+
+Result<std::vector<MatchPair>> HammingJoin(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           size_t max_distance,
+                                           const JoinExecution& exec,
+                                           SimJoinStats* stats) {
+  PositionalTokenizer tokenizer;
+  // HD(r, s) = max(|r|, |s|) - Overlap of (position, char) sets, so
+  // HD <= d  <=>  Overlap >= max(norm_r, norm_s) - d. Exact reduction.
+  double c = -static_cast<double>(max_distance);
+  core::OverlapPredicate pred;
+  pred.And({c, 1.0, 0.0}).And({c, 0.0, 1.0});
+  VerifyFn verify = [&r, &s](const core::SSJoinPair& p) {
+    double hd = static_cast<double>(std::max(r[p.r].size(), s[p.s].size())) -
+                p.overlap;
+    return -hd;
+  };
+  return RunPipeline(r, s, tokenizer, WeightMode::kUnit, pred, verify, exec, stats);
+}
+
+Result<std::vector<MatchPair>> SoundexJoin(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           const JoinExecution& exec,
+                                           SimJoinStats* stats) {
+  SoundexTokenizer tokenizer;
+  core::OverlapPredicate pred = core::OverlapPredicate::Absolute(1.0);
+  VerifyFn verify = [](const core::SSJoinPair&) { return 1.0; };
+  return RunPipeline(r, s, tokenizer, WeightMode::kUnit, pred, verify, exec, stats);
+}
+
+}  // namespace ssjoin::simjoin

@@ -1,0 +1,111 @@
+#ifndef SSJOIN_SIMJOIN_STRING_JOINS_H_
+#define SSJOIN_SIMJOIN_STRING_JOINS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/prep.h"
+#include "simjoin/types.h"
+
+namespace ssjoin::simjoin {
+
+/// The similarity joins of Section 3, each following Figure 2's pipeline:
+/// Prep (string -> normalized set), an SSJoin invocation whose predicate
+/// guarantees a superset of the true result, and (where the reduction is not
+/// exact) a final UDF filter with the exact similarity function.
+///
+/// All joins return pairs (r-index, s-index) over the input vectors. For a
+/// self-join, pass the same vector twice and drop pairs with r >= s
+/// downstream if only unordered distinct pairs are wanted.
+
+/// \brief Edit-distance join (§3.1, Figure 3, after [9]): pairs with
+/// `ED(r, s) <= max_distance`. SSJoin predicate from Property 4:
+/// `Overlap(QGSet_q) >= max(norm_r, norm_s) - max_distance * q`
+/// (with norm = |str| - q + 1 = the q-gram count), verified with a banded
+/// edit-distance UDF. `similarity` in the output is -ED (larger = closer).
+///
+/// Exactness caveat (shared with the paper): the q-gram filter is a true
+/// filter only while its bound is >= 1, i.e. for strings of length
+/// >= max_distance * q + q. Shorter true matches sharing no q-gram are
+/// missed — the paper's experiments (and ours) use thresholds where the
+/// bound is positive.
+Result<std::vector<MatchPair>> EditDistanceJoin(const std::vector<std::string>& r,
+                                                const std::vector<std::string>& s,
+                                                size_t max_distance, size_t q,
+                                                const JoinExecution& exec = {},
+                                                SimJoinStats* stats = nullptr);
+
+/// \brief Edit-similarity join: pairs with `ES(r, s) >= alpha`
+/// (Definition 2). The per-pair edit budget `(1-alpha)*max(|r|,|s|)` is
+/// turned into the linear SSJoin conjuncts
+///   Overlap >= k*norm_r + c  AND  Overlap >= k*norm_s + c,
+/// with k = 1 - (1-alpha)*q and c = k*(q-1) - q + 1 (the Figure 3 predicate
+/// expressed over both norms; their conjunction equals the max form).
+/// Verified with the exact edit-similarity UDF.
+Result<std::vector<MatchPair>> EditSimilarityJoin(const std::vector<std::string>& r,
+                                                  const std::vector<std::string>& s,
+                                                  double alpha, size_t q,
+                                                  const JoinExecution& exec = {},
+                                                  SimJoinStats* stats = nullptr);
+
+/// Token/weight options shared by the set-based joins.
+struct SetJoinOptions {
+  /// If true, tokenize into words; otherwise into q-grams of size `q`.
+  bool word_tokens = true;
+  size_t q = 3;
+  WeightMode weights = WeightMode::kIdf;
+};
+
+/// \brief Jaccard-containment join (§3.2, Figure 4 left):
+/// pairs with `JC(r, s) = wt(r ∩ s)/wt(r) >= alpha`. The reduction to
+/// SSJoin (`Overlap >= alpha * R.norm`) is exact — no post-filter.
+Result<std::vector<MatchPair>> JaccardContainmentJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, const SetJoinOptions& opts = {}, const JoinExecution& exec = {},
+    SimJoinStats* stats = nullptr);
+
+/// \brief Jaccard-resemblance join (§3.2, Figure 4 right):
+/// pairs with `JR(r, s) = wt(r ∩ s)/wt(r ∪ s) >= alpha`. Uses the 2-sided
+/// containment SSJoin predicate (JR >= alpha implies both containments) and
+/// post-filters with the exact resemblance UDF.
+Result<std::vector<MatchPair>> JaccardResemblanceJoin(
+    const std::vector<std::string>& r, const std::vector<std::string>& s,
+    double alpha, const SetJoinOptions& opts = {}, const JoinExecution& exec = {},
+    SimJoinStats* stats = nullptr);
+
+/// \brief Cosine-similarity join (tf-idf, binary term vectors): pairs with
+/// `cos(r, s) >= alpha`. Element weights are idf^2 so that
+/// `cos = Overlap / sqrt(norm_r * norm_s)`; the SSJoin conjuncts
+/// `Overlap >= alpha^2 * norm` on both sides follow from
+/// `norm_s >= alpha^2 * norm_r` for any matching pair. Post-filtered with
+/// the exact cosine UDF.
+Result<std::vector<MatchPair>> CosineJoin(const std::vector<std::string>& r,
+                                          const std::vector<std::string>& s,
+                                          double alpha,
+                                          const SetJoinOptions& opts = {},
+                                          const JoinExecution& exec = {},
+                                          SimJoinStats* stats = nullptr);
+
+/// \brief Hamming-distance join: pairs with `HD(r, s) <= max_distance`,
+/// where positions beyond the shorter string count as mismatches. Sets are
+/// (position, character) pairs, so `HD = max(|r|,|s|) - Overlap` and the
+/// 2-sided SSJoin predicate `Overlap >= norm - max_distance` is exact.
+/// `similarity` is -HD.
+Result<std::vector<MatchPair>> HammingJoin(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           size_t max_distance,
+                                           const JoinExecution& exec = {},
+                                           SimJoinStats* stats = nullptr);
+
+/// \brief Soundex join: pairs whose Soundex codes are equal (the soundex
+/// notion of §1/§7). Sets are singleton {code}; `Overlap >= 1` is exact
+/// equality of codes. `similarity` is 1.
+Result<std::vector<MatchPair>> SoundexJoin(const std::vector<std::string>& r,
+                                           const std::vector<std::string>& s,
+                                           const JoinExecution& exec = {},
+                                           SimJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::simjoin
+
+#endif  // SSJOIN_SIMJOIN_STRING_JOINS_H_

@@ -1,0 +1,67 @@
+#include "text/dictionary.h"
+
+namespace ssjoin::text {
+
+namespace {
+
+/// Assigns within-document ordinals: the k-th occurrence of a token gets
+/// ordinal k-1.
+std::vector<std::pair<std::string_view, uint32_t>> AssignOrdinals(
+    const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string_view, uint32_t> counts;
+  std::vector<std::pair<std::string_view, uint32_t>> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    uint32_t& c = counts[t];
+    out.emplace_back(t, c);
+    ++c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TokenDictionary::MakeKey(std::string_view token, uint32_t ordinal) {
+  std::string key(token);
+  if (ordinal > 0) {
+    key.push_back('\x01');  // never appears in normalized input text
+    key += std::to_string(ordinal);
+  }
+  return key;
+}
+
+std::vector<TokenId> TokenDictionary::EncodeDocument(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& [token, ordinal] : AssignOrdinals(tokens)) {
+    std::string key = MakeKey(token, ordinal);
+    auto [it, inserted] = index_.try_emplace(key, static_cast<TokenId>(entries_.size()));
+    if (inserted) {
+      entries_.push_back(Entry{std::string(token), ordinal, 0});
+    }
+    ids.push_back(it->second);
+  }
+  // Each distinct element counts once toward document frequency. Ordinal
+  // assignment already guarantees distinctness within a document.
+  for (TokenId id : ids) ++entries_[id].doc_frequency;
+  ++num_documents_;
+  return ids;
+}
+
+std::vector<TokenId> TokenDictionary::EncodeDocumentReadOnly(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& [token, ordinal] : AssignOrdinals(tokens)) {
+    ids.push_back(Find(token, ordinal));
+  }
+  return ids;
+}
+
+TokenId TokenDictionary::Find(std::string_view token, uint32_t ordinal) const {
+  auto it = index_.find(MakeKey(token, ordinal));
+  return it == index_.end() ? kInvalidToken : it->second;
+}
+
+}  // namespace ssjoin::text

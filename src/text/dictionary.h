@@ -1,0 +1,84 @@
+#ifndef SSJOIN_TEXT_DICTIONARY_H_
+#define SSJOIN_TEXT_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ssjoin::text {
+
+/// Dense id of an interned (token, ordinal) element.
+using TokenId = uint32_t;
+
+/// Sentinel for "not interned".
+inline constexpr TokenId kInvalidToken = UINT32_MAX;
+
+/// \brief Interns (token, ordinal) elements and tracks document frequencies.
+///
+/// Implements the multiset-to-set conversion of §4.3.1: the k-th occurrence
+/// of token `t` inside one document becomes the pair (t, k), so multiset
+/// intersection of documents equals set intersection of their encodings.
+/// Document frequency `f_t` counts the number of encoded documents containing
+/// the element — the quantity the paper's IDF formula (§5) is based on.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+  TokenDictionary(TokenDictionary&&) = default;
+  TokenDictionary& operator=(TokenDictionary&&) = default;
+
+  /// Encodes a document's token multiset into element ids, assigning ordinals
+  /// to duplicate tokens, interning new elements, and bumping each distinct
+  /// element's document frequency once. Counts the document in
+  /// num_documents().
+  std::vector<TokenId> EncodeDocument(const std::vector<std::string>& tokens);
+
+  /// Like EncodeDocument, but never interns or counts: unknown elements map
+  /// to kInvalidToken. Use for lookups against a frozen dictionary.
+  std::vector<TokenId> EncodeDocumentReadOnly(
+      const std::vector<std::string>& tokens) const;
+
+  /// Id of (token, ordinal), or kInvalidToken.
+  TokenId Find(std::string_view token, uint32_t ordinal = 0) const;
+
+  /// The base token string of an element (without its ordinal).
+  const std::string& TokenOf(TokenId id) const {
+    SSJOIN_DCHECK(id < entries_.size());
+    return entries_[id].token;
+  }
+  /// The ordinal of an element (0 for first occurrence).
+  uint32_t OrdinalOf(TokenId id) const {
+    SSJOIN_DCHECK(id < entries_.size());
+    return entries_[id].ordinal;
+  }
+  /// Number of encoded documents containing this element.
+  uint64_t DocFrequency(TokenId id) const {
+    SSJOIN_DCHECK(id < entries_.size());
+    return entries_[id].doc_frequency;
+  }
+
+  size_t num_elements() const { return entries_.size(); }
+  uint64_t num_documents() const { return num_documents_; }
+
+ private:
+  struct Entry {
+    std::string token;
+    uint32_t ordinal;
+    uint64_t doc_frequency;
+  };
+
+  static std::string MakeKey(std::string_view token, uint32_t ordinal);
+
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<Entry> entries_;
+  uint64_t num_documents_ = 0;
+};
+
+}  // namespace ssjoin::text
+
+#endif  // SSJOIN_TEXT_DICTIONARY_H_

@@ -1,0 +1,58 @@
+#include "text/tokenizer.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ssjoin::text {
+
+QGramTokenizer::QGramTokenizer(size_t q, bool pad, char pad_char)
+    : q_(q), pad_(pad), pad_char_(pad_char) {
+  SSJOIN_CHECK(q >= 1);
+}
+
+std::vector<std::string> QGramTokenizer::Tokenize(std::string_view s) const {
+  std::vector<std::string> grams;
+  if (pad_) {
+    std::string padded;
+    padded.reserve(s.size() + 2 * (q_ - 1));
+    padded.append(q_ - 1, pad_char_);
+    padded.append(s);
+    padded.append(q_ - 1, pad_char_);
+    for (size_t i = 0; i + q_ <= padded.size(); ++i) {
+      grams.emplace_back(padded.substr(i, q_));
+    }
+    return grams;
+  }
+  if (s.empty()) return grams;
+  if (s.size() < q_) {
+    grams.emplace_back(s);
+    return grams;
+  }
+  grams.reserve(s.size() - q_ + 1);
+  for (size_t i = 0; i + q_ <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, q_));
+  }
+  return grams;
+}
+
+std::string QGramTokenizer::Describe() const {
+  return StringPrintf("qgram(q=%zu%s)", q_, pad_ ? ", padded" : "");
+}
+
+size_t QGramTokenizer::NumGrams(size_t len) const {
+  if (pad_) return len + q_ - 1;
+  if (len == 0) return 0;
+  if (len < q_) return 1;
+  return len - q_ + 1;
+}
+
+WordTokenizer::WordTokenizer(std::string delimiters)
+    : delimiters_(std::move(delimiters)) {}
+
+std::vector<std::string> WordTokenizer::Tokenize(std::string_view s) const {
+  return SplitAndDropEmpty(s, delimiters_);
+}
+
+std::string WordTokenizer::Describe() const { return "word"; }
+
+}  // namespace ssjoin::text

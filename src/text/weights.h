@@ -1,0 +1,69 @@
+#ifndef SSJOIN_TEXT_WEIGHTS_H_
+#define SSJOIN_TEXT_WEIGHTS_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "text/dictionary.h"
+
+namespace ssjoin::text {
+
+/// \brief Assigns a fixed positive weight to every element of the universe
+/// (Section 2: "each distinct value in U is associated with a unique weight").
+class WeightProvider {
+ public:
+  virtual ~WeightProvider() = default;
+
+  /// Weight of element `id`. Always positive.
+  virtual double Weight(TokenId id) const = 0;
+
+  /// Sum of weights of a set's elements (`wt(s)` in the paper).
+  double SetWeight(const std::vector<TokenId>& set) const {
+    double total = 0.0;
+    for (TokenId id : set) total += Weight(id);
+    return total;
+  }
+};
+
+/// \brief All weights are 1 (the unweighted case; `wt(s)` = |s|).
+class UnitWeights final : public WeightProvider {
+ public:
+  double Weight(TokenId) const override { return 1.0; }
+};
+
+/// \brief IDF weights exactly as in the paper's §5:
+/// `w(t) = log((|R| + |S|) / f_t)` where `f_t` is the number of R[A] and
+/// S[A] values containing `t`. Weights are materialized at construction, so
+/// the dictionary may be discarded or keep growing afterwards without
+/// affecting this provider.
+class IdfWeights final : public WeightProvider {
+ public:
+  /// Snapshot IDF weights from a dictionary over the joined corpora.
+  /// Elements with f_t = num_documents get a small positive floor weight so
+  /// that every weight is positive (the paper assumes positive weights).
+  explicit IdfWeights(const TokenDictionary& dict) {
+    const double n = static_cast<double>(dict.num_documents());
+    weights_.resize(dict.num_elements());
+    for (TokenId id = 0; id < weights_.size(); ++id) {
+      double idf = std::log(n / static_cast<double>(dict.DocFrequency(id)));
+      weights_[id] = idf > kMinWeight ? idf : kMinWeight;
+    }
+  }
+
+  double Weight(TokenId id) const override {
+    SSJOIN_DCHECK(id < weights_.size());
+    return weights_[id];
+  }
+
+  size_t size() const { return weights_.size(); }
+
+ private:
+  static constexpr double kMinWeight = 1e-6;
+
+  std::vector<double> weights_;
+};
+
+}  // namespace ssjoin::text
+
+#endif  // SSJOIN_TEXT_WEIGHTS_H_

@@ -1,0 +1,90 @@
+/// End-to-end test of the ssjoin_cli tool: writes CSV inputs, invokes the
+/// binary (path injected by CMake as SSJOIN_CLI_PATH), and checks the
+/// output CSV. Exercises argument validation as well.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "engine/csv.h"
+
+#ifndef SSJOIN_CLI_PATH
+#error "SSJOIN_CLI_PATH must be defined by the build"
+#endif
+
+namespace ssjoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.good());
+  out << content;
+}
+
+int RunCli(const std::string& args) {
+  std::string cmd = std::string(SSJOIN_CLI_PATH) + " " + args + " 2>/dev/null";
+  int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliTest, EditJoinEndToEnd) {
+  std::string in = TempPath("cli_orgs.csv");
+  std::string out = TempPath("cli_matches.csv");
+  WriteFile(in,
+            "name\n"
+            "Microsoft Corp\n"
+            "Mcrosoft Corp\n"
+            "Oracle Corporation\n"
+            "Apple Inc\n");
+  int rc = RunCli("join --left " + in + " --left-col name --sim edit "
+                  "--threshold 0.8 --out " + out);
+  ASSERT_EQ(rc, 0);
+  auto table = *engine::ReadCsvFile(out);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.GetValue(2, 0).string(), "Microsoft Corp");
+  EXPECT_EQ(table.GetValue(3, 0).string(), "Mcrosoft Corp");
+  EXPECT_GE(table.GetValue(4, 0).float64(), 0.8);
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, TwoTableJaccardJoin) {
+  std::string left = TempPath("cli_left.csv");
+  std::string right = TempPath("cli_right.csv");
+  std::string out = TempPath("cli_out2.csv");
+  WriteFile(left, "org\nInternational Business Machines\nOracle Corp\n");
+  WriteFile(right,
+            "company\nInternational Business Machines Corp\nApple Inc\n");
+  int rc = RunCli("join --left " + left + " --left-col org --right " + right +
+                  " --right-col company --sim jaccard --threshold 0.5 --out " + out);
+  ASSERT_EQ(rc, 0);
+  auto table = *engine::ReadCsvFile(out);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.GetValue(0, 0).int64(), 0);
+  EXPECT_EQ(table.GetValue(1, 0).int64(), 0);
+  std::remove(left.c_str());
+  std::remove(right.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CliTest, UsageAndErrorPaths) {
+  EXPECT_NE(RunCli(""), 0);                       // no command
+  EXPECT_NE(RunCli("join"), 0);                   // missing flags
+  EXPECT_NE(RunCli("join --left /nope.csv --left-col x"), 0);  // bad file
+  std::string in = TempPath("cli_err.csv");
+  WriteFile(in, "name\nfoo\n");
+  EXPECT_NE(RunCli("join --left " + in + " --left-col missing"), 0);
+  EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim bogus"), 0);
+  EXPECT_NE(RunCli("join --left " + in + " --left-col name --algorithm bogus"), 0);
+  std::remove(in.c_str());
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace ssjoin {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad threshold");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad threshold");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad threshold");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::KeyError("missing");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kKeyError);
+  EXPECT_EQ(copy.message(), "missing");
+  Status assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.message(), "missing");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::IndexError("x").code(), StatusCode::kIndexError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternalError);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Invalid("inner"); };
+  auto outer = [&]() -> Status {
+    SSJOIN_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().message(), "inner");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Invalid("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("hello");
+    return Status::Invalid("denied");
+  };
+  auto chain = [&](bool ok) -> Result<size_t> {
+    SSJOIN_ASSIGN_OR_RETURN(std::string s, make(ok));
+    return s.size();
+  };
+  EXPECT_EQ(*chain(true), 5u);
+  EXPECT_FALSE(chain(false).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(ZipfTest, SkewPrefersLowRanks) {
+  ZipfTable table(100, 1.0);
+  Rng rng(21);
+  size_t low = 0;
+  const size_t kDraws = 10000;
+  for (size_t i = 0; i < kDraws; ++i) {
+    if (table.Sample(&rng) < 10) ++low;
+  }
+  // With s=1 the first 10 of 100 ranks carry ~56% of the mass.
+  EXPECT_GT(low, kDraws / 3);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  ZipfTable table(10, 0.0);
+  Rng rng(22);
+  std::vector<size_t> counts(10, 0);
+  for (size_t i = 0; i < 10000; ++i) ++counts[table.Sample(&rng)];
+  for (size_t c : counts) {
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("MiXeD 123 Case!"), "mixed 123 case!");
+}
+
+TEST(StringUtilTest, TrimAscii) {
+  EXPECT_EQ(TrimAscii("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimAscii(""), "");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringUtilTest, CollapseWhitespace) {
+  EXPECT_EQ(CollapseWhitespace("  Microsoft   Corp "), "Microsoft Corp");
+  EXPECT_EQ(CollapseWhitespace("a\t\tb\nc"), "a b c");
+}
+
+TEST(StringUtilTest, SplitAndDropEmpty) {
+  std::vector<std::string> expected{"a", "b", "c"};
+  EXPECT_EQ(SplitAndDropEmpty("a,,b, c", ", "), expected);
+  EXPECT_TRUE(SplitAndDropEmpty("", ",").empty());
+  EXPECT_TRUE(SplitAndDropEmpty(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%05d", 42), "00042");
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should change many output bits.
+  uint64_t h1 = Mix64(0x1234);
+  uint64_t h2 = Mix64(0x1235);
+  EXPECT_NE(h1, h2);
+  EXPECT_GT(__builtin_popcountll(h1 ^ h2), 10);
+}
+
+TEST(HashTest, HashStringDiffers) {
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+}
+
+TEST(PhaseTimerTest, AccumulatesAndOrders) {
+  PhaseTimer t;
+  t.Add("Prep", 1.0);
+  t.Add("SSJoin", 2.0);
+  t.Add("Prep", 0.5);
+  EXPECT_DOUBLE_EQ(t.Millis("Prep"), 1.5);
+  EXPECT_DOUBLE_EQ(t.Millis("SSJoin"), 2.0);
+  EXPECT_DOUBLE_EQ(t.Millis("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.TotalMillis(), 3.5);
+  ASSERT_EQ(t.phases().size(), 2u);
+  EXPECT_EQ(t.phases()[0].first, "Prep");
+}
+
+TEST(PhaseTimerTest, MergeCombines) {
+  PhaseTimer a;
+  a.Add("X", 1.0);
+  PhaseTimer b;
+  b.Add("X", 2.0);
+  b.Add("Y", 3.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Millis("X"), 3.0);
+  EXPECT_DOUBLE_EQ(a.Millis("Y"), 3.0);
+}
+
+TEST(PhaseTimerTest, MeasureRecordsElapsed) {
+  PhaseTimer t;
+  int result = t.Measure("work", [] { return 5; });
+  EXPECT_EQ(result, 5);
+  EXPECT_GE(t.Millis("work"), 0.0);
+  ASSERT_EQ(t.phases().size(), 1u);
+}
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer t;
+  double a = t.ElapsedMillis();
+  double b = t.ElapsedMillis();
+  EXPECT_GE(b, a);
+  t.Reset();
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssjoin

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "datagen/contact_gen.h"
+#include "datagen/publication_gen.h"
+#include "simjoin/cooccurrence.h"
+
+namespace ssjoin::simjoin {
+namespace {
+
+TEST(CooccurrenceJoinTest, StateCityIntroExample) {
+  // The introduction's example: ('washington','wa') and ('wisconsin','wi')
+  // pair up because their city sets overlap heavily.
+  std::vector<std::pair<std::string, std::string>> r = {
+      {"washington", "seattle"},  {"washington", "redmond"},
+      {"washington", "spokane"},  {"wisconsin", "madison"},
+      {"wisconsin", "milwaukee"}, {"wisconsin", "green bay"}};
+  std::vector<std::pair<std::string, std::string>> s = {
+      {"wa", "seattle"},  {"wa", "redmond"},   {"wa", "spokane"},
+      {"wi", "madison"},  {"wi", "milwaukee"}, {"wi", "green bay"},
+      {"tx", "austin"},   {"tx", "houston"}};
+  auto result = *CooccurrenceJoin(r, s, 0.8, JaccardVariant::kContainment,
+                                  WeightMode::kUnit);
+  std::set<std::pair<std::string, std::string>> found;
+  for (const MatchPair& m : result.matches) {
+    found.insert({result.r_entities[m.r], result.s_entities[m.s]});
+  }
+  EXPECT_TRUE(found.count({"washington", "wa"}));
+  EXPECT_TRUE(found.count({"wisconsin", "wi"}));
+  EXPECT_FALSE(found.count({"washington", "wi"}));
+  EXPECT_FALSE(found.count({"washington", "tx"}));
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(CooccurrenceJoinTest, RecoversAuthorsAcrossSources) {
+  // Example 5: same authors, different naming conventions; paper-title
+  // co-occurrence identifies them.
+  datagen::PublicationGenOptions opts;
+  opts.num_authors = 120;
+  opts.coverage_noise = 0.2;
+  datagen::PublicationDataset data = datagen::GeneratePublications(opts);
+  SimJoinStats stats;
+  auto result = *CooccurrenceJoin(data.source1_rows, data.source2_rows, 0.55,
+                                  JaccardVariant::kContainment, WeightMode::kIdf,
+                                  {}, &stats);
+  // Map entity names back to canonical author indices.
+  std::unordered_map<std::string, size_t> s1_index;
+  for (size_t i = 0; i < data.source1_names.size(); ++i) {
+    s1_index[data.source1_names[i]] = i;
+  }
+  std::unordered_map<std::string, size_t> s2_index;
+  for (size_t i = 0; i < data.source2_names.size(); ++i) {
+    s2_index[data.source2_names[i]] = i;
+  }
+  size_t correct = 0;
+  size_t wrong = 0;
+  for (const MatchPair& m : result.matches) {
+    size_t a1 = s1_index.at(result.r_entities[m.r]);
+    size_t a2 = s2_index.at(result.s_entities[m.s]);
+    if (a1 == a2) {
+      ++correct;
+    } else {
+      ++wrong;
+    }
+  }
+  // High recall of the ground-truth identity pairs, few false pairs.
+  EXPECT_GT(correct, opts.num_authors * 9 / 10);
+  EXPECT_LT(wrong, opts.num_authors / 10);
+}
+
+TEST(CooccurrenceJoinTest, ResemblanceIsStricterThanContainment) {
+  std::vector<std::pair<std::string, std::string>> r = {
+      {"a", "x"}, {"a", "y"}, {"b", "x"}, {"b", "y"}, {"b", "z"}, {"b", "w"}};
+  // a's items {x,y} fully contained in b's {x,y,z,w}, resemblance only 0.5.
+  auto contain = *CooccurrenceJoin(r, r, 0.9, JaccardVariant::kContainment,
+                                   WeightMode::kUnit);
+  auto resemble = *CooccurrenceJoin(r, r, 0.9, JaccardVariant::kResemblance,
+                                    WeightMode::kUnit);
+  auto has = [](const EntityJoinResult& res, const std::string& a,
+                const std::string& b) {
+    for (const MatchPair& m : res.matches) {
+      if (res.r_entities[m.r] == a && res.s_entities[m.s] == b) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(contain, "a", "b"));
+  EXPECT_FALSE(has(resemble, "a", "b"));
+  EXPECT_TRUE(has(resemble, "a", "a"));
+}
+
+TEST(FDAgreementJoinTest, Example6KOfH) {
+  // Example 6: join author records when at least 2 of {address, email,
+  // phone} agree.
+  std::vector<std::vector<std::string>> rows = {
+      {"12 Oak St", "a@x.com", "555-0101"},
+      {"12 Oak St", "a@x.com", "555-9999"},  // agrees with 0 on 2 attrs
+      {"99 Elm Rd", "a@x.com", "555-0101"},  // agrees with 0 on 2 attrs
+      {"99 Elm Rd", "b@y.com", "555-7777"},  // agrees with 0 on 0, with 2 on 1
+  };
+  auto matches = *FDAgreementJoin(rows, rows, 2);
+  std::set<std::pair<uint32_t, uint32_t>> pairs;
+  for (const MatchPair& m : matches) pairs.insert({m.r, m.s});
+  EXPECT_TRUE(pairs.count({0, 1}));
+  EXPECT_TRUE(pairs.count({0, 2}));
+  EXPECT_FALSE(pairs.count({0, 3}));
+  EXPECT_FALSE(pairs.count({1, 2}));  // only email agrees
+  for (uint32_t i = 0; i < rows.size(); ++i) EXPECT_TRUE(pairs.count({i, i}));
+  // Similarity reports the agreement count.
+  for (const MatchPair& m : matches) {
+    if (m.r == 0 && m.s == 1) {
+      EXPECT_DOUBLE_EQ(m.similarity, 2.0);
+    }
+    if (m.r == 0 && m.s == 0) {
+      EXPECT_DOUBLE_EQ(m.similarity, 3.0);
+    }
+  }
+}
+
+TEST(FDAgreementJoinTest, FindsGeneratedDuplicates) {
+  datagen::ContactGenOptions opts;
+  opts.num_records = 500;
+  opts.max_perturbed_attrs = 1;  // duplicates agree on >= 2 of 3
+  datagen::ContactDataset data = datagen::GenerateContacts(opts);
+  auto matches = *FDAgreementJoin(data.aep_rows, data.aep_rows, 2);
+  std::set<std::pair<uint32_t, uint32_t>> pairs;
+  for (const MatchPair& m : matches) pairs.insert({m.r, m.s});
+  for (uint32_t i = 0; i < data.aep_rows.size(); ++i) {
+    if (data.duplicate_of[i] >= 0) {
+      uint32_t src = static_cast<uint32_t>(data.duplicate_of[i]);
+      EXPECT_TRUE(pairs.count({i, src})) << "duplicate " << i;
+    }
+  }
+}
+
+TEST(FDAgreementJoinTest, RejectsBadArguments) {
+  std::vector<std::vector<std::string>> rows = {{"a", "b"}};
+  EXPECT_FALSE(FDAgreementJoin(rows, rows, 0).ok());
+  EXPECT_FALSE(FDAgreementJoin(rows, rows, 3).ok());
+  std::vector<std::vector<std::string>> ragged = {{"a", "b"}, {"c"}};
+  EXPECT_FALSE(FDAgreementJoin(ragged, ragged, 1).ok());
+}
+
+TEST(CooccurrenceJoinTest, EmptyInputs) {
+  std::vector<std::pair<std::string, std::string>> empty;
+  auto result = *CooccurrenceJoin(empty, empty, 0.5);
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_TRUE(result.r_entities.empty());
+}
+
+}  // namespace
+}  // namespace ssjoin::simjoin

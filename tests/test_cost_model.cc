@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost_model.h"
+
+namespace ssjoin::core {
+namespace {
+
+struct Fixture {
+  WeightVector weights;
+  ElementOrder order;
+  SetsRelation rel;
+
+  SSJoinContext Context() const { return {&weights, &order}; }
+};
+
+/// A skewed self-join workload: a few very frequent elements plus a long
+/// tail, the regime where the prefix filter pays off.
+Fixture SkewedFixture(uint64_t seed, size_t groups) {
+  Rng rng(seed);
+  Fixture f;
+  const size_t kUniverse = 200;
+  f.weights.resize(kUniverse);
+  for (size_t e = 0; e < kUniverse; ++e) {
+    // Element e's frequency will be ~Zipf; give it an IDF-like weight.
+    f.weights[e] = 0.1 + 3.0 * static_cast<double>(e) / kUniverse;
+  }
+  f.order = ElementOrder::ByDecreasingWeight(f.weights);
+  ZipfTable zipf(kUniverse, 1.0);
+  std::vector<std::vector<text::TokenId>> docs(groups);
+  for (auto& doc : docs) {
+    size_t size = 4 + rng.Uniform(8);
+    for (size_t i = 0; i < size; ++i) {
+      doc.push_back(static_cast<text::TokenId>(zipf.Sample(&rng)));
+    }
+  }
+  f.rel = *BuildSetsRelation(std::move(docs), f.weights);
+  return f;
+}
+
+TEST(CostModelTest, BasicJoinRowsIsExact) {
+  WeightVector weights{1.0, 1.0, 1.0};
+  ElementOrder order = ElementOrder::ById(3);
+  SetsRelation r = *BuildSetsRelation({{0, 1}, {0}}, weights);
+  SetsRelation s = *BuildSetsRelation({{0}, {0, 2}}, weights);
+  SSJoinContext ctx{&weights, &order};
+  CostEstimate est = EstimateCosts(r, s, OverlapPredicate::Absolute(1.0), ctx);
+  // Element 0: fR=2, fS=2 -> 4 rows; element 1: fS=0; element 2: fR=0.
+  EXPECT_EQ(est.basic_join_rows, 4u);
+}
+
+TEST(CostModelTest, PrefixRowsShrinkWithThreshold) {
+  Fixture f = SkewedFixture(3, 300);
+  SSJoinContext ctx = f.Context();
+  CostEstimate loose =
+      EstimateCosts(f.rel, f.rel, OverlapPredicate::TwoSidedNormalized(0.5), ctx);
+  CostEstimate tight =
+      EstimateCosts(f.rel, f.rel, OverlapPredicate::TwoSidedNormalized(0.95), ctx);
+  EXPECT_LE(tight.prefix_join_rows, loose.prefix_join_rows);
+  EXPECT_EQ(tight.basic_join_rows, loose.basic_join_rows);
+  EXPECT_LT(tight.prefix_join_rows, tight.basic_join_rows);
+}
+
+TEST(CostModelTest, HighThresholdChoosesPrefixFilter) {
+  Fixture f = SkewedFixture(7, 500);
+  SSJoinContext ctx = f.Context();
+  SSJoinAlgorithm chosen =
+      ChooseAlgorithm(f.rel, f.rel, OverlapPredicate::TwoSidedNormalized(0.95), ctx);
+  EXPECT_EQ(chosen, SSJoinAlgorithm::kPrefixFilterInline);
+}
+
+TEST(CostModelTest, VacuousPredicateChoosesBasic) {
+  // With required overlap ~0 the prefixes are the whole sets: the prefix
+  // plan does strictly more work, so the model must pick basic.
+  Fixture f = SkewedFixture(9, 200);
+  SSJoinContext ctx = f.Context();
+  OverlapPredicate trivial;  // required overlap 0 everywhere
+  CostEstimate est = EstimateCosts(f.rel, f.rel, trivial, ctx);
+  EXPECT_EQ(est.prefix_join_rows, est.basic_join_rows);
+  EXPECT_EQ(est.chosen, SSJoinAlgorithm::kBasic);
+}
+
+TEST(CostModelTest, EstimatesAreInternallyConsistent) {
+  Fixture f = SkewedFixture(11, 250);
+  SSJoinContext ctx = f.Context();
+  CostEstimate est =
+      EstimateCosts(f.rel, f.rel, OverlapPredicate::TwoSidedNormalized(0.8), ctx);
+  EXPECT_GT(est.basic_cost, 0.0);
+  EXPECT_GT(est.prefix_cost, 0.0);
+  SSJoinAlgorithm expected =
+      (est.prefix_join_rows * 10 >= est.basic_join_rows * 9 ||
+       est.basic_cost <= est.prefix_cost)
+          ? SSJoinAlgorithm::kBasic
+          : SSJoinAlgorithm::kPrefixFilterInline;
+  EXPECT_EQ(est.chosen, expected);
+  std::string s = est.ToString();
+  EXPECT_NE(s.find("chosen="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssjoin::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "engine/csv.h"
+
+namespace ssjoin::engine {
+namespace {
+
+TEST(CsvParseTest, BasicWithHeaderAndInference) {
+  auto table = *ParseCsv("id,name,score\n1,alice,0.5\n2,bob,1.5\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(table.schema().field(1).type, DataType::kString);
+  EXPECT_EQ(table.schema().field(2).type, DataType::kFloat64);
+  EXPECT_EQ(table.GetValue(1, 1).string(), "bob");
+  EXPECT_DOUBLE_EQ(table.GetValue(2, 0).float64(), 0.5);
+}
+
+TEST(CsvParseTest, NoHeader) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto table = *ParseCsv("1,x\n2,y\n", options);
+  EXPECT_EQ(table.schema().field(0).name, "c0");
+  EXPECT_EQ(table.schema().field(1).name, "c1");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(CsvParseTest, NoInference) {
+  CsvReadOptions options;
+  options.infer_types = false;
+  auto table = *ParseCsv("a\n42\n", options);
+  EXPECT_EQ(table.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(table.GetValue(0, 0).string(), "42");
+}
+
+TEST(CsvParseTest, QuotedFields) {
+  auto table = *ParseCsv(
+      "name,notes\n"
+      "\"Smith, John\",\"said \"\"hi\"\"\"\n"
+      "plain,\"multi\nline\"\n");
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.GetValue(0, 0).string(), "Smith, John");
+  EXPECT_EQ(table.GetValue(1, 0).string(), "said \"hi\"");
+  EXPECT_EQ(table.GetValue(1, 1).string(), "multi\nline");
+}
+
+TEST(CsvParseTest, CrlfAndMissingFinalNewline) {
+  auto table = *ParseCsv("a,b\r\n1,2\r\n3,4");
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.GetValue(1, 1).int64(), 4);
+}
+
+TEST(CsvParseTest, MixedNumericFallsBackToString) {
+  auto table = *ParseCsv("v\n1\nx\n");
+  EXPECT_EQ(table.schema().field(0).type, DataType::kString);
+}
+
+TEST(CsvParseTest, IntThenFloatBecomesFloat) {
+  auto table = *ParseCsv("v\n1\n2.5\n");
+  EXPECT_EQ(table.schema().field(0).type, DataType::kFloat64);
+  EXPECT_DOUBLE_EQ(table.GetValue(0, 0).float64(), 1.0);
+}
+
+TEST(CsvParseTest, EmptyCellsKeepNumericColumns) {
+  auto table = *ParseCsv("v\n1\n\n3\n");
+  EXPECT_EQ(table.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(table.GetValue(0, 1).int64(), 0);  // empty -> 0
+}
+
+TEST(CsvParseTest, RaggedRowRejected) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvParseTest, QuoteInsideUnquotedFieldRejected) {
+  EXPECT_FALSE(ParseCsv("a\nfo\"o\n").ok());
+}
+
+TEST(CsvParseTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto table = *ParseCsv("a;b\n1;hello, world\n", options);
+  EXPECT_EQ(table.GetValue(1, 0).string(), "hello, world");
+}
+
+TEST(CsvParseTest, EmptyInput) {
+  auto table = *ParseCsv("");
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.num_columns(), 0u);
+}
+
+TEST(CsvRoundTripTest, ToCsvAndBack) {
+  Schema schema({{"id", DataType::kInt64},
+                 {"text", DataType::kString},
+                 {"w", DataType::kFloat64}});
+  auto original = *Table::FromRows(
+      schema, {{1, "plain", 0.5},
+               {2, "has,comma", 1.5},
+               {3, "has\"quote", 2.5},
+               {4, "multi\nline", 3.5}});
+  auto parsed = *ParseCsv(ToCsv(original));
+  EXPECT_TRUE(parsed.ContentEquals(original));
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kString}});
+  auto table = *Table::FromRows(schema, {{7, "seven"}, {8, "eight"}});
+  std::string path = ::testing::TempDir() + "/ssjoin_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto loaded = *ReadCsvFile(path);
+  EXPECT_TRUE(loaded.ContentEquals(table));
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ssjoin::engine

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/address_gen.h"
+#include "datagen/contact_gen.h"
+#include "datagen/error_model.h"
+#include "datagen/publication_gen.h"
+#include "datagen/wordlists.h"
+#include "sim/edit_distance.h"
+
+namespace ssjoin::datagen {
+namespace {
+
+TEST(WordlistsTest, PoolsAreNonEmptyAndAligned) {
+  EXPECT_GT(FirstNames().size(), 50u);
+  EXPECT_EQ(StreetTypes().size(), StreetTypesLong().size());
+  EXPECT_EQ(StateCodes().size(), 50u);
+  EXPECT_FALSE(Directions().empty());
+  EXPECT_FALSE(UnitTypes().empty());
+}
+
+TEST(WordlistsTest, ProperNounsAreDistinctAndDeterministic) {
+  auto a = GenerateProperNouns(500, 9);
+  auto b = GenerateProperNouns(500, 9);
+  EXPECT_EQ(a, b);
+  std::set<std::string> distinct(a.begin(), a.end());
+  EXPECT_EQ(distinct.size(), 500u);
+  for (const auto& w : a) {
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_TRUE(w[0] >= 'A' && w[0] <= 'Z');
+  }
+  auto c = GenerateProperNouns(50, 10);
+  EXPECT_NE(a[0], c[0]);
+}
+
+TEST(ZipfPoolTest, SkewConcentratesOnHead) {
+  ZipfPool pool(GenerateProperNouns(100, 1), 1.2);
+  Rng rng(2);
+  size_t head_hits = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string& w = pool.Sample(&rng);
+    if (w == pool.words()[0] || w == pool.words()[1] || w == pool.words()[2]) {
+      ++head_hits;
+    }
+  }
+  EXPECT_GT(head_hits, 1000u);  // top-3 of 100 get a large share
+}
+
+TEST(ErrorModelTest, CharEditChangesString) {
+  Rng rng(5);
+  int changed = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::string s = "reference string";
+    std::string edited = ApplyCharEdit(s, &rng);
+    // One edit operation moves edit distance by at most 2 (transpose).
+    EXPECT_LE(sim::EditDistance(s, edited), 2u);
+    if (edited != s) ++changed;
+  }
+  EXPECT_GT(changed, 80);  // substitutions may rarely no-op
+}
+
+TEST(ErrorModelTest, EmptyStringGetsInsert) {
+  Rng rng(6);
+  EXPECT_EQ(ApplyCharEdit("", &rng).size(), 1u);
+}
+
+TEST(ErrorModelTest, CorruptRecordStaysSimilar) {
+  Rng rng(7);
+  ErrorModelOptions opts;  // defaults
+  std::string original = "James Thorveen 4821 NE Shauner Ave Redmond WA 98052";
+  for (int i = 0; i < 50; ++i) {
+    std::string corrupted = CorruptRecord(original, {{"Ave", "Avenue"}}, opts, &rng);
+    EXPECT_FALSE(corrupted.empty());
+    // Bounded damage: still recognizably the same record.
+    EXPECT_LE(sim::EditDistance(original, corrupted), original.size() / 2);
+  }
+}
+
+TEST(AddressGenTest, DeterministicAndSized) {
+  AddressGenOptions opts;
+  opts.num_records = 300;
+  opts.seed = 123;
+  AddressDataset a = GenerateAddresses(opts);
+  AddressDataset b = GenerateAddresses(opts);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_EQ(a.records.size(), 300u);
+  EXPECT_EQ(a.duplicate_of.size(), 300u);
+  opts.seed = 124;
+  AddressDataset c = GenerateAddresses(opts);
+  EXPECT_NE(a.records, c.records);
+}
+
+TEST(AddressGenTest, DuplicateFractionRoughlyRespected) {
+  AddressGenOptions opts;
+  opts.num_records = 2000;
+  opts.duplicate_fraction = 0.3;
+  AddressDataset data = GenerateAddresses(opts);
+  double fraction =
+      static_cast<double>(data.num_duplicates()) / data.records.size();
+  EXPECT_GT(fraction, 0.24);
+  EXPECT_LT(fraction, 0.36);
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    if (data.duplicate_of[i] >= 0) {
+      EXPECT_LT(data.duplicate_of[i], static_cast<int64_t>(i));
+    }
+  }
+}
+
+TEST(AddressGenTest, DuplicatesResembleSources) {
+  AddressGenOptions opts;
+  opts.num_records = 500;
+  AddressDataset data = GenerateAddresses(opts);
+  size_t close = 0;
+  size_t dups = 0;
+  for (size_t i = 0; i < data.records.size(); ++i) {
+    if (data.duplicate_of[i] < 0) continue;
+    ++dups;
+    const std::string& src = data.records[data.duplicate_of[i]];
+    if (sim::EditSimilarity(src, data.records[i]) > 0.7) ++close;
+  }
+  ASSERT_GT(dups, 0u);
+  // Most duplicates stay textually close (abbreviations can move a few far).
+  EXPECT_GT(static_cast<double>(close) / dups, 0.7);
+}
+
+TEST(AddressGenTest, RecordsLookLikeAddresses) {
+  AddressGenOptions opts;
+  opts.num_records = 100;
+  opts.duplicate_fraction = 0.0;
+  AddressDataset data = GenerateAddresses(opts);
+  for (const std::string& r : data.records) {
+    EXPECT_GE(r.size(), 15u) << r;
+    // Ends with a 5-digit zip.
+    ASSERT_GE(r.size(), 5u);
+    for (size_t i = r.size() - 5; i < r.size(); ++i) {
+      EXPECT_TRUE(r[i] >= '0' && r[i] <= '9') << r;
+    }
+  }
+}
+
+TEST(AddressGenTest, FrequentStreetTypeTokens) {
+  // The generator must reproduce the frequent-token skew ("St", "Ave") the
+  // paper's §4.1 blames for the equi-join blowup.
+  AddressGenOptions opts;
+  opts.num_records = 1000;
+  opts.duplicate_fraction = 0.0;
+  AddressDataset data = GenerateAddresses(opts);
+  size_t with_type = 0;
+  for (const std::string& r : data.records) {
+    for (const std::string& t : StreetTypes()) {
+      if (r.find(' ' + t + ' ') != std::string::npos) {
+        ++with_type;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(with_type, 900u);
+}
+
+TEST(PublicationGenTest, GroundTruthParallelArrays) {
+  PublicationGenOptions opts;
+  opts.num_authors = 50;
+  PublicationDataset data = GeneratePublications(opts);
+  EXPECT_EQ(data.source1_names.size(), 50u);
+  EXPECT_EQ(data.source2_names.size(), 50u);
+  EXPECT_GE(data.source1_rows.size(), 50u * opts.min_papers_per_author / 2);
+  // Naming conventions differ between the sources.
+  EXPECT_NE(data.source1_names[0], data.source2_names[0]);
+  EXPECT_NE(data.source2_names[0].find(','), std::string::npos);
+}
+
+TEST(PublicationGenTest, Deterministic) {
+  PublicationGenOptions opts;
+  opts.num_authors = 30;
+  PublicationDataset a = GeneratePublications(opts);
+  PublicationDataset b = GeneratePublications(opts);
+  EXPECT_EQ(a.source1_rows, b.source1_rows);
+  EXPECT_EQ(a.source2_rows, b.source2_rows);
+}
+
+TEST(ContactGenTest, RowsHaveThreeAttributes) {
+  ContactGenOptions opts;
+  opts.num_records = 200;
+  ContactDataset data = GenerateContacts(opts);
+  EXPECT_EQ(data.aep_rows.size(), 200u);
+  EXPECT_EQ(data.names.size(), 200u);
+  for (const auto& row : data.aep_rows) {
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_NE(row[1].find('@'), std::string::npos);  // email
+    EXPECT_NE(row[2].find('-'), std::string::npos);  // phone
+  }
+}
+
+TEST(ContactGenTest, DuplicatesAgreeOnMostAttributes) {
+  ContactGenOptions opts;
+  opts.num_records = 500;
+  opts.max_perturbed_attrs = 1;
+  ContactDataset data = GenerateContacts(opts);
+  size_t dups = 0;
+  for (size_t i = 0; i < data.aep_rows.size(); ++i) {
+    if (data.duplicate_of[i] < 0) continue;
+    ++dups;
+    const auto& src = data.aep_rows[data.duplicate_of[i]];
+    size_t agree = 0;
+    for (size_t c = 0; c < 3; ++c) agree += (src[c] == data.aep_rows[i][c]);
+    EXPECT_GE(agree, 2u);
+    EXPECT_EQ(data.names[i], data.names[data.duplicate_of[i]]);
+  }
+  EXPECT_GT(dups, 50u);
+}
+
+}  // namespace
+}  // namespace ssjoin::datagen

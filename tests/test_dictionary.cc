@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/dictionary.h"
+
+namespace ssjoin::text {
+namespace {
+
+TEST(DictionaryTest, InternsAndFinds) {
+  TokenDictionary dict;
+  auto ids = dict.EncodeDocument({"foo", "bar"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_EQ(dict.Find("foo"), ids[0]);
+  EXPECT_EQ(dict.Find("bar"), ids[1]);
+  EXPECT_EQ(dict.Find("baz"), kInvalidToken);
+  EXPECT_EQ(dict.num_elements(), 2u);
+  EXPECT_EQ(dict.num_documents(), 1u);
+}
+
+TEST(DictionaryTest, OrdinalsDistinguishDuplicates) {
+  TokenDictionary dict;
+  auto ids = dict.EncodeDocument({"a", "a", "a", "b"});
+  ASSERT_EQ(ids.size(), 4u);
+  // The three "a" occurrences become distinct elements (§4.3.1's multi-set
+  // to set conversion: {1,1,2} -> {<1,1>,<1,2>,<2,1>}).
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(ids[1], ids[2]);
+  EXPECT_EQ(dict.TokenOf(ids[0]), "a");
+  EXPECT_EQ(dict.TokenOf(ids[1]), "a");
+  EXPECT_EQ(dict.OrdinalOf(ids[0]), 0u);
+  EXPECT_EQ(dict.OrdinalOf(ids[1]), 1u);
+  EXPECT_EQ(dict.OrdinalOf(ids[2]), 2u);
+  EXPECT_EQ(dict.Find("a", 2), ids[2]);
+}
+
+TEST(DictionaryTest, SharedTokensAcrossDocumentsReuseIds) {
+  TokenDictionary dict;
+  auto d1 = dict.EncodeDocument({"x", "y"});
+  auto d2 = dict.EncodeDocument({"y", "z"});
+  EXPECT_EQ(d1[1], d2[0]);
+  EXPECT_EQ(dict.num_elements(), 3u);
+  EXPECT_EQ(dict.num_documents(), 2u);
+}
+
+TEST(DictionaryTest, DocFrequencyCountsDocumentsNotOccurrences) {
+  TokenDictionary dict;
+  auto d1 = dict.EncodeDocument({"t", "t"});  // two occurrences, one document
+  dict.EncodeDocument({"t"});
+  EXPECT_EQ(dict.DocFrequency(d1[0]), 2u);  // (t,0) appears in both docs
+  EXPECT_EQ(dict.DocFrequency(d1[1]), 1u);  // (t,1) appears in the first only
+}
+
+TEST(DictionaryTest, MultisetIntersectionViaOrdinals) {
+  TokenDictionary dict;
+  auto d1 = dict.EncodeDocument({"a", "a", "b"});
+  auto d2 = dict.EncodeDocument({"a", "a", "a"});
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  std::vector<TokenId> inter;
+  std::set_intersection(d1.begin(), d1.end(), d2.begin(), d2.end(),
+                        std::back_inserter(inter));
+  // multiset intersection of {a,a,b} and {a,a,a} is {a,a}.
+  EXPECT_EQ(inter.size(), 2u);
+}
+
+TEST(DictionaryTest, ReadOnlyEncodeDoesNotIntern) {
+  TokenDictionary dict;
+  dict.EncodeDocument({"known"});
+  auto ids = dict.EncodeDocumentReadOnly({"known", "unknown", "known"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_NE(ids[0], kInvalidToken);
+  EXPECT_EQ(ids[1], kInvalidToken);
+  // second "known" occurrence -> ordinal 1, never interned -> invalid.
+  EXPECT_EQ(ids[2], kInvalidToken);
+  EXPECT_EQ(dict.num_elements(), 1u);
+  EXPECT_EQ(dict.num_documents(), 1u);
+}
+
+TEST(DictionaryTest, EmptyDocument) {
+  TokenDictionary dict;
+  auto ids = dict.EncodeDocument({});
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(dict.num_documents(), 1u);
+}
+
+}  // namespace
+}  // namespace ssjoin::text

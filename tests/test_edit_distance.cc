@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/edit_distance.h"
+
+namespace ssjoin::sim {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "xy"), 2u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("intention", "execution"), 5u);
+}
+
+TEST(EditDistanceTest, PaperExample) {
+  // §3.1: "the edit distance between 'microsoft' and 'mcrosoft' is 1".
+  EXPECT_EQ(EditDistance("microsoft", "mcrosoft"), 1u);
+  EXPECT_EQ(EditDistance("Microsoft Corp", "Mcrosoft Corp"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(EditDistance("abcdef", "azced"), EditDistance("azced", "abcdef"));
+}
+
+TEST(EditDistanceTest, LengthDifferenceLowerBound) {
+  EXPECT_GE(EditDistance("a", "abcdefg"), 6u);
+}
+
+TEST(EditDistanceBoundedTest, ExactWhenWithinBound) {
+  EXPECT_EQ(EditDistanceBounded("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(EditDistanceBounded("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(EditDistanceBounded("abc", "abc", 0), 0u);
+}
+
+TEST(EditDistanceBoundedTest, CapsWhenExceeded) {
+  EXPECT_GT(EditDistanceBounded("kitten", "sitting", 2), 2u);
+  EXPECT_GT(EditDistanceBounded("aaaa", "bbbb", 3), 3u);
+  EXPECT_GT(EditDistanceBounded("", "abcdef", 2), 2u);
+}
+
+TEST(EditDistanceAtMostTest, Thresholds) {
+  EXPECT_TRUE(EditDistanceAtMost("kitten", "sitting", 3));
+  EXPECT_FALSE(EditDistanceAtMost("kitten", "sitting", 2));
+  EXPECT_TRUE(EditDistanceAtMost("", "", 0));
+}
+
+TEST(EditDistanceBoundedTest, RandomizedAgreesWithFullDP) {
+  Rng rng(99);
+  const std::string alphabet = "abcd";  // small alphabet: many near-misses
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a;
+    std::string b;
+    size_t la = rng.Uniform(12);
+    size_t lb = rng.Uniform(12);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(alphabet.size())];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(alphabet.size())];
+    size_t full = EditDistance(a, b);
+    for (size_t k = 0; k <= 12; ++k) {
+      size_t bounded = EditDistanceBounded(a, b, k);
+      if (full <= k) {
+        EXPECT_EQ(bounded, full) << a << " vs " << b << " k=" << k;
+      } else {
+        EXPECT_GT(bounded, k) << a << " vs " << b << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(EditSimilarityTest, Definition2) {
+  // ES = 1 - ED/max(len): 'microsoft'(9) vs 'mcrosoft'(8): 1 - 1/9.
+  EXPECT_NEAR(EditSimilarity("microsoft", "mcrosoft"), 1.0 - 1.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(EditSimilarityAtLeastTest, MatchesDirectComputation) {
+  Rng rng(7);
+  const std::string alphabet = "abcde";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a;
+    std::string b;
+    size_t la = 1 + rng.Uniform(10);
+    size_t lb = 1 + rng.Uniform(10);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(alphabet.size())];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(alphabet.size())];
+    for (double alpha : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+      bool expected = EditSimilarity(a, b) >= alpha - 1e-12;
+      EXPECT_EQ(EditSimilarityAtLeast(a, b, alpha), expected)
+          << a << " vs " << b << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(EditSimilarityAtLeastTest, EmptyStrings) {
+  EXPECT_TRUE(EditSimilarityAtLeast("", "", 1.0));
+  EXPECT_FALSE(EditSimilarityAtLeast("", "abc", 0.5));
+}
+
+}  // namespace
+}  // namespace ssjoin::sim

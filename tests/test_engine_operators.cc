@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+namespace {
+
+Table Left() {
+  Schema schema({{"k", DataType::kInt64}, {"name", DataType::kString}});
+  return *Table::FromRows(schema, {{1, "a"}, {2, "b"}, {2, "b2"}, {3, "c"}});
+}
+
+Table Right() {
+  Schema schema({{"k", DataType::kInt64}, {"val", DataType::kFloat64}});
+  return *Table::FromRows(schema, {{2, 10.0}, {2, 20.0}, {3, 30.0}, {4, 40.0}});
+}
+
+/// Canonical multiset of joined (k, name, val) triples for comparison
+/// independent of output row order.
+std::vector<std::tuple<int64_t, std::string, double>> JoinTriples(const Table& t) {
+  std::vector<std::tuple<int64_t, std::string, double>> rows;
+  size_t k = *t.schema().FieldIndex("k");
+  size_t name = *t.schema().FieldIndex("name");
+  size_t val = *t.schema().FieldIndex("val");
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    rows.emplace_back(t.GetValue(k, r).int64(), t.GetValue(name, r).string(),
+                      t.GetValue(val, r).float64());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(ProjectTest, SelectsAndReorders) {
+  Table projected = *Project(Left(), {"name", "k"});
+  EXPECT_EQ(projected.num_columns(), 2u);
+  EXPECT_EQ(projected.schema().field(0).name, "name");
+  EXPECT_EQ(projected.GetValue(0, 0).string(), "a");
+  EXPECT_EQ(projected.GetValue(1, 3).int64(), 3);
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  EXPECT_FALSE(Project(Left(), {"zz"}).ok());
+}
+
+TEST(RenameTest, RenamesColumns) {
+  Table renamed = *Rename(Left(), {{"k", "key"}});
+  EXPECT_GE(renamed.schema().FindField("key"), 0);
+  EXPECT_EQ(renamed.schema().FindField("k"), -1);
+  EXPECT_TRUE(renamed.column(0).int64s() == Left().column(0).int64s());
+}
+
+TEST(RenameTest, UnknownColumnFails) {
+  EXPECT_FALSE(Rename(Left(), {{"zz", "q"}}).ok());
+}
+
+TEST(RenameTest, DuplicateResultNameFails) {
+  EXPECT_FALSE(Rename(Left(), {{"k", "name"}}).ok());
+}
+
+TEST(FilterTest, KeepsMatchingRows) {
+  Table filtered = *Filter(Left(), [](const Table& t, size_t r) {
+    return t.GetValue(0, r).int64() == 2;
+  });
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.GetValue(1, 0).string(), "b");
+}
+
+TEST(FilterTest, NullPredicateFails) {
+  EXPECT_FALSE(Filter(Left(), nullptr).ok());
+}
+
+TEST(HashEquiJoinTest, InnerJoinSemantics) {
+  Table joined = *HashEquiJoin(Left(), Right(), {"k"}, {"k"});
+  // k=2 matches 2x2, k=3 matches 1x1; k=1 and k=4 drop out.
+  EXPECT_EQ(joined.num_rows(), 5u);
+  auto triples = JoinTriples(joined);
+  EXPECT_EQ(std::get<0>(triples.front()), 2);
+  EXPECT_EQ(std::get<0>(triples.back()), 3);
+}
+
+TEST(HashEquiJoinTest, MatchesSortMergeJoin) {
+  Table h = *HashEquiJoin(Left(), Right(), {"k"}, {"k"});
+  Table m = *SortMergeJoin(Left(), Right(), {"k"}, {"k"});
+  EXPECT_EQ(JoinTriples(h), JoinTriples(m));
+}
+
+TEST(HashEquiJoinTest, CompositeKeys) {
+  Schema schema({{"x", DataType::kInt64}, {"y", DataType::kString}});
+  Table a = *Table::FromRows(schema, {{1, "p"}, {1, "q"}, {2, "p"}});
+  Table b = *Table::FromRows(schema, {{1, "p"}, {2, "p"}, {2, "q"}});
+  Table joined = *HashEquiJoin(a, b, {"x", "y"}, {"x", "y"});
+  EXPECT_EQ(joined.num_rows(), 2u);
+}
+
+TEST(HashEquiJoinTest, KeyTypeMismatchFails) {
+  EXPECT_FALSE(HashEquiJoin(Left(), Right(), {"name"}, {"val"}).ok());
+}
+
+TEST(HashEquiJoinTest, EmptyKeysFail) {
+  EXPECT_FALSE(HashEquiJoin(Left(), Right(), {}, {}).ok());
+}
+
+TEST(HashEquiJoinTest, EmptyInputs) {
+  Table empty(Left().schema());
+  Table joined = *HashEquiJoin(empty, Right(), {"k"}, {"k"});
+  EXPECT_EQ(joined.num_rows(), 0u);
+  EXPECT_EQ(joined.num_columns(), 4u);
+}
+
+TEST(SortMergeJoinTest, DuplicateRuns) {
+  Schema schema({{"k", DataType::kInt64}});
+  Table a = *Table::FromRows(schema, {{5}, {5}, {5}});
+  Table b = *Table::FromRows(schema, {{5}, {5}});
+  Table joined = *SortMergeJoin(a, b, {"k"}, {"k"});
+  EXPECT_EQ(joined.num_rows(), 6u);
+}
+
+TEST(HashGroupByTest, SumCountMinMax) {
+  Schema schema({{"g", DataType::kString}, {"v", DataType::kInt64}});
+  Table t = *Table::FromRows(schema, {{"a", 1}, {"a", 5}, {"b", 3}});
+  Table grouped = *HashGroupBy(t, {"g"},
+                               {{AggKind::kSum, "v", "sum"},
+                                {AggKind::kCount, "", "cnt"},
+                                {AggKind::kMin, "v", "lo"},
+                                {AggKind::kMax, "v", "hi"}});
+  ASSERT_EQ(grouped.num_rows(), 2u);
+  Table ordered = *OrderBy(grouped, {"g"});
+  EXPECT_EQ(ordered.GetValue(0, 0).string(), "a");
+  EXPECT_DOUBLE_EQ(ordered.GetValue(1, 0).float64(), 6.0);
+  EXPECT_EQ(ordered.GetValue(2, 0).int64(), 2);
+  EXPECT_EQ(ordered.GetValue(3, 0).int64(), 1);
+  EXPECT_EQ(ordered.GetValue(4, 0).int64(), 5);
+  EXPECT_DOUBLE_EQ(ordered.GetValue(1, 1).float64(), 3.0);
+}
+
+TEST(HashGroupByTest, HavingFiltersGroups) {
+  Schema schema({{"g", DataType::kInt64}, {"v", DataType::kFloat64}});
+  Table t = *Table::FromRows(schema, {{1, 1.0}, {1, 2.0}, {2, 0.5}});
+  Table grouped = *HashGroupBy(
+      t, {"g"}, {{AggKind::kSum, "v", "sum"}},
+      [](const Table& g, size_t r) { return g.GetValue(1, r).float64() > 1.0; });
+  EXPECT_EQ(grouped.num_rows(), 1u);
+  EXPECT_EQ(grouped.GetValue(0, 0).int64(), 1);
+}
+
+TEST(HashGroupByTest, SumOfStringsFails) {
+  Table t = Left();
+  EXPECT_FALSE(HashGroupBy(t, {"k"}, {{AggKind::kSum, "name", "s"}}).ok());
+}
+
+TEST(HashGroupByTest, EmptyInputYieldsNoGroups) {
+  Table empty(Left().schema());
+  Table grouped = *HashGroupBy(empty, {"k"}, {{AggKind::kCount, "", "c"}});
+  EXPECT_EQ(grouped.num_rows(), 0u);
+}
+
+TEST(OrderByTest, SortsByCompositeKeys) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  Table t = *Table::FromRows(schema, {{2, "x"}, {1, "z"}, {1, "a"}, {2, "a"}});
+  Table ordered = *OrderBy(t, {"a", "b"});
+  EXPECT_EQ(ordered.GetValue(0, 0).int64(), 1);
+  EXPECT_EQ(ordered.GetValue(1, 0).string(), "a");
+  EXPECT_EQ(ordered.GetValue(1, 1).string(), "z");
+  EXPECT_EQ(ordered.GetValue(1, 3).string(), "x");
+}
+
+TEST(OrderByTest, StableOnTies) {
+  Schema schema({{"a", DataType::kInt64}, {"tag", DataType::kString}});
+  Table t = *Table::FromRows(schema, {{1, "first"}, {1, "second"}});
+  Table ordered = *OrderBy(t, {"a"});
+  EXPECT_EQ(ordered.GetValue(1, 0).string(), "first");
+}
+
+TEST(DistinctTest, RemovesDuplicateRows) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  Table t = *Table::FromRows(schema, {{1, "x"}, {1, "x"}, {1, "y"}, {1, "x"}});
+  Table d = *Distinct(t);
+  EXPECT_EQ(d.num_rows(), 2u);
+}
+
+TEST(GroupwiseApplyTest, PerGroupTopOne) {
+  Schema schema({{"g", DataType::kInt64}, {"v", DataType::kInt64}});
+  Table t = *Table::FromRows(schema, {{1, 9}, {1, 3}, {2, 7}, {2, 8}});
+  // Subquery: keep each group's minimum-v row.
+  Table result = *GroupwiseApply(t, {"g"}, [](const Table& g) -> Result<Table> {
+    SSJOIN_ASSIGN_OR_RETURN(Table ordered, OrderBy(g, {"v"}));
+    return ordered.Take({0});
+  });
+  EXPECT_EQ(result.num_rows(), 2u);
+  Table ordered = *OrderBy(result, {"g"});
+  EXPECT_EQ(ordered.GetValue(1, 0).int64(), 3);
+  EXPECT_EQ(ordered.GetValue(1, 1).int64(), 7);
+}
+
+TEST(GroupwiseApplyTest, EmptyInput) {
+  Table empty(Left().schema());
+  Table result = *GroupwiseApply(empty, {"k"},
+                                 [](const Table& g) -> Result<Table> { return g; });
+  EXPECT_EQ(result.num_rows(), 0u);
+}
+
+TEST(UnionAllTest, ConcatenatesRows) {
+  Table a = Left();
+  Table u = *UnionAll(a, a);
+  EXPECT_EQ(u.num_rows(), 8u);
+}
+
+TEST(UnionAllTest, SchemaMismatchFails) {
+  EXPECT_FALSE(UnionAll(Left(), Right()).ok());
+}
+
+}  // namespace
+}  // namespace ssjoin::engine

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "engine/schema.h"
+#include "engine/table.h"
+#include "engine/value.h"
+
+namespace ssjoin::engine {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{7});
+  EXPECT_TRUE(i.is_int64());
+  EXPECT_EQ(i.int64(), 7);
+  EXPECT_DOUBLE_EQ(i.AsDouble(), 7.0);
+
+  Value d(2.5);
+  EXPECT_TRUE(d.is_float64());
+  EXPECT_DOUBLE_EQ(d.float64(), 2.5);
+
+  Value s("abc");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.string(), "abc");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value(1.0));  // types differ
+  EXPECT_TRUE(Value(1) < Value(2));
+  EXPECT_TRUE(Value("a") < Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("xyz").Hash(), Value("xyz").Hash());
+  EXPECT_EQ(Value(3.14).Hash(), Value(3.14).Hash());
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(5).ToString(), "5");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.FindField("b"), 1);
+  EXPECT_EQ(s.FindField("zz"), -1);
+  EXPECT_EQ(*s.FieldIndex("a"), 0u);
+  EXPECT_FALSE(s.FieldIndex("zz").ok());
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicates) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_TRUE(s.AddField({"b", DataType::kString}).ok());
+  EXPECT_FALSE(s.AddField({"a", DataType::kFloat64}).ok());
+}
+
+TEST(SchemaTest, ConcatRenamesClashes) {
+  Schema left({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  Schema right({{"a", DataType::kInt64}, {"c", DataType::kString}});
+  Schema both = left.Concat(right);
+  EXPECT_EQ(both.num_fields(), 4u);
+  EXPECT_GE(both.FindField("a_r"), 0);
+  EXPECT_GE(both.FindField("c"), 0);
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  Schema s({{"a", DataType::kInt64}});
+  EXPECT_EQ(s.ToString(), "(a: int64)");
+}
+
+Table MakeSample() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kFloat64}});
+  auto result = Table::FromRows(schema, {{1, "alice", 0.5},
+                                         {2, "bob", 1.5},
+                                         {3, "carol", 2.5}});
+  return *result;
+}
+
+TEST(TableTest, FromRowsBuildsColumns) {
+  Table t = MakeSample();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.column(0).int64s()[1], 2);
+  EXPECT_EQ(t.column(1).strings()[2], "carol");
+  EXPECT_DOUBLE_EQ(t.column(2).float64s()[0], 0.5);
+}
+
+TEST(TableTest, FromRowsRejectsTypeMismatch) {
+  Schema schema({{"id", DataType::kInt64}});
+  auto result = Table::FromRows(schema, {{Value("oops")}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(TableTest, AppendRowRejectsArityMismatch) {
+  Table t = MakeSample();
+  EXPECT_FALSE(t.AppendRow({1, "x"}).ok());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakeSample();
+  auto col = t.ColumnByName("name");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->strings()[0], "alice");
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+}
+
+TEST(TableTest, TakeSelectsRowsInOrder) {
+  Table t = MakeSample();
+  Table picked = t.Take({2, 0});
+  EXPECT_EQ(picked.num_rows(), 2u);
+  EXPECT_EQ(picked.GetValue(1, 0).string(), "carol");
+  EXPECT_EQ(picked.GetValue(1, 1).string(), "alice");
+}
+
+TEST(TableTest, TakeEmpty) {
+  Table t = MakeSample();
+  Table picked = t.Take({});
+  EXPECT_EQ(picked.num_rows(), 0u);
+  EXPECT_EQ(picked.schema(), t.schema());
+}
+
+TEST(TableTest, AppendRowFrom) {
+  Table t = MakeSample();
+  Table other(t.schema());
+  other.AppendRowFrom(t, 1);
+  EXPECT_EQ(other.num_rows(), 1u);
+  EXPECT_EQ(other.GetValue(1, 0).string(), "bob");
+}
+
+TEST(TableTest, AppendConcatRow) {
+  Table t = MakeSample();
+  Schema joined_schema = t.schema().Concat(t.schema());
+  Table joined(joined_schema);
+  joined.AppendConcatRow(t, 0, t, 2);
+  EXPECT_EQ(joined.num_rows(), 1u);
+  EXPECT_EQ(joined.GetValue(1, 0).string(), "alice");
+  EXPECT_EQ(joined.GetValue(4, 0).string(), "carol");
+}
+
+TEST(TableTest, ContentEquals) {
+  Table a = MakeSample();
+  Table b = MakeSample();
+  EXPECT_TRUE(a.ContentEquals(b));
+  ASSERT_TRUE(b.AppendRow({4, "dan", 3.5}).ok());
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(TableTest, ToStringShowsHeaderAndRows) {
+  Table t = MakeSample();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alice"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeSample();
+  std::string s = t.ToString(1);
+  EXPECT_NE(s.find("3 rows total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssjoin::engine

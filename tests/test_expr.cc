@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "engine/expr.h"
+#include "engine/table.h"
+
+namespace ssjoin::engine {
+namespace {
+
+Table Sample() {
+  Schema schema({{"i", DataType::kInt64},
+                 {"x", DataType::kFloat64},
+                 {"s", DataType::kString}});
+  return *Table::FromRows(schema, {{1, 0.5, "apple"},
+                                   {2, 1.5, "banana"},
+                                   {3, 2.5, "apple"},
+                                   {-4, 0.0, ""}});
+}
+
+Value EvalAt(const ExprPtr& e, const Table& t, size_t row) {
+  return e->Bind(t.schema()).ValueOrDie().Eval(t, row);
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Table t = Sample();
+  EXPECT_EQ(EvalAt(Col("i"), t, 1).int64(), 2);
+  EXPECT_EQ(EvalAt(Col("s"), t, 0).string(), "apple");
+  EXPECT_DOUBLE_EQ(EvalAt(Lit(3.25), t, 0).float64(), 3.25);
+}
+
+TEST(ExprTest, ArithmeticTypePromotion) {
+  Table t = Sample();
+  // int + int stays int.
+  Value v = EvalAt(Add(Col("i"), Lit(10)), t, 0);
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.int64(), 11);
+  // int * float promotes.
+  v = EvalAt(Mul(Col("i"), Col("x")), t, 1);
+  EXPECT_TRUE(v.is_float64());
+  EXPECT_DOUBLE_EQ(v.float64(), 3.0);
+  // Division is always float (no integer-division surprises).
+  v = EvalAt(Div(Lit(3), Lit(2)), t, 0);
+  EXPECT_TRUE(v.is_float64());
+  EXPECT_DOUBLE_EQ(v.float64(), 1.5);
+}
+
+TEST(ExprTest, SubAndNeg) {
+  Table t = Sample();
+  EXPECT_EQ(EvalAt(Sub(Col("i"), Lit(1)), t, 2).int64(), 2);
+  EXPECT_EQ(EvalAt(Neg(Col("i")), t, 3).int64(), 4);
+  EXPECT_DOUBLE_EQ(EvalAt(Neg(Col("x")), t, 1).float64(), -1.5);
+}
+
+TEST(ExprTest, NumericComparisonsMixTypes) {
+  Table t = Sample();
+  EXPECT_EQ(EvalAt(Gt(Col("x"), Col("i")), t, 1).int64(), 0);   // 1.5 > 2 ? no
+  EXPECT_EQ(EvalAt(Lt(Col("i"), Col("x")), t, 0).int64(), 0);   // 1 < 0.5 ? no
+  EXPECT_EQ(EvalAt(Ge(Col("i"), Lit(1)), t, 0).int64(), 1);
+  EXPECT_EQ(EvalAt(Le(Col("i"), Lit(-4)), t, 3).int64(), 1);
+  EXPECT_EQ(EvalAt(Ne(Col("i"), Lit(2)), t, 1).int64(), 0);
+}
+
+TEST(ExprTest, StringComparisons) {
+  Table t = Sample();
+  EXPECT_EQ(EvalAt(Eq(Col("s"), Lit("apple")), t, 0).int64(), 1);
+  EXPECT_EQ(EvalAt(Eq(Col("s"), Lit("apple")), t, 1).int64(), 0);
+  EXPECT_EQ(EvalAt(Lt(Col("s"), Lit("b")), t, 0).int64(), 1);
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  Table t = Sample();
+  ExprPtr both = And(Gt(Col("i"), Lit(0)), Gt(Col("x"), Lit(1.0)));
+  EXPECT_EQ(EvalAt(both, t, 0).int64(), 0);
+  EXPECT_EQ(EvalAt(both, t, 1).int64(), 1);
+  ExprPtr either = Or(Lt(Col("i"), Lit(0)), Eq(Col("s"), Lit("")));
+  EXPECT_EQ(EvalAt(either, t, 3).int64(), 1);
+  EXPECT_EQ(EvalAt(either, t, 0).int64(), 0);
+  EXPECT_EQ(EvalAt(Not(Gt(Col("i"), Lit(0))), t, 3).int64(), 1);
+}
+
+TEST(ExprTest, BindErrors) {
+  Table t = Sample();
+  EXPECT_FALSE(Col("missing")->Bind(t.schema()).ok());
+  EXPECT_FALSE(Add(Col("s"), Lit(1))->Bind(t.schema()).ok());
+  EXPECT_FALSE(Eq(Col("s"), Lit(1))->Bind(t.schema()).ok());
+  EXPECT_FALSE(And(Col("s"), Lit(1))->Bind(t.schema()).ok());
+  EXPECT_FALSE(Neg(Col("s"))->Bind(t.schema()).ok());
+}
+
+TEST(ExprTest, OutputTypes) {
+  Table t = Sample();
+  EXPECT_EQ(Col("x")->Bind(t.schema())->output_type(), DataType::kFloat64);
+  EXPECT_EQ(Eq(Col("i"), Lit(1))->Bind(t.schema())->output_type(),
+            DataType::kInt64);
+  EXPECT_EQ(Div(Col("i"), Lit(2))->Bind(t.schema())->output_type(),
+            DataType::kFloat64);
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = Ge(Col("overlap"), Mul(Lit(0.8), Col("norm")));
+  EXPECT_EQ(e->ToString(), "(overlap >= (0.8 * norm))");
+  EXPECT_EQ(Lit("x")->ToString(), "'x'");
+  EXPECT_EQ(Not(Col("f"))->ToString(), "(NOT f)");
+}
+
+TEST(FilterWhereTest, KeepsTruthyRows) {
+  Table t = Sample();
+  Table filtered = *FilterWhere(t, Gt(Col("i"), Lit(1)));
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.GetValue(0, 0).int64(), 2);
+  EXPECT_FALSE(FilterWhere(t, nullptr).ok());
+  EXPECT_FALSE(FilterWhere(t, Col("zz")).ok());
+}
+
+TEST(ProjectExprsTest, ComputedColumns) {
+  Table t = Sample();
+  Table projected = *ProjectExprs(
+      t, {{"doubled", Mul(Col("i"), Lit(2))},
+          {"is_apple", Eq(Col("s"), Lit("apple"))},
+          {"ratio", Div(Col("x"), Lit(0.5))}});
+  EXPECT_EQ(projected.num_columns(), 3u);
+  EXPECT_EQ(projected.GetValue(0, 2).int64(), 6);
+  EXPECT_EQ(projected.GetValue(1, 0).int64(), 1);
+  EXPECT_DOUBLE_EQ(projected.GetValue(2, 1).float64(), 3.0);
+  EXPECT_FALSE(ProjectExprs(t, {{"bad", nullptr}}).ok());
+  // Duplicate output names rejected.
+  EXPECT_FALSE(ProjectExprs(t, {{"a", Col("i")}, {"a", Col("x")}}).ok());
+}
+
+}  // namespace
+}  // namespace ssjoin::engine

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/address_gen.h"
+#include "datagen/error_model.h"
+#include "sim/set_overlap.h"
+#include "simjoin/fuzzy_match.h"
+#include "simjoin/string_joins.h"
+
+namespace ssjoin::simjoin {
+namespace {
+
+std::vector<std::string> Master(size_t n, uint64_t seed) {
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.0;
+  opts.seed = seed;
+  return datagen::GenerateAddresses(opts).records;
+}
+
+TEST(FuzzyMatchTest, ExactStringIsTopMatch) {
+  auto master = Master(500, 3);
+  auto index = FuzzyMatchIndex::Build(master, {}).MoveValueUnsafe();
+  for (uint32_t i : {0u, 17u, 499u}) {
+    auto matches = index.Lookup(master[i], 1);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_EQ(matches[0].ref_index, i);
+    EXPECT_NEAR(matches[0].similarity, 1.0, 1e-9);
+  }
+}
+
+TEST(FuzzyMatchTest, CorruptedQueriesFindSources) {
+  auto master = Master(800, 5);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.35;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+  Rng rng(7);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.0;  // light typo load (heavier edits destroy
+                                 // whole word tokens and sink resemblance)
+  size_t correct = 0;
+  const size_t kQueries = 200;
+  for (size_t i = 0; i < kQueries; ++i) {
+    uint32_t src = static_cast<uint32_t>(rng.Uniform(master.size()));
+    std::string query = datagen::CorruptRecord(master[src], {}, errors, &rng);
+    auto matches = index.Lookup(query, 1);
+    if (!matches.empty() && matches[0].ref_index == src) ++correct;
+  }
+  EXPECT_GT(correct, kQueries * 9 / 10);
+}
+
+TEST(FuzzyMatchTest, MatchesBatchJoinResults) {
+  // Lookups against the index must agree with a batch resemblance join over
+  // the same data for queries drawn from the reference itself (no unseen
+  // tokens, so the weight models coincide).
+  auto master = Master(300, 11);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.6;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+
+  text::WordTokenizer tok;
+  Prepared prep =
+      PrepareStrings(master, master, tok, WeightMode::kIdf).MoveValueUnsafe();
+  class VW final : public text::WeightProvider {
+   public:
+    explicit VW(const core::WeightVector& w) : w_(w) {}
+    double Weight(text::TokenId id) const override { return w_[id]; }
+
+   private:
+    const core::WeightVector& w_;
+  } weights(prep.weights);
+
+  for (uint32_t q : {0u, 5u, 100u, 299u}) {
+    auto matches = index.Lookup(master[q], master.size());
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < master.size(); ++i) {
+      double jr = sim::JaccardResemblance(prep.r.sets[q], prep.s.sets[i], weights);
+      if (jr >= options.alpha - 1e-12) expected.push_back(i);
+    }
+    std::vector<uint32_t> got;
+    for (const auto& m : matches) got.push_back(m.ref_index);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(FuzzyMatchTest, RespectsK) {
+  auto master = Master(300, 13);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.1;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+  auto matches = index.Lookup(master[0], 3);
+  EXPECT_LE(matches.size(), 3u);
+  // Descending similarity.
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].similarity, matches[i].similarity);
+  }
+  EXPECT_TRUE(index.Lookup(master[0], 0).empty());
+}
+
+TEST(FuzzyMatchTest, UnseenTokensDiluteButDontCrash) {
+  std::vector<std::string> master = {"alpha beta gamma", "delta epsilon"};
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.3;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+  // Half the query is vocabulary the index has never seen.
+  auto matches = index.Lookup("alpha beta gamma zzz qqq www", 5);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].ref_index, 0u);
+  EXPECT_LT(matches[0].similarity, 1.0);  // unseen tokens dilute
+  // A fully-unseen query matches nothing.
+  EXPECT_TRUE(index.Lookup("totally unknown words", 5).empty());
+}
+
+TEST(FuzzyMatchTest, QGramMode) {
+  std::vector<std::string> master = {"Microsoft Corp", "Oracle Corp", "Apple Inc"};
+  FuzzyMatchIndex::Options options;
+  options.word_tokens = false;
+  options.q = 3;
+  options.alpha = 0.5;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+  auto matches = index.Lookup("Mcrosoft Corp", 1);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].ref_index, 0u);
+}
+
+TEST(FuzzyMatchTest, InvalidAlphaRejected) {
+  std::vector<std::string> master = {"x"};
+  EXPECT_FALSE(FuzzyMatchIndex::Build(master, {true, 3, 0.0}).ok());
+  EXPECT_FALSE(FuzzyMatchIndex::Build(master, {true, 3, 1.5}).ok());
+}
+
+TEST(FuzzyMatchTest, EmptyReference) {
+  auto index = FuzzyMatchIndex::Build({}, {}).MoveValueUnsafe();
+  EXPECT_TRUE(index.Lookup("anything", 5).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ssjoin::simjoin

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/ges.h"
+
+namespace ssjoin::sim {
+namespace {
+
+double UnitWeight(std::string_view) { return 1.0; }
+
+TEST(NormalizedEditDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_NEAR(NormalizedEditDistance("microsoft", "microsft"), 1.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("ab", ""), 1.0);
+}
+
+TEST(TransformationCostTest, IdenticalSequencesCostZero) {
+  EXPECT_DOUBLE_EQ(TransformationCost({"a", "b"}, {"a", "b"}, UnitWeight), 0.0);
+}
+
+TEST(TransformationCostTest, PureInsertionsAndDeletions) {
+  // Transforming {} to {x, y} inserts both: cost = wt(x) + wt(y) = 2.
+  EXPECT_DOUBLE_EQ(TransformationCost({}, {"x", "y"}, UnitWeight), 2.0);
+  EXPECT_DOUBLE_EQ(TransformationCost({"x", "y"}, {}, UnitWeight), 2.0);
+}
+
+TEST(TransformationCostTest, ReplacementUsesNormalizedEditDistance) {
+  // Replacing "microsoft" by "microsft" costs ed * wt = (1/9) * 1.
+  EXPECT_NEAR(TransformationCost({"microsoft"}, {"microsft"}, UnitWeight),
+              1.0 / 9.0, 1e-12);
+}
+
+TEST(TransformationCostTest, WeightsScaleCosts) {
+  auto weight = [](std::string_view t) { return t == "corp" ? 0.1 : 1.0; };
+  // Dropping the low-weight "corp" is cheap.
+  EXPECT_NEAR(TransformationCost({"microsoft", "corp"}, {"microsoft"}, weight), 0.1,
+              1e-12);
+}
+
+TEST(TransformationCostTest, PrefersCheapestEditScript) {
+  // {"aaa"} -> {"aab","zzz"}: replace aaa->aab (1/3) + insert zzz (1)
+  // beats delete aaa (1) + insert both (2).
+  EXPECT_NEAR(TransformationCost({"aaa"}, {"aab", "zzz"}, UnitWeight), 1.0 + 1.0 / 3.0,
+              1e-12);
+}
+
+TEST(GESTest, IdenticalStringsScoreOne) {
+  EXPECT_DOUBLE_EQ(
+      GeneralizedEditSimilarity({"microsoft", "corp"}, {"microsoft", "corp"},
+                                UnitWeight),
+      1.0);
+}
+
+TEST(GESTest, EmptyBehaviour) {
+  EXPECT_DOUBLE_EQ(GeneralizedEditSimilarity({}, {}, UnitWeight), 1.0);
+  EXPECT_DOUBLE_EQ(GeneralizedEditSimilarity({}, {"x"}, UnitWeight), 0.0);
+  // Cost of deleting everything = wt(set): normalized cost 1 -> GES 0.
+  EXPECT_DOUBLE_EQ(GeneralizedEditSimilarity({"x"}, {}, UnitWeight), 0.0);
+}
+
+TEST(GESTest, BoundedInUnitInterval) {
+  double g = GeneralizedEditSimilarity({"a"}, {"completely", "different", "words"},
+                                       UnitWeight);
+  EXPECT_GE(g, 0.0);
+  EXPECT_LE(g, 1.0);
+}
+
+TEST(GESTest, PaperMotivation) {
+  // §3.3: "microsoft corp" and "microsft corporation" should be close when
+  // 'corp'/'corporation' carry low weight, closer than to "mic corp".
+  auto weight = [](std::string_view t) {
+    return (t == "corp" || t == "corporation") ? 0.2 : 1.0;
+  };
+  double close = GeneralizedEditSimilarity({"microsoft", "corp"},
+                                           {"microsft", "corporation"}, weight);
+  double far = GeneralizedEditSimilarity({"microsoft", "corp"}, {"mic", "corp"},
+                                         weight);
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 0.8);
+}
+
+TEST(GESTest, AsymmetryNormalizesByFirstArgument) {
+  auto weight = UnitWeight;
+  // tc is symmetric-ish here but normalization differs: wt({a}) = 1 vs
+  // wt({a,b,c}) = 3.
+  double g1 = GeneralizedEditSimilarity({"a"}, {"a", "b", "c"}, weight);
+  double g2 = GeneralizedEditSimilarity({"a", "b", "c"}, {"a"}, weight);
+  EXPECT_DOUBLE_EQ(g1, 0.0);       // cost 2 / wt 1, clamped at 1 -> GES 0
+  EXPECT_NEAR(g2, 1.0 / 3.0, 1e-12);  // cost 2 / wt 3
+}
+
+}  // namespace
+}  // namespace ssjoin::sim

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/address_gen.h"
+#include "sim/edit_distance.h"
+#include "simjoin/gravano.h"
+#include "simjoin/string_joins.h"
+
+namespace ssjoin::simjoin {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToPairSet(const std::vector<MatchPair>& matches) {
+  PairSet out;
+  for (const MatchPair& m : matches) out.insert({m.r, m.s});
+  return out;
+}
+
+std::vector<std::string> Corpus(size_t n, uint64_t seed) {
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.35;
+  opts.seed = seed;
+  return datagen::GenerateAddresses(opts).records;
+}
+
+TEST(GravanoTest, EditSimilarityMatchesCrossProduct) {
+  std::vector<std::string> data = Corpus(150, 19);
+  for (double alpha : {0.8, 0.9}) {
+    SCOPED_TRACE(alpha);
+    auto custom = *GravanoEditSimilarityJoin(data, data, alpha, 3);
+    auto brute = *CrossProductEditSimilarityJoin(data, data, alpha);
+    EXPECT_EQ(ToPairSet(custom), ToPairSet(brute));
+  }
+}
+
+TEST(GravanoTest, EditDistanceMatchesDirect) {
+  std::vector<std::string> data = Corpus(120, 29);
+  size_t max_distance = 2;
+  auto custom = *GravanoEditDistanceJoin(data, data, max_distance, 3);
+  PairSet expected;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      if (sim::EditDistanceAtMost(data[i], data[j], max_distance)) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(ToPairSet(custom), expected);
+}
+
+TEST(GravanoTest, DoesManyMoreComparisonsThanSSJoin) {
+  // Table 1's headline: the customized join verifies orders of magnitude
+  // more pairs than the SSJoin-based plan at the same threshold.
+  std::vector<std::string> data = Corpus(400, 37);
+  double alpha = 0.85;
+  SimJoinStats custom_stats;
+  auto custom = *GravanoEditSimilarityJoin(data, data, alpha, 3, &custom_stats);
+  SimJoinStats ssjoin_stats;
+  auto ssjoin = *EditSimilarityJoin(data, data, alpha, 3, {}, &ssjoin_stats);
+  EXPECT_EQ(ToPairSet(custom), ToPairSet(ssjoin));
+  EXPECT_GT(custom_stats.verifier_calls, 5 * ssjoin_stats.verifier_calls);
+}
+
+TEST(GravanoTest, PhasesRecorded) {
+  std::vector<std::string> data = Corpus(100, 41);
+  SimJoinStats stats;
+  GravanoEditSimilarityJoin(data, data, 0.85, 3, &stats).ValueOrDie();
+  EXPECT_GT(stats.phases.Millis("Prep"), 0.0);
+  EXPECT_GT(stats.phases.Millis("Candidate-enumeration"), 0.0);
+  EXPECT_GE(stats.phases.Millis("EditSim-Filter"), 0.0);
+}
+
+TEST(GravanoTest, InvalidArguments) {
+  std::vector<std::string> data{"x"};
+  EXPECT_FALSE(GravanoEditSimilarityJoin(data, data, 2.0, 3).ok());
+  EXPECT_FALSE(GravanoEditSimilarityJoin(data, data, 0.8, 0).ok());
+  EXPECT_FALSE(CrossProductEditSimilarityJoin(data, data, -1.0).ok());
+}
+
+TEST(CrossProductTest, VerifiesEveryPair) {
+  std::vector<std::string> data = Corpus(40, 43);
+  SimJoinStats stats;
+  CrossProductEditSimilarityJoin(data, data, 0.9, &stats).ValueOrDie();
+  EXPECT_EQ(stats.verifier_calls, data.size() * data.size());
+}
+
+}  // namespace
+}  // namespace ssjoin::simjoin

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "sim/jaro.h"
+
+namespace ssjoin::sim {
+namespace {
+
+TEST(JaroTest, ClassicReferenceValues) {
+  // Winkler's canonical examples.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("JELLYFISH", "SMELLYFISH"), 0.896296, 1e-5);
+}
+
+TEST(JaroTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", "a"), 1.0);
+}
+
+TEST(JaroTest, Symmetric) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("kitten", "sitting"),
+                   JaroSimilarity("sitting", "kitten"));
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("dwayne", "duane"),
+                   JaroWinklerSimilarity("duane", "dwayne"));
+}
+
+TEST(JaroWinklerTest, ClassicReferenceValues) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DIXON", "DICKSONX"), 0.813333, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("DWAYNE", "DUANE"), 0.840000, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsButNeverExceedsOne) {
+  double jaro = JaroSimilarity("prefixed", "prefixes");
+  double jw = JaroWinklerSimilarity("prefixed", "prefixes");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+  // No common prefix: no boost.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abcd", "xbcd"),
+                   JaroSimilarity("abcd", "xbcd"));
+}
+
+TEST(JaroWinklerTest, PrefixCapAtFour) {
+  // Identical 10-char prefix must not over-boost beyond the 4-char cap.
+  double with_cap = JaroWinklerSimilarity("abcdefghij", "abcdefghiX");
+  double manual =
+      JaroSimilarity("abcdefghij", "abcdefghiX") +
+      4 * 0.1 * (1.0 - JaroSimilarity("abcdefghij", "abcdefghiX"));
+  EXPECT_DOUBLE_EQ(with_cap, manual);
+}
+
+TEST(JaroTest, BoundedInUnitInterval) {
+  const char* samples[] = {"", "a", "ab", "hello world", "Mcrosoft Corp",
+                           "completely different"};
+  for (const char* x : samples) {
+    for (const char* y : samples) {
+      double j = JaroSimilarity(x, y);
+      double jw = JaroWinklerSimilarity(x, y);
+      EXPECT_GE(j, 0.0);
+      EXPECT_LE(j, 1.0);
+      EXPECT_GE(jw, j - 1e-12);
+      EXPECT_LE(jw, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::sim

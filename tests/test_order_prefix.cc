@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "core/order.h"
+#include "core/prefix_filter.h"
+#include "core/predicate.h"
+#include "core/sets.h"
+
+namespace ssjoin::core {
+namespace {
+
+bool IsPermutationRank(const ElementOrder& order, size_t n) {
+  std::vector<bool> seen(n, false);
+  for (text::TokenId e = 0; e < n; ++e) {
+    uint32_t r = order.Rank(e);
+    if (r >= n || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+TEST(ElementOrderTest, ByDecreasingWeightRanksHeaviestFirst) {
+  WeightVector w{1.0, 5.0, 3.0};
+  ElementOrder order = ElementOrder::ByDecreasingWeight(w);
+  EXPECT_EQ(order.Rank(1), 0u);
+  EXPECT_EQ(order.Rank(2), 1u);
+  EXPECT_EQ(order.Rank(0), 2u);
+  EXPECT_TRUE(IsPermutationRank(order, 3));
+}
+
+TEST(ElementOrderTest, ByIncreasingWeightIsReverse) {
+  WeightVector w{1.0, 5.0, 3.0};
+  ElementOrder order = ElementOrder::ByIncreasingWeight(w);
+  EXPECT_EQ(order.Rank(0), 0u);
+  EXPECT_EQ(order.Rank(1), 2u);
+}
+
+TEST(ElementOrderTest, TiesBrokenById) {
+  WeightVector w{2.0, 2.0, 2.0};
+  ElementOrder order = ElementOrder::ByDecreasingWeight(w);
+  EXPECT_EQ(order.Rank(0), 0u);
+  EXPECT_EQ(order.Rank(1), 1u);
+  EXPECT_EQ(order.Rank(2), 2u);
+}
+
+TEST(ElementOrderTest, ByIncreasingFrequency) {
+  text::TokenDictionary dict;
+  dict.EncodeDocument({"common", "rare"});
+  dict.EncodeDocument({"common"});
+  ElementOrder order = ElementOrder::ByIncreasingFrequency(dict);
+  EXPECT_LT(order.Rank(dict.Find("rare")), order.Rank(dict.Find("common")));
+}
+
+TEST(ElementOrderTest, RandomIsPermutationAndDeterministic) {
+  ElementOrder a = ElementOrder::Random(100, 5);
+  ElementOrder b = ElementOrder::Random(100, 5);
+  ElementOrder c = ElementOrder::Random(100, 6);
+  EXPECT_TRUE(IsPermutationRank(a, 100));
+  int same_ac = 0;
+  for (text::TokenId e = 0; e < 100; ++e) {
+    EXPECT_EQ(a.Rank(e), b.Rank(e));
+    same_ac += (a.Rank(e) == c.Rank(e));
+  }
+  EXPECT_LT(same_ac, 20);
+}
+
+TEST(ElementOrderTest, ById) {
+  ElementOrder order = ElementOrder::ById(5);
+  for (text::TokenId e = 0; e < 5; ++e) EXPECT_EQ(order.Rank(e), e);
+}
+
+TEST(ComputePrefixTest, PaperUnweightedExample) {
+  // §4.2: s1 = {1,2,3,4,5}, overlap threshold 4 -> beta = 5 - 4 = 1; the
+  // size-(5-4+1)=2 prefix {1,2} under the natural order.
+  WeightVector w(6, 1.0);
+  ElementOrder order = ElementOrder::ById(6);
+  std::vector<text::TokenId> s1{1, 2, 3, 4, 5};
+  auto prefix = ComputePrefix(s1, w, order, 1.0);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], 1u);
+  EXPECT_EQ(prefix[1], 2u);
+}
+
+TEST(ComputePrefixTest, WholeSetWhenBetaIsTotalWeight) {
+  WeightVector w(4, 1.0);
+  ElementOrder order = ElementOrder::ById(4);
+  std::vector<text::TokenId> s{0, 1, 2, 3};
+  // beta = wt(s): weights never *exceed* it -> whole set (no filtering).
+  EXPECT_EQ(ComputePrefix(s, w, order, 4.0).size(), 4u);
+}
+
+TEST(ComputePrefixTest, NegativeBetaPrunes) {
+  WeightVector w(4, 1.0);
+  ElementOrder order = ElementOrder::ById(4);
+  std::vector<text::TokenId> s{0, 1};
+  EXPECT_TRUE(ComputePrefix(s, w, order, -1.0).empty());
+}
+
+TEST(ComputePrefixTest, ZeroBetaKeepsOneElement) {
+  WeightVector w(4, 1.0);
+  ElementOrder order = ElementOrder::ById(4);
+  std::vector<text::TokenId> s{2, 3};
+  EXPECT_EQ(ComputePrefix(s, w, order, 0.0).size(), 1u);
+}
+
+TEST(ComputePrefixTest, FollowsOrderNotIds) {
+  WeightVector w{1.0, 1.0, 1.0};
+  // Order: 2 first, then 0, then 1.
+  WeightVector order_weights{2.0, 1.0, 3.0};
+  ElementOrder order = ElementOrder::ByDecreasingWeight(order_weights);
+  std::vector<text::TokenId> s{0, 1, 2};
+  auto prefix = ComputePrefix(s, w, order, 1.0);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], 2u);
+  EXPECT_EQ(prefix[1], 0u);
+}
+
+/// Lemma 1 property: for random weighted sets with wt(s1 ∩ s2) >= alpha,
+/// prefix_{wt(s1)-alpha}(s1) and prefix_{wt(s2)-alpha}(s2) intersect.
+TEST(PrefixFilterPropertyTest, Lemma1HoldsOnRandomSets) {
+  Rng rng(2024);
+  const size_t kUniverse = 40;
+  WeightVector weights(kUniverse);
+  for (double& w : weights) w = 0.1 + rng.NextDouble() * 3.0;
+  // Lemma 1 holds for ANY ordering; exercise several.
+  std::vector<ElementOrder> orders;
+  orders.push_back(ElementOrder::ByDecreasingWeight(weights));
+  orders.push_back(ElementOrder::ByIncreasingWeight(weights));
+  orders.push_back(ElementOrder::Random(kUniverse, 77));
+
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<text::TokenId> s1;
+    std::vector<text::TokenId> s2;
+    for (text::TokenId e = 0; e < kUniverse; ++e) {
+      if (rng.Bernoulli(0.35)) s1.push_back(e);
+      if (rng.Bernoulli(0.35)) s2.push_back(e);
+    }
+    if (s1.empty() || s2.empty()) continue;
+    double inter = 0.0;
+    for (text::TokenId e : s1) {
+      if (std::find(s2.begin(), s2.end(), e) != s2.end()) inter += weights[e];
+    }
+    if (inter <= 0.0) continue;
+    double wt1 = 0.0;
+    for (text::TokenId e : s1) wt1 += weights[e];
+    double wt2 = 0.0;
+    for (text::TokenId e : s2) wt2 += weights[e];
+    // Use alpha = the actual intersection weight (the tightest case) and a
+    // couple of looser thresholds.
+    for (double alpha : {inter, inter * 0.7, inter * 0.3}) {
+      for (const ElementOrder& order : orders) {
+        auto p1 = ComputePrefix(s1, weights, order, wt1 - alpha);
+        auto p2 = ComputePrefix(s2, weights, order, wt2 - alpha);
+        std::set<text::TokenId> set1(p1.begin(), p1.end());
+        bool intersects = false;
+        for (text::TokenId e : p2) {
+          if (set1.count(e)) {
+            intersects = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(intersects)
+            << "iter=" << iter << " alpha=" << alpha << " |p1|=" << p1.size()
+            << " |p2|=" << p2.size();
+      }
+    }
+  }
+}
+
+/// Property 8: unweighted sets of size h with |s1 ∩ s2| >= k: any
+/// (h-k+1)-subset of s1 intersects s2. Check for the prefix specifically.
+TEST(PrefixFilterPropertyTest, Property8UnweightedPrefixSize) {
+  Rng rng(5150);
+  const size_t kUniverse = 30;
+  WeightVector weights(kUniverse, 1.0);
+  ElementOrder order = ElementOrder::Random(kUniverse, 3);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random set of fixed size h.
+    std::vector<text::TokenId> universe(kUniverse);
+    std::iota(universe.begin(), universe.end(), 0);
+    rng.Shuffle(&universe);
+    size_t h = 5 + rng.Uniform(10);
+    std::vector<text::TokenId> s(universe.begin(), universe.begin() + h);
+    size_t k = 1 + rng.Uniform(h);
+    // beta = h - k: the prefix should contain exactly h - k + 1 elements.
+    auto prefix = ComputePrefix(s, weights, order,
+                                static_cast<double>(h) - static_cast<double>(k));
+    EXPECT_EQ(prefix.size(), h - k + 1);
+  }
+}
+
+TEST(PrefixFilterRelationTest, AppliesSideSpecificBounds) {
+  WeightVector weights{1.0, 1.0, 1.0, 1.0};
+  ElementOrder order = ElementOrder::ById(4);
+  SetsRelation rel = *BuildSetsRelation({{0, 1, 2, 3}, {0, 1}}, weights);
+  OverlapPredicate pred = OverlapPredicate::OneSidedNormalized(0.5);
+  // R side: required = 0.5 * norm -> beta = norm/2 -> prefix just over half.
+  PrefixFilteredRelation r_pref =
+      PrefixFilterRelation(rel, weights, order, pred, JoinSide::kR);
+  EXPECT_EQ(r_pref.prefixes[0].size(), 3u);  // cum > 2 after 3 elements
+  EXPECT_EQ(r_pref.prefixes[1].size(), 2u);  // cum > 1 after 2 elements
+  // S side: unboundable -> whole sets.
+  PrefixFilteredRelation s_pref =
+      PrefixFilterRelation(rel, weights, order, pred, JoinSide::kS);
+  EXPECT_EQ(s_pref.prefixes[0].size(), 4u);
+  EXPECT_EQ(s_pref.total_prefix_elements(), 6u);
+}
+
+TEST(BuildSetsRelationTest, CanonicalizesAndComputesWeights) {
+  WeightVector weights{1.0, 2.0, 4.0};
+  SetsRelation rel = *BuildSetsRelation({{2, 0, 2, 1}}, weights);
+  EXPECT_EQ(rel.sets[0], (std::vector<text::TokenId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(rel.set_weights[0], 7.0);
+  EXPECT_DOUBLE_EQ(rel.norms[0], 7.0);
+  EXPECT_EQ(rel.total_elements(), 3u);
+}
+
+TEST(BuildSetsRelationTest, CustomNorms) {
+  WeightVector weights{1.0};
+  SetsRelation rel = *BuildSetsRelation({{0}}, weights, {{42.0}});
+  EXPECT_DOUBLE_EQ(rel.norms[0], 42.0);
+  EXPECT_DOUBLE_EQ(rel.set_weights[0], 1.0);
+}
+
+TEST(BuildSetsRelationTest, RejectsBadInputs) {
+  WeightVector weights{1.0};
+  EXPECT_FALSE(BuildSetsRelation({{5}}, weights).ok());
+  EXPECT_FALSE(BuildSetsRelation({{0}}, weights, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(BuildSetsRelation({{text::kInvalidToken}}, weights).ok());
+}
+
+}  // namespace
+}  // namespace ssjoin::core

@@ -1,0 +1,167 @@
+/// Direct randomized checks of the paper's formal claims, independent of
+/// any join implementation:
+///   - Property 4 (the q-gram count filter bound of [9], §3.1)
+///   - the edit-similarity SSJoin conjuncts derived from it (Figure 3)
+///   - Definition 5's containment/resemblance relationship (§3.2)
+///   - the GES candidate bound used in §3.3's reduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "core/predicate.h"
+#include "sim/edit_distance.h"
+#include "sim/ges.h"
+#include "sim/set_overlap.h"
+#include "text/dictionary.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin {
+namespace {
+
+std::string RandomString(Rng* rng, size_t min_len, size_t max_len,
+                         const std::string& alphabet) {
+  size_t len = min_len + rng->Uniform(max_len - min_len + 1);
+  std::string s;
+  for (size_t i = 0; i < len; ++i) s += alphabet[rng->Uniform(alphabet.size())];
+  return s;
+}
+
+/// Applies up to `edits` random character edits.
+std::string Mutate(const std::string& s, size_t edits, Rng* rng,
+                   const std::string& alphabet) {
+  std::string out = s;
+  for (size_t e = 0; e < edits; ++e) {
+    switch (rng->Uniform(3)) {
+      case 0:
+        out.insert(out.begin() + static_cast<ptrdiff_t>(rng->Uniform(out.size() + 1)),
+                   alphabet[rng->Uniform(alphabet.size())]);
+        break;
+      case 1:
+        if (!out.empty()) {
+          out.erase(out.begin() + static_cast<ptrdiff_t>(rng->Uniform(out.size())));
+        }
+        break;
+      default:
+        if (!out.empty()) {
+          out[rng->Uniform(out.size())] = alphabet[rng->Uniform(alphabet.size())];
+        }
+    }
+  }
+  return out;
+}
+
+/// Multiset q-gram overlap via ordinal encoding.
+size_t QGramOverlap(const std::string& a, const std::string& b, size_t q) {
+  text::QGramTokenizer tok(q);
+  text::TokenDictionary dict;
+  auto da = dict.EncodeDocument(tok.Tokenize(a));
+  auto db = dict.EncodeDocument(tok.Tokenize(b));
+  sim::Canonicalize(&da);
+  sim::Canonicalize(&db);
+  return sim::OverlapCount(da, db);
+}
+
+class PaperPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST_P(PaperPropertyTest, Property4QGramBound) {
+  // Property 4 [9]: ED(s1, s2) <= eps implies
+  // |QGSet_q(s1) ∩ QGSet_q(s2)| >= max(|s1|,|s2|) - q + 1 - eps*q.
+  Rng rng(GetParam());
+  const std::string alphabet = "abcdef";
+  for (int iter = 0; iter < 300; ++iter) {
+    size_t q = 2 + rng.Uniform(3);
+    std::string a = RandomString(&rng, q + 2, 30, alphabet);
+    std::string b = Mutate(a, rng.Uniform(5), &rng, alphabet);
+    if (b.size() < q) continue;
+    size_t ed = sim::EditDistance(a, b);
+    size_t overlap = QGramOverlap(a, b, q);
+    double bound = static_cast<double>(std::max(a.size(), b.size())) -
+                   static_cast<double>(q) + 1.0 -
+                   static_cast<double>(ed) * static_cast<double>(q);
+    EXPECT_GE(static_cast<double>(overlap), bound)
+        << "a='" << a << "' b='" << b << "' q=" << q << " ed=" << ed;
+  }
+}
+
+TEST_P(PaperPropertyTest, EditSimilarityConjunctsNeverRejectTruePairs) {
+  // Figure 3's predicate as derived in string_joins.cc: any pair with
+  // ES >= alpha must satisfy Overlap >= k*norm + c on both sides.
+  Rng rng(GetParam() + 50);
+  const std::string alphabet = "abcdefgh";
+  const size_t q = 3;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a = RandomString(&rng, 10, 40, alphabet);
+    std::string b = Mutate(a, rng.Uniform(6), &rng, alphabet);
+    if (b.size() < q) continue;
+    double es = sim::EditSimilarity(a, b);
+    size_t overlap = QGramOverlap(a, b, q);
+    double norm_a = static_cast<double>(a.size() - q + 1);
+    double norm_b = static_cast<double>(b.size() - q + 1);
+    for (double alpha : {0.7, 0.8, 0.9, 0.95}) {
+      if (es < alpha) continue;  // pair not in the true result
+      double k = 1.0 - (1.0 - alpha) * static_cast<double>(q);
+      double c = k * static_cast<double>(q - 1) - static_cast<double>(q) + 1.0;
+      core::OverlapPredicate pred;
+      pred.And({c, k, 0.0}).And({c, 0.0, k});
+      EXPECT_TRUE(pred.Test(static_cast<double>(overlap), norm_a, norm_b))
+          << "a='" << a << "' b='" << b << "' alpha=" << alpha << " es=" << es
+          << " overlap=" << overlap;
+    }
+  }
+}
+
+TEST_P(PaperPropertyTest, ResemblanceImpliesBothContainments) {
+  // §3.2: JR(s1,s2) >= alpha implies JC(s1,s2) >= alpha and JC(s2,s1) >=
+  // alpha — the soundness of the 2-sided reduction (Figure 4, right).
+  Rng rng(GetParam() + 100);
+  text::UnitWeights unit;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<text::TokenId> s1;
+    std::vector<text::TokenId> s2;
+    for (text::TokenId e = 0; e < 25; ++e) {
+      if (rng.Bernoulli(0.4)) s1.push_back(e);
+      if (rng.Bernoulli(0.4)) s2.push_back(e);
+    }
+    double jr = sim::JaccardResemblance(s1, s2, unit);
+    EXPECT_LE(jr, sim::JaccardContainment(s1, s2, unit) + 1e-12);
+    EXPECT_LE(jr, sim::JaccardContainment(s2, s1, unit) + 1e-12);
+  }
+}
+
+TEST_P(PaperPropertyTest, GesCandidateBoundHolds) {
+  // §3.3 (as sharpened in ges_join.cc): GES(a, b) >= alpha implies the
+  // weight of a's tokens that are deleted or replaced beyond the expansion
+  // radius beta is at most (1-alpha)/(1-beta) * wt(a). We verify the core
+  // inequality on the transformation cost: tc >= (1-beta) * U where U is
+  // that weight — via the contrapositive: tc <= (1-alpha)*wt(a).
+  Rng rng(GetParam() + 200);
+  const std::string alphabet = "abcde";
+  auto unit = [](std::string_view) { return 1.0; };
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random token sequences.
+    std::vector<std::string> a;
+    std::vector<std::string> b;
+    size_t n = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) a.push_back(RandomString(&rng, 3, 8, alphabet));
+    b = a;
+    // Perturb b: replace/drop tokens.
+    for (auto& t : b) {
+      if (rng.Bernoulli(0.3)) t = Mutate(t, 1 + rng.Uniform(2), &rng, alphabet);
+    }
+    if (rng.Bernoulli(0.2) && b.size() > 1) b.pop_back();
+    double ges = sim::GeneralizedEditSimilarity(a, b, unit);
+    double tc = sim::TransformationCost(a, b, unit);
+    double wt_a = static_cast<double>(a.size());
+    // Definition 6 identity: GES = 1 - min(tc/wt, 1).
+    EXPECT_NEAR(ges, 1.0 - std::min(tc / wt_a, 1.0), 1e-12);
+    EXPECT_GE(tc, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin

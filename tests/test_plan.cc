@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/ssjoin_plan.h"
+#include "engine/plan.h"
+
+namespace ssjoin {
+namespace {
+
+using engine::AggKind;
+using engine::DataType;
+using engine::PlanPtr;
+using engine::Table;
+
+Table Orders() {
+  engine::Schema schema({{"cust", DataType::kInt64},
+                         {"item", DataType::kString},
+                         {"qty", DataType::kInt64}});
+  return *Table::FromRows(schema, {{1, "apple", 3},
+                                   {1, "pear", 1},
+                                   {2, "apple", 5},
+                                   {2, "apple", 2},
+                                   {3, "fig", 9}});
+}
+
+Table Customers() {
+  engine::Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  return *Table::FromRows(schema, {{1, "ann"}, {2, "bob"}, {3, "cat"}});
+}
+
+TEST(PlanTest, ScanExecutesToTheTable) {
+  PlanPtr scan = engine::ScanNode(Orders(), "orders");
+  Table t = *scan->Execute();
+  EXPECT_TRUE(t.ContentEquals(Orders()));
+  EXPECT_NE(scan->Describe().find("orders"), std::string::npos);
+}
+
+TEST(PlanTest, ComposedPipeline) {
+  // SELECT name, SUM(qty) AS total FROM orders JOIN customers
+  // WHERE item = 'apple' GROUP BY name HAVING total > 4 ORDER BY name.
+  PlanPtr plan = engine::OrderByNode(
+      engine::GroupByNode(
+          engine::HashJoinNode(
+              engine::FilterNode(engine::ScanNode(Orders(), "orders"),
+                                 engine::Eq(engine::Col("item"),
+                                            engine::Lit("apple"))),
+              engine::ScanNode(Customers(), "customers"), {"cust"}, {"id"}),
+          {"name"}, {{AggKind::kSum, "qty", "total"}},
+          engine::Gt(engine::Col("total"), engine::Lit(4.0))),
+      {"name"});
+  Table result = *plan->Execute();
+  ASSERT_EQ(result.num_rows(), 1u);
+  EXPECT_EQ(result.GetValue(0, 0).string(), "bob");
+  EXPECT_DOUBLE_EQ(result.GetValue(1, 0).float64(), 7.0);
+}
+
+TEST(PlanTest, ExplainRendersTree) {
+  PlanPtr plan = engine::DistinctNode(engine::ProjectNode(
+      engine::ScanNode(Orders(), "orders"), {"item"}));
+  std::string explain = plan->ToString();
+  EXPECT_NE(explain.find("Distinct"), std::string::npos);
+  EXPECT_NE(explain.find("  Project(item)"), std::string::npos);
+  EXPECT_NE(explain.find("    Scan(orders"), std::string::npos);
+}
+
+TEST(PlanTest, ProjectExprsAndRename) {
+  PlanPtr plan = engine::RenameNode(
+      engine::ProjectExprsNode(
+          engine::ScanNode(Orders(), "orders"),
+          {{"double_qty", engine::Mul(engine::Col("qty"), engine::Lit(2))}}),
+      {{"double_qty", "qty2"}});
+  Table t = *plan->Execute();
+  EXPECT_EQ(t.schema().field(0).name, "qty2");
+  EXPECT_EQ(t.GetValue(0, 0).int64(), 6);
+}
+
+TEST(PlanTest, ErrorsPropagate) {
+  PlanPtr plan = engine::FilterNode(engine::ScanNode(Orders(), "orders"),
+                                    engine::Col("missing"));
+  EXPECT_FALSE(plan->Execute().ok());
+}
+
+// --- SSJoinNode (the §7 optimizer integration) ---
+
+struct Fixture {
+  core::WeightVector weights;
+  core::ElementOrder order;
+  core::SetsRelation rel;
+};
+
+Fixture MakeSets(uint64_t seed, size_t groups, size_t universe) {
+  Rng rng(seed);
+  Fixture f;
+  f.weights.resize(universe);
+  for (double& w : f.weights) w = 0.2 + rng.NextDouble();
+  f.order = core::ElementOrder::ByDecreasingWeight(f.weights);
+  std::vector<std::vector<text::TokenId>> docs(groups);
+  for (auto& doc : docs) {
+    size_t size = 2 + rng.Uniform(6);
+    for (size_t i = 0; i < size; ++i) {
+      doc.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+    }
+  }
+  f.rel = *core::BuildSetsRelation(std::move(docs), f.weights);
+  return f;
+}
+
+TEST(SSJoinPlanTest, TableRoundTripPreservesSets) {
+  Fixture f = MakeSets(3, 40, 25);
+  Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
+  core::DecodedRelation decoded = *core::TableToSetsRelation(t);
+  ASSERT_EQ(decoded.rel.num_groups(), f.rel.num_groups());
+  for (size_t g = 0; g < f.rel.num_groups(); ++g) {
+    EXPECT_EQ(decoded.rel.sets[g], f.rel.sets[g]);
+    EXPECT_DOUBLE_EQ(decoded.rel.norms[g], f.rel.norms[g]);
+    EXPECT_NEAR(decoded.rel.set_weights[g], f.rel.set_weights[g], 1e-9);
+  }
+  // Recovered order ranks present elements consistently with the original.
+  for (const auto& set : f.rel.sets) {
+    for (size_t i = 1; i < set.size(); ++i) {
+      bool orig = f.order.Rank(set[i - 1]) < f.order.Rank(set[i]);
+      bool rec = decoded.order.Rank(set[i - 1]) < decoded.order.Rank(set[i]);
+      EXPECT_EQ(orig, rec);
+    }
+  }
+}
+
+TEST(SSJoinPlanTest, AllStrategiesProduceSameResult) {
+  Fixture f = MakeSets(7, 50, 30);
+  Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
+  core::OverlapPredicate pred = core::OverlapPredicate::TwoSidedNormalized(0.7);
+  auto pair_set = [](const Table& out) {
+    std::set<std::pair<int64_t, int64_t>> pairs;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      pairs.insert({out.GetValue(0, r).int64(), out.GetValue(1, r).int64()});
+    }
+    return pairs;
+  };
+  std::set<std::pair<int64_t, int64_t>> reference;
+  bool first = true;
+  for (core::SSJoinStrategy strategy :
+       {core::SSJoinStrategy::kBasic, core::SSJoinStrategy::kPrefixFilter,
+        core::SSJoinStrategy::kCostBased}) {
+    PlanPtr plan = core::SSJoinNode(engine::ScanNode(t, "r"),
+                                    engine::ScanNode(t, "s"), pred, strategy);
+    Table out = *plan->Execute();
+    if (first) {
+      reference = pair_set(out);
+      first = false;
+    } else {
+      EXPECT_EQ(pair_set(out), reference)
+          << core::SSJoinStrategyName(strategy);
+    }
+    EXPECT_NE(plan->Describe().find(core::SSJoinStrategyName(strategy)),
+              std::string::npos);
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(SSJoinPlanTest, ComposesWithOtherPlanNodes) {
+  Fixture f = MakeSets(11, 40, 20);
+  Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
+  // SSJoin, then keep only non-identical pairs with overlap above 1.
+  PlanPtr plan = engine::FilterNode(
+      core::SSJoinNode(engine::ScanNode(t, "r"), engine::ScanNode(t, "s"),
+                       core::OverlapPredicate::TwoSidedNormalized(0.8)),
+      engine::And(engine::Ne(engine::Col("r_a"), engine::Col("s_a")),
+                  engine::Gt(engine::Col("overlap"), engine::Lit(1.0))));
+  Table out = *plan->Execute();
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_NE(out.GetValue(0, r).int64(), out.GetValue(1, r).int64());
+    EXPECT_GT(out.GetValue(2, r).float64(), 1.0);
+  }
+  std::string explain = plan->ToString();
+  EXPECT_NE(explain.find("Filter"), std::string::npos);
+  EXPECT_NE(explain.find("SSJoin"), std::string::npos);
+}
+
+TEST(SSJoinPlanTest, ExplainReportsChosenPlan) {
+  Fixture f = MakeSets(13, 60, 25);
+  Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
+  std::string explain = *core::ExplainSSJoin(
+      t, t, core::OverlapPredicate::TwoSidedNormalized(0.9));
+  EXPECT_NE(explain.find("physical plan:"), std::string::npos);
+  EXPECT_NE(explain.find("CostEstimate"), std::string::npos);
+}
+
+TEST(SSJoinPlanTest, RejectsMalformedTables) {
+  engine::Schema wrong({{"x", DataType::kInt64}});
+  Table bad = *Table::FromRows(wrong, {{1}});
+  EXPECT_FALSE(core::TableToSetsRelation(bad).ok());
+  // Sparse (non-dense) group ids rejected.
+  Fixture f = MakeSets(17, 5, 10);
+  Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
+  Table sparse = t;
+  sparse.column(0).int64s()[0] = 1000;
+  EXPECT_FALSE(core::TableToSetsRelation(sparse).ok());
+}
+
+}  // namespace
+}  // namespace ssjoin

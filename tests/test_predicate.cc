@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/predicate.h"
+
+namespace ssjoin::core {
+namespace {
+
+TEST(ThresholdExprTest, EvalIsLinear) {
+  ThresholdExpr e{2.0, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(e.Eval(4.0, 8.0), 2.0 + 2.0 + 2.0);
+}
+
+TEST(OverlapPredicateTest, AbsoluteOverlap) {
+  OverlapPredicate p = OverlapPredicate::Absolute(10.0);
+  // Example 1: overlap 10 joins the Microsoft/Mcrosoft pair.
+  EXPECT_TRUE(p.Test(10.0, 12.0, 11.0));
+  EXPECT_FALSE(p.Test(9.0, 12.0, 11.0));
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(12.0, 11.0), 10.0);
+}
+
+TEST(OverlapPredicateTest, OneSidedNormalized) {
+  // Example 2: Overlap >= 0.8 * R.norm with R.norm = 12 -> 9.6; overlap 10
+  // joins the pair.
+  OverlapPredicate p = OverlapPredicate::OneSidedNormalized(0.8);
+  EXPECT_TRUE(p.Test(10.0, 12.0, 11.0));
+  EXPECT_FALSE(p.Test(9.0, 12.0, 11.0));
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(12.0, 11.0), 9.6);
+}
+
+TEST(OverlapPredicateTest, TwoSidedNormalizedIsMaxForm) {
+  // Example 2: 10 >= 80% of 12 and 80% of 11.
+  OverlapPredicate p = OverlapPredicate::TwoSidedNormalized(0.8);
+  EXPECT_TRUE(p.Test(10.0, 12.0, 11.0));
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(12.0, 11.0), 9.6);
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(11.0, 12.0), 9.6);  // max of the two
+  EXPECT_FALSE(p.Test(9.5, 12.0, 11.0));
+}
+
+TEST(OverlapPredicateTest, ConjunctionTakesMax) {
+  OverlapPredicate p;
+  p.And({5.0, 0.0, 0.0}).And({0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(3.0, 100.0), 5.0);   // constant dominates
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(8.0, 100.0), 8.0);   // norm dominates
+}
+
+TEST(OverlapPredicateTest, RequiredOverlapFloorsAtZero) {
+  OverlapPredicate p;
+  p.And({-10.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(1.0, 1.0), 0.0);
+  EXPECT_TRUE(p.Test(0.5, 1.0, 1.0));
+}
+
+TEST(OverlapPredicateTest, EmptyPredicateAcceptsEverything) {
+  OverlapPredicate p;
+  EXPECT_DOUBLE_EQ(p.RequiredOverlap(5.0, 5.0), 0.0);
+  EXPECT_TRUE(p.Test(0.0, 5.0, 5.0));
+}
+
+TEST(OverlapPredicateTest, SideBoundsAreValidLowerBounds) {
+  OverlapPredicate p = OverlapPredicate::TwoSidedNormalized(0.8);
+  // For any s_norm >= 0, RSideRequired(rn) <= RequiredOverlap(rn, sn).
+  for (double rn : {0.0, 1.0, 7.5, 100.0}) {
+    for (double sn : {0.0, 2.0, 50.0}) {
+      EXPECT_LE(p.RSideRequired(rn), p.RequiredOverlap(rn, sn) + 1e-12);
+      EXPECT_LE(p.SSideRequired(sn), p.RequiredOverlap(rn, sn) + 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(p.RSideRequired(10.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.SSideRequired(10.0), 8.0);
+}
+
+TEST(OverlapPredicateTest, OneSidedLeavesOtherSideUnfiltered) {
+  OverlapPredicate p = OverlapPredicate::OneSidedNormalized(0.8);
+  EXPECT_DOUBLE_EQ(p.RSideRequired(10.0), 8.0);
+  // The S side cannot be bounded by an R-norm conjunct: required 0 ->
+  // beta = wt(set) -> whole set passes (the §4.2 1-sided rule).
+  EXPECT_DOUBLE_EQ(p.SSideRequired(10.0), 0.0);
+}
+
+TEST(OverlapPredicateTest, NegativeOtherCoefficientSkipped) {
+  OverlapPredicate p;
+  p.And({5.0, 0.0, -1.0});  // cannot be bounded from the R side
+  EXPECT_DOUBLE_EQ(p.RSideRequired(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.SSideRequired(2.0), 3.0);
+}
+
+TEST(OverlapPredicateTest, ToStringMentionsNorms) {
+  OverlapPredicate p = OverlapPredicate::TwoSidedNormalized(0.8);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("R.norm"), std::string::npos);
+  EXPECT_NE(s.find("S.norm"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+  EXPECT_EQ(OverlapPredicate().ToString(), "Overlap >= 0");
+}
+
+}  // namespace
+}  // namespace ssjoin::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simjoin/record_match.h"
+
+namespace ssjoin::simjoin {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToPairSet(const std::vector<MatchPair>& matches) {
+  PairSet out;
+  for (const MatchPair& m : matches) out.insert({m.r, m.s});
+  return out;
+}
+
+/// Customers: {name, address, phone}.
+std::vector<std::vector<std::string>> Customers() {
+  return {
+      {"John Smith", "4821 NE Thornton Ave Redmond", "555-0101"},    // 0
+      {"Jon Smith", "4821 NE Thornton Avenue Redmond", "555-0101"},  // 1: dup of 0
+      {"John Smith", "99 Elm Street Dallas", "555-7777"},            // 2: same name
+      {"Mary Crouvel", "4821 NE Thornton Ave Redmond", "555-2222"},  // 3: same addr
+      {"Smyth John", "12 Pine Rd Austin", "555-3333"},               // 4
+  };
+}
+
+TEST(RecordMatchTest, NameAndAddressConjunction) {
+  auto rows = Customers();
+  RecordMatchOptions options;
+  // §1's rule: names similar AND addresses similar. (Edit similarity for
+  // the short names — token-level IDF weights on a 5-record corpus make
+  // word-level Jaccard overly strict for single-token differences.)
+  options.rule_sets = {{{0, ColumnSim::kEditSimilarity, 0.8},
+                        {1, ColumnSim::kJaccard, 0.4}}};
+  auto matches = *RecordMatchJoin(rows, rows, options);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 1}));   // real duplicate: both columns similar
+  EXPECT_FALSE(pairs.count({0, 2}));  // name matches, address differs
+  EXPECT_FALSE(pairs.count({0, 3}));  // address matches, name differs
+  for (uint32_t i = 0; i < rows.size(); ++i) EXPECT_TRUE(pairs.count({i, i}));
+}
+
+TEST(RecordMatchTest, DisjunctionOfRuleSets) {
+  auto rows = Customers();
+  RecordMatchOptions options;
+  // Match if (name edit-similar AND phone equal) OR (address jaccard-close).
+  options.rule_sets = {
+      {{0, ColumnSim::kEditSimilarity, 0.8}, {2, ColumnSim::kEquality, 0.0}},
+      {{1, ColumnSim::kJaccard, 0.75}},
+  };
+  auto matches = *RecordMatchJoin(rows, rows, options);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 1}));  // via either set
+  EXPECT_TRUE(pairs.count({0, 3}));  // via address rule set
+  EXPECT_FALSE(pairs.count({0, 4}));
+  EXPECT_FALSE(pairs.count({2, 4}));
+}
+
+TEST(RecordMatchTest, SoundexAndJaroWinklerRules) {
+  auto rows = Customers();
+  RecordMatchOptions options;
+  // Block on soundex of the name column; verify with Jaro-Winkler to weed
+  // out weak candidates.
+  options.rule_sets = {
+      {{0, ColumnSim::kSoundex, 0.0}, {0, ColumnSim::kJaroWinkler, 0.85}}};
+  auto matches = *RecordMatchJoin(rows, rows, options);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 2}));   // identical names pass both
+  EXPECT_TRUE(pairs.count({0, 1}));   // John/Jon Smith: same soundex, high JW
+  EXPECT_FALSE(pairs.count({0, 3}));  // different soundex
+}
+
+TEST(RecordMatchTest, EqualityBlockingIsExact) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a b"}, {"b a"}, {"a b"}, {"c"}};
+  RecordMatchOptions options;
+  options.rule_sets = {{{0, ColumnSim::kEquality, 0.0}}};
+  auto matches = *RecordMatchJoin(rows, rows, options);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 2}));   // identical strings
+  EXPECT_FALSE(pairs.count({0, 1}));  // same token multiset, different string
+  EXPECT_TRUE(pairs.count({3, 3}));
+}
+
+TEST(RecordMatchTest, StatsCountVerifierCalls) {
+  auto rows = Customers();
+  RecordMatchOptions options;
+  options.rule_sets = {{{0, ColumnSim::kJaccard, 0.5},
+                        {1, ColumnSim::kJaccard, 0.5},
+                        {2, ColumnSim::kEquality, 0.0}}};
+  SimJoinStats stats;
+  auto matches = *RecordMatchJoin(rows, rows, options, &stats);
+  EXPECT_GT(stats.verifier_calls, 0u);
+  EXPECT_EQ(stats.result_pairs, matches.size());
+}
+
+TEST(RecordMatchTest, InvalidSpecifications) {
+  auto rows = Customers();
+  RecordMatchOptions empty;
+  EXPECT_FALSE(RecordMatchJoin(rows, rows, empty).ok());
+  RecordMatchOptions empty_set;
+  empty_set.rule_sets = {{}};
+  EXPECT_FALSE(RecordMatchJoin(rows, rows, empty_set).ok());
+  RecordMatchOptions jw_block;
+  jw_block.rule_sets = {{{0, ColumnSim::kJaroWinkler, 0.8}}};
+  EXPECT_FALSE(RecordMatchJoin(rows, rows, jw_block).ok());
+  RecordMatchOptions bad_column;
+  bad_column.rule_sets = {{{9, ColumnSim::kJaccard, 0.5}}};
+  EXPECT_FALSE(RecordMatchJoin(rows, rows, bad_column).ok());
+}
+
+TEST(RecordMatchTest, DeduplicatesAcrossRuleSets) {
+  auto rows = Customers();
+  RecordMatchOptions options;
+  // Two rule sets that both accept the identity pairs.
+  options.rule_sets = {{{0, ColumnSim::kJaccard, 0.9}},
+                       {{1, ColumnSim::kJaccard, 0.9}}};
+  auto matches = *RecordMatchJoin(rows, rows, options);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_EQ(matches.size(), pairs.size());  // no duplicate pairs emitted
+}
+
+}  // namespace
+}  // namespace ssjoin::simjoin

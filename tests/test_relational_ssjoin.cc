@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/relational_ssjoin.h"
+#include "core/ssjoin.h"
+#include "engine/operators.h"
+
+namespace ssjoin::core {
+namespace {
+
+struct Fixture {
+  WeightVector weights;
+  ElementOrder order;
+  SetsRelation r;
+  SetsRelation s;
+};
+
+Fixture RandomFixture(uint64_t seed, size_t universe, size_t r_groups,
+                      size_t s_groups) {
+  Rng rng(seed);
+  Fixture f;
+  f.weights.resize(universe);
+  for (double& w : f.weights) w = 0.1 + rng.NextDouble();
+  f.order = ElementOrder::ByDecreasingWeight(f.weights);
+  auto make_docs = [&](size_t n) {
+    std::vector<std::vector<text::TokenId>> docs(n);
+    for (auto& doc : docs) {
+      size_t size = 1 + rng.Uniform(6);
+      for (size_t i = 0; i < size; ++i) {
+        doc.push_back(static_cast<text::TokenId>(rng.Uniform(universe)));
+      }
+    }
+    return docs;
+  };
+  f.r = *BuildSetsRelation(make_docs(r_groups), f.weights);
+  f.s = *BuildSetsRelation(make_docs(s_groups), f.weights);
+  return f;
+}
+
+/// Extracts sorted (r, s, overlap) triples from a plan output table.
+std::vector<SSJoinPair> TableToPairs(const engine::Table& t) {
+  std::vector<SSJoinPair> pairs;
+  size_t ra = *t.schema().FieldIndex("r_a");
+  size_t sa = *t.schema().FieldIndex("s_a");
+  size_t ov = *t.schema().FieldIndex("overlap");
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    pairs.push_back({static_cast<GroupId>(t.GetValue(ra, row).int64()),
+                     static_cast<GroupId>(t.GetValue(sa, row).int64()),
+                     t.GetValue(ov, row).float64()});
+  }
+  SortPairs(&pairs);
+  return pairs;
+}
+
+void ExpectSamePairs(const std::vector<SSJoinPair>& got,
+                     const std::vector<SSJoinPair>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].r, expected[i].r);
+    EXPECT_EQ(got[i].s, expected[i].s);
+    EXPECT_NEAR(got[i].overlap, expected[i].overlap, 1e-9);
+  }
+}
+
+TEST(ToNormalizedTableTest, FirstNormalForm) {
+  WeightVector weights{1.0, 2.0};
+  ElementOrder order = ElementOrder::ById(2);
+  SetsRelation rel = *BuildSetsRelation({{0, 1}, {1}}, weights);
+  engine::Table t = *ToNormalizedTable(rel, weights, order);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.schema().num_fields(), 5u);
+  // Row (group 0, element 1) carries weight 2 and norm 3.
+  bool found = false;
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    if (t.GetValue(0, row).int64() == 0 && t.GetValue(1, row).int64() == 1) {
+      EXPECT_DOUBLE_EQ(t.GetValue(2, row).float64(), 2.0);
+      EXPECT_DOUBLE_EQ(t.GetValue(3, row).float64(), 3.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ToNormalizedTableTest, RejectsUncoveredElements) {
+  WeightVector weights{1.0};
+  ElementOrder order = ElementOrder::ById(1);
+  SetsRelation rel = *BuildSetsRelation({{0}}, weights);
+  rel.sets[0].push_back(9);
+  EXPECT_FALSE(ToNormalizedTable(rel, weights, order).ok());
+}
+
+class RelationalPlanTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelationalPlanTest, BasicPlanMatchesColumnarExecutor) {
+  Fixture f = RandomFixture(GetParam(), 15, 25, 20);
+  engine::Table rt = *ToNormalizedTable(f.r, f.weights, f.order);
+  engine::Table st = *ToNormalizedTable(f.s, f.weights, f.order);
+  for (const OverlapPredicate& pred :
+       {OverlapPredicate::Absolute(1.0), OverlapPredicate::OneSidedNormalized(0.7),
+        OverlapPredicate::TwoSidedNormalized(0.6)}) {
+    SCOPED_TRACE(pred.ToString());
+    SSJoinContext ctx{&f.weights, &f.order};
+    auto expected = *ExecuteSSJoin(SSJoinAlgorithm::kBasic, f.r, f.s, pred, ctx,
+                                   nullptr);
+    SortPairs(&expected);
+    engine::Table plan_out = *BasicSSJoinPlan(rt, st, pred);
+    ExpectSamePairs(TableToPairs(plan_out), expected);
+  }
+}
+
+TEST_P(RelationalPlanTest, PrefixPlanMatchesColumnarExecutor) {
+  Fixture f = RandomFixture(GetParam() + 100, 15, 20, 20);
+  engine::Table rt = *ToNormalizedTable(f.r, f.weights, f.order);
+  engine::Table st = *ToNormalizedTable(f.s, f.weights, f.order);
+  for (const OverlapPredicate& pred :
+       {OverlapPredicate::OneSidedNormalized(0.8),
+        OverlapPredicate::TwoSidedNormalized(0.7)}) {
+    SCOPED_TRACE(pred.ToString());
+    SSJoinContext ctx{&f.weights, &f.order};
+    auto expected = *ExecuteSSJoin(SSJoinAlgorithm::kPrefixFilterInline, f.r, f.s,
+                                   pred, ctx, nullptr);
+    SortPairs(&expected);
+    engine::Table plan_out = *PrefixFilterSSJoinPlan(rt, st, pred);
+    ExpectSamePairs(TableToPairs(plan_out), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationalPlanTest, ::testing::Values(1u, 2u, 3u));
+
+TEST(PrefixFilterPlanTest, KeepsRankPrefixPerGroup) {
+  WeightVector weights{1.0, 1.0, 1.0, 1.0};
+  ElementOrder order = ElementOrder::ById(4);
+  SetsRelation rel = *BuildSetsRelation({{0, 1, 2, 3}}, weights);
+  engine::Table t = *ToNormalizedTable(rel, weights, order);
+  OverlapPredicate pred = OverlapPredicate::OneSidedNormalized(0.5);
+  engine::Table filtered = *PrefixFilterPlan(t, pred, /*r_side=*/true);
+  // beta = 4 - 2 = 2 -> prefix of 3 lowest-rank elements.
+  EXPECT_EQ(filtered.num_rows(), 3u);
+  // S side of a 1-sided predicate: no filtering.
+  engine::Table unfiltered = *PrefixFilterPlan(t, pred, /*r_side=*/false);
+  EXPECT_EQ(unfiltered.num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace ssjoin::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "sim/set_overlap.h"
+#include "text/weights.h"
+
+namespace ssjoin::sim {
+namespace {
+
+class FixedWeights final : public text::WeightProvider {
+ public:
+  explicit FixedWeights(std::vector<double> w) : w_(std::move(w)) {}
+  double Weight(text::TokenId id) const override { return w_[id]; }
+
+ private:
+  std::vector<double> w_;
+};
+
+TEST(CanonicalizeTest, SortsAndDedups) {
+  std::vector<text::TokenId> s{5, 1, 3, 1, 5};
+  Canonicalize(&s);
+  EXPECT_EQ(s, (std::vector<text::TokenId>{1, 3, 5}));
+}
+
+TEST(OverlapTest, UnweightedCount) {
+  EXPECT_EQ(OverlapCount({1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}), 4u);
+  EXPECT_EQ(OverlapCount({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(OverlapCount({}, {1}), 0u);
+}
+
+TEST(OverlapTest, WeightedUsesElementWeights) {
+  FixedWeights w({0.0, 1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(WeightedOverlap({1, 2, 3}, {2, 3}, w), 6.0);
+  EXPECT_DOUBLE_EQ(WeightedOverlap({1}, {2}, w), 0.0);
+}
+
+TEST(OverlapTest, UnitWeightsMatchCount) {
+  text::UnitWeights unit;
+  std::vector<text::TokenId> a{1, 3, 5, 7};
+  std::vector<text::TokenId> b{3, 4, 5};
+  EXPECT_DOUBLE_EQ(WeightedOverlap(a, b, unit),
+                   static_cast<double>(OverlapCount(a, b)));
+}
+
+TEST(JaccardContainmentTest, Definition5) {
+  text::UnitWeights unit;
+  // JC({1,2,3,4}, {1,2}) = 2/4.
+  EXPECT_DOUBLE_EQ(JaccardContainment({1, 2, 3, 4}, {1, 2}, unit), 0.5);
+  // Containment is asymmetric.
+  EXPECT_DOUBLE_EQ(JaccardContainment({1, 2}, {1, 2, 3, 4}, unit), 1.0);
+  // Empty first set is fully contained by convention.
+  EXPECT_DOUBLE_EQ(JaccardContainment({}, {1}, unit), 1.0);
+}
+
+TEST(JaccardResemblanceTest, Definition5) {
+  text::UnitWeights unit;
+  EXPECT_DOUBLE_EQ(JaccardResemblance({1, 2, 3}, {2, 3, 4}, unit), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardResemblance({1}, {2}, unit), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardResemblance({}, {}, unit), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardResemblance({1, 2}, {1, 2}, unit), 1.0);
+}
+
+TEST(JaccardTest, ResemblanceNeverExceedsContainment) {
+  text::UnitWeights unit;
+  std::vector<text::TokenId> a{1, 2, 3, 5, 8};
+  std::vector<text::TokenId> b{2, 3, 5, 9};
+  double jr = JaccardResemblance(a, b, unit);
+  // §3.2: JC(s1,s2) >= JR(s1,s2) — the basis of the 2-sided reduction.
+  EXPECT_LE(jr, JaccardContainment(a, b, unit));
+  EXPECT_LE(jr, JaccardContainment(b, a, unit));
+}
+
+TEST(DiceTest, KnownValues) {
+  text::UnitWeights unit;
+  EXPECT_DOUBLE_EQ(DiceCoefficient({1, 2}, {2, 3}, unit), 0.5);
+  EXPECT_DOUBLE_EQ(DiceCoefficient({}, {}, unit), 1.0);
+}
+
+TEST(CosineTest, KnownValues) {
+  text::UnitWeights unit;
+  // cos({1,2},{2,3}) = 1/sqrt(4) = 0.5 with unit weights.
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 2}, {2, 3}, unit), 0.5);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1}, {1}, unit), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}, unit), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {1}, unit), 0.0);
+}
+
+TEST(CosineTest, BoundedByOne) {
+  FixedWeights w({0.0, 0.5, 2.0, 9.0});
+  double c = CosineSimilarity({1, 2, 3}, {1, 2, 3}, w);
+  EXPECT_NEAR(c, 1.0, 1e-12);
+}
+
+TEST(HammingTest, EqualLength) {
+  EXPECT_EQ(HammingDistance("karolin", "kathrin"), 3u);
+  EXPECT_EQ(HammingDistance("abc", "abc"), 0u);
+}
+
+TEST(HammingTest, UnequalLengthCountsTail) {
+  EXPECT_EQ(HammingDistance("abc", "abcde"), 2u);
+  EXPECT_EQ(HammingDistance("", "xy"), 2u);
+  EXPECT_EQ(HammingDistance("axc", "abcd"), 2u);
+}
+
+}  // namespace
+}  // namespace ssjoin::sim

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/address_gen.h"
+#include "sim/edit_distance.h"
+#include "sim/set_overlap.h"
+#include "simjoin/gravano.h"
+#include "simjoin/string_joins.h"
+
+namespace ssjoin::simjoin {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet ToPairSet(const std::vector<MatchPair>& matches) {
+  PairSet out;
+  for (const MatchPair& m : matches) out.insert({m.r, m.s});
+  return out;
+}
+
+std::vector<std::string> SmallAddressCorpus(size_t n, uint64_t seed) {
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.35;
+  opts.seed = seed;
+  return datagen::GenerateAddresses(opts).records;
+}
+
+/// Adapter exposing a WeightVector as a WeightProvider for brute-force
+/// similarity computation.
+class VectorWeights final : public text::WeightProvider {
+ public:
+  explicit VectorWeights(const core::WeightVector& w) : w_(w) {}
+  double Weight(text::TokenId id) const override { return w_[id]; }
+
+ private:
+  const core::WeightVector& w_;
+};
+
+class AlgorithmSweep : public ::testing::TestWithParam<core::SSJoinAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AlgorithmSweep,
+    ::testing::Values(core::SSJoinAlgorithm::kBasic,
+                      core::SSJoinAlgorithm::kInvertedIndex,
+                      core::SSJoinAlgorithm::kPrefixFilter,
+                      core::SSJoinAlgorithm::kPrefixFilterInline),
+    [](const auto& info) {
+      std::string name = core::SSJoinAlgorithmName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(AlgorithmSweep, EditSimilarityJoinMatchesBruteForce) {
+  std::vector<std::string> data = SmallAddressCorpus(150, 31);
+  JoinExecution exec{GetParam(), false};
+  for (double alpha : {0.8, 0.9}) {
+    SCOPED_TRACE(alpha);
+    SimJoinStats stats;
+    auto matches = *EditSimilarityJoin(data, data, alpha, 3, exec, &stats);
+    auto brute = *CrossProductEditSimilarityJoin(data, data, alpha);
+    EXPECT_EQ(ToPairSet(matches), ToPairSet(brute));
+    EXPECT_EQ(stats.result_pairs, matches.size());
+    // Exactness of reported similarity.
+    for (const MatchPair& m : matches) {
+      EXPECT_NEAR(m.similarity, sim::EditSimilarity(data[m.r], data[m.s]), 1e-9);
+      EXPECT_GE(m.similarity, alpha - 1e-9);
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, EditDistanceJoinMatchesBruteForce) {
+  std::vector<std::string> data = SmallAddressCorpus(120, 77);
+  JoinExecution exec{GetParam(), false};
+  for (size_t max_distance : {1u, 3u}) {
+    SCOPED_TRACE(max_distance);
+    auto matches = *EditDistanceJoin(data, data, max_distance, 3, exec);
+    PairSet expected;
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      for (uint32_t j = 0; j < data.size(); ++j) {
+        if (sim::EditDistanceAtMost(data[i], data[j], max_distance)) {
+          expected.insert({i, j});
+        }
+      }
+    }
+    EXPECT_EQ(ToPairSet(matches), expected);
+    for (const MatchPair& m : matches) {
+      EXPECT_NEAR(-m.similarity,
+                  static_cast<double>(sim::EditDistance(data[m.r], data[m.s])),
+                  1e-12);
+    }
+  }
+}
+
+TEST_P(AlgorithmSweep, JaccardResemblanceJoinMatchesBruteForce) {
+  std::vector<std::string> data = SmallAddressCorpus(200, 5);
+  JoinExecution exec{GetParam(), false};
+  SetJoinOptions opts;  // word tokens, IDF weights
+  for (double alpha : {0.6, 0.85}) {
+    SCOPED_TRACE(alpha);
+    auto matches = *JaccardResemblanceJoin(data, data, alpha, opts, exec);
+
+    // Independent brute force over the same Prep outputs.
+    text::WordTokenizer tok;
+    Prepared prep = PrepareStrings(data, data, tok, WeightMode::kIdf).MoveValueUnsafe();
+    VectorWeights weights(prep.weights);
+    PairSet expected;
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      for (uint32_t j = 0; j < data.size(); ++j) {
+        double jr = sim::JaccardResemblance(prep.r.sets[i], prep.s.sets[j], weights);
+        if (jr >= alpha - 1e-12) expected.insert({i, j});
+      }
+    }
+    EXPECT_EQ(ToPairSet(matches), expected);
+  }
+}
+
+TEST_P(AlgorithmSweep, JaccardContainmentJoinMatchesBruteForce) {
+  std::vector<std::string> data = SmallAddressCorpus(150, 9);
+  JoinExecution exec{GetParam(), false};
+  SetJoinOptions opts;
+  double alpha = 0.7;
+  auto matches = *JaccardContainmentJoin(data, data, alpha, opts, exec);
+  text::WordTokenizer tok;
+  Prepared prep = PrepareStrings(data, data, tok, WeightMode::kIdf).MoveValueUnsafe();
+  VectorWeights weights(prep.weights);
+  PairSet expected;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      if (prep.r.sets[i].empty()) continue;  // zero-weight sets never emitted
+      double jc = sim::JaccardContainment(prep.r.sets[i], prep.s.sets[j], weights);
+      if (jc >= alpha - 1e-12) expected.insert({i, j});
+    }
+  }
+  EXPECT_EQ(ToPairSet(matches), expected);
+  for (const MatchPair& m : matches) {
+    EXPECT_GE(m.similarity, alpha - 1e-9);
+    EXPECT_LE(m.similarity, 1.0 + 1e-9);
+  }
+}
+
+TEST(StringJoinsTest, JaccardWithQGramTokens) {
+  std::vector<std::string> data = SmallAddressCorpus(100, 13);
+  SetJoinOptions opts;
+  opts.word_tokens = false;
+  opts.q = 3;
+  auto matches = *JaccardResemblanceJoin(data, data, 0.8, opts);
+  // Every string resembles itself at 1.0.
+  PairSet pairs = ToPairSet(matches);
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(pairs.count({i, i})) << i;
+  }
+}
+
+TEST_P(AlgorithmSweep, CosineJoinMatchesBruteForce) {
+  std::vector<std::string> data = SmallAddressCorpus(150, 21);
+  JoinExecution exec{GetParam(), false};
+  double alpha = 0.8;
+  auto matches = *CosineJoin(data, data, alpha, {}, exec);
+  text::WordTokenizer tok;
+  Prepared prep = PrepareStrings(data, data, tok, WeightMode::kIdfSquared).MoveValueUnsafe();
+  VectorWeights weights(prep.weights);
+  PairSet expected;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    for (uint32_t j = 0; j < data.size(); ++j) {
+      if (prep.r.sets[i].empty() || prep.s.sets[j].empty()) continue;
+      double cos = sim::CosineSimilarity(prep.r.sets[i], prep.s.sets[j], weights);
+      if (cos >= alpha - 1e-12) expected.insert({i, j});
+    }
+  }
+  EXPECT_EQ(ToPairSet(matches), expected);
+}
+
+TEST_P(AlgorithmSweep, HammingJoinMatchesBruteForce) {
+  // Fixed-length-ish codes: zip-like strings.
+  Rng rng(3);
+  std::vector<std::string> data;
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    for (int d = 0; d < 7; ++d) s += static_cast<char>('0' + rng.Uniform(4));
+    data.push_back(s);
+  }
+  JoinExecution exec{GetParam(), false};
+  for (size_t max_distance : {1u, 2u}) {
+    SCOPED_TRACE(max_distance);
+    auto matches = *HammingJoin(data, data, max_distance, exec);
+    PairSet expected;
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      for (uint32_t j = 0; j < data.size(); ++j) {
+        if (sim::HammingDistance(data[i], data[j]) <= max_distance) {
+          expected.insert({i, j});
+        }
+      }
+    }
+    EXPECT_EQ(ToPairSet(matches), expected);
+  }
+}
+
+TEST(StringJoinsTest, HammingJoinMixedLengths) {
+  std::vector<std::string> data{"abcd", "abc", "abcde", "xbcd"};
+  auto matches = *HammingJoin(data, data, 1);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 1}));   // tail position counts as 1 mismatch
+  EXPECT_TRUE(pairs.count({0, 3}));   // 1 substitution
+  EXPECT_FALSE(pairs.count({1, 2}));  // 2 tail positions
+}
+
+TEST(StringJoinsTest, SoundexJoinGroupsHomophones) {
+  std::vector<std::string> names{"Robert", "Rupert", "Smith", "Smyth", "Jones"};
+  auto matches = *SoundexJoin(names, names);
+  PairSet pairs = ToPairSet(matches);
+  EXPECT_TRUE(pairs.count({0, 1}));
+  EXPECT_TRUE(pairs.count({2, 3}));
+  EXPECT_FALSE(pairs.count({0, 2}));
+  EXPECT_FALSE(pairs.count({4, 0}));
+  for (uint32_t i = 0; i < names.size(); ++i) EXPECT_TRUE(pairs.count({i, i}));
+}
+
+TEST(StringJoinsTest, CostModelExecutionProducesSameResult) {
+  std::vector<std::string> data = SmallAddressCorpus(150, 41);
+  JoinExecution fixed{core::SSJoinAlgorithm::kPrefixFilterInline, false};
+  JoinExecution costed{core::SSJoinAlgorithm::kBasic, /*use_cost_model=*/true};
+  auto a = *JaccardResemblanceJoin(data, data, 0.8, {}, fixed);
+  auto b = *JaccardResemblanceJoin(data, data, 0.8, {}, costed);
+  EXPECT_EQ(ToPairSet(a), ToPairSet(b));
+}
+
+TEST(StringJoinsTest, InvalidArguments) {
+  std::vector<std::string> data{"x"};
+  EXPECT_FALSE(EditSimilarityJoin(data, data, 1.5, 3).ok());
+  EXPECT_FALSE(EditSimilarityJoin(data, data, -0.1, 3).ok());
+  EXPECT_FALSE(EditSimilarityJoin(data, data, 0.8, 0).ok());
+  EXPECT_FALSE(EditDistanceJoin(data, data, 2, 0).ok());
+}
+
+TEST(StringJoinsTest, EmptyInputs) {
+  std::vector<std::string> empty;
+  std::vector<std::string> one{"hello"};
+  EXPECT_TRUE(EditSimilarityJoin(empty, one, 0.8, 3)->empty());
+  EXPECT_TRUE(JaccardResemblanceJoin(one, empty, 0.8)->empty());
+  EXPECT_TRUE(SoundexJoin(empty, empty)->empty());
+}
+
+TEST(StringJoinsTest, VerifierCallsTrackSSJoinOutput) {
+  std::vector<std::string> data = SmallAddressCorpus(150, 63);
+  SimJoinStats stats;
+  auto matches = *EditSimilarityJoin(data, data, 0.85, 3, {}, &stats);
+  // Every SSJoin survivor goes through the UDF exactly once (Table 1's
+  // SSJoin column); the final result can only be smaller.
+  EXPECT_EQ(stats.verifier_calls, stats.ssjoin.result_pairs);
+  EXPECT_GE(stats.verifier_calls, matches.size());
+  // Phase breakdown is recorded (Figure 10's stacking).
+  EXPECT_GT(stats.phases.Millis("Prep"), 0.0);
+  EXPECT_GE(stats.phases.Millis("Prefix-filter"), 0.0);
+  EXPECT_GT(stats.phases.TotalMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssjoin::simjoin

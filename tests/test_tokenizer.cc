@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace ssjoin::text {
+namespace {
+
+TEST(QGramTokenizerTest, PaperExample) {
+  // Section 2: "Microsoft Corporation" as 3-grams starts 'Mic','icr','cro',...
+  QGramTokenizer tok(3);
+  auto grams = tok.Tokenize("Microsoft Corp");
+  ASSERT_EQ(grams.size(), 12u);  // the paper's norm column (Figure 1)
+  EXPECT_EQ(grams[0], "Mic");
+  EXPECT_EQ(grams[1], "icr");
+  EXPECT_EQ(grams.back(), "orp");
+}
+
+TEST(QGramTokenizerTest, SecondPaperString) {
+  QGramTokenizer tok(3);
+  auto grams = tok.Tokenize("Mcrosoft Corp");
+  EXPECT_EQ(grams.size(), 11u);  // Figure 1's norm 11
+}
+
+TEST(QGramTokenizerTest, CountMatchesNumGrams) {
+  QGramTokenizer tok(4);
+  for (const char* s : {"", "a", "abc", "abcd", "abcdefgh"}) {
+    EXPECT_EQ(tok.Tokenize(s).size(), tok.NumGrams(std::string_view(s).size()))
+        << "string: " << s;
+  }
+}
+
+TEST(QGramTokenizerTest, ShortStringYieldsWholeString) {
+  QGramTokenizer tok(3);
+  auto grams = tok.Tokenize("ab");
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramTokenizerTest, EmptyStringYieldsNothing) {
+  QGramTokenizer tok(3);
+  EXPECT_TRUE(tok.Tokenize("").empty());
+}
+
+TEST(QGramTokenizerTest, PaddedGramCount) {
+  QGramTokenizer tok(3, /*pad=*/true, '$');
+  auto grams = tok.Tokenize("ab");
+  // len + q - 1 = 2 + 2 = 4 grams: $$a, $ab, ab$, b$$
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams[0], "$$a");
+  EXPECT_EQ(grams[3], "b$$");
+}
+
+TEST(QGramTokenizerTest, PreservesDuplicates) {
+  QGramTokenizer tok(2);
+  auto grams = tok.Tokenize("aaa");
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "aa");
+  EXPECT_EQ(grams[1], "aa");  // multiset semantics
+}
+
+TEST(QGramTokenizerTest, UnigramsWork) {
+  QGramTokenizer tok(1);
+  auto grams = tok.Tokenize("abc");
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[2], "c");
+}
+
+TEST(QGramTokenizerTest, Describe) {
+  EXPECT_EQ(QGramTokenizer(3).Describe(), "qgram(q=3)");
+  EXPECT_EQ(QGramTokenizer(2, true).Describe(), "qgram(q=2, padded)");
+}
+
+TEST(WordTokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  WordTokenizer tok;
+  auto words = tok.Tokenize("Microsoft Corp, Redmond. WA");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "Microsoft");
+  EXPECT_EQ(words[1], "Corp");
+  EXPECT_EQ(words[2], "Redmond");
+  EXPECT_EQ(words[3], "WA");
+}
+
+TEST(WordTokenizerTest, EmptyAndDelimiterOnly) {
+  WordTokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ,.  ").empty());
+}
+
+TEST(WordTokenizerTest, CustomDelimiters) {
+  WordTokenizer tok("|");
+  auto words = tok.Tokenize("a|b c|d");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[1], "b c");
+}
+
+TEST(WordTokenizerTest, PreservesDuplicates) {
+  WordTokenizer tok;
+  auto words = tok.Tokenize("the cat and the dog");
+  EXPECT_EQ(words.size(), 5u);  // "the" appears twice
+}
+
+}  // namespace
+}  // namespace ssjoin::text

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/dictionary.h"
+#include "text/weights.h"
+
+namespace ssjoin::text {
+namespace {
+
+TEST(UnitWeightsTest, AllOnes) {
+  UnitWeights w;
+  EXPECT_DOUBLE_EQ(w.Weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.Weight(12345), 1.0);
+  EXPECT_DOUBLE_EQ(w.SetWeight({1, 2, 3}), 3.0);
+}
+
+TEST(IdfWeightsTest, MatchesPaperFormula) {
+  // §5: w(t) = log((|R| + |S|) / f_t). Encode 4 documents; the token "rare"
+  // appears in 1, "mid" in 2, "common" in all 4.
+  TokenDictionary dict;
+  TokenId rare = dict.EncodeDocument({"rare", "mid", "common"})[0];
+  TokenId mid = dict.Find("mid");
+  TokenId common = dict.Find("common");
+  dict.EncodeDocument({"mid", "common"});
+  dict.EncodeDocument({"common"});
+  dict.EncodeDocument({"common"});
+
+  IdfWeights idf(dict);
+  EXPECT_NEAR(idf.Weight(rare), std::log(4.0 / 1.0), 1e-12);
+  EXPECT_NEAR(idf.Weight(mid), std::log(4.0 / 2.0), 1e-12);
+  // f_t = |docs| would give log(1) = 0; floored to a small positive value
+  // (the paper assumes strictly positive weights).
+  EXPECT_GT(idf.Weight(common), 0.0);
+  EXPECT_LT(idf.Weight(common), 1e-3);
+}
+
+TEST(IdfWeightsTest, RarerTokensWeighMore) {
+  TokenDictionary dict;
+  dict.EncodeDocument({"a", "b"});
+  dict.EncodeDocument({"a"});
+  dict.EncodeDocument({"a", "c"});
+  IdfWeights idf(dict);
+  EXPECT_GT(idf.Weight(dict.Find("b")), idf.Weight(dict.Find("a")));
+  EXPECT_DOUBLE_EQ(idf.Weight(dict.Find("b")), idf.Weight(dict.Find("c")));
+}
+
+TEST(IdfWeightsTest, SnapshotIgnoresLaterGrowth) {
+  TokenDictionary dict;
+  dict.EncodeDocument({"x"});
+  IdfWeights idf(dict);
+  size_t before = idf.size();
+  dict.EncodeDocument({"y", "z"});
+  EXPECT_EQ(idf.size(), before);
+}
+
+TEST(IdfWeightsTest, SetWeightSums) {
+  TokenDictionary dict;
+  auto ids = dict.EncodeDocument({"p", "q"});
+  dict.EncodeDocument({"p"});
+  IdfWeights idf(dict);
+  EXPECT_NEAR(idf.SetWeight(ids), idf.Weight(ids[0]) + idf.Weight(ids[1]), 1e-12);
+}
+
+}  // namespace
+}  // namespace ssjoin::text
