@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimizer.dir/bench_ablation_optimizer.cc.o"
+  "CMakeFiles/bench_ablation_optimizer.dir/bench_ablation_optimizer.cc.o.d"
+  "bench_ablation_optimizer"
+  "bench_ablation_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qgrams.dir/bench_ablation_qgrams.cc.o"
+  "CMakeFiles/bench_ablation_qgrams.dir/bench_ablation_qgrams.cc.o.d"
+  "bench_ablation_qgrams"
+  "bench_ablation_qgrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qgrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_cooccurrence.cc" "bench/CMakeFiles/bench_cooccurrence.dir/bench_cooccurrence.cc.o" "gcc" "bench/CMakeFiles/bench_cooccurrence.dir/bench_cooccurrence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simjoin/CMakeFiles/ssjoin_simjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ssjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ssjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ssjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ssjoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cooccurrence.dir/bench_cooccurrence.cc.o"
+  "CMakeFiles/bench_cooccurrence.dir/bench_cooccurrence.cc.o.d"
+  "bench_cooccurrence"
+  "bench_cooccurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

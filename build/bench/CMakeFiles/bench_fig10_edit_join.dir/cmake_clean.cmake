@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_edit_join.dir/bench_fig10_edit_join.cc.o"
+  "CMakeFiles/bench_fig10_edit_join.dir/bench_fig10_edit_join.cc.o.d"
+  "bench_fig10_edit_join"
+  "bench_fig10_edit_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_edit_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_custom_edit.dir/bench_fig11_custom_edit.cc.o"
+  "CMakeFiles/bench_fig11_custom_edit.dir/bench_fig11_custom_edit.cc.o.d"
+  "bench_fig11_custom_edit"
+  "bench_fig11_custom_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_custom_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_jaccard.dir/bench_fig12_jaccard.cc.o"
+  "CMakeFiles/bench_fig12_jaccard.dir/bench_fig12_jaccard.cc.o.d"
+  "bench_fig12_jaccard"
+  "bench_fig12_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

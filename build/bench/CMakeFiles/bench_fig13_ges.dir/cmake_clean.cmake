@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ges.dir/bench_fig13_ges.cc.o"
+  "CMakeFiles/bench_fig13_ges.dir/bench_fig13_ges.cc.o.d"
+  "bench_fig13_ges"
+  "bench_fig13_ges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

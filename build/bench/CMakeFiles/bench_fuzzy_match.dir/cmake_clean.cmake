@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fuzzy_match.dir/bench_fuzzy_match.cc.o"
+  "CMakeFiles/bench_fuzzy_match.dir/bench_fuzzy_match.cc.o.d"
+  "bench_fuzzy_match"
+  "bench_fuzzy_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fuzzy_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

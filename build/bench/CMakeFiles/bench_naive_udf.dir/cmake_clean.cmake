@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_udf.dir/bench_naive_udf.cc.o"
+  "CMakeFiles/bench_naive_udf.dir/bench_naive_udf.cc.o.d"
+  "bench_naive_udf"
+  "bench_naive_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_naive_udf.
+# This may be replaced when dependencies are built.

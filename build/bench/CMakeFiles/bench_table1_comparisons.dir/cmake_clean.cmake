@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comparisons.dir/bench_table1_comparisons.cc.o"
+  "CMakeFiles/bench_table1_comparisons.dir/bench_table1_comparisons.cc.o.d"
+  "bench_table1_comparisons"
+  "bench_table1_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

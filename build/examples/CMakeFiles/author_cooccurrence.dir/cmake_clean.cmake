@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_cooccurrence.dir/author_cooccurrence.cpp.o"
+  "CMakeFiles/author_cooccurrence.dir/author_cooccurrence.cpp.o.d"
+  "author_cooccurrence"
+  "author_cooccurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

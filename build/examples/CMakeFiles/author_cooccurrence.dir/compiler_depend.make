@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for author_cooccurrence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_addresses.dir/dedup_addresses.cpp.o"
+  "CMakeFiles/dedup_addresses.dir/dedup_addresses.cpp.o.d"
+  "dedup_addresses"
+  "dedup_addresses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_addresses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dedup_addresses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_join.dir/fd_join.cpp.o"
+  "CMakeFiles/fd_join.dir/fd_join.cpp.o.d"
+  "fd_join"
+  "fd_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fd_join.
+# This may be replaced when dependencies are built.

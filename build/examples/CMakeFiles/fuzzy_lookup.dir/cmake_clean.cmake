@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzy_lookup.dir/fuzzy_lookup.cpp.o"
+  "CMakeFiles/fuzzy_lookup.dir/fuzzy_lookup.cpp.o.d"
+  "fuzzy_lookup"
+  "fuzzy_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzy_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

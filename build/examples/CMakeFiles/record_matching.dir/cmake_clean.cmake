@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_matching.dir/record_matching.cpp.o"
+  "CMakeFiles/record_matching.dir/record_matching.cpp.o.d"
+  "record_matching"
+  "record_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

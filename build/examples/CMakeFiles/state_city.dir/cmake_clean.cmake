@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_city.dir/state_city.cpp.o"
+  "CMakeFiles/state_city.dir/state_city.cpp.o.d"
+  "state_city"
+  "state_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

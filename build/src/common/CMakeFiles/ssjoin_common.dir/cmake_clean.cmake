@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_common.dir/rng.cc.o"
+  "CMakeFiles/ssjoin_common.dir/rng.cc.o.d"
+  "CMakeFiles/ssjoin_common.dir/status.cc.o"
+  "CMakeFiles/ssjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/ssjoin_common.dir/string_util.cc.o"
+  "CMakeFiles/ssjoin_common.dir/string_util.cc.o.d"
+  "libssjoin_common.a"
+  "libssjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

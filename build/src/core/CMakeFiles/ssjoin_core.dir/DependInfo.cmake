@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/ssjoin_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/ssjoin_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/order.cc" "src/core/CMakeFiles/ssjoin_core.dir/order.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/order.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/ssjoin_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/predicate.cc.o.d"
+  "/root/repo/src/core/prefix_filter.cc" "src/core/CMakeFiles/ssjoin_core.dir/prefix_filter.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/prefix_filter.cc.o.d"
+  "/root/repo/src/core/relational_ssjoin.cc" "src/core/CMakeFiles/ssjoin_core.dir/relational_ssjoin.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/relational_ssjoin.cc.o.d"
+  "/root/repo/src/core/sets.cc" "src/core/CMakeFiles/ssjoin_core.dir/sets.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/sets.cc.o.d"
+  "/root/repo/src/core/ssjoin.cc" "src/core/CMakeFiles/ssjoin_core.dir/ssjoin.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/ssjoin.cc.o.d"
+  "/root/repo/src/core/ssjoin_plan.cc" "src/core/CMakeFiles/ssjoin_core.dir/ssjoin_plan.cc.o" "gcc" "src/core/CMakeFiles/ssjoin_core.dir/ssjoin_plan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ssjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ssjoin_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_core.dir/cost_model.cc.o"
+  "CMakeFiles/ssjoin_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/estimator.cc.o"
+  "CMakeFiles/ssjoin_core.dir/estimator.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/order.cc.o"
+  "CMakeFiles/ssjoin_core.dir/order.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/predicate.cc.o"
+  "CMakeFiles/ssjoin_core.dir/predicate.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/prefix_filter.cc.o"
+  "CMakeFiles/ssjoin_core.dir/prefix_filter.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/relational_ssjoin.cc.o"
+  "CMakeFiles/ssjoin_core.dir/relational_ssjoin.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/sets.cc.o"
+  "CMakeFiles/ssjoin_core.dir/sets.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/ssjoin.cc.o"
+  "CMakeFiles/ssjoin_core.dir/ssjoin.cc.o.d"
+  "CMakeFiles/ssjoin_core.dir/ssjoin_plan.cc.o"
+  "CMakeFiles/ssjoin_core.dir/ssjoin_plan.cc.o.d"
+  "libssjoin_core.a"
+  "libssjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/address_gen.cc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/address_gen.cc.o" "gcc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/address_gen.cc.o.d"
+  "/root/repo/src/datagen/contact_gen.cc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/contact_gen.cc.o" "gcc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/contact_gen.cc.o.d"
+  "/root/repo/src/datagen/error_model.cc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/error_model.cc.o" "gcc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/error_model.cc.o.d"
+  "/root/repo/src/datagen/publication_gen.cc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/publication_gen.cc.o" "gcc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/publication_gen.cc.o.d"
+  "/root/repo/src/datagen/wordlists.cc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/wordlists.cc.o" "gcc" "src/datagen/CMakeFiles/ssjoin_datagen.dir/wordlists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_datagen.dir/address_gen.cc.o"
+  "CMakeFiles/ssjoin_datagen.dir/address_gen.cc.o.d"
+  "CMakeFiles/ssjoin_datagen.dir/contact_gen.cc.o"
+  "CMakeFiles/ssjoin_datagen.dir/contact_gen.cc.o.d"
+  "CMakeFiles/ssjoin_datagen.dir/error_model.cc.o"
+  "CMakeFiles/ssjoin_datagen.dir/error_model.cc.o.d"
+  "CMakeFiles/ssjoin_datagen.dir/publication_gen.cc.o"
+  "CMakeFiles/ssjoin_datagen.dir/publication_gen.cc.o.d"
+  "CMakeFiles/ssjoin_datagen.dir/wordlists.cc.o"
+  "CMakeFiles/ssjoin_datagen.dir/wordlists.cc.o.d"
+  "libssjoin_datagen.a"
+  "libssjoin_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

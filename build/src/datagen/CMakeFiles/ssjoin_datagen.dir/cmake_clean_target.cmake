@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssjoin_datagen.a"
+)

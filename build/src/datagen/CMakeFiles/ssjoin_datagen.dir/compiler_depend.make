@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ssjoin_datagen.
+# This may be replaced when dependencies are built.

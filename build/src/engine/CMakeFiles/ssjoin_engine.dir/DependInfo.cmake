@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/csv.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/csv.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/csv.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/schema.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/schema.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/ssjoin_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/ssjoin_engine.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

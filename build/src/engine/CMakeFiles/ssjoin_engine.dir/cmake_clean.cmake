@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_engine.dir/csv.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/csv.cc.o.d"
+  "CMakeFiles/ssjoin_engine.dir/expr.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/expr.cc.o.d"
+  "CMakeFiles/ssjoin_engine.dir/operators.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/operators.cc.o.d"
+  "CMakeFiles/ssjoin_engine.dir/plan.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/plan.cc.o.d"
+  "CMakeFiles/ssjoin_engine.dir/schema.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/schema.cc.o.d"
+  "CMakeFiles/ssjoin_engine.dir/table.cc.o"
+  "CMakeFiles/ssjoin_engine.dir/table.cc.o.d"
+  "libssjoin_engine.a"
+  "libssjoin_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

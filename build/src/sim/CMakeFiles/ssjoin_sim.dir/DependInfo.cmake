@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/edit_distance.cc" "src/sim/CMakeFiles/ssjoin_sim.dir/edit_distance.cc.o" "gcc" "src/sim/CMakeFiles/ssjoin_sim.dir/edit_distance.cc.o.d"
+  "/root/repo/src/sim/ges.cc" "src/sim/CMakeFiles/ssjoin_sim.dir/ges.cc.o" "gcc" "src/sim/CMakeFiles/ssjoin_sim.dir/ges.cc.o.d"
+  "/root/repo/src/sim/jaro.cc" "src/sim/CMakeFiles/ssjoin_sim.dir/jaro.cc.o" "gcc" "src/sim/CMakeFiles/ssjoin_sim.dir/jaro.cc.o.d"
+  "/root/repo/src/sim/set_overlap.cc" "src/sim/CMakeFiles/ssjoin_sim.dir/set_overlap.cc.o" "gcc" "src/sim/CMakeFiles/ssjoin_sim.dir/set_overlap.cc.o.d"
+  "/root/repo/src/sim/soundex.cc" "src/sim/CMakeFiles/ssjoin_sim.dir/soundex.cc.o" "gcc" "src/sim/CMakeFiles/ssjoin_sim.dir/soundex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ssjoin_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_sim.dir/edit_distance.cc.o"
+  "CMakeFiles/ssjoin_sim.dir/edit_distance.cc.o.d"
+  "CMakeFiles/ssjoin_sim.dir/ges.cc.o"
+  "CMakeFiles/ssjoin_sim.dir/ges.cc.o.d"
+  "CMakeFiles/ssjoin_sim.dir/jaro.cc.o"
+  "CMakeFiles/ssjoin_sim.dir/jaro.cc.o.d"
+  "CMakeFiles/ssjoin_sim.dir/set_overlap.cc.o"
+  "CMakeFiles/ssjoin_sim.dir/set_overlap.cc.o.d"
+  "CMakeFiles/ssjoin_sim.dir/soundex.cc.o"
+  "CMakeFiles/ssjoin_sim.dir/soundex.cc.o.d"
+  "libssjoin_sim.a"
+  "libssjoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

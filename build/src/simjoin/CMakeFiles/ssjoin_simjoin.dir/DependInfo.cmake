@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simjoin/cooccurrence.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/cooccurrence.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/simjoin/fuzzy_match.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/fuzzy_match.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/fuzzy_match.cc.o.d"
+  "/root/repo/src/simjoin/ges_join.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/ges_join.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/ges_join.cc.o.d"
+  "/root/repo/src/simjoin/gravano.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/gravano.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/gravano.cc.o.d"
+  "/root/repo/src/simjoin/prep.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/prep.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/prep.cc.o.d"
+  "/root/repo/src/simjoin/record_match.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/record_match.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/record_match.cc.o.d"
+  "/root/repo/src/simjoin/string_joins.cc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/string_joins.cc.o" "gcc" "src/simjoin/CMakeFiles/ssjoin_simjoin.dir/string_joins.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ssjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ssjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ssjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

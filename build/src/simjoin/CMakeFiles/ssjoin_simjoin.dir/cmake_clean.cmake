@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_simjoin.dir/cooccurrence.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/fuzzy_match.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/fuzzy_match.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/ges_join.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/ges_join.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/gravano.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/gravano.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/prep.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/prep.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/record_match.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/record_match.cc.o.d"
+  "CMakeFiles/ssjoin_simjoin.dir/string_joins.cc.o"
+  "CMakeFiles/ssjoin_simjoin.dir/string_joins.cc.o.d"
+  "libssjoin_simjoin.a"
+  "libssjoin_simjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_simjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_text.dir/dictionary.cc.o"
+  "CMakeFiles/ssjoin_text.dir/dictionary.cc.o.d"
+  "CMakeFiles/ssjoin_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ssjoin_text.dir/tokenizer.cc.o.d"
+  "libssjoin_text.a"
+  "libssjoin_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooccurrence.dir/test_cooccurrence.cc.o"
+  "CMakeFiles/test_cooccurrence.dir/test_cooccurrence.cc.o.d"
+  "test_cooccurrence"
+  "test_cooccurrence.pdb"
+  "test_cooccurrence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooccurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

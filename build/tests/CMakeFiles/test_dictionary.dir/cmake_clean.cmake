@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dictionary.dir/test_dictionary.cc.o"
+  "CMakeFiles/test_dictionary.dir/test_dictionary.cc.o.d"
+  "test_dictionary"
+  "test_dictionary.pdb"
+  "test_dictionary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

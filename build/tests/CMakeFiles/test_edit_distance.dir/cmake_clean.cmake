@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edit_distance.dir/test_edit_distance.cc.o"
+  "CMakeFiles/test_edit_distance.dir/test_edit_distance.cc.o.d"
+  "test_edit_distance"
+  "test_edit_distance.pdb"
+  "test_edit_distance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_differential.dir/test_engine_differential.cc.o"
+  "CMakeFiles/test_engine_differential.dir/test_engine_differential.cc.o.d"
+  "test_engine_differential"
+  "test_engine_differential.pdb"
+  "test_engine_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_operators.dir/test_engine_operators.cc.o"
+  "CMakeFiles/test_engine_operators.dir/test_engine_operators.cc.o.d"
+  "test_engine_operators"
+  "test_engine_operators.pdb"
+  "test_engine_operators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_table.dir/test_engine_table.cc.o"
+  "CMakeFiles/test_engine_table.dir/test_engine_table.cc.o.d"
+  "test_engine_table"
+  "test_engine_table.pdb"
+  "test_engine_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzy_match.dir/test_fuzzy_match.cc.o"
+  "CMakeFiles/test_fuzzy_match.dir/test_fuzzy_match.cc.o.d"
+  "test_fuzzy_match"
+  "test_fuzzy_match.pdb"
+  "test_fuzzy_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzy_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ges.dir/test_ges.cc.o"
+  "CMakeFiles/test_ges.dir/test_ges.cc.o.d"
+  "test_ges"
+  "test_ges.pdb"
+  "test_ges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ges_join.dir/test_ges_join.cc.o"
+  "CMakeFiles/test_ges_join.dir/test_ges_join.cc.o.d"
+  "test_ges_join"
+  "test_ges_join.pdb"
+  "test_ges_join[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ges_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gravano.dir/test_gravano.cc.o"
+  "CMakeFiles/test_gravano.dir/test_gravano.cc.o.d"
+  "test_gravano"
+  "test_gravano.pdb"
+  "test_gravano[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gravano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

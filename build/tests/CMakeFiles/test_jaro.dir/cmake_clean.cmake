@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jaro.dir/test_jaro.cc.o"
+  "CMakeFiles/test_jaro.dir/test_jaro.cc.o.d"
+  "test_jaro"
+  "test_jaro.pdb"
+  "test_jaro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jaro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

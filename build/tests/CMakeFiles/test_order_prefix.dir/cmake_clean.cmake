@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_prefix.dir/test_order_prefix.cc.o"
+  "CMakeFiles/test_order_prefix.dir/test_order_prefix.cc.o.d"
+  "test_order_prefix"
+  "test_order_prefix.pdb"
+  "test_order_prefix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_order_prefix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan.dir/test_plan.cc.o"
+  "CMakeFiles/test_plan.dir/test_plan.cc.o.d"
+  "test_plan"
+  "test_plan.pdb"
+  "test_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

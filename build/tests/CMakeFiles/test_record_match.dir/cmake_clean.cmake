@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_record_match.dir/test_record_match.cc.o"
+  "CMakeFiles/test_record_match.dir/test_record_match.cc.o.d"
+  "test_record_match"
+  "test_record_match.pdb"
+  "test_record_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_record_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

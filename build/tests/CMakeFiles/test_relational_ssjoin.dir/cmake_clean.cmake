@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relational_ssjoin.dir/test_relational_ssjoin.cc.o"
+  "CMakeFiles/test_relational_ssjoin.dir/test_relational_ssjoin.cc.o.d"
+  "test_relational_ssjoin"
+  "test_relational_ssjoin.pdb"
+  "test_relational_ssjoin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relational_ssjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

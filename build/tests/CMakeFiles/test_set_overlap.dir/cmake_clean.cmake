@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_overlap.dir/test_set_overlap.cc.o"
+  "CMakeFiles/test_set_overlap.dir/test_set_overlap.cc.o.d"
+  "test_set_overlap"
+  "test_set_overlap.pdb"
+  "test_set_overlap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soundex.dir/test_soundex.cc.o"
+  "CMakeFiles/test_soundex.dir/test_soundex.cc.o.d"
+  "test_soundex"
+  "test_soundex.pdb"
+  "test_soundex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soundex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_string_joins.dir/test_string_joins.cc.o"
+  "CMakeFiles/test_string_joins.dir/test_string_joins.cc.o.d"
+  "test_string_joins"
+  "test_string_joins.pdb"
+  "test_string_joins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_string_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weights.dir/test_weights.cc.o"
+  "CMakeFiles/test_weights.dir/test_weights.cc.o.d"
+  "test_weights"
+  "test_weights.pdb"
+  "test_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssjoin_cli.dir/ssjoin_cli.cc.o"
+  "CMakeFiles/ssjoin_cli.dir/ssjoin_cli.cc.o.d"
+  "ssjoin_cli"
+  "ssjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
