@@ -45,10 +45,10 @@ void BM_Optimizer(benchmark::State& state, double alpha) {
   const auto& data = AddressCorpus(kRecords, /*with_name=*/true);
   OptRow row{alpha, 0, 0, 0, "?"};
   for (auto _ : state) {
-    row.basic_ms = RunOnce(data, alpha, {core::SSJoinAlgorithm::kBasic, false});
+    row.basic_ms = RunOnce(data, alpha, MakeExec(core::SSJoinAlgorithm::kBasic));
     row.prefix_ms =
-        RunOnce(data, alpha, {core::SSJoinAlgorithm::kPrefixFilterInline, false});
-    row.costed_ms = RunOnce(data, alpha, {core::SSJoinAlgorithm::kBasic, true});
+        RunOnce(data, alpha, MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline));
+    row.costed_ms = RunOnce(data, alpha, MakeExec(core::SSJoinAlgorithm::kBasic, /*use_cost_model=*/true));
   }
   // Ask the model directly which plan it picks, for the report.
   text::WordTokenizer tokenizer;
@@ -77,6 +77,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -87,6 +88,18 @@ int main(int argc, char** argv) {
   for (const auto& row : ssjoin::bench::OptRows()) {
     std::printf("%9.2f %12.1f %12.1f %12.1f  %s\n", row.threshold, row.basic_ms,
                 row.prefix_ms, row.costed_ms, row.chosen);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::OptRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Num("threshold", row.threshold)
+                         .Num("basic_ms", row.basic_ms)
+                         .Num("prefix_ms", row.prefix_ms)
+                         .Num("costed_ms", row.costed_ms)
+                         .Str("chosen", row.chosen));
+    }
+    ssjoin::bench::WriteBenchJson("ablation_optimizer", recs);
   }
   return 0;
 }

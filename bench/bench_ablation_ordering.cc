@@ -78,7 +78,7 @@ void BM_Ordering(benchmark::State& state, OrderKind kind) {
     stats = {};
     Timer timer;
     auto pairs = simjoin::RunSSJoinStage(
-        *prep, pred, {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+        *prep, pred, MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline), &stats);
     pairs.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
     benchmark::DoNotOptimize(pairs->size());
@@ -102,6 +102,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -112,6 +113,17 @@ int main(int argc, char** argv) {
   for (const auto& row : ssjoin::bench::AblRows()) {
     std::printf("%-26s %12.1f %14zu %16zu\n", row.label, row.total_ms,
                 row.candidates, row.prefix_elements);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::AblRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Str("ordering", row.label)
+                         .Num("total_ms", row.total_ms)
+                         .Int("candidates", row.candidates)
+                         .Int("prefix_elements", row.prefix_elements));
+    }
+    ssjoin::bench::WriteBenchJson("ablation_ordering", recs);
   }
   return 0;
 }

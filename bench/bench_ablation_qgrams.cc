@@ -40,7 +40,7 @@ void BM_QGram(benchmark::State& state, size_t q) {
     Timer timer;
     auto result = simjoin::EditSimilarityJoin(
         data, data, kAlpha, q,
-        {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+        MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline), &stats);
     result.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
     benchmark::DoNotOptimize(result->size());
@@ -63,6 +63,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -73,6 +74,18 @@ int main(int argc, char** argv) {
   for (const auto& row : ssjoin::bench::QRows()) {
     std::printf("%4zu %12.1f %14zu %14zu %10zu\n", row.q, row.total_ms,
                 row.candidates, row.verifier_calls, row.results);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::QRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Int("q", row.q)
+                         .Num("total_ms", row.total_ms)
+                         .Int("candidates", row.candidates)
+                         .Int("verifier_calls", row.verifier_calls)
+                         .Int("results", row.results));
+    }
+    ssjoin::bench::WriteBenchJson("ablation_qgrams", recs);
   }
   return 0;
 }

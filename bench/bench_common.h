@@ -4,16 +4,66 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datagen/address_gen.h"
+#include "exec/exec_context.h"
 #include "simjoin/types.h"
 
 namespace ssjoin::bench {
 
 /// Seed shared by all benchmarks so every binary sees the same relation.
 inline constexpr uint64_t kBenchSeed = 20060403;  // ICDE 2006
+
+/// Parallel-runtime knobs shared by every join a bench driver runs; set from
+/// the command line by InitBenchFlags, default serial.
+inline exec::ExecContext& BenchExec() {
+  static exec::ExecContext ec;
+  return ec;
+}
+
+/// Strips `--threads[=| ]N` and `--morsel[=| ]N` from argv (so that
+/// benchmark::Initialize never sees them) and stores them in BenchExec().
+/// Call at the top of every bench main, before benchmark::Initialize.
+inline void InitBenchFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    size_t* target = nullptr;
+    std::string value;
+    for (const char* name : {"--threads", "--morsel"}) {
+      size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) != 0) continue;
+      if (arg.size() == len && i + 1 < *argc) {
+        value = argv[++i];
+      } else if (arg.size() > len && arg[len] == '=') {
+        value = arg.substr(len + 1);
+      } else {
+        continue;
+      }
+      target = std::strcmp(name, "--threads") == 0 ? &BenchExec().num_threads
+                                                   : &BenchExec().morsel_size;
+      break;
+    }
+    if (target != nullptr) {
+      *target = static_cast<size_t>(std::atoll(value.c_str()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// JoinExecution for a bench run: the requested algorithm plus the global
+/// parallel-execution knobs.
+inline simjoin::JoinExecution MakeExec(core::SSJoinAlgorithm algorithm,
+                                       bool use_cost_model = false) {
+  return {algorithm, use_cost_model, BenchExec()};
+}
 
 /// The paper's Customer relation stand-in. `with_name` controls whether the
 /// customer name is part of the string (the q-gram benches use the shorter
@@ -60,6 +110,106 @@ inline void ExportCounters(benchmark::State& state,
   state.counters["candidates"] = static_cast<double>(stats.ssjoin.candidate_pairs);
   state.counters["equijoin_rows"] = static_cast<double>(stats.ssjoin.equijoin_rows);
 }
+
+/// \name Machine-readable bench output
+/// Every bench driver dumps its result rows as `BENCH_<name>.json` next to
+/// the binary's working directory so perf trajectories can be diffed across
+/// commits without scraping stdout. The top-level object carries the
+/// parallel-execution configuration (`threads`, `morsel`).
+/// @{
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// One flat JSON object, emitted in insertion order.
+struct JsonRecord {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  JsonRecord& Str(const std::string& key, const std::string& value) {
+    fields.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+    return *this;
+  }
+  JsonRecord& Int(const std::string& key, uint64_t value) {
+    fields.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& Num(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    fields.emplace_back(key, buf);
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(fields[i].first) + "\": " + fields[i].second;
+    }
+    return out + "}";
+  }
+};
+
+/// Writes `{"bench": ..., "threads": ..., "morsel": ..., "rows": [...]}`.
+inline void WriteBenchJson(const std::string& bench_name,
+                           const std::vector<JsonRecord>& rows) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"threads\": %zu, \"morsel\": %zu, \"rows\": [",
+               JsonEscape(bench_name).c_str(), BenchExec().resolved_threads(),
+               BenchExec().morsel_size);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s\n  %s", i > 0 ? "," : "", rows[i].ToString().c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+/// JSON form of a shared ResultRow (phase timings flattened to `<phase>_ms`).
+inline JsonRecord ResultRowJson(const ResultRow& row) {
+  JsonRecord rec;
+  rec.Str("label", row.label)
+      .Num("threshold", row.threshold)
+      .Num("total_ms", row.total_ms)
+      .Int("candidate_pairs", row.stats.ssjoin.candidate_pairs)
+      .Int("equijoin_rows", row.stats.ssjoin.equijoin_rows)
+      .Int("verifier_calls", row.stats.verifier_calls)
+      .Int("result_pairs", row.stats.result_pairs);
+  for (const auto& [phase, ms] : row.stats.phases.phases()) {
+    rec.Num(phase + "_ms", ms);
+  }
+  return rec;
+}
+
+/// Dumps the shared Rows() table as BENCH_<name>.json.
+inline void WriteResultRowsJson(const std::string& bench_name) {
+  std::vector<JsonRecord> recs;
+  recs.reserve(Rows().size());
+  for (const ResultRow& row : Rows()) recs.push_back(ResultRowJson(row));
+  WriteBenchJson(bench_name, recs);
+}
+
+/// @}
 
 /// Prints the collected rows as a phase-stacked table (the Figures 10-13
 /// presentation): one row per (implementation, threshold).

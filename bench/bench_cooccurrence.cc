@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "bench/bench_common.h"
 #include "common/timer.h"
 #include "datagen/contact_gen.h"
 #include "datagen/publication_gen.h"
@@ -45,7 +46,7 @@ void BM_Cooccurrence(benchmark::State& state, core::SSJoinAlgorithm algorithm) {
     result = simjoin::CooccurrenceJoin(data->source1_rows, data->source2_rows, 0.55,
                                        simjoin::JaccardVariant::kContainment,
                                        simjoin::WeightMode::kIdf,
-                                       {algorithm, false}, &stats)
+                                       MakeExec(algorithm), &stats)
                  .MoveValueUnsafe();
     total_ms = timer.ElapsedMillis();
   }
@@ -111,6 +112,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -123,6 +125,17 @@ int main(int argc, char** argv) {
       std::printf(" %9.1f%%", row.accuracy * 100.0);
     }
     std::printf("\n");
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::CoRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Str("label", row.label)
+                         .Num("total_ms", row.total_ms)
+                         .Int("matches", row.matches)
+                         .Num("accuracy", row.accuracy));
+    }
+    ssjoin::bench::WriteBenchJson("cooccurrence", recs);
   }
   return 0;
 }

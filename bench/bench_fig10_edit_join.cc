@@ -31,7 +31,7 @@ void BM_EditJoin(benchmark::State& state, core::SSJoinAlgorithm algorithm,
     stats = {};
     Timer timer;
     auto result = simjoin::EditSimilarityJoin(data, data, alpha, kQ,
-                                              {algorithm, false}, &stats);
+                                              MakeExec(algorithm), &stats);
     result.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
     benchmark::DoNotOptimize(result->size());
@@ -59,11 +59,13 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
   ssjoin::bench::PrintPhaseTable(
       "Figure 10: edit similarity join (8K addresses, q=3)",
       {"Prep", "Prefix-filter", "SSJoin", "Filter"});
+  ssjoin::bench::WriteResultRowsJson("fig10_edit_join");
   return 0;
 }

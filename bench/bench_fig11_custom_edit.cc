@@ -48,11 +48,13 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
   ssjoin::bench::PrintPhaseTable(
       "Figure 11: customized edit similarity join [9] (8K addresses, q=3)",
       {"Prep", "Candidate-enumeration", "EditSim-Filter"});
+  ssjoin::bench::WriteResultRowsJson("fig11_custom_edit");
   return 0;
 }

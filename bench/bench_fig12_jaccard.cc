@@ -29,7 +29,7 @@ void BM_Jaccard(benchmark::State& state, core::SSJoinAlgorithm algorithm,
     stats = {};
     Timer timer;
     auto result = simjoin::JaccardResemblanceJoin(data, data, alpha, opts,
-                                                  {algorithm, false}, &stats);
+                                                  MakeExec(algorithm), &stats);
     result.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
     benchmark::DoNotOptimize(result->size());
@@ -63,6 +63,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -70,5 +71,6 @@ int main(int argc, char** argv) {
       "Figure 12: Jaccard resemblance join (25K customer records, word "
       "tokens, IDF)",
       {"Prep", "Prefix-filter", "SSJoin", "Filter"});
+  ssjoin::bench::WriteResultRowsJson("fig12_jaccard");
   return 0;
 }

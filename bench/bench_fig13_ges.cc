@@ -21,7 +21,7 @@ void BM_GES(benchmark::State& state, core::SSJoinAlgorithm algorithm,
             double alpha) {
   const auto& data = AddressCorpus(kRecords, /*with_name=*/true);
   simjoin::GESJoinOptions opts;
-  opts.exec = {algorithm, false};
+  opts.exec = MakeExec(algorithm);
   simjoin::SimJoinStats stats;
   double total_ms = 0.0;
   for (auto _ : state) {
@@ -55,11 +55,13 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
   ssjoin::bench::PrintPhaseTable(
       "Figure 13: generalized edit similarity join (5K customer records)",
       {"Prep", "Prefix-filter", "SSJoin", "Filter"});
+  ssjoin::bench::WriteResultRowsJson("fig13_ges");
   return 0;
 }

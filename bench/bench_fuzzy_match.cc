@@ -78,6 +78,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -87,6 +88,17 @@ int main(int argc, char** argv) {
   for (const auto& row : ssjoin::bench::FmRows()) {
     std::printf("%12zu %12.1f %16.3f %9.1f%%\n", row.reference_size, row.build_ms,
                 row.per_lookup_ms, row.top1_accuracy * 100.0);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::FmRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Int("reference_size", row.reference_size)
+                         .Num("build_ms", row.build_ms)
+                         .Num("per_lookup_ms", row.per_lookup_ms)
+                         .Num("top1_accuracy", row.top1_accuracy));
+    }
+    ssjoin::bench::WriteBenchJson("fuzzy_match", recs);
   }
   return 0;
 }

@@ -43,7 +43,7 @@ void BM_SSJoinPlan(benchmark::State& state) {
     stats = {};
     Timer timer;
     auto result = simjoin::EditSimilarityJoin(
-        data, data, kAlpha, 3, {core::SSJoinAlgorithm::kPrefixFilterInline, false},
+        data, data, kAlpha, 3, MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline),
         &stats);
     result.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
@@ -62,6 +62,7 @@ BENCHMARK(ssjoin::bench::BM_CrossProductUDF)
 BENCHMARK(ssjoin::bench::BM_SSJoinPlan)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf("\n=== Cross-product UDF strawman vs SSJoin (2K records, edit "
@@ -71,5 +72,6 @@ int main(int argc, char** argv) {
     std::printf("%-24s %14.1f %16zu %12zu\n", row.label.c_str(), row.total_ms,
                 row.stats.verifier_calls, row.stats.result_pairs);
   }
+  ssjoin::bench::WriteResultRowsJson("naive_udf");
   return 0;
 }

@@ -38,7 +38,7 @@ void BM_Comparisons(benchmark::State& state, double alpha) {
     ssjoin_stats = {};
     direct_stats = {};
     simjoin::EditSimilarityJoin(data, data, alpha, kQ,
-                                {core::SSJoinAlgorithm::kPrefixFilterInline, false},
+                                MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline),
                                 &ssjoin_stats)
         .status()
         .AbortIfError();
@@ -67,6 +67,7 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
@@ -79,6 +80,16 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(row.direct_comparisons) /
                           static_cast<double>(row.ssjoin_comparisons)
                     : 0.0);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::Table1Rows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Num("threshold", row.threshold)
+                         .Int("ssjoin_comparisons", row.ssjoin_comparisons)
+                         .Int("direct_comparisons", row.direct_comparisons));
+    }
+    ssjoin::bench::WriteBenchJson("table1_comparisons", recs);
   }
   return 0;
 }

@@ -1,10 +1,15 @@
 /// Table 2: varying the input data size — a Jaccard self-join at threshold
 /// 0.85 with the prefix-filtered implementation, reporting the size of the
 /// normalized SSJoin input (rows of the 1NF set representation), the output
-/// size and the time, for relations of 100K..330K records.
+/// size and the time, for relations of 25K..330K records — extended with a
+/// thread-scaling dimension: each workload also runs on the morsel-driven
+/// parallel executor (src/exec) so serial-vs-parallel speedup is tracked in
+/// the same table (the 25K workload at 1 vs 4 threads is the canonical
+/// scaling probe; override the parallel arm with --threads N).
 ///
 /// Expected shape: SSJoin input grows linearly with the record count; time
-/// grows with input and output size.
+/// grows with input and output size; on a machine with enough cores the
+/// parallel arm approaches serial_time/threads with identical output.
 
 #include <benchmark/benchmark.h>
 
@@ -21,6 +26,7 @@ constexpr double kAlpha = 0.85;  // the paper's fixed threshold
 
 struct Table2Row {
   size_t records;
+  size_t threads;
   size_t ssjoin_input_rows;
   size_t output_pairs;
   double total_ms;
@@ -31,33 +37,43 @@ std::vector<Table2Row>& Table2Rows() {
   return *rows;
 }
 
-void BM_Scaling(benchmark::State& state, size_t records) {
+void BM_Scaling(benchmark::State& state, size_t records, size_t threads) {
   const auto& data = AddressCorpus(records, /*with_name=*/true);
+  simjoin::JoinExecution execution =
+      MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline);
+  execution.exec.num_threads = threads;
   simjoin::SimJoinStats stats;
   double total_ms = 0.0;
   for (auto _ : state) {
     stats = {};
     Timer timer;
-    auto result = simjoin::JaccardResemblanceJoin(
-        data, data, kAlpha, {},
-        {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+    auto result =
+        simjoin::JaccardResemblanceJoin(data, data, kAlpha, {}, execution, &stats);
     result.status().AbortIfError();
     total_ms = timer.ElapsedMillis();
     benchmark::DoNotOptimize(result->size());
     // Input rows of the 1NF set representation = prefix-filter input size.
     Table2Rows().push_back(
-        {records, stats.ssjoin.r_prefix_elements + stats.ssjoin.s_prefix_elements,
+        {records, threads,
+         stats.ssjoin.r_prefix_elements + stats.ssjoin.s_prefix_elements,
          stats.result_pairs, total_ms});
   }
   ExportCounters(state, stats);
+  state.counters["threads"] = static_cast<double>(threads);
 }
 
 void RegisterAll() {
-  for (size_t records : {100000ul, 200000ul, 250000ul, 330000ul}) {
-    std::string name = "table2/records=" + std::to_string(records / 1000) + "K";
-    benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, records)
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
+  // --threads N overrides the parallel arm (default 4, the scaling target).
+  size_t par =
+      BenchExec().num_threads != 1 ? BenchExec().resolved_threads() : 4;
+  for (size_t records : {25000ul, 100000ul, 200000ul, 330000ul}) {
+    for (size_t threads : {size_t{1}, par}) {
+      std::string name = "table2/records=" + std::to_string(records / 1000) +
+                         "K/threads=" + std::to_string(threads);
+      benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, records, threads)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
   }
 }
 
@@ -65,17 +81,31 @@ void RegisterAll() {
 }  // namespace ssjoin::bench
 
 int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   ssjoin::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
   std::printf(
       "\n=== Table 2: varying input data sizes (Jaccard 0.85, "
       "prefix-filter-inline) ===\n");
-  std::printf("%10s %18s %12s %12s\n", "records", "prefix input rows", "output",
-              "time(ms)");
+  std::printf("%10s %8s %18s %12s %12s\n", "records", "threads",
+              "prefix input rows", "output", "time(ms)");
   for (const auto& row : ssjoin::bench::Table2Rows()) {
-    std::printf("%10zu %18zu %12zu %12.1f\n", row.records, row.ssjoin_input_rows,
-                row.output_pairs, row.total_ms);
+    std::printf("%10zu %8zu %18zu %12zu %12.1f\n", row.records, row.threads,
+                row.ssjoin_input_rows, row.output_pairs, row.total_ms);
+  }
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    recs.reserve(ssjoin::bench::Table2Rows().size());
+    for (const auto& row : ssjoin::bench::Table2Rows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Int("records", row.records)
+                         .Int("threads", row.threads)
+                         .Int("ssjoin_input_rows", row.ssjoin_input_rows)
+                         .Int("output_pairs", row.output_pairs)
+                         .Num("total_ms", row.total_ms));
+    }
+    ssjoin::bench::WriteBenchJson("table2", recs);
   }
   return 0;
 }

@@ -27,7 +27,7 @@ int main() {
   simjoin::EntityJoinResult result = *simjoin::CooccurrenceJoin(
       data.source1_rows, data.source2_rows, /*alpha=*/0.55,
       simjoin::JaccardVariant::kContainment, simjoin::WeightMode::kIdf,
-      {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+      {core::SSJoinAlgorithm::kPrefixFilterInline, false, {}}, &stats);
 
   // Score against ground truth.
   std::unordered_map<std::string, size_t> s1_index;

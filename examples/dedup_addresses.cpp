@@ -55,7 +55,7 @@ int main() {
   simjoin::SimJoinStats stats;
   auto matches = *simjoin::EditSimilarityJoin(
       data.records, data.records, 0.85, 3,
-      {core::SSJoinAlgorithm::kPrefixFilterInline, false}, &stats);
+      {core::SSJoinAlgorithm::kPrefixFilterInline, false, {}}, &stats);
 
   std::printf("\nphase breakdown (the paper's Prep/Prefix-filter/SSJoin/Filter):\n");
   for (const auto& [phase, ms] : stats.phases.phases()) {

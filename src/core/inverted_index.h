@@ -1,0 +1,85 @@
+#ifndef SSJOIN_CORE_INVERTED_INDEX_H_
+#define SSJOIN_CORE_INVERTED_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/sets.h"
+
+namespace ssjoin::core {
+
+/// \brief Inverted index over a relation's sets (or prefixes):
+/// element -> sorted list of containing groups. This is the hash table of
+/// the equi-join on B that all indexed SSJoin executors build — hoisted here
+/// so the serial (core/ssjoin.cc) and parallel (exec/parallel_ssjoin.cc)
+/// implementations share one definition. Construction is single-threaded;
+/// Lookup is const and safe to call concurrently.
+class InvertedIndex {
+ public:
+  InvertedIndex(const std::vector<std::vector<text::TokenId>>& sets,
+                size_t num_elements) {
+    offsets_.assign(num_elements + 1, 0);
+    for (const auto& set : sets) {
+      for (text::TokenId e : set) ++offsets_[e + 1];
+    }
+    for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+    lists_.resize(offsets_.back());
+    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (GroupId g = 0; g < sets.size(); ++g) {
+      for (text::TokenId e : sets[g]) lists_[cursor[e]++] = g;
+    }
+  }
+
+  /// Groups containing element `e`, in increasing group id.
+  std::pair<const GroupId*, const GroupId*> Lookup(text::TokenId e) const {
+    return {lists_.data() + offsets_[e], lists_.data() + offsets_[e + 1]};
+  }
+
+  size_t total_postings() const { return lists_.size(); }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::vector<GroupId> lists_;
+};
+
+/// \brief Weighted overlap of two canonical (sorted, deduplicated) sets via
+/// sorted merge. The summation order is the sorted element order, so the
+/// floating-point result is identical wherever it is computed — the property
+/// the parallel executors rely on for bit-equal output.
+inline double MergeOverlap(const std::vector<text::TokenId>& a,
+                           const std::vector<text::TokenId>& b,
+                           const WeightVector& w) {
+  double overlap = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      overlap += w[a[i]];
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+/// Largest element id appearing in either relation (0 when both are empty).
+inline size_t MaxElementId(const SetsRelation& r, const SetsRelation& s) {
+  size_t max_id = 0;
+  for (const auto& set : r.sets) {
+    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  }
+  for (const auto& set : s.sets) {
+    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  }
+  return max_id;
+}
+
+}  // namespace ssjoin::core
+
+#endif  // SSJOIN_CORE_INVERTED_INDEX_H_

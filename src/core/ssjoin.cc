@@ -4,73 +4,12 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "core/inverted_index.h"
 
 namespace ssjoin::core {
 
-namespace {
-
-/// Inverted index over a relation's sets (or prefixes): element -> groups.
-class InvertedIndex {
- public:
-  InvertedIndex(const std::vector<std::vector<text::TokenId>>& sets,
-                size_t num_elements) {
-    offsets_.assign(num_elements + 1, 0);
-    for (const auto& set : sets) {
-      for (text::TokenId e : set) ++offsets_[e + 1];
-    }
-    for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
-    lists_.resize(offsets_.back());
-    std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (GroupId g = 0; g < sets.size(); ++g) {
-      for (text::TokenId e : sets[g]) lists_[cursor[e]++] = g;
-    }
-  }
-
-  /// Groups containing element `e`, in increasing group id.
-  std::pair<const GroupId*, const GroupId*> Lookup(text::TokenId e) const {
-    return {lists_.data() + offsets_[e], lists_.data() + offsets_[e + 1]};
-  }
-
-  size_t total_postings() const { return lists_.size(); }
-
- private:
-  std::vector<uint32_t> offsets_;
-  std::vector<GroupId> lists_;
-};
-
-/// Weighted overlap of two canonical sets via sorted merge.
-double MergeOverlap(const std::vector<text::TokenId>& a,
-                    const std::vector<text::TokenId>& b, const WeightVector& w) {
-  double overlap = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      overlap += w[a[i]];
-      ++i;
-      ++j;
-    }
-  }
-  return overlap;
-}
-
-size_t MaxElementId(const SetsRelation& r, const SetsRelation& s) {
-  size_t max_id = 0;
-  for (const auto& set : r.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
-  }
-  for (const auto& set : s.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
-  }
-  return max_id;
-}
-
-Status ValidateInputs(const SetsRelation& r, const SetsRelation& s,
-                      const SSJoinContext& ctx, bool needs_order) {
+Status ValidateSSJoinInputs(const SetsRelation& r, const SetsRelation& s,
+                            const SSJoinContext& ctx, bool needs_order) {
   if (ctx.weights == nullptr) {
     return Status::Invalid("SSJoinContext.weights must be set");
   }
@@ -93,6 +32,8 @@ Status ValidateInputs(const SetsRelation& r, const SetsRelation& s,
   }
   return Status::OK();
 }
+
+namespace {
 
 /// Candidate generation shared by the two prefix-filter variants:
 /// equi-join of the prefix relations, deduplicated per R-group.
@@ -133,7 +74,7 @@ class NaiveSSJoin final : public SSJoinExecutor {
                                           const OverlapPredicate& pred,
                                           const SSJoinContext& ctx,
                                           SSJoinStats* stats) const override {
-    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    SSJOIN_RETURN_NOT_OK(ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
     const WeightVector& w = *ctx.weights;
     std::vector<SSJoinPair> out;
     Timer timer;
@@ -161,7 +102,7 @@ class BasicSSJoin final : public SSJoinExecutor {
                                           const OverlapPredicate& pred,
                                           const SSJoinContext& ctx,
                                           SSJoinStats* stats) const override {
-    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    SSJOIN_RETURN_NOT_OK(ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
     const WeightVector& w = *ctx.weights;
     Timer timer;
 
@@ -196,9 +137,13 @@ class BasicSSJoin final : public SSJoinExecutor {
     stats->equijoin_rows = rows.size();
 
     // Group by (R.A, S.A): sort on the packed key, then aggregate runs and
-    // apply the HAVING clause.
-    std::sort(rows.begin(), rows.end(),
-              [](const JoinRow& a, const JoinRow& b) { return a.key < b.key; });
+    // apply the HAVING clause. The sort is stable so equal-key rows keep
+    // generation (element) order — per-pair weight sums then come out
+    // bit-identical however the row stream is partitioned, which is what
+    // lets the parallel executor (exec/parallel_ssjoin.cc) match this plan
+    // exactly.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const JoinRow& a, const JoinRow& b) { return a.key < b.key; });
     std::vector<SSJoinPair> out;
     size_t i = 0;
     while (i < rows.size()) {
@@ -230,7 +175,7 @@ class InvertedIndexSSJoin final : public SSJoinExecutor {
                                           const OverlapPredicate& pred,
                                           const SSJoinContext& ctx,
                                           SSJoinStats* stats) const override {
-    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/false));
+    SSJOIN_RETURN_NOT_OK(ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
     const WeightVector& w = *ctx.weights;
     Timer timer;
     size_t num_elements = MaxElementId(r, s) + 1;
@@ -281,7 +226,7 @@ class PrefixFilterSSJoin final : public SSJoinExecutor {
                                           const OverlapPredicate& pred,
                                           const SSJoinContext& ctx,
                                           SSJoinStats* stats) const override {
-    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/true));
+    SSJOIN_RETURN_NOT_OK(ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/true));
     const WeightVector& w = *ctx.weights;
 
     // Phase 1: prefix-filter both relations (Figure 8, bottom operators).
@@ -380,7 +325,7 @@ class InlinePrefixFilterSSJoin final : public SSJoinExecutor {
                                           const OverlapPredicate& pred,
                                           const SSJoinContext& ctx,
                                           SSJoinStats* stats) const override {
-    SSJOIN_RETURN_NOT_OK(ValidateInputs(r, s, ctx, /*needs_order=*/true));
+    SSJOIN_RETURN_NOT_OK(ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/true));
     const WeightVector& w = *ctx.weights;
 
     Timer prefix_timer;
@@ -417,6 +362,17 @@ class InlinePrefixFilterSSJoin final : public SSJoinExecutor {
 };
 
 }  // namespace
+
+void SSJoinStats::Merge(const SSJoinStats& other) {
+  equijoin_rows += other.equijoin_rows;
+  candidate_pairs += other.candidate_pairs;
+  result_pairs += other.result_pairs;
+  r_prefix_elements += other.r_prefix_elements;
+  s_prefix_elements += other.s_prefix_elements;
+  pruned_groups_r += other.pruned_groups_r;
+  pruned_groups_s += other.pruned_groups_s;
+  phases.Merge(other.phases);
+}
 
 const char* SSJoinAlgorithmName(SSJoinAlgorithm algorithm) {
   switch (algorithm) {

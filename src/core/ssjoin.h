@@ -11,6 +11,7 @@
 #include "core/predicate.h"
 #include "core/prefix_filter.h"
 #include "core/sets.h"
+#include "exec/exec_context.h"
 
 namespace ssjoin::core {
 
@@ -44,6 +45,12 @@ struct SSJoinStats {
   size_t pruned_groups_s = 0;
   /// Phase timings ("Prefix-filter", "SSJoin"; callers add "Prep"/"Filter").
   PhaseTimer phases;
+
+  /// Accumulates another stats record into this one: counters are summed and
+  /// phase timings merged. Used by the parallel executors to combine
+  /// per-morsel statistics; summing in a fixed (morsel) order keeps the
+  /// merged record deterministic.
+  void Merge(const SSJoinStats& other);
 };
 
 /// \brief Shared inputs of every executor: the element weights (fixed, per
@@ -51,6 +58,9 @@ struct SSJoinStats {
 struct SSJoinContext {
   const WeightVector* weights = nullptr;
   const ElementOrder* order = nullptr;  // required by prefix variants only
+  /// Optional parallel-execution knobs (src/exec). Null or 1 thread means
+  /// serial execution; exec::ExecuteSSJoin dispatches on this.
+  const exec::ExecContext* exec = nullptr;
 };
 
 /// \brief Physical implementation strategies for the SSJoin operator.
@@ -97,6 +107,11 @@ class SSJoinExecutor {
 
 /// Factory for a named algorithm.
 std::unique_ptr<SSJoinExecutor> MakeExecutor(SSJoinAlgorithm algorithm);
+
+/// Shared input validation for SSJoin executors (serial and parallel):
+/// weights/order coverage and column-length consistency.
+Status ValidateSSJoinInputs(const SetsRelation& r, const SetsRelation& s,
+                            const SSJoinContext& ctx, bool needs_order);
 
 /// One-shot convenience: builds the executor and runs it.
 Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,

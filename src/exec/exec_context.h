@@ -1,0 +1,35 @@
+#ifndef SSJOIN_EXEC_EXEC_CONTEXT_H_
+#define SSJOIN_EXEC_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <thread>
+
+namespace ssjoin::exec {
+
+/// \brief Execution knobs for the morsel-driven parallel runtime, threaded
+/// through core::SSJoinContext into the physical executors.
+///
+/// Header-only and dependency-free so that core can carry a pointer to it
+/// without depending on the exec library.
+struct ExecContext {
+  /// Worker threads to use (the calling thread counts as one of them).
+  /// 1 = serial execution, 0 = one per hardware thread.
+  size_t num_threads = 1;
+  /// Target work-unit size of the morsel scheduler: number of groups
+  /// (candidate generation) or candidate pairs (verification) per morsel.
+  /// Small enough for load balancing, large enough to amortize dispatch.
+  size_t morsel_size = 2048;
+
+  /// `num_threads` with 0 resolved to the hardware concurrency.
+  size_t resolved_threads() const {
+    if (num_threads != 0) return num_threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
+  bool parallel() const { return resolved_threads() > 1; }
+};
+
+}  // namespace ssjoin::exec
+
+#endif  // SSJOIN_EXEC_EXEC_CONTEXT_H_

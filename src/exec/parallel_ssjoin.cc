@@ -1,0 +1,527 @@
+#include "exec/parallel_ssjoin.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "core/inverted_index.h"
+#include "exec/parallel_for.h"
+
+namespace ssjoin::exec {
+
+namespace {
+
+using core::GroupId;
+using core::InvertedIndex;
+using core::OverlapPredicate;
+using core::SetsRelation;
+using core::SSJoinContext;
+using core::SSJoinPair;
+using core::SSJoinStats;
+using core::WeightVector;
+
+const ExecContext& Exec(const SSJoinContext& ctx) {
+  static const ExecContext kSerial;
+  return ctx.exec != nullptr ? *ctx.exec : kSerial;
+}
+
+size_t MorselSize(const ExecContext& ec) {
+  return std::max<size_t>(1, ec.morsel_size);
+}
+
+size_t NumMorsels(size_t n, size_t morsel) {
+  return (n + morsel - 1) / morsel;
+}
+
+/// Per-worker scratch count for a loop of `n` items: ParallelFor never uses
+/// more workers than morsels (and at least one).
+size_t NumWorkers(const ExecContext& ec, size_t n, size_t morsel) {
+  return std::max<size_t>(1, std::min(ec.resolved_threads(), NumMorsels(n, morsel)));
+}
+
+/// One morsel's private output: result pairs plus a stats record holding
+/// only counters (phase timings stay coordinator-owned so merged stats are
+/// deterministic).
+struct MorselOutput {
+  std::vector<SSJoinPair> pairs;
+  SSJoinStats stats;
+};
+
+/// Concatenates per-morsel outputs in morsel order — this, not completion
+/// order, is what makes parallel output identical to the serial scan order.
+void MergeMorselOutputs(std::vector<MorselOutput>& morsels,
+                        std::vector<SSJoinPair>* pairs, SSJoinStats* stats) {
+  size_t total = 0;
+  for (const MorselOutput& m : morsels) total += m.pairs.size();
+  pairs->reserve(pairs->size() + total);
+  for (MorselOutput& m : morsels) {
+    stats->Merge(m.stats);
+    pairs->insert(pairs->end(), m.pairs.begin(), m.pairs.end());
+  }
+}
+
+/// Per-worker epoch-marked seen array for candidate dedup, reused across the
+/// morsels a worker executes.
+struct ProbeScratch {
+  std::vector<uint32_t> seen_epoch;
+  uint32_t epoch = 0;
+  std::vector<GroupId> cands;
+
+  void EnsureSize(size_t num_groups) {
+    if (seen_epoch.size() < num_groups) {
+      seen_epoch.assign(num_groups, 0);
+      epoch = 0;
+    }
+  }
+
+  uint32_t NextEpoch() {
+    if (++epoch == 0) {  // wrapped: clear marks and restart
+      std::fill(seen_epoch.begin(), seen_epoch.end(), 0u);
+      epoch = 1;
+    }
+    return epoch;
+  }
+};
+
+/// Morsel-local mirror of core's GeneratePrefixCandidates: probes the prefix
+/// inverted index with R-groups [rg_begin, rg_end), deduplicating candidates
+/// per R-group via the worker's scratch. Emits `emit(rg, s_groups)` exactly
+/// as the serial path does, in increasing rg.
+template <typename EmitFn>
+void GenerateCandidatesRange(const core::PrefixFilteredRelation& r_pref,
+                             const InvertedIndex& s_index, size_t rg_begin,
+                             size_t rg_end, ProbeScratch& scratch,
+                             SSJoinStats* stats, const EmitFn& emit) {
+  for (size_t rg = rg_begin; rg < rg_end; ++rg) {
+    const auto& prefix = r_pref.prefixes[rg];
+    if (prefix.empty()) continue;
+    uint32_t epoch = scratch.NextEpoch();
+    scratch.cands.clear();
+    for (text::TokenId e : prefix) {
+      auto [begin, end] = s_index.Lookup(e);
+      stats->equijoin_rows += static_cast<size_t>(end - begin);
+      for (const GroupId* p = begin; p != end; ++p) {
+        if (scratch.seen_epoch[*p] != epoch) {
+          scratch.seen_epoch[*p] = epoch;
+          scratch.cands.push_back(*p);
+        }
+      }
+    }
+    if (!scratch.cands.empty()) {
+      emit(static_cast<GroupId>(rg), scratch.cands);
+    }
+  }
+}
+
+/// Prefix-filters a relation with the per-group work spread over morsels.
+/// Each group's prefix is independent, so writing into pre-sized slots is
+/// race-free and the result equals core::PrefixFilterRelation exactly.
+core::PrefixFilteredRelation ParallelPrefixFilter(
+    const SetsRelation& rel, const WeightVector& weights,
+    const core::ElementOrder& order, const OverlapPredicate& pred,
+    core::JoinSide side, const ExecContext& ec) {
+  core::PrefixFilteredRelation out;
+  out.prefixes.resize(rel.num_groups());
+  ParallelFor(ec, rel.num_groups(),
+              [&](size_t /*worker*/, size_t /*morsel*/, size_t begin, size_t end) {
+                for (size_t g = begin; g < end; ++g) {
+                  double required = side == core::JoinSide::kR
+                                        ? pred.RSideRequired(rel.norms[g])
+                                        : pred.SSideRequired(rel.norms[g]);
+                  double beta = rel.set_weights[g] - required;
+                  out.prefixes[g] =
+                      core::ComputePrefix(rel.sets[g], weights, order, beta);
+                }
+              });
+  return out;
+}
+
+void RecordPrefixStats(const SetsRelation& r, const SetsRelation& s,
+                       const core::PrefixFilteredRelation& r_pref,
+                       const core::PrefixFilteredRelation& s_pref,
+                       SSJoinStats* stats) {
+  stats->r_prefix_elements = r_pref.total_prefix_elements();
+  stats->s_prefix_elements = s_pref.total_prefix_elements();
+  for (GroupId g = 0; g < r.num_groups(); ++g) {
+    if (r_pref.prefixes[g].empty() && !r.sets[g].empty()) ++stats->pruned_groups_r;
+  }
+  for (GroupId g = 0; g < s.num_groups(); ++g) {
+    if (s_pref.prefixes[g].empty() && !s.sets[g].empty()) ++stats->pruned_groups_s;
+  }
+}
+
+class ParallelNaiveSSJoin final : public core::SSJoinExecutor {
+ public:
+  std::string name() const override { return "parallel-naive"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    const ExecContext& ec = Exec(ctx);
+    Timer timer;
+    size_t morsel = MorselSize(ec);
+    std::vector<MorselOutput> morsels(NumMorsels(r.num_groups(), morsel));
+    ParallelFor(ec, r.num_groups(),
+                [&](size_t /*worker*/, size_t m, size_t begin, size_t end) {
+                  MorselOutput& out = morsels[m];
+                  for (size_t rg = begin; rg < end; ++rg) {
+                    for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
+                      ++out.stats.candidate_pairs;
+                      double overlap = core::MergeOverlap(r.sets[rg], s.sets[sg], w);
+                      if (overlap > 0.0 &&
+                          pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+                        out.pairs.push_back({static_cast<GroupId>(rg), sg, overlap});
+                      }
+                    }
+                  }
+                });
+    std::vector<SSJoinPair> out;
+    MergeMorselOutputs(morsels, &out, stats);
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class ParallelBasicSSJoin final : public core::SSJoinExecutor {
+ public:
+  std::string name() const override { return "parallel-basic"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    const ExecContext& ec = Exec(ctx);
+    Timer timer;
+    size_t num_elements = core::MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s.sets, num_elements);
+
+    // Each morsel materializes, sorts and aggregates the equi-join rows of
+    // its own R-range. Keys are (rg << 32) | sg, so per-morsel sorted runs
+    // concatenated in morsel order equal the globally sorted row stream, and
+    // stable sorting keeps equal-key rows in generation (element) order —
+    // the per-pair weight sums are bit-identical to the serial plan's.
+    struct JoinRow {
+      uint64_t key;
+      double weight;
+    };
+    size_t morsel = MorselSize(ec);
+    std::vector<MorselOutput> morsels(NumMorsels(r.num_groups(), morsel));
+    ParallelFor(ec, r.num_groups(),
+                [&](size_t /*worker*/, size_t m, size_t begin, size_t end) {
+                  MorselOutput& out = morsels[m];
+                  std::vector<JoinRow> rows;
+                  for (size_t rg = begin; rg < end; ++rg) {
+                    for (text::TokenId e : r.sets[rg]) {
+                      auto [lo, hi] = s_index.Lookup(e);
+                      double we = w[e];
+                      for (const GroupId* p = lo; p != hi; ++p) {
+                        rows.push_back(
+                            {(static_cast<uint64_t>(rg) << 32) | *p, we});
+                      }
+                    }
+                  }
+                  out.stats.equijoin_rows = rows.size();
+                  std::stable_sort(rows.begin(), rows.end(),
+                                   [](const JoinRow& a, const JoinRow& b) {
+                                     return a.key < b.key;
+                                   });
+                  size_t i = 0;
+                  while (i < rows.size()) {
+                    uint64_t key = rows[i].key;
+                    double overlap = 0.0;
+                    while (i < rows.size() && rows[i].key == key) {
+                      overlap += rows[i].weight;
+                      ++i;
+                    }
+                    ++out.stats.candidate_pairs;
+                    GroupId rg = static_cast<GroupId>(key >> 32);
+                    GroupId sg = static_cast<GroupId>(key & 0xffffffffu);
+                    if (pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+                      out.pairs.push_back({rg, sg, overlap});
+                    }
+                  }
+                });
+    std::vector<SSJoinPair> out;
+    MergeMorselOutputs(morsels, &out, stats);
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class ParallelInvertedIndexSSJoin final : public core::SSJoinExecutor {
+ public:
+  std::string name() const override { return "parallel-inverted-index"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
+    const WeightVector& w = *ctx.weights;
+    const ExecContext& ec = Exec(ctx);
+    Timer timer;
+    size_t num_elements = core::MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s.sets, num_elements);
+
+    struct Scratch {
+      std::vector<double> acc;
+      std::vector<uint32_t> seen_epoch;
+      std::vector<GroupId> touched;
+      uint32_t epoch = 0;
+    };
+    size_t morsel = MorselSize(ec);
+    std::vector<Scratch> scratch(NumWorkers(ec, r.num_groups(), morsel));
+    std::vector<MorselOutput> morsels(NumMorsels(r.num_groups(), morsel));
+    ParallelFor(ec, r.num_groups(),
+                [&](size_t worker, size_t m, size_t begin, size_t end) {
+                  Scratch& sc = scratch[worker];
+                  if (sc.acc.size() < s.num_groups()) {
+                    sc.acc.assign(s.num_groups(), 0.0);
+                    sc.seen_epoch.assign(s.num_groups(), 0);
+                    sc.epoch = 0;
+                  }
+                  MorselOutput& out = morsels[m];
+                  for (size_t rg = begin; rg < end; ++rg) {
+                    if (++sc.epoch == 0) {
+                      std::fill(sc.seen_epoch.begin(), sc.seen_epoch.end(), 0u);
+                      sc.epoch = 1;
+                    }
+                    sc.touched.clear();
+                    for (text::TokenId e : r.sets[rg]) {
+                      auto [lo, hi] = s_index.Lookup(e);
+                      out.stats.equijoin_rows += static_cast<size_t>(hi - lo);
+                      double we = w[e];
+                      for (const GroupId* p = lo; p != hi; ++p) {
+                        if (sc.seen_epoch[*p] != sc.epoch) {
+                          sc.seen_epoch[*p] = sc.epoch;
+                          sc.acc[*p] = 0.0;
+                          sc.touched.push_back(*p);
+                        }
+                        sc.acc[*p] += we;
+                      }
+                    }
+                    out.stats.candidate_pairs += sc.touched.size();
+                    for (GroupId sg : sc.touched) {
+                      if (pred.Test(sc.acc[sg], r.norms[rg], s.norms[sg])) {
+                        out.pairs.push_back(
+                            {static_cast<GroupId>(rg), sg, sc.acc[sg]});
+                      }
+                    }
+                  }
+                });
+    std::vector<SSJoinPair> out;
+    MergeMorselOutputs(morsels, &out, stats);
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class ParallelPrefixFilterSSJoin final : public core::SSJoinExecutor {
+ public:
+  std::string name() const override { return "parallel-prefix-filter"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/true));
+    const WeightVector& w = *ctx.weights;
+    const ExecContext& ec = Exec(ctx);
+
+    Timer prefix_timer;
+    core::PrefixFilteredRelation r_pref =
+        ParallelPrefixFilter(r, w, *ctx.order, pred, core::JoinSide::kR, ec);
+    core::PrefixFilteredRelation s_pref =
+        ParallelPrefixFilter(s, w, *ctx.order, pred, core::JoinSide::kS, ec);
+    RecordPrefixStats(r, s, r_pref, s_pref, stats);
+    size_t num_elements = core::MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s_pref.prefixes, num_elements);
+    stats->phases.Add("Prefix-filter", prefix_timer.ElapsedMillis());
+
+    // Stage 1 — candidate generation, partitioned over R-groups. Per-morsel
+    // candidate runs concatenated in morsel order reproduce the serial
+    // candidate sequence exactly.
+    Timer join_timer;
+    struct Candidate {
+      GroupId r;
+      GroupId s;
+    };
+    struct CandMorsel {
+      std::vector<Candidate> cands;
+      SSJoinStats stats;
+    };
+    size_t morsel = MorselSize(ec);
+    std::vector<CandMorsel> cand_morsels(NumMorsels(r.num_groups(), morsel));
+    std::vector<ProbeScratch> scratch(NumWorkers(ec, r.num_groups(), morsel));
+    ParallelFor(ec, r.num_groups(),
+                [&](size_t worker, size_t m, size_t begin, size_t end) {
+                  ProbeScratch& sc = scratch[worker];
+                  sc.EnsureSize(s.num_groups());
+                  CandMorsel& out = cand_morsels[m];
+                  GenerateCandidatesRange(
+                      r_pref, s_index, begin, end, sc, &out.stats,
+                      [&](GroupId rg, const std::vector<GroupId>& ss) {
+                        for (GroupId sg : ss) out.cands.push_back({rg, sg});
+                      });
+                });
+    std::vector<Candidate> candidates;
+    {
+      size_t total = 0;
+      for (const CandMorsel& m : cand_morsels) total += m.cands.size();
+      candidates.reserve(total);
+      for (CandMorsel& m : cand_morsels) {
+        stats->Merge(m.stats);
+        candidates.insert(candidates.end(), m.cands.begin(), m.cands.end());
+      }
+    }
+    stats->candidate_pairs = candidates.size();
+
+    // Stage 2 — verification, range-partitioned over the candidate array.
+    // Each candidate's overlap is a sorted merge of its two base sets (same
+    // summation order as the serial re-join's clustered rows), and serial
+    // semantics are preserved: candidates whose sets do not intersect are
+    // dropped without a predicate test.
+    std::vector<MorselOutput> verify_morsels(NumMorsels(candidates.size(), morsel));
+    ParallelFor(
+        ec, candidates.size(),
+        [&](size_t /*worker*/, size_t m, size_t begin, size_t end) {
+          MorselOutput& out = verify_morsels[m];
+          for (size_t c = begin; c < end; ++c) {
+            const auto& rset = r.sets[candidates[c].r];
+            const auto& sset = s.sets[candidates[c].s];
+            double overlap = 0.0;
+            bool intersects = false;
+            size_t i = 0;
+            size_t j = 0;
+            while (i < rset.size() && j < sset.size()) {
+              if (rset[i] < sset[j]) {
+                ++i;
+              } else if (sset[j] < rset[i]) {
+                ++j;
+              } else {
+                overlap += w[rset[i]];
+                intersects = true;
+                ++i;
+                ++j;
+              }
+            }
+            GroupId rg = candidates[c].r;
+            GroupId sg = candidates[c].s;
+            if (intersects && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+              out.pairs.push_back({rg, sg, overlap});
+            }
+          }
+        });
+    std::vector<SSJoinPair> out;
+    MergeMorselOutputs(verify_morsels, &out, stats);
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", join_timer.ElapsedMillis());
+    return out;
+  }
+};
+
+class ParallelInlinePrefixFilterSSJoin final : public core::SSJoinExecutor {
+ public:
+  std::string name() const override { return "parallel-prefix-filter-inline"; }
+
+  Result<std::vector<SSJoinPair>> Execute(const SetsRelation& r,
+                                          const SetsRelation& s,
+                                          const OverlapPredicate& pred,
+                                          const SSJoinContext& ctx,
+                                          SSJoinStats* stats) const override {
+    SSJOIN_RETURN_NOT_OK(core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/true));
+    const WeightVector& w = *ctx.weights;
+    const ExecContext& ec = Exec(ctx);
+
+    Timer prefix_timer;
+    core::PrefixFilteredRelation r_pref =
+        ParallelPrefixFilter(r, w, *ctx.order, pred, core::JoinSide::kR, ec);
+    core::PrefixFilteredRelation s_pref =
+        ParallelPrefixFilter(s, w, *ctx.order, pred, core::JoinSide::kS, ec);
+    stats->r_prefix_elements = r_pref.total_prefix_elements();
+    stats->s_prefix_elements = s_pref.total_prefix_elements();
+    size_t num_elements = core::MaxElementId(r, s) + 1;
+    InvertedIndex s_index(s_pref.prefixes, num_elements);
+    stats->phases.Add("Prefix-filter", prefix_timer.ElapsedMillis());
+
+    // Candidates carry their sets inline (Figure 9): generation and the
+    // overlap "UDF" run in the same morsel, partitioned over R-groups.
+    Timer join_timer;
+    size_t morsel = MorselSize(ec);
+    std::vector<MorselOutput> morsels(NumMorsels(r.num_groups(), morsel));
+    std::vector<ProbeScratch> scratch(NumWorkers(ec, r.num_groups(), morsel));
+    ParallelFor(ec, r.num_groups(),
+                [&](size_t worker, size_t m, size_t begin, size_t end) {
+                  ProbeScratch& sc = scratch[worker];
+                  sc.EnsureSize(s.num_groups());
+                  MorselOutput& out = morsels[m];
+                  GenerateCandidatesRange(
+                      r_pref, s_index, begin, end, sc, &out.stats,
+                      [&](GroupId rg, const std::vector<GroupId>& ss) {
+                        out.stats.candidate_pairs += ss.size();
+                        for (GroupId sg : ss) {
+                          double overlap =
+                              core::MergeOverlap(r.sets[rg], s.sets[sg], w);
+                          if (overlap > 0.0 &&
+                              pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+                            out.pairs.push_back({rg, sg, overlap});
+                          }
+                        }
+                      });
+                });
+    std::vector<SSJoinPair> out;
+    MergeMorselOutputs(morsels, &out, stats);
+    stats->result_pairs = out.size();
+    stats->phases.Add("SSJoin", join_timer.ElapsedMillis());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<core::SSJoinExecutor> MakeParallelExecutor(
+    core::SSJoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case core::SSJoinAlgorithm::kNaive:
+      return std::make_unique<ParallelNaiveSSJoin>();
+    case core::SSJoinAlgorithm::kBasic:
+      return std::make_unique<ParallelBasicSSJoin>();
+    case core::SSJoinAlgorithm::kInvertedIndex:
+      return std::make_unique<ParallelInvertedIndexSSJoin>();
+    case core::SSJoinAlgorithm::kPrefixFilter:
+      return std::make_unique<ParallelPrefixFilterSSJoin>();
+    case core::SSJoinAlgorithm::kPrefixFilterInline:
+      return std::make_unique<ParallelInlinePrefixFilterSSJoin>();
+  }
+  return nullptr;
+}
+
+Result<std::vector<core::SSJoinPair>> ExecuteSSJoin(
+    core::SSJoinAlgorithm algorithm, const core::SetsRelation& r,
+    const core::SetsRelation& s, const core::OverlapPredicate& pred,
+    const core::SSJoinContext& ctx, core::SSJoinStats* stats) {
+  core::SSJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  if (ctx.exec != nullptr && ctx.exec->parallel()) {
+    std::unique_ptr<core::SSJoinExecutor> executor =
+        MakeParallelExecutor(algorithm);
+    if (executor != nullptr) return executor->Execute(r, s, pred, ctx, stats);
+  }
+  return core::ExecuteSSJoin(algorithm, r, s, pred, ctx, stats);
+}
+
+}  // namespace ssjoin::exec

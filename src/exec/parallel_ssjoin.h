@@ -1,0 +1,42 @@
+#ifndef SSJOIN_EXEC_PARALLEL_SSJOIN_H_
+#define SSJOIN_EXEC_PARALLEL_SSJOIN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ssjoin.h"
+
+namespace ssjoin::exec {
+
+/// \brief Morsel-driven parallel implementations of the physical SSJoin
+/// algorithms (§4), built on ThreadPool/ParallelFor.
+///
+/// Parallelization scheme:
+///  - Candidate generation is partitioned over R-groups: each morsel probes
+///    the shared (read-only) inverted index over S with a contiguous range
+///    of R-groups, writing candidates/pairs and SSJoinStats counters into
+///    its own output slot.
+///  - Verification (prefix-filter variant) is range-partitioned over the
+///    candidate-pair array.
+///  - Per-morsel outputs are concatenated and stats merged in morsel order,
+///    and every per-pair overlap is summed in sorted element order, so the
+///    result — pairs, their order, their overlaps, and all counters — is
+///    identical to the serial executor's regardless of thread count.
+///
+/// Returned executors honor `SSJoinContext::exec` for thread/morsel counts
+/// (null falls back to serial inline execution).
+std::unique_ptr<core::SSJoinExecutor> MakeParallelExecutor(
+    core::SSJoinAlgorithm algorithm);
+
+/// \brief Drop-in replacement for core::ExecuteSSJoin that dispatches to the
+/// parallel executors when `ctx.exec` requests more than one thread, and to
+/// the serial core executors otherwise.
+Result<std::vector<core::SSJoinPair>> ExecuteSSJoin(
+    core::SSJoinAlgorithm algorithm, const core::SetsRelation& r,
+    const core::SetsRelation& s, const core::OverlapPredicate& pred,
+    const core::SSJoinContext& ctx, core::SSJoinStats* stats = nullptr);
+
+}  // namespace ssjoin::exec
+
+#endif  // SSJOIN_EXEC_PARALLEL_SSJOIN_H_

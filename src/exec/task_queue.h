@@ -1,0 +1,74 @@
+#ifndef SSJOIN_EXEC_TASK_QUEUE_H_
+#define SSJOIN_EXEC_TASK_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ssjoin::exec {
+
+/// \brief Unbounded multi-producer multi-consumer blocking queue, the work
+/// channel between ThreadPool::Submit and the worker loops.
+///
+/// Close() wakes every blocked consumer; consumers drain the remaining items
+/// and then observe end-of-stream (an empty optional from Pop).
+template <typename T>
+class TaskQueue {
+ public:
+  TaskQueue() = default;
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues an item. Returns false (dropping the item) once closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// returns the item, or an empty optional for end-of-stream.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Closes the queue: no further Push succeeds, blocked Pops wake up.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ssjoin::exec
+
+#endif  // SSJOIN_EXEC_TASK_QUEUE_H_

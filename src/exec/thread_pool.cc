@@ -1,0 +1,51 @@
+#include "exec/thread_pool.h"
+
+namespace ssjoin::exec {
+
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  while (std::optional<std::function<void()>> task = queue_.Pop()) {
+    (*task)();
+  }
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: keeps the pool usable from any static teardown and
+  // avoids joining at an unpredictable point of process exit.
+  static ThreadPool* pool = new ThreadPool([] {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }());
+  return *pool;
+}
+
+}  // namespace ssjoin::exec

@@ -1,0 +1,55 @@
+#ifndef SSJOIN_EXEC_THREAD_POOL_H_
+#define SSJOIN_EXEC_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "exec/task_queue.h"
+
+namespace ssjoin::exec {
+
+/// \brief Fixed-size thread pool draining a shared task queue.
+///
+/// Tasks are plain `void()` closures and must not throw — structured
+/// constructs built on top (ParallelFor) catch inside the task and carry the
+/// exception back to the caller. Submitting after Shutdown is a no-op that
+/// returns false.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; returns false if the pool has been shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Closes the queue, drains the remaining tasks and joins all workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// True when the calling thread is a pool worker. ParallelFor uses this to
+  /// degrade nested parallelism to inline execution instead of deadlocking
+  /// on its own pool.
+  static bool InWorkerThread();
+
+  /// Process-wide shared pool, lazily started with one worker per hardware
+  /// thread. Never destroyed (workers idle in the queue until process exit),
+  /// which sidesteps static-destruction-order hazards.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  TaskQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ssjoin::exec
+
+#endif  // SSJOIN_EXEC_THREAD_POOL_H_

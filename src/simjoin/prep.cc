@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/cost_model.h"
+#include "exec/parallel_ssjoin.h"
 #include "text/weights.h"
 
 namespace ssjoin::simjoin {
@@ -58,16 +59,17 @@ Result<Prepared> PrepareStrings(const std::vector<std::string>& r,
 
 Result<std::vector<core::SSJoinPair>> RunSSJoinStage(const Prepared& prep,
                                                      const core::OverlapPredicate& pred,
-                                                     const JoinExecution& exec,
+                                                     const JoinExecution& execution,
                                                      SimJoinStats* stats) {
   core::SSJoinContext ctx = prep.Context();
-  core::SSJoinAlgorithm algorithm = exec.algorithm;
-  if (exec.use_cost_model) {
+  ctx.exec = &execution.exec;
+  core::SSJoinAlgorithm algorithm = execution.algorithm;
+  if (execution.use_cost_model) {
     algorithm = core::ChooseAlgorithm(prep.r, prep.s, pred, ctx);
   }
   SSJOIN_ASSIGN_OR_RETURN(
       std::vector<core::SSJoinPair> pairs,
-      core::ExecuteSSJoin(algorithm, prep.r, prep.s, pred, ctx, &stats->ssjoin));
+      exec::ExecuteSSJoin(algorithm, prep.r, prep.s, pred, ctx, &stats->ssjoin));
   stats->phases.Merge(stats->ssjoin.phases);
   return pairs;
 }

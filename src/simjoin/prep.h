@@ -43,10 +43,11 @@ Result<Prepared> PrepareStrings(const std::vector<std::string>& r,
                                 const text::Tokenizer& tokenizer, WeightMode mode);
 
 /// \brief Runs the SSJoin stage of a similarity-join pipeline: applies the
-/// cost model if requested, executes, and records stats/phases into `stats`.
+/// cost model if requested, executes (in parallel when `execution.exec`
+/// requests threads), and records stats/phases into `stats`.
 Result<std::vector<core::SSJoinPair>> RunSSJoinStage(const Prepared& prep,
                                                      const core::OverlapPredicate& pred,
-                                                     const JoinExecution& exec,
+                                                     const JoinExecution& execution,
                                                      SimJoinStats* stats);
 
 }  // namespace ssjoin::simjoin

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "common/timer.h"
+#include "exec/parallel_for.h"
 #include "sim/edit_distance.h"
 #include "sim/soundex.h"
 #include "simjoin/prep.h"
@@ -59,7 +60,7 @@ Result<std::vector<MatchPair>> RunPipeline(const std::vector<std::string>& r,
                                            WeightMode mode,
                                            const core::OverlapPredicate& pred,
                                            const VerifyFn& verify,
-                                           const JoinExecution& exec,
+                                           const JoinExecution& execution,
                                            SimJoinStats* stats) {
   SimJoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -69,16 +70,50 @@ Result<std::vector<MatchPair>> RunPipeline(const std::vector<std::string>& r,
   stats->phases.Add("Prep", prep_timer.ElapsedMillis());
 
   SSJOIN_ASSIGN_OR_RETURN(std::vector<core::SSJoinPair> pairs,
-                          RunSSJoinStage(prep, pred, exec, stats));
+                          RunSSJoinStage(prep, pred, execution, stats));
 
+  // Final UDF filter. The exact-similarity verifier is the hot loop of the
+  // distance-based joins, so it is morsel-parallelized over the candidate
+  // pairs; per-morsel outputs concatenated in morsel order keep the result
+  // identical to the serial scan.
   Timer filter_timer;
   std::vector<MatchPair> out;
-  out.reserve(pairs.size());
-  for (const core::SSJoinPair& p : pairs) {
-    ++stats->verifier_calls;
-    double similarity = verify(p);
-    if (!std::isnan(similarity)) {
-      out.push_back({p.r, p.s, similarity});
+  const exec::ExecContext& ec = execution.exec;
+  if (ec.parallel() && pairs.size() > 1) {
+    size_t morsel = std::max<size_t>(1, ec.morsel_size);
+    size_t num_morsels = (pairs.size() + morsel - 1) / morsel;
+    struct FilterMorsel {
+      std::vector<MatchPair> matches;
+      size_t verifier_calls = 0;
+    };
+    std::vector<FilterMorsel> morsels(num_morsels);
+    exec::ParallelFor(ec, pairs.size(),
+                      [&](size_t /*worker*/, size_t m, size_t begin, size_t end) {
+                        FilterMorsel& fm = morsels[m];
+                        for (size_t i = begin; i < end; ++i) {
+                          const core::SSJoinPair& p = pairs[i];
+                          ++fm.verifier_calls;
+                          double similarity = verify(p);
+                          if (!std::isnan(similarity)) {
+                            fm.matches.push_back({p.r, p.s, similarity});
+                          }
+                        }
+                      });
+    size_t total = 0;
+    for (const FilterMorsel& fm : morsels) total += fm.matches.size();
+    out.reserve(total);
+    for (const FilterMorsel& fm : morsels) {
+      stats->verifier_calls += fm.verifier_calls;
+      out.insert(out.end(), fm.matches.begin(), fm.matches.end());
+    }
+  } else {
+    out.reserve(pairs.size());
+    for (const core::SSJoinPair& p : pairs) {
+      ++stats->verifier_calls;
+      double similarity = verify(p);
+      if (!std::isnan(similarity)) {
+        out.push_back({p.r, p.s, similarity});
+      }
     }
   }
   stats->result_pairs = out.size();

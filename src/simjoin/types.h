@@ -6,6 +6,7 @@
 
 #include "common/timer.h"
 #include "core/ssjoin.h"
+#include "exec/exec_context.h"
 
 namespace ssjoin::simjoin {
 
@@ -43,6 +44,9 @@ struct JoinExecution {
   core::SSJoinAlgorithm algorithm = core::SSJoinAlgorithm::kPrefixFilterInline;
   /// If true, ignore `algorithm` and let the cost model pick (§7).
   bool use_cost_model = false;
+  /// Parallel-runtime knobs (src/exec): thread count and morsel size for the
+  /// SSJoin stage and the UDF verification loop. Defaults to serial.
+  exec::ExecContext exec;
 };
 
 /// Sorts match pairs by (r, s).

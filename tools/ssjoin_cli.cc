@@ -62,7 +62,13 @@ int Usage() {
                "soundex] [--threshold A]\n"
                "                  [--algorithm basic|inverted-index|"
                "prefix-filter|inline|cost]\n"
-               "                  [--q N] [--out FILE] [--max-print N]\n");
+               "                  [--threads N] [--morsel N]\n"
+               "                  [--q N] [--out FILE] [--max-print N]\n"
+               "  --threads N   worker threads for the SSJoin + verify stages"
+               " (default 1;\n"
+               "                0 = one per hardware thread)\n"
+               "  --morsel N    scheduler work-unit size in groups/pairs "
+               "(default 2048)\n");
   return 2;
 }
 
@@ -120,6 +126,11 @@ Result<int> RunJoin(const Args& args) {
   size_t q = static_cast<size_t>(std::atoi(FlagOr(args, "q", "3").c_str()));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec,
                           ParseAlgorithm(FlagOr(args, "algorithm", "inline")));
+  exec.exec.num_threads =
+      static_cast<size_t>(std::atoi(FlagOr(args, "threads", "1").c_str()));
+  size_t morsel =
+      static_cast<size_t>(std::atoi(FlagOr(args, "morsel", "0").c_str()));
+  if (morsel > 0) exec.exec.morsel_size = morsel;
 
   simjoin::SimJoinStats stats;
   Result<std::vector<simjoin::MatchPair>> result =
