@@ -25,6 +25,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kNotImplemented = 6,
   kInternalError = 7,
   kIOError = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument" etc.).
@@ -71,6 +73,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -53,6 +53,17 @@ ElementOrder ElementOrder::ById(size_t num_elements) {
   return ElementOrder(std::move(rank));
 }
 
+Result<ElementOrder> ElementOrder::FromRanks(std::vector<uint32_t> rank) {
+  std::vector<bool> seen(rank.size(), false);
+  for (uint32_t r : rank) {
+    if (r >= rank.size() || seen[r]) {
+      return Status::Invalid("element order ranks are not a permutation");
+    }
+    seen[r] = true;
+  }
+  return ElementOrder(std::move(rank));
+}
+
 ElementOrder ElementOrder::Random(size_t num_elements, uint64_t seed) {
   std::vector<uint32_t> perm(num_elements);
   std::iota(perm.begin(), perm.end(), 0);

@@ -39,6 +39,13 @@ class ElementOrder {
   /// A random permutation (ablation baseline).
   static ElementOrder Random(size_t num_elements, uint64_t seed);
 
+  /// Rebuilds an order from its serialized rank vector (snapshot format).
+  /// `rank` must be a permutation of [0, rank.size()).
+  static Result<ElementOrder> FromRanks(std::vector<uint32_t> rank);
+
+  /// The full rank vector, indexed by element id (for serialization).
+  const std::vector<uint32_t>& ranks() const { return rank_; }
+
   uint32_t Rank(text::TokenId id) const {
     SSJOIN_DCHECK(id < rank_.size());
     return rank_[id];

@@ -1,0 +1,195 @@
+#include "serve/lookup_service.h"
+
+#include <utility>
+
+#include "exec/parallel_for.h"
+
+namespace ssjoin::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<LookupService>> LookupService::Create(
+    simjoin::FuzzyMatchIndex index, const LookupServiceOptions& options) {
+  if (options.max_queue == 0) {
+    return Status::Invalid("max_queue must be at least 1");
+  }
+  if (options.max_batch == 0) {
+    return Status::Invalid("max_batch must be at least 1");
+  }
+  std::unique_ptr<LookupService> service(
+      new LookupService(std::move(index), options));
+  service->dispatcher_ = std::thread([s = service.get()] { s->DispatcherLoop(); });
+  return service;
+}
+
+LookupService::LookupService(simjoin::FuzzyMatchIndex index,
+                             const LookupServiceOptions& options)
+    : index_(std::move(index)),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {}
+
+LookupService::~LookupService() { Shutdown(); }
+
+std::string LookupService::CacheKey(const std::string& query, size_t k) const {
+  std::string key;
+  key.reserve(query.size() + 24);
+  for (const std::string& token : index_.tokenizer().Tokenize(query)) {
+    key += token;
+    key.push_back('\x1f');  // unit separator: cannot appear inside a token
+  }
+  key.push_back('\x1e');
+  key += std::to_string(k);
+  key.push_back('\x1e');
+  // alpha is fixed per index, but keying on it keeps entries from one index
+  // generation meaningless to another if a cache ever outlives a reload.
+  key += std::to_string(index_.options().alpha);
+  return key;
+}
+
+Result<std::vector<LookupService::Match>> LookupService::Lookup(
+    const std::string& query, size_t k, std::chrono::milliseconds deadline) {
+  Clock::time_point start = Clock::now();
+  std::string cache_key = CacheKey(query, k);
+  if (auto cached = cache_.Get(cache_key)) {
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    metrics_.latency.Record(MicrosSince(start));
+    return std::move(*cached);
+  }
+
+  std::future<Result<std::vector<Match>>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("lookup service is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("admission queue full (" +
+                                 std::to_string(options_.max_queue) +
+                                 " requests queued)");
+    }
+    Pending pending;
+    pending.query = query;
+    pending.cache_key = std::move(cache_key);
+    pending.k = k;
+    pending.start = start;
+    pending.has_deadline = deadline.count() > 0;
+    pending.deadline = start + deadline;
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+
+  Result<std::vector<Match>> result = future.get();
+  if (result.ok()) {
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    metrics_.latency.Record(MicrosSince(start));
+  }
+  return result;
+}
+
+void LookupService::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    std::function<void()> hook;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Shutdown drains the queue itself
+      size_t n = std::min(options_.max_batch, queue_.size());
+      batch.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      hook = dispatch_hook_;
+    }
+    if (hook) hook();
+    RunBatch(&batch);
+  }
+}
+
+void LookupService::RunBatch(std::vector<Pending>* batch) {
+  // Expire requests whose deadline passed while they waited in the queue;
+  // they never reach the index.
+  Clock::time_point now = Clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch->size());
+  for (Pending& p : *batch) {
+    if (p.has_deadline && p.deadline <= now) {
+      metrics_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      p.promise.set_value(
+          Status::DeadlineExceeded("deadline expired before dispatch"));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  metrics_.batched_lookups.fetch_add(live.size(), std::memory_order_relaxed);
+
+  // One lookup per morsel: lookups are coarse enough that per-item stealing
+  // beats chunking, and batch sizes are far below morsel-granularity scale.
+  exec::ExecContext ctx = options_.exec;
+  ctx.morsel_size = 1;
+  std::vector<std::vector<Match>> results(live.size());
+  exec::ParallelFor(ctx, live.size(),
+                    [&](size_t /*worker*/, size_t /*morsel*/, size_t begin,
+                        size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        results[i] = index_.Lookup(live[i].query, live[i].k);
+                      }
+                    });
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    cache_.Put(live[i].cache_key, results[i]);
+    live[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+StatsSnapshot LookupService::Stats() const {
+  StatsSnapshot s = SnapshotMetrics(metrics_);
+  s.cache_evictions = cache_.evictions();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  return s;
+}
+
+void LookupService::Shutdown() {
+  std::deque<Pending> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+    drained.swap(queue_);
+  }
+  queue_cv_.notify_all();
+  for (Pending& p : drained) {
+    metrics_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    p.promise.set_value(Status::Unavailable("lookup service is shutting down"));
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void LookupService::SetDispatchHookForTest(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dispatch_hook_ = std::move(hook);
+}
+
+}  // namespace ssjoin::serve

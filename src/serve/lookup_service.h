@@ -1,0 +1,134 @@
+#ifndef SSJOIN_SERVE_LOOKUP_SERVICE_H_
+#define SSJOIN_SERVE_LOOKUP_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/exec_context.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+#include "simjoin/fuzzy_match.h"
+
+namespace ssjoin::serve {
+
+/// Knobs of a LookupService.
+struct LookupServiceOptions {
+  /// Max requests waiting for dispatch. Admission beyond this is rejected
+  /// with Unavailable — the queue is strictly bounded (backpressure), it
+  /// never grows with offered load.
+  size_t max_queue = 1024;
+  /// Max lookups dispatched as one micro-batch.
+  size_t max_batch = 64;
+  /// Worker threads for batch dispatch (morsel size is forced to 1 so each
+  /// lookup is an independently stealable unit).
+  exec::ExecContext exec;
+  /// Total query-cache entries across all shards; 0 disables caching.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+};
+
+/// \brief A long-lived, thread-safe fuzzy-lookup service over one
+/// FuzzyMatchIndex — the online face of the paper's §6 record-lookup
+/// scenario.
+///
+/// Concurrency model: callers block in Lookup while a single dispatcher
+/// thread drains a bounded admission queue in micro-batches of up to
+/// `max_batch` requests, fanning each batch out through exec::ParallelFor.
+/// Batching amortizes dispatch overhead under concurrent load without adding
+/// latency when idle (a lone request is dispatched immediately as a batch of
+/// one).
+///
+/// Results are bit-identical to calling FuzzyMatchIndex::Lookup directly:
+/// the service adds admission, batching and caching around the index, never
+/// approximation. The query cache is keyed on the normalized token sequence,
+/// so it only coalesces queries the index itself cannot distinguish.
+///
+/// Overload policy: when the admission queue is full, Lookup returns
+/// Unavailable immediately (load shedding); when a request's deadline
+/// expires before its batch is dispatched, it completes with
+/// DeadlineExceeded without touching the index. Nothing ever queues
+/// unboundedly or blocks forever.
+class LookupService {
+ public:
+  using Match = simjoin::FuzzyMatchIndex::Match;
+
+  /// Takes ownership of a built (or snapshot-loaded) index and starts the
+  /// dispatcher thread.
+  static Result<std::unique_ptr<LookupService>> Create(
+      simjoin::FuzzyMatchIndex index, const LookupServiceOptions& options);
+
+  ~LookupService();
+  LookupService(const LookupService&) = delete;
+  LookupService& operator=(const LookupService&) = delete;
+
+  /// The best `k` matches for `query` (see FuzzyMatchIndex::Lookup), or:
+  ///  - Unavailable        if the admission queue is full or shutting down,
+  ///  - DeadlineExceeded   if `deadline` elapsed before dispatch
+  ///    (deadline zero = no deadline).
+  /// Blocks the caller until the result is ready; safe to call from any
+  /// number of threads concurrently.
+  Result<std::vector<Match>> Lookup(
+      const std::string& query, size_t k,
+      std::chrono::milliseconds deadline = std::chrono::milliseconds::zero());
+
+  /// Consistent-enough point-in-time counters and latency quantiles.
+  StatsSnapshot Stats() const;
+
+  const simjoin::FuzzyMatchIndex& index() const { return index_; }
+  const LookupServiceOptions& options() const { return options_; }
+
+  /// Stops accepting requests, fails queued ones with Unavailable and joins
+  /// the dispatcher. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Test hook invoked by the dispatcher after claiming a batch, before
+  /// running it — lets tests hold the dispatcher to saturate the admission
+  /// queue deterministically. Not for production use.
+  void SetDispatchHookForTest(std::function<void()> hook);
+
+ private:
+  struct Pending {
+    std::string query;
+    std::string cache_key;
+    size_t k;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline;
+    std::promise<Result<std::vector<Match>>> promise;
+  };
+
+  LookupService(simjoin::FuzzyMatchIndex index,
+                const LookupServiceOptions& options);
+
+  /// Cache key: the query's token sequence (unit-separator joined) plus k
+  /// and alpha — exactly the inputs Lookup's result depends on.
+  std::string CacheKey(const std::string& query, size_t k) const;
+
+  void DispatcherLoop();
+  void RunBatch(std::vector<Pending>* batch);
+
+  simjoin::FuzzyMatchIndex index_;
+  LookupServiceOptions options_;
+  QueryCache cache_;
+  ServiceMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::function<void()> dispatch_hook_;
+  std::thread dispatcher_;
+};
+
+}  // namespace ssjoin::serve
+
+#endif  // SSJOIN_SERVE_LOOKUP_SERVICE_H_

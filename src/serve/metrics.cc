@@ -1,0 +1,81 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace ssjoin::serve {
+
+double LatencyHistogram::Quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once; concurrent Records may land in between the
+  // count_ read and the bucket reads, so clamp rather than assume equality.
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  uint64_t running = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(running + counts[b]) >= target) {
+      double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
+      double hi = static_cast<double>(uint64_t{1} << (b + 1));
+      double frac = (target - static_cast<double>(running)) /
+                    static_cast<double>(counts[b]);
+      return lo + frac * (hi - lo);
+    }
+    running += counts[b];
+  }
+  return static_cast<double>(max_micros());
+}
+
+StatsSnapshot SnapshotMetrics(const ServiceMetrics& m) {
+  StatsSnapshot s;
+  s.requests = m.requests.load(std::memory_order_relaxed);
+  s.rejected_overload = m.rejected_overload.load(std::memory_order_relaxed);
+  s.rejected_deadline = m.rejected_deadline.load(std::memory_order_relaxed);
+  s.cache_hits = m.cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = m.cache_misses.load(std::memory_order_relaxed);
+  s.batches = m.batches.load(std::memory_order_relaxed);
+  s.batched_lookups = m.batched_lookups.load(std::memory_order_relaxed);
+  s.latency_count = m.latency.count();
+  if (s.latency_count > 0) {
+    s.latency_mean_us = static_cast<double>(m.latency.sum_micros()) /
+                        static_cast<double>(s.latency_count);
+  }
+  s.latency_p50_us = m.latency.Quantile(0.50);
+  s.latency_p95_us = m.latency.Quantile(0.95);
+  s.latency_p99_us = m.latency.Quantile(0.99);
+  s.latency_max_us = m.latency.max_micros();
+  return s;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"requests\": %llu, \"rejected_overload\": %llu, "
+      "\"rejected_deadline\": %llu, \"cache_hits\": %llu, "
+      "\"cache_misses\": %llu, \"cache_evictions\": %llu, "
+      "\"batches\": %llu, \"batched_lookups\": %llu, \"queue_depth\": %llu, "
+      "\"latency_us\": {\"count\": %llu, \"mean\": %.1f, \"p50\": %.1f, "
+      "\"p95\": %.1f, \"p99\": %.1f, \"max\": %llu}}",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(rejected_overload),
+      static_cast<unsigned long long>(rejected_deadline),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses),
+      static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(batched_lookups),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(latency_count), latency_mean_us,
+      latency_p50_us, latency_p95_us, latency_p99_us,
+      static_cast<unsigned long long>(latency_max_us));
+  return buf;
+}
+
+}  // namespace ssjoin::serve

@@ -1,0 +1,72 @@
+#include "serve/query_cache.h"
+
+namespace ssjoin::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(size_t capacity, size_t shards) {
+  if (capacity == 0) return;
+  size_t num_shards = RoundUpPow2(shards == 0 ? 1 : shards);
+  // Never more shards than capacity: each shard holds at least one entry.
+  while (num_shards > 1 && num_shards > capacity) num_shards >>= 1;
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::optional<std::vector<simjoin::FuzzyMatchIndex::Match>> QueryCache::Get(
+    const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->matches;
+}
+
+void QueryCache::Put(const std::string& key,
+                     std::vector<simjoin::FuzzyMatchIndex::Match> matches) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->matches = std::move(matches);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, std::move(matches)});
+  shard.map.emplace(key, shard.lru.begin());
+}
+
+size_t QueryCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace ssjoin::serve

@@ -1,0 +1,77 @@
+#ifndef SSJOIN_SERVE_QUERY_CACHE_H_
+#define SSJOIN_SERVE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "simjoin/fuzzy_match.h"
+
+namespace ssjoin::serve {
+
+/// \brief Sharded LRU cache of lookup results, keyed on the *normalized*
+/// query plus (k, alpha).
+///
+/// Normalization (LookupService::CacheKey) maps a raw query to its token
+/// sequence, so any two strings that tokenize identically — and therefore
+/// produce bit-identical Lookup results — share one entry. Sharding by key
+/// hash keeps the lock a short per-shard critical section instead of a
+/// service-wide serialization point; each shard maintains its own intrusive
+/// LRU list. Capacity is split evenly across shards (capacity/shards entries
+/// each, minimum 1), so eviction is approximate LRU at the cache level but
+/// exact per shard.
+class QueryCache {
+ public:
+  /// `capacity` = max total entries (0 disables the cache entirely);
+  /// `shards` is rounded up to a power of two.
+  QueryCache(size_t capacity, size_t shards);
+
+  bool enabled() const { return !shards_.empty(); }
+
+  /// The cached matches for `key`, refreshing its recency; nullopt on miss.
+  std::optional<std::vector<simjoin::FuzzyMatchIndex::Match>> Get(
+      const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's LRU tail if full.
+  void Put(const std::string& key,
+           std::vector<simjoin::FuzzyMatchIndex::Match> matches);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<simjoin::FuzzyMatchIndex::Match> matches;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[HashString(key) & shard_mask_];
+  }
+
+  size_t per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace ssjoin::serve
+
+#endif  // SSJOIN_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,271 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace ssjoin::serve {
+
+namespace {
+
+/// Appends fixed-width little-endian scalars and length-prefixed blobs to a
+/// growing payload buffer.
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    buf_.append(s);
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string buf_;
+};
+
+/// Bounds-checked reader over the payload; every accessor fails with a
+/// "truncated" status instead of reading past the end.
+class PayloadReader {
+ public:
+  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status U8(uint8_t* out) { return Raw(out, sizeof(*out)); }
+  Status U32(uint32_t* out) { return Raw(out, sizeof(*out)); }
+  Status U64(uint64_t* out) { return Raw(out, sizeof(*out)); }
+  Status F64(double* out) { return Raw(out, sizeof(*out)); }
+
+  Status Str(std::string* out) {
+    uint64_t n = 0;
+    SSJOIN_RETURN_NOT_OK(U64(&n));
+    if (n > Remaining()) return Truncated();
+    out->assign(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status Vec(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    SSJOIN_RETURN_NOT_OK(U64(&n));
+    if (n > Remaining() / sizeof(T)) return Truncated();
+    out->resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(out->data(), data_ + pos_, static_cast<size_t>(n) * sizeof(T));
+      pos_ += static_cast<size_t>(n) * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  size_t Remaining() const { return size_ - pos_; }
+  static Status Truncated() {
+    return Status::IOError("snapshot payload truncated");
+  }
+  Status Raw(void* out, size_t n) {
+    if (n > Remaining()) return Truncated();
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+uint64_t PayloadChecksum(const char* data, size_t size) {
+  return HashString(std::string_view(data, size));
+}
+
+std::string EncodePayload(const simjoin::FuzzyMatchIndex& index) {
+  PayloadWriter w;
+  const auto& options = index.options();
+  w.U8(options.word_tokens ? 1 : 0);
+  w.U64(options.q);
+  w.F64(options.alpha);
+  w.F64(index.unseen_token_weight());
+
+  const auto& reference = index.reference_strings();
+  w.U64(reference.size());
+  for (const std::string& s : reference) w.Str(s);
+
+  const auto& dict = index.dictionary();
+  w.U64(dict.num_elements());
+  for (text::TokenId id = 0; id < dict.num_elements(); ++id) {
+    w.Str(dict.TokenOf(id));
+    w.U32(dict.OrdinalOf(id));
+    w.U64(dict.DocFrequency(id));
+  }
+  w.U64(dict.num_documents());
+
+  w.Vec(index.weights());
+  w.Vec(index.order().ranks());
+
+  const auto& sets = index.sets();
+  w.U64(sets.sets.size());
+  for (const auto& s : sets.sets) w.Vec(s);
+  w.Vec(sets.norms);
+  w.Vec(sets.set_weights);
+
+  w.Vec(index.prefix_offsets());
+  w.Vec(index.prefix_postings());
+  return w.buffer();
+}
+
+Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size) {
+  PayloadReader r(data, size);
+  simjoin::FuzzyMatchIndex::Options options;
+  uint8_t word_tokens = 0;
+  uint64_t q = 0;
+  SSJOIN_RETURN_NOT_OK(r.U8(&word_tokens));
+  SSJOIN_RETURN_NOT_OK(r.U64(&q));
+  SSJOIN_RETURN_NOT_OK(r.F64(&options.alpha));
+  options.word_tokens = word_tokens != 0;
+  options.q = static_cast<size_t>(q);
+  double unseen_weight = 0.0;
+  SSJOIN_RETURN_NOT_OK(r.F64(&unseen_weight));
+
+  uint64_t num_reference = 0;
+  SSJOIN_RETURN_NOT_OK(r.U64(&num_reference));
+  std::vector<std::string> reference(static_cast<size_t>(num_reference));
+  for (auto& s : reference) SSJOIN_RETURN_NOT_OK(r.Str(&s));
+
+  uint64_t num_entries = 0;
+  SSJOIN_RETURN_NOT_OK(r.U64(&num_entries));
+  std::vector<text::TokenDictionary::EntryData> entries(
+      static_cast<size_t>(num_entries));
+  for (auto& e : entries) {
+    SSJOIN_RETURN_NOT_OK(r.Str(&e.token));
+    SSJOIN_RETURN_NOT_OK(r.U32(&e.ordinal));
+    SSJOIN_RETURN_NOT_OK(r.U64(&e.doc_frequency));
+  }
+  uint64_t num_documents = 0;
+  SSJOIN_RETURN_NOT_OK(r.U64(&num_documents));
+  SSJOIN_ASSIGN_OR_RETURN(
+      text::TokenDictionary dict,
+      text::TokenDictionary::Restore(std::move(entries), num_documents));
+
+  core::WeightVector weights;
+  SSJOIN_RETURN_NOT_OK(r.Vec(&weights));
+  std::vector<uint32_t> ranks;
+  SSJOIN_RETURN_NOT_OK(r.Vec(&ranks));
+  SSJOIN_ASSIGN_OR_RETURN(core::ElementOrder order,
+                          core::ElementOrder::FromRanks(std::move(ranks)));
+
+  core::SetsRelation sets;
+  uint64_t num_groups = 0;
+  SSJOIN_RETURN_NOT_OK(r.U64(&num_groups));
+  sets.sets.resize(static_cast<size_t>(num_groups));
+  for (auto& s : sets.sets) SSJOIN_RETURN_NOT_OK(r.Vec(&s));
+  SSJOIN_RETURN_NOT_OK(r.Vec(&sets.norms));
+  SSJOIN_RETURN_NOT_OK(r.Vec(&sets.set_weights));
+
+  std::vector<uint32_t> prefix_offsets;
+  std::vector<core::GroupId> prefix_postings;
+  SSJOIN_RETURN_NOT_OK(r.Vec(&prefix_offsets));
+  SSJOIN_RETURN_NOT_OK(r.Vec(&prefix_postings));
+  if (!r.AtEnd()) {
+    return Status::IOError("snapshot payload has trailing bytes");
+  }
+
+  return simjoin::FuzzyMatchIndex::FromParts(
+      options, std::move(reference), std::move(dict), std::move(weights),
+      unseen_weight, std::move(order), std::move(sets),
+      std::move(prefix_offsets), std::move(prefix_postings));
+}
+
+}  // namespace
+
+Status SaveSnapshot(const simjoin::FuzzyMatchIndex& index,
+                    const std::string& path) {
+  std::string payload = EncodePayload(index);
+  uint64_t checksum = PayloadChecksum(payload.data(), payload.size());
+
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + tmp + "' for writing");
+  }
+  uint32_t version = kSnapshotVersion;
+  uint32_t flags = 0;
+  bool ok = std::fwrite(kSnapshotMagic, 1, sizeof(kSnapshotMagic), f) ==
+                sizeof(kSnapshotMagic) &&
+            std::fwrite(&version, 1, sizeof(version), f) == sizeof(version) &&
+            std::fwrite(&flags, 1, sizeof(flags), f) == sizeof(flags) &&
+            (payload.empty() ||
+             std::fwrite(payload.data(), 1, payload.size(), f) == payload.size()) &&
+            std::fwrite(&checksum, 1, sizeof(checksum), f) == sizeof(checksum);
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open snapshot '" + path + "'");
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("error reading snapshot '" + path + "'");
+  }
+
+  if (bytes.size() < kSnapshotHeaderSize + sizeof(uint64_t)) {
+    return Status::IOError("snapshot '" + path + "' is truncated");
+  }
+  if (std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Invalid("'" + path + "' is not a ssjoin snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, sizeof(version));
+  if (version != kSnapshotVersion) {
+    return Status::Invalid("unsupported snapshot version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kSnapshotVersion) + ")");
+  }
+
+  const char* payload = bytes.data() + kSnapshotHeaderSize;
+  size_t payload_size = bytes.size() - kSnapshotHeaderSize - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + kSnapshotHeaderSize + payload_size,
+              sizeof(stored_checksum));
+  if (PayloadChecksum(payload, payload_size) != stored_checksum) {
+    return Status::IOError("snapshot '" + path + "' checksum mismatch");
+  }
+  return DecodePayload(payload, payload_size);
+}
+
+}  // namespace ssjoin::serve

@@ -1,0 +1,48 @@
+#ifndef SSJOIN_SERVE_SNAPSHOT_H_
+#define SSJOIN_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "simjoin/fuzzy_match.h"
+
+namespace ssjoin::serve {
+
+/// \name FuzzyMatchIndex snapshots
+///
+/// A snapshot is the complete materialized state of a FuzzyMatchIndex —
+/// options, reference strings, token dictionary, IDF weights, element order,
+/// canonical sets and the prefix inverted index — in one binary file, so a
+/// server warm-starts by memcpy-style decoding instead of re-tokenizing and
+/// re-indexing the reference table.
+///
+/// Layout (all integers little-endian, doubles IEEE-754):
+///
+///   [0,  8)  magic "SSJSNAPS"
+///   [8, 12)  format version (uint32)
+///   [12,16)  reserved flags (uint32, zero)
+///   [16, N)  payload: length-prefixed sections in fixed order
+///   [N, N+8) FNV-1a checksum (uint64) over the payload bytes
+///
+/// Load verifies magic, version and checksum before decoding and bounds-
+/// checks every read, so a truncated, corrupted or future-versioned file
+/// yields a clean Status error and never a partially-initialized index.
+/// @{
+
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'J', 'S', 'N', 'A', 'P', 'S'};
+inline constexpr size_t kSnapshotHeaderSize = 16;
+
+/// Serializes `index` to `path` (atomically: written to a temp sibling and
+/// renamed into place, so readers never observe a half-written snapshot).
+Status SaveSnapshot(const simjoin::FuzzyMatchIndex& index, const std::string& path);
+
+/// Deserializes a snapshot previously written by SaveSnapshot.
+Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path);
+
+/// @}
+
+}  // namespace ssjoin::serve
+
+#endif  // SSJOIN_SERVE_SNAPSHOT_H_

@@ -1,0 +1,212 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssjoin::serve {
+
+namespace {
+
+/// Recursive-descent parser over the flat-object subset; the cursor is a
+/// string_view consumed from the front.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<std::map<std::string, JsonScalar>> ParseObject() {
+    SkipSpace();
+    SSJOIN_RETURN_NOT_OK(Expect('{'));
+    std::map<std::string, JsonScalar> out;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Finish(std::move(out));
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      SSJOIN_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      SSJOIN_RETURN_NOT_OK(Expect(':'));
+      SkipSpace();
+      JsonScalar value;
+      SSJOIN_RETURN_NOT_OK(ParseScalar(&value));
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        return Status::Invalid("duplicate key in JSON object");
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Finish(std::move(out));
+      }
+      return Status::Invalid("expected ',' or '}' in JSON object");
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return Status::Invalid(std::string("expected '") + c + "' in JSON");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::map<std::string, JsonScalar>> Finish(
+      std::map<std::string, JsonScalar> out) {
+    SkipSpace();
+    if (pos_ != in_.size()) {
+      return Status::Invalid("trailing bytes after JSON object");
+    }
+    return out;
+  }
+
+  Status ParseString(std::string* out) {
+    SSJOIN_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= in_.size()) break;
+      char e = in_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) {
+            return Status::Invalid("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = in_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::Invalid("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are rejected as the
+          // protocol carries UTF-8 directly).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Status::Invalid("surrogate \\u escapes unsupported; send UTF-8");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::Invalid("bad escape in JSON string");
+      }
+    }
+    return Status::Invalid("unterminated JSON string");
+  }
+
+  Status ParseScalar(JsonScalar* out) {
+    char c = Peek();
+    if (c == '"') {
+      out->type = JsonScalar::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      size_t len = c == 't' ? 4 : 5;
+      if (in_.compare(pos_, len, word) != 0) {
+        return Status::Invalid("bad JSON literal");
+      }
+      pos_ += len;
+      out->type = JsonScalar::Type::kBool;
+      out->boolean = c == 't';
+      return Status::OK();
+    }
+    if (c == 'n') {
+      if (in_.compare(pos_, 4, "null") != 0) {
+        return Status::Invalid("bad JSON literal");
+      }
+      pos_ += 4;
+      out->type = JsonScalar::Type::kNull;
+      return Status::OK();
+    }
+    if (c == '{' || c == '[') {
+      return Status::Invalid("nested JSON values are not supported");
+    }
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+            in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E' ||
+            in_[pos_] == '+' || in_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::Invalid("bad JSON value");
+    std::string num(in_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->num = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Status::Invalid("bad JSON number '" + num + "'");
+    }
+    out->type = JsonScalar::Type::kNumber;
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::map<std::string, JsonScalar>> ParseJsonObject(std::string_view line) {
+  return Parser(line).ParseObject();
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ssjoin::serve

@@ -1,0 +1,43 @@
+#ifndef SSJOIN_SERVE_WIRE_H_
+#define SSJOIN_SERVE_WIRE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ssjoin::serve {
+
+/// \brief The newline-delimited-JSON wire protocol of ssjoin_served.
+///
+/// Requests are flat JSON objects, one per line:
+///
+///   {"op": "lookup", "query": "Mcrosoft Corp", "k": 3}
+///   {"op": "lookup", "query": "...", "k": 1, "deadline_ms": 50}
+///   {"op": "stats"}
+///   {"op": "ping"}
+///   {"op": "shutdown"}
+///
+/// Responses are one JSON object per line: {"ok": true, ...} on success or
+/// {"ok": false, "error": "..."} on failure. Only the flat scalar subset the
+/// protocol needs is implemented here — no nesting on the request side.
+
+/// A scalar JSON value of a request field.
+struct JsonScalar {
+  enum class Type { kString, kNumber, kBool, kNull } type = Type::kNull;
+  std::string str;     // kString
+  double num = 0.0;    // kNumber
+  bool boolean = false;  // kBool
+};
+
+/// Parses one flat JSON object (string/number/bool/null values only;
+/// rejects nested arrays/objects). Keys must be unique.
+Result<std::map<std::string, JsonScalar>> ParseJsonObject(std::string_view line);
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace ssjoin::serve
+
+#endif  // SSJOIN_SERVE_WIRE_H_

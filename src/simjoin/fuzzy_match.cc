@@ -64,6 +64,69 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
   return index;
 }
 
+Result<FuzzyMatchIndex> FuzzyMatchIndex::FromParts(
+    Options options, std::vector<std::string> reference,
+    text::TokenDictionary dict, core::WeightVector weights,
+    double unseen_token_weight, core::ElementOrder order, core::SetsRelation sets,
+    std::vector<uint32_t> prefix_offsets,
+    std::vector<core::GroupId> prefix_postings) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::Invalid("alpha must be in (0, 1]");
+  }
+  const size_t elements = dict.num_elements();
+  const size_t groups = reference.size();
+  if (weights.size() != elements) {
+    return Status::Invalid("index parts: weight count != dictionary size");
+  }
+  if (order.num_elements() != elements) {
+    return Status::Invalid("index parts: order size != dictionary size");
+  }
+  if (sets.sets.size() != groups || sets.norms.size() != groups ||
+      sets.set_weights.size() != groups) {
+    return Status::Invalid("index parts: sets relation size != reference size");
+  }
+  for (const auto& s : sets.sets) {
+    for (text::TokenId e : s) {
+      if (e >= elements) {
+        return Status::Invalid("index parts: set element out of dictionary range");
+      }
+    }
+  }
+  if (prefix_offsets.size() != elements + 1 || prefix_offsets.front() != 0 ||
+      prefix_offsets.back() != prefix_postings.size()) {
+    return Status::Invalid("index parts: prefix CSR layout inconsistent");
+  }
+  for (size_t i = 1; i < prefix_offsets.size(); ++i) {
+    if (prefix_offsets[i] < prefix_offsets[i - 1]) {
+      return Status::Invalid("index parts: prefix offsets not monotone");
+    }
+  }
+  for (core::GroupId g : prefix_postings) {
+    if (g >= groups) {
+      return Status::Invalid("index parts: prefix posting out of group range");
+    }
+  }
+  if (unseen_token_weight <= 0.0) {
+    return Status::Invalid("index parts: unseen token weight must be positive");
+  }
+  FuzzyMatchIndex index;
+  index.options_ = options;
+  index.reference_ = std::move(reference);
+  if (options.word_tokens) {
+    index.tokenizer_ = std::make_unique<text::WordTokenizer>();
+  } else {
+    index.tokenizer_ = std::make_unique<text::QGramTokenizer>(options.q);
+  }
+  index.dict_ = std::move(dict);
+  index.weights_ = std::move(weights);
+  index.unseen_token_weight_ = unseen_token_weight;
+  index.order_ = std::move(order);
+  index.sets_ = std::move(sets);
+  index.prefix_offsets_ = std::move(prefix_offsets);
+  index.prefix_postings_ = std::move(prefix_postings);
+  return index;
+}
+
 std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& query,
                                                             size_t k) const {
   std::vector<Match> out;

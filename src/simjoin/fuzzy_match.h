@@ -50,16 +50,48 @@ class FuzzyMatchIndex {
   static Result<FuzzyMatchIndex> Build(const std::vector<std::string>& reference,
                                        const Options& options);
 
+  /// Reassembles an index from previously built (typically deserialized)
+  /// parts without re-tokenizing — the warm-start path of serve::Snapshot.
+  /// Cross-checks structural invariants (sizes and CSR layout consistency)
+  /// and rejects inconsistent parts; it does not re-derive weights, order or
+  /// prefixes, so callers must pass parts produced by Build.
+  static Result<FuzzyMatchIndex> FromParts(
+      Options options, std::vector<std::string> reference,
+      text::TokenDictionary dict, core::WeightVector weights,
+      double unseen_token_weight, core::ElementOrder order,
+      core::SetsRelation sets, std::vector<uint32_t> prefix_offsets,
+      std::vector<core::GroupId> prefix_postings);
+
   FuzzyMatchIndex(FuzzyMatchIndex&&) = default;
   FuzzyMatchIndex& operator=(FuzzyMatchIndex&&) = default;
 
   /// The best `k` reference strings with resemblance >= alpha, in
   /// descending similarity (ties by reference index).
+  ///
+  /// Thread safety: Lookup is const and touches only immutable state; any
+  /// number of threads may call it concurrently on one index (exercised
+  /// under TSan by test_fuzzy_match's ConcurrentLookups).
   std::vector<Match> Lookup(const std::string& query, size_t k) const;
 
   /// The reference string for a match.
   const std::string& reference(uint32_t index) const { return reference_[index]; }
   size_t size() const { return reference_.size(); }
+
+  /// \name Component views (snapshot serialization and serving)
+  /// @{
+  const Options& options() const { return options_; }
+  const std::vector<std::string>& reference_strings() const { return reference_; }
+  const text::Tokenizer& tokenizer() const { return *tokenizer_; }
+  const text::TokenDictionary& dictionary() const { return dict_; }
+  const core::WeightVector& weights() const { return weights_; }
+  double unseen_token_weight() const { return unseen_token_weight_; }
+  const core::ElementOrder& order() const { return order_; }
+  const core::SetsRelation& sets() const { return sets_; }
+  const std::vector<uint32_t>& prefix_offsets() const { return prefix_offsets_; }
+  const std::vector<core::GroupId>& prefix_postings() const {
+    return prefix_postings_;
+  }
+  /// @}
 
  private:
   FuzzyMatchIndex() = default;

@@ -64,4 +64,24 @@ TokenId TokenDictionary::Find(std::string_view token, uint32_t ordinal) const {
   return it == index_.end() ? kInvalidToken : it->second;
 }
 
+Result<TokenDictionary> TokenDictionary::Restore(std::vector<EntryData> entries,
+                                                 uint64_t num_documents) {
+  TokenDictionary dict;
+  dict.entries_.reserve(entries.size());
+  dict.index_.reserve(entries.size());
+  for (EntryData& e : entries) {
+    std::string key = MakeKey(e.token, e.ordinal);
+    TokenId id = static_cast<TokenId>(dict.entries_.size());
+    auto [it, inserted] = dict.index_.emplace(std::move(key), id);
+    (void)it;
+    if (!inserted) {
+      return Status::Invalid("dictionary restore: duplicate element '" + e.token +
+                             "' ordinal " + std::to_string(e.ordinal));
+    }
+    dict.entries_.push_back(Entry{std::move(e.token), e.ordinal, e.doc_frequency});
+  }
+  dict.num_documents_ = num_documents;
+  return dict;
+}
+
 }  // namespace ssjoin::text

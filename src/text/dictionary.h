@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/result.h"
 
 namespace ssjoin::text {
 
@@ -45,6 +46,19 @@ class TokenDictionary {
 
   /// Id of (token, ordinal), or kInvalidToken.
   TokenId Find(std::string_view token, uint32_t ordinal = 0) const;
+
+  /// A dictionary entry as exposed for serialization (snapshot format).
+  struct EntryData {
+    std::string token;
+    uint32_t ordinal;
+    uint64_t doc_frequency;
+  };
+
+  /// Rebuilds a frozen dictionary from serialized entries: entry `i` becomes
+  /// element id `i`, exactly reversing iteration over ids 0..num_elements().
+  /// Rejects duplicate (token, ordinal) pairs.
+  static Result<TokenDictionary> Restore(std::vector<EntryData> entries,
+                                         uint64_t num_documents);
 
   /// The base token string of an element (without its ordinal).
   const std::string& TokenOf(TokenId id) const {

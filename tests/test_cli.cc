@@ -1,18 +1,29 @@
-/// End-to-end test of the ssjoin_cli tool: writes CSV inputs, invokes the
-/// binary (path injected by CMake as SSJOIN_CLI_PATH), and checks the
-/// output CSV. Exercises argument validation as well.
+/// End-to-end tests of the ssjoin_cli and ssjoin_served tools: writes CSV
+/// inputs, invokes the binaries (paths injected by CMake as SSJOIN_CLI_PATH
+/// and SSJOIN_SERVED_PATH), and checks outputs. Exercises argument
+/// validation, the snapshot/lookup subcommands, and a live socket round
+/// trip against ssjoin_served.
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "engine/csv.h"
 
 #ifndef SSJOIN_CLI_PATH
 #error "SSJOIN_CLI_PATH must be defined by the build"
+#endif
+#ifndef SSJOIN_SERVED_PATH
+#error "SSJOIN_SERVED_PATH must be defined by the build"
 #endif
 
 namespace ssjoin {
@@ -28,10 +39,40 @@ void WriteFile(const std::string& path, const std::string& content) {
   out << content;
 }
 
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
 int RunCli(const std::string& args) {
   std::string cmd = std::string(SSJOIN_CLI_PATH) + " " + args + " 2>/dev/null";
   int rc = std::system(cmd.c_str());
   return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+// Runs the CLI and captures its stdout into *out.
+int RunCliCapture(const std::string& args, std::string* out) {
+  // Per-process name: ctest runs sibling tests as concurrent processes.
+  std::string out_path =
+      TempPath("cli_capture_" + std::to_string(::getpid()) + ".txt");
+  std::string cmd = std::string(SSJOIN_CLI_PATH) + " " + args + " >" +
+                    out_path + " 2>/dev/null";
+  int rc = std::system(cmd.c_str());
+  *out = ReadWholeFile(out_path);
+  std::remove(out_path.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+bool WaitFor(const std::function<bool()>& pred,
+             std::chrono::milliseconds budget) {
+  auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
 }
 
 TEST(CliTest, EditJoinEndToEnd) {
@@ -84,6 +125,107 @@ TEST(CliTest, UsageAndErrorPaths) {
   EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim bogus"), 0);
   EXPECT_NE(RunCli("join --left " + in + " --left-col name --algorithm bogus"), 0);
   std::remove(in.c_str());
+}
+
+const char kReferenceCsv[] =
+    "name\n"
+    "Microsoft Corp\n"
+    "Oracle Corporation\n"
+    "Apple Inc\n"
+    "International Business Machines\n";
+
+TEST(CliTest, SnapshotAndDirectLookup) {
+  std::string in = TempPath("cli_ref.csv");
+  std::string snap = TempPath("cli_ref.snap");
+  WriteFile(in, kReferenceCsv);
+  ASSERT_EQ(RunCli("snapshot --reference " + in + " --col name --alpha 0.4 "
+                   "--out " + snap),
+            0);
+
+  // Lookup against the snapshot must find the corrupted string's source.
+  std::string out;
+  ASSERT_EQ(RunCliCapture("lookup --snapshot " + snap +
+                              " --query \"International Business Machines Inc\" --k 2",
+                          &out),
+            0);
+  EXPECT_NE(out.find("International Business Machines"), std::string::npos) << out;
+
+  // The same lookup straight from the CSV (no snapshot) must agree.
+  std::string direct;
+  ASSERT_EQ(RunCliCapture("lookup --reference " + in +
+                              " --col name --alpha 0.4 "
+                              "--query \"International Business Machines Inc\" --k 2",
+                          &direct),
+            0);
+  EXPECT_EQ(out, direct);
+
+  std::remove(in.c_str());
+  std::remove(snap.c_str());
+}
+
+TEST(CliTest, SnapshotAndLookupErrorPaths) {
+  std::string in = TempPath("cli_ref_err.csv");
+  WriteFile(in, kReferenceCsv);
+  EXPECT_NE(RunCli("snapshot --reference " + in + " --col name"), 0);  // no --out
+  EXPECT_NE(RunCli("snapshot --reference /nope.csv --col name --out x.snap"), 0);
+  EXPECT_NE(RunCli("lookup --snapshot /nope.snap --query x"), 0);
+  EXPECT_NE(RunCli("lookup --query x"), 0);  // no index source
+  std::remove(in.c_str());
+}
+
+TEST(CliTest, ServedSocketRoundTrip) {
+  std::string in = TempPath("served_ref.csv");
+  std::string snap = TempPath("served_ref.snap");
+  std::string sock = TempPath("served.sock");
+  WriteFile(in, kReferenceCsv);
+  std::remove(sock.c_str());
+  ASSERT_EQ(RunCli("snapshot --reference " + in + " --col name --alpha 0.4 "
+                   "--out " + snap),
+            0);
+
+  std::string server_log = TempPath("served.log");
+  std::string server_cmd = std::string(SSJOIN_SERVED_PATH) + " --snapshot " +
+                           snap + " --socket " + sock + " >" + server_log +
+                           " 2>&1 &";
+  ASSERT_EQ(std::system(server_cmd.c_str()), 0);
+  ASSERT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) == 0; },
+                      std::chrono::seconds(10)))
+      << ReadWholeFile(server_log);
+
+  std::string out;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock +
+                              " --query \"International Business Machines Inc\" --k 2",
+                          &out),
+            0)
+      << ReadWholeFile(server_log);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  EXPECT_NE(out.find("International Business Machines"), std::string::npos) << out;
+
+  // Repeat the query: second time must be served from the cache.
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock +
+                              " --query \"International Business Machines Inc\" --k 2",
+                          &out),
+            0);
+  std::string stats;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --stats", &stats), 0);
+  EXPECT_NE(stats.find("\"requests\": 2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_hits\": 1"), std::string::npos) << stats;
+
+  // Ping, then orderly shutdown; the server removes its socket on exit.
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --ping", &out), 0);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --shutdown", &out), 0);
+  EXPECT_NE(out.find("\"stopping\": true"), std::string::npos) << out;
+  EXPECT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) != 0; },
+                      std::chrono::seconds(10)))
+      << ReadWholeFile(server_log);
+
+  // A client against the dead socket fails cleanly.
+  EXPECT_NE(RunCli("lookup --socket " + sock + " --ping"), 0);
+
+  std::remove(in.c_str());
+  std::remove(snap.c_str());
+  std::remove(server_log.c_str());
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "datagen/address_gen.h"
 #include "datagen/error_model.h"
@@ -129,6 +130,56 @@ TEST(FuzzyMatchTest, InvalidAlphaRejected) {
   std::vector<std::string> master = {"x"};
   EXPECT_FALSE(FuzzyMatchIndex::Build(master, {true, 3, 0.0}).ok());
   EXPECT_FALSE(FuzzyMatchIndex::Build(master, {true, 3, 1.5}).ok());
+}
+
+TEST(FuzzyMatchTest, ConcurrentLookupsMatchSerial) {
+  // Lookup is const and documented thread-safe; run it from many threads at
+  // once (under TSan in the Debug CI job) and require the concurrent results
+  // to be bit-identical to serial ones.
+  auto master = Master(400, 17);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.35;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+
+  Rng rng(23);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.5;
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < 120; ++i) {
+    size_t src = rng.Uniform(master.size());
+    queries.push_back(datagen::CorruptRecord(master[src], {}, errors, &rng));
+  }
+
+  std::vector<std::vector<FuzzyMatchIndex::Match>> serial(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    serial[i] = index.Lookup(queries[i], 4);
+  }
+
+  const size_t kThreads = 4;
+  std::vector<std::vector<std::vector<FuzzyMatchIndex::Match>>> concurrent(
+      kThreads,
+      std::vector<std::vector<FuzzyMatchIndex::Match>>(queries.size()));
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Every thread runs every query so lookups genuinely overlap.
+      for (size_t i = 0; i < queries.size(); ++i) {
+        concurrent[t][i] = index.Lookup(queries[i], 4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(concurrent[t][i].size(), serial[i].size())
+          << "thread " << t << " query " << i;
+      for (size_t m = 0; m < serial[i].size(); ++m) {
+        EXPECT_EQ(concurrent[t][i][m].ref_index, serial[i][m].ref_index);
+        EXPECT_EQ(concurrent[t][i][m].similarity, serial[i][m].similarity);
+      }
+    }
+  }
 }
 
 TEST(FuzzyMatchTest, EmptyReference) {

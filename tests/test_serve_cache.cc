@@ -1,0 +1,123 @@
+/// QueryCache unit tests: LRU behaviour, sharding, counters, and the wire
+/// helpers' flat-JSON parser that the server builds on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_cache.h"
+#include "serve/wire.h"
+
+namespace ssjoin::serve {
+namespace {
+
+using Match = simjoin::FuzzyMatchIndex::Match;
+
+std::vector<Match> Matches(uint32_t ref) { return {{ref, 0.5}}; }
+
+TEST(QueryCacheTest, HitMissAndCounters) {
+  QueryCache cache(8, 1);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Put("a", Matches(1));
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ref_index, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2, 1);  // single shard, capacity 2
+  cache.Put("a", Matches(1));
+  cache.Put("b", Matches(2));
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh a; b is now LRU
+  cache.Put("c", Matches(3));               // evicts b
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+}
+
+TEST(QueryCacheTest, PutRefreshesExistingKey) {
+  QueryCache cache(2, 1);
+  cache.Put("a", Matches(1));
+  cache.Put("a", Matches(9));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ((*hit)[0].ref_index, 9u);
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisables) {
+  QueryCache cache(0, 8);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put("a", Matches(1));
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  // A disabled cache records no misses either — the service reports the
+  // miss, not the cache.
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(QueryCacheTest, ShardedConcurrentAccess) {
+  QueryCache cache(1024, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string(i % 100);
+        if ((i + t) % 3 == 0) {
+          cache.Put(key, Matches(static_cast<uint32_t>(i % 100)));
+        } else if (auto hit = cache.Get(key)) {
+          EXPECT_EQ((*hit)[0].ref_index, static_cast<uint32_t>(i % 100));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 100u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 500u * 2u / 3u);
+}
+
+TEST(WireTest, ParsesFlatObject) {
+  auto obj = ParseJsonObject(
+      R"({"op": "lookup", "query": "Mcrosoft \"Corp\"", "k": 3, "fast": true, "x": null})");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->at("op").str, "lookup");
+  EXPECT_EQ(obj->at("query").str, "Mcrosoft \"Corp\"");
+  EXPECT_EQ(obj->at("k").num, 3.0);
+  EXPECT_TRUE(obj->at("fast").boolean);
+  EXPECT_EQ(obj->at("x").type, JsonScalar::Type::kNull);
+}
+
+TEST(WireTest, ParsesEscapesAndNumbers) {
+  auto obj = ParseJsonObject(R"({"s": "a\tbéc", "n": -2.5e1})");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->at("s").str, "a\tb\xc3\xa9" "c");
+  EXPECT_EQ(obj->at("n").num, -25.0);
+}
+
+TEST(WireTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJsonObject("").ok());
+  EXPECT_FALSE(ParseJsonObject("not json").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": 1").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": {\"nested\": 1}}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": [1, 2]}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": 1, \"a\": 2}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"unterminated}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": 12..5}").ok());
+}
+
+TEST(WireTest, EscapeRoundTrip) {
+  std::string raw = "tab\t quote\" backslash\\ newline\n";
+  auto obj = ParseJsonObject("{\"s\": \"" + JsonEscape(raw) + "\"}");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->at("s").str, raw);
+}
+
+}  // namespace
+}  // namespace ssjoin::serve

@@ -1,0 +1,298 @@
+/// LookupService tests: serving-path results must be bit-identical to direct
+/// FuzzyMatchIndex::Lookup (fresh and snapshot-reloaded), overload must be
+/// rejected explicitly (never queued unboundedly), deadlines must expire
+/// queued requests, and metrics must add up.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/address_gen.h"
+#include "datagen/error_model.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot.h"
+
+namespace ssjoin::serve {
+namespace {
+
+using simjoin::FuzzyMatchIndex;
+
+std::vector<std::string> Master(size_t n, uint64_t seed) {
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.0;
+  opts.seed = seed;
+  return datagen::GenerateAddresses(opts).records;
+}
+
+std::vector<std::string> DirtyQueries(const std::vector<std::string>& master,
+                                      size_t n, uint64_t seed) {
+  Rng rng(seed);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.5;
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < n; ++i) {
+    size_t src = rng.Uniform(master.size());
+    queries.push_back(datagen::CorruptRecord(master[src], {}, errors, &rng));
+  }
+  return queries;
+}
+
+FuzzyMatchIndex BuildIndex(const std::vector<std::string>& master) {
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.35;
+  return FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+}
+
+void ExpectSameMatches(const std::vector<FuzzyMatchIndex::Match>& direct,
+                       const std::vector<FuzzyMatchIndex::Match>& served,
+                       const std::string& query) {
+  ASSERT_EQ(direct.size(), served.size()) << "query: " << query;
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].ref_index, served[i].ref_index) << "query: " << query;
+    EXPECT_EQ(direct[i].similarity, served[i].similarity) << "query: " << query;
+  }
+}
+
+TEST(LookupServiceTest, BitIdenticalToDirectLookup) {
+  auto master = Master(400, 31);
+  auto queries = DirtyQueries(master, 150, 7);
+  auto index = BuildIndex(master);
+
+  LookupServiceOptions options;
+  options.exec.num_threads = 2;
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+  for (const std::string& q : queries) {
+    auto served = service->Lookup(q, 5);
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    ExpectSameMatches(index.Lookup(q, 5), *served, q);
+  }
+  // Replay: now every query is a cache hit and still bit-identical.
+  StatsSnapshot before = service->Stats();
+  for (const std::string& q : queries) {
+    auto served = service->Lookup(q, 5);
+    ASSERT_TRUE(served.ok());
+    ExpectSameMatches(index.Lookup(q, 5), *served, q);
+  }
+  StatsSnapshot after = service->Stats();
+  EXPECT_EQ(after.cache_hits - before.cache_hits, queries.size());
+}
+
+TEST(LookupServiceTest, BitIdenticalFromReloadedSnapshot) {
+  auto master = Master(300, 32);
+  auto queries = DirtyQueries(master, 100, 8);
+  auto index = BuildIndex(master);
+
+  std::string path = ::testing::TempDir() + "/service_reload.snap";
+  ASSERT_TRUE(SaveSnapshot(index, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  auto service =
+      LookupService::Create(std::move(*loaded), {}).MoveValueUnsafe();
+  for (const std::string& q : queries) {
+    auto served = service->Lookup(q, 3);
+    ASSERT_TRUE(served.ok());
+    ExpectSameMatches(index.Lookup(q, 3), *served, q);
+  }
+}
+
+TEST(LookupServiceTest, ConcurrentClientsAgreeWithDirectLookup) {
+  auto master = Master(400, 33);
+  auto queries = DirtyQueries(master, 200, 9);
+  auto index = BuildIndex(master);
+
+  LookupServiceOptions options;
+  options.exec.num_threads = 2;
+  options.max_batch = 8;
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < queries.size(); i += 4) {
+        auto served = service->Lookup(queries[i], 4);
+        ASSERT_TRUE(served.ok());
+        ExpectSameMatches(index.Lookup(queries[i], 4), *served, queries[i]);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  StatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.requests, queries.size());
+  EXPECT_EQ(stats.rejected_overload, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_lookups, stats.cache_misses);
+  EXPECT_EQ(stats.latency_count, queries.size());
+}
+
+TEST(LookupServiceTest, OverloadRejectsWithUnavailable) {
+  auto master = Master(100, 34);
+  LookupServiceOptions options;
+  options.max_queue = 2;
+  options.max_batch = 1;
+  options.cache_capacity = 0;  // every request must go through the queue
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+
+  // Hold the dispatcher once it has claimed its first batch, so subsequent
+  // requests pile up in the admission queue deterministically.
+  std::promise<void> entered_promise;
+  std::shared_future<void> entered(entered_promise.get_future());
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<bool> first_batch{true};
+  service->SetDispatchHookForTest([&] {
+    if (first_batch.exchange(false)) {
+      entered_promise.set_value();
+      release.wait();
+    }
+  });
+
+  // First request: claimed by the dispatcher, then stalled in the hook.
+  std::thread blocked([&] {
+    auto r = service->Lookup(master[0], 1);
+    EXPECT_TRUE(r.ok());
+  });
+  entered.wait();
+
+  // Saturate the admission queue (capacity 2) with two more requests.
+  std::vector<std::thread> queued;
+  for (int i = 1; i <= 2; ++i) {
+    queued.emplace_back([&, i] {
+      auto r = service->Lookup(master[static_cast<size_t>(i)], 1);
+      EXPECT_TRUE(r.ok());
+    });
+  }
+  while (service->Stats().queue_depth < 2) {
+    std::this_thread::yield();
+  }
+
+  // The queue is full: this request must be rejected immediately with
+  // Unavailable — explicit backpressure instead of blocking or growing the
+  // queue.
+  auto rejected = service->Lookup(master[50], 1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service->Stats().rejected_overload, 1u);
+
+  release_promise.set_value();
+  blocked.join();
+  for (auto& t : queued) t.join();
+  EXPECT_EQ(service->Stats().requests, 3u);
+}
+
+TEST(LookupServiceTest, DeadlineExpiresQueuedRequest) {
+  auto master = Master(100, 35);
+  LookupServiceOptions options;
+  options.max_queue = 8;
+  options.max_batch = 1;
+  options.cache_capacity = 0;
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+
+  std::promise<void> entered_promise;
+  std::shared_future<void> entered(entered_promise.get_future());
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<bool> first_batch{true};
+  service->SetDispatchHookForTest([&] {
+    if (first_batch.exchange(false)) {
+      entered_promise.set_value();
+      release.wait();
+    }
+  });
+
+  std::thread blocked([&] {
+    auto r = service->Lookup(master[0], 1);
+    EXPECT_TRUE(r.ok());
+  });
+  entered.wait();
+
+  // Queued behind the stalled batch with a 5ms deadline; by the time the
+  // dispatcher gets to it, the deadline has long expired.
+  std::thread expired([&] {
+    auto r = service->Lookup(master[1], 1, std::chrono::milliseconds(5));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  while (service->Stats().queue_depth < 1) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release_promise.set_value();
+  blocked.join();
+  expired.join();
+  EXPECT_EQ(service->Stats().rejected_deadline, 1u);
+}
+
+TEST(LookupServiceTest, ShutdownFailsPendingAndRejectsNew) {
+  auto master = Master(100, 36);
+  LookupServiceOptions options;
+  options.cache_capacity = 0;
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+  auto ok = service->Lookup(master[0], 1);
+  EXPECT_TRUE(ok.ok());
+  service->Shutdown();
+  auto rejected = service->Lookup(master[1], 1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  service->Shutdown();  // idempotent
+}
+
+TEST(LookupServiceTest, CacheKeyCoalescesTokenizationOnly) {
+  auto master = Master(100, 37);
+  auto service = LookupService::Create(BuildIndex(master), {}).MoveValueUnsafe();
+  auto a = service->Lookup(master[0], 2);
+  ASSERT_TRUE(a.ok());
+  // Same token sequence, different whitespace: must hit the cache and be
+  // bit-identical (tokenization cannot distinguish the strings).
+  auto b = service->Lookup("  " + master[0] + "  ", 2);
+  ASSERT_TRUE(b.ok());
+  ExpectSameMatches(*a, *b, master[0]);
+  EXPECT_EQ(service->Stats().cache_hits, 1u);
+  // Different k misses: k is part of the key.
+  auto c = service->Lookup(master[0], 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(service->Stats().cache_hits, 1u);
+  EXPECT_EQ(service->Stats().cache_misses, 2u);
+}
+
+TEST(LookupServiceTest, RejectsZeroSizedKnobs) {
+  auto master = Master(10, 38);
+  LookupServiceOptions options;
+  options.max_queue = 0;
+  EXPECT_FALSE(LookupService::Create(BuildIndex(master), options).ok());
+  options.max_queue = 1;
+  options.max_batch = 0;
+  EXPECT_FALSE(LookupService::Create(BuildIndex(master), options).ok());
+}
+
+TEST(LookupServiceTest, StatsJsonIsWellFormed) {
+  auto master = Master(50, 39);
+  auto service = LookupService::Create(BuildIndex(master), {}).MoveValueUnsafe();
+  (void)service->Lookup(master[0], 1);
+  std::string json = service->Stats().ToJson();
+  // Parseable by our own flat parser except the nested latency object —
+  // check shape with plain string probes instead.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* field :
+       {"\"requests\"", "\"rejected_overload\"", "\"rejected_deadline\"",
+        "\"cache_hits\"", "\"cache_misses\"", "\"cache_evictions\"",
+        "\"batches\"", "\"queue_depth\"", "\"latency_us\"", "\"p50\"",
+        "\"p95\"", "\"p99\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::serve

@@ -9,9 +9,21 @@
 ///   ssjoin_cli join --left a.csv --left-col addr --right b.csv
 ///                   --right-col address --sim edit --threshold 0.85
 ///
+///   # build a fuzzy-match snapshot, then look queries up against it
+///   ssjoin_cli snapshot --reference orgs.csv --col name --out orgs.snap
+///   ssjoin_cli lookup --snapshot orgs.snap --query "Mcrosoft Corp" --k 3
+///
+///   # query a running ssjoin_served instance over its unix socket
+///   ssjoin_cli lookup --socket /tmp/ssjoin.sock --query "Mcrosoft Corp"
+///   ssjoin_cli lookup --socket /tmp/ssjoin.sock --stats
+///
 /// Similarity functions: jaccard (resemblance, word tokens, IDF),
 /// containment, cosine, edit (edit similarity, 3-grams), ges, soundex.
 /// Algorithms: basic, inverted-index, prefix-filter, inline (default), cost.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -19,7 +31,11 @@
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "engine/csv.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "simjoin/fuzzy_match.h"
 #include "simjoin/ges_join.h"
 #include "simjoin/string_joins.h"
 
@@ -68,7 +84,21 @@ int Usage() {
                " (default 1;\n"
                "                0 = one per hardware thread)\n"
                "  --morsel N    scheduler work-unit size in groups/pairs "
-               "(default 2048)\n");
+               "(default 2048)\n"
+               "\n"
+               "       ssjoin_cli snapshot --reference FILE --col COL --out SNAP\n"
+               "                  [--alpha A] [--qgrams Q]\n"
+               "           build a FuzzyMatchIndex and save it as a binary "
+               "snapshot\n"
+               "\n"
+               "       ssjoin_cli lookup (--snapshot SNAP | --reference FILE "
+               "--col COL | --socket PATH)\n"
+               "                  [--query STR] [--k N] [--alpha A] "
+               "[--deadline-ms D]\n"
+               "                  [--stats] [--ping] [--shutdown]\n"
+               "           top-k fuzzy lookups, in-process or against a running\n"
+               "           ssjoin_served; without --query, queries are read from "
+               "stdin\n");
   return 2;
 }
 
@@ -191,12 +221,174 @@ Result<int> RunJoin(const Args& args) {
   return 0;
 }
 
+Result<simjoin::FuzzyMatchIndex> BuildFuzzyIndex(const Args& args) {
+  auto ref = args.flags.find("reference");
+  auto col = args.flags.find("col");
+  if (ref == args.flags.end() || col == args.flags.end()) {
+    return Status::Invalid("--reference and --col are required");
+  }
+  SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> reference,
+                          LoadColumn(ref->second, col->second));
+  simjoin::FuzzyMatchIndex::Options options;
+  options.alpha = std::atof(FlagOr(args, "alpha", "0.5").c_str());
+  if (args.flags.count("qgrams") > 0) {
+    options.word_tokens = false;
+    options.q = static_cast<size_t>(std::atoi(args.flags.at("qgrams").c_str()));
+  }
+  return simjoin::FuzzyMatchIndex::Build(reference, options);
+}
+
+Result<int> RunSnapshot(const Args& args) {
+  auto out = args.flags.find("out");
+  if (out == args.flags.end()) {
+    return Status::Invalid("--out SNAP is required");
+  }
+  Timer build_timer;
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, BuildFuzzyIndex(args));
+  double build_ms = build_timer.ElapsedMillis();
+  Timer save_timer;
+  SSJOIN_RETURN_NOT_OK(serve::SaveSnapshot(index, out->second));
+  std::fprintf(stderr,
+               "snapshot %s: %zu reference strings, %zu dictionary elements; "
+               "built in %.1f ms, saved in %.1f ms\n",
+               out->second.c_str(), index.size(),
+               index.dictionary().num_elements(), build_ms,
+               save_timer.ElapsedMillis());
+  return 0;
+}
+
+/// One round trip on a connected ssjoin_served socket: send `line`, print
+/// the server's response line to stdout.
+Result<int> SocketRoundTrip(const std::string& path, const std::string& line) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::Invalid("socket path too long");
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot connect to '" + path + "'");
+  }
+  std::string request = line + "\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("short write to server");
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("server closed connection without a response");
+    }
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  response.resize(response.find('\n'));
+  std::printf("%s\n", response.c_str());
+  // Reflect server-side failure in the exit code.
+  auto parsed = serve::ParseJsonObject(response);
+  if (parsed.ok()) {
+    auto it = parsed->find("ok");
+    if (it != parsed->end() && it->second.type == serve::JsonScalar::Type::kBool &&
+        !it->second.boolean) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
+  if (args.flags.count("stats") > 0) {
+    return SocketRoundTrip(socket_path, "{\"op\": \"stats\"}");
+  }
+  if (args.flags.count("ping") > 0) {
+    return SocketRoundTrip(socket_path, "{\"op\": \"ping\"}");
+  }
+  if (args.flags.count("shutdown") > 0) {
+    return SocketRoundTrip(socket_path, "{\"op\": \"shutdown\"}");
+  }
+  auto query = args.flags.find("query");
+  if (query == args.flags.end()) {
+    return Status::Invalid(
+        "--query (or --stats/--ping/--shutdown) is required with --socket");
+  }
+  std::string request = "{\"op\": \"lookup\", \"query\": \"" +
+                        serve::JsonEscape(query->second) +
+                        "\", \"k\": " + FlagOr(args, "k", "3");
+  auto deadline = args.flags.find("deadline-ms");
+  if (deadline != args.flags.end()) {
+    request += ", \"deadline_ms\": " + deadline->second;
+  }
+  request += "}";
+  return SocketRoundTrip(socket_path, request);
+}
+
+Result<int> RunLookup(const Args& args) {
+  auto socket_path = args.flags.find("socket");
+  if (socket_path != args.flags.end()) {
+    return RunRemoteLookup(args, socket_path->second);
+  }
+
+  Result<simjoin::FuzzyMatchIndex> index_result = [&] {
+    auto snap = args.flags.find("snapshot");
+    if (snap != args.flags.end()) return serve::LoadSnapshot(snap->second);
+    return BuildFuzzyIndex(args);
+  }();
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, std::move(index_result));
+  size_t k = static_cast<size_t>(std::atoi(FlagOr(args, "k", "3").c_str()));
+
+  auto print_matches = [&](const std::string& query) {
+    auto matches = index.Lookup(query, k);
+    for (const auto& m : matches) {
+      std::printf("%u\t%.6f\t%s\n", m.ref_index, m.similarity,
+                  index.reference(m.ref_index).c_str());
+    }
+    if (matches.empty()) {
+      std::fprintf(stderr, "no match above alpha=%.2f for '%s'\n",
+                   index.options().alpha, query.c_str());
+    }
+  };
+
+  auto query = args.flags.find("query");
+  if (query != args.flags.end()) {
+    print_matches(query->second);
+    return 0;
+  }
+  // Without --query, serve stdin line by line (one query per line).
+  char line[4096];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string q(line);
+    while (!q.empty() && (q.back() == '\n' || q.back() == '\r')) q.pop_back();
+    if (!q.empty()) print_matches(q);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
-  if (args.command != "join") return Usage();
-  Result<int> rc = RunJoin(args);
+  Result<int> rc = Status::Invalid("unreachable");
+  if (args.command == "join") {
+    rc = RunJoin(args);
+  } else if (args.command == "snapshot") {
+    rc = RunSnapshot(args);
+  } else if (args.command == "lookup") {
+    rc = RunLookup(args);
+  } else {
+    return Usage();
+  }
   if (!rc.ok()) {
     std::fprintf(stderr, "error: %s\n", rc.status().ToString().c_str());
     return 1;

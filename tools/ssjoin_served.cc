@@ -1,0 +1,342 @@
+/// ssjoin_served — online fuzzy-lookup server over a unix domain socket.
+///
+/// Serves FuzzyMatchIndex lookups (the paper's §6 record-lookup scenario)
+/// through serve::LookupService: bounded admission queue, micro-batched
+/// dispatch, query cache and latency metrics. The protocol is
+/// newline-delimited JSON (see src/serve/wire.h).
+///
+/// Examples:
+///   # warm-start from a snapshot built by `ssjoin_cli snapshot`
+///   ssjoin_served --snapshot orgs.snap --socket /tmp/ssjoin.sock
+///
+///   # cold-start straight from a CSV column
+///   ssjoin_served --reference orgs.csv --col name --alpha 0.5
+///                 --socket /tmp/ssjoin.sock --threads 4
+///
+///   # then, from any client (or `ssjoin_cli lookup --socket ...`):
+///   printf '{"op": "lookup", "query": "Mcrosoft Corp", "k": 3}\n'
+///       | nc -U /tmp/ssjoin.sock
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/csv.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+
+namespace {
+
+using namespace ssjoin;
+
+struct Args {
+  std::map<std::string, std::string> flags;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0) continue;
+    flag = flag.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.flags[flag] = argv[++i];
+    } else {
+      args.flags[flag] = "true";
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& name,
+                   const std::string& fallback) {
+  auto it = args.flags.find(name);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ssjoin_served (--snapshot FILE | --reference FILE --col COL)\n"
+      "                     --socket PATH [--alpha A] [--qgrams Q]\n"
+      "                     [--threads N] [--max-queue N] [--max-batch N]\n"
+      "                     [--cache N] [--shards N] [--k-default N]\n"
+      "  --snapshot FILE  warm-start from a snapshot (see ssjoin_cli snapshot)\n"
+      "  --reference FILE cold-start: build the index from this CSV\n"
+      "  --col COL        CSV column holding the reference strings\n"
+      "  --alpha A        min resemblance for a match (default 0.5)\n"
+      "  --qgrams Q       use q-gram tokens instead of word tokens\n"
+      "  --threads N      dispatch threads (default 1, 0 = hardware)\n"
+      "  --max-queue N    admission queue bound (default 1024)\n"
+      "  --max-batch N    micro-batch size (default 64)\n"
+      "  --cache N        query cache entries, 0 disables (default 4096)\n"
+      "  --k-default N    k when a lookup omits it (default 3)\n");
+  return 2;
+}
+
+struct ServerState {
+  serve::LookupService* service = nullptr;
+  size_t default_k = 3;
+  int listen_fd = -1;
+  std::atomic<bool> stop{false};
+  std::mutex conn_mu;
+  std::set<int> conn_fds;
+};
+
+std::string ErrorResponse(const Status& status) {
+  return "{\"ok\": false, \"code\": \"" +
+         serve::JsonEscape(StatusCodeToString(status.code())) +
+         "\", \"error\": \"" + serve::JsonEscape(status.message()) + "\"}";
+}
+
+std::string HandleLine(const std::string& line, ServerState* state,
+                       bool* stop_after_reply) {
+  auto parsed = serve::ParseJsonObject(line);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  const auto& obj = *parsed;
+
+  auto op_it = obj.find("op");
+  if (op_it == obj.end() ||
+      op_it->second.type != serve::JsonScalar::Type::kString) {
+    return ErrorResponse(Status::Invalid("missing string field 'op'"));
+  }
+  const std::string& op = op_it->second.str;
+
+  if (op == "ping") return "{\"ok\": true}";
+
+  if (op == "stats") {
+    return "{\"ok\": true, \"stats\": " + state->service->Stats().ToJson() + "}";
+  }
+
+  if (op == "shutdown") {
+    *stop_after_reply = true;
+    return "{\"ok\": true, \"stopping\": true}";
+  }
+
+  if (op == "lookup") {
+    auto query_it = obj.find("query");
+    if (query_it == obj.end() ||
+        query_it->second.type != serve::JsonScalar::Type::kString) {
+      return ErrorResponse(Status::Invalid("lookup requires string field 'query'"));
+    }
+    size_t k = state->default_k;
+    if (auto it = obj.find("k"); it != obj.end()) {
+      if (it->second.type != serve::JsonScalar::Type::kNumber ||
+          it->second.num < 0) {
+        return ErrorResponse(Status::Invalid("'k' must be a nonnegative number"));
+      }
+      k = static_cast<size_t>(it->second.num);
+    }
+    std::chrono::milliseconds deadline{0};
+    if (auto it = obj.find("deadline_ms"); it != obj.end()) {
+      if (it->second.type != serve::JsonScalar::Type::kNumber ||
+          it->second.num < 0) {
+        return ErrorResponse(
+            Status::Invalid("'deadline_ms' must be a nonnegative number"));
+      }
+      deadline = std::chrono::milliseconds(static_cast<int64_t>(it->second.num));
+    }
+    auto result = state->service->Lookup(query_it->second.str, k, deadline);
+    if (!result.ok()) return ErrorResponse(result.status());
+    std::string out = "{\"ok\": true, \"matches\": [";
+    for (size_t i = 0; i < result->size(); ++i) {
+      const auto& m = (*result)[i];
+      if (i > 0) out += ", ";
+      char sim[32];
+      std::snprintf(sim, sizeof(sim), "%.6f", m.similarity);
+      out += "{\"ref\": " + std::to_string(m.ref_index) + ", \"similarity\": " +
+             sim + ", \"value\": \"" +
+             serve::JsonEscape(state->service->index().reference(m.ref_index)) +
+             "\"}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  return ErrorResponse(Status::Invalid("unknown op '" + op + "'"));
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void ServeConnection(int fd, ServerState* state) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      bool stop_after_reply = false;
+      bool sent = WriteAll(fd, HandleLine(line, state, &stop_after_reply) + "\n");
+      if (stop_after_reply) {
+        // Response is on the wire; now unblock the accept loop. The sweep in
+        // RunServer nudges every other open connection.
+        state->stop.store(true);
+        ::shutdown(state->listen_fd, SHUT_RDWR);
+      }
+      if (!sent) break;
+      continue;
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  {
+    // Deregister before close so the shutdown sweep never touches a
+    // recycled descriptor.
+    std::lock_guard<std::mutex> lock(state->conn_mu);
+    state->conn_fds.erase(fd);
+  }
+  ::close(fd);
+}
+
+Result<simjoin::FuzzyMatchIndex> BuildOrLoadIndex(const Args& args) {
+  auto snap = args.flags.find("snapshot");
+  if (snap != args.flags.end()) {
+    Timer t;
+    auto index = serve::LoadSnapshot(snap->second);
+    if (index.ok()) {
+      std::fprintf(stderr, "loaded snapshot %s (%zu reference strings) in %.1f ms\n",
+                   snap->second.c_str(), index->size(), t.ElapsedMillis());
+    }
+    return index;
+  }
+  auto ref = args.flags.find("reference");
+  auto col = args.flags.find("col");
+  if (ref == args.flags.end() || col == args.flags.end()) {
+    return Status::Invalid("either --snapshot or --reference/--col is required");
+  }
+  SSJOIN_ASSIGN_OR_RETURN(engine::Table table, engine::ReadCsvFile(ref->second));
+  SSJOIN_ASSIGN_OR_RETURN(size_t c, table.schema().FieldIndex(col->second));
+  std::vector<std::string> reference;
+  reference.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    reference.push_back(table.GetValue(c, r).ToString());
+  }
+  simjoin::FuzzyMatchIndex::Options options;
+  options.alpha = std::atof(FlagOr(args, "alpha", "0.5").c_str());
+  if (args.flags.count("qgrams") > 0) {
+    options.word_tokens = false;
+    options.q = static_cast<size_t>(std::atoi(args.flags.at("qgrams").c_str()));
+  }
+  Timer t;
+  auto index = simjoin::FuzzyMatchIndex::Build(reference, options);
+  if (index.ok()) {
+    std::fprintf(stderr, "built index over %zu reference strings in %.1f ms\n",
+                 index->size(), t.ElapsedMillis());
+  }
+  return index;
+}
+
+Result<int> RunServer(const Args& args) {
+  auto socket_it = args.flags.find("socket");
+  if (socket_it == args.flags.end()) {
+    return Status::Invalid("--socket PATH is required");
+  }
+  const std::string& socket_path = socket_it->second;
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::Invalid("socket path too long");
+  }
+
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, BuildOrLoadIndex(args));
+
+  serve::LookupServiceOptions options;
+  options.exec.num_threads =
+      static_cast<size_t>(std::atoi(FlagOr(args, "threads", "1").c_str()));
+  options.max_queue =
+      static_cast<size_t>(std::atoll(FlagOr(args, "max-queue", "1024").c_str()));
+  options.max_batch =
+      static_cast<size_t>(std::atoll(FlagOr(args, "max-batch", "64").c_str()));
+  options.cache_capacity =
+      static_cast<size_t>(std::atoll(FlagOr(args, "cache", "4096").c_str()));
+  options.cache_shards =
+      static_cast<size_t>(std::atoll(FlagOr(args, "shards", "8").c_str()));
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<serve::LookupService> service,
+                          serve::LookupService::Create(std::move(index), options));
+
+  ServerState state;
+  state.service = service.get();
+  state.default_k =
+      static_cast<size_t>(std::atoi(FlagOr(args, "k-default", "3").c_str()));
+
+  state.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (state.listen_fd < 0) return Status::IOError("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(state.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(state.listen_fd);
+    return Status::IOError("cannot bind '" + socket_path + "'");
+  }
+  if (::listen(state.listen_fd, 64) != 0) {
+    ::close(state.listen_fd);
+    return Status::IOError("listen() failed");
+  }
+  std::printf("listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    int fd = ::accept(state.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (state.stop.load() || errno != EINTR) break;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state.conn_mu);
+      state.conn_fds.insert(fd);
+    }
+    connections.emplace_back(ServeConnection, fd, &state);
+  }
+  ::close(state.listen_fd);
+  // Nudge lingering connections so their threads observe EOF and exit.
+  {
+    std::lock_guard<std::mutex> lock(state.conn_mu);
+    for (int fd : state.conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connections) t.join();
+  ::unlink(socket_path.c_str());
+  service->Shutdown();
+  std::fprintf(stderr, "final stats: %s\n", service->Stats().ToJson().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Args args = ParseArgs(argc, argv);
+  if (args.flags.count("help") > 0 || argc < 2) return Usage();
+  Result<int> rc = RunServer(args);
+  if (!rc.ok()) {
+    std::fprintf(stderr, "error: %s\n", rc.status().ToString().c_str());
+    return 1;
+  }
+  return *rc;
+}
