@@ -22,21 +22,19 @@ constexpr double kVerifyFactor = 0.6;
 
 size_t NumElements(const SetsRelation& r, const SetsRelation& s) {
   size_t max_id = 0;
-  for (const auto& set : r.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  for (text::TokenId e : r.store.token_ids()) {
+    max_id = std::max<size_t>(max_id, e);
   }
-  for (const auto& set : s.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  for (text::TokenId e : s.store.token_ids()) {
+    max_id = std::max<size_t>(max_id, e);
   }
   return max_id + 1;
 }
 
-std::vector<uint32_t> ElementFrequencies(
-    const std::vector<std::vector<text::TokenId>>& sets, size_t num_elements) {
+std::vector<uint32_t> ElementFrequencies(const SetStore& store,
+                                         size_t num_elements) {
   std::vector<uint32_t> freq(num_elements, 0);
-  for (const auto& set : sets) {
-    for (text::TokenId e : set) ++freq[e];
-  }
+  for (text::TokenId e : store.token_ids()) ++freq[e];
   return freq;
 }
 
@@ -55,8 +53,8 @@ CostEstimate EstimateCosts(const SetsRelation& r, const SetsRelation& s,
   CostEstimate est;
   size_t num_elements = NumElements(r, s);
 
-  std::vector<uint32_t> fr = ElementFrequencies(r.sets, num_elements);
-  std::vector<uint32_t> fs = ElementFrequencies(s.sets, num_elements);
+  std::vector<uint32_t> fr = ElementFrequencies(r.store, num_elements);
+  std::vector<uint32_t> fs = ElementFrequencies(s.store, num_elements);
   est.basic_join_rows = JoinRows(fr, fs);
 
   PrefixFilteredRelation r_pref =

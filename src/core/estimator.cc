@@ -29,9 +29,9 @@ Result<SizeEstimate> EstimateResultSize(const SetsRelation& r,
       std::swap(ids[i], ids[j]);
     }
     ids.resize(sample_size);
-    sample.sets.reserve(sample_size);
+    sample.store.Reserve(sample_size, r.total_elements());
     for (GroupId g : ids) {
-      sample.sets.push_back(r.sets[g]);
+      sample.store.AppendSet(r.set(g));
       sample.norms.push_back(r.norms[g]);
       sample.set_weights.push_back(r.set_weights[g]);
     }

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -10,25 +11,23 @@
 
 namespace ssjoin::core {
 
-/// \brief Inverted index over a relation's sets (or prefixes):
+/// \brief Inverted index over a SetStore's sets (or prefixes):
 /// element -> sorted list of containing groups. This is the hash table of
 /// the equi-join on B that all indexed SSJoin executors build — hoisted here
 /// so the serial (core/ssjoin.cc) and parallel (exec/parallel_ssjoin.cc)
-/// implementations share one definition. Construction is single-threaded;
-/// Lookup is const and safe to call concurrently.
+/// implementations share one definition. Construction is a two-pass counting
+/// scan over the store's flat token column; Lookup is const and safe to call
+/// concurrently.
 class InvertedIndex {
  public:
-  InvertedIndex(const std::vector<std::vector<text::TokenId>>& sets,
-                size_t num_elements) {
+  InvertedIndex(const SetStore& store, size_t num_elements) {
     offsets_.assign(num_elements + 1, 0);
-    for (const auto& set : sets) {
-      for (text::TokenId e : set) ++offsets_[e + 1];
-    }
+    for (text::TokenId e : store.token_ids()) ++offsets_[e + 1];
     for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
     lists_.resize(offsets_.back());
     std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-    for (GroupId g = 0; g < sets.size(); ++g) {
-      for (text::TokenId e : sets[g]) lists_[cursor[e]++] = g;
+    for (GroupId g = 0; g < store.num_groups(); ++g) {
+      for (text::TokenId e : store.elements(g)) lists_[cursor[e]++] = g;
     }
   }
 
@@ -48,8 +47,8 @@ class InvertedIndex {
 /// sorted merge. The summation order is the sorted element order, so the
 /// floating-point result is identical wherever it is computed — the property
 /// the parallel executors rely on for bit-equal output.
-inline double MergeOverlap(const std::vector<text::TokenId>& a,
-                           const std::vector<text::TokenId>& b,
+inline double MergeOverlap(std::span<const text::TokenId> a,
+                           std::span<const text::TokenId> b,
                            const WeightVector& w) {
   double overlap = 0.0;
   size_t i = 0;
@@ -68,14 +67,15 @@ inline double MergeOverlap(const std::vector<text::TokenId>& a,
   return overlap;
 }
 
-/// Largest element id appearing in either relation (0 when both are empty).
+/// Largest element id appearing in either relation (0 when both are empty):
+/// one linear pass over each store's contiguous token column.
 inline size_t MaxElementId(const SetsRelation& r, const SetsRelation& s) {
   size_t max_id = 0;
-  for (const auto& set : r.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  for (text::TokenId e : r.store.token_ids()) {
+    max_id = std::max<size_t>(max_id, e);
   }
-  for (const auto& set : s.sets) {
-    for (text::TokenId e : set) max_id = std::max<size_t>(max_id, e);
+  for (text::TokenId e : s.store.token_ids()) {
+    max_id = std::max<size_t>(max_id, e);
   }
   return max_id;
 }

@@ -12,23 +12,32 @@ constexpr double kPruneEps = 1e-6;
 
 }  // namespace
 
-std::vector<text::TokenId> ComputePrefix(const std::vector<text::TokenId>& set,
-                                         const WeightVector& weights,
-                                         const ElementOrder& order, double beta) {
-  if (beta < -kPruneEps) return {};  // group can never satisfy the predicate
-  std::vector<text::TokenId> by_rank = set;
-  std::sort(by_rank.begin(), by_rank.end(), [&](text::TokenId a, text::TokenId b) {
+void ComputePrefixInto(std::span<const text::TokenId> set,
+                       const WeightVector& weights, const ElementOrder& order,
+                       double beta, std::vector<text::TokenId>* out) {
+  out->clear();
+  if (beta < -kPruneEps) return;  // group can never satisfy the predicate
+  out->assign(set.begin(), set.end());
+  std::sort(out->begin(), out->end(), [&](text::TokenId a, text::TokenId b) {
     return order.Rank(a) < order.Rank(b);
   });
   double cum = 0.0;
-  for (size_t i = 0; i < by_rank.size(); ++i) {
-    cum += weights[by_rank[i]];
+  for (size_t i = 0; i < out->size(); ++i) {
+    cum += weights[(*out)[i]];
     if (cum > beta + kPruneEps) {
-      by_rank.resize(i + 1);
-      return by_rank;
+      out->resize(i + 1);
+      return;
     }
   }
-  return by_rank;  // whole set: weights never exceeded beta
+  // whole set: weights never exceeded beta
+}
+
+std::vector<text::TokenId> ComputePrefix(std::span<const text::TokenId> set,
+                                         const WeightVector& weights,
+                                         const ElementOrder& order, double beta) {
+  std::vector<text::TokenId> out;
+  ComputePrefixInto(set, weights, order, beta, &out);
+  return out;
 }
 
 PrefixFilteredRelation PrefixFilterRelation(const SetsRelation& rel,
@@ -37,12 +46,14 @@ PrefixFilteredRelation PrefixFilterRelation(const SetsRelation& rel,
                                             const OverlapPredicate& pred,
                                             JoinSide side) {
   PrefixFilteredRelation out;
-  out.prefixes.resize(rel.num_groups());
-  for (size_t g = 0; g < rel.num_groups(); ++g) {
+  out.prefixes.Reserve(rel.num_groups(), rel.total_elements());
+  std::vector<text::TokenId> scratch;
+  for (GroupId g = 0; g < rel.num_groups(); ++g) {
     double required = side == JoinSide::kR ? pred.RSideRequired(rel.norms[g])
                                            : pred.SSideRequired(rel.norms[g]);
     double beta = rel.set_weights[g] - required;
-    out.prefixes[g] = ComputePrefix(rel.sets[g], weights, order, beta);
+    ComputePrefixInto(rel.set(g), weights, order, beta, &scratch);
+    out.prefixes.AppendSet(scratch);
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef SSJOIN_CORE_PREFIX_FILTER_H_
 #define SSJOIN_CORE_PREFIX_FILTER_H_
 
+#include <span>
 #include <vector>
 
 #include "core/order.h"
@@ -18,24 +19,27 @@ namespace ssjoin::core {
 /// overlap exceeds the set's total weight: the group can never satisfy the
 /// predicate and the prefix is empty (the group is pruned). A beta within
 /// floating-point noise of zero conservatively yields a one-element prefix.
-std::vector<text::TokenId> ComputePrefix(const std::vector<text::TokenId>& set,
+std::vector<text::TokenId> ComputePrefix(std::span<const text::TokenId> set,
                                          const WeightVector& weights,
                                          const ElementOrder& order, double beta);
 
-/// \brief The prefix-filtered image of a whole relation:
-/// for group g, `prefixes[g]` = prefix_{beta_g}(sets[g]) where
-/// `beta_g = wt(sets[g]) - required_g` and `required_g` is the predicate's
+/// \brief In-place variant for hot per-group loops: `*out` is overwritten
+/// with the prefix, reusing its capacity across calls.
+void ComputePrefixInto(std::span<const text::TokenId> set,
+                       const WeightVector& weights, const ElementOrder& order,
+                       double beta, std::vector<text::TokenId>* out);
+
+/// \brief The prefix-filtered image of a whole relation, stored as a flat
+/// CSR SetStore (group g's prefix is `prefixes.view(g)`, in rank order):
+/// for group g, `prefixes.view(g)` = prefix_{beta_g}(rel.set(g)) where
+/// `beta_g = wt(set(g)) - required_g` and `required_g` is the predicate's
 /// one-side overlap bound for that group (OverlapPredicate::RSideRequired /
 /// SSideRequired). Groups whose required overlap exceeds their total weight
 /// can never join and get an empty prefix (they are pruned).
 struct PrefixFilteredRelation {
-  std::vector<std::vector<text::TokenId>> prefixes;
+  SetStore prefixes;
 
-  size_t total_prefix_elements() const {
-    size_t n = 0;
-    for (const auto& p : prefixes) n += p.size();
-    return n;
-  }
+  size_t total_prefix_elements() const { return prefixes.total_elements(); }
 };
 
 /// Which side of the predicate a relation plays (determines whether

@@ -21,7 +21,7 @@ Result<Table> ToNormalizedTable(const SetsRelation& rel, const WeightVector& wei
                             {"rank", DataType::kInt64}})};
   out.Reserve(rel.total_elements());
   for (GroupId g = 0; g < rel.num_groups(); ++g) {
-    for (text::TokenId e : rel.sets[g]) {
+    for (text::TokenId e : rel.set(g)) {
       if (e >= weights.size() || e >= order.num_elements()) {
         return Status::Invalid("element id not covered by weights/order");
       }

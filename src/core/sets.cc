@@ -22,10 +22,14 @@ Result<SetsRelation> BuildSetsRelation(std::vector<std::vector<text::TokenId>> d
     return Status::Invalid(StringPrintf("norms has %zu entries for %zu documents",
                                         norms->size(), docs.size()));
   }
+  size_t total_input_elements = 0;
+  for (const auto& doc : docs) total_input_elements += doc.size();
+  SSJOIN_RETURN_NOT_OK(SetStore::CheckCapacity(docs.size(), total_input_elements));
+
   SetsRelation rel;
-  rel.sets = std::move(docs);
-  rel.set_weights.reserve(rel.sets.size());
-  for (auto& set : rel.sets) {
+  rel.store.Reserve(docs.size(), total_input_elements);
+  rel.set_weights.reserve(docs.size());
+  for (auto& set : docs) {
     std::sort(set.begin(), set.end());
     set.erase(std::unique(set.begin(), set.end()), set.end());
     double wt = 0.0;
@@ -35,6 +39,7 @@ Result<SetsRelation> BuildSetsRelation(std::vector<std::vector<text::TokenId>> d
       }
       wt += weights[id];
     }
+    rel.store.AppendSet(set);
     rel.set_weights.push_back(wt);
   }
   rel.norms = norms ? std::move(*norms) : rel.set_weights;

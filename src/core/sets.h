@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/set_store.h"
 #include "text/dictionary.h"
 #include "text/weights.h"
 
@@ -16,31 +17,28 @@ namespace ssjoin::core {
 /// build one with MaterializeWeights.
 using WeightVector = std::vector<double>;
 
-/// Index of a group (a distinct R.A / S.A value) within a SetsRelation.
-using GroupId = uint32_t;
-
 /// \brief The normalized input of the SSJoin operator: one weighted set per
-/// group (per distinct A-value), in First Normal Form conceptually — here
-/// stored columnar for efficiency.
+/// group (per distinct A-value), in First Normal Form conceptually — stored
+/// as one flat CSR SetStore plus per-group norm columns.
 ///
-/// `sets[g]` is canonical (sorted by element id, duplicate-free; multiset
+/// `set(g)` is canonical (sorted by element id, duplicate-free; multiset
 /// occurrences were made distinct by ordinal encoding upstream).
 /// `norms[g]` is the group's norm column (Figure 1): by default the set's
 /// weight, but callers may supply e.g. string lengths.
-/// `set_weights[g]` caches wt(sets[g]).
+/// `set_weights[g]` caches wt(set(g)).
 struct SetsRelation {
-  std::vector<std::vector<text::TokenId>> sets;
+  SetStore store;
   std::vector<double> norms;
   std::vector<double> set_weights;
 
-  size_t num_groups() const { return sets.size(); }
+  size_t num_groups() const { return store.num_groups(); }
 
   /// Total number of (group, element) rows in the 1NF representation.
-  size_t total_elements() const {
-    size_t n = 0;
-    for (const auto& s : sets) n += s.size();
-    return n;
-  }
+  /// O(1): the CSR offsets' tail entry.
+  size_t total_elements() const { return store.total_elements(); }
+
+  /// Group g's canonical element list as a borrowing view.
+  SetView set(GroupId g) const { return store.view(g); }
 };
 
 /// \brief Materializes provider weights for all elements of a dictionary.
@@ -49,10 +47,13 @@ WeightVector MaterializeWeights(const text::TokenDictionary& dict,
 
 /// \brief Builds a SetsRelation from encoded documents.
 ///
-/// Each document's ids are canonicalized (sorted, deduplicated — duplicates
-/// cannot normally occur after ordinal encoding). If `norms` is provided it
+/// The nested `docs` vectors are the builder's transient input; they are
+/// canonicalized (sorted, deduplicated — duplicates cannot normally occur
+/// after ordinal encoding) and compacted into the flat CSR store, whose
+/// columns are pre-reserved from the input sizes. If `norms` is provided it
 /// must have one entry per document; otherwise norms default to set weights.
-/// Documents containing kInvalidToken are rejected.
+/// Documents containing kInvalidToken, or inputs exceeding the uint32 CSR
+/// capacity (> UINT32_MAX groups or total elements), are rejected.
 Result<SetsRelation> BuildSetsRelation(
     std::vector<std::vector<text::TokenId>> docs, const WeightVector& weights,
     std::optional<std::vector<double>> norms = std::nullopt);

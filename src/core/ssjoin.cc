@@ -46,8 +46,8 @@ void GeneratePrefixCandidates(const PrefixFilteredRelation& r_pref,
   std::vector<uint32_t> seen_epoch(num_s_groups, 0);
   uint32_t epoch = 0;
   std::vector<GroupId> cands;
-  for (GroupId rg = 0; rg < r_pref.prefixes.size(); ++rg) {
-    const auto& prefix = r_pref.prefixes[rg];
+  for (GroupId rg = 0; rg < r_pref.prefixes.num_groups(); ++rg) {
+    SetView prefix = r_pref.prefixes.view(rg);
     if (prefix.empty()) continue;
     ++epoch;
     cands.clear();
@@ -81,7 +81,7 @@ class NaiveSSJoin final : public SSJoinExecutor {
     for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
       for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
         ++stats->candidate_pairs;
-        double overlap = MergeOverlap(r.sets[rg], s.sets[sg], w);
+        double overlap = MergeOverlap(r.set(rg), s.set(sg), w);
         if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
           out.push_back({rg, sg, overlap});
         }
@@ -109,7 +109,7 @@ class BasicSSJoin final : public SSJoinExecutor {
     // Equi-join R.B = S.B, materialized as (r, s, weight) rows. The inverted
     // index over S is the hash table of a hash join with R as probe side.
     size_t num_elements = MaxElementId(r, s) + 1;
-    InvertedIndex s_index(s.sets, num_elements);
+    InvertedIndex s_index(s.store, num_elements);
     struct JoinRow {
       uint64_t key;  // (r << 32) | s
       double weight;
@@ -117,16 +117,14 @@ class BasicSSJoin final : public SSJoinExecutor {
     // Size the join output exactly (sum of per-element frequency products),
     // as a hash join's build-side statistics would.
     size_t total_rows = 0;
-    for (const auto& set : r.sets) {
-      for (text::TokenId e : set) {
-        auto [begin, end] = s_index.Lookup(e);
-        total_rows += static_cast<size_t>(end - begin);
-      }
+    for (text::TokenId e : r.store.token_ids()) {
+      auto [begin, end] = s_index.Lookup(e);
+      total_rows += static_cast<size_t>(end - begin);
     }
     std::vector<JoinRow> rows;
     rows.reserve(total_rows);
     for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
-      for (text::TokenId e : r.sets[rg]) {
+      for (text::TokenId e : r.set(rg)) {
         auto [begin, end] = s_index.Lookup(e);
         double we = w[e];
         for (const GroupId* p = begin; p != end; ++p) {
@@ -179,7 +177,7 @@ class InvertedIndexSSJoin final : public SSJoinExecutor {
     const WeightVector& w = *ctx.weights;
     Timer timer;
     size_t num_elements = MaxElementId(r, s) + 1;
-    InvertedIndex s_index(s.sets, num_elements);
+    InvertedIndex s_index(s.store, num_elements);
 
     // Score accumulation: stream R groups, accumulate per-S overlap in a
     // dense epoch-marked accumulator (the OptMerge-style plan of [13]).
@@ -191,7 +189,7 @@ class InvertedIndexSSJoin final : public SSJoinExecutor {
     for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
       ++epoch;
       touched.clear();
-      for (text::TokenId e : r.sets[rg]) {
+      for (text::TokenId e : r.set(rg)) {
         auto [begin, end] = s_index.Lookup(e);
         stats->equijoin_rows += static_cast<size_t>(end - begin);
         double we = w[e];
@@ -263,8 +261,8 @@ class PrefixFilterSSJoin final : public SSJoinExecutor {
     };
     std::vector<VerifyRow> rows;
     for (uint32_t c = 0; c < candidates.size(); ++c) {
-      const auto& rset = r.sets[candidates[c].r];
-      const auto& sset = s.sets[candidates[c].s];
+      SetView rset = r.set(candidates[c].r);
+      SetView sset = s.set(candidates[c].s);
       size_t i = 0;
       size_t j = 0;
       while (i < rset.size() && j < sset.size()) {
@@ -308,10 +306,14 @@ class PrefixFilterSSJoin final : public SSJoinExecutor {
     stats->r_prefix_elements = r_pref.total_prefix_elements();
     stats->s_prefix_elements = s_pref.total_prefix_elements();
     for (GroupId g = 0; g < r.num_groups(); ++g) {
-      if (r_pref.prefixes[g].empty() && !r.sets[g].empty()) ++stats->pruned_groups_r;
+      if (r_pref.prefixes.elements(g).empty() && !r.set(g).empty()) {
+        ++stats->pruned_groups_r;
+      }
     }
     for (GroupId g = 0; g < s.num_groups(); ++g) {
-      if (s_pref.prefixes[g].empty() && !s.sets[g].empty()) ++stats->pruned_groups_s;
+      if (s_pref.prefixes.elements(g).empty() && !s.set(g).empty()) {
+        ++stats->pruned_groups_s;
+      }
     }
   }
 };
@@ -349,7 +351,7 @@ class InlinePrefixFilterSSJoin final : public SSJoinExecutor {
         [&](GroupId rg, const std::vector<GroupId>& ss) {
           stats->candidate_pairs += ss.size();
           for (GroupId sg : ss) {
-            double overlap = MergeOverlap(r.sets[rg], s.sets[sg], w);
+            double overlap = MergeOverlap(r.set(rg), s.set(sg), w);
             if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
               out.push_back({rg, sg, overlap});
             }

@@ -35,29 +35,23 @@ Result<DecodedRelation> TableToSetsRelation(const engine::Table& table) {
   if (max_group >= static_cast<int64_t>(table.num_rows())) {
     return Status::Invalid("group ids must be dense 0..n-1");
   }
-  out.rel.sets.resize(static_cast<size_t>(max_group + 1));
-  out.rel.norms.assign(out.rel.sets.size(), 0.0);
+  // Transient per-group rows; compacted into the flat CSR store below.
+  std::vector<std::vector<text::TokenId>> docs(static_cast<size_t>(max_group + 1));
+  std::vector<double> norms(docs.size(), 0.0);
   out.weights.assign(static_cast<size_t>(max_element + 1), 0.0);
   std::vector<uint32_t> ranks(static_cast<size_t>(max_element + 1), 0);
   for (size_t row = 0; row < table.num_rows(); ++row) {
     int64_t a = table.GetValue(a_col, row).int64();
     int64_t b = table.GetValue(b_col, row).int64();
     if (a < 0 || b < 0) return Status::Invalid("negative group/element id");
-    out.rel.sets[static_cast<size_t>(a)].push_back(
-        static_cast<text::TokenId>(b));
-    out.rel.norms[static_cast<size_t>(a)] = table.GetValue(n_col, row).AsDouble();
+    docs[static_cast<size_t>(a)].push_back(static_cast<text::TokenId>(b));
+    norms[static_cast<size_t>(a)] = table.GetValue(n_col, row).AsDouble();
     out.weights[static_cast<size_t>(b)] = table.GetValue(w_col, row).AsDouble();
     ranks[static_cast<size_t>(b)] =
         static_cast<uint32_t>(table.GetValue(r_col, row).int64());
   }
-  out.rel.set_weights.reserve(out.rel.sets.size());
-  for (auto& set : out.rel.sets) {
-    std::sort(set.begin(), set.end());
-    set.erase(std::unique(set.begin(), set.end()), set.end());
-    double wt = 0.0;
-    for (text::TokenId e : set) wt += out.weights[e];
-    out.rel.set_weights.push_back(wt);
-  }
+  SSJOIN_ASSIGN_OR_RETURN(
+      out.rel, BuildSetsRelation(std::move(docs), out.weights, std::move(norms)));
   // Rebuild the element order from the rank column. Ranks recovered from the
   // table may be sparse (elements missing from this relation keep rank 0),
   // so re-rank by (stored rank, id) to get a valid permutation preserving

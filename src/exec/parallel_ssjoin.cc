@@ -95,7 +95,7 @@ void GenerateCandidatesRange(const core::PrefixFilteredRelation& r_pref,
                              size_t rg_end, ProbeScratch& scratch,
                              SSJoinStats* stats, const EmitFn& emit) {
   for (size_t rg = rg_begin; rg < rg_end; ++rg) {
-    const auto& prefix = r_pref.prefixes[rg];
+    core::SetView prefix = r_pref.prefixes.view(static_cast<GroupId>(rg));
     if (prefix.empty()) continue;
     uint32_t epoch = scratch.NextEpoch();
     scratch.cands.clear();
@@ -116,25 +116,37 @@ void GenerateCandidatesRange(const core::PrefixFilteredRelation& r_pref,
 }
 
 /// Prefix-filters a relation with the per-group work spread over morsels.
-/// Each group's prefix is independent, so writing into pre-sized slots is
-/// race-free and the result equals core::PrefixFilterRelation exactly.
+/// Each morsel covers a contiguous group range and appends its prefixes to a
+/// private CSR store; concatenating the morsel stores in morsel order then
+/// yields exactly core::PrefixFilterRelation's flat layout — no per-group
+/// heap allocation survives the filter.
 core::PrefixFilteredRelation ParallelPrefixFilter(
     const SetsRelation& rel, const WeightVector& weights,
     const core::ElementOrder& order, const OverlapPredicate& pred,
     core::JoinSide side, const ExecContext& ec) {
-  core::PrefixFilteredRelation out;
-  out.prefixes.resize(rel.num_groups());
+  size_t morsel = MorselSize(ec);
+  std::vector<core::SetStore> morsel_stores(NumMorsels(rel.num_groups(), morsel));
+  std::vector<std::vector<text::TokenId>> scratch(
+      NumWorkers(ec, rel.num_groups(), morsel));
   ParallelFor(ec, rel.num_groups(),
-              [&](size_t /*worker*/, size_t /*morsel*/, size_t begin, size_t end) {
+              [&](size_t worker, size_t m, size_t begin, size_t end) {
+                core::SetStore& store = morsel_stores[m];
+                std::vector<text::TokenId>& prefix = scratch[worker];
                 for (size_t g = begin; g < end; ++g) {
                   double required = side == core::JoinSide::kR
                                         ? pred.RSideRequired(rel.norms[g])
                                         : pred.SSideRequired(rel.norms[g]);
                   double beta = rel.set_weights[g] - required;
-                  out.prefixes[g] =
-                      core::ComputePrefix(rel.sets[g], weights, order, beta);
+                  core::ComputePrefixInto(rel.set(static_cast<GroupId>(g)),
+                                          weights, order, beta, &prefix);
+                  store.AppendSet(prefix);
                 }
               });
+  core::PrefixFilteredRelation out;
+  size_t total = 0;
+  for (const core::SetStore& m : morsel_stores) total += m.total_elements();
+  out.prefixes.Reserve(rel.num_groups(), total);
+  for (const core::SetStore& m : morsel_stores) out.prefixes.AppendStore(m);
   return out;
 }
 
@@ -145,10 +157,14 @@ void RecordPrefixStats(const SetsRelation& r, const SetsRelation& s,
   stats->r_prefix_elements = r_pref.total_prefix_elements();
   stats->s_prefix_elements = s_pref.total_prefix_elements();
   for (GroupId g = 0; g < r.num_groups(); ++g) {
-    if (r_pref.prefixes[g].empty() && !r.sets[g].empty()) ++stats->pruned_groups_r;
+    if (r_pref.prefixes.elements(g).empty() && !r.set(g).empty()) {
+      ++stats->pruned_groups_r;
+    }
   }
   for (GroupId g = 0; g < s.num_groups(); ++g) {
-    if (s_pref.prefixes[g].empty() && !s.sets[g].empty()) ++stats->pruned_groups_s;
+    if (s_pref.prefixes.elements(g).empty() && !s.set(g).empty()) {
+      ++stats->pruned_groups_s;
+    }
   }
 }
 
@@ -173,7 +189,7 @@ class ParallelNaiveSSJoin final : public core::SSJoinExecutor {
                   for (size_t rg = begin; rg < end; ++rg) {
                     for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
                       ++out.stats.candidate_pairs;
-                      double overlap = core::MergeOverlap(r.sets[rg], s.sets[sg], w);
+                      double overlap = core::MergeOverlap(r.set(static_cast<GroupId>(rg)), s.set(sg), w);
                       if (overlap > 0.0 &&
                           pred.Test(overlap, r.norms[rg], s.norms[sg])) {
                         out.pairs.push_back({static_cast<GroupId>(rg), sg, overlap});
@@ -203,7 +219,7 @@ class ParallelBasicSSJoin final : public core::SSJoinExecutor {
     const ExecContext& ec = Exec(ctx);
     Timer timer;
     size_t num_elements = core::MaxElementId(r, s) + 1;
-    InvertedIndex s_index(s.sets, num_elements);
+    InvertedIndex s_index(s.store, num_elements);
 
     // Each morsel materializes, sorts and aggregates the equi-join rows of
     // its own R-range. Keys are (rg << 32) | sg, so per-morsel sorted runs
@@ -221,7 +237,7 @@ class ParallelBasicSSJoin final : public core::SSJoinExecutor {
                   MorselOutput& out = morsels[m];
                   std::vector<JoinRow> rows;
                   for (size_t rg = begin; rg < end; ++rg) {
-                    for (text::TokenId e : r.sets[rg]) {
+                    for (text::TokenId e : r.set(static_cast<GroupId>(rg))) {
                       auto [lo, hi] = s_index.Lookup(e);
                       double we = w[e];
                       for (const GroupId* p = lo; p != hi; ++p) {
@@ -273,7 +289,7 @@ class ParallelInvertedIndexSSJoin final : public core::SSJoinExecutor {
     const ExecContext& ec = Exec(ctx);
     Timer timer;
     size_t num_elements = core::MaxElementId(r, s) + 1;
-    InvertedIndex s_index(s.sets, num_elements);
+    InvertedIndex s_index(s.store, num_elements);
 
     struct Scratch {
       std::vector<double> acc;
@@ -299,7 +315,7 @@ class ParallelInvertedIndexSSJoin final : public core::SSJoinExecutor {
                       sc.epoch = 1;
                     }
                     sc.touched.clear();
-                    for (text::TokenId e : r.sets[rg]) {
+                    for (text::TokenId e : r.set(static_cast<GroupId>(rg))) {
                       auto [lo, hi] = s_index.Lookup(e);
                       out.stats.equijoin_rows += static_cast<size_t>(hi - lo);
                       double we = w[e];
@@ -401,8 +417,8 @@ class ParallelPrefixFilterSSJoin final : public core::SSJoinExecutor {
         [&](size_t /*worker*/, size_t m, size_t begin, size_t end) {
           MorselOutput& out = verify_morsels[m];
           for (size_t c = begin; c < end; ++c) {
-            const auto& rset = r.sets[candidates[c].r];
-            const auto& sset = s.sets[candidates[c].s];
+            core::SetView rset = r.set(candidates[c].r);
+            core::SetView sset = s.set(candidates[c].s);
             double overlap = 0.0;
             bool intersects = false;
             size_t i = 0;
@@ -475,7 +491,7 @@ class ParallelInlinePrefixFilterSSJoin final : public core::SSJoinExecutor {
                         out.stats.candidate_pairs += ss.size();
                         for (GroupId sg : ss) {
                           double overlap =
-                              core::MergeOverlap(r.sets[rg], s.sets[sg], w);
+                              core::MergeOverlap(r.set(static_cast<GroupId>(rg)), s.set(sg), w);
                           if (overlap > 0.0 &&
                               pred.Test(overlap, r.norms[rg], s.norms[sg])) {
                             out.pairs.push_back({rg, sg, overlap});

@@ -96,7 +96,8 @@ uint64_t PayloadChecksum(const char* data, size_t size) {
   return HashString(std::string_view(data, size));
 }
 
-std::string EncodePayload(const simjoin::FuzzyMatchIndex& index) {
+std::string EncodePayload(const simjoin::FuzzyMatchIndex& index,
+                          uint32_t version) {
   PayloadWriter w;
   const auto& options = index.options();
   w.U8(options.word_tokens ? 1 : 0);
@@ -121,8 +122,20 @@ std::string EncodePayload(const simjoin::FuzzyMatchIndex& index) {
   w.Vec(index.order().ranks());
 
   const auto& sets = index.sets();
-  w.U64(sets.sets.size());
-  for (const auto& s : sets.sets) w.Vec(s);
+  if (version >= 2) {
+    // v2: the CSR store's flat arrays verbatim.
+    w.Vec(sets.store.offsets());
+    w.Vec(sets.store.token_ids());
+    w.Vec(sets.store.weights());
+  } else {
+    // v1: per-group length-prefixed vectors (kept for rollback writes).
+    w.U64(sets.num_groups());
+    for (core::GroupId g = 0; g < sets.num_groups(); ++g) {
+      core::SetView set = sets.set(g);
+      std::vector<text::TokenId> elems(set.begin(), set.end());
+      w.Vec(elems);
+    }
+  }
   w.Vec(sets.norms);
   w.Vec(sets.set_weights);
 
@@ -131,7 +144,8 @@ std::string EncodePayload(const simjoin::FuzzyMatchIndex& index) {
   return w.buffer();
 }
 
-Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size) {
+Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size,
+                                               uint32_t version) {
   PayloadReader r(data, size);
   simjoin::FuzzyMatchIndex::Options options;
   uint8_t word_tokens = 0;
@@ -172,10 +186,28 @@ Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size) {
                           core::ElementOrder::FromRanks(std::move(ranks)));
 
   core::SetsRelation sets;
-  uint64_t num_groups = 0;
-  SSJOIN_RETURN_NOT_OK(r.U64(&num_groups));
-  sets.sets.resize(static_cast<size_t>(num_groups));
-  for (auto& s : sets.sets) SSJOIN_RETURN_NOT_OK(r.Vec(&s));
+  if (version >= 2) {
+    // v2: decode-and-validate of the CSR store's flat arrays.
+    std::vector<uint32_t> offsets;
+    std::vector<text::TokenId> token_ids;
+    std::vector<double> element_weights;
+    SSJOIN_RETURN_NOT_OK(r.Vec(&offsets));
+    SSJOIN_RETURN_NOT_OK(r.Vec(&token_ids));
+    SSJOIN_RETURN_NOT_OK(r.Vec(&element_weights));
+    SSJOIN_ASSIGN_OR_RETURN(
+        sets.store,
+        core::SetStore::FromParts(std::move(offsets), std::move(token_ids),
+                                  std::move(element_weights)));
+  } else {
+    // v1: per-group vectors, re-packed into the flat store.
+    uint64_t num_groups = 0;
+    SSJOIN_RETURN_NOT_OK(r.U64(&num_groups));
+    std::vector<text::TokenId> elems;
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      SSJOIN_RETURN_NOT_OK(r.Vec(&elems));
+      sets.store.AppendSet(elems);
+    }
+  }
   SSJOIN_RETURN_NOT_OK(r.Vec(&sets.norms));
   SSJOIN_RETURN_NOT_OK(r.Vec(&sets.set_weights));
 
@@ -197,7 +229,16 @@ Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size) {
 
 Status SaveSnapshot(const simjoin::FuzzyMatchIndex& index,
                     const std::string& path) {
-  std::string payload = EncodePayload(index);
+  return SaveSnapshotAtVersion(index, path, kSnapshotVersion);
+}
+
+Status SaveSnapshotAtVersion(const simjoin::FuzzyMatchIndex& index,
+                             const std::string& path, uint32_t version) {
+  if (version != kSnapshotVersionNested && version != kSnapshotVersion) {
+    return Status::Invalid("unsupported snapshot version " +
+                           std::to_string(version));
+  }
+  std::string payload = EncodePayload(index, version);
   uint64_t checksum = PayloadChecksum(payload.data(), payload.size());
 
   std::string tmp = path + ".tmp";
@@ -205,7 +246,6 @@ Status SaveSnapshot(const simjoin::FuzzyMatchIndex& index,
   if (f == nullptr) {
     return Status::IOError("cannot open '" + tmp + "' for writing");
   }
-  uint32_t version = kSnapshotVersion;
   uint32_t flags = 0;
   bool ok = std::fwrite(kSnapshotMagic, 1, sizeof(kSnapshotMagic), f) ==
                 sizeof(kSnapshotMagic) &&
@@ -251,9 +291,9 @@ Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path) {
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
-  if (version != kSnapshotVersion) {
+  if (version != kSnapshotVersionNested && version != kSnapshotVersion) {
     return Status::Invalid("unsupported snapshot version " +
-                           std::to_string(version) + " (expected " +
+                           std::to_string(version) + " (expected <= " +
                            std::to_string(kSnapshotVersion) + ")");
   }
 
@@ -265,7 +305,7 @@ Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path) {
   if (PayloadChecksum(payload, payload_size) != stored_checksum) {
     return Status::IOError("snapshot '" + path + "' checksum mismatch");
   }
-  return DecodePayload(payload, payload_size);
+  return DecodePayload(payload, payload_size, version);
 }
 
 }  // namespace ssjoin::serve

@@ -25,12 +25,21 @@ namespace ssjoin::serve {
 ///   [16, N)  payload: length-prefixed sections in fixed order
 ///   [N, N+8) FNV-1a checksum (uint64) over the payload bytes
 ///
+/// Version history for the sets section (everything else is unchanged):
+///   v1  per-group length-prefixed element vectors
+///   v2  the CSR SetStore's flat arrays verbatim — offsets[num_groups+1],
+///       token_ids, optional element weights — so load is a decode-and-
+///       validate of three contiguous buffers instead of per-group
+///       reconstruction.
+///
 /// Load verifies magic, version and checksum before decoding and bounds-
 /// checks every read, so a truncated, corrupted or future-versioned file
 /// yields a clean Status error and never a partially-initialized index.
+/// Both versions are readable; SaveSnapshot always writes the current one.
 /// @{
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersionNested = 1;
 inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'J', 'S', 'N', 'A', 'P', 'S'};
 inline constexpr size_t kSnapshotHeaderSize = 16;
 
@@ -38,7 +47,14 @@ inline constexpr size_t kSnapshotHeaderSize = 16;
 /// renamed into place, so readers never observe a half-written snapshot).
 Status SaveSnapshot(const simjoin::FuzzyMatchIndex& index, const std::string& path);
 
-/// Deserializes a snapshot previously written by SaveSnapshot.
+/// Serializes `index` at an explicit format version (v1 or v2) — the
+/// back-compat escape hatch used by rollback tooling and the v1→v2
+/// compatibility tests.
+Status SaveSnapshotAtVersion(const simjoin::FuzzyMatchIndex& index,
+                             const std::string& path, uint32_t version);
+
+/// Deserializes a snapshot previously written by SaveSnapshot (any
+/// supported version).
 Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path);
 
 /// @}

@@ -11,8 +11,8 @@ void Canonicalize(std::vector<text::TokenId>* set) {
   set->erase(std::unique(set->begin(), set->end()), set->end());
 }
 
-double WeightedOverlap(const std::vector<text::TokenId>& s1,
-                       const std::vector<text::TokenId>& s2,
+double WeightedOverlap(std::span<const text::TokenId> s1,
+                       std::span<const text::TokenId> s2,
                        const text::WeightProvider& weights) {
   double overlap = 0.0;
   size_t i = 0;
@@ -31,8 +31,8 @@ double WeightedOverlap(const std::vector<text::TokenId>& s1,
   return overlap;
 }
 
-size_t OverlapCount(const std::vector<text::TokenId>& s1,
-                    const std::vector<text::TokenId>& s2) {
+size_t OverlapCount(std::span<const text::TokenId> s1,
+                    std::span<const text::TokenId> s2) {
   size_t count = 0;
   size_t i = 0;
   size_t j = 0;
@@ -50,16 +50,16 @@ size_t OverlapCount(const std::vector<text::TokenId>& s1,
   return count;
 }
 
-double JaccardContainment(const std::vector<text::TokenId>& s1,
-                          const std::vector<text::TokenId>& s2,
+double JaccardContainment(std::span<const text::TokenId> s1,
+                          std::span<const text::TokenId> s2,
                           const text::WeightProvider& weights) {
   double w1 = weights.SetWeight(s1);
   if (w1 == 0.0) return 1.0;
   return WeightedOverlap(s1, s2, weights) / w1;
 }
 
-double JaccardResemblance(const std::vector<text::TokenId>& s1,
-                          const std::vector<text::TokenId>& s2,
+double JaccardResemblance(std::span<const text::TokenId> s1,
+                          std::span<const text::TokenId> s2,
                           const text::WeightProvider& weights) {
   double w1 = weights.SetWeight(s1);
   double w2 = weights.SetWeight(s2);
@@ -69,8 +69,8 @@ double JaccardResemblance(const std::vector<text::TokenId>& s1,
   return inter / uni;
 }
 
-double DiceCoefficient(const std::vector<text::TokenId>& s1,
-                       const std::vector<text::TokenId>& s2,
+double DiceCoefficient(std::span<const text::TokenId> s1,
+                       std::span<const text::TokenId> s2,
                        const text::WeightProvider& weights) {
   double w1 = weights.SetWeight(s1);
   double w2 = weights.SetWeight(s2);
@@ -78,8 +78,8 @@ double DiceCoefficient(const std::vector<text::TokenId>& s1,
   return 2.0 * WeightedOverlap(s1, s2, weights) / (w1 + w2);
 }
 
-double CosineSimilarity(const std::vector<text::TokenId>& s1,
-                        const std::vector<text::TokenId>& s2,
+double CosineSimilarity(std::span<const text::TokenId> s1,
+                        std::span<const text::TokenId> s2,
                         const text::WeightProvider& weights) {
   double w1 = weights.SetWeight(s1);
   double w2 = weights.SetWeight(s2);

@@ -1,6 +1,8 @@
 #ifndef SSJOIN_SIM_SET_OVERLAP_H_
 #define SSJOIN_SIM_SET_OVERLAP_H_
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "text/dictionary.h"
@@ -16,44 +18,86 @@ void Canonicalize(std::vector<text::TokenId>* set);
 
 /// \brief Weighted overlap `wt(s1 ∩ s2)` of two canonical (sorted, unique)
 /// sets (Section 2: Overlap(s1, s2)).
-double WeightedOverlap(const std::vector<text::TokenId>& s1,
-                       const std::vector<text::TokenId>& s2,
+double WeightedOverlap(std::span<const text::TokenId> s1,
+                       std::span<const text::TokenId> s2,
                        const text::WeightProvider& weights);
 
 /// \brief Unweighted overlap |s1 ∩ s2| of two canonical sets.
-size_t OverlapCount(const std::vector<text::TokenId>& s1,
-                    const std::vector<text::TokenId>& s2);
+size_t OverlapCount(std::span<const text::TokenId> s1,
+                    std::span<const text::TokenId> s2);
 
 /// \brief Jaccard containment `JC(s1, s2) = wt(s1 ∩ s2) / wt(s1)`
 /// (Definition 5.1). Empty s1 yields 1 by convention (it is fully contained).
-double JaccardContainment(const std::vector<text::TokenId>& s1,
-                          const std::vector<text::TokenId>& s2,
+double JaccardContainment(std::span<const text::TokenId> s1,
+                          std::span<const text::TokenId> s2,
                           const text::WeightProvider& weights);
 
 /// \brief Jaccard resemblance `JR(s1, s2) = wt(s1 ∩ s2) / wt(s1 ∪ s2)`
 /// (Definition 5.2), multiset union semantics via ordinal encoding.
 /// Two empty sets resemble fully (1).
-double JaccardResemblance(const std::vector<text::TokenId>& s1,
-                          const std::vector<text::TokenId>& s2,
+double JaccardResemblance(std::span<const text::TokenId> s1,
+                          std::span<const text::TokenId> s2,
                           const text::WeightProvider& weights);
 
 /// \brief Dice coefficient `2 * wt(s1 ∩ s2) / (wt(s1) + wt(s2))`.
-double DiceCoefficient(const std::vector<text::TokenId>& s1,
-                       const std::vector<text::TokenId>& s2,
+double DiceCoefficient(std::span<const text::TokenId> s1,
+                       std::span<const text::TokenId> s2,
                        const text::WeightProvider& weights);
 
 /// \brief Cosine similarity with per-element weights interpreted as squared
 /// vector components: `cos(s1, s2) = wt(s1 ∩ s2) / sqrt(wt(s1) * wt(s2))`.
 /// With `w(t) = idf(t)^2` this is the classic tf-idf cosine for binary
 /// term vectors. Empty sets have similarity 0 (1 if both empty).
-double CosineSimilarity(const std::vector<text::TokenId>& s1,
-                        const std::vector<text::TokenId>& s2,
+double CosineSimilarity(std::span<const text::TokenId> s1,
+                        std::span<const text::TokenId> s2,
                         const text::WeightProvider& weights);
 
 /// \brief Hamming distance between equal-length strings: number of positions
 /// where they differ. If lengths differ, each position beyond the shorter
 /// length counts as a mismatch.
 size_t HammingDistance(std::string_view a, std::string_view b);
+
+/// \name Braced-list conveniences
+/// `std::span` cannot be constructed from a braced initializer list before
+/// C++26, so small literal sets in tests and examples route through these.
+/// @{
+namespace detail {
+inline std::span<const text::TokenId> AsSpan(
+    std::initializer_list<text::TokenId> s) {
+  return {s.begin(), s.size()};
+}
+}  // namespace detail
+
+inline double WeightedOverlap(std::initializer_list<text::TokenId> s1,
+                              std::initializer_list<text::TokenId> s2,
+                              const text::WeightProvider& weights) {
+  return WeightedOverlap(detail::AsSpan(s1), detail::AsSpan(s2), weights);
+}
+inline size_t OverlapCount(std::initializer_list<text::TokenId> s1,
+                           std::initializer_list<text::TokenId> s2) {
+  return OverlapCount(detail::AsSpan(s1), detail::AsSpan(s2));
+}
+inline double JaccardContainment(std::initializer_list<text::TokenId> s1,
+                                 std::initializer_list<text::TokenId> s2,
+                                 const text::WeightProvider& weights) {
+  return JaccardContainment(detail::AsSpan(s1), detail::AsSpan(s2), weights);
+}
+inline double JaccardResemblance(std::initializer_list<text::TokenId> s1,
+                                 std::initializer_list<text::TokenId> s2,
+                                 const text::WeightProvider& weights) {
+  return JaccardResemblance(detail::AsSpan(s1), detail::AsSpan(s2), weights);
+}
+inline double DiceCoefficient(std::initializer_list<text::TokenId> s1,
+                              std::initializer_list<text::TokenId> s2,
+                              const text::WeightProvider& weights) {
+  return DiceCoefficient(detail::AsSpan(s1), detail::AsSpan(s2), weights);
+}
+inline double CosineSimilarity(std::initializer_list<text::TokenId> s1,
+                               std::initializer_list<text::TokenId> s2,
+                               const text::WeightProvider& weights) {
+  return CosineSimilarity(detail::AsSpan(s1), detail::AsSpan(s2), weights);
+}
+/// @}
 
 }  // namespace ssjoin::sim
 

@@ -47,8 +47,8 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
   core::PrefixFilteredRelation pref = core::PrefixFilterRelation(
       index.sets_, index.weights_, index.order_, pred, core::JoinSide::kS);
   index.prefix_offsets_.assign(index.dict_.num_elements() + 1, 0);
-  for (const auto& prefix : pref.prefixes) {
-    for (text::TokenId e : prefix) ++index.prefix_offsets_[e + 1];
+  for (text::TokenId e : pref.prefixes.token_ids()) {
+    ++index.prefix_offsets_[e + 1];
   }
   for (size_t i = 1; i < index.prefix_offsets_.size(); ++i) {
     index.prefix_offsets_[i] += index.prefix_offsets_[i - 1];
@@ -56,8 +56,8 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
   index.prefix_postings_.resize(index.prefix_offsets_.back());
   std::vector<uint32_t> cursor(index.prefix_offsets_.begin(),
                                index.prefix_offsets_.end() - 1);
-  for (core::GroupId g = 0; g < pref.prefixes.size(); ++g) {
-    for (text::TokenId e : pref.prefixes[g]) {
+  for (core::GroupId g = 0; g < pref.prefixes.num_groups(); ++g) {
+    for (text::TokenId e : pref.prefixes.elements(g)) {
       index.prefix_postings_[cursor[e]++] = g;
     }
   }
@@ -81,15 +81,13 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::FromParts(
   if (order.num_elements() != elements) {
     return Status::Invalid("index parts: order size != dictionary size");
   }
-  if (sets.sets.size() != groups || sets.norms.size() != groups ||
+  if (sets.num_groups() != groups || sets.norms.size() != groups ||
       sets.set_weights.size() != groups) {
     return Status::Invalid("index parts: sets relation size != reference size");
   }
-  for (const auto& s : sets.sets) {
-    for (text::TokenId e : s) {
-      if (e >= elements) {
-        return Status::Invalid("index parts: set element out of dictionary range");
-      }
+  for (text::TokenId e : sets.store.token_ids()) {
+    if (e >= elements) {
+      return Status::Invalid("index parts: set element out of dictionary range");
     }
   }
   if (prefix_offsets.size() != elements + 1 || prefix_offsets.front() != 0 ||
@@ -169,7 +167,7 @@ std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& q
     double overlap = 0.0;
     size_t i = 0;
     size_t j = 0;
-    const auto& ref_set = sets_.sets[g];
+    core::SetView ref_set = sets_.set(g);
     while (i < known.size() && j < ref_set.size()) {
       if (known[i] < ref_set[j]) {
         ++i;

@@ -58,8 +58,8 @@ class RuleVerifier {
                rule_.threshold - 1e-12;
       case ColumnSim::kJaccard: {
         double overlap = 0.0;
-        const auto& rs = prep_.r.sets[r];
-        const auto& ss = prep_.s.sets[s];
+        core::SetView rs = prep_.r.set(r);
+        core::SetView ss = prep_.s.set(s);
         size_t i = 0;
         size_t j = 0;
         while (i < rs.size() && j < ss.size()) {

@@ -2,7 +2,9 @@
 #define SSJOIN_TEXT_WEIGHTS_H_
 
 #include <cmath>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "text/dictionary.h"
@@ -18,11 +20,15 @@ class WeightProvider {
   /// Weight of element `id`. Always positive.
   virtual double Weight(TokenId id) const = 0;
 
-  /// Sum of weights of a set's elements (`wt(s)` in the paper).
-  double SetWeight(const std::vector<TokenId>& set) const {
+  /// Sum of weights of a set's elements (`wt(s)` in the paper). Accepts any
+  /// contiguous id sequence (vector, SetView, CSR slice).
+  double SetWeight(std::span<const TokenId> set) const {
     double total = 0.0;
     for (TokenId id : set) total += Weight(id);
     return total;
+  }
+  double SetWeight(std::initializer_list<TokenId> set) const {
+    return SetWeight(std::span<const TokenId>(set.begin(), set.size()));
   }
 };
 

@@ -84,7 +84,8 @@ TEST_P(EngineDifferentialTest, GroupByMatchesReference) {
   for (size_t r = 0; r < t.num_rows(); ++r) {
     int64_t k = t.GetValue(0, r).int64();
     double v = t.GetValue(1, r).float64();
-    const std::string& tag = t.GetValue(2, r).string();
+    // Copy: GetValue returns a temporary Value and string() borrows from it.
+    std::string tag = t.GetValue(2, r).string();
     auto it = ref.find(k);
     if (it == ref.end()) {
       ref.emplace(k, std::make_tuple(v, int64_t{1}, v, tag));

@@ -282,6 +282,65 @@ TEST_P(ParallelDeterminismTest, MatchesSerialAllAlgorithms) {
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelDeterminismTest,
                          ::testing::Values(1, 2, 8));
 
+TEST_P(ParallelDeterminismTest, MorselBoundariesDoNotAffectCsrOutput) {
+  // The parallel prefix filter builds per-morsel CSR stores and concatenates
+  // them; the result must not depend on where the morsel boundaries fall.
+  const size_t threads = GetParam();
+  Fixture f = RandomFixture(29, /*universe=*/50, /*r_groups=*/100,
+                            /*s_groups=*/80, false);
+  core::SSJoinContext serial_ctx{&f.weights, &f.order};
+  auto pred = core::OverlapPredicate::TwoSidedNormalized(0.5);
+  core::SSJoinStats serial_stats;
+  auto serial = core::ExecuteSSJoin(core::SSJoinAlgorithm::kPrefixFilterInline,
+                                    f.r, f.s, pred, serial_ctx, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  for (size_t morsel_size : {1u, 3u, 17u, 1000u}) {
+    ExecContext pctx;
+    pctx.num_threads = threads;
+    pctx.morsel_size = morsel_size;
+    core::SSJoinContext pctx_join{&f.weights, &f.order};
+    pctx_join.exec = &pctx;
+    core::SSJoinStats parallel_stats;
+    auto parallel =
+        exec::ExecuteSSJoin(core::SSJoinAlgorithm::kPrefixFilterInline, f.r,
+                            f.s, pred, pctx_join, &parallel_stats);
+    ASSERT_TRUE(parallel.ok()) << "morsel " << morsel_size;
+    ExpectPairsIdentical(*serial, *parallel);
+    ExpectStatsIdentical(serial_stats, parallel_stats);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, CsrAssembledRelationMatchesSerial) {
+  // Relations assembled directly from raw CSR columns (the snapshot load
+  // path) must behave identically to builder-produced ones in the parallel
+  // executors.
+  const size_t threads = GetParam();
+  Fixture f = RandomFixture(31, 40, 60, 60, true);
+  core::SetsRelation raw;
+  raw.store = *core::SetStore::FromParts(
+      f.r.store.offsets(), f.r.store.token_ids());
+  raw.norms = f.r.norms;
+  raw.set_weights = f.r.set_weights;
+  ASSERT_TRUE(raw.store == f.r.store);
+
+  core::SSJoinContext serial_ctx{&f.weights, &f.order};
+  ExecContext pctx;
+  pctx.num_threads = threads;
+  pctx.morsel_size = 8;
+  core::SSJoinContext parallel_ctx{&f.weights, &f.order};
+  parallel_ctx.exec = &pctx;
+  auto pred = core::OverlapPredicate::Absolute(2.0);
+  for (core::SSJoinAlgorithm algorithm : kAllAlgorithms) {
+    auto serial =
+        core::ExecuteSSJoin(algorithm, f.r, f.s, pred, serial_ctx, nullptr);
+    ASSERT_TRUE(serial.ok());
+    auto parallel =
+        exec::ExecuteSSJoin(algorithm, raw, f.s, pred, parallel_ctx, nullptr);
+    ASSERT_TRUE(parallel.ok());
+    ExpectPairsIdentical(*serial, *parallel);
+  }
+}
+
 TEST(ParallelSSJoinTest, NullExecFallsBackToSerial) {
   Fixture f = RandomFixture(3, 40, 50, 50, true);
   core::SSJoinContext ctx{&f.weights, &f.order};  // ctx.exec == nullptr

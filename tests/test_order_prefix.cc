@@ -201,19 +201,20 @@ TEST(PrefixFilterRelationTest, AppliesSideSpecificBounds) {
   // R side: required = 0.5 * norm -> beta = norm/2 -> prefix just over half.
   PrefixFilteredRelation r_pref =
       PrefixFilterRelation(rel, weights, order, pred, JoinSide::kR);
-  EXPECT_EQ(r_pref.prefixes[0].size(), 3u);  // cum > 2 after 3 elements
-  EXPECT_EQ(r_pref.prefixes[1].size(), 2u);  // cum > 1 after 2 elements
+  EXPECT_EQ(r_pref.prefixes.elements(0).size(), 3u);  // cum > 2 after 3 elements
+  EXPECT_EQ(r_pref.prefixes.elements(1).size(), 2u);  // cum > 1 after 2 elements
   // S side: unboundable -> whole sets.
   PrefixFilteredRelation s_pref =
       PrefixFilterRelation(rel, weights, order, pred, JoinSide::kS);
-  EXPECT_EQ(s_pref.prefixes[0].size(), 4u);
+  EXPECT_EQ(s_pref.prefixes.elements(0).size(), 4u);
   EXPECT_EQ(s_pref.total_prefix_elements(), 6u);
 }
 
 TEST(BuildSetsRelationTest, CanonicalizesAndComputesWeights) {
   WeightVector weights{1.0, 2.0, 4.0};
   SetsRelation rel = *BuildSetsRelation({{2, 0, 2, 1}}, weights);
-  EXPECT_EQ(rel.sets[0], (std::vector<text::TokenId>{0, 1, 2}));
+  EXPECT_EQ(std::vector<text::TokenId>(rel.set(0).begin(), rel.set(0).end()),
+            (std::vector<text::TokenId>{0, 1, 2}));
   EXPECT_DOUBLE_EQ(rel.set_weights[0], 7.0);
   EXPECT_DOUBLE_EQ(rel.norms[0], 7.0);
   EXPECT_EQ(rel.total_elements(), 3u);

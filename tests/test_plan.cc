@@ -112,13 +112,14 @@ TEST(SSJoinPlanTest, TableRoundTripPreservesSets) {
   Table t = *core::ToNormalizedTable(f.rel, f.weights, f.order);
   core::DecodedRelation decoded = *core::TableToSetsRelation(t);
   ASSERT_EQ(decoded.rel.num_groups(), f.rel.num_groups());
-  for (size_t g = 0; g < f.rel.num_groups(); ++g) {
-    EXPECT_EQ(decoded.rel.sets[g], f.rel.sets[g]);
+  EXPECT_TRUE(decoded.rel.store == f.rel.store);
+  for (core::GroupId g = 0; g < f.rel.num_groups(); ++g) {
     EXPECT_DOUBLE_EQ(decoded.rel.norms[g], f.rel.norms[g]);
     EXPECT_NEAR(decoded.rel.set_weights[g], f.rel.set_weights[g], 1e-9);
   }
   // Recovered order ranks present elements consistently with the original.
-  for (const auto& set : f.rel.sets) {
+  for (core::GroupId g = 0; g < f.rel.num_groups(); ++g) {
+    core::SetView set = f.rel.set(g);
     for (size_t i = 1; i < set.size(); ++i) {
       bool orig = f.order.Rank(set[i - 1]) < f.order.Rank(set[i]);
       bool rec = decoded.order.Rank(set[i - 1]) < decoded.order.Rank(set[i]);

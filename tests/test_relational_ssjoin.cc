@@ -87,7 +87,7 @@ TEST(ToNormalizedTableTest, RejectsUncoveredElements) {
   WeightVector weights{1.0};
   ElementOrder order = ElementOrder::ById(1);
   SetsRelation rel = *BuildSetsRelation({{0}}, weights);
-  rel.sets[0].push_back(9);
+  rel.store = *SetStore::FromParts({0, 2}, {0, 9});
   EXPECT_FALSE(ToNormalizedTable(rel, weights, order).ok());
 }
 

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "datagen/address_gen.h"
 #include "datagen/error_model.h"
 #include "serve/snapshot.h"
@@ -226,6 +229,187 @@ TEST_F(SnapshotCorruptionTest, TrailingGarbageRejected) {
   // Appending bytes shifts the checksum read, so this fails one way or the
   // other; the point is it fails cleanly.
   EXPECT_FALSE(loaded.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Format v2 (flat CSR sets section): decode-level corruption and v1 compat.
+
+/// Patches payload bytes in a full snapshot image and rewrites the FNV
+/// trailer so the corruption reaches the decoder instead of tripping the
+/// checksum — these tests target the CSR validation behind the checksum.
+std::string PatchPayloadAndRechecksum(std::string bytes, size_t payload_pos,
+                                      const std::string& patch) {
+  size_t abs = kSnapshotHeaderSize + payload_pos;
+  bytes.replace(abs, patch.size(), patch);
+  size_t payload_size = bytes.size() - kSnapshotHeaderSize - sizeof(uint64_t);
+  uint64_t checksum = HashString(
+      std::string_view(bytes.data() + kSnapshotHeaderSize, payload_size));
+  bytes.replace(bytes.size() - sizeof(uint64_t), sizeof(uint64_t),
+                std::string(reinterpret_cast<const char*>(&checksum),
+                            sizeof(checksum)));
+  return bytes;
+}
+
+template <typename T>
+std::string LE(T v) {
+  return std::string(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// A v2 snapshot of a small index plus the computed payload positions of the
+/// sets section's CSR arrays (derived from the tail sections' known sizes).
+class SnapshotV2CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto master = Master(60, 29);
+    FuzzyMatchIndex::Options options;
+    options.alpha = 0.4;
+    index_ = std::make_unique<FuzzyMatchIndex>(
+        FuzzyMatchIndex::Build(master, options).MoveValueUnsafe());
+    path_ = TempPath(std::string("fm_v2_") +
+                     ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+                     ".snap");
+    ASSERT_TRUE(SaveSnapshot(*index_, path_).ok());
+    bytes_ = ReadFile(path_);
+
+    // Walk back from the payload end over the fixed-size tail sections to
+    // locate the sets section. Each Vec is an 8-byte count + raw data.
+    const auto& sets = index_->sets();
+    size_t payload_size = bytes_.size() - kSnapshotHeaderSize - sizeof(uint64_t);
+    size_t pos = payload_size;
+    auto skip_back = [&pos](size_t elem_size, size_t count) {
+      pos -= sizeof(uint64_t) + elem_size * count;
+    };
+    skip_back(sizeof(core::GroupId), index_->prefix_postings().size());
+    skip_back(sizeof(uint32_t), index_->prefix_offsets().size());
+    skip_back(sizeof(double), sets.set_weights.size());
+    skip_back(sizeof(double), sets.norms.size());
+    skip_back(sizeof(double), sets.store.weights().size());  // element weights
+    skip_back(sizeof(text::TokenId), sets.store.token_ids().size());
+    token_ids_vec_pos_ = pos;
+    skip_back(sizeof(uint32_t), sets.store.offsets().size());
+    offsets_vec_pos_ = pos;
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Payload position of offsets entry `i` (past the count header).
+  size_t OffsetEntryPos(size_t i) const {
+    return offsets_vec_pos_ + sizeof(uint64_t) + i * sizeof(uint32_t);
+  }
+
+  std::unique_ptr<FuzzyMatchIndex> index_;
+  std::string path_;
+  std::string bytes_;
+  size_t offsets_vec_pos_ = 0;
+  size_t token_ids_vec_pos_ = 0;
+};
+
+TEST_F(SnapshotV2CorruptionTest, WritesCurrentVersion) {
+  uint32_t version = 0;
+  std::memcpy(&version, bytes_.data() + 8, sizeof(version));
+  EXPECT_EQ(version, kSnapshotVersion);
+  EXPECT_EQ(kSnapshotVersion, 2u);
+}
+
+TEST_F(SnapshotV2CorruptionTest, SanityCheckSectionPositions) {
+  // The walk-back must land the count headers on the real array lengths.
+  uint64_t offsets_count = 0;
+  std::memcpy(&offsets_count,
+              bytes_.data() + kSnapshotHeaderSize + offsets_vec_pos_,
+              sizeof(offsets_count));
+  EXPECT_EQ(offsets_count, index_->sets().store.offsets().size());
+  uint64_t token_count = 0;
+  std::memcpy(&token_count,
+              bytes_.data() + kSnapshotHeaderSize + token_ids_vec_pos_,
+              sizeof(token_count));
+  EXPECT_EQ(token_count, index_->sets().store.token_ids().size());
+}
+
+TEST_F(SnapshotV2CorruptionTest, TruncatedOffsetsArrayRejected) {
+  // Claim more offsets entries than the payload holds: the bounds-checked
+  // reader must fail cleanly before any CSR assembly.
+  WriteFile(path_, PatchPayloadAndRechecksum(bytes_, offsets_vec_pos_,
+                                             LE<uint64_t>(UINT64_MAX / 8)));
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(SnapshotV2CorruptionTest, NonMonotoneOffsetsRejected) {
+  ASSERT_GE(index_->sets().num_groups(), 2u);
+  // offsets[1] beyond the final offset breaks monotonicity mid-array.
+  uint32_t huge = static_cast<uint32_t>(index_->sets().total_elements() + 1);
+  WriteFile(path_, PatchPayloadAndRechecksum(bytes_, OffsetEntryPos(1),
+                                             LE<uint32_t>(huge)));
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotV2CorruptionTest, NonZeroFirstOffsetRejected) {
+  WriteFile(path_, PatchPayloadAndRechecksum(bytes_, OffsetEntryPos(0),
+                                             LE<uint32_t>(1)));
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotV2CorruptionTest, ChecksumCoversFlatArrays) {
+  // A bit flip inside the CSR arrays without a rewritten trailer must be
+  // caught by the checksum, exactly like v1 payload corruption.
+  std::string bad = bytes_;
+  size_t abs = kSnapshotHeaderSize + token_ids_vec_pos_ + sizeof(uint64_t);
+  bad[abs] = static_cast<char>(bad[abs] ^ 0x10);
+  WriteFile(path_, bad);
+  auto loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SnapshotCompatTest, V1SnapshotLoadsIdentically) {
+  // A snapshot written in the legacy nested format (version 1, as produced
+  // before the CSR refactor) must load into an index answering
+  // bit-identically to both the source index and its v2 snapshot.
+  auto master = Master(250, 31);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.35;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+
+  std::string v1_path = TempPath("fm_compat_v1.snap");
+  std::string v2_path = TempPath("fm_compat_v2.snap");
+  ASSERT_TRUE(SaveSnapshotAtVersion(index, v1_path, 1).ok());
+  ASSERT_TRUE(SaveSnapshot(index, v2_path).ok());
+
+  std::string v1_bytes = ReadFile(v1_path);
+  uint32_t version = 0;
+  std::memcpy(&version, v1_bytes.data() + 8, sizeof(version));
+  ASSERT_EQ(version, 1u);
+
+  auto v1 = LoadSnapshot(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  auto v2 = LoadSnapshot(v2_path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  // Both decode to the same flat store, norms and weights.
+  EXPECT_TRUE(v1->sets().store == index.sets().store);
+  EXPECT_TRUE(v2->sets().store == index.sets().store);
+  EXPECT_EQ(v1->sets().norms, index.sets().norms);
+  EXPECT_EQ(v1->sets().set_weights, index.sets().set_weights);
+
+  auto queries = DirtyQueries(master, 60);
+  queries.push_back(master[7]);
+  ExpectIdenticalLookups(index, *v1, queries, 5);
+  ExpectIdenticalLookups(*v1, *v2, queries, 5);
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(SnapshotCompatTest, SaveAtUnknownVersionRejected) {
+  auto index = FuzzyMatchIndex::Build({}, {}).MoveValueUnsafe();
+  std::string path = TempPath("fm_bad_version.snap");
+  EXPECT_FALSE(SaveSnapshotAtVersion(index, path, 3).ok());
+  EXPECT_FALSE(SaveSnapshotAtVersion(index, path, 0).ok());
 }
 
 }  // namespace

@@ -220,7 +220,7 @@ TEST(SSJoinCoreTest, WeightsTooSmallRejected) {
   WeightVector weights{1.0};
   SetsRelation r = *BuildSetsRelation({{0}}, weights);
   // Manually corrupt the relation to reference an uncovered element.
-  r.sets[0].push_back(5);
+  r.store = *SetStore::FromParts({0, 2}, {0, 5});
   ElementOrder order = ElementOrder::ById(1);
   SSJoinContext ctx{&weights, &order};
   EXPECT_FALSE(ExecuteSSJoin(SSJoinAlgorithm::kBasic, r, r,

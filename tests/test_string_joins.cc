@@ -112,7 +112,7 @@ TEST_P(AlgorithmSweep, JaccardResemblanceJoinMatchesBruteForce) {
     PairSet expected;
     for (uint32_t i = 0; i < data.size(); ++i) {
       for (uint32_t j = 0; j < data.size(); ++j) {
-        double jr = sim::JaccardResemblance(prep.r.sets[i], prep.s.sets[j], weights);
+        double jr = sim::JaccardResemblance(prep.r.set(i), prep.s.set(j), weights);
         if (jr >= alpha - 1e-12) expected.insert({i, j});
       }
     }
@@ -132,8 +132,8 @@ TEST_P(AlgorithmSweep, JaccardContainmentJoinMatchesBruteForce) {
   PairSet expected;
   for (uint32_t i = 0; i < data.size(); ++i) {
     for (uint32_t j = 0; j < data.size(); ++j) {
-      if (prep.r.sets[i].empty()) continue;  // zero-weight sets never emitted
-      double jc = sim::JaccardContainment(prep.r.sets[i], prep.s.sets[j], weights);
+      if (prep.r.set(i).empty()) continue;  // zero-weight sets never emitted
+      double jc = sim::JaccardContainment(prep.r.set(i), prep.s.set(j), weights);
       if (jc >= alpha - 1e-12) expected.insert({i, j});
     }
   }
@@ -168,8 +168,8 @@ TEST_P(AlgorithmSweep, CosineJoinMatchesBruteForce) {
   PairSet expected;
   for (uint32_t i = 0; i < data.size(); ++i) {
     for (uint32_t j = 0; j < data.size(); ++j) {
-      if (prep.r.sets[i].empty() || prep.s.sets[j].empty()) continue;
-      double cos = sim::CosineSimilarity(prep.r.sets[i], prep.s.sets[j], weights);
+      if (prep.r.set(i).empty() || prep.s.set(j).empty()) continue;
+      double cos = sim::CosineSimilarity(prep.r.set(i), prep.s.set(j), weights);
       if (cos >= alpha - 1e-12) expected.insert({i, j});
     }
   }
