@@ -1,0 +1,132 @@
+#include "fuzz/oracles.h"
+
+#include <cmath>
+
+namespace ssjoin::fuzz {
+
+namespace {
+
+/// Weighted overlap of two canonical sets, accumulated in sorted element
+/// order (matching the executors' accumulation order bit-for-bit).
+double OverlapOf(core::SetView a, core::SetView b,
+                 const core::WeightVector& weights) {
+  double overlap = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      overlap += weights[a[i]];
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+bool Intersects(core::SetView a, core::SetView b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<core::SSJoinPair> SSJoinOracle(const core::SetsRelation& r,
+                                           const core::SetsRelation& s,
+                                           const core::WeightVector& weights,
+                                           const core::OverlapPredicate& pred) {
+  std::vector<core::SSJoinPair> out;
+  for (core::GroupId gr = 0; gr < r.num_groups(); ++gr) {
+    for (core::GroupId gs = 0; gs < s.num_groups(); ++gs) {
+      core::SetView a = r.set(gr);
+      core::SetView b = s.set(gs);
+      if (!Intersects(a, b)) continue;
+      double overlap = OverlapOf(a, b, weights);
+      if (pred.Test(overlap, r.norms[gr], s.norms[gs])) {
+        out.push_back({gr, gs, overlap});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<simjoin::MatchPair> CrossProductJaccardContainment(
+    const simjoin::Prepared& prep, double alpha) {
+  core::OverlapPredicate pred = core::OverlapPredicate::OneSidedNormalized(alpha);
+  std::vector<simjoin::MatchPair> out;
+  for (core::GroupId gr = 0; gr < prep.r.num_groups(); ++gr) {
+    for (core::GroupId gs = 0; gs < prep.s.num_groups(); ++gs) {
+      core::SetView a = prep.r.set(gr);
+      core::SetView b = prep.s.set(gs);
+      if (!Intersects(a, b)) continue;
+      double overlap = OverlapOf(a, b, prep.weights);
+      if (!pred.Test(overlap, prep.r.norms[gr], prep.s.norms[gs])) continue;
+      double wt_r = prep.r.set_weights[gr];
+      double jc = wt_r > 0.0 ? overlap / wt_r : 1.0;
+      out.push_back({gr, gs, jc});
+    }
+  }
+  return out;
+}
+
+std::vector<simjoin::MatchPair> CrossProductJaccardResemblance(
+    const simjoin::Prepared& prep, double alpha) {
+  core::OverlapPredicate pred = core::OverlapPredicate::TwoSidedNormalized(alpha);
+  std::vector<simjoin::MatchPair> out;
+  for (core::GroupId gr = 0; gr < prep.r.num_groups(); ++gr) {
+    for (core::GroupId gs = 0; gs < prep.s.num_groups(); ++gs) {
+      core::SetView a = prep.r.set(gr);
+      core::SetView b = prep.s.set(gs);
+      if (!Intersects(a, b)) continue;
+      double overlap = OverlapOf(a, b, prep.weights);
+      if (!pred.Test(overlap, prep.r.norms[gr], prep.s.norms[gs])) continue;
+      double wt_union =
+          prep.r.set_weights[gr] + prep.s.set_weights[gs] - overlap;
+      double jr = wt_union > 0.0 ? overlap / wt_union : 1.0;
+      if (jr >= alpha - 1e-12) out.push_back({gr, gs, jr});
+    }
+  }
+  return out;
+}
+
+std::vector<simjoin::MatchPair> CrossProductCosine(const simjoin::Prepared& prep,
+                                                   double alpha) {
+  core::OverlapPredicate pred =
+      core::OverlapPredicate::TwoSidedNormalized(alpha * alpha);
+  std::vector<simjoin::MatchPair> out;
+  for (core::GroupId gr = 0; gr < prep.r.num_groups(); ++gr) {
+    for (core::GroupId gs = 0; gs < prep.s.num_groups(); ++gs) {
+      core::SetView a = prep.r.set(gr);
+      core::SetView b = prep.s.set(gs);
+      if (!Intersects(a, b)) continue;
+      double overlap = OverlapOf(a, b, prep.weights);
+      if (!pred.Test(overlap, prep.r.norms[gr], prep.s.norms[gs])) continue;
+      double denom =
+          std::sqrt(prep.r.set_weights[gr] * prep.s.set_weights[gs]);
+      double cos = denom > 0.0 ? overlap / denom : 1.0;
+      if (cos >= alpha - 1e-12) out.push_back({gr, gs, cos});
+    }
+  }
+  return out;
+}
+
+long long QGramCountBound(size_t len_r, size_t len_s, size_t q, size_t budget) {
+  long long max_len = static_cast<long long>(len_r > len_s ? len_r : len_s);
+  return max_len - static_cast<long long>(q) + 1 -
+         static_cast<long long>(q) * static_cast<long long>(budget);
+}
+
+}  // namespace ssjoin::fuzz

@@ -1,0 +1,190 @@
+#include "fuzz/reproducer.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ssjoin::fuzz {
+
+namespace {
+
+constexpr const char kHeader[] = "ssjoin-fuzz-repro v1";
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 0x20 && c < 0x7f) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+      out += buf;
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Result<std::string> UnescapeString(const std::string& line) {
+  if (line.size() < 2 || line.front() != '"' || line.back() != '"') {
+    return Status::Invalid("reproducer: string line not quoted: " + line);
+  }
+  std::string out;
+  for (size_t i = 1; i + 1 < line.size(); ++i) {
+    char c = line[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= line.size()) {
+      return Status::Invalid("reproducer: dangling escape in: " + line);
+    }
+    char e = line[++i];
+    if (e == '"' || e == '\\') {
+      out.push_back(e);
+    } else if (e == 'x') {
+      if (i + 3 >= line.size()) {
+        return Status::Invalid("reproducer: truncated \\x escape in: " + line);
+      }
+      int hi = HexValue(line[i + 1]);
+      int lo = HexValue(line[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::Invalid("reproducer: bad \\x escape in: " + line);
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      return Status::Invalid("reproducer: unknown escape in: " + line);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double Reproducer::GetDouble(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+uint64_t Reproducer::GetUint(const std::string& key, uint64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+bool Reproducer::GetBool(const std::string& key, bool fallback) const {
+  return GetUint(key, fallback ? 1 : 0) != 0;
+}
+
+void Reproducer::Set(const std::string& key, double value) {
+  params[key] = StringPrintf("%.17g", value);
+}
+
+void Reproducer::Set(const std::string& key, uint64_t value) {
+  params[key] = std::to_string(value);
+}
+
+void Reproducer::Set(const std::string& key, bool value) {
+  params[key] = value ? "1" : "0";
+}
+
+std::string FormatReproducer(const Reproducer& repro) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "scenario: " << repro.scenario << "\n";
+  for (const auto& [key, value] : repro.params) {
+    out << "param " << key << " " << value << "\n";
+  }
+  out << "r " << repro.r.size() << "\n";
+  for (const std::string& s : repro.r) out << EscapeString(s) << "\n";
+  out << "s " << repro.s.size() << "\n";
+  for (const std::string& s : repro.s) out << EscapeString(s) << "\n";
+  return out.str();
+}
+
+Result<Reproducer> ParseReproducer(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::Invalid("reproducer: missing '" + std::string(kHeader) +
+                           "' header");
+  }
+  Reproducer repro;
+  if (!std::getline(in, line) || line.rfind("scenario: ", 0) != 0) {
+    return Status::Invalid("reproducer: missing scenario line");
+  }
+  repro.scenario = line.substr(10);
+
+  auto read_strings = [&](const char* tag,
+                          std::vector<std::string>* out) -> Status {
+    std::string expect = std::string(tag) + " ";
+    if (line.rfind(expect, 0) != 0) {
+      return Status::Invalid("reproducer: expected '" + std::string(tag) +
+                             " <count>' line, got: " + line);
+    }
+    size_t count = std::strtoull(line.c_str() + expect.size(), nullptr, 10);
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) {
+        return Status::Invalid("reproducer: truncated string list");
+      }
+      std::string s;
+      SSJOIN_ASSIGN_OR_RETURN(s, UnescapeString(line));
+      out->push_back(std::move(s));
+    }
+    return Status::OK();
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("param ", 0) == 0) {
+      size_t space = line.find(' ', 6);
+      if (space == std::string::npos) {
+        return Status::Invalid("reproducer: malformed param line: " + line);
+      }
+      repro.params[line.substr(6, space - 6)] = line.substr(space + 1);
+    } else if (line.rfind("r ", 0) == 0) {
+      SSJOIN_RETURN_NOT_OK(read_strings("r", &repro.r));
+    } else if (line.rfind("s ", 0) == 0) {
+      SSJOIN_RETURN_NOT_OK(read_strings("s", &repro.s));
+      return repro;
+    } else {
+      return Status::Invalid("reproducer: unexpected line: " + line);
+    }
+  }
+  return Status::Invalid("reproducer: missing 's <count>' section");
+}
+
+Result<Reproducer> LoadReproducerFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open reproducer file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseReproducer(buf.str());
+}
+
+Status SaveReproducerFile(const Reproducer& repro, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write reproducer file: " + path);
+  out << FormatReproducer(repro);
+  out.flush();
+  if (!out) return Status::IOError("write failed for reproducer file: " + path);
+  return Status::OK();
+}
+
+}  // namespace ssjoin::fuzz

@@ -1,0 +1,65 @@
+#ifndef SSJOIN_FUZZ_REPRODUCER_H_
+#define SSJOIN_FUZZ_REPRODUCER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ssjoin::fuzz {
+
+/// \brief A self-contained differential-fuzz test case: a scenario name, its
+/// scalar parameters and the two string collections the scenario joins.
+///
+/// Everything a scenario needs is derived deterministically from these
+/// fields, so a reproducer file replays the exact failing check with no
+/// dependence on the RNG, the generator version or the machine. The `seed`
+/// param is carried for provenance only.
+struct Reproducer {
+  std::string scenario;
+  /// Scalar knobs (q, alpha, k, ...). String-valued for forward
+  /// compatibility; typed accessors below parse on demand.
+  std::map<std::string, std::string> params;
+  std::vector<std::string> r;
+  std::vector<std::string> s;
+
+  /// \name Typed parameter accessors (returning `fallback` when absent).
+  /// @{
+  double GetDouble(const std::string& key, double fallback) const;
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  /// @}
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, bool value);
+};
+
+/// \brief Serializes a reproducer to the `ssjoin-fuzz-repro v1` text format:
+///
+///   ssjoin-fuzz-repro v1
+///   scenario: <name>
+///   param <key> <value>        (one line per param, sorted by key)
+///   r <count>
+///   "<escaped string>"         (count lines)
+///   s <count>
+///   "<escaped string>"         (count lines)
+///
+/// Strings are double-quoted with `\"`, `\\`, and `\xNN` escapes for every
+/// byte outside printable ASCII, so binary/high-byte workloads survive the
+/// round trip byte-exactly.
+std::string FormatReproducer(const Reproducer& repro);
+
+/// Parses the text format back; rejects malformed files with a clear error.
+Result<Reproducer> ParseReproducer(const std::string& text);
+
+/// Reads and parses a reproducer file.
+Result<Reproducer> LoadReproducerFile(const std::string& path);
+
+/// Writes `repro` to `path` (truncating).
+Status SaveReproducerFile(const Reproducer& repro, const std::string& path);
+
+}  // namespace ssjoin::fuzz
+
+#endif  // SSJOIN_FUZZ_REPRODUCER_H_

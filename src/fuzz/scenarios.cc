@@ -1,0 +1,640 @@
+#include "fuzz/scenarios.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <memory>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/predicate.h"
+#include "core/ssjoin.h"
+#include "exec/parallel_ssjoin.h"
+#include "fuzz/oracles.h"
+#include "fuzz/shrink.h"
+#include "fuzz/workload.h"
+#include "serve/lookup_service.h"
+#include "serve/snapshot.h"
+#include "sim/edit_distance.h"
+#include "simjoin/fuzzy_match.h"
+#include "simjoin/ges_join.h"
+#include "simjoin/gravano.h"
+#include "simjoin/prep.h"
+#include "simjoin/string_joins.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::fuzz {
+
+namespace {
+
+using simjoin::MatchPair;
+using simjoin::Prepared;
+using simjoin::WeightMode;
+
+constexpr double kOverlapTol = 1e-9;
+
+constexpr core::SSJoinAlgorithm kAllAlgorithms[] = {
+    core::SSJoinAlgorithm::kNaive,
+    core::SSJoinAlgorithm::kBasic,
+    core::SSJoinAlgorithm::kInvertedIndex,
+    core::SSJoinAlgorithm::kPrefixFilter,
+    core::SSJoinAlgorithm::kPrefixFilterInline,
+};
+
+std::string PairStr(uint32_t r, uint32_t s, double sim) {
+  return StringPrintf("(%u, %u, sim=%.17g)", r, s, sim);
+}
+
+/// Exact pair-set comparison of two sorted match lists; similarities must
+/// agree within `tol` (0 = bitwise).
+bool SameMatches(const std::string& name, std::vector<MatchPair> got,
+                 std::vector<MatchPair> want, double tol, std::string* detail) {
+  simjoin::SortMatches(&got);
+  simjoin::SortMatches(&want);
+  size_t i = 0;
+  size_t j = 0;
+  while (i < got.size() || j < want.size()) {
+    bool take_got = j == want.size() ||
+                    (i < got.size() && (got[i].r < want[j].r ||
+                                        (got[i].r == want[j].r &&
+                                         got[i].s < want[j].s)));
+    bool take_want = i == got.size() ||
+                     (j < want.size() && (want[j].r < got[i].r ||
+                                          (want[j].r == got[i].r &&
+                                           want[j].s < got[i].s)));
+    if (take_got) {
+      *detail = name + ": extra pair " + PairStr(got[i].r, got[i].s,
+                                                 got[i].similarity);
+      return false;
+    }
+    if (take_want) {
+      *detail = name + ": missing pair " + PairStr(want[j].r, want[j].s,
+                                                   want[j].similarity);
+      return false;
+    }
+    double diff = std::abs(got[i].similarity - want[j].similarity);
+    if (diff > tol) {
+      *detail = name + ": similarity mismatch at " +
+                PairStr(got[i].r, got[i].s, got[i].similarity) + " vs oracle " +
+                PairStr(want[j].r, want[j].s, want[j].similarity);
+      return false;
+    }
+    ++i;
+    ++j;
+  }
+  return true;
+}
+
+/// Every pair of `sub` must appear in `super` with a similarity within `tol`.
+bool SubsetOf(const std::string& name, std::vector<MatchPair> sub,
+              std::vector<MatchPair> super, double tol, std::string* detail) {
+  simjoin::SortMatches(&sub);
+  simjoin::SortMatches(&super);
+  size_t j = 0;
+  for (const MatchPair& m : sub) {
+    while (j < super.size() &&
+           (super[j].r < m.r || (super[j].r == m.r && super[j].s < m.s))) {
+      ++j;
+    }
+    if (j == super.size() || !(super[j] == m)) {
+      *detail = name + ": pair " + PairStr(m.r, m.s, m.similarity) +
+                " not in oracle result";
+      return false;
+    }
+    if (std::abs(super[j].similarity - m.similarity) > tol) {
+      *detail = name + ": similarity mismatch at " +
+                PairStr(m.r, m.s, m.similarity) + " vs oracle " +
+                PairStr(super[j].r, super[j].s, super[j].similarity);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<MatchPair> ToMatches(const std::vector<core::SSJoinPair>& pairs) {
+  std::vector<MatchPair> out;
+  out.reserve(pairs.size());
+  for (const core::SSJoinPair& p : pairs) out.push_back({p.r, p.s, p.overlap});
+  return out;
+}
+
+std::unique_ptr<text::Tokenizer> MakeTokenizer(bool word_tokens, size_t q) {
+  if (word_tokens) return std::make_unique<text::WordTokenizer>();
+  return std::make_unique<text::QGramTokenizer>(q);
+}
+
+simjoin::JoinExecution MakeExecution(const Reproducer& rp) {
+  simjoin::JoinExecution exec;
+  exec.algorithm = kAllAlgorithms[rp.GetUint("algorithm", 4) %
+                                  std::size(kAllAlgorithms)];
+  exec.exec.num_threads = rp.GetUint("threads", 1);
+  exec.exec.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2048));
+  return exec;
+}
+
+/// Per-pair edit budget under edit-similarity threshold alpha (the same
+/// floor the joins use).
+size_t EditSimBudget(double alpha, size_t len_r, size_t len_s) {
+  double allowed = (1.0 - alpha) * static_cast<double>(std::max(len_r, len_s));
+  return static_cast<size_t>(std::floor(allowed + 1e-9));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario checks
+// ---------------------------------------------------------------------------
+
+Result<CheckResult> CheckSSJoinExecutors(const Reproducer& rp) {
+  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  auto mode = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
+  std::unique_ptr<text::Tokenizer> tok =
+      MakeTokenizer(rp.GetBool("word_tokens", true), q);
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
+                          PrepareStrings(rp.r, rp.s, *tok, mode));
+
+  core::OverlapPredicate pred;
+  switch (rp.GetUint("pred_kind", 2) % 3) {
+    case 0:
+      pred = core::OverlapPredicate::Absolute(rp.GetDouble("threshold", 1.0));
+      break;
+    case 1:
+      pred = core::OverlapPredicate::OneSidedNormalized(rp.GetDouble("alpha", 0.5));
+      break;
+    default:
+      pred = core::OverlapPredicate::TwoSidedNormalized(rp.GetDouble("alpha", 0.5));
+      break;
+  }
+
+  std::vector<core::SSJoinPair> oracle =
+      SSJoinOracle(prep.r, prep.s, prep.weights, pred);
+  core::SortPairs(&oracle);
+  std::vector<MatchPair> oracle_matches = ToMatches(oracle);
+
+  exec::ExecContext parallel_ctx;
+  parallel_ctx.num_threads = std::max<uint64_t>(2, rp.GetUint("threads", 2));
+  parallel_ctx.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2));
+
+  CheckResult result;
+  for (core::SSJoinAlgorithm algorithm : kAllAlgorithms) {
+    for (bool parallel : {false, true}) {
+      core::SSJoinContext ctx = prep.Context();
+      if (parallel) ctx.exec = &parallel_ctx;
+      Result<std::vector<core::SSJoinPair>> got =
+          exec::ExecuteSSJoin(algorithm, prep.r, prep.s, pred, ctx, nullptr);
+      std::string name = std::string(core::SSJoinAlgorithmName(algorithm)) +
+                         (parallel ? " (parallel)" : " (serial)");
+      if (!got.ok()) {
+        result.pass = false;
+        result.detail = name + " failed: " + got.status().ToString();
+        return result;
+      }
+      core::SortPairs(&got.ValueOrDie());
+      if (!SameMatches(name, ToMatches(*got), oracle_matches, kOverlapTol,
+                       &result.detail)) {
+        result.pass = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+Result<CheckResult> CheckEditDistanceJoins(const Reproducer& rp) {
+  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  size_t d = rp.GetUint("max_distance", 1);
+
+  std::vector<MatchPair> oracle;
+  for (uint32_t i = 0; i < rp.r.size(); ++i) {
+    for (uint32_t j = 0; j < rp.s.size(); ++j) {
+      size_t ed = sim::EditDistanceBounded(rp.r[i], rp.s[j], d);
+      if (ed <= d) oracle.push_back({i, j, -static_cast<double>(ed)});
+    }
+  }
+
+  CheckResult result;
+  Result<std::vector<MatchPair>> gravano =
+      simjoin::GravanoEditDistanceJoin(rp.r, rp.s, d, q);
+  if (!gravano.ok()) {
+    return CheckResult{false, "GravanoEditDistanceJoin failed: " +
+                                  gravano.status().ToString()};
+  }
+  if (!SameMatches("GravanoEditDistanceJoin", *gravano, oracle, 0.0,
+                   &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+
+  Result<std::vector<MatchPair>> ssjoin =
+      simjoin::EditDistanceJoin(rp.r, rp.s, d, q, MakeExecution(rp));
+  if (!ssjoin.ok()) {
+    return CheckResult{false,
+                       "EditDistanceJoin failed: " + ssjoin.status().ToString()};
+  }
+  if (!SubsetOf("EditDistanceJoin (precision)", *ssjoin, oracle, 0.0,
+                &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+  std::vector<MatchPair> sound = FilterToSoundBound(
+      oracle, rp.r, rp.s, q, [d](size_t, size_t) { return d; });
+  if (!SubsetOf("EditDistanceJoin (recall, sound-bound regime)", sound, *ssjoin,
+                0.0, &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+  return result;
+}
+
+Result<CheckResult> CheckEditSimilarityJoins(const Reproducer& rp) {
+  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  double alpha = rp.GetDouble("alpha", 0.8);
+
+  Result<std::vector<MatchPair>> oracle =
+      simjoin::CrossProductEditSimilarityJoin(rp.r, rp.s, alpha);
+  if (!oracle.ok()) return oracle.status();
+
+  CheckResult result;
+  Result<std::vector<MatchPair>> gravano =
+      simjoin::GravanoEditSimilarityJoin(rp.r, rp.s, alpha, q);
+  if (!gravano.ok()) {
+    return CheckResult{false, "GravanoEditSimilarityJoin failed: " +
+                                  gravano.status().ToString()};
+  }
+  if (!SameMatches("GravanoEditSimilarityJoin", *gravano, *oracle, 0.0,
+                   &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+
+  Result<std::vector<MatchPair>> ssjoin =
+      simjoin::EditSimilarityJoin(rp.r, rp.s, alpha, q, MakeExecution(rp));
+  if (!ssjoin.ok()) {
+    return CheckResult{
+        false, "EditSimilarityJoin failed: " + ssjoin.status().ToString()};
+  }
+  if (!SubsetOf("EditSimilarityJoin (precision)", *ssjoin, *oracle, 0.0,
+                &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+  std::vector<MatchPair> sound =
+      FilterToSoundBound(*oracle, rp.r, rp.s, q, [alpha](size_t lr, size_t ls) {
+        return EditSimBudget(alpha, lr, ls);
+      });
+  if (!SubsetOf("EditSimilarityJoin (recall, sound-bound regime)", sound,
+                *ssjoin, 0.0, &result.detail)) {
+    result.pass = false;
+    return result;
+  }
+  return result;
+}
+
+Result<CheckResult> CheckJaccardJoins(const Reproducer& rp) {
+  simjoin::SetJoinOptions opts;
+  opts.word_tokens = rp.GetBool("word_tokens", true);
+  opts.q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  opts.weights = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
+  double alpha = rp.GetDouble("alpha", 0.5);
+  simjoin::JoinExecution exec = MakeExecution(rp);
+
+  std::unique_ptr<text::Tokenizer> tok = MakeTokenizer(opts.word_tokens, opts.q);
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
+                          PrepareStrings(rp.r, rp.s, *tok, opts.weights));
+  SSJOIN_ASSIGN_OR_RETURN(
+      Prepared prep_sq,
+      PrepareStrings(rp.r, rp.s, *tok, WeightMode::kIdfSquared));
+
+  CheckResult result;
+  struct Case {
+    const char* name;
+    Result<std::vector<MatchPair>> got;
+    std::vector<MatchPair> oracle;
+  };
+  Case cases[] = {
+      {"JaccardContainmentJoin",
+       simjoin::JaccardContainmentJoin(rp.r, rp.s, alpha, opts, exec),
+       CrossProductJaccardContainment(prep, alpha)},
+      {"JaccardResemblanceJoin",
+       simjoin::JaccardResemblanceJoin(rp.r, rp.s, alpha, opts, exec),
+       CrossProductJaccardResemblance(prep, alpha)},
+      {"CosineJoin", simjoin::CosineJoin(rp.r, rp.s, alpha, opts, exec),
+       CrossProductCosine(prep_sq, alpha)},
+  };
+  for (Case& c : cases) {
+    if (!c.got.ok()) {
+      return CheckResult{false, std::string(c.name) +
+                                    " failed: " + c.got.status().ToString()};
+    }
+    if (!SameMatches(c.name, *c.got, c.oracle, kOverlapTol, &result.detail)) {
+      result.pass = false;
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<CheckResult> CheckGESJoin(const Reproducer& rp) {
+  double alpha = rp.GetDouble("alpha", 0.7);
+  Result<std::vector<MatchPair>> ges = simjoin::GESJoin(rp.r, rp.s, alpha);
+  if (!ges.ok()) {
+    return CheckResult{false, "GESJoin failed: " + ges.status().ToString()};
+  }
+  Result<std::vector<MatchPair>> brute =
+      simjoin::GESJoinBruteForce(rp.r, rp.s, alpha);
+  if (!brute.ok()) return brute.status();
+  CheckResult result;
+  // GESJoin is precision-exact (candidates pass the exact GES UDF) but its
+  // candidate generation is high-recall by design, not guaranteed-complete —
+  // so the differential invariant is subset-with-equal-similarity.
+  if (!SubsetOf("GESJoin (precision)", *ges, *brute, kOverlapTol,
+                &result.detail)) {
+    result.pass = false;
+  }
+  return result;
+}
+
+bool SameLookups(const std::string& name,
+                 const std::vector<simjoin::FuzzyMatchIndex::Match>& got,
+                 const std::vector<simjoin::FuzzyMatchIndex::Match>& want,
+                 const std::string& query, std::string* detail) {
+  if (got.size() != want.size()) {
+    *detail = name + ": result count " + std::to_string(got.size()) + " vs " +
+              std::to_string(want.size()) + " for query \"" + query + "\"";
+    return false;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].ref_index != want[i].ref_index ||
+        got[i].similarity != want[i].similarity) {
+      *detail = name + ": match " + std::to_string(i) + " diverges (" +
+                PairStr(got[i].ref_index, 0, got[i].similarity) + " vs " +
+                PairStr(want[i].ref_index, 0, want[i].similarity) +
+                ") for query \"" + query + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
+simjoin::FuzzyMatchIndex::Options IndexOptions(const Reproducer& rp) {
+  simjoin::FuzzyMatchIndex::Options options;
+  options.word_tokens = rp.GetBool("word_tokens", true);
+  options.q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  options.alpha = rp.GetDouble("alpha", 0.5);
+  return options;
+}
+
+Result<CheckResult> CheckSnapshotRoundtrip(const Reproducer& rp) {
+  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index,
+                          simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+
+  std::vector<std::vector<simjoin::FuzzyMatchIndex::Match>> direct;
+  direct.reserve(rp.s.size());
+  for (const std::string& query : rp.s) direct.push_back(index.Lookup(query, k));
+
+  // Unique temp path: parallel fuzz/test processes must not collide.
+  static std::atomic<uint64_t> counter{0};
+  std::string base =
+      (std::filesystem::temp_directory_path() /
+       StringPrintf("ssjoin_fuzz_%d_%llu", static_cast<int>(::getpid()),
+                    static_cast<unsigned long long>(
+                        counter.fetch_add(1, std::memory_order_relaxed))))
+          .string();
+
+  CheckResult result;
+  for (uint32_t version : {serve::kSnapshotVersion, serve::kSnapshotVersionNested}) {
+    std::string path = base + "_v" + std::to_string(version) + ".snap";
+    Status saved = serve::SaveSnapshotAtVersion(index, path, version);
+    if (!saved.ok()) {
+      return CheckResult{false, "SaveSnapshot v" + std::to_string(version) +
+                                    " failed: " + saved.ToString()};
+    }
+    Result<simjoin::FuzzyMatchIndex> loaded = serve::LoadSnapshot(path);
+    std::filesystem::remove(path);
+    if (!loaded.ok()) {
+      return CheckResult{false, "LoadSnapshot v" + std::to_string(version) +
+                                    " failed: " + loaded.status().ToString()};
+    }
+    for (size_t i = 0; i < rp.s.size(); ++i) {
+      if (!SameLookups("snapshot v" + std::to_string(version),
+                       loaded->Lookup(rp.s[i], k), direct[i], rp.s[i],
+                       &result.detail)) {
+        result.pass = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+Result<CheckResult> CheckLookupService(const Reproducer& rp) {
+  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index,
+                          simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+  // Build is deterministic, so a second build gives a bit-identical index
+  // for the service to own.
+  SSJOIN_ASSIGN_OR_RETURN(
+      simjoin::FuzzyMatchIndex service_index,
+      simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+
+  serve::LookupServiceOptions options;
+  options.cache_capacity = rp.GetBool("cache_on", true) ? 256 : 0;
+  options.exec.num_threads = std::max<uint64_t>(1, rp.GetUint("threads", 1));
+  options.max_batch = std::max<uint64_t>(1, rp.GetUint("max_batch", 4));
+  SSJOIN_ASSIGN_OR_RETURN(
+      std::unique_ptr<serve::LookupService> service,
+      serve::LookupService::Create(std::move(service_index), options));
+
+  CheckResult result;
+  std::string name = options.cache_capacity > 0 ? "LookupService (cache on)"
+                                                : "LookupService (cache off)";
+  // Two passes: pass 2 exercises the cache-hit path when caching is on.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& query : rp.s) {
+      Result<std::vector<serve::LookupService::Match>> served =
+          service->Lookup(query, k);
+      if (!served.ok()) {
+        return CheckResult{false, name + " Lookup failed: " +
+                                      served.status().ToString()};
+      }
+      if (!SameLookups(name + (pass == 0 ? " pass1" : " pass2"), *served,
+                       index.Lookup(query, k), query, &result.detail)) {
+        result.pass = false;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+void GenerateCollections(Rng* rng, const WorkloadOptions& opts, Reproducer* rp) {
+  rp->r = GenerateStrings(rng, opts);
+  // Self-joins get their own draw: many bugs (and the paper's experiments)
+  // are self-join shaped.
+  rp->s = rng->Bernoulli(0.3) ? rp->r : GenerateStrings(rng, opts);
+}
+
+}  // namespace
+
+std::vector<std::string> AllScenarios() {
+  return {"ssjoin_executors",      "edit_distance_joins",
+          "edit_similarity_joins", "jaccard_joins",
+          "ges_join",              "snapshot_roundtrip",
+          "lookup_service"};
+}
+
+Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
+  Reproducer rp;
+  rp.scenario = scenario;
+  rp.Set("seed", seed);
+  Rng rng(HashCombine(HashString(scenario), seed));
+  WorkloadOptions wopts;
+
+  if (scenario == "ssjoin_executors") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("word_tokens", rng.Bernoulli(0.7));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("weight_mode", rng.Uniform(3));
+    rp.Set("pred_kind", rng.Uniform(3));
+    rp.Set("alpha", 0.1 + 0.85 * rng.NextDouble());
+    rp.Set("threshold", 0.25 + 3.75 * rng.NextDouble());
+    rp.Set("threads", 2 + rng.Uniform(3));
+    rp.Set("morsel", 1 + rng.Uniform(4));
+  } else if (scenario == "edit_distance_joins") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("max_distance", rng.Uniform(4));
+    rp.Set("algorithm", rng.Uniform(5));
+    rp.Set("threads", 1 + rng.Uniform(2));
+    rp.Set("morsel", 1 + rng.Uniform(4));
+  } else if (scenario == "edit_similarity_joins") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.3 + 0.65 * rng.NextDouble());
+    rp.Set("algorithm", rng.Uniform(5));
+    rp.Set("threads", 1 + rng.Uniform(2));
+    rp.Set("morsel", 1 + rng.Uniform(4));
+  } else if (scenario == "jaccard_joins") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("word_tokens", rng.Bernoulli(0.6));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("weight_mode", rng.Uniform(3));
+    rp.Set("alpha", 0.2 + 0.7 * rng.NextDouble());
+    rp.Set("algorithm", rng.Uniform(5));
+    rp.Set("threads", 1 + rng.Uniform(2));
+    rp.Set("morsel", 1 + rng.Uniform(4));
+  } else if (scenario == "ges_join") {
+    // GES runs a recursive SSJoin plus a quadratic brute-force oracle; keep
+    // the workload small.
+    wopts.max_records = 8;
+    wopts.max_length = 10;
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("alpha", 0.5 + 0.4 * rng.NextDouble());
+  } else if (scenario == "snapshot_roundtrip") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("word_tokens", rng.Bernoulli(0.5));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.2 + 0.6 * rng.NextDouble());
+    rp.Set("k", 1 + rng.Uniform(5));
+  } else if (scenario == "lookup_service") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("word_tokens", rng.Bernoulli(0.5));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.2 + 0.6 * rng.NextDouble());
+    rp.Set("k", 1 + rng.Uniform(5));
+    rp.Set("cache_on", rng.Bernoulli(0.5));
+    rp.Set("threads", 1 + rng.Uniform(2));
+    rp.Set("max_batch", 1 + rng.Uniform(8));
+  } else {
+    // Unknown scenario: leave an empty workload; CheckCase will reject it.
+  }
+  return rp;
+}
+
+Result<CheckResult> CheckCase(const Reproducer& repro) {
+  if (repro.scenario == "ssjoin_executors") return CheckSSJoinExecutors(repro);
+  if (repro.scenario == "edit_distance_joins") {
+    return CheckEditDistanceJoins(repro);
+  }
+  if (repro.scenario == "edit_similarity_joins") {
+    return CheckEditSimilarityJoins(repro);
+  }
+  if (repro.scenario == "jaccard_joins") return CheckJaccardJoins(repro);
+  if (repro.scenario == "ges_join") return CheckGESJoin(repro);
+  if (repro.scenario == "snapshot_roundtrip") {
+    return CheckSnapshotRoundtrip(repro);
+  }
+  if (repro.scenario == "lookup_service") return CheckLookupService(repro);
+  return Status::Invalid("unknown fuzz scenario: " + repro.scenario);
+}
+
+Result<FuzzReport> RunFuzz(const FuzzOptions& options) {
+  std::vector<std::string> scenarios;
+  if (options.scenario == "all") {
+    scenarios = AllScenarios();
+  } else {
+    std::vector<std::string> known = AllScenarios();
+    if (std::find(known.begin(), known.end(), options.scenario) == known.end()) {
+      return Status::Invalid("unknown fuzz scenario: " + options.scenario);
+    }
+    scenarios.push_back(options.scenario);
+  }
+
+  FuzzReport report;
+  for (uint64_t seed = options.start_seed;
+       seed < options.start_seed + options.seeds; ++seed) {
+    for (const std::string& scenario : scenarios) {
+      Reproducer rp = GenerateCase(scenario, seed);
+      SSJOIN_ASSIGN_OR_RETURN(CheckResult res, CheckCase(rp));
+      ++report.cases_run;
+      if (options.verbose) {
+        std::fprintf(stderr, "[fuzz] %s seed=%llu: %s\n", scenario.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     res.pass ? "ok" : res.detail.c_str());
+      }
+      if (res.pass) continue;
+
+      ++report.failures;
+      if (report.first_failure_detail.empty()) {
+        report.first_failure_detail = res.detail;
+      }
+      if (options.shrink) {
+        ShrinkStats shrink_stats;
+        rp = ShrinkReproducer(
+            rp,
+            [](const Reproducer& candidate) {
+              Result<CheckResult> r = CheckCase(candidate);
+              return !r.ok() || !r->pass;
+            },
+            options.max_shrink_checks, &shrink_stats);
+        if (options.verbose) {
+          std::fprintf(stderr,
+                       "[fuzz] shrunk to %zu+%zu records (%zu checks, "
+                       "-%zu records, -%zu bytes)\n",
+                       rp.r.size(), rp.s.size(), shrink_stats.checks_run,
+                       shrink_stats.records_removed, shrink_stats.bytes_removed);
+        }
+      }
+      if (!options.out_dir.empty()) {
+        std::string path = options.out_dir + "/" + scenario + "-seed" +
+                           std::to_string(seed) + ".repro";
+        Status saved = SaveReproducerFile(rp, path);
+        if (!saved.ok()) return saved;
+        report.reproducer_paths.push_back(path);
+      }
+      if (report.failures >= options.max_failures) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace ssjoin::fuzz

@@ -1,0 +1,93 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+
+namespace ssjoin::fuzz {
+
+namespace {
+
+struct Budget {
+  size_t remaining;
+  ShrinkStats* stats;
+
+  bool Check(const StillFailsFn& still_fails, const Reproducer& candidate) {
+    if (remaining == 0) return false;
+    --remaining;
+    if (stats != nullptr) ++stats->checks_run;
+    return still_fails(candidate);
+  }
+};
+
+/// One ddmin sweep over a string list: tries deleting [i, i+chunk) for
+/// decreasing chunk sizes, keeping deletions that preserve the failure.
+/// Returns true if anything was removed.
+bool ShrinkList(Reproducer* repro, std::vector<std::string> Reproducer::*list,
+                const StillFailsFn& still_fails, Budget* budget) {
+  bool changed = false;
+  for (size_t chunk = std::max<size_t>(1, (repro->*list).size() / 2); chunk >= 1;
+       chunk /= 2) {
+    for (size_t i = 0; i + chunk <= (repro->*list).size();) {
+      Reproducer candidate = *repro;
+      auto& v = candidate.*list;
+      v.erase(v.begin() + static_cast<ptrdiff_t>(i),
+              v.begin() + static_cast<ptrdiff_t>(i + chunk));
+      if (budget->Check(still_fails, candidate)) {
+        if (budget->stats != nullptr) budget->stats->records_removed += chunk;
+        *repro = std::move(candidate);
+        changed = true;
+        // Do not advance: the next chunk shifted into position i.
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return changed;
+}
+
+/// ddmin over the bytes of every string in both lists.
+bool ShrinkBytes(Reproducer* repro, const StillFailsFn& still_fails,
+                 Budget* budget) {
+  bool changed = false;
+  for (std::vector<std::string> Reproducer::*list : {&Reproducer::r,
+                                                     &Reproducer::s}) {
+    for (size_t idx = 0; idx < (repro->*list).size(); ++idx) {
+      for (size_t chunk = std::max<size_t>(1, (repro->*list)[idx].size() / 2);
+           chunk >= 1; chunk /= 2) {
+        for (size_t i = 0; i + chunk <= (repro->*list)[idx].size();) {
+          Reproducer candidate = *repro;
+          std::string& s = (candidate.*list)[idx];
+          s.erase(i, chunk);
+          if (budget->Check(still_fails, candidate)) {
+            if (budget->stats != nullptr) budget->stats->bytes_removed += chunk;
+            *repro = std::move(candidate);
+            changed = true;
+          } else {
+            i += chunk;
+          }
+        }
+        if (chunk == 1) break;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Reproducer ShrinkReproducer(Reproducer repro, const StillFailsFn& still_fails,
+                            size_t max_checks, ShrinkStats* stats) {
+  Budget budget{max_checks, stats};
+  // Iterate record- and byte-level passes to a fixed point: removing bytes
+  // can make whole records removable and vice versa.
+  bool changed = true;
+  while (changed && budget.remaining > 0) {
+    changed = false;
+    changed |= ShrinkList(&repro, &Reproducer::r, still_fails, &budget);
+    changed |= ShrinkList(&repro, &Reproducer::s, still_fails, &budget);
+    changed |= ShrinkBytes(&repro, still_fails, &budget);
+  }
+  return repro;
+}
+
+}  // namespace ssjoin::fuzz

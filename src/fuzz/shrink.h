@@ -1,0 +1,38 @@
+#ifndef SSJOIN_FUZZ_SHRINK_H_
+#define SSJOIN_FUZZ_SHRINK_H_
+
+#include <functional>
+
+#include "fuzz/reproducer.h"
+
+namespace ssjoin::fuzz {
+
+/// Returns true when a candidate reproducer still exhibits the failure.
+using StillFailsFn = std::function<bool(const Reproducer&)>;
+
+/// Budget/outcome of one shrink run.
+struct ShrinkStats {
+  size_t checks_run = 0;
+  size_t records_removed = 0;
+  size_t bytes_removed = 0;
+};
+
+/// \brief Greedy delta-debugging minimizer for a failing reproducer.
+///
+/// Two nested ddmin passes, iterated to a fixed point (bounded by
+/// `max_checks` evaluations of `still_fails`):
+///  1. record level — try deleting chunks of the r and s string lists,
+///     halving the chunk size from n/2 down to 1;
+///  2. byte level — for each surviving string, try deleting chunks of its
+///     bytes, again halving down to 1.
+///
+/// Every accepted deletion must keep `still_fails` true, so the result is a
+/// (locally) 1-minimal workload that reproduces the original failure.
+/// `still_fails(repro)` must be deterministic.
+Reproducer ShrinkReproducer(Reproducer repro, const StillFailsFn& still_fails,
+                            size_t max_checks = 4000,
+                            ShrinkStats* stats = nullptr);
+
+}  // namespace ssjoin::fuzz
+
+#endif  // SSJOIN_FUZZ_SHRINK_H_

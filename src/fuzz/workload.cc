@@ -1,0 +1,91 @@
+#include "fuzz/workload.h"
+
+#include <cstddef>
+
+namespace ssjoin::fuzz {
+
+namespace {
+
+// Intentionally tiny alphabet plus a space so that word tokenizers see
+// multi-token strings and q-gram collisions across records are common.
+constexpr char kAlphabet[] = "abcd ";
+constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+
+char NormalChar(Rng* rng) {
+  return kAlphabet[rng->Uniform(kAlphabetSize)];
+}
+
+}  // namespace
+
+std::string GenerateString(Rng* rng, const WorkloadOptions& opts) {
+  double roll = rng->NextDouble();
+  if (roll < opts.p_empty) return std::string();
+  roll -= opts.p_empty;
+  if (roll < opts.p_short) {
+    std::string s;
+    size_t len = 1 + rng->Uniform(3);
+    for (size_t i = 0; i < len; ++i) s.push_back(NormalChar(rng));
+    return s;
+  }
+  roll -= opts.p_short;
+  if (roll < opts.p_repeated_char) {
+    size_t len = 1 + rng->Uniform(opts.max_length);
+    return std::string(len, NormalChar(rng));
+  }
+  roll -= opts.p_repeated_char;
+  if (roll < opts.p_high_byte) {
+    std::string s;
+    size_t len = 1 + rng->Uniform(opts.max_length);
+    for (size_t i = 0; i < len; ++i) {
+      if (rng->Bernoulli(0.2)) {
+        s.push_back(' ');
+      } else {
+        s.push_back(static_cast<char>(0x80 + rng->Uniform(0x80)));
+      }
+    }
+    return s;
+  }
+  std::string s;
+  size_t len = 1 + rng->Uniform(opts.max_length);
+  for (size_t i = 0; i < len; ++i) s.push_back(NormalChar(rng));
+  return s;
+}
+
+std::string MutateString(Rng* rng, const std::string& s) {
+  std::string out = s;
+  switch (rng->Uniform(3)) {
+    case 0: {  // insert
+      size_t pos = rng->Uniform(out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos), NormalChar(rng));
+      break;
+    }
+    case 1: {  // delete
+      if (out.empty()) break;
+      out.erase(out.begin() + static_cast<ptrdiff_t>(rng->Uniform(out.size())));
+      break;
+    }
+    default: {  // substitute
+      if (out.empty()) break;
+      out[rng->Uniform(out.size())] = NormalChar(rng);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> GenerateStrings(Rng* rng, const WorkloadOptions& opts) {
+  size_t n = 1 + rng->Uniform(opts.max_records);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!out.empty() && rng->Bernoulli(opts.p_duplicate)) {
+      const std::string& base = out[rng->Uniform(out.size())];
+      out.push_back(rng->Bernoulli(0.5) ? base : MutateString(rng, base));
+    } else {
+      out.push_back(GenerateString(rng, opts));
+    }
+  }
+  return out;
+}
+
+}  // namespace ssjoin::fuzz

@@ -1,0 +1,41 @@
+#ifndef SSJOIN_FUZZ_WORKLOAD_H_
+#define SSJOIN_FUZZ_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ssjoin::fuzz {
+
+/// Knobs for the random string-collection generator.
+struct WorkloadOptions {
+  size_t max_records = 24;
+  size_t max_length = 16;
+  /// Probabilities of the adversarial string classes. The remainder of the
+  /// probability mass produces "normal" strings over a small alphabet (small
+  /// so that collisions, shared grams and near-duplicates are frequent).
+  double p_empty = 0.08;
+  double p_short = 0.25;          ///< length 1..3, below typical q
+  double p_repeated_char = 0.08;  ///< one character repeated
+  double p_high_byte = 0.08;      ///< bytes in [0x80, 0xff] and separators
+  /// Probability that a record duplicates (possibly with a small edit) an
+  /// earlier record — near-duplicates are where join bugs live.
+  double p_duplicate = 0.3;
+};
+
+/// \brief Draws one adversarial string: empty, short, repeated-char,
+/// high-byte or normal, per the class probabilities in `opts`.
+std::string GenerateString(Rng* rng, const WorkloadOptions& opts);
+
+/// \brief Draws a collection of 1..max_records strings, with duplicates and
+/// near-duplicates of earlier records mixed in per `p_duplicate`.
+std::vector<std::string> GenerateStrings(Rng* rng, const WorkloadOptions& opts);
+
+/// \brief Mutates `s` with one random small edit (insert/delete/substitute a
+/// byte) — used both by the generator's near-duplicate path and by tests.
+std::string MutateString(Rng* rng, const std::string& s);
+
+}  // namespace ssjoin::fuzz
+
+#endif  // SSJOIN_FUZZ_WORKLOAD_H_

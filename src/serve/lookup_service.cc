@@ -59,6 +59,14 @@ std::string LookupService::CacheKey(const std::string& query, size_t k) const {
 Result<std::vector<LookupService::Match>> LookupService::Lookup(
     const std::string& query, size_t k, std::chrono::milliseconds deadline) {
   Clock::time_point start = Clock::now();
+  if (deadline.count() < 0) {
+    // An already-expired deadline can never be met; reject at admission so
+    // it neither queues nor touches the index (it would previously be
+    // admitted as if it had no deadline at all).
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
   std::string cache_key = CacheKey(query, k);
   if (auto cached = cache_.Get(cache_key)) {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -97,6 +105,11 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.cache_misses.fetch_add(1, std::memory_order_relaxed);
     metrics_.latency.Record(MicrosSince(start));
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    // Deadline expiries are requests the service answered (with an error),
+    // not load shedding: they count toward requests, unlike overload
+    // rejections.
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
   }
   return result;
 }

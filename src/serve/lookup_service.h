@@ -72,8 +72,9 @@ class LookupService {
 
   /// The best `k` matches for `query` (see FuzzyMatchIndex::Lookup), or:
   ///  - Unavailable        if the admission queue is full or shutting down,
-  ///  - DeadlineExceeded   if `deadline` elapsed before dispatch
-  ///    (deadline zero = no deadline).
+  ///  - DeadlineExceeded   if `deadline` elapsed before dispatch; a negative
+  ///    `deadline` (already expired at the call) is rejected at admission
+  ///    without queueing (deadline zero = no deadline).
   /// Blocks the caller until the result is ready; safe to call from any
   /// number of threads concurrently.
   Result<std::vector<Match>> Lookup(

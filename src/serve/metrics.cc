@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ssjoin::serve {
@@ -23,6 +24,14 @@ double LatencyHistogram::Quantile(double q) const {
     if (static_cast<double>(running + counts[b]) >= target) {
       double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
       double hi = static_cast<double>(uint64_t{1} << (b + 1));
+      // The recorded maximum is the distribution's true upper edge: it
+      // tightens interpolation inside the maximum's own bucket and replaces
+      // the overflow bucket's nominal edge entirely (that bucket absorbs
+      // everything above ~2.3 hours, so 2^33us would understate it).
+      double max_us = static_cast<double>(max_micros());
+      if (b + 1 == kBuckets || (max_us >= lo && max_us < hi)) {
+        hi = std::max(lo, max_us);
+      }
       double frac = (target - static_cast<double>(running)) /
                     static_cast<double>(counts[b]);
       return lo + frac * (hi - lo);

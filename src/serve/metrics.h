@@ -50,9 +50,9 @@ class LatencyHistogram {
 /// \brief Request counters and latency for one LookupService, updated
 /// concurrently by client threads and the dispatcher.
 struct ServiceMetrics {
-  std::atomic<uint64_t> requests{0};            // admitted lookups
+  std::atomic<uint64_t> requests{0};            // answered lookups: ok + deadline-failed
   std::atomic<uint64_t> rejected_overload{0};   // admission queue full
-  std::atomic<uint64_t> rejected_deadline{0};   // expired before dispatch
+  std::atomic<uint64_t> rejected_deadline{0};   // expired at admission or before dispatch
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> batches{0};             // micro-batches dispatched

@@ -17,11 +17,16 @@ QueryCache::QueryCache(size_t capacity, size_t shards) {
   size_t num_shards = RoundUpPow2(shards == 0 ? 1 : shards);
   // Never more shards than capacity: each shard holds at least one entry.
   while (num_shards > 1 && num_shards > capacity) num_shards >>= 1;
-  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
   shard_mask_ = num_shards - 1;
   shards_.reserve(num_shards);
+  // Distribute capacity exactly: base entries per shard, remainder spread
+  // over the first shards (ceil rounding on every shard would let the cache
+  // hold up to num_shards - 1 entries beyond `capacity`).
+  size_t base = capacity / num_shards;
+  size_t remainder = capacity % num_shards;
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
   }
 }
 
@@ -51,7 +56,7 @@ void QueryCache::Put(const std::string& key,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
+  if (shard.lru.size() >= shard.capacity) {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

@@ -24,9 +24,10 @@ namespace ssjoin::serve {
 /// produce bit-identical Lookup results — share one entry. Sharding by key
 /// hash keeps the lock a short per-shard critical section instead of a
 /// service-wide serialization point; each shard maintains its own intrusive
-/// LRU list. Capacity is split evenly across shards (capacity/shards entries
-/// each, minimum 1), so eviction is approximate LRU at the cache level but
-/// exact per shard.
+/// LRU list. Capacity is split exactly across shards — floor(capacity/shards)
+/// entries each, with the remainder spread one-apiece over the first shards,
+/// so the shard capacities always sum to `capacity`. Eviction is approximate
+/// LRU at the cache level but exact per shard.
 class QueryCache {
  public:
   /// `capacity` = max total entries (0 disables the cache entirely);
@@ -56,6 +57,7 @@ class QueryCache {
   };
   struct Shard {
     std::mutex mu;
+    size_t capacity = 0;
     std::list<Entry> lru;  // front = most recent
     std::unordered_map<std::string, std::list<Entry>::iterator> map;
   };
@@ -64,7 +66,6 @@ class QueryCache {
     return *shards_[HashString(key) & shard_mask_];
   }
 
-  size_t per_shard_capacity_ = 0;
   size_t shard_mask_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};

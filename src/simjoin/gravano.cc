@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <unordered_map>
+#include <utility>
 
 #include "common/timer.h"
 #include "sim/edit_distance.h"
@@ -86,6 +88,20 @@ Result<std::vector<MatchPair>> GravanoJoin(const std::vector<std::string>& r,
   Timer prep_timer;
   PositionalQGramIndex index(s, q);
   text::QGramTokenizer tokenizer(q);
+  // Short-string bucket: S grouped by length, ordered for deterministic
+  // candidate enumeration. Property 4's count filter
+  // (>= max(|s1|,|s2|) - q + 1 - q*budget shared grams) only prunes when
+  // that bound is >= 1; when it is non-positive — short strings, including
+  // the empty string, relative to q and the budget — two strings within the
+  // budget may share no q-gram at all, so requiring a common gram drops true
+  // matches. Pairs in that regime bypass gram enumeration and go straight to
+  // the verifier.
+  std::vector<std::pair<size_t, std::vector<uint32_t>>> s_by_length;
+  {
+    std::map<size_t, std::vector<uint32_t>> grouped;
+    for (uint32_t si = 0; si < s.size(); ++si) grouped[s[si].size()].push_back(si);
+    s_by_length.assign(grouped.begin(), grouped.end());
+  }
   stats->phases.Add("Prep", prep_timer.ElapsedMillis());
 
   std::vector<uint32_t> seen_epoch(s.size(), 0);
@@ -98,6 +114,21 @@ Result<std::vector<MatchPair>> GravanoJoin(const std::vector<std::string>& r,
     Timer enum_timer;
     ++epoch;
     candidates.clear();
+    for (const auto& [s_len, indices] : s_by_length) {
+      size_t budget = budget_fn(r[ri].size(), s_len);
+      size_t len_diff =
+          r[ri].size() > s_len ? r[ri].size() - s_len : s_len - r[ri].size();
+      if (len_diff > budget) continue;
+      size_t max_len = std::max(r[ri].size(), s_len);
+      // bound >= 1 <=> max_len - q + 1 - q*budget >= 1 <=> the gram filter is
+      // sound for this length pair; written as an overflow-safe ceil test.
+      if ((max_len + q) / q > budget + 1) continue;
+      for (uint32_t si : indices) {
+        if (seen_epoch[si] == epoch) continue;
+        seen_epoch[si] = epoch;
+        candidates.push_back(si);
+      }
+    }
     std::vector<std::string> grams = tokenizer.Tokenize(r[ri]);
     for (uint32_t pos = 0; pos < grams.size(); ++pos) {
       auto [begin, end] = index.Lookup(grams[pos]);

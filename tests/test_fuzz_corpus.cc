@@ -1,0 +1,52 @@
+/// Replays every reproducer in tests/fuzz_corpus/ as a regression test.
+/// Each file is a workload the fuzzer once shrank from a real failure; the
+/// differential check it encodes must now pass and stay passing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/reproducer.h"
+#include "fuzz/scenarios.h"
+
+#ifndef SSJOIN_FUZZ_CORPUS_DIR
+#error "SSJOIN_FUZZ_CORPUS_DIR must be defined by the build"
+#endif
+
+namespace ssjoin::fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SSJOIN_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() == ".repro") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(FuzzCorpusTest, CorpusIsNotEmpty) {
+  // The corpus documents real, fixed bugs; an empty directory means the
+  // replay below is vacuous.
+  EXPECT_FALSE(CorpusFiles().empty());
+}
+
+TEST(FuzzCorpusTest, EveryReproducerReplaysClean) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    Result<Reproducer> repro = LoadReproducerFile(path);
+    ASSERT_TRUE(repro.ok()) << repro.status().ToString();
+    Result<CheckResult> res = CheckCase(*repro);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->pass) << res->detail;
+  }
+}
+
+}  // namespace
+}  // namespace ssjoin::fuzz

@@ -51,6 +51,58 @@ TEST(GravanoTest, EditDistanceMatchesDirect) {
   EXPECT_EQ(ToPairSet(custom), expected);
 }
 
+TEST(GravanoTest, ShortStringsMatchCrossProduct) {
+  // Regression: Property 4's count filter only prunes when its bound
+  // max(|s1|,|s2|) - q + 1 - q*k is >= 1. Short and empty strings fall below
+  // that, can share no q-gram with a true match, and used to be silently
+  // dropped by the gram-driven candidate enumeration.
+  std::vector<std::string> data = {"",   "",    "a",   "ab",  "cb",
+                                   "ba", "abc", "abd", "xyz", "q"};
+  for (double alpha : {0.3, 0.5, 0.8}) {
+    for (size_t q : {2, 3, 4}) {
+      SCOPED_TRACE(testing::Message() << "alpha=" << alpha << " q=" << q);
+      auto custom = *GravanoEditSimilarityJoin(data, data, alpha, q);
+      auto brute = *CrossProductEditSimilarityJoin(data, data, alpha);
+      EXPECT_EQ(ToPairSet(custom), ToPairSet(brute));
+    }
+  }
+}
+
+TEST(GravanoTest, EmptyTimesEmptyIsAMatch) {
+  // ED("", "") = 0 => similarity 1 at any threshold; the pair shares no
+  // q-gram, so it only surfaces via the short-string bucket.
+  std::vector<std::string> empties = {"", ""};
+  auto sim_join = *GravanoEditSimilarityJoin(empties, empties, 0.9, 3);
+  EXPECT_EQ(sim_join.size(), 4u);
+  for (const MatchPair& m : sim_join) EXPECT_EQ(m.similarity, 1.0);
+  auto dist_join = *GravanoEditDistanceJoin(empties, empties, 0, 3);
+  EXPECT_EQ(dist_join.size(), 4u);
+}
+
+TEST(GravanoTest, EditDistanceBelowQMatches) {
+  // "ab" vs "cb" at q=3, k=1: both tokenize to a single whole-string gram
+  // ("ab" != "cb"), yet ED = 1 <= k. The bound 2 - 3 + 1 - 3 = -3 < 1 means
+  // the gram filter is unsound here.
+  std::vector<std::string> r = {"ab"};
+  std::vector<std::string> s = {"cb"};
+  auto join = *GravanoEditDistanceJoin(r, s, 1, 3);
+  ASSERT_EQ(join.size(), 1u);
+  EXPECT_EQ(join[0].similarity, -1.0);
+}
+
+TEST(GravanoTest, LongStringsStillUseGramFilter) {
+  // Sanity: the short-string bucket must not degrade long-string joins into
+  // cross products. Two long strings sharing nothing should produce no
+  // verifier call beyond the bucket-free baseline.
+  std::vector<std::string> data = {"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb"};
+  SimJoinStats stats;
+  auto join = *GravanoEditDistanceJoin(data, data, 1, 3, &stats);
+  EXPECT_EQ(join.size(), 2u);  // only the self-pairs
+  // Budget 1, q 3 => bound 16 - 3 + 1 - 3 = 11 >= 1: no bucket candidates;
+  // each string's only candidate is itself via shared grams.
+  EXPECT_EQ(stats.verifier_calls, 2u);
+}
+
 TEST(GravanoTest, DoesManyMoreComparisonsThanSSJoin) {
   // Table 1's headline: the customized join verifies orders of magnitude
   // more pairs than the SSJoin-based plan at the same threshold.

@@ -62,6 +62,37 @@ TEST(QueryCacheTest, ZeroCapacityDisables) {
   EXPECT_EQ(cache.misses(), 0u);
 }
 
+TEST(QueryCacheTest, TotalCapacityNeverExceeded) {
+  // Regression: ceil-rounding the per-shard capacity let a capacity-10 cache
+  // with 8 shards hold 16 entries (2 per shard). The remainder must instead
+  // be spread so the shard capacities sum exactly to the requested total.
+  for (auto [capacity, shards] : {std::pair<size_t, size_t>{10, 8},
+                                  {7, 4},
+                                  {8, 8},
+                                  {3, 8},
+                                  {1, 8},
+                                  {100, 16}}) {
+    QueryCache cache(capacity, shards);
+    for (int i = 0; i < 1000; ++i) {
+      cache.Put("key" + std::to_string(i), Matches(static_cast<uint32_t>(i)));
+    }
+    EXPECT_LE(cache.size(), capacity)
+        << "capacity=" << capacity << " shards=" << shards;
+  }
+}
+
+TEST(QueryCacheTest, SingleShardUsesFullCapacity) {
+  QueryCache cache(10, 1);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("k" + std::to_string(i), Matches(static_cast<uint32_t>(i)));
+  }
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Put("one-more", Matches(99));
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
 TEST(QueryCacheTest, ShardedConcurrentAccess) {
   QueryCache cache(1024, 8);
   std::vector<std::thread> threads;

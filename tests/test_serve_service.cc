@@ -231,6 +231,36 @@ TEST(LookupServiceTest, DeadlineExpiresQueuedRequest) {
   blocked.join();
   expired.join();
   EXPECT_EQ(service->Stats().rejected_deadline, 1u);
+  // Deadline expiries are answered requests, not shed load: both lookups
+  // count toward requests.
+  EXPECT_EQ(service->Stats().requests, 2u);
+}
+
+TEST(LookupServiceTest, AlreadyExpiredDeadlineRejectedAtAdmission) {
+  auto master = Master(100, 42);
+  LookupServiceOptions options;
+  options.cache_capacity = 0;
+  auto service = LookupService::Create(BuildIndex(master), options)
+                     .MoveValueUnsafe();
+
+  // A negative deadline is expired before the call even starts. Regression:
+  // it used to be admitted as if it had no deadline and ran a full lookup;
+  // it must be rejected at admission without queueing or touching the index.
+  auto r = service->Lookup(master[0], 1, std::chrono::milliseconds(-1));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+
+  StatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.requests, 1u);           // answered, with an error
+  EXPECT_EQ(stats.batched_lookups, 0u);    // never dispatched
+  EXPECT_EQ(stats.cache_misses, 0u);       // never looked up
+  EXPECT_EQ(stats.latency_count, 0u);      // no successful lookup recorded
+
+  // The service still works normally afterwards.
+  auto ok = service->Lookup(master[0], 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(service->Stats().requests, 2u);
 }
 
 TEST(LookupServiceTest, ShutdownFailsPendingAndRejectsNew) {

@@ -50,6 +50,49 @@ TEST(QGramTokenizerTest, PaddedGramCount) {
   EXPECT_EQ(grams[3], "b$$");
 }
 
+TEST(QGramTokenizerTest, PaddedEmptyString) {
+  // Padding an empty string leaves 2(q-1) pad chars => q-1 all-pad grams;
+  // NumGrams must agree (len + q - 1 with len = 0).
+  QGramTokenizer tok(3, /*pad=*/true, '$');
+  auto grams = tok.Tokenize("");
+  ASSERT_EQ(grams.size(), 2u);
+  EXPECT_EQ(grams[0], "$$$");
+  EXPECT_EQ(grams[1], "$$$");
+  EXPECT_EQ(tok.NumGrams(0), 2u);
+}
+
+TEST(QGramTokenizerTest, PaddedUnigramIsUnpadded) {
+  // q=1 needs no pad chars: the empty string produces nothing, "a" itself.
+  QGramTokenizer tok(1, /*pad=*/true);
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_EQ(tok.NumGrams(0), 0u);
+  auto grams = tok.Tokenize("a");
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "a");
+}
+
+TEST(QGramTokenizerTest, PaddedCountMatchesNumGrams) {
+  for (size_t q : {1, 2, 3, 5}) {
+    QGramTokenizer tok(q, /*pad=*/true);
+    for (const char* s : {"", "a", "ab", "abc", "abcdefgh"}) {
+      EXPECT_EQ(tok.Tokenize(s).size(), tok.NumGrams(std::string_view(s).size()))
+          << "q=" << q << " string: " << s;
+    }
+  }
+}
+
+TEST(QGramTokenizerTest, ShortStringsBelowQ) {
+  // Unpadded strings below q collapse to a single whole-string token at
+  // every length in (0, q) — no string maps to the empty set except "".
+  QGramTokenizer tok(4);
+  for (const char* s : {"a", "ab", "abc"}) {
+    auto grams = tok.Tokenize(s);
+    ASSERT_EQ(grams.size(), 1u) << s;
+    EXPECT_EQ(grams[0], s);
+  }
+  EXPECT_TRUE(tok.Tokenize("").empty());
+}
+
 TEST(QGramTokenizerTest, PreservesDuplicates) {
   QGramTokenizer tok(2);
   auto grams = tok.Tokenize("aaa");

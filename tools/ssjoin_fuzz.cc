@@ -1,0 +1,153 @@
+// Differential fuzz harness for the SSJoin stack.
+//
+//   ssjoin_fuzz [--seeds=N] [--start-seed=N] [--scenario=NAME|all]
+//               [--out=DIR] [--no-shrink] [--max-failures=N] [-v]
+//   ssjoin_fuzz --replay=FILE_OR_DIR [-v]
+//
+// Fuzz mode generates random workloads and checks every executor, join,
+// snapshot round-trip and the lookup service against naive oracles; on a
+// divergence it delta-debugs the workload down and writes a self-contained
+// `.repro` file. Replay mode re-runs saved reproducers (a file, or every
+// *.repro in a directory) and exits nonzero if any fails.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/reproducer.h"
+#include "fuzz/scenarios.h"
+
+namespace {
+
+using ssjoin::Result;
+using ssjoin::fuzz::CheckCase;
+using ssjoin::fuzz::CheckResult;
+using ssjoin::fuzz::FuzzOptions;
+using ssjoin::fuzz::FuzzReport;
+using ssjoin::fuzz::LoadReproducerFile;
+using ssjoin::fuzz::Reproducer;
+using ssjoin::fuzz::RunFuzz;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ssjoin_fuzz [--seeds=N] [--start-seed=N]\n"
+               "                   [--scenario=NAME|all] [--out=DIR]\n"
+               "                   [--no-shrink] [--max-failures=N] [-v]\n"
+               "       ssjoin_fuzz --replay=FILE_OR_DIR [-v]\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+int Replay(const std::string& target, bool verbose) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (std::filesystem::is_directory(target, ec)) {
+    for (const auto& entry : std::filesystem::directory_iterator(target)) {
+      if (entry.path().extension() == ".repro") {
+        paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+  } else {
+    paths.push_back(target);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "ssjoin_fuzz: no .repro files under %s\n",
+                 target.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    Result<Reproducer> repro = LoadReproducerFile(path);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "ssjoin_fuzz: %s: %s\n", path.c_str(),
+                   repro.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Result<CheckResult> res = CheckCase(*repro);
+    if (!res.ok()) {
+      std::fprintf(stderr, "ssjoin_fuzz: %s: %s\n", path.c_str(),
+                   res.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!res->pass) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), res->detail.c_str());
+      ++failures;
+    } else if (verbose) {
+      std::fprintf(stderr, "ok   %s\n", path.c_str());
+    }
+  }
+  std::printf("replayed %zu reproducer(s), %d failure(s)\n", paths.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string replay_target;
+  std::string value;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseFlag(arg, "--seeds", &value)) {
+      options.seeds = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--start-seed", &value)) {
+      options.start_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--scenario", &value)) {
+      options.scenario = value;
+    } else if (ParseFlag(arg, "--out", &value)) {
+      options.out_dir = value;
+    } else if (ParseFlag(arg, "--max-failures", &value)) {
+      options.max_failures = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--replay", &value)) {
+      replay_target = value;
+    } else if (std::strcmp(arg, "--no-shrink") == 0) {
+      options.shrink = false;
+    } else if (std::strcmp(arg, "-v") == 0 ||
+               std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "ssjoin_fuzz: unknown flag %s\n", arg);
+      Usage();
+      return 2;
+    }
+  }
+
+  if (!replay_target.empty()) return Replay(replay_target, options.verbose);
+
+  Result<FuzzReport> report = RunFuzz(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "ssjoin_fuzz: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("ran %llu case(s): %llu failure(s)\n",
+              static_cast<unsigned long long>(report->cases_run),
+              static_cast<unsigned long long>(report->failures));
+  if (report->failures > 0) {
+    std::fprintf(stderr, "first failure: %s\n",
+                 report->first_failure_detail.c_str());
+    for (const std::string& path : report->reproducer_paths) {
+      std::fprintf(stderr, "reproducer: %s\n", path.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
