@@ -10,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/string_util.h"
 #include "datagen/address_gen.h"
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
 #include "simjoin/types.h"
 
 namespace ssjoin::bench {
@@ -50,7 +52,12 @@ inline void InitBenchFlags(int* argc, char** argv) {
       break;
     }
     if (target != nullptr) {
-      *target = static_cast<size_t>(std::atoll(value.c_str()));
+      Result<uint64_t> parsed = ParseUint64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+        std::exit(2);
+      }
+      *target = static_cast<size_t>(*parsed);
     } else {
       argv[out++] = argv[i];
     }
@@ -165,7 +172,10 @@ struct JsonRecord {
   }
 };
 
-/// Writes `{"bench": ..., "threads": ..., "morsel": ..., "rows": [...]}`.
+/// Writes `{"bench": ..., "threads": ..., "morsel": ..., "rows": [...],
+/// "metrics": {...}}`. The `metrics` object is the process-wide obs registry
+/// flattened to scalar fields (core.*, exec.*, plus anything else the run
+/// touched), making the perf trajectory machine-comparable across PRs.
 inline void WriteBenchJson(const std::string& bench_name,
                            const std::vector<JsonRecord>& rows) {
   std::string path = "BENCH_" + bench_name + ".json";
@@ -180,7 +190,8 @@ inline void WriteBenchJson(const std::string& bench_name,
   for (size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f, "%s\n  %s", i > 0 ? "," : "", rows[i].ToString().c_str());
   }
-  std::fprintf(f, "\n]}\n");
+  std::fprintf(f, "\n],\n\"metrics\": %s}\n",
+               obs::Registry::Global().ToFlatJson().c_str());
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }

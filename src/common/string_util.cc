@@ -1,8 +1,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ssjoin {
 
@@ -84,6 +87,70 @@ std::string StringPrintf(const char* fmt, ...) {
   }
   va_end(ap_copy);
   return out;
+}
+
+namespace {
+
+/// strto* skip leading whitespace and stop at trailing junk; a flag value
+/// must be exactly one number, so both are errors here.
+Status CheckNumericShape(const std::string& s) {
+  if (s.empty()) return Status::Invalid("expected a number, got an empty string");
+  for (char c : s) {
+    if (IsAsciiSpace(c)) {
+      return Status::Invalid("expected a number, got '" + s + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint64_t> ParseUint64(std::string_view sv) {
+  std::string s(sv);
+  SSJOIN_RETURN_NOT_OK(CheckNumericShape(s));
+  if (s[0] == '-') {
+    return Status::Invalid("expected a nonnegative integer, got '" + s + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::Invalid("invalid integer '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::Invalid("integer out of range: '" + s + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Result<int64_t> ParseInt64(std::string_view sv) {
+  std::string s(sv);
+  SSJOIN_RETURN_NOT_OK(CheckNumericShape(s));
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::Invalid("invalid integer '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::Invalid("integer out of range: '" + s + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view sv) {
+  std::string s(sv);
+  SSJOIN_RETURN_NOT_OK(CheckNumericShape(s));
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::Invalid("invalid number '" + s + "'");
+  }
+  if (!std::isfinite(v)) {
+    return Status::Invalid("number out of range: '" + s + "'");
+  }
+  return v;
 }
 
 }  // namespace ssjoin

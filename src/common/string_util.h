@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
+
 namespace ssjoin {
 
 /// \brief ASCII-lowercases a string.
@@ -25,6 +27,18 @@ std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 
 /// \brief printf-style formatting into a std::string.
 std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \name Checked numeric parsing
+/// Strict replacements for atoi/atof in flag and input handling: the entire
+/// string must be one number (no stray bytes, no embedded whitespace), and
+/// out-of-range or non-finite values fail instead of saturating. Unlike
+/// atoi, "abc" is an error, not 0; unlike strtoull, "-1" is an error, not
+/// 2^64-1.
+/// @{
+Result<uint64_t> ParseUint64(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+/// @}
 
 }  // namespace ssjoin
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/inverted_index.h"
+#include "obs/metrics.h"
 
 namespace ssjoin::core {
 
@@ -420,7 +421,60 @@ Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,
   }
   SSJoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
-  return executor->Execute(r, s, pred, ctx, stats);
+  Result<std::vector<SSJoinPair>> result = executor->Execute(r, s, pred, ctx, stats);
+  if (result.ok()) PublishSSJoinStats(*stats);
+  return result;
+}
+
+namespace {
+
+/// "Prefix-filter" -> "prefix_filter": phase names become metric-name
+/// segments ([a-z0-9_]).
+std::string PhaseMetricSegment(const std::string& phase) {
+  std::string out;
+  out.reserve(phase.size());
+  for (char c : phase) {
+    if (c == '-' || c == ' ') {
+      out.push_back('_');
+    } else if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RegisterCoreMetrics() {
+  obs::Registry& reg = obs::Registry::Global();
+  for (const char* name :
+       {"core.joins", "core.equijoin_rows", "core.candidate_pairs",
+        "core.result_pairs", "core.prefix_elements_r", "core.prefix_elements_s",
+        "core.pruned_groups_r", "core.pruned_groups_s",
+        "core.phase.prefix_filter.us", "core.phase.prefix_filter.count",
+        "core.phase.ssjoin.us", "core.phase.ssjoin.count"}) {
+    reg.GetCounter(name);
+  }
+}
+
+void PublishSSJoinStats(const SSJoinStats& stats) {
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("core.joins")->Add(1);
+  reg.GetCounter("core.equijoin_rows")->Add(stats.equijoin_rows);
+  reg.GetCounter("core.candidate_pairs")->Add(stats.candidate_pairs);
+  reg.GetCounter("core.result_pairs")->Add(stats.result_pairs);
+  reg.GetCounter("core.prefix_elements_r")->Add(stats.r_prefix_elements);
+  reg.GetCounter("core.prefix_elements_s")->Add(stats.s_prefix_elements);
+  reg.GetCounter("core.pruned_groups_r")->Add(stats.pruned_groups_r);
+  reg.GetCounter("core.pruned_groups_s")->Add(stats.pruned_groups_s);
+  obs::SpanSet spans;
+  for (const auto& [phase, millis] : stats.phases.phases()) {
+    spans.Add(PhaseMetricSegment(phase),
+              static_cast<uint64_t>(millis * 1000.0));
+  }
+  spans.PublishTo(&reg, "core.phase.");
 }
 
 void SortPairs(std::vector<SSJoinPair>* pairs) {

@@ -124,6 +124,18 @@ Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,
 /// Sorts pairs by (r, s) — canonical order for comparing implementations.
 void SortPairs(std::vector<SSJoinPair>* pairs);
 
+/// Pre-creates the core layer's obs::Registry entries (core.joins,
+/// core.equijoin_rows, ...) so metric exports list the full name set even
+/// before the first join runs.
+void RegisterCoreMetrics();
+
+/// Adds one finished join's statistics to the global obs registry: counters
+/// under `core.*` and phase timings under `core.phase.<phase>.{us,count}`.
+/// Called by core::ExecuteSSJoin and the exec layer's parallel dispatch; the
+/// counter deltas are deterministic (SSJoinStats merges per-morsel records in
+/// morsel order), phase timings are wall clock and are not.
+void PublishSSJoinStats(const SSJoinStats& stats);
+
 }  // namespace ssjoin::core
 
 #endif  // SSJOIN_CORE_SSJOIN_H_

@@ -1,0 +1,50 @@
+#include "exec/metrics.h"
+
+namespace ssjoin::exec {
+
+namespace internal {
+
+obs::Counter& TasksExecutedCounter() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("exec.tasks_executed");
+  return *c;
+}
+
+obs::Counter& MorselsDispatchedCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("exec.morsels_dispatched");
+  return *c;
+}
+
+obs::Counter& ParallelForCallsCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("exec.parallel_for_calls");
+  return *c;
+}
+
+obs::Counter& WorkerBusyMicros() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("exec.worker_busy_us");
+  return *c;
+}
+
+obs::Counter& WorkerIdleMicros() {
+  static obs::Counter* c = obs::Registry::Global().GetCounter("exec.worker_idle_us");
+  return *c;
+}
+
+obs::Gauge& QueueDepthHighWater() {
+  static obs::Gauge* g = obs::Registry::Global().GetGauge("exec.queue_depth_hwm");
+  return *g;
+}
+
+}  // namespace internal
+
+void RegisterExecMetrics() {
+  internal::TasksExecutedCounter();
+  internal::MorselsDispatchedCounter();
+  internal::ParallelForCallsCounter();
+  internal::WorkerBusyMicros();
+  internal::WorkerIdleMicros();
+  internal::QueueDepthHighWater();
+}
+
+}  // namespace ssjoin::exec

@@ -1,0 +1,27 @@
+#ifndef SSJOIN_EXEC_METRICS_H_
+#define SSJOIN_EXEC_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace ssjoin::exec {
+
+/// Pre-creates the exec runtime's obs::Registry entries (exec.tasks_executed,
+/// exec.morsels_dispatched, ...) so metric exports list the full name set
+/// even before the first parallel loop runs.
+void RegisterExecMetrics();
+
+namespace internal {
+
+/// Cached pointers into Registry::Global() — one name lookup per process,
+/// cheap enough for ParallelFor's and WorkerLoop's hot paths.
+obs::Counter& TasksExecutedCounter();
+obs::Counter& MorselsDispatchedCounter();
+obs::Counter& ParallelForCallsCounter();
+obs::Counter& WorkerBusyMicros();
+obs::Counter& WorkerIdleMicros();
+obs::Gauge& QueueDepthHighWater();
+
+}  // namespace internal
+}  // namespace ssjoin::exec
+
+#endif  // SSJOIN_EXEC_METRICS_H_

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "exec/exec_context.h"
+#include "exec/metrics.h"
 #include "exec/thread_pool.h"
 
 namespace ssjoin::exec {
@@ -44,6 +45,11 @@ void ParallelFor(const ExecContext& ctx, size_t n, Fn&& fn) {
   if (n == 0) return;
   const size_t morsel = std::max<size_t>(1, ctx.morsel_size);
   const size_t num_morsels = (n + morsel - 1) / morsel;
+  // Morsel accounting is independent of thread count and scheduling: the
+  // split depends only on (n, morsel_size), so these counters stay
+  // deterministic across 1/2/8-thread runs of the same workload.
+  internal::ParallelForCallsCounter().Add(1);
+  internal::MorselsDispatchedCounter().Add(num_morsels);
   size_t workers = std::min(ctx.resolved_threads(), num_morsels);
   if (ThreadPool::InWorkerThread()) workers = 1;
 

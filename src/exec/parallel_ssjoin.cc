@@ -535,7 +535,15 @@ Result<std::vector<core::SSJoinPair>> ExecuteSSJoin(
   if (ctx.exec != nullptr && ctx.exec->parallel()) {
     std::unique_ptr<core::SSJoinExecutor> executor =
         MakeParallelExecutor(algorithm);
-    if (executor != nullptr) return executor->Execute(r, s, pred, ctx, stats);
+    if (executor != nullptr) {
+      Result<std::vector<core::SSJoinPair>> result =
+          executor->Execute(r, s, pred, ctx, stats);
+      // The serial fallback below publishes inside core::ExecuteSSJoin;
+      // publishing here only on the parallel path keeps every join counted
+      // exactly once.
+      if (result.ok()) core::PublishSSJoinStats(*stats);
+      return result;
+    }
   }
   return core::ExecuteSSJoin(algorithm, r, s, pred, ctx, stats);
 }

@@ -27,6 +27,7 @@ class TaskQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
     }
     cv_.notify_one();
     return true;
@@ -62,11 +63,18 @@ class TaskQueue {
     return items_.size();
   }
 
+  /// Largest queue length ever observed by Push (monotone).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+  size_t high_water_ = 0;
 };
 
 }  // namespace ssjoin::exec

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include "exec/metrics.h"
+
 namespace ssjoin::exec {
 
 namespace {
@@ -19,7 +21,12 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  return queue_.Push(std::move(task));
+  bool ok = queue_.Push(std::move(task));
+  if (ok) {
+    internal::QueueDepthHighWater().SetMax(
+        static_cast<int64_t>(queue_.high_water()));
+  }
+  return ok;
 }
 
 void ThreadPool::Shutdown() {
@@ -31,7 +38,19 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::WorkerLoop() {
   t_in_worker = true;
-  while (std::optional<std::function<void()>> task = queue_.Pop()) {
+  obs::Counter& busy = internal::WorkerBusyMicros();
+  obs::Counter& idle = internal::WorkerIdleMicros();
+  obs::Counter& tasks = internal::TasksExecutedCounter();
+  for (;;) {
+    // Idle covers the blocking Pop; a worker parked on an empty queue only
+    // contributes once it wakes, so idle totals trail real time on a quiet
+    // pool.
+    obs::ObsSpan idle_span(&idle);
+    std::optional<std::function<void()>> task = queue_.Pop();
+    idle_span.Stop();
+    if (!task) return;
+    tasks.Add(1);
+    obs::ObsSpan busy_span(&busy);
     (*task)();
   }
 }

@@ -21,6 +21,7 @@
 #include "fuzz/workload.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
+#include "serve/wire.h"
 #include "sim/edit_distance.h"
 #include "simjoin/fuzzy_match.h"
 #include "simjoin/ges_join.h"
@@ -472,6 +473,74 @@ Result<CheckResult> CheckLookupService(const Reproducer& rp) {
   return result;
 }
 
+Result<CheckResult> CheckWireParser(const Reproducer& rp) {
+  uint64_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  uint64_t deadline_ms = rp.GetUint("deadline_ms", 0);
+  uint64_t mutations = rp.GetUint("mutations", 32);
+  Rng rng(rp.GetUint("mutate_seed", 1));
+
+  CheckResult result;
+  for (const std::string& query : rp.r) {
+    std::string line = "{\"op\": \"lookup\", \"query\": \"" +
+                       serve::JsonEscape(query) + "\", \"k\": " +
+                       std::to_string(k);
+    if (deadline_ms > 0) {
+      line += ", \"deadline_ms\": " + std::to_string(deadline_ms);
+    }
+    line += "}";
+
+    Result<std::map<std::string, serve::JsonScalar>> parsed =
+        serve::ParseJsonObject(line);
+    if (!parsed.ok()) {
+      return CheckResult{false, "valid request rejected: " +
+                                    parsed.status().ToString() + " for " + line};
+    }
+    auto q = parsed->find("query");
+    if (q == parsed->end() ||
+        q->second.type != serve::JsonScalar::Type::kString ||
+        q->second.str != query) {
+      return CheckResult{false,
+                         "query did not round-trip byte-exactly for " + line};
+    }
+    auto kf = parsed->find("k");
+    if (kf == parsed->end() ||
+        kf->second.type != serve::JsonScalar::Type::kNumber ||
+        kf->second.num != static_cast<double>(k)) {
+      return CheckResult{false, "k did not round-trip for " + line};
+    }
+
+    // The object's closing '}' is its last byte (any earlier '}' sits inside
+    // a string literal), so no strict prefix may parse: a truncated line must
+    // always be reported, never silently accepted.
+    for (size_t len = 0; len < line.size(); ++len) {
+      if (serve::ParseJsonObject(std::string_view(line).substr(0, len)).ok()) {
+        return CheckResult{false, "strict prefix of length " +
+                                      std::to_string(len) +
+                                      " parsed as valid: " + line};
+      }
+    }
+
+    // Random byte-level mutations: the parser must return (not crash) and be
+    // deterministic — the same bytes always yield the same accept/reject.
+    for (uint64_t m = 0; m < mutations; ++m) {
+      std::string mutated = MutateString(&rng, line);
+      bool first = serve::ParseJsonObject(mutated).ok();
+      bool second = serve::ParseJsonObject(mutated).ok();
+      if (first != second) {
+        return CheckResult{false,
+                           "non-deterministic parse of mutated line: " + mutated};
+      }
+    }
+  }
+
+  // Raw adversarial lines (empty, high-byte, repeated-char, ...) straight
+  // into the parser: any outcome is fine as long as it returns.
+  for (const std::string& raw : rp.s) {
+    (void)serve::ParseJsonObject(raw);
+  }
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // Generation
 // ---------------------------------------------------------------------------
@@ -489,7 +558,7 @@ std::vector<std::string> AllScenarios() {
   return {"ssjoin_executors",      "edit_distance_joins",
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
-          "lookup_service"};
+          "lookup_service",        "wire_parser"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -554,6 +623,16 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
     rp.Set("cache_on", rng.Bernoulli(0.5));
     rp.Set("threads", 1 + rng.Uniform(2));
     rp.Set("max_batch", 1 + rng.Uniform(8));
+  } else if (scenario == "wire_parser") {
+    // Lean harder on the adversarial string classes: control bytes, high
+    // bytes and empty strings are exactly what a wire parser mishandles.
+    wopts.p_high_byte = 0.25;
+    wopts.p_empty = 0.15;
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("k", 1 + rng.Uniform(10));
+    rp.Set("deadline_ms", rng.Uniform(200));
+    rp.Set("mutations", 16 + rng.Uniform(48));
+    rp.Set("mutate_seed", rng.Next());
   } else {
     // Unknown scenario: leave an empty workload; CheckCase will reject it.
   }
@@ -574,6 +653,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
     return CheckSnapshotRoundtrip(repro);
   }
   if (repro.scenario == "lookup_service") return CheckLookupService(repro);
+  if (repro.scenario == "wire_parser") return CheckWireParser(repro);
   return Status::Invalid("unknown fuzz scenario: " + repro.scenario);
 }
 

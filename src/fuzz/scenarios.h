@@ -46,6 +46,13 @@ struct CheckResult {
 ///                            threaded) vs direct FuzzyMatchIndex::Lookup,
 ///                            bit-identical, including repeat queries served
 ///                            from the cache.
+///  - `wire_parser`           serve::ParseJsonObject over generated request
+///                            lines: every well-formed line round-trips its
+///                            fields byte-exactly, every strict prefix is
+///                            rejected (truncation can never be silently
+///                            accepted), and random byte-level mutations and
+///                            raw adversarial lines parse deterministically
+///                            without crashing.
 std::vector<std::string> AllScenarios();
 
 /// Draws a random case for `scenario` from `seed`. Deterministic: equal

@@ -28,8 +28,40 @@ Result<std::unique_ptr<LookupService>> LookupService::Create(
   }
   std::unique_ptr<LookupService> service(
       new LookupService(std::move(index), options));
+  service->provider_id_.store(obs::Registry::Global().RegisterProvider(
+      [s = service.get()](std::vector<obs::MetricPoint>* out) {
+        s->CollectMetrics(out);
+      }));
   service->dispatcher_ = std::thread([s = service.get()] { s->DispatcherLoop(); });
   return service;
+}
+
+void LookupService::CollectMetrics(std::vector<obs::MetricPoint>* out) const {
+  StatsSnapshot s = Stats();
+  out->push_back(obs::MetricPoint::FromCounter("serve.requests", s.requests));
+  out->push_back(
+      obs::MetricPoint::FromCounter("serve.rejected_overload", s.rejected_overload));
+  out->push_back(
+      obs::MetricPoint::FromCounter("serve.rejected_deadline", s.rejected_deadline));
+  out->push_back(obs::MetricPoint::FromCounter("serve.cache_hits", s.cache_hits));
+  out->push_back(obs::MetricPoint::FromCounter("serve.cache_misses", s.cache_misses));
+  out->push_back(
+      obs::MetricPoint::FromCounter("serve.cache_evictions", s.cache_evictions));
+  out->push_back(obs::MetricPoint::FromCounter("serve.batches", s.batches));
+  out->push_back(
+      obs::MetricPoint::FromCounter("serve.batched_lookups", s.batched_lookups));
+  out->push_back(obs::MetricPoint::FromGauge(
+      "serve.queue_depth", static_cast<int64_t>(s.queue_depth)));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("serve.latency_us", metrics_.latency));
+  out->push_back(obs::MetricPoint::FromHistogram("serve.span.admission_us",
+                                                 metrics_.span_admission));
+  out->push_back(obs::MetricPoint::FromHistogram("serve.span.queue_wait_us",
+                                                 metrics_.span_queue_wait));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("serve.span.lookup_us", metrics_.span_lookup));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("serve.span.reply_us", metrics_.span_reply));
 }
 
 LookupService::LookupService(simjoin::FuzzyMatchIndex index,
@@ -98,6 +130,9 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     future = pending.promise.get_future();
     queue_.push_back(std::move(pending));
   }
+  // Admission span: entry to enqueued (tokenize + cache probe + queue push).
+  // Cache hits and rejections never enqueue and are not admissions.
+  metrics_.span_admission.Record(MicrosSince(start));
   queue_cv_.notify_one();
 
   Result<std::vector<Match>> result = future.get();
@@ -147,6 +182,10 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
       p.promise.set_value(
           Status::DeadlineExceeded("deadline expired before dispatch"));
     } else {
+      // Queue-wait span: admission to batch claim (includes the admission
+      // span itself — lifecycle spans nest from request start, they don't
+      // tile).
+      metrics_.span_queue_wait.Record(MicrosSince(p.start));
       live.push_back(std::move(p));
     }
   }
@@ -164,10 +203,12 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
                     [&](size_t /*worker*/, size_t /*morsel*/, size_t begin,
                         size_t end) {
                       for (size_t i = begin; i < end; ++i) {
+                        obs::ObsSpan span(&metrics_.span_lookup);
                         results[i] = index_.Lookup(live[i].query, live[i].k);
                       }
                     });
 
+  obs::ObsSpan reply_span(&metrics_.span_reply);
   for (size_t i = 0; i < live.size(); ++i) {
     cache_.Put(live[i].cache_key, results[i]);
     live[i].promise.set_value(std::move(results[i]));
@@ -185,6 +226,11 @@ StatsSnapshot LookupService::Stats() const {
 }
 
 void LookupService::Shutdown() {
+  // Unregister before tearing anything down: once UnregisterProvider
+  // returns, no snapshot is reading this service's metrics.
+  if (uint64_t pid = provider_id_.exchange(0); pid != 0) {
+    obs::Registry::Global().UnregisterProvider(pid);
+  }
   std::deque<Pending> drained;
   {
     std::lock_guard<std::mutex> lock(mu_);

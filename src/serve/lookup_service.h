@@ -1,6 +1,7 @@
 #ifndef SSJOIN_SERVE_LOOKUP_SERVICE_H_
 #define SSJOIN_SERVE_LOOKUP_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -14,6 +15,7 @@
 
 #include "common/result.h"
 #include "exec/exec_context.h"
+#include "obs/metrics.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 #include "simjoin/fuzzy_match.h"
@@ -110,6 +112,10 @@ class LookupService {
   LookupService(simjoin::FuzzyMatchIndex index,
                 const LookupServiceOptions& options);
 
+  /// obs::Registry provider: mirrors this service's counters, queue depth
+  /// and latency/lifecycle histograms into the snapshot as `serve.*`.
+  void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
+
   /// Cache key: the query's token sequence (unit-separator joined) plus k
   /// and alpha — exactly the inputs Lookup's result depends on.
   std::string CacheKey(const std::string& query, size_t k) const;
@@ -121,6 +127,7 @@ class LookupService {
   LookupServiceOptions options_;
   QueryCache cache_;
   ServiceMetrics metrics_;
+  std::atomic<uint64_t> provider_id_{0};  // obs::Registry provider handle
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;

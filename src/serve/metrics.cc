@@ -5,42 +5,6 @@
 
 namespace ssjoin::serve {
 
-double LatencyHistogram::Quantile(double q) const {
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Snapshot the buckets once; concurrent Records may land in between the
-  // count_ read and the bucket reads, so clamp rather than assume equality.
-  std::array<uint64_t, kBuckets> counts;
-  uint64_t total = 0;
-  for (size_t b = 0; b < kBuckets; ++b) {
-    counts[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  if (total == 0) return 0.0;
-  double target = q * static_cast<double>(total);
-  uint64_t running = 0;
-  for (size_t b = 0; b < kBuckets; ++b) {
-    if (counts[b] == 0) continue;
-    if (static_cast<double>(running + counts[b]) >= target) {
-      double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << b);
-      double hi = static_cast<double>(uint64_t{1} << (b + 1));
-      // The recorded maximum is the distribution's true upper edge: it
-      // tightens interpolation inside the maximum's own bucket and replaces
-      // the overflow bucket's nominal edge entirely (that bucket absorbs
-      // everything above ~2.3 hours, so 2^33us would understate it).
-      double max_us = static_cast<double>(max_micros());
-      if (b + 1 == kBuckets || (max_us >= lo && max_us < hi)) {
-        hi = std::max(lo, max_us);
-      }
-      double frac = (target - static_cast<double>(running)) /
-                    static_cast<double>(counts[b]);
-      return lo + frac * (hi - lo);
-    }
-    running += counts[b];
-  }
-  return static_cast<double>(max_micros());
-}
-
 StatsSnapshot SnapshotMetrics(const ServiceMetrics& m) {
   StatsSnapshot s;
   s.requests = m.requests.load(std::memory_order_relaxed);

@@ -1,54 +1,29 @@
 #ifndef SSJOIN_SERVE_METRICS_H_
 #define SSJOIN_SERVE_METRICS_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace ssjoin::serve {
 
-/// \brief Fixed-bucket log-scale latency histogram, safe for concurrent
-/// Record calls (relaxed atomics; serving metrics tolerate torn snapshots).
-///
-/// Bucket b covers [2^b, 2^(b+1)) microseconds, with bucket 0 also absorbing
-/// sub-microsecond samples and the last bucket absorbing everything above
-/// ~2.3 hours. Quantiles interpolate linearly inside the hit bucket, which
-/// bounds the relative error by the bucket width (a factor of 2) — plenty
-/// for p50/p95/p99 service dashboards.
-class LatencyHistogram {
+/// \brief Log-scale latency histogram in microseconds — the serve layer's
+/// historical name for obs::Histogram (which it seeded; the implementation
+/// now lives in src/obs), with micros-flavored accessors kept for callers.
+class LatencyHistogram : public obs::Histogram {
  public:
-  static constexpr size_t kBuckets = 33;
-
-  void Record(uint64_t micros) {
-    size_t b = 0;
-    while (b + 1 < kBuckets && (uint64_t{1} << (b + 1)) <= micros) ++b;
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
-    uint64_t prev = max_micros_.load(std::memory_order_relaxed);
-    while (prev < micros &&
-           !max_micros_.compare_exchange_weak(prev, micros,
-                                              std::memory_order_relaxed)) {
-    }
-  }
-
-  /// The latency at quantile `q` in [0, 1], in microseconds; 0 when empty.
-  double Quantile(double q) const;
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum_micros() const { return sum_micros_.load(std::memory_order_relaxed); }
-  uint64_t max_micros() const { return max_micros_.load(std::memory_order_relaxed); }
-
- private:
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_micros_{0};
-  std::atomic<uint64_t> max_micros_{0};
+  uint64_t sum_micros() const { return sum(); }
+  uint64_t max_micros() const { return max_value(); }
 };
 
 /// \brief Request counters and latency for one LookupService, updated
 /// concurrently by client threads and the dispatcher.
+///
+/// Metrics are value-owned per service (tests assert exact per-instance
+/// counts); LookupService mirrors them into the global obs::Registry through
+/// a provider callback under `serve.*` names.
 struct ServiceMetrics {
   std::atomic<uint64_t> requests{0};            // answered lookups: ok + deadline-failed
   std::atomic<uint64_t> rejected_overload{0};   // admission queue full
@@ -58,6 +33,13 @@ struct ServiceMetrics {
   std::atomic<uint64_t> batches{0};             // micro-batches dispatched
   std::atomic<uint64_t> batched_lookups{0};     // lookups across all batches
   LatencyHistogram latency;
+  /// Request lifecycle spans: admission (Lookup entry → enqueued), queue
+  /// wait (enqueued → batch claimed), lookup (index probe), reply (cache
+  /// fill + caller wakeup, per batch).
+  LatencyHistogram span_admission;
+  LatencyHistogram span_queue_wait;
+  LatencyHistogram span_lookup;
+  LatencyHistogram span_reply;
 };
 
 /// A plain-value copy of the counters plus derived latency quantiles, taken

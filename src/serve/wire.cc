@@ -1,6 +1,7 @@
 #include "serve/wire.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -45,6 +46,9 @@ class Parser {
         ++pos_;
         return Finish(std::move(out));
       }
+      if (AtEnd()) {
+        return Status::Invalid("unexpected end of input inside JSON object");
+      }
       return Status::Invalid("expected ',' or '}' in JSON object");
     }
   }
@@ -59,7 +63,13 @@ class Parser {
     }
   }
 
+  bool AtEnd() const { return pos_ >= in_.size(); }
+
   Status Expect(char c) {
+    if (AtEnd()) {
+      return Status::Invalid(std::string("unexpected end of input, expected '") +
+                             c + "' in JSON");
+    }
     if (Peek() != c) {
       return Status::Invalid(std::string("expected '") + c + "' in JSON");
     }
@@ -82,6 +92,12 @@ class Parser {
     while (pos_ < in_.size()) {
       char c = in_[pos_++];
       if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // JSON forbids raw control characters (including NUL and embedded
+        // newlines — significant for a line-framed protocol) inside strings;
+        // they must arrive as \uXXXX or \n-style escapes.
+        return Status::Invalid("unescaped control character in JSON string");
+      }
       if (c != '\\') {
         out->push_back(c);
         continue;
@@ -162,20 +178,42 @@ class Parser {
     if (c == '{' || c == '[') {
       return Status::Invalid("nested JSON values are not supported");
     }
+    // Strict JSON number grammar: -?int frac? exp?, int = 0 | [1-9][0-9]*.
+    // The previous scan accepted any run of number-ish characters and let
+    // strtod sort it out, which silently took "+1", "01", ".5" and "--" —
+    // and "1e999" as infinity.
+    if (AtEnd()) return Status::Invalid("unexpected end of input in JSON value");
     size_t start = pos_;
+    auto digit = [&] {
+      return pos_ < in_.size() &&
+             std::isdigit(static_cast<unsigned char>(in_[pos_]));
+    };
     if (Peek() == '-') ++pos_;
-    while (pos_ < in_.size() &&
-           (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
-            in_[pos_] == '.' || in_[pos_] == 'e' || in_[pos_] == 'E' ||
-            in_[pos_] == '+' || in_[pos_] == '-')) {
+    if (!digit()) return Status::Invalid("bad JSON value");
+    if (in_[pos_] == '0') {
       ++pos_;
+    } else {
+      while (digit()) ++pos_;
     }
-    if (pos_ == start) return Status::Invalid("bad JSON value");
+    if (Peek() == '.') {
+      ++pos_;
+      if (!digit()) return Status::Invalid("bad JSON number: missing fraction digits");
+      while (digit()) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!digit()) return Status::Invalid("bad JSON number: missing exponent digits");
+      while (digit()) ++pos_;
+    }
     std::string num(in_.substr(start, pos_ - start));
     char* end = nullptr;
     out->num = std::strtod(num.c_str(), &end);
     if (end == nullptr || *end != '\0') {
       return Status::Invalid("bad JSON number '" + num + "'");
+    }
+    if (!std::isfinite(out->num)) {
+      return Status::Invalid("JSON number out of range '" + num + "'");
     }
     out->type = JsonScalar::Type::kNumber;
     return Status::OK();

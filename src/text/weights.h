@@ -48,11 +48,15 @@ class IdfWeights final : public WeightProvider {
   /// Snapshot IDF weights from a dictionary over the joined corpora.
   /// Elements with f_t = num_documents get a small positive floor weight so
   /// that every weight is positive (the paper assumes positive weights).
+  /// Elements with f_t = 0 — possible in a dictionary rebuilt through
+  /// TokenDictionary::Restore — get the same floor: log(n/0) = +inf would
+  /// otherwise pass the `>` clamp and poison every set weight it touches.
   explicit IdfWeights(const TokenDictionary& dict) {
     const double n = static_cast<double>(dict.num_documents());
     weights_.resize(dict.num_elements());
     for (TokenId id = 0; id < weights_.size(); ++id) {
-      double idf = std::log(n / static_cast<double>(dict.DocFrequency(id)));
+      uint64_t f = dict.DocFrequency(id);
+      double idf = f == 0 ? kMinWeight : std::log(n / static_cast<double>(f));
       weights_[id] = idf > kMinWeight ? idf : kMinWeight;
     }
   }

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "engine/csv.h"
+#include "serve/wire.h"
 
 #ifndef SSJOIN_CLI_PATH
 #error "SSJOIN_CLI_PATH must be defined by the build"
@@ -127,6 +128,80 @@ TEST(CliTest, UsageAndErrorPaths) {
   std::remove(in.c_str());
 }
 
+int RunServed(const std::string& args) {
+  std::string cmd = std::string(SSJOIN_SERVED_PATH) + " " + args + " 2>/dev/null";
+  int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(CliTest, RejectsMalformedNumericFlags) {
+  std::string in = TempPath("cli_flags.csv");
+  WriteFile(in, "name\nfoo\nfood\n");
+  std::string base = "join --left " + in + " --left-col name --sim edit ";
+
+  // Positive control first: the command is fine with well-formed values.
+  EXPECT_EQ(RunCli(base + "--threshold 0.8 --threads=2"), 0);
+
+  // std::atoi silently turned these into 0 (or wrapped negatives); every
+  // one must now be a loud nonzero-exit error.
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads=abc"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads abc"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads -1"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads 2x"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads ''"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --threads 99999999999999999999"), 0);
+  EXPECT_NE(RunCli(base + "--threshold abc"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 1e999"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --q=x"), 0);
+  EXPECT_NE(RunCli(base + "--threshold 0.8 --morsel=-4"), 0);
+
+  // ssjoin_served validates its numeric flags before loading anything, so a
+  // bad value fails in milliseconds even alongside other broken flags.
+  EXPECT_NE(RunServed("--snapshot /nope.snap --socket /tmp/unused.sock "
+                      "--threads=abc"),
+            0);
+  EXPECT_NE(RunServed("--snapshot /nope.snap --socket /tmp/unused.sock "
+                      "--max-queue -5"),
+            0);
+
+  std::remove(in.c_str());
+}
+
+TEST(CliTest, StatsJsonDumpsMetricRegistry) {
+  std::string in = TempPath("cli_statsjson.csv");
+  std::string stats_path = TempPath("cli_stats.ndjson");
+  WriteFile(in, "name\nMicrosoft Corp\nMcrosoft Corp\nApple Inc\n");
+  ASSERT_EQ(RunCli("join --left " + in + " --left-col name --sim jaccard "
+                   "--threshold 0.5 --threads=2 --stats-json " + stats_path),
+            0);
+
+  std::string ndjson = ReadWholeFile(stats_path);
+  ASSERT_FALSE(ndjson.empty());
+  // Every line is a flat JSON object naming a metric; the run must have
+  // touched all three layers' registries (serve is absent in a local join).
+  bool saw_core_joins = false;
+  bool saw_exec = false;
+  std::istringstream lines(ndjson);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto obj = serve::ParseJsonObject(line);
+    ASSERT_TRUE(obj.ok()) << obj.status().ToString() << " line: " << line;
+    ASSERT_TRUE(obj->count("metric")) << line;
+    const std::string& name = obj->at("metric").str;
+    if (name == "core.joins") {
+      saw_core_joins = true;
+      EXPECT_GE(obj->at("value").num, 1.0) << line;
+    }
+    if (name == "exec.tasks_executed") saw_exec = true;
+  }
+  EXPECT_TRUE(saw_core_joins) << ndjson;
+  EXPECT_TRUE(saw_exec) << ndjson;
+
+  std::remove(in.c_str());
+  std::remove(stats_path.c_str());
+}
+
 const char kReferenceCsv[] =
     "name\n"
     "Microsoft Corp\n"
@@ -210,6 +285,32 @@ TEST(CliTest, ServedSocketRoundTrip) {
   ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --stats", &stats), 0);
   EXPECT_NE(stats.find("\"requests\": 2"), std::string::npos) << stats;
   EXPECT_NE(stats.find("\"cache_hits\": 1"), std::string::npos) << stats;
+
+  // The metrics op streams the server's full obs registry as NDJSON; every
+  // line must parse and the three layers (core, exec, serve) must all show.
+  std::string metrics;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --metrics", &metrics), 0);
+  bool saw_core = false;
+  bool saw_exec = false;
+  bool saw_serve_requests = false;
+  std::istringstream metric_lines(metrics);
+  std::string line;
+  while (std::getline(metric_lines, line)) {
+    if (line.empty()) continue;
+    auto obj = serve::ParseJsonObject(line);
+    ASSERT_TRUE(obj.ok()) << obj.status().ToString() << " line: " << line;
+    ASSERT_TRUE(obj->count("metric")) << line;
+    const std::string& name = obj->at("metric").str;
+    if (name.rfind("core.", 0) == 0) saw_core = true;
+    if (name.rfind("exec.", 0) == 0) saw_exec = true;
+    if (name == "serve.requests") {
+      saw_serve_requests = true;
+      EXPECT_GE(obj->at("value").num, 2.0) << line;
+    }
+  }
+  EXPECT_TRUE(saw_core) << metrics;
+  EXPECT_TRUE(saw_exec) << metrics;
+  EXPECT_TRUE(saw_serve_requests) << metrics;
 
   // Ping, then orderly shutdown; the server removes its socket on exit.
   ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --ping", &out), 0);

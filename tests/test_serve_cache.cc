@@ -143,6 +143,68 @@ TEST(WireTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJsonObject("{\"a\": 12..5}").ok());
 }
 
+TEST(WireTest, RejectsEveryStrictPrefix) {
+  // Truncation hardening: a line cut anywhere before its final '}' must be
+  // rejected, never silently accepted as a shorter request.
+  const std::string line =
+      R"({"op": "lookup", "query": "a\"b\\c", "k": 3, "deadline_ms": 50})";
+  ASSERT_TRUE(ParseJsonObject(line).ok());
+  for (size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(ParseJsonObject(std::string_view(line).substr(0, len)).ok())
+        << "prefix of length " << len << " parsed";
+  }
+}
+
+TEST(WireTest, RejectsTruncatedEscapesAndLiterals) {
+  // End-of-buffer paths: every one of these used to either read past the
+  // token or fall into a generic error; all must fail cleanly.
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"x\\").ok());      // escape at EOF
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"x\\u00").ok());   // \u cut short
+  EXPECT_FALSE(ParseJsonObject("{\"a\": tru").ok());        // literal cut short
+  EXPECT_FALSE(ParseJsonObject("{\"a\": nul").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": ").ok());           // value missing
+  EXPECT_FALSE(ParseJsonObject("{\"a\": 1,").ok());         // key missing
+  EXPECT_FALSE(ParseJsonObject("{").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\"").ok());             // ':' missing
+}
+
+TEST(WireTest, StrictNumberGrammar) {
+  // The old scan handed any number-ish run to strtod, silently accepting
+  // "+1", "01", ".5", "1." and turning "1e999" into infinity.
+  EXPECT_FALSE(ParseJsonObject("{\"n\": +1}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": 01}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": .5}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": 1.}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": 1e}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": 1e+}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": 1e999}").ok());    // overflows to inf
+  EXPECT_FALSE(ParseJsonObject("{\"n\": --1}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"n\": -}").ok());
+
+  for (const char* valid : {"0", "-0", "-0.5", "10", "1.25", "1e5", "1E+5",
+                            "1e-5", "0.0", "123e2"}) {
+    auto obj = ParseJsonObject(std::string("{\"n\": ") + valid + "}");
+    EXPECT_TRUE(obj.ok()) << valid << ": " << obj.status().ToString();
+  }
+  EXPECT_EQ(ParseJsonObject("{\"n\": -2.5e1}")->at("n").num, -25.0);
+}
+
+TEST(WireTest, RejectsRawControlCharactersInStrings) {
+  // A line-framed protocol must never let a raw control byte (NUL, tab,
+  // embedded newline) hide inside a string; JSON requires escapes.
+  std::string nul_line = "{\"a\": \"x";
+  nul_line.push_back('\0');
+  nul_line += "y\"}";
+  EXPECT_FALSE(ParseJsonObject(nul_line).ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"x\ty\"}").ok());
+  EXPECT_FALSE(ParseJsonObject("{\"a\": \"x\ny\"}").ok());
+  // The escaped forms of the same bytes are fine.
+  auto obj = ParseJsonObject(R"({"a": "x\u0000y", "b": "x\ty"})");
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->at("a").str, std::string("x\0y", 3));
+  EXPECT_EQ(obj->at("b").str, "x\ty");
+}
+
 TEST(WireTest, EscapeRoundTrip) {
   std::string raw = "tab\t quote\" backslash\\ newline\n";
   auto obj = ParseJsonObject("{\"s\": \"" + JsonEscape(raw) + "\"}");

@@ -54,6 +54,28 @@ TEST(IdfWeightsTest, SnapshotIgnoresLaterGrowth) {
   EXPECT_EQ(idf.size(), before);
 }
 
+TEST(IdfWeightsTest, ZeroDocFrequencyGetsFiniteFloor) {
+  // Regression: a dictionary rebuilt through Restore can carry entries whose
+  // doc_frequency is 0 (e.g. hand-edited or version-skewed snapshots).
+  // log(n/0) = +inf passed the `idf > kMinWeight` clamp and poisoned every
+  // set weight containing the element; it must floor like f_t = n does.
+  std::vector<TokenDictionary::EntryData> entries = {
+      {"alive", 0, 2},
+      {"ghost", 0, 0},
+  };
+  auto dict = TokenDictionary::Restore(std::move(entries), 4);
+  ASSERT_TRUE(dict.ok()) << dict.status().ToString();
+  IdfWeights idf(*dict);
+  EXPECT_NEAR(idf.Weight(0), std::log(4.0 / 2.0), 1e-12);
+  EXPECT_TRUE(std::isfinite(idf.Weight(1)));
+  EXPECT_GT(idf.Weight(1), 0.0);
+  EXPECT_LT(idf.Weight(1), 1e-3);
+  // The poisoned sum was the user-visible symptom: wt({alive, ghost}) must
+  // stay finite and close to wt({alive}).
+  EXPECT_TRUE(std::isfinite(idf.SetWeight({0, 1})));
+  EXPECT_NEAR(idf.SetWeight({0, 1}), idf.Weight(0), 1e-3);
+}
+
 TEST(IdfWeightsTest, SetWeightSums) {
   TokenDictionary dict;
   auto ids = dict.EncodeDocument({"p", "q"});

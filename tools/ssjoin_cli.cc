@@ -31,8 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "core/ssjoin.h"
 #include "engine/csv.h"
+#include "exec/metrics.h"
+#include "obs/metrics.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
 #include "simjoin/fuzzy_match.h"
@@ -55,6 +59,13 @@ Args ParseArgs(int argc, char** argv) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) continue;
     flag = flag.substr(2);
+    // --flag=value binds tighter than the lookahead form, so "--threads=abc"
+    // reaches the checked parser instead of becoming a flag named
+    // "threads=abc" that silently falls back to the default.
+    if (size_t eq = flag.find('='); eq != std::string::npos) {
+      args.flags[flag.substr(0, eq)] = flag.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       args.flags[flag] = argv[++i];
     } else {
@@ -70,6 +81,47 @@ std::string FlagOr(const Args& args, const std::string& name,
   return it == args.flags.end() ? fallback : it->second;
 }
 
+/// Checked flag accessors: absent flags fall back, present flags must parse
+/// completely (`--threads=abc` and `--threads -1` are loud errors, not 0 or
+/// a wrapped size_t).
+Result<size_t> SizeFlag(const Args& args, const std::string& name,
+                        size_t fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  Result<uint64_t> v = ParseUint64(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("--" + name + ": " + v.status().message());
+  }
+  return static_cast<size_t>(*v);
+}
+
+Result<double> DoubleFlag(const Args& args, const std::string& name,
+                          double fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  Result<double> v = ParseDouble(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("--" + name + ": " + v.status().message());
+  }
+  return *v;
+}
+
+/// --stats-json PATH: dumps the global metric registry as NDJSON after the
+/// command ran (one {"metric": ...} object per line).
+Status MaybeWriteStatsJson(const Args& args) {
+  auto it = args.flags.find("stats-json");
+  if (it == args.flags.end()) return Status::OK();
+  std::FILE* f = std::fopen(it->second.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write --stats-json file '" + it->second + "'");
+  }
+  std::string ndjson = obs::Registry::Global().ToNdjson();
+  std::fwrite(ndjson.data(), 1, ndjson.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", it->second.c_str());
+  return Status::OK();
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ssjoin_cli join --left FILE --left-col COL "
@@ -80,6 +132,7 @@ int Usage() {
                "prefix-filter|inline|cost]\n"
                "                  [--threads N] [--morsel N]\n"
                "                  [--q N] [--out FILE] [--max-print N]\n"
+               "                  [--stats-json FILE]\n"
                "  --threads N   worker threads for the SSJoin + verify stages"
                " (default 1;\n"
                "                0 = one per hardware thread)\n"
@@ -95,10 +148,15 @@ int Usage() {
                "--col COL | --socket PATH)\n"
                "                  [--query STR] [--k N] [--alpha A] "
                "[--deadline-ms D]\n"
-               "                  [--stats] [--ping] [--shutdown]\n"
+               "                  [--stats] [--metrics] [--ping] [--shutdown]\n"
+               "                  [--stats-json FILE]\n"
                "           top-k fuzzy lookups, in-process or against a running\n"
                "           ssjoin_served; without --query, queries are read from "
-               "stdin\n");
+               "stdin\n"
+               "  --stats-json FILE  dump this process's metric registry as "
+               "NDJSON\n"
+               "  --metrics          fetch the server's metric registry as "
+               "NDJSON (with --socket)\n");
   return 2;
 }
 
@@ -152,14 +210,12 @@ Result<int> RunJoin(const Args& args) {
   const std::vector<std::string>& right = self_join ? left : right_storage;
 
   std::string sim = FlagOr(args, "sim", "jaccard");
-  double threshold = std::atof(FlagOr(args, "threshold", "0.8").c_str());
-  size_t q = static_cast<size_t>(std::atoi(FlagOr(args, "q", "3").c_str()));
+  SSJOIN_ASSIGN_OR_RETURN(double threshold, DoubleFlag(args, "threshold", 0.8));
+  SSJOIN_ASSIGN_OR_RETURN(size_t q, SizeFlag(args, "q", 3));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec,
                           ParseAlgorithm(FlagOr(args, "algorithm", "inline")));
-  exec.exec.num_threads =
-      static_cast<size_t>(std::atoi(FlagOr(args, "threads", "1").c_str()));
-  size_t morsel =
-      static_cast<size_t>(std::atoi(FlagOr(args, "morsel", "0").c_str()));
+  SSJOIN_ASSIGN_OR_RETURN(exec.exec.num_threads, SizeFlag(args, "threads", 1));
+  SSJOIN_ASSIGN_OR_RETURN(size_t morsel, SizeFlag(args, "morsel", 0));
   if (morsel > 0) exec.exec.morsel_size = morsel;
 
   simjoin::SimJoinStats stats;
@@ -214,10 +270,10 @@ Result<int> RunJoin(const Args& args) {
     SSJOIN_RETURN_NOT_OK(engine::WriteCsvFile(out, out_path->second));
     std::fprintf(stderr, "wrote %s\n", out_path->second.c_str());
   } else {
-    size_t max_print =
-        static_cast<size_t>(std::atoi(FlagOr(args, "max-print", "20").c_str()));
+    SSJOIN_ASSIGN_OR_RETURN(size_t max_print, SizeFlag(args, "max-print", 20));
     std::printf("%s", out.ToString(max_print).c_str());
   }
+  SSJOIN_RETURN_NOT_OK(MaybeWriteStatsJson(args));
   return 0;
 }
 
@@ -230,10 +286,10 @@ Result<simjoin::FuzzyMatchIndex> BuildFuzzyIndex(const Args& args) {
   SSJOIN_ASSIGN_OR_RETURN(std::vector<std::string> reference,
                           LoadColumn(ref->second, col->second));
   simjoin::FuzzyMatchIndex::Options options;
-  options.alpha = std::atof(FlagOr(args, "alpha", "0.5").c_str());
+  SSJOIN_ASSIGN_OR_RETURN(options.alpha, DoubleFlag(args, "alpha", 0.5));
   if (args.flags.count("qgrams") > 0) {
     options.word_tokens = false;
-    options.q = static_cast<size_t>(std::atoi(args.flags.at("qgrams").c_str()));
+    SSJOIN_ASSIGN_OR_RETURN(options.q, SizeFlag(args, "qgrams", 3));
   }
   return simjoin::FuzzyMatchIndex::Build(reference, options);
 }
@@ -257,9 +313,7 @@ Result<int> RunSnapshot(const Args& args) {
   return 0;
 }
 
-/// One round trip on a connected ssjoin_served socket: send `line`, print
-/// the server's response line to stdout.
-Result<int> SocketRoundTrip(const std::string& path, const std::string& line) {
+Result<int> ConnectToServer(const std::string& path) {
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) return Status::IOError("socket() failed");
   sockaddr_un addr{};
@@ -273,31 +327,53 @@ Result<int> SocketRoundTrip(const std::string& path, const std::string& line) {
     ::close(fd);
     return Status::IOError("cannot connect to '" + path + "'");
   }
+  return fd;
+}
+
+Status SendLine(int fd, const std::string& line) {
   std::string request = line + "\n";
   size_t off = 0;
   while (off < request.size()) {
     ssize_t n = ::write(fd, request.data() + off, request.size() - off);
-    if (n <= 0) {
-      ::close(fd);
-      return Status::IOError("short write to server");
-    }
+    if (n <= 0) return Status::IOError("short write to server");
     off += static_cast<size_t>(n);
   }
-  std::string response;
+  return Status::OK();
+}
+
+/// Reads one '\n'-terminated line; bytes past the newline stay in *buffer
+/// for the next call.
+Result<std::string> ReadLine(int fd, std::string* buffer) {
   char chunk[4096];
-  while (response.find('\n') == std::string::npos) {
+  size_t newline;
+  while ((newline = buffer->find('\n')) == std::string::npos) {
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n <= 0) {
-      ::close(fd);
       return Status::IOError("server closed connection without a response");
     }
-    response.append(chunk, static_cast<size_t>(n));
+    buffer->append(chunk, static_cast<size_t>(n));
   }
+  std::string line = buffer->substr(0, newline);
+  buffer->erase(0, newline + 1);
+  return line;
+}
+
+/// One round trip on a connected ssjoin_served socket: send `line`, print
+/// the server's response line to stdout.
+Result<int> SocketRoundTrip(const std::string& path, const std::string& line) {
+  SSJOIN_ASSIGN_OR_RETURN(int fd, ConnectToServer(path));
+  Status sent = SendLine(fd, line);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  std::string buffer;
+  Result<std::string> response = ReadLine(fd, &buffer);
   ::close(fd);
-  response.resize(response.find('\n'));
-  std::printf("%s\n", response.c_str());
+  SSJOIN_RETURN_NOT_OK(response.status());
+  std::printf("%s\n", response->c_str());
   // Reflect server-side failure in the exit code.
-  auto parsed = serve::ParseJsonObject(response);
+  auto parsed = serve::ParseJsonObject(*response);
   if (parsed.ok()) {
     auto it = parsed->find("ok");
     if (it != parsed->end() && it->second.type == serve::JsonScalar::Type::kBool &&
@@ -308,7 +384,42 @@ Result<int> SocketRoundTrip(const std::string& path, const std::string& line) {
   return 0;
 }
 
+/// The multi-line `metrics` op: the server replies with a header object
+/// announcing how many NDJSON metric lines follow. Prints the metric lines
+/// (not the header) so stdout is a clean NDJSON document.
+Result<int> MetricsRoundTrip(const std::string& path) {
+  SSJOIN_ASSIGN_OR_RETURN(int fd, ConnectToServer(path));
+  std::string buffer;
+  Result<int> rc = [&]() -> Result<int> {
+    SSJOIN_RETURN_NOT_OK(SendLine(fd, "{\"op\": \"metrics\"}"));
+    SSJOIN_ASSIGN_OR_RETURN(std::string header, ReadLine(fd, &buffer));
+    SSJOIN_ASSIGN_OR_RETURN(auto parsed, serve::ParseJsonObject(header));
+    auto ok = parsed.find("ok");
+    if (ok == parsed.end() || ok->second.type != serve::JsonScalar::Type::kBool ||
+        !ok->second.boolean) {
+      std::printf("%s\n", header.c_str());
+      return 1;
+    }
+    auto count = parsed.find("metrics");
+    if (count == parsed.end() ||
+        count->second.type != serve::JsonScalar::Type::kNumber ||
+        count->second.num < 0) {
+      return Status::IOError("malformed metrics header: " + header);
+    }
+    for (size_t i = 0; i < static_cast<size_t>(count->second.num); ++i) {
+      SSJOIN_ASSIGN_OR_RETURN(std::string line, ReadLine(fd, &buffer));
+      std::printf("%s\n", line.c_str());
+    }
+    return 0;
+  }();
+  ::close(fd);
+  return rc;
+}
+
 Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
+  if (args.flags.count("metrics") > 0) {
+    return MetricsRoundTrip(socket_path);
+  }
   if (args.flags.count("stats") > 0) {
     return SocketRoundTrip(socket_path, "{\"op\": \"stats\"}");
   }
@@ -321,14 +432,18 @@ Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
   auto query = args.flags.find("query");
   if (query == args.flags.end()) {
     return Status::Invalid(
-        "--query (or --stats/--ping/--shutdown) is required with --socket");
+        "--query (or --stats/--metrics/--ping/--shutdown) is required with "
+        "--socket");
   }
+  // Validate numeric flags client-side so a typo'd --k never reaches the
+  // wire as malformed JSON.
+  SSJOIN_ASSIGN_OR_RETURN(size_t k, SizeFlag(args, "k", 3));
   std::string request = "{\"op\": \"lookup\", \"query\": \"" +
                         serve::JsonEscape(query->second) +
-                        "\", \"k\": " + FlagOr(args, "k", "3");
-  auto deadline = args.flags.find("deadline-ms");
-  if (deadline != args.flags.end()) {
-    request += ", \"deadline_ms\": " + deadline->second;
+                        "\", \"k\": " + std::to_string(k);
+  if (args.flags.count("deadline-ms") > 0) {
+    SSJOIN_ASSIGN_OR_RETURN(size_t deadline, SizeFlag(args, "deadline-ms", 0));
+    request += ", \"deadline_ms\": " + std::to_string(deadline);
   }
   request += "}";
   return SocketRoundTrip(socket_path, request);
@@ -346,7 +461,7 @@ Result<int> RunLookup(const Args& args) {
     return BuildFuzzyIndex(args);
   }();
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, std::move(index_result));
-  size_t k = static_cast<size_t>(std::atoi(FlagOr(args, "k", "3").c_str()));
+  SSJOIN_ASSIGN_OR_RETURN(size_t k, SizeFlag(args, "k", 3));
 
   auto print_matches = [&](const std::string& query) {
     auto matches = index.Lookup(query, k);
@@ -363,6 +478,7 @@ Result<int> RunLookup(const Args& args) {
   auto query = args.flags.find("query");
   if (query != args.flags.end()) {
     print_matches(query->second);
+    SSJOIN_RETURN_NOT_OK(MaybeWriteStatsJson(args));
     return 0;
   }
   // Without --query, serve stdin line by line (one query per line).
@@ -372,12 +488,17 @@ Result<int> RunLookup(const Args& args) {
     while (!q.empty() && (q.back() == '\n' || q.back() == '\r')) q.pop_back();
     if (!q.empty()) print_matches(q);
   }
+  SSJOIN_RETURN_NOT_OK(MaybeWriteStatsJson(args));
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pre-create the core/exec metric names so --stats-json output covers the
+  // full set even for commands that never touch a layer.
+  core::RegisterCoreMetrics();
+  exec::RegisterExecMetrics();
   Args args = ParseArgs(argc, argv);
   Result<int> rc = Status::Invalid("unreachable");
   if (args.command == "join") {

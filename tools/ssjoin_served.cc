@@ -34,8 +34,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "core/ssjoin.h"
 #include "engine/csv.h"
+#include "exec/metrics.h"
+#include "obs/metrics.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
@@ -54,6 +58,12 @@ Args ParseArgs(int argc, char** argv) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) != 0) continue;
     flag = flag.substr(2);
+    // --flag=value binds tighter than the lookahead form, so "--threads=abc"
+    // reaches the checked parser instead of becoming an unknown flag.
+    if (size_t eq = flag.find('='); eq != std::string::npos) {
+      args.flags[flag.substr(0, eq)] = flag.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       args.flags[flag] = argv[++i];
     } else {
@@ -63,10 +73,28 @@ Args ParseArgs(int argc, char** argv) {
   return args;
 }
 
-std::string FlagOr(const Args& args, const std::string& name,
-                   const std::string& fallback) {
+/// Checked flag accessors: absent flags fall back, present flags must parse
+/// completely (`--threads=abc` is a loud startup error, not 0 threads).
+Result<size_t> SizeFlag(const Args& args, const std::string& name,
+                        size_t fallback) {
   auto it = args.flags.find(name);
-  return it == args.flags.end() ? fallback : it->second;
+  if (it == args.flags.end()) return fallback;
+  Result<uint64_t> v = ParseUint64(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("--" + name + ": " + v.status().message());
+  }
+  return static_cast<size_t>(*v);
+}
+
+Result<double> DoubleFlag(const Args& args, const std::string& name,
+                          double fallback) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  Result<double> v = ParseDouble(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("--" + name + ": " + v.status().message());
+  }
+  return *v;
 }
 
 int Usage() {
@@ -85,7 +113,9 @@ int Usage() {
       "  --max-queue N    admission queue bound (default 1024)\n"
       "  --max-batch N    micro-batch size (default 64)\n"
       "  --cache N        query cache entries, 0 disables (default 4096)\n"
-      "  --k-default N    k when a lookup omits it (default 3)\n");
+      "  --k-default N    k when a lookup omits it (default 3)\n"
+      "ops: ping, lookup, stats (one-line JSON), metrics / stats+format=ndjson\n"
+      "     (header line, then one NDJSON metric object per line), shutdown\n");
   return 2;
 }
 
@@ -119,7 +149,28 @@ std::string HandleLine(const std::string& line, ServerState* state,
 
   if (op == "ping") return "{\"ok\": true}";
 
+  // The registry NDJSON export: a header object announcing the line count,
+  // then one {"metric": ...} object per line. Reachable as {"op": "metrics"}
+  // or {"op": "stats", "format": "ndjson"}.
+  auto ndjson_metrics = [] {
+    std::string nd = obs::Registry::Global().ToNdjson();
+    size_t lines = 0;
+    for (char c : nd) lines += c == '\n';
+    if (!nd.empty()) nd.pop_back();  // ServeConnection appends the last '\n'
+    std::string out = "{\"ok\": true, \"format\": \"ndjson\", \"metrics\": " +
+                      std::to_string(lines) + "}";
+    if (lines > 0) out += "\n" + nd;
+    return out;
+  };
+
+  if (op == "metrics") return ndjson_metrics();
+
   if (op == "stats") {
+    auto fmt = obj.find("format");
+    if (fmt != obj.end() && fmt->second.type == serve::JsonScalar::Type::kString &&
+        fmt->second.str == "ndjson") {
+      return ndjson_metrics();
+    }
     return "{\"ok\": true, \"stats\": " + state->service->Stats().ToJson() + "}";
   }
 
@@ -231,18 +282,18 @@ Result<simjoin::FuzzyMatchIndex> BuildOrLoadIndex(const Args& args) {
   if (ref == args.flags.end() || col == args.flags.end()) {
     return Status::Invalid("either --snapshot or --reference/--col is required");
   }
+  simjoin::FuzzyMatchIndex::Options options;
+  SSJOIN_ASSIGN_OR_RETURN(options.alpha, DoubleFlag(args, "alpha", 0.5));
+  if (args.flags.count("qgrams") > 0) {
+    options.word_tokens = false;
+    SSJOIN_ASSIGN_OR_RETURN(options.q, SizeFlag(args, "qgrams", 3));
+  }
   SSJOIN_ASSIGN_OR_RETURN(engine::Table table, engine::ReadCsvFile(ref->second));
   SSJOIN_ASSIGN_OR_RETURN(size_t c, table.schema().FieldIndex(col->second));
   std::vector<std::string> reference;
   reference.reserve(table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
     reference.push_back(table.GetValue(c, r).ToString());
-  }
-  simjoin::FuzzyMatchIndex::Options options;
-  options.alpha = std::atof(FlagOr(args, "alpha", "0.5").c_str());
-  if (args.flags.count("qgrams") > 0) {
-    options.word_tokens = false;
-    options.q = static_cast<size_t>(std::atoi(args.flags.at("qgrams").c_str()));
   }
   Timer t;
   auto index = simjoin::FuzzyMatchIndex::Build(reference, options);
@@ -263,26 +314,24 @@ Result<int> RunServer(const Args& args) {
     return Status::Invalid("socket path too long");
   }
 
+  // Validate every numeric flag before the (possibly slow) index build, so
+  // a typo'd flag fails in milliseconds instead of after a CSV load.
+  serve::LookupServiceOptions options;
+  SSJOIN_ASSIGN_OR_RETURN(options.exec.num_threads, SizeFlag(args, "threads", 1));
+  SSJOIN_ASSIGN_OR_RETURN(options.max_queue, SizeFlag(args, "max-queue", 1024));
+  SSJOIN_ASSIGN_OR_RETURN(options.max_batch, SizeFlag(args, "max-batch", 64));
+  SSJOIN_ASSIGN_OR_RETURN(options.cache_capacity, SizeFlag(args, "cache", 4096));
+  SSJOIN_ASSIGN_OR_RETURN(options.cache_shards, SizeFlag(args, "shards", 8));
+  SSJOIN_ASSIGN_OR_RETURN(size_t default_k, SizeFlag(args, "k-default", 3));
+
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, BuildOrLoadIndex(args));
 
-  serve::LookupServiceOptions options;
-  options.exec.num_threads =
-      static_cast<size_t>(std::atoi(FlagOr(args, "threads", "1").c_str()));
-  options.max_queue =
-      static_cast<size_t>(std::atoll(FlagOr(args, "max-queue", "1024").c_str()));
-  options.max_batch =
-      static_cast<size_t>(std::atoll(FlagOr(args, "max-batch", "64").c_str()));
-  options.cache_capacity =
-      static_cast<size_t>(std::atoll(FlagOr(args, "cache", "4096").c_str()));
-  options.cache_shards =
-      static_cast<size_t>(std::atoll(FlagOr(args, "shards", "8").c_str()));
   SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<serve::LookupService> service,
                           serve::LookupService::Create(std::move(index), options));
 
   ServerState state;
   state.service = service.get();
-  state.default_k =
-      static_cast<size_t>(std::atoi(FlagOr(args, "k-default", "3").c_str()));
+  state.default_k = default_k;
 
   state.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (state.listen_fd < 0) return Status::IOError("socket() failed");
@@ -331,6 +380,11 @@ Result<int> RunServer(const Args& args) {
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
+  // Pre-create the core and exec metric names so the NDJSON export covers
+  // all three layers even before the first lookup dispatches (serve.* names
+  // come from the LookupService's registry provider).
+  core::RegisterCoreMetrics();
+  exec::RegisterExecMetrics();
   Args args = ParseArgs(argc, argv);
   if (args.flags.count("help") > 0 || argc < 2) return Usage();
   Result<int> rc = RunServer(args);
