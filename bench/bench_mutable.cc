@@ -1,0 +1,258 @@
+/// Mutable-index churn bench: bulk-load vs incremental upsert throughput
+/// (each incremental op pays the O(vocabulary + tail) epoch publish), lookup
+/// latency while a writer churns, seal/compaction pause, and restart cost
+/// (WAL replay vs sealed-segment decode). Emits BENCH_mutable.json.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "datagen/error_model.h"
+#include "index/mutable_index.h"
+
+namespace ssjoin::bench {
+namespace {
+
+constexpr size_t kCorpusSize = 20000;
+constexpr size_t kChurnOps = 200;
+constexpr size_t kChurnLookups = 1500;
+
+struct MutableRow {
+  std::string label;
+  double total_ms = 0.0;
+  double ops_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+std::vector<MutableRow>& MutableRows() {
+  static auto* rows = new std::vector<MutableRow>();
+  return *rows;
+}
+
+index::MutableIndexOptions IndexOptions() {
+  index::MutableIndexOptions options;
+  options.match.alpha = 0.35;
+  options.seal_threshold = 0;
+  options.max_generations = 0;
+  return options;
+}
+
+std::unique_ptr<index::MutableFuzzyIndex> LoadedIndex(
+    const std::vector<std::string>& master,
+    index::MutableIndexOptions options) {
+  auto index = index::MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(master.size());
+  for (size_t i = 0; i < master.size(); ++i) records.emplace_back(i, master[i]);
+  if (!index->BulkLoad(records).ok()) std::abort();
+  return index;
+}
+
+double Quantile(std::vector<double> sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  size_t i = static_cast<size_t>(q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[i];
+}
+
+void BM_BulkLoad(benchmark::State& state) {
+  const auto& master = AddressCorpus(kCorpusSize, /*with_name=*/true);
+  for (auto _ : state) {
+    Timer t;
+    auto index = LoadedIndex(master, IndexOptions());
+    double ms = t.ElapsedMillis();
+    double ops = static_cast<double>(master.size()) / (ms / 1000.0);
+    state.counters["docs_per_sec"] = ops;
+    MutableRows().push_back({"bulk_load", ms, ops, 0, 0, 0});
+  }
+}
+
+void BM_IncrementalUpserts(benchmark::State& state) {
+  const auto& master = AddressCorpus(kCorpusSize, /*with_name=*/true);
+  for (auto _ : state) {
+    auto index = LoadedIndex(master, IndexOptions());
+    // Replacements over a warm index: every op republishes the epoch.
+    Timer t;
+    for (size_t i = 0; i < kChurnOps; ++i) {
+      size_t doc = (i * 7919) % master.size();
+      if (!index->Upsert(doc, master[(doc + 1) % master.size()]).ok()) {
+        std::abort();
+      }
+    }
+    double ms = t.ElapsedMillis();
+    double ops = static_cast<double>(kChurnOps) / (ms / 1000.0);
+    state.counters["upserts_per_sec"] = ops;
+    MutableRows().push_back({"incremental_upsert", ms, ops, 0, 0, 0});
+  }
+}
+
+void BM_LookupUnderChurn(benchmark::State& state) {
+  const auto& master = AddressCorpus(kCorpusSize, /*with_name=*/true);
+  Rng rng(kBenchSeed + 2);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.5;
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < 256; ++i) {
+    size_t src = rng.Uniform(master.size());
+    queries.push_back(datagen::CorruptRecord(master[src], {}, errors, &rng));
+  }
+
+  for (auto _ : state) {
+    auto index = LoadedIndex(master, IndexOptions());
+    std::atomic<bool> stop{false};
+    // Writer thread: continuous replace churn (each op publishes an epoch).
+    std::thread writer([&] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t doc = (i * 6151) % master.size();
+        if (!index->Upsert(doc, master[(doc + 3) % master.size()]).ok()) break;
+        ++i;
+      }
+    });
+
+    std::vector<double> lat_us;
+    lat_us.reserve(kChurnLookups);
+    Timer total;
+    for (size_t i = 0; i < kChurnLookups; ++i) {
+      Timer t;
+      auto r = index->Lookup(queries[i % queries.size()], 3);
+      benchmark::DoNotOptimize(r);
+      lat_us.push_back(t.ElapsedMillis() * 1000.0);
+    }
+    double ms = total.ElapsedMillis();
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+
+    std::sort(lat_us.begin(), lat_us.end());
+    MutableRow row{"lookup_under_churn", ms,
+                   static_cast<double>(kChurnLookups) / (ms / 1000.0),
+                   Quantile(lat_us, 0.50), Quantile(lat_us, 0.95),
+                   Quantile(lat_us, 0.99)};
+    state.counters["qps"] = row.ops_per_sec;
+    state.counters["p50_us"] = row.p50_us;
+    state.counters["p95_us"] = row.p95_us;
+    state.counters["p99_us"] = row.p99_us;
+    MutableRows().push_back(row);
+  }
+}
+
+void BM_SealAndCompactPause(benchmark::State& state) {
+  const auto& master = AddressCorpus(kCorpusSize, /*with_name=*/true);
+  for (auto _ : state) {
+    auto index = LoadedIndex(master, IndexOptions());
+    // Grow a tail plus tombstones so both maintenance ops have real work.
+    for (size_t i = 0; i < 128; ++i) {
+      if (!index->Upsert(kCorpusSize + i, master[i % master.size()]).ok()) {
+        std::abort();
+      }
+    }
+    for (size_t i = 0; i < 64; ++i) {
+      if (!index->Delete(i * 3).ok()) std::abort();
+    }
+    Timer seal_t;
+    if (!index->Seal().ok()) std::abort();
+    double seal_ms = seal_t.ElapsedMillis();
+    Timer compact_t;
+    if (!index->Compact().ok()) std::abort();
+    double compact_ms = compact_t.ElapsedMillis();
+    state.counters["seal_ms"] = seal_ms;
+    state.counters["compact_ms"] = compact_ms;
+    MutableRows().push_back({"seal_pause", seal_ms, 0, 0, 0, 0});
+    MutableRows().push_back({"compact_pause", compact_ms, 0, 0, 0, 0});
+  }
+}
+
+void BM_RestartRecovery(benchmark::State& state) {
+  const auto& master = AddressCorpus(kCorpusSize, /*with_name=*/true);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "ssjoin_bench_mutable").string();
+  for (auto _ : state) {
+    index::MutableIndexOptions options = IndexOptions();
+    std::filesystem::remove_all(dir);
+    options.data_dir = dir;
+    {
+      auto index = index::MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+      std::vector<std::pair<uint64_t, std::string>> records;
+      for (size_t i = 0; i < 4096; ++i) records.emplace_back(i, master[i]);
+      if (!index->BulkLoad(records).ok()) std::abort();
+      if (!index->Seal().ok()) std::abort();
+      // Unsealed churn that restart must replay from the WAL.
+      for (size_t i = 0; i < kChurnOps; ++i) {
+        if (!index->Upsert(i % 4096, master[(i + 11) % master.size()]).ok()) {
+          std::abort();
+        }
+      }
+    }
+    Timer t;
+    auto reopened = index::MutableFuzzyIndex::Open(options);
+    if (!reopened.ok()) std::abort();
+    double ms = t.ElapsedMillis();
+    state.counters["reopen_ms"] = ms;
+    state.counters["replayed_ops"] = static_cast<double>(kChurnOps);
+    MutableRows().push_back(
+        {"restart_recovery", ms,
+         static_cast<double>(kChurnOps) / (ms / 1000.0), 0, 0, 0});
+  }
+  std::filesystem::remove_all(dir);
+}
+
+void RegisterAll() {
+  auto reg = [](const char* name, void (*fn)(benchmark::State&)) {
+    benchmark::RegisterBenchmark(name, fn)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+  };
+  reg("mutable/bulk_load", BM_BulkLoad);
+  reg("mutable/incremental_upserts", BM_IncrementalUpserts);
+  reg("mutable/lookup_under_churn", BM_LookupUnderChurn);
+  reg("mutable/seal_compact_pause", BM_SealAndCompactPause);
+  reg("mutable/restart_recovery", BM_RestartRecovery);
+}
+
+}  // namespace
+}  // namespace ssjoin::bench
+
+int main(int argc, char** argv) {
+  ssjoin::bench::InitBenchFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  ssjoin::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\n=== Mutable index churn (%zu reference strings, %zu churn ops) ===\n",
+      ssjoin::bench::kCorpusSize, ssjoin::bench::kChurnOps);
+  std::printf("%-22s %10s %12s %9s %9s %9s\n", "phase", "total(ms)", "ops/s",
+              "p50(us)", "p95(us)", "p99(us)");
+  for (const auto& row : ssjoin::bench::MutableRows()) {
+    std::printf("%-22s %10.1f %12.0f %9.1f %9.1f %9.1f\n", row.label.c_str(),
+                row.total_ms, row.ops_per_sec, row.p50_us, row.p95_us,
+                row.p99_us);
+  }
+
+  {
+    std::vector<ssjoin::bench::JsonRecord> recs;
+    for (const auto& row : ssjoin::bench::MutableRows()) {
+      recs.push_back(ssjoin::bench::JsonRecord()
+                         .Str("label", row.label)
+                         .Num("total_ms", row.total_ms)
+                         .Num("ops_per_sec", row.ops_per_sec)
+                         .Num("p50_us", row.p50_us)
+                         .Num("p95_us", row.p95_us)
+                         .Num("p99_us", row.p99_us));
+    }
+    ssjoin::bench::WriteBenchJson("mutable", recs);
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "bench/bench_common.h"
 #include "common/timer.h"
 #include "datagen/error_model.h"
+#include "index/mutable_index.h"
 #include "serve/lookup_service.h"
 
 namespace ssjoin::bench {
@@ -52,8 +53,8 @@ std::vector<std::string> DirtyQueries(const std::vector<std::string>& master,
 
 void BM_Serve(benchmark::State& state, size_t clients, bool warm) {
   const auto& master = AddressCorpus(kReferenceSize, /*with_name=*/true);
-  simjoin::FuzzyMatchIndex::Options index_options;
-  index_options.alpha = 0.35;
+  index::MutableIndexOptions index_options;
+  index_options.match.alpha = 0.35;
 
   // Cold: every request is a distinct query and the cache is disabled, so
   // each one runs the full lookup. Warm: clients cycle a small mix with the
@@ -64,8 +65,13 @@ void BM_Serve(benchmark::State& state, size_t clients, bool warm) {
 
   double total_ms = 0.0;
   for (auto _ : state) {
-    auto index = simjoin::FuzzyMatchIndex::Build(master, index_options)
-                     .MoveValueUnsafe();
+    auto index = index::MutableFuzzyIndex::Create(index_options).MoveValueUnsafe();
+    {
+      std::vector<std::pair<uint64_t, std::string>> records;
+      records.reserve(master.size());
+      for (size_t i = 0; i < master.size(); ++i) records.emplace_back(i, master[i]);
+      if (!index->BulkLoad(records).ok()) std::abort();
+    }
     serve::LookupServiceOptions options;
     options.exec = BenchExec();
     options.cache_capacity = warm ? 4096 : 0;

@@ -1,0 +1,104 @@
+#include "common/atomic_file.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace ssjoin::common {
+
+namespace {
+
+std::atomic<AtomicWriteFailure> g_failure_mode{AtomicWriteFailure::kNone};
+std::atomic<int> g_failure_count{0};
+
+bool ConsumeInjectedFailure(AtomicWriteFailure step) {
+  if (g_failure_mode.load(std::memory_order_relaxed) != step) return false;
+  int left = g_failure_count.fetch_sub(1, std::memory_order_relaxed);
+  if (left <= 0) {
+    g_failure_count.store(0, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+/// Removes the temp file on every exit path unless the rename committed it.
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (!committed_) std::remove(path_.c_str());
+  }
+  TempFileGuard(const TempFileGuard&) = delete;
+  TempFileGuard& operator=(const TempFileGuard&) = delete;
+
+  void Commit() { committed_ = true; }
+
+ private:
+  std::string path_;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+void InjectAtomicWriteFailureForTest(AtomicWriteFailure mode, int count) {
+  g_failure_mode.store(mode, std::memory_order_relaxed);
+  g_failure_count.store(count, std::memory_order_relaxed);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // Unique per process and per call: concurrent writers (or a writer racing
+  // its own crashed predecessor) never stomp each other's temp file.
+  static std::atomic<uint64_t> counter{0};
+  std::string tmp = path + "." + std::to_string(::getpid()) + "." +
+                    std::to_string(counter.fetch_add(1)) + ".tmp";
+
+  std::FILE* f =
+      ConsumeInjectedFailure(AtomicWriteFailure::kOpen) ? nullptr : std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + tmp + "' for writing");
+  }
+  TempFileGuard guard(tmp);
+
+  bool ok;
+  if (ConsumeInjectedFailure(AtomicWriteFailure::kWrite)) {
+    // Simulate a mid-way short write: half the bytes land, then failure.
+    std::fwrite(contents.data(), 1, contents.size() / 2, f);
+    ok = false;
+  } else {
+    ok = contents.empty() ||
+         std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    return Status::IOError("short write to '" + tmp + "'");
+  }
+
+  if (ConsumeInjectedFailure(AtomicWriteFailure::kRename) ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  guard.Commit();
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  out->clear();
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->append(chunk, n);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IOError("error reading '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ssjoin::common

@@ -1,0 +1,34 @@
+#ifndef SSJOIN_COMMON_ATOMIC_FILE_H_
+#define SSJOIN_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ssjoin::common {
+
+/// \brief Writes `contents` to `path` atomically: the bytes go to a unique
+/// sibling `*.tmp` file which is renamed over `path` only after a complete,
+/// flushed write. Readers therefore see either the old file or the new one,
+/// never a torn mix. On ANY failure (open, write, close, rename) the
+/// temporary file is removed before returning, so no `*.tmp` strays survive.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// \brief Reads an entire file into `*out`. Companion to WriteFileAtomic.
+Status ReadFile(const std::string& path, std::string* out);
+
+/// Test-only failure injection for WriteFileAtomic: the next `count` calls
+/// fail at the given step (after creating whatever real files that step
+/// naturally creates), exercising the cleanup paths.
+enum class AtomicWriteFailure {
+  kNone,
+  kOpen,    // fopen fails
+  kWrite,   // write fails after a partial write hit the temp file
+  kRename,  // rename fails after a fully written temp file
+};
+void InjectAtomicWriteFailureForTest(AtomicWriteFailure mode, int count);
+
+}  // namespace ssjoin::common
+
+#endif  // SSJOIN_COMMON_ATOMIC_FILE_H_

@@ -25,6 +25,19 @@ ElementOrder ElementOrder::ByDecreasingWeight(const WeightVector& weights) {
   return ElementOrder(PermutationToRank(perm));
 }
 
+ElementOrder ElementOrder::ByDecreasingWeightTieKeyed(
+    const WeightVector& weights, std::span<const uint64_t> tie_keys) {
+  SSJOIN_DCHECK(tie_keys.size() == weights.size());
+  std::vector<uint32_t> perm(weights.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    if (tie_keys[a] != tie_keys[b]) return tie_keys[a] < tie_keys[b];
+    return a < b;
+  });
+  return ElementOrder(PermutationToRank(perm));
+}
+
 ElementOrder ElementOrder::ByIncreasingWeight(const WeightVector& weights) {
   std::vector<uint32_t> perm(weights.size());
   std::iota(perm.begin(), perm.end(), 0);

@@ -2,6 +2,7 @@
 #define SSJOIN_CORE_ORDER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,6 +25,15 @@ class ElementOrder {
   /// the paper's choice: frequent elements are filtered out of prefixes.
   /// Ties broken by element id for determinism.
   static ElementOrder ByDecreasingWeight(const WeightVector& weights);
+
+  /// Like ByDecreasingWeight, but ties are broken by a caller-supplied key
+  /// (then by id). With keys that are a pure function of the element's
+  /// *content* — e.g. the dictionary's (token, ordinal) hash — the order no
+  /// longer depends on element-id numbering, so two indexes over the same
+  /// logical records built in different insertion orders agree on every
+  /// prefix. `tie_keys` must have one entry per element.
+  static ElementOrder ByDecreasingWeightTieKeyed(
+      const WeightVector& weights, std::span<const uint64_t> tie_keys);
 
   /// Elements ordered by increasing weight (frequent first) — the
   /// pessimal-ish order, for the ablation.

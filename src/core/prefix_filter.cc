@@ -12,24 +12,33 @@ constexpr double kPruneEps = 1e-6;
 
 }  // namespace
 
-void ComputePrefixInto(std::span<const text::TokenId> set,
-                       const WeightVector& weights, const ElementOrder& order,
-                       double beta, std::vector<text::TokenId>* out) {
-  out->clear();
-  if (beta < -kPruneEps) return;  // group can never satisfy the predicate
-  out->assign(set.begin(), set.end());
-  std::sort(out->begin(), out->end(), [&](text::TokenId a, text::TokenId b) {
-    return order.Rank(a) < order.Rank(b);
-  });
+void TrimSortedToPrefix(const WeightVector& weights, double beta,
+                        std::vector<text::TokenId>* set) {
+  if (beta < -kPruneEps) {  // group can never satisfy the predicate
+    set->clear();
+    return;
+  }
   double cum = 0.0;
-  for (size_t i = 0; i < out->size(); ++i) {
-    cum += weights[(*out)[i]];
+  for (size_t i = 0; i < set->size(); ++i) {
+    cum += weights[(*set)[i]];
     if (cum > beta + kPruneEps) {
-      out->resize(i + 1);
+      set->resize(i + 1);
       return;
     }
   }
   // whole set: weights never exceeded beta
+}
+
+void ComputePrefixInto(std::span<const text::TokenId> set,
+                       const WeightVector& weights, const ElementOrder& order,
+                       double beta, std::vector<text::TokenId>* out) {
+  out->clear();
+  if (beta < -kPruneEps) return;
+  out->assign(set.begin(), set.end());
+  std::sort(out->begin(), out->end(), [&](text::TokenId a, text::TokenId b) {
+    return order.Rank(a) < order.Rank(b);
+  });
+  TrimSortedToPrefix(weights, beta, out);
 }
 
 std::vector<text::TokenId> ComputePrefix(std::span<const text::TokenId> set,

@@ -29,6 +29,14 @@ void ComputePrefixInto(std::span<const text::TokenId> set,
                        const WeightVector& weights, const ElementOrder& order,
                        double beta, std::vector<text::TokenId>* out);
 
+/// \brief The accumulation step of ComputePrefix, split out for callers that
+/// sort by an equivalent comparator instead of a materialized ElementOrder
+/// (the mutable index sorts by per-epoch weights + content tie keys):
+/// `*set` must already be in increasing order-rank and is trimmed in place
+/// to the prefix, with bit-identical cut decisions to ComputePrefixInto.
+void TrimSortedToPrefix(const WeightVector& weights, double beta,
+                        std::vector<text::TokenId>* set);
+
 /// \brief The prefix-filtered image of a whole relation, stored as a flat
 /// CSR SetStore (group g's prefix is `prefixes.view(g)`, in rank order):
 /// for group g, `prefixes.view(g)` = prefix_{beta_g}(rel.set(g)) where

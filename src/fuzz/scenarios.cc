@@ -6,8 +6,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iterator>
+#include <map>
 #include <memory>
 
 #include "common/hash.h"
@@ -19,6 +21,7 @@
 #include "fuzz/oracles.h"
 #include "fuzz/shrink.h"
 #include "fuzz/workload.h"
+#include "index/mutable_index.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
@@ -433,15 +436,46 @@ Result<CheckResult> CheckSnapshotRoundtrip(const Reproducer& rp) {
   return result;
 }
 
+/// Compares mutable-index results (doc ids) against immutable-index results
+/// (reference row indexes). With doc_id == row index the sequences must be
+/// bitwise identical, similarity included — the index subsystem's
+/// equivalence contract.
+bool SameServedLookups(const std::string& name,
+                       const std::vector<index::MutableFuzzyIndex::Match>& got,
+                       const std::vector<simjoin::FuzzyMatchIndex::Match>& want,
+                       const std::string& query, std::string* detail) {
+  if (got.size() != want.size()) {
+    *detail = name + ": result count " + std::to_string(got.size()) + " vs " +
+              std::to_string(want.size()) + " for query \"" + query + "\"";
+    return false;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].id != want[i].ref_index ||
+        got[i].similarity != want[i].similarity) {
+      *detail = name + ": match " + std::to_string(i) + " diverges (" +
+                PairStr(static_cast<uint32_t>(got[i].id), 0, got[i].similarity) +
+                " vs " + PairStr(want[i].ref_index, 0, want[i].similarity) +
+                ") for query \"" + query + "\"";
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<CheckResult> CheckLookupService(const Reproducer& rp) {
   size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index,
                           simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
-  // Build is deterministic, so a second build gives a bit-identical index
-  // for the service to own.
-  SSJOIN_ASSIGN_OR_RETURN(
-      simjoin::FuzzyMatchIndex service_index,
-      simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+  // The service owns a mutable index over the same rows (doc_id = row
+  // index); its lookups must agree with the immutable build bit for bit.
+  index::MutableIndexOptions mopts;
+  mopts.match = IndexOptions(rp);
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> service_index,
+                          index::MutableFuzzyIndex::Create(mopts));
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(rp.r.size());
+  for (size_t i = 0; i < rp.r.size(); ++i) records.emplace_back(i, rp.r[i]);
+  SSJOIN_RETURN_NOT_OK(service_index->BulkLoad(records));
 
   serve::LookupServiceOptions options;
   options.cache_capacity = rp.GetBool("cache_on", true) ? 256 : 0;
@@ -463,13 +497,136 @@ Result<CheckResult> CheckLookupService(const Reproducer& rp) {
         return CheckResult{false, name + " Lookup failed: " +
                                       served.status().ToString()};
       }
-      if (!SameLookups(name + (pass == 0 ? " pass1" : " pass2"), *served,
-                       index.Lookup(query, k), query, &result.detail)) {
+      if (!SameServedLookups(name + (pass == 0 ? " pass1" : " pass2"), *served,
+                             index.Lookup(query, k), query, &result.detail)) {
         result.pass = false;
         return result;
       }
     }
   }
+  return result;
+}
+
+/// Removes a scratch data directory on scope exit (durable fuzz cases).
+struct ScratchDirGuard {
+  std::string dir;
+  ~ScratchDirGuard() {
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
+/// Differential churn fuzz for the mutable index. Each `r` string encodes
+/// one operation:
+///   "u<id>\x1f<value>"  upsert       "d<id>"  delete
+///   "s"  seal           "c"  compact "x"  kill + reopen (durable only)
+/// Malformed strings are no-ops, so ddmin byte-shrinking always yields a
+/// valid case. After EVERY applied op, all `s` queries are checked bitwise
+/// (ids and similarities) against a from-scratch immutable build over the
+/// live records sorted by ascending doc_id — the equivalence contract under
+/// arbitrary interleavings, epoch by epoch.
+Result<CheckResult> CheckMutableIndex(const Reproducer& rp) {
+  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  index::MutableIndexOptions mopts;
+  mopts.match = IndexOptions(rp);
+  mopts.seal_threshold = rp.GetUint("seal_threshold", 0);
+  mopts.max_generations = rp.GetUint("max_generations", 0);
+  const bool durable = rp.GetBool("durable", false);
+
+  ScratchDirGuard guard;
+  if (durable) {
+    static std::atomic<uint64_t> counter{0};
+    guard.dir =
+        (std::filesystem::temp_directory_path() /
+         StringPrintf("ssjoin_fuzz_mut_%d_%llu", static_cast<int>(::getpid()),
+                      static_cast<unsigned long long>(
+                          counter.fetch_add(1, std::memory_order_relaxed))))
+            .string();
+    std::filesystem::remove_all(guard.dir);
+    mopts.data_dir = guard.dir;
+  }
+
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                          index::MutableFuzzyIndex::Create(mopts));
+  std::map<uint64_t, std::string> live;
+  CheckResult result;
+
+  auto check_epoch = [&](const std::string& ctx) -> Result<bool> {
+    std::vector<uint64_t> ids;
+    std::vector<std::string> refs;
+    ids.reserve(live.size());
+    refs.reserve(live.size());
+    for (const auto& [id, value] : live) {
+      ids.push_back(id);
+      refs.push_back(value);
+    }
+    SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex oracle,
+                            simjoin::FuzzyMatchIndex::Build(refs, mopts.match));
+    for (const std::string& query : rp.s) {
+      std::vector<index::MutableFuzzyIndex::Match> got = index->Lookup(query, k);
+      std::vector<simjoin::FuzzyMatchIndex::Match> want = oracle.Lookup(query, k);
+      if (got.size() != want.size()) {
+        result.detail = "mutable_index after '" + ctx + "': result count " +
+                        std::to_string(got.size()) + " vs oracle " +
+                        std::to_string(want.size()) + " for query \"" + query +
+                        "\"";
+        return false;
+      }
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i].id != ids[want[i].ref_index] ||
+            got[i].similarity != want[i].similarity) {
+          result.detail =
+              "mutable_index after '" + ctx + "': match " + std::to_string(i) +
+              " diverges (id=" + std::to_string(got[i].id) +
+              " sim=" + StringPrintf("%.17g", got[i].similarity) +
+              " vs oracle id=" + std::to_string(ids[want[i].ref_index]) +
+              " sim=" + StringPrintf("%.17g", want[i].similarity) +
+              ") for query \"" + query + "\"";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (const std::string& op : rp.r) {
+    if (op.empty()) continue;
+    if (op[0] == 'u') {
+      size_t sep = op.find('\x1f');
+      if (sep == std::string::npos || sep <= 1) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + sep) continue;
+      std::string value = op.substr(sep + 1);
+      SSJOIN_RETURN_NOT_OK(index->Upsert(id, value));
+      live[id] = std::move(value);
+    } else if (op[0] == 'd') {
+      if (op.size() < 2) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + op.size()) continue;
+      SSJOIN_RETURN_NOT_OK(index->Delete(id));
+      live.erase(id);
+    } else if (op == "s") {
+      SSJOIN_RETURN_NOT_OK(index->Seal());
+    } else if (op == "c") {
+      SSJOIN_RETURN_NOT_OK(index->Compact());
+    } else if (op == "x" && durable) {
+      index.reset();
+      SSJOIN_ASSIGN_OR_RETURN(index, index::MutableFuzzyIndex::Open(mopts));
+    } else {
+      continue;  // unknown op byte: no-op, keeps shrinking safe
+    }
+    SSJOIN_ASSIGN_OR_RETURN(bool ok, check_epoch(op));
+    if (!ok) {
+      result.pass = false;
+      return result;
+    }
+  }
+  SSJOIN_ASSIGN_OR_RETURN(bool ok, check_epoch("<end>"));
+  result.pass = ok;
   return result;
 }
 
@@ -558,7 +715,8 @@ std::vector<std::string> AllScenarios() {
   return {"ssjoin_executors",      "edit_distance_joins",
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
-          "lookup_service",        "wire_parser"};
+          "lookup_service",        "mutable_index",
+          "wire_parser"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -623,6 +781,40 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
     rp.Set("cache_on", rng.Bernoulli(0.5));
     rp.Set("threads", 1 + rng.Uniform(2));
     rp.Set("max_batch", 1 + rng.Uniform(8));
+  } else if (scenario == "mutable_index") {
+    // Ops reference a small id space so upserts, replacements and deletes
+    // collide often; values come from a shared pool so near-duplicates (the
+    // interesting similarity regime) are common.
+    wopts.max_records = 12;
+    std::vector<std::string> pool = GenerateStrings(&rng, wopts);
+    if (pool.empty()) pool.push_back("");
+    rp.s = GenerateStrings(&rng, wopts);  // queries checked at every epoch
+    bool durable = rng.Bernoulli(0.5);
+    size_t num_ops = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < num_ops; ++i) {
+      uint64_t roll = rng.Uniform(100);
+      if (roll < 55) {
+        rp.r.push_back("u" + std::to_string(rng.Uniform(10)) + "\x1f" +
+                       pool[rng.Uniform(pool.size())]);
+      } else if (roll < 75) {
+        rp.r.push_back("d" + std::to_string(rng.Uniform(10)));
+      } else if (roll < 85) {
+        rp.r.push_back("s");
+      } else if (roll < 92) {
+        rp.r.push_back("c");
+      } else {
+        rp.r.push_back("x");  // no-op unless durable
+      }
+    }
+    rp.Set("durable", durable);
+    rp.Set("word_tokens", rng.Bernoulli(0.6));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.2 + 0.6 * rng.NextDouble());
+    rp.Set("k", 1 + rng.Uniform(5));
+    rp.Set("seal_threshold", rng.Bernoulli(0.3) ? 1 + rng.Uniform(8)
+                                                : uint64_t{0});
+    rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
+                                                 : uint64_t{0});
   } else if (scenario == "wire_parser") {
     // Lean harder on the adversarial string classes: control bytes, high
     // bytes and empty strings are exactly what a wire parser mishandles.
@@ -653,6 +845,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
     return CheckSnapshotRoundtrip(repro);
   }
   if (repro.scenario == "lookup_service") return CheckLookupService(repro);
+  if (repro.scenario == "mutable_index") return CheckMutableIndex(repro);
   if (repro.scenario == "wire_parser") return CheckWireParser(repro);
   return Status::Invalid("unknown fuzz scenario: " + repro.scenario);
 }

@@ -1,0 +1,59 @@
+#ifndef SSJOIN_INDEX_MANIFEST_H_
+#define SSJOIN_INDEX_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/fuzzy_match.h"
+#include "text/dictionary.h"
+
+namespace ssjoin::index {
+
+/// Snapshot-format v3: the same "SSJSNAPS" container as the serve-layer
+/// snapshots (magic, u32 version, u32 flags, payload, u64 FNV-1a trailer)
+/// but version 3, whose payload is a *manifest* describing a mutable index's
+/// durable state instead of one materialized immutable index: match options,
+/// epoch, the global dictionary, the sealed-generation list (with
+/// per-segment file checksums) and the active WAL's name. v1/v2 payloads
+/// remain immutable-index snapshots; a v1/v2 file is upgraded by loading it
+/// as a single sealed generation (serve::UpgradeSnapshotToMutable).
+inline constexpr uint32_t kManifestVersion = 3;
+inline constexpr char kManifestMagic[8] = {'S', 'S', 'J', 'S', 'N', 'A', 'P', 'S'};
+inline constexpr char kManifestFileName[] = "MANIFEST";
+
+/// One sealed generation as recorded by the manifest. `checksum` is the
+/// FNV-1a hash of the whole segment file; load refuses a file that does not
+/// match (a half-written or swapped segment must never be trusted).
+struct ManifestSegmentRef {
+  uint64_t serial = 0;
+  std::string file;  // basename inside the data directory
+  uint64_t checksum = 0;
+  uint64_t num_docs = 0;
+};
+
+struct Manifest {
+  simjoin::FuzzyMatchIndex::Options options;
+  uint64_t epoch = 0;
+  /// Sequence number of the last operation whose effect is inside a sealed
+  /// segment; WAL records at or below it are stale and skipped at replay.
+  uint64_t last_sealed_seq = 0;
+  uint64_t next_serial = 1;
+  std::vector<text::TokenDictionary::EntryData> dict_entries;
+  uint64_t dict_num_documents = 0;
+  std::vector<ManifestSegmentRef> segments;
+  std::string wal_file;  // basename of the active WAL
+};
+
+/// Atomically writes the manifest (temp file + rename; see WriteFileAtomic).
+Status SaveManifest(const Manifest& manifest, const std::string& path);
+
+/// Loads and validates a v3 manifest. A v1/v2 snapshot file yields a clean
+/// Invalid status naming the version, so callers can fall back to the
+/// immutable-snapshot loader.
+Result<Manifest> LoadManifest(const std::string& path);
+
+}  // namespace ssjoin::index
+
+#endif  // SSJOIN_INDEX_MANIFEST_H_

@@ -1,0 +1,691 @@
+#include "index/mutable_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+
+#include "common/atomic_file.h"
+#include "common/hash.h"
+#include "core/predicate.h"
+#include "core/prefix_filter.h"
+#include "index/manifest.h"
+#include "text/weights.h"
+
+namespace ssjoin::index {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string SegmentFileName(uint64_t serial) {
+  return "seg-" + std::to_string(serial) + ".seg";
+}
+
+std::string WalFileName(uint64_t serial) {
+  return "wal-" + std::to_string(serial) + ".wal";
+}
+
+std::unique_ptr<text::Tokenizer> MakeTokenizer(
+    const simjoin::FuzzyMatchIndex::Options& match) {
+  if (match.word_tokens) return std::make_unique<text::WordTokenizer>();
+  return std::make_unique<text::QGramTokenizer>(match.q);
+}
+
+}  // namespace
+
+MutableFuzzyIndex::MutableFuzzyIndex(const MutableIndexOptions& options)
+    : options_(options), tokenizer_(MakeTokenizer(options.match)) {}
+
+Result<std::unique_ptr<MutableFuzzyIndex>> MutableFuzzyIndex::Create(
+    const MutableIndexOptions& options) {
+  if (options.match.alpha <= 0.0 || options.match.alpha > 1.0) {
+    return Status::Invalid("alpha must be in (0, 1]");
+  }
+  std::unique_ptr<MutableFuzzyIndex> index(new MutableFuzzyIndex(options));
+  if (!options.data_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.data_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create data directory '" +
+                             options.data_dir + "': " + ec.message());
+    }
+    std::string manifest_path =
+        options.data_dir + "/" + kManifestFileName;
+    if (fs::exists(manifest_path)) {
+      return Status::Invalid("data directory '" + options.data_dir +
+                             "' already holds a manifest; use Open");
+    }
+    index->wal_file_ = WalFileName(index->next_serial_);
+    SSJOIN_ASSIGN_OR_RETURN(
+        WalWriter wal,
+        WalWriter::Create(options.data_dir + "/" + index->wal_file_));
+    index->wal_.emplace(std::move(wal));
+    std::lock_guard<std::mutex> lock(index->writer_mu_);
+    SSJOIN_RETURN_NOT_OK(index->PersistSealedLocked({}));
+    index->PublishLocked();
+  } else {
+    std::lock_guard<std::mutex> lock(index->writer_mu_);
+    index->PublishLocked();
+  }
+  index->StartBackground();
+  return index;
+}
+
+Result<std::unique_ptr<MutableFuzzyIndex>> MutableFuzzyIndex::Open(
+    const MutableIndexOptions& options) {
+  if (options.data_dir.empty()) {
+    return Status::Invalid("Open requires a data directory");
+  }
+  std::string manifest_path = options.data_dir + "/" + kManifestFileName;
+  SSJOIN_ASSIGN_OR_RETURN(Manifest manifest, LoadManifest(manifest_path));
+
+  MutableIndexOptions effective = options;
+  effective.match = manifest.options;
+  std::unique_ptr<MutableFuzzyIndex> index(new MutableFuzzyIndex(effective));
+  SSJOIN_ASSIGN_OR_RETURN(
+      index->dict_, text::TokenDictionary::Restore(
+                        std::move(manifest.dict_entries),
+                        manifest.dict_num_documents));
+
+  std::lock_guard<std::mutex> lock(index->writer_mu_);
+  for (const ManifestSegmentRef& ref : manifest.segments) {
+    std::string path = options.data_dir + "/" + ref.file;
+    std::string bytes;
+    Status read = common::ReadFile(path, &bytes);
+    if (!read.ok()) {
+      return Status::IOError("missing or unreadable segment file '" +
+                             ref.file + "': " + read.ToString());
+    }
+    if (HashString(bytes) != ref.checksum) {
+      return Status::IOError("segment file '" + ref.file +
+                             "' checksum mismatch");
+    }
+    SSJOIN_ASSIGN_OR_RETURN(Segment seg, Segment::DecodeFile(bytes));
+    if (seg.serial != ref.serial || seg.num_docs() != ref.num_docs) {
+      return Status::IOError("segment file '" + ref.file +
+                             "' does not match its manifest entry");
+    }
+    index->sealed_.push_back(std::make_shared<const Segment>(std::move(seg)));
+    index->seg_refs_.push_back(ref);
+  }
+
+  // Rebuild the live view from segment contents: the newest per-doc state
+  // across generations decides the winner, exactly as lookups resolve it.
+  index->df_live_.assign(index->dict_.num_elements(), 0);
+  std::unordered_map<uint64_t, std::pair<uint32_t, DocState>> final_state;
+  for (uint32_t si = 0; si < index->sealed_.size(); ++si) {
+    for (const auto& [doc_id, st] : index->sealed_[si]->doc_states) {
+      final_state[doc_id] = {si, st};
+    }
+  }
+  for (const auto& [doc_id, seg_state] : final_state) {
+    const auto& [si, st] = seg_state;
+    if (st.deleted || st.last_local == kNoLocalDoc) continue;
+    index->doc_map_[doc_id] = DocLoc{si, st.last_local};
+    for (text::TokenId e : index->sealed_[si]->sets.elements(st.last_local)) {
+      if (e >= index->df_live_.size()) {
+        return Status::IOError("segment element out of dictionary range");
+      }
+      ++index->df_live_[e];
+    }
+    ++index->live_docs_;
+  }
+
+  index->epoch_ = manifest.epoch;
+  index->last_sealed_seq_ = manifest.last_sealed_seq;
+  index->next_seq_ = manifest.last_sealed_seq + 1;
+  index->next_serial_ = manifest.next_serial;
+
+  // Replay unsealed operations from the WAL, skipping stale records (their
+  // effect is already inside a sealed segment) and truncating any torn tail
+  // so subsequent appends extend a clean log.
+  index->wal_file_ = manifest.wal_file;
+  std::string wal_path = options.data_dir + "/" + index->wal_file_;
+  if (fs::exists(wal_path)) {
+    SSJOIN_ASSIGN_OR_RETURN(WalReadResult wal, ReadWal(wal_path));
+    std::error_code ec;
+    uint64_t size = fs::file_size(wal_path, ec);
+    if (!ec && wal.valid_bytes < size) {
+      fs::resize_file(wal_path, wal.valid_bytes, ec);
+      if (ec) {
+        return Status::IOError("cannot truncate torn WAL tail: " + ec.message());
+      }
+    }
+    for (const WalRecord& rec : wal.records) {
+      if (rec.seq <= index->last_sealed_seq_) continue;  // stale
+      index->next_seq_ = rec.seq;
+      if (rec.type == WalRecord::kUpsert) {
+        SSJOIN_RETURN_NOT_OK(
+            index->ApplyUpsert(rec.doc_id, rec.value, /*log_wal=*/false));
+      } else {
+        SSJOIN_RETURN_NOT_OK(index->ApplyDelete(rec.doc_id, /*log_wal=*/false));
+      }
+    }
+    SSJOIN_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::OpenForAppend(wal_path));
+    index->wal_.emplace(std::move(writer));
+  } else {
+    SSJOIN_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(wal_path));
+    index->wal_.emplace(std::move(writer));
+  }
+
+  index->PublishLocked();
+  index->StartBackground();
+  return index;
+}
+
+void MutableFuzzyIndex::StartBackground() {
+  provider_id_.store(obs::Registry::Global().RegisterProvider(
+      [this](std::vector<obs::MetricPoint>* out) { CollectMetrics(out); }));
+  if (options_.background_maintenance &&
+      (options_.seal_threshold > 0 || options_.max_generations > 0)) {
+    maintenance_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+MutableFuzzyIndex::~MutableFuzzyIndex() {
+  if (uint64_t pid = provider_id_.exchange(0); pid != 0) {
+    obs::Registry::Global().UnregisterProvider(pid);
+  }
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    stopping_ = true;
+  }
+  maint_cv_.notify_all();
+  if (maintenance_.joinable()) maintenance_.join();
+}
+
+void MutableFuzzyIndex::CollectMetrics(std::vector<obs::MetricPoint>* out) const {
+  Stats s = GetStats();
+  out->push_back(obs::MetricPoint::FromGauge("index.epoch",
+                                             static_cast<int64_t>(s.epoch)));
+  out->push_back(obs::MetricPoint::FromGauge(
+      "index.segments", static_cast<int64_t>(s.sealed_segments)));
+  out->push_back(obs::MetricPoint::FromGauge(
+      "index.tail_docs", static_cast<int64_t>(s.tail_docs)));
+  out->push_back(obs::MetricPoint::FromGauge(
+      "index.tombstones", static_cast<int64_t>(s.tombstones)));
+  out->push_back(obs::MetricPoint::FromGauge(
+      "index.live_docs", static_cast<int64_t>(s.live_docs)));
+  out->push_back(obs::MetricPoint::FromCounter("index.upserts", s.upserts));
+  out->push_back(obs::MetricPoint::FromCounter("index.deletes", s.deletes));
+  out->push_back(obs::MetricPoint::FromCounter("index.seals", s.seals));
+  out->push_back(obs::MetricPoint::FromCounter("index.compactions", s.compactions));
+  out->push_back(obs::MetricPoint::FromHistogram("index.publish_us", publish_us_));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("index.compaction_us", compaction_us_));
+}
+
+MutableFuzzyIndex::Stats MutableFuzzyIndex::GetStats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    s.epoch = epoch_;
+    s.sealed_segments = sealed_.size();
+    s.tail_docs = tail_.num_docs();
+    s.live_docs = live_docs_;
+    for (const auto& seg : sealed_) s.tombstones += seg->num_tombstones();
+    for (const auto& [id, st] : tail_.doc_states) {
+      if (st.deleted) ++s.tombstones;
+    }
+  }
+  s.upserts = upserts_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.seals = seals_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::span<const text::TokenId> MutableFuzzyIndex::ElementsOf(
+    const DocLoc& loc) const {
+  if (loc.segment == kTailSegment) return tail_.sets.elements(loc.local);
+  return sealed_[loc.segment]->sets.elements(loc.local);
+}
+
+bool MutableFuzzyIndex::RemoveLive(uint64_t doc_id) {
+  auto it = doc_map_.find(doc_id);
+  if (it == doc_map_.end()) return false;
+  for (text::TokenId e : ElementsOf(it->second)) --df_live_[e];
+  --live_docs_;
+  doc_map_.erase(it);
+  return true;
+}
+
+Status MutableFuzzyIndex::ApplyUpsert(uint64_t doc_id, const std::string& value,
+                                      bool log_wal) {
+  if (log_wal && wal_.has_value()) {
+    WalRecord rec;
+    rec.type = WalRecord::kUpsert;
+    rec.seq = next_seq_;
+    rec.doc_id = doc_id;
+    rec.value = value;
+    SSJOIN_RETURN_NOT_OK(wal_->Append(rec));
+  }
+  ++next_seq_;
+  RemoveLive(doc_id);
+  std::vector<text::TokenId> ids;
+  {
+    std::unique_lock<std::shared_mutex> dict_lock(dict_mu_);
+    ids = dict_.EncodeDocument(tokenizer_->Tokenize(value));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (tail_.num_docs() >= UINT32_MAX - 1) {
+    return Status::Invalid("tail segment is full");
+  }
+  tail_.AppendDoc(doc_id, value, ids);
+  if (df_live_.size() < dict_.num_elements()) {
+    df_live_.resize(dict_.num_elements(), 0);
+  }
+  for (text::TokenId e : ids) ++df_live_[e];
+  ++live_docs_;
+  doc_map_[doc_id] =
+      DocLoc{kTailSegment, static_cast<uint32_t>(tail_.num_docs() - 1)};
+  upserts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::ApplyDelete(uint64_t doc_id, bool log_wal) {
+  if (log_wal && wal_.has_value()) {
+    WalRecord rec;
+    rec.type = WalRecord::kDelete;
+    rec.seq = next_seq_;
+    rec.doc_id = doc_id;
+    SSJOIN_RETURN_NOT_OK(wal_->Append(rec));
+  }
+  ++next_seq_;
+  RemoveLive(doc_id);
+  tail_.RecordDelete(doc_id);
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::Upsert(uint64_t doc_id, const std::string& value) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+  PublishLocked();
+  MaybeMaintainLocked();
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::Delete(uint64_t doc_id) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  SSJOIN_RETURN_NOT_OK(ApplyDelete(doc_id, /*log_wal=*/true));
+  PublishLocked();
+  MaybeMaintainLocked();
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::BulkLoad(
+    const std::vector<std::pair<uint64_t, std::string>>& records) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  for (const auto& [doc_id, value] : records) {
+    SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+  }
+  PublishLocked();
+  MaybeMaintainLocked();
+  return Status::OK();
+}
+
+void MutableFuzzyIndex::PublishLocked() {
+  obs::ObsSpan span(&publish_us_);
+  auto state = std::make_shared<EpochState>();
+  state->epoch = ++epoch_;
+  state->live_docs = live_docs_;
+  double n = static_cast<double>(live_docs_);
+  state->unseen_weight =
+      text::QuantizeWeight(std::log(std::max<double>(2.0, n)));
+  size_t num_elements = dict_.num_elements();
+  if (df_live_.size() < num_elements) df_live_.resize(num_elements, 0);
+  state->weights.resize(num_elements);
+  state->tie_keys.resize(num_elements);
+  state->live.resize(num_elements);
+  for (text::TokenId e = 0; e < num_elements; ++e) {
+    uint64_t f = df_live_[e];
+    state->live[e] = f > 0 ? 1 : 0;
+    state->weights[e] = text::QuantizeWeight(text::IdfWeightFromFrequency(n, f));
+    state->tie_keys[e] = dict_.KeyHash(e);
+  }
+  state->segments.assign(sealed_.begin(), sealed_.end());
+  if (!tail_.empty()) {
+    auto frozen = std::make_shared<Segment>(tail_);
+    frozen->BuildPostings();
+    state->segments.push_back(std::move(frozen));
+  }
+  published_.store(std::move(state), std::memory_order_release);
+}
+
+Status MutableFuzzyIndex::PersistSealedLocked(
+    const std::vector<std::string>& obsolete_files) {
+  if (options_.data_dir.empty()) return Status::OK();
+  // Order matters for crash safety: the rotated WAL must exist before the
+  // manifest that names it, and obsolete files go only after the manifest
+  // rename commits. A crash between any two steps recovers from the OLD
+  // manifest + OLD WAL; freshly written files are orphans that later seals
+  // overwrite.
+  Manifest manifest;
+  manifest.options = options_.match;
+  manifest.epoch = epoch_;
+  manifest.last_sealed_seq = last_sealed_seq_;
+  manifest.next_serial = next_serial_;
+  manifest.dict_entries.reserve(dict_.num_elements());
+  for (text::TokenId e = 0; e < dict_.num_elements(); ++e) {
+    manifest.dict_entries.push_back(text::TokenDictionary::EntryData{
+        dict_.TokenOf(e), dict_.OrdinalOf(e),
+        e < df_live_.size() ? df_live_[e] : 0});
+  }
+  manifest.dict_num_documents = live_docs_;
+  manifest.segments = seg_refs_;
+  manifest.wal_file = wal_file_;
+  SSJOIN_RETURN_NOT_OK(
+      SaveManifest(manifest, options_.data_dir + "/" + kManifestFileName));
+  for (const std::string& file : obsolete_files) {
+    std::error_code ec;
+    fs::remove(options_.data_dir + "/" + file, ec);  // best-effort cleanup
+  }
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::SealLocked() {
+  if (tail_.empty()) {
+    return PersistSealedLocked({});
+  }
+  Segment seg = std::move(tail_);
+  tail_ = Segment();
+  seg.serial = next_serial_++;
+  seg.BuildPostings();
+  auto sealed = std::make_shared<const Segment>(std::move(seg));
+  sealed_.push_back(sealed);
+  uint32_t new_index = static_cast<uint32_t>(sealed_.size() - 1);
+  for (auto& [doc_id, loc] : doc_map_) {
+    if (loc.segment == kTailSegment) loc.segment = new_index;
+  }
+  last_sealed_seq_ = next_seq_ - 1;
+
+  if (!options_.data_dir.empty()) {
+    std::string file = SegmentFileName(sealed->serial);
+    std::string bytes = sealed->EncodeFile();
+    SSJOIN_RETURN_NOT_OK(
+        common::WriteFileAtomic(options_.data_dir + "/" + file, bytes));
+    seg_refs_.push_back(ManifestSegmentRef{sealed->serial, file,
+                                           HashString(bytes),
+                                           sealed->num_docs()});
+    std::string old_wal = wal_file_;
+    wal_file_ = WalFileName(next_serial_);
+    SSJOIN_ASSIGN_OR_RETURN(
+        WalWriter writer,
+        WalWriter::Create(options_.data_dir + "/" + wal_file_));
+    wal_ = std::move(writer);
+    SSJOIN_RETURN_NOT_OK(PersistSealedLocked({old_wal}));
+  }
+  seals_.fetch_add(1, std::memory_order_relaxed);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::CompactLocked() {
+  // Nothing to fold: a single tombstone-free generation and an empty tail.
+  if (tail_.empty() && sealed_.size() == 1 && sealed_[0]->num_tombstones() == 0) {
+    return Status::OK();
+  }
+  obs::ObsSpan span(&compaction_us_);
+  Segment merged;
+  merged.serial = next_serial_++;
+  // Live docs in ascending doc_id order: deterministic bytes (and the same
+  // order a from-scratch rebuild would index them in).
+  std::vector<std::pair<uint64_t, DocLoc>> live(doc_map_.begin(), doc_map_.end());
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [doc_id, loc] : live) {
+    const std::string& value = loc.segment == kTailSegment
+                                   ? tail_.values[loc.local]
+                                   : sealed_[loc.segment]->values[loc.local];
+    merged.AppendDoc(doc_id, value, ElementsOf(loc));
+  }
+  merged.BuildPostings();
+  auto sealed = std::make_shared<const Segment>(std::move(merged));
+
+  std::vector<std::string> obsolete;
+  for (const ManifestSegmentRef& ref : seg_refs_) obsolete.push_back(ref.file);
+  sealed_.clear();
+  seg_refs_.clear();
+  tail_ = Segment();
+  sealed_.push_back(sealed);
+  doc_map_.clear();
+  for (uint32_t local = 0; local < sealed->num_docs(); ++local) {
+    doc_map_[sealed->doc_ids[local]] = DocLoc{0, local};
+  }
+  last_sealed_seq_ = next_seq_ - 1;
+
+  if (!options_.data_dir.empty()) {
+    std::string file = SegmentFileName(sealed->serial);
+    std::string bytes = sealed->EncodeFile();
+    SSJOIN_RETURN_NOT_OK(
+        common::WriteFileAtomic(options_.data_dir + "/" + file, bytes));
+    seg_refs_.push_back(ManifestSegmentRef{sealed->serial, file,
+                                           HashString(bytes),
+                                           sealed->num_docs()});
+    std::string old_wal = wal_file_;
+    obsolete.push_back(old_wal);
+    wal_file_ = WalFileName(next_serial_);
+    SSJOIN_ASSIGN_OR_RETURN(
+        WalWriter writer,
+        WalWriter::Create(options_.data_dir + "/" + wal_file_));
+    wal_ = std::move(writer);
+    SSJOIN_RETURN_NOT_OK(PersistSealedLocked(obsolete));
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::Seal() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return SealLocked();
+}
+
+Status MutableFuzzyIndex::Compact() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return CompactLocked();
+}
+
+void MutableFuzzyIndex::MaybeMaintainLocked() {
+  bool want_seal = options_.seal_threshold > 0 &&
+                   tail_.num_docs() >= options_.seal_threshold;
+  bool want_compact = options_.max_generations > 0 &&
+                      sealed_.size() > options_.max_generations;
+  if (!want_seal && !want_compact) return;
+  if (options_.background_maintenance) {
+    {
+      std::lock_guard<std::mutex> lock(maint_mu_);
+      maint_kick_ = true;
+    }
+    maint_cv_.notify_one();
+    return;
+  }
+  // Inline maintenance: deterministic epoch numbering, mutation pays the
+  // seal/compaction latency. Failures surface on the mutating call.
+  if (want_seal) (void)SealLocked();
+  if (options_.max_generations > 0 && sealed_.size() > options_.max_generations) {
+    (void)CompactLocked();
+  }
+}
+
+void MutableFuzzyIndex::BackgroundLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait(lock, [&] { return stopping_ || maint_kick_; });
+      if (stopping_) return;
+      maint_kick_ = false;
+    }
+    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    if (options_.seal_threshold > 0 &&
+        tail_.num_docs() >= options_.seal_threshold) {
+      // Background failures cannot surface to a caller; the next explicit
+      // Seal/Checkpoint retries and reports.
+      (void)SealLocked();
+    }
+    if (options_.max_generations > 0 &&
+        sealed_.size() > options_.max_generations) {
+      (void)CompactLocked();
+    }
+  }
+}
+
+void MutableFuzzyIndex::SortByEpochRank(const EpochState& state,
+                                        std::vector<text::TokenId>* elements) {
+  std::sort(elements->begin(), elements->end(),
+            [&](text::TokenId a, text::TokenId b) {
+              if (state.weights[a] != state.weights[b]) {
+                return state.weights[a] > state.weights[b];
+              }
+              if (state.tie_keys[a] != state.tie_keys[b]) {
+                return state.tie_keys[a] < state.tie_keys[b];
+              }
+              return a < b;
+            });
+}
+
+bool MutableFuzzyIndex::IsWinner(const EpochState& state, size_t segment_index,
+                                 const Segment& segment, uint32_t local,
+                                 uint64_t doc_id) const {
+  auto it = segment.doc_states.find(doc_id);
+  if (it == segment.doc_states.end() || it->second.deleted ||
+      it->second.last_local != local) {
+    return false;
+  }
+  for (size_t j = segment_index + 1; j < state.segments.size(); ++j) {
+    // Any later mention — a newer version or a tombstone — supersedes.
+    if (state.segments[j]->doc_states.count(doc_id) > 0) return false;
+  }
+  return true;
+}
+
+std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::Lookup(
+    const std::string& query, size_t k) const {
+  return LookupAt(*Snapshot(), query, k);
+}
+
+std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
+    const EpochState& state, const std::string& query, size_t k) const {
+  // This function replicates FuzzyMatchIndex::Lookup step by step; every
+  // arithmetic expression below must stay bit-for-bit in sync with it (see
+  // the equivalence contract in the header).
+  std::vector<Match> out;
+  if (k == 0) return out;
+  std::vector<std::string> tokens = tokenizer_->Tokenize(query);
+  std::vector<text::TokenId> ids;
+  {
+    std::shared_lock<std::shared_mutex> dict_lock(dict_mu_);
+    ids = dict_.EncodeDocumentReadOnly(tokens);
+  }
+  // An element counts as unseen exactly when a rebuild over the epoch's
+  // live records would not know it: never interned, interned after this
+  // epoch, or in no live document.
+  size_t unseen = 0;
+  std::vector<text::TokenId> known;
+  known.reserve(ids.size());
+  for (text::TokenId id : ids) {
+    if (id == text::kInvalidToken || id >= state.live.size() ||
+        state.live[id] == 0) {
+      ++unseen;
+    } else {
+      known.push_back(id);
+    }
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+  double query_weight = static_cast<double>(unseen) * state.unseen_weight;
+  for (text::TokenId id : known) query_weight += state.weights[id];
+  if (known.empty()) return out;
+
+  double beta = query_weight - options_.match.alpha * query_weight;
+  std::vector<text::TokenId> prefix = known;
+  SortByEpochRank(state, &prefix);
+  core::TrimSortedToPrefix(state.weights, beta, &prefix);
+  std::unordered_set<text::TokenId> query_prefix(prefix.begin(), prefix.end());
+
+  core::OverlapPredicate pred =
+      core::OverlapPredicate::TwoSidedNormalized(options_.match.alpha);
+  std::vector<uint32_t> locals;
+  std::vector<text::TokenId> ref_prefix;
+  for (size_t si = 0; si < state.segments.size(); ++si) {
+    const Segment& seg = *state.segments[si];
+    locals.clear();
+    for (text::TokenId e : prefix) {
+      std::span<const uint32_t> post = seg.Postings(e);
+      locals.insert(locals.end(), post.begin(), post.end());
+    }
+    std::sort(locals.begin(), locals.end());
+    locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+
+    for (uint32_t local : locals) {
+      uint64_t doc_id = seg.doc_ids[local];
+      if (!IsWinner(state, si, seg, local, doc_id)) continue;
+      std::span<const text::TokenId> elems = seg.sets.elements(local);
+      double set_weight = 0.0;
+      for (text::TokenId e : elems) set_weight += state.weights[e];
+
+      // The immutable index only indexes each reference set's prefix; a doc
+      // is its candidate iff that prefix meets the query prefix. Recompute
+      // the doc's prefix under this epoch's weights and apply the same test
+      // so the candidate sets — and with them the 1e-12 acceptance band —
+      // agree exactly.
+      double beta_s = set_weight - pred.SSideRequired(set_weight);
+      ref_prefix.assign(elems.begin(), elems.end());
+      SortByEpochRank(state, &ref_prefix);
+      core::TrimSortedToPrefix(state.weights, beta_s, &ref_prefix);
+      bool is_candidate = false;
+      for (text::TokenId e : ref_prefix) {
+        if (query_prefix.count(e) > 0) {
+          is_candidate = true;
+          break;
+        }
+      }
+      if (!is_candidate) continue;
+
+      double overlap = 0.0;
+      size_t i = 0;
+      size_t j = 0;
+      while (i < known.size() && j < elems.size()) {
+        if (known[i] < elems[j]) {
+          ++i;
+        } else if (elems[j] < known[i]) {
+          ++j;
+        } else {
+          overlap += state.weights[known[i]];
+          ++i;
+          ++j;
+        }
+      }
+      double uni = query_weight + set_weight - overlap;
+      double jr = uni > 0.0 ? overlap / uni : 1.0;
+      if (jr >= options_.match.alpha - 1e-12) out.push_back({doc_id, jr});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Match& a, const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::optional<std::string> MutableFuzzyIndex::ValueAt(const EpochState& state,
+                                                      uint64_t doc_id) const {
+  for (size_t j = state.segments.size(); j-- > 0;) {
+    const Segment& seg = *state.segments[j];
+    auto it = seg.doc_states.find(doc_id);
+    if (it == seg.doc_states.end()) continue;
+    if (it->second.deleted || it->second.last_local == kNoLocalDoc) {
+      return std::nullopt;
+    }
+    return seg.values[it->second.last_local];
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssjoin::index

@@ -1,0 +1,271 @@
+#ifndef SSJOIN_INDEX_MUTABLE_INDEX_H_
+#define SSJOIN_INDEX_MUTABLE_INDEX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/sets.h"
+#include "index/manifest.h"
+#include "index/segment.h"
+#include "index/wal.h"
+#include "obs/metrics.h"
+#include "simjoin/fuzzy_match.h"
+#include "text/tokenizer.h"
+
+namespace ssjoin::index {
+
+/// Knobs of a MutableFuzzyIndex.
+struct MutableIndexOptions {
+  /// Tokenization / similarity options, identical in meaning to the
+  /// immutable FuzzyMatchIndex's.
+  simjoin::FuzzyMatchIndex::Options match;
+  /// Data directory for the manifest, sealed segment files and the WAL.
+  /// Empty = purely in-memory (no durability; Seal/Compact still work).
+  std::string data_dir;
+  /// Auto-seal the tail once it holds this many docs (0 = only explicit
+  /// Seal calls).
+  size_t seal_threshold = 256;
+  /// Auto-compact once the sealed generation count exceeds this
+  /// (0 = only explicit Compact calls).
+  size_t max_generations = 4;
+  /// Apply the two thresholds from a background maintenance thread instead
+  /// of inline in the mutating call. Results are identical either way (a
+  /// seal or compaction never changes lookup results, only epoch numbers);
+  /// background mode keeps mutation latency flat at the cost of timing-
+  /// dependent epoch numbering.
+  bool background_maintenance = false;
+};
+
+/// One epoch's immutable read view: the per-element IDF weights, liveness
+/// flags and tie keys frozen at publish time, plus the segment list (sealed
+/// generations shared by pointer, the tail copied and frozen). Lookups
+/// against one EpochState are bit-identical no matter how the index mutates
+/// afterwards.
+struct EpochState {
+  uint64_t epoch = 0;
+  uint64_t live_docs = 0;
+  double unseen_weight = 0.0;
+  core::WeightVector weights;
+  std::vector<uint64_t> tie_keys;
+  std::vector<uint8_t> live;
+  std::vector<std::shared_ptr<const Segment>> segments;
+};
+
+/// \brief An incrementally mutable fuzzy-lookup index: an append-only
+/// mutable tail over sealed immutable generations, with tombstones for
+/// deletes, epoch-numbered atomically-published read snapshots, an
+/// append-only WAL and a v3 manifest for durability.
+///
+/// ## Equivalence contract
+/// After ANY sequence of Upsert/Delete/Seal/Compact calls, Lookup results
+/// are bitwise identical to a freshly built immutable FuzzyMatchIndex over
+/// the live records sorted by ascending doc_id (with Match::id in place of
+/// Match::ref_index). Three mechanisms carry the proof:
+///   1. IDF weights are quantized to multiples of 2^-26 (text::QuantizeWeight)
+///      on both build paths, making every weighted sum exact and therefore
+///      independent of summation order — token-id numbering drops out.
+///   2. The element order is tie-keyed by content hash
+///      (ElementOrder::ByDecreasingWeightTieKeyed), so both sides sort
+///      same-weight elements identically despite different id spaces.
+///   3. Candidate generation replicates the immutable pipeline exactly:
+///      the query prefix is computed with the shared TrimSortedToPrefix,
+///      and each candidate is kept only if its own (recomputed, per-epoch)
+///      reference-side prefix intersects the query prefix — the same test
+///      the immutable index's prebuilt prefix inverted index performs.
+/// The one caveat: if two distinct same-weight elements collide on their
+/// 64-bit content hash, the two sides may order them differently; with FNV
+/// over distinct keys this is a ~2^-64-per-pair event we accept.
+///
+/// ## Concurrency
+/// All mutations serialize on a writer mutex and finish by publishing a new
+/// EpochState through an atomic shared_ptr swap — readers never take the
+/// writer lock and never block (they share the token dictionary under a
+/// shared_mutex only while encoding the query). Publish cost is
+/// O(vocabulary + tail), paid per mutation; batch ingest should use
+/// BulkLoad, which publishes once.
+///
+/// ## Durability (data_dir set)
+/// Every mutation appends to the WAL (flushed before it is applied). Seal
+/// writes the tail as a segment file, rotates the WAL and atomically
+/// rewrites the manifest; Open() restores the sealed state from the
+/// manifest (validating per-segment checksums) and replays unsealed WAL
+/// records, skipping stale ones. A kill at any point loses at most the
+/// record being written when the process died.
+class MutableFuzzyIndex {
+ public:
+  /// One lookup result: the document's caller-assigned id plus the exact
+  /// Jaccard resemblance (bitwise equal to the immutable index's similarity
+  /// for the same logical corpus).
+  struct Match {
+    uint64_t id;
+    double similarity;
+  };
+
+  /// Point-in-time structural counters (for obs and status endpoints).
+  struct Stats {
+    uint64_t epoch = 0;
+    uint64_t sealed_segments = 0;
+    uint64_t tail_docs = 0;
+    uint64_t tombstones = 0;
+    uint64_t live_docs = 0;
+    uint64_t upserts = 0;
+    uint64_t deletes = 0;
+    uint64_t seals = 0;
+    uint64_t compactions = 0;
+  };
+
+  /// Creates an empty index. With a data_dir, initializes the directory
+  /// (fresh WAL + manifest); fails if it already holds a manifest — use
+  /// Open for that.
+  static Result<std::unique_ptr<MutableFuzzyIndex>> Create(
+      const MutableIndexOptions& options);
+
+  /// Restores an index from `options.data_dir`: loads the manifest,
+  /// validates and decodes every sealed segment, replays unsealed WAL
+  /// records and publishes the recovered epoch. Match options come from the
+  /// manifest (the caller's `options.match` is ignored).
+  static Result<std::unique_ptr<MutableFuzzyIndex>> Open(
+      const MutableIndexOptions& options);
+
+  ~MutableFuzzyIndex();
+  MutableFuzzyIndex(const MutableFuzzyIndex&) = delete;
+  MutableFuzzyIndex& operator=(const MutableFuzzyIndex&) = delete;
+
+  /// Inserts or replaces the document `doc_id`, then publishes a new epoch.
+  Status Upsert(uint64_t doc_id, const std::string& value);
+
+  /// Deletes `doc_id` (a no-op tombstone if absent), then publishes.
+  Status Delete(uint64_t doc_id);
+
+  /// Upserts many records with a single epoch publish at the end — the bulk
+  /// ingest path (publish cost is O(vocabulary), so per-record publishing
+  /// would make loading quadratic-ish).
+  Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& records);
+
+  /// Seals the tail into an immutable generation; with a data_dir this
+  /// writes the segment file, rotates the WAL and rewrites the manifest.
+  /// A no-op (manifest refresh only) when the tail is empty.
+  Status Seal();
+
+  /// Merges every generation plus the tail into one sealed generation,
+  /// dropping all tombstones. Lookup results are unchanged.
+  Status Compact();
+
+  /// The current epoch's read view. Never null; cheap (one atomic load).
+  std::shared_ptr<const EpochState> Snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Lookup against the current epoch. See the equivalence contract above.
+  std::vector<Match> Lookup(const std::string& query, size_t k) const;
+
+  /// Lookup pinned to an explicit epoch (e.g. one captured at request
+  /// admission, so a batch runs against the epoch its cache key names).
+  std::vector<Match> LookupAt(const EpochState& state, const std::string& query,
+                              size_t k) const;
+
+  /// The live value of `doc_id` in the given epoch, if any.
+  std::optional<std::string> ValueAt(const EpochState& state,
+                                     uint64_t doc_id) const;
+
+  uint64_t epoch() const { return Snapshot()->epoch; }
+  const text::Tokenizer& tokenizer() const { return *tokenizer_; }
+  const MutableIndexOptions& options() const { return options_; }
+
+  Stats GetStats() const;
+
+ private:
+  static constexpr uint32_t kTailSegment = UINT32_MAX;
+
+  struct DocLoc {
+    uint32_t segment;  // index into sealed_, or kTailSegment
+    uint32_t local;
+  };
+
+  explicit MutableFuzzyIndex(const MutableIndexOptions& options);
+
+  void StartBackground();
+  /// obs::Registry provider mirroring Stats() as `index.*` metrics.
+  void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
+
+  Status ApplyUpsert(uint64_t doc_id, const std::string& value, bool log_wal);
+  Status ApplyDelete(uint64_t doc_id, bool log_wal);
+  /// Removes `doc_id` from the live set (doc map + df + live count); returns
+  /// whether it was live.
+  bool RemoveLive(uint64_t doc_id);
+  std::span<const text::TokenId> ElementsOf(const DocLoc& loc) const;
+
+  /// Builds and atomically publishes the next EpochState.
+  void PublishLocked();
+  Status SealLocked();
+  Status CompactLocked();
+  /// Writes segment file(s) + rotated WAL + manifest for the current sealed
+  /// state; `obsolete_files` are removed after the manifest rename commits.
+  Status PersistSealedLocked(const std::vector<std::string>& obsolete_files);
+  void MaybeMaintainLocked();
+  void BackgroundLoop();
+
+  bool IsWinner(const EpochState& state, size_t segment_index,
+                const Segment& segment, uint32_t local, uint64_t doc_id) const;
+  /// Sorts element ids into increasing epoch-order rank: decreasing weight,
+  /// ties by content hash then id — the comparator of
+  /// ElementOrder::ByDecreasingWeightTieKeyed.
+  static void SortByEpochRank(const EpochState& state,
+                              std::vector<text::TokenId>* elements);
+
+  MutableIndexOptions options_;
+  std::unique_ptr<text::Tokenizer> tokenizer_;
+
+  /// Guards the dictionary: readers (query encoding) shared, the writer
+  /// exclusive while interning. Taken after writer_mu_, never before.
+  mutable std::shared_mutex dict_mu_;
+  text::TokenDictionary dict_;
+
+  /// Serializes all mutation, sealing and publishing.
+  mutable std::mutex writer_mu_;
+  std::vector<std::shared_ptr<const Segment>> sealed_;
+  /// Manifest entries mirroring sealed_ (file name + checksum per
+  /// generation); only populated when a data_dir is set.
+  std::vector<ManifestSegmentRef> seg_refs_;
+  Segment tail_;
+  std::vector<uint64_t> df_live_;
+  uint64_t live_docs_ = 0;
+  std::unordered_map<uint64_t, DocLoc> doc_map_;
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t last_sealed_seq_ = 0;
+  uint64_t next_serial_ = 1;
+  std::optional<WalWriter> wal_;
+  std::string wal_file_;
+
+  std::atomic<std::shared_ptr<const EpochState>> published_;
+
+  std::atomic<uint64_t> upserts_{0};
+  std::atomic<uint64_t> deletes_{0};
+  std::atomic<uint64_t> seals_{0};
+  std::atomic<uint64_t> compactions_{0};
+  obs::Histogram publish_us_;
+  obs::Histogram compaction_us_;
+  std::atomic<uint64_t> provider_id_{0};
+
+  std::mutex maint_mu_;
+  std::condition_variable maint_cv_;
+  bool stopping_ = false;
+  bool maint_kick_ = false;
+  std::thread maintenance_;
+};
+
+}  // namespace ssjoin::index
+
+#endif  // SSJOIN_INDEX_MUTABLE_INDEX_H_

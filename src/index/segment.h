@@ -1,0 +1,87 @@
+#ifndef SSJOIN_INDEX_SEGMENT_H_
+#define SSJOIN_INDEX_SEGMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/set_store.h"
+#include "text/dictionary.h"
+
+namespace ssjoin::index {
+
+/// Sentinel local index for a doc_id a segment only tombstones (the doc's
+/// body, if any, lives in an older segment).
+inline constexpr uint32_t kNoLocalDoc = UINT32_MAX;
+
+/// A doc_id's state within one segment: the local index of its latest
+/// version appended here (kNoLocalDoc if none) and whether a delete was the
+/// last operation touching it in this segment.
+struct DocState {
+  uint32_t last_local = kNoLocalDoc;
+  bool deleted = false;
+};
+
+/// \brief One generation of a MutableFuzzyIndex: doc ids, their raw values,
+/// their canonical element sets (global-dictionary ids, CSR layout) and the
+/// per-doc_id state map that resolves winners across generations.
+///
+/// The same type serves as the append-only mutable tail (the writer appends
+/// under its mutex and copies the segment on every epoch publish) and, after
+/// sealing, as an immutable generation shared between epochs by shared_ptr.
+/// `BuildPostings` materializes the inverted index (element -> local doc
+/// indexes, sorted) used for candidate generation; it is built at freeze/load
+/// time, never serialized.
+///
+/// Tombstones (doc_states entries with `deleted`) are persisted with sealed
+/// segments: a delete recorded in generation j must keep suppressing copies
+/// of the doc in generations < j after a restart. Full compaction folds all
+/// generations into one and drops them.
+struct Segment {
+  uint64_t serial = 0;
+  std::vector<uint64_t> doc_ids;
+  std::vector<std::string> values;
+  core::SetStore sets;
+  std::unordered_map<uint64_t, DocState> doc_states;
+
+  size_t num_docs() const { return doc_ids.size(); }
+  bool empty() const { return doc_ids.empty() && doc_states.empty(); }
+  size_t num_tombstones() const { return tombstone_count_; }
+
+  /// Appends one document version. `elements` must be canonical (sorted by
+  /// id, duplicate-free).
+  void AppendDoc(uint64_t doc_id, std::string value,
+                 std::span<const text::TokenId> elements);
+
+  /// Records a delete: the latest state of `doc_id` in this segment becomes
+  /// "deleted" (also suppressing any copy in older segments).
+  void RecordDelete(uint64_t doc_id);
+
+  /// Sorts the (element, local) pairs into the postings arrays and caches
+  /// the tombstone count. Call once the segment stops mutating.
+  void BuildPostings();
+
+  /// Local doc indexes containing element `e` (ascending). Valid only after
+  /// BuildPostings.
+  std::span<const uint32_t> Postings(text::TokenId e) const;
+
+  /// Serialized segment file: magic, version, payload, FNV-1a trailer.
+  std::string EncodeFile() const;
+
+  /// Decodes, validates (magic/version/checksum/CSR invariants) and rebuilds
+  /// doc_states and postings.
+  static Result<Segment> DecodeFile(std::string_view bytes);
+
+ private:
+  std::vector<text::TokenId> posting_elements_;
+  std::vector<uint32_t> posting_locals_;
+  size_t tombstone_count_ = 0;
+};
+
+}  // namespace ssjoin::index
+
+#endif  // SSJOIN_INDEX_SEGMENT_H_

@@ -19,7 +19,11 @@ uint64_t MicrosSince(Clock::time_point start) {
 }  // namespace
 
 Result<std::unique_ptr<LookupService>> LookupService::Create(
-    simjoin::FuzzyMatchIndex index, const LookupServiceOptions& options) {
+    std::unique_ptr<index::MutableFuzzyIndex> index,
+    const LookupServiceOptions& options) {
+  if (index == nullptr) {
+    return Status::Invalid("index must not be null");
+  }
   if (options.max_queue == 0) {
     return Status::Invalid("max_queue must be at least 1");
   }
@@ -64,7 +68,7 @@ void LookupService::CollectMetrics(std::vector<obs::MetricPoint>* out) const {
       obs::MetricPoint::FromHistogram("serve.span.reply_us", metrics_.span_reply));
 }
 
-LookupService::LookupService(simjoin::FuzzyMatchIndex index,
+LookupService::LookupService(std::unique_ptr<index::MutableFuzzyIndex> index,
                              const LookupServiceOptions& options)
     : index_(std::move(index)),
       options_(options),
@@ -72,10 +76,11 @@ LookupService::LookupService(simjoin::FuzzyMatchIndex index,
 
 LookupService::~LookupService() { Shutdown(); }
 
-std::string LookupService::CacheKey(const std::string& query, size_t k) const {
+std::string LookupService::CacheKey(const std::string& query, size_t k,
+                                    uint64_t epoch) const {
   std::string key;
-  key.reserve(query.size() + 24);
-  for (const std::string& token : index_.tokenizer().Tokenize(query)) {
+  key.reserve(query.size() + 32);
+  for (const std::string& token : index_->tokenizer().Tokenize(query)) {
     key += token;
     key.push_back('\x1f');  // unit separator: cannot appear inside a token
   }
@@ -84,7 +89,11 @@ std::string LookupService::CacheKey(const std::string& query, size_t k) const {
   key.push_back('\x1e');
   // alpha is fixed per index, but keying on it keeps entries from one index
   // generation meaningless to another if a cache ever outlives a reload.
-  key += std::to_string(index_.options().alpha);
+  key += std::to_string(index_->options().match.alpha);
+  key.push_back('\x1e');
+  // The epoch makes every mutation a cache-wide invalidation: entries for
+  // older epochs are unreachable and age out of the LRU.
+  key += std::to_string(epoch);
   return key;
 }
 
@@ -99,7 +108,11 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     metrics_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
     return Status::DeadlineExceeded("deadline expired before admission");
   }
-  std::string cache_key = CacheKey(query, k);
+  // Capture the published epoch once: the cache probe, the key and the
+  // eventual LookupAt all use this one view, so a concurrent mutation can
+  // neither tear a request across epochs nor satisfy it from a stale entry.
+  std::shared_ptr<const index::EpochState> state = index_->Snapshot();
+  std::string cache_key = CacheKey(query, k, state->epoch);
   if (auto cached = cache_.Get(cache_key)) {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -123,6 +136,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     Pending pending;
     pending.query = query;
     pending.cache_key = std::move(cache_key);
+    pending.state = std::move(state);
     pending.k = k;
     pending.start = start;
     pending.has_deadline = deadline.count() > 0;
@@ -204,7 +218,8 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
                         size_t end) {
                       for (size_t i = begin; i < end; ++i) {
                         obs::ObsSpan span(&metrics_.span_lookup);
-                        results[i] = index_.Lookup(live[i].query, live[i].k);
+                        results[i] = index_->LookupAt(*live[i].state,
+                                                      live[i].query, live[i].k);
                       }
                     });
 

@@ -15,10 +15,10 @@
 
 #include "common/result.h"
 #include "exec/exec_context.h"
+#include "index/mutable_index.h"
 #include "obs/metrics.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
-#include "simjoin/fuzzy_match.h"
 
 namespace ssjoin::serve {
 
@@ -39,8 +39,8 @@ struct LookupServiceOptions {
 };
 
 /// \brief A long-lived, thread-safe fuzzy-lookup service over one
-/// FuzzyMatchIndex — the online face of the paper's §6 record-lookup
-/// scenario.
+/// index::MutableFuzzyIndex — the online face of the paper's §6
+/// record-lookup scenario, now over a mutable corpus.
 ///
 /// Concurrency model: callers block in Lookup while a single dispatcher
 /// thread drains a bounded admission queue in micro-batches of up to
@@ -49,10 +49,12 @@ struct LookupServiceOptions {
 /// latency when idle (a lone request is dispatched immediately as a batch of
 /// one).
 ///
-/// Results are bit-identical to calling FuzzyMatchIndex::Lookup directly:
-/// the service adds admission, batching and caching around the index, never
-/// approximation. The query cache is keyed on the normalized token sequence,
-/// so it only coalesces queries the index itself cannot distinguish.
+/// Every request captures the index's published epoch at admission and runs
+/// against exactly that epoch (LookupAt), so a batch is internally
+/// consistent even while writers mutate the index concurrently. The query
+/// cache key carries the epoch, which makes a cache hit bit-identical to
+/// recomputing against the epoch it names — mutations can never surface a
+/// stale hit, because they change the epoch and with it every key.
 ///
 /// Overload policy: when the admission queue is full, Lookup returns
 /// Unavailable immediately (load shedding); when a request's deadline
@@ -61,12 +63,13 @@ struct LookupServiceOptions {
 /// unboundedly or blocks forever.
 class LookupService {
  public:
-  using Match = simjoin::FuzzyMatchIndex::Match;
+  using Match = index::MutableFuzzyIndex::Match;
 
-  /// Takes ownership of a built (or snapshot-loaded) index and starts the
-  /// dispatcher thread.
+  /// Takes ownership of a mutable index (created, opened from a data dir, or
+  /// upgraded from an immutable snapshot) and starts the dispatcher thread.
   static Result<std::unique_ptr<LookupService>> Create(
-      simjoin::FuzzyMatchIndex index, const LookupServiceOptions& options);
+      std::unique_ptr<index::MutableFuzzyIndex> index,
+      const LookupServiceOptions& options);
 
   ~LookupService();
   LookupService(const LookupService&) = delete;
@@ -83,10 +86,25 @@ class LookupService {
       const std::string& query, size_t k,
       std::chrono::milliseconds deadline = std::chrono::milliseconds::zero());
 
+  /// Mutations: thin passthroughs to the index. Each publishes a new epoch,
+  /// naturally invalidating every cached lookup (the epoch is in the key).
+  Status Upsert(uint64_t doc_id, const std::string& value) {
+    return index_->Upsert(doc_id, value);
+  }
+  Status Delete(uint64_t doc_id) { return index_->Delete(doc_id); }
+  Status Seal() { return index_->Seal(); }
+  Status Compact() { return index_->Compact(); }
+  uint64_t epoch() const { return index_->epoch(); }
+
+  /// The current live value of `doc_id`, if any (display convenience).
+  std::optional<std::string> ValueOf(uint64_t doc_id) const {
+    return index_->ValueAt(*index_->Snapshot(), doc_id);
+  }
+
   /// Consistent-enough point-in-time counters and latency quantiles.
   StatsSnapshot Stats() const;
 
-  const simjoin::FuzzyMatchIndex& index() const { return index_; }
+  const index::MutableFuzzyIndex& index() const { return *index_; }
   const LookupServiceOptions& options() const { return options_; }
 
   /// Stops accepting requests, fails queued ones with Unavailable and joins
@@ -102,6 +120,9 @@ class LookupService {
   struct Pending {
     std::string query;
     std::string cache_key;
+    /// The epoch view captured at admission; the lookup runs against it so
+    /// the result matches the epoch its cache key names.
+    std::shared_ptr<const index::EpochState> state;
     size_t k;
     std::chrono::steady_clock::time_point start;
     std::chrono::steady_clock::time_point deadline;
@@ -109,21 +130,21 @@ class LookupService {
     std::promise<Result<std::vector<Match>>> promise;
   };
 
-  LookupService(simjoin::FuzzyMatchIndex index,
+  LookupService(std::unique_ptr<index::MutableFuzzyIndex> index,
                 const LookupServiceOptions& options);
 
   /// obs::Registry provider: mirrors this service's counters, queue depth
   /// and latency/lifecycle histograms into the snapshot as `serve.*`.
   void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
 
-  /// Cache key: the query's token sequence (unit-separator joined) plus k
-  /// and alpha — exactly the inputs Lookup's result depends on.
-  std::string CacheKey(const std::string& query, size_t k) const;
+  /// Cache key: the query's token sequence (unit-separator joined) plus k,
+  /// alpha and the epoch — exactly the inputs Lookup's result depends on.
+  std::string CacheKey(const std::string& query, size_t k, uint64_t epoch) const;
 
   void DispatcherLoop();
   void RunBatch(std::vector<Pending>* batch);
 
-  simjoin::FuzzyMatchIndex index_;
+  std::unique_ptr<index::MutableFuzzyIndex> index_;
   LookupServiceOptions options_;
   QueryCache cache_;
   ServiceMetrics metrics_;

@@ -30,7 +30,7 @@ QueryCache::QueryCache(size_t capacity, size_t shards) {
   }
 }
 
-std::optional<std::vector<simjoin::FuzzyMatchIndex::Match>> QueryCache::Get(
+std::optional<std::vector<index::MutableFuzzyIndex::Match>> QueryCache::Get(
     const std::string& key) {
   if (!enabled()) return std::nullopt;
   Shard& shard = ShardFor(key);
@@ -46,7 +46,7 @@ std::optional<std::vector<simjoin::FuzzyMatchIndex::Match>> QueryCache::Get(
 }
 
 void QueryCache::Put(const std::string& key,
-                     std::vector<simjoin::FuzzyMatchIndex::Match> matches) {
+                     std::vector<index::MutableFuzzyIndex::Match> matches) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);

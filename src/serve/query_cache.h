@@ -12,16 +12,19 @@
 #include <vector>
 
 #include "common/hash.h"
-#include "simjoin/fuzzy_match.h"
+#include "index/mutable_index.h"
 
 namespace ssjoin::serve {
 
 /// \brief Sharded LRU cache of lookup results, keyed on the *normalized*
-/// query plus (k, alpha).
+/// query plus (k, alpha, epoch).
 ///
 /// Normalization (LookupService::CacheKey) maps a raw query to its token
 /// sequence, so any two strings that tokenize identically — and therefore
-/// produce bit-identical Lookup results — share one entry. Sharding by key
+/// produce bit-identical Lookup results — share one entry. The key also
+/// carries the index epoch the result was computed against: a mutation
+/// publishes a new epoch, so stale entries become unreachable immediately
+/// (and age out of the LRU) rather than ever being served. Sharding by key
 /// hash keeps the lock a short per-shard critical section instead of a
 /// service-wide serialization point; each shard maintains its own intrusive
 /// LRU list. Capacity is split exactly across shards — floor(capacity/shards)
@@ -37,12 +40,12 @@ class QueryCache {
   bool enabled() const { return !shards_.empty(); }
 
   /// The cached matches for `key`, refreshing its recency; nullopt on miss.
-  std::optional<std::vector<simjoin::FuzzyMatchIndex::Match>> Get(
+  std::optional<std::vector<index::MutableFuzzyIndex::Match>> Get(
       const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU tail if full.
   void Put(const std::string& key,
-           std::vector<simjoin::FuzzyMatchIndex::Match> matches);
+           std::vector<index::MutableFuzzyIndex::Match> matches);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -53,7 +56,7 @@ class QueryCache {
  private:
   struct Entry {
     std::string key;
-    std::vector<simjoin::FuzzyMatchIndex::Match> matches;
+    std::vector<index::MutableFuzzyIndex::Match> matches;
   };
   struct Shard {
     std::mutex mu;

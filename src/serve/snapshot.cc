@@ -4,93 +4,13 @@
 #include <cstring>
 #include <vector>
 
+#include "common/atomic_file.h"
+#include "common/payload.h"
 #include "common/hash.h"
 
 namespace ssjoin::serve {
 
 namespace {
-
-/// Appends fixed-width little-endian scalars and length-prefixed blobs to a
-/// growing payload buffer.
-class PayloadWriter {
- public:
-  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void F64(double v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
-    U64(s.size());
-    buf_.append(s);
-  }
-  template <typename T>
-  void Vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    U64(v.size());
-    if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
-  }
-
-  const std::string& buffer() const { return buf_; }
-
- private:
-  void Raw(const void* p, size_t n) {
-    buf_.append(static_cast<const char*>(p), n);
-  }
-
-  std::string buf_;
-};
-
-/// Bounds-checked reader over the payload; every accessor fails with a
-/// "truncated" status instead of reading past the end.
-class PayloadReader {
- public:
-  PayloadReader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  Status U8(uint8_t* out) { return Raw(out, sizeof(*out)); }
-  Status U32(uint32_t* out) { return Raw(out, sizeof(*out)); }
-  Status U64(uint64_t* out) { return Raw(out, sizeof(*out)); }
-  Status F64(double* out) { return Raw(out, sizeof(*out)); }
-
-  Status Str(std::string* out) {
-    uint64_t n = 0;
-    SSJOIN_RETURN_NOT_OK(U64(&n));
-    if (n > Remaining()) return Truncated();
-    out->assign(data_ + pos_, static_cast<size_t>(n));
-    pos_ += static_cast<size_t>(n);
-    return Status::OK();
-  }
-
-  template <typename T>
-  Status Vec(std::vector<T>* out) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    uint64_t n = 0;
-    SSJOIN_RETURN_NOT_OK(U64(&n));
-    if (n > Remaining() / sizeof(T)) return Truncated();
-    out->resize(static_cast<size_t>(n));
-    if (n > 0) {
-      std::memcpy(out->data(), data_ + pos_, static_cast<size_t>(n) * sizeof(T));
-      pos_ += static_cast<size_t>(n) * sizeof(T);
-    }
-    return Status::OK();
-  }
-
-  bool AtEnd() const { return pos_ == size_; }
-
- private:
-  size_t Remaining() const { return size_ - pos_; }
-  static Status Truncated() {
-    return Status::IOError("snapshot payload truncated");
-  }
-  Status Raw(void* out, size_t n) {
-    if (n > Remaining()) return Truncated();
-    std::memcpy(out, data_ + pos_, n);
-    pos_ += n;
-    return Status::OK();
-  }
-
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 uint64_t PayloadChecksum(const char* data, size_t size) {
   return HashString(std::string_view(data, size));
@@ -98,7 +18,7 @@ uint64_t PayloadChecksum(const char* data, size_t size) {
 
 std::string EncodePayload(const simjoin::FuzzyMatchIndex& index,
                           uint32_t version) {
-  PayloadWriter w;
+  common::PayloadWriter w;
   const auto& options = index.options();
   w.U8(options.word_tokens ? 1 : 0);
   w.U64(options.q);
@@ -146,7 +66,7 @@ std::string EncodePayload(const simjoin::FuzzyMatchIndex& index,
 
 Result<simjoin::FuzzyMatchIndex> DecodePayload(const char* data, size_t size,
                                                uint32_t version) {
-  PayloadReader r(data, size);
+  common::PayloadReader r(data, size);
   simjoin::FuzzyMatchIndex::Options options;
   uint8_t word_tokens = 0;
   uint64_t q = 0;
@@ -241,29 +161,15 @@ Status SaveSnapshotAtVersion(const simjoin::FuzzyMatchIndex& index,
   std::string payload = EncodePayload(index, version);
   uint64_t checksum = PayloadChecksum(payload.data(), payload.size());
 
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open '" + tmp + "' for writing");
-  }
+  std::string bytes;
+  bytes.reserve(kSnapshotHeaderSize + payload.size() + sizeof(checksum));
+  bytes.append(kSnapshotMagic, sizeof(kSnapshotMagic));
   uint32_t flags = 0;
-  bool ok = std::fwrite(kSnapshotMagic, 1, sizeof(kSnapshotMagic), f) ==
-                sizeof(kSnapshotMagic) &&
-            std::fwrite(&version, 1, sizeof(version), f) == sizeof(version) &&
-            std::fwrite(&flags, 1, sizeof(flags), f) == sizeof(flags) &&
-            (payload.empty() ||
-             std::fwrite(payload.data(), 1, payload.size(), f) == payload.size()) &&
-            std::fwrite(&checksum, 1, sizeof(checksum), f) == sizeof(checksum);
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write to '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename '" + tmp + "' to '" + path + "'");
-  }
-  return Status::OK();
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(reinterpret_cast<const char*>(&flags), sizeof(flags));
+  bytes.append(payload);
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return common::WriteFileAtomic(path, bytes);
 }
 
 Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path) {
@@ -306,6 +212,22 @@ Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path) {
     return Status::IOError("snapshot '" + path + "' checksum mismatch");
   }
   return DecodePayload(payload, payload_size, version);
+}
+
+Result<std::unique_ptr<index::MutableFuzzyIndex>> UpgradeSnapshotToMutable(
+    const std::string& path, index::MutableIndexOptions options) {
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex loaded, LoadSnapshot(path));
+  options.match = loaded.options();
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                          index::MutableFuzzyIndex::Create(options));
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(loaded.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    records.emplace_back(i, loaded.reference(static_cast<uint32_t>(i)));
+  }
+  SSJOIN_RETURN_NOT_OK(index->BulkLoad(records));
+  SSJOIN_RETURN_NOT_OK(index->Seal());
+  return index;
 }
 
 }  // namespace ssjoin::serve

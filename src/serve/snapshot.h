@@ -2,9 +2,11 @@
 #define SSJOIN_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/result.h"
+#include "index/mutable_index.h"
 #include "simjoin/fuzzy_match.h"
 
 namespace ssjoin::serve {
@@ -56,6 +58,16 @@ Status SaveSnapshotAtVersion(const simjoin::FuzzyMatchIndex& index,
 /// Deserializes a snapshot previously written by SaveSnapshot (any
 /// supported version).
 Result<simjoin::FuzzyMatchIndex> LoadSnapshot(const std::string& path);
+
+/// Upgrades a v1/v2 immutable snapshot into a mutable index: the reference
+/// strings are bulk-loaded (row index becomes the doc_id) and sealed into a
+/// single generation. `options.match` is overridden by the snapshot's own
+/// match options; with `options.data_dir` set the result is immediately
+/// durable in the v3 manifest + segment format. Lookup results are bitwise
+/// identical to the immutable index's (modulo Match::id replacing
+/// Match::ref_index) — the index subsystem's equivalence contract.
+Result<std::unique_ptr<index::MutableFuzzyIndex>> UpgradeSnapshotToMutable(
+    const std::string& path, index::MutableIndexOptions options);
 
 /// @}
 

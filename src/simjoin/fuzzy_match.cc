@@ -31,11 +31,25 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
   }
   text::IdfWeights idf(index.dict_);
   index.weights_ = core::MaterializeWeights(index.dict_, idf);
+  // Quantize so weighted-set sums are exact and order-independent; without
+  // this, two indexes over the same records but different token-id numbering
+  // (e.g. a mutable index vs. a rebuild) could differ in the last ulp.
+  for (double& w : index.weights_) w = text::QuantizeWeight(w);
   // Weight assumed for query tokens absent from the reference: that of a
   // token occurring in a single reference record.
-  index.unseen_token_weight_ =
-      std::log(std::max<double>(2.0, static_cast<double>(index.dict_.num_documents())));
-  index.order_ = core::ElementOrder::ByDecreasingWeight(index.weights_);
+  index.unseen_token_weight_ = text::QuantizeWeight(
+      std::log(std::max<double>(2.0, static_cast<double>(index.dict_.num_documents()))));
+  // Tie-keyed by element content so the order — and with it every prefix —
+  // is independent of token-id numbering. A MutableFuzzyIndex over the same
+  // logical records replicates this order from its own (differently
+  // numbered) dictionary, which is what makes its lookups bit-identical to
+  // a from-scratch rebuild.
+  std::vector<uint64_t> tie_keys(index.dict_.num_elements());
+  for (text::TokenId id = 0; id < tie_keys.size(); ++id) {
+    tie_keys[id] = index.dict_.KeyHash(id);
+  }
+  index.order_ = core::ElementOrder::ByDecreasingWeightTieKeyed(index.weights_,
+                                                                tie_keys);
   SSJOIN_ASSIGN_OR_RETURN(index.sets_,
                           core::BuildSetsRelation(std::move(docs), index.weights_));
 

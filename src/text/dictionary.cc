@@ -1,5 +1,7 @@
 #include "text/dictionary.h"
 
+#include "common/hash.h"
+
 namespace ssjoin::text {
 
 namespace {
@@ -38,7 +40,7 @@ std::vector<TokenId> TokenDictionary::EncodeDocument(
     std::string key = MakeKey(token, ordinal);
     auto [it, inserted] = index_.try_emplace(key, static_cast<TokenId>(entries_.size()));
     if (inserted) {
-      entries_.push_back(Entry{std::string(token), ordinal, 0});
+      entries_.push_back(Entry{std::string(token), ordinal, 0, HashString(key)});
     }
     ids.push_back(it->second);
   }
@@ -71,6 +73,7 @@ Result<TokenDictionary> TokenDictionary::Restore(std::vector<EntryData> entries,
   dict.index_.reserve(entries.size());
   for (EntryData& e : entries) {
     std::string key = MakeKey(e.token, e.ordinal);
+    uint64_t key_hash = HashString(key);
     TokenId id = static_cast<TokenId>(dict.entries_.size());
     auto [it, inserted] = dict.index_.emplace(std::move(key), id);
     (void)it;
@@ -78,7 +81,8 @@ Result<TokenDictionary> TokenDictionary::Restore(std::vector<EntryData> entries,
       return Status::Invalid("dictionary restore: duplicate element '" + e.token +
                              "' ordinal " + std::to_string(e.ordinal));
     }
-    dict.entries_.push_back(Entry{std::move(e.token), e.ordinal, e.doc_frequency});
+    dict.entries_.push_back(
+        Entry{std::move(e.token), e.ordinal, e.doc_frequency, key_hash});
   }
   dict.num_documents_ = num_documents;
   return dict;

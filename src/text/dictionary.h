@@ -75,6 +75,14 @@ class TokenDictionary {
     SSJOIN_DCHECK(id < entries_.size());
     return entries_[id].doc_frequency;
   }
+  /// Content hash of the element: FNV-1a over its interning key (token plus
+  /// ordinal suffix). A pure function of (token, ordinal) — independent of
+  /// id numbering — so it serves as the id-free tie key of
+  /// core::ElementOrder::ByDecreasingWeightTieKeyed.
+  uint64_t KeyHash(TokenId id) const {
+    SSJOIN_DCHECK(id < entries_.size());
+    return entries_[id].key_hash;
+  }
 
   size_t num_elements() const { return entries_.size(); }
   uint64_t num_documents() const { return num_documents_; }
@@ -84,6 +92,7 @@ class TokenDictionary {
     std::string token;
     uint32_t ordinal;
     uint64_t doc_frequency;
+    uint64_t key_hash;
   };
 
   static std::string MakeKey(std::string_view token, uint32_t ordinal);

@@ -11,6 +11,33 @@
 
 namespace ssjoin::text {
 
+/// Floor applied to IDF weights so every weight stays positive (the paper
+/// assumes positive weights).
+inline constexpr double kMinIdfWeight = 1e-6;
+
+/// \brief The IDF formula of §5, shared by the immutable build path and the
+/// mutable index so both compute bit-identical doubles for the same (n, f).
+/// `f == 0` — possible in a dictionary rebuilt through Restore — maps to the
+/// floor: log(n/0) = +inf would otherwise poison every set weight it touches.
+inline double IdfWeightFromFrequency(double n, uint64_t f) {
+  double idf = f == 0 ? kMinIdfWeight : std::log(n / static_cast<double>(f));
+  return idf > kMinIdfWeight ? idf : kMinIdfWeight;
+}
+
+/// \brief Snaps a weight to the nearest multiple of 2^-26.
+///
+/// IDF weights are bounded by log(2^64) < 45 < 2^6, so a quantized weight
+/// has at most 6 + 26 = 32 significand bits. Sums of up to ~2^20 such
+/// weights stay below 2^26 in magnitude and need at most 26 + 26 = 52
+/// significand bits — they fit a double EXACTLY, so weighted-set sums incur
+/// no rounding and are independent of summation order. This is what lets a
+/// mutable index (whose token ids reflect insertion history) produce
+/// bitwise-identical similarities to a from-scratch rebuild (whose ids
+/// reflect corpus order).
+inline double QuantizeWeight(double w) {
+  return std::ldexp(std::nearbyint(std::ldexp(w, 26)), -26);
+}
+
 /// \brief Assigns a fixed positive weight to every element of the universe
 /// (Section 2: "each distinct value in U is associated with a unique weight").
 class WeightProvider {
@@ -55,9 +82,7 @@ class IdfWeights final : public WeightProvider {
     const double n = static_cast<double>(dict.num_documents());
     weights_.resize(dict.num_elements());
     for (TokenId id = 0; id < weights_.size(); ++id) {
-      uint64_t f = dict.DocFrequency(id);
-      double idf = f == 0 ? kMinWeight : std::log(n / static_cast<double>(f));
-      weights_[id] = idf > kMinWeight ? idf : kMinWeight;
+      weights_[id] = IdfWeightFromFrequency(n, dict.DocFrequency(id));
     }
   }
 
@@ -69,8 +94,6 @@ class IdfWeights final : public WeightProvider {
   size_t size() const { return weights_.size(); }
 
  private:
-  static constexpr double kMinWeight = 1e-6;
-
   std::vector<double> weights_;
 };
 

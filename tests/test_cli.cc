@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -327,6 +329,97 @@ TEST(CliTest, ServedSocketRoundTrip) {
   std::remove(in.c_str());
   std::remove(snap.c_str());
   std::remove(server_log.c_str());
+}
+
+TEST(CliTest, ServedChurnKillRestartRecovers) {
+  std::string in = TempPath("churn_ref.csv");
+  std::string sock = TempPath("churn.sock");
+  std::string data = TempPath("churn_data");
+  std::string pid_path = TempPath("churn.pid");
+  WriteFile(in, kReferenceCsv);
+  std::filesystem::remove_all(data);
+  std::remove(sock.c_str());
+
+  auto start_server = [&](const std::string& log) {
+    std::string cmd = std::string(SSJOIN_SERVED_PATH) + " --reference " + in +
+                      " --col name --alpha 0.4 --data " + data + " --socket " +
+                      sock + " >" + log + " 2>&1 & echo $! > " + pid_path;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    ASSERT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) == 0; },
+                        std::chrono::seconds(10)))
+        << ReadWholeFile(log);
+  };
+
+  std::string log1 = TempPath("churn1.log");
+  start_server(log1);
+
+  // Churn through the CLI: a new doc, a replacement, a delete, a compaction,
+  // then one more unsealed upsert the restart must replay from the WAL.
+  std::string out;
+  ASSERT_EQ(RunCliCapture("upsert --socket " + sock +
+                              " --id 100 --value "
+                              "\"International Business Machines Corp\"",
+                          &out),
+            0)
+      << ReadWholeFile(log1);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"epoch\""), std::string::npos) << out;
+  ASSERT_EQ(RunCli("upsert --socket " + sock + " --id 1 --value \"Oracle Corp\""),
+            0);
+  ASSERT_EQ(RunCli("delete --socket " + sock + " --id 2"), 0);
+  ASSERT_EQ(RunCliCapture("compact --socket " + sock, &out), 0);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  ASSERT_EQ(RunCli("upsert --socket " + sock +
+                   " --id 101 --value \"Apple Computer Inc\""),
+            0);
+
+  const std::vector<std::string> lookups = {
+      "lookup --socket " + sock +
+          " --query \"International Business Machines Inc\" --k 3",
+      "lookup --socket " + sock + " --query \"Oracle Corp\" --k 3",
+      "lookup --socket " + sock + " --query \"Apple Computer\" --k 3",
+  };
+  std::vector<std::string> before;
+  for (const std::string& cmd : lookups) {
+    ASSERT_EQ(RunCliCapture(cmd, &out), 0);
+    before.push_back(out);
+  }
+  // The churn is visible pre-kill: the upserted doc matches, the deleted
+  // original "Apple Inc" row is gone in favor of the replayed-tail doc.
+  EXPECT_NE(before[0].find("International Business Machines Corp"),
+            std::string::npos)
+      << before[0];
+  EXPECT_NE(before[2].find("Apple Computer Inc"), std::string::npos)
+      << before[2];
+
+  // Kill -9: no orderly shutdown, no final seal. Durability now rests
+  // entirely on the manifest + WAL.
+  int pid = std::atoi(ReadWholeFile(pid_path).c_str());
+  ASSERT_GT(pid, 1);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  WaitFor([&] { return ::kill(pid, 0) != 0; }, std::chrono::seconds(5));
+  std::remove(sock.c_str());
+
+  // Restart against the same data dir: the manifest wins over --reference,
+  // so the server reopens sealed segments and replays the unsealed WAL.
+  std::string log2 = TempPath("churn2.log");
+  start_server(log2);
+  for (size_t i = 0; i < lookups.size(); ++i) {
+    ASSERT_EQ(RunCliCapture(lookups[i], &out), 0) << ReadWholeFile(log2);
+    EXPECT_EQ(out, before[i]) << "lookup " << i
+                              << " diverged after kill+restart";
+  }
+
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --shutdown", &out), 0);
+  EXPECT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) != 0; },
+                      std::chrono::seconds(10)))
+      << ReadWholeFile(log2);
+
+  std::remove(in.c_str());
+  std::remove(pid_path.c_str());
+  std::remove(log1.c_str());
+  std::remove(log2.c_str());
+  std::filesystem::remove_all(data);
 }
 
 }  // namespace

@@ -1,0 +1,496 @@
+/// MutableFuzzyIndex differential tests: after ANY sequence of
+/// Upsert/Delete/Seal/Compact/restart, lookups must be bitwise identical
+/// (ids AND similarities) to a freshly built immutable FuzzyMatchIndex over
+/// the live records sorted by ascending doc_id — the subsystem's equivalence
+/// contract. Also covers epoch pinning, auto-maintenance thresholds and WAL
+/// replay after an unclean shutdown.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/address_gen.h"
+#include "datagen/error_model.h"
+#include "index/mutable_index.h"
+#include "simjoin/fuzzy_match.h"
+
+namespace ssjoin::index {
+namespace {
+
+using simjoin::FuzzyMatchIndex;
+
+std::vector<std::string> Master(size_t n, uint64_t seed) {
+  datagen::AddressGenOptions opts;
+  opts.num_records = n;
+  opts.duplicate_fraction = 0.0;
+  opts.seed = seed;
+  return datagen::GenerateAddresses(opts).records;
+}
+
+std::vector<std::string> DirtyQueries(const std::vector<std::string>& master,
+                                      size_t n, uint64_t seed) {
+  Rng rng(seed);
+  datagen::ErrorModelOptions errors;
+  errors.char_edits_mean = 1.5;
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < n; ++i) {
+    size_t src = rng.Uniform(master.size());
+    queries.push_back(datagen::CorruptRecord(master[src], {}, errors, &rng));
+  }
+  return queries;
+}
+
+/// The oracle: rebuild an immutable index from scratch over the live docs
+/// (ascending doc_id) and demand bitwise-equal lookups for every query.
+void ExpectOracleEquivalent(const MutableFuzzyIndex& index,
+                            const std::map<uint64_t, std::string>& live,
+                            const std::vector<std::string>& queries, size_t k,
+                            const std::string& context) {
+  std::vector<uint64_t> ids;
+  std::vector<std::string> refs;
+  ids.reserve(live.size());
+  refs.reserve(live.size());
+  for (const auto& [id, value] : live) {
+    ids.push_back(id);
+    refs.push_back(value);
+  }
+  auto oracle = FuzzyMatchIndex::Build(refs, index.options().match);
+  ASSERT_TRUE(oracle.ok()) << context;
+  for (const std::string& q : queries) {
+    auto got = index.Lookup(q, k);
+    auto want = oracle->Lookup(q, k);
+    ASSERT_EQ(got.size(), want.size()) << context << " query: " << q;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, ids[want[i].ref_index])
+          << context << " query: " << q << " rank " << i;
+      EXPECT_EQ(got[i].similarity, want[i].similarity)
+          << context << " query: " << q << " rank " << i;
+    }
+  }
+}
+
+MutableIndexOptions ManualOptions() {
+  MutableIndexOptions options;
+  options.match.alpha = 0.35;
+  options.seal_threshold = 0;    // explicit Seal only
+  options.max_generations = 0;   // explicit Compact only
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/mutable_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(MutableIndexTest, UpsertsMatchFreshBuild) {
+  auto master = Master(200, 41);
+  auto queries = DirtyQueries(master, 60, 5);
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+  }
+  ExpectOracleEquivalent(*index, live, queries, 5, "after upserts");
+  EXPECT_EQ(index->GetStats().live_docs, master.size());
+}
+
+TEST(MutableIndexTest, BulkLoadMatchesIncrementalUpserts) {
+  auto master = Master(250, 42);
+  auto queries = DirtyQueries(master, 60, 6);
+
+  auto bulk = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  std::vector<std::pair<uint64_t, std::string>> records;
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    records.emplace_back(i, master[i]);
+    live[i] = master[i];
+  }
+  uint64_t epoch_before = bulk->epoch();
+  ASSERT_TRUE(bulk->BulkLoad(records).ok());
+  ExpectOracleEquivalent(*bulk, live, queries, 5, "bulk load");
+  // One publish for the whole batch, not one per record.
+  EXPECT_EQ(bulk->epoch(), epoch_before + 1);
+}
+
+TEST(MutableIndexTest, ReplaceAndDeleteMatchOracle) {
+  auto master = Master(150, 43);
+  auto replacements = Master(150, 44);
+  auto queries = DirtyQueries(master, 40, 7);
+  auto more = DirtyQueries(replacements, 40, 8);
+  queries.insert(queries.end(), more.begin(), more.end());
+
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+  }
+  // Replace every third doc, delete every seventh.
+  for (size_t i = 0; i < master.size(); i += 3) {
+    ASSERT_TRUE(index->Upsert(i, replacements[i]).ok());
+    live[i] = replacements[i];
+  }
+  for (size_t i = 0; i < master.size(); i += 7) {
+    ASSERT_TRUE(index->Delete(i).ok());
+    live.erase(i);
+  }
+  ExpectOracleEquivalent(*index, live, queries, 5, "replace+delete");
+  EXPECT_EQ(index->GetStats().live_docs, live.size());
+}
+
+TEST(MutableIndexTest, DeleteIsIdempotentAndUnknownIdIsNoop) {
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  ASSERT_TRUE(index->Upsert(7, "main st springfield").ok());
+  ASSERT_TRUE(index->Delete(7).ok());
+  ASSERT_TRUE(index->Delete(7).ok());
+  ASSERT_TRUE(index->Delete(12345).ok());
+  EXPECT_EQ(index->GetStats().live_docs, 0u);
+  EXPECT_TRUE(index->Lookup("main st springfield", 3).empty());
+}
+
+TEST(MutableIndexTest, SealPreservesResultsAcrossGenerations) {
+  auto master = Master(180, 45);
+  auto queries = DirtyQueries(master, 50, 9);
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+    if (i % 60 == 59) ASSERT_TRUE(index->Seal().ok());
+  }
+  auto stats = index->GetStats();
+  EXPECT_EQ(stats.sealed_segments, 3u);
+  EXPECT_EQ(stats.seals, 3u);
+  ExpectOracleEquivalent(*index, live, queries, 5, "multi-generation");
+
+  // Deletes and replacements that cross generation boundaries.
+  for (size_t i = 0; i < 60; i += 5) {
+    ASSERT_TRUE(index->Delete(i).ok());
+    live.erase(i);
+  }
+  ASSERT_TRUE(index->Upsert(3, "replacement row three").ok());
+  live[3] = "replacement row three";
+  ExpectOracleEquivalent(*index, live, queries, 5, "cross-generation churn");
+}
+
+TEST(MutableIndexTest, CompactDropsTombstonesAndPreservesResults) {
+  auto master = Master(160, 46);
+  auto queries = DirtyQueries(master, 50, 10);
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+  }
+  ASSERT_TRUE(index->Seal().ok());
+  for (size_t i = 0; i < master.size(); i += 4) {
+    ASSERT_TRUE(index->Delete(i).ok());
+    live.erase(i);
+  }
+  ASSERT_TRUE(index->Seal().ok());
+  EXPECT_GT(index->GetStats().tombstones, 0u);
+
+  auto before = index->Snapshot();
+  ASSERT_TRUE(index->Compact().ok());
+  auto stats = index->GetStats();
+  EXPECT_EQ(stats.sealed_segments, 1u);
+  EXPECT_EQ(stats.tombstones, 0u);
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_EQ(stats.live_docs, live.size());
+  ExpectOracleEquivalent(*index, live, queries, 5, "post-compaction");
+
+  // Compaction changed the epoch but not the answers.
+  EXPECT_GT(index->epoch(), before->epoch);
+  for (const std::string& q : queries) {
+    auto old_view = index->LookupAt(*before, q, 5);
+    auto new_view = index->Lookup(q, 5);
+    ASSERT_EQ(old_view.size(), new_view.size());
+    for (size_t i = 0; i < old_view.size(); ++i) {
+      EXPECT_EQ(old_view[i].id, new_view[i].id);
+      EXPECT_EQ(old_view[i].similarity, new_view[i].similarity);
+    }
+  }
+}
+
+TEST(MutableIndexTest, SnapshotPinsAnEpochAgainstLaterMutation) {
+  auto master = Master(120, 47);
+  auto queries = DirtyQueries(master, 30, 11);
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+  }
+
+  auto pinned = index->Snapshot();
+  std::vector<std::vector<MutableFuzzyIndex::Match>> want;
+  for (const std::string& q : queries) want.push_back(index->LookupAt(*pinned, q, 5));
+
+  // Mutate heavily: the pinned epoch must keep answering exactly as before.
+  for (size_t i = 0; i < master.size(); i += 2) ASSERT_TRUE(index->Delete(i).ok());
+  ASSERT_TRUE(index->Upsert(500, "brand new record after pin").ok());
+  ASSERT_TRUE(index->Seal().ok());
+  ASSERT_TRUE(index->Compact().ok());
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto got = index->LookupAt(*pinned, queries[qi], 5);
+    ASSERT_EQ(got.size(), want[qi].size()) << queries[qi];
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[qi][i].id);
+      EXPECT_EQ(got[i].similarity, want[qi][i].similarity);
+    }
+  }
+}
+
+TEST(MutableIndexTest, EpochIncreasesOnEveryMutation) {
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  uint64_t last = index->epoch();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(index->Upsert(i, "record " + std::to_string(i)).ok());
+    EXPECT_GT(index->epoch(), last);
+    last = index->epoch();
+  }
+  ASSERT_TRUE(index->Delete(0).ok());
+  EXPECT_GT(index->epoch(), last);
+}
+
+TEST(MutableIndexTest, AutoSealAndAutoCompactThresholds) {
+  MutableIndexOptions options;
+  options.match.alpha = 0.35;
+  options.seal_threshold = 16;
+  options.max_generations = 3;
+  auto master = Master(140, 48);
+  auto queries = DirtyQueries(master, 40, 12);
+  auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+  }
+  auto stats = index->GetStats();
+  EXPECT_GT(stats.seals, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_LE(stats.sealed_segments, options.max_generations + 1);
+  ExpectOracleEquivalent(*index, live, queries, 5, "auto-maintained");
+}
+
+TEST(MutableIndexTest, BackgroundMaintenanceKeepsEquivalence) {
+  MutableIndexOptions options;
+  options.match.alpha = 0.35;
+  options.seal_threshold = 16;
+  options.max_generations = 2;
+  options.background_maintenance = true;
+  auto master = Master(120, 49);
+  auto queries = DirtyQueries(master, 40, 13);
+  auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+
+  std::map<uint64_t, std::string> live;
+  for (size_t i = 0; i < master.size(); ++i) {
+    ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+    live[i] = master[i];
+    if (i % 9 == 0) {
+      ASSERT_TRUE(index->Delete(i).ok());
+      live.erase(i);
+    }
+  }
+  // Regardless of where the background thread is in its seal/compact cycle,
+  // answers must match the oracle (maintenance never changes results).
+  ExpectOracleEquivalent(*index, live, queries, 5, "background maintenance");
+}
+
+TEST(MutableIndexTest, RandomChurnDifferential) {
+  auto master = Master(300, 50);
+  auto queries = DirtyQueries(master, 25, 14);
+  queries.push_back("completely unknown vocabulary");
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+
+  Rng rng(77);
+  std::map<uint64_t, std::string> live;
+  for (size_t step = 0; step < 400; ++step) {
+    uint32_t op = rng.Uniform(10);
+    uint64_t id = rng.Uniform(80);
+    if (op < 6) {
+      const std::string& value = master[rng.Uniform(master.size())];
+      ASSERT_TRUE(index->Upsert(id, value).ok());
+      live[id] = value;
+    } else if (op < 8) {
+      ASSERT_TRUE(index->Delete(id).ok());
+      live.erase(id);
+    } else if (op == 8) {
+      ASSERT_TRUE(index->Seal().ok());
+    } else {
+      ASSERT_TRUE(index->Compact().ok());
+    }
+    if (step % 80 == 79) {
+      ExpectOracleEquivalent(*index, live, queries, 5,
+                             "churn step " + std::to_string(step));
+    }
+  }
+  ExpectOracleEquivalent(*index, live, queries, 5, "churn end");
+}
+
+TEST(MutableIndexTest, CreateRejectsBadAlpha) {
+  MutableIndexOptions options;
+  options.match.alpha = 0.0;
+  EXPECT_FALSE(MutableFuzzyIndex::Create(options).ok());
+  options.match.alpha = 1.5;
+  EXPECT_FALSE(MutableFuzzyIndex::Create(options).ok());
+}
+
+TEST(MutableIndexTest, ValueAtTracksLatestVersion) {
+  auto index = MutableFuzzyIndex::Create(ManualOptions()).MoveValueUnsafe();
+  ASSERT_TRUE(index->Upsert(4, "first value").ok());
+  ASSERT_TRUE(index->Seal().ok());
+  ASSERT_TRUE(index->Upsert(4, "second value").ok());
+  auto state = index->Snapshot();
+  EXPECT_EQ(index->ValueAt(*state, 4).value_or(""), "second value");
+  EXPECT_FALSE(index->ValueAt(*state, 99).has_value());
+  ASSERT_TRUE(index->Delete(4).ok());
+  EXPECT_FALSE(index->ValueAt(*index->Snapshot(), 4).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL replay and manifest recovery across restarts.
+
+TEST(MutableIndexDurabilityTest, ReopenAfterUncleanShutdownReplaysWal) {
+  auto master = Master(90, 51);
+  auto queries = DirtyQueries(master, 30, 15);
+  MutableIndexOptions options = ManualOptions();
+  options.data_dir = FreshDir("wal_replay");
+
+  std::map<uint64_t, std::string> live;
+  {
+    auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+    for (size_t i = 0; i < master.size(); ++i) {
+      ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+      live[i] = master[i];
+    }
+    for (size_t i = 0; i < 20; i += 2) {
+      ASSERT_TRUE(index->Delete(i).ok());
+      live.erase(i);
+    }
+    // No Seal: everything lives only in the WAL. Dropping the object is the
+    // closest in-process stand-in for a crash (the WAL is flushed per append).
+  }
+  auto reopened = MutableFuzzyIndex::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->GetStats().live_docs, live.size());
+  ExpectOracleEquivalent(**reopened, live, queries, 5, "wal replay");
+  std::filesystem::remove_all(options.data_dir);
+}
+
+TEST(MutableIndexDurabilityTest, ReopenAfterSealAndChurnRestoresExactState) {
+  auto master = Master(120, 52);
+  auto queries = DirtyQueries(master, 30, 16);
+  MutableIndexOptions options = ManualOptions();
+  options.data_dir = FreshDir("seal_churn");
+
+  std::map<uint64_t, std::string> live;
+  uint64_t epoch_before = 0;
+  std::vector<std::vector<MutableFuzzyIndex::Match>> want;
+  {
+    auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+    for (size_t i = 0; i < 60; ++i) {
+      ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+      live[i] = master[i];
+    }
+    ASSERT_TRUE(index->Seal().ok());
+    for (size_t i = 60; i < master.size(); ++i) {
+      ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+      live[i] = master[i];
+    }
+    for (size_t i = 5; i < 70; i += 9) {
+      ASSERT_TRUE(index->Delete(i).ok());
+      live.erase(i);
+    }
+    epoch_before = index->epoch();
+    for (const std::string& q : queries) want.push_back(index->Lookup(q, 5));
+  }
+  auto reopened = MutableFuzzyIndex::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectOracleEquivalent(**reopened, live, queries, 5, "seal+churn reopen");
+  // The recovered answers equal the pre-shutdown answers bit for bit.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto got = (*reopened)->Lookup(queries[qi], 5);
+    ASSERT_EQ(got.size(), want[qi].size()) << queries[qi];
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[qi][i].id) << queries[qi];
+      EXPECT_EQ(got[i].similarity, want[qi][i].similarity) << queries[qi];
+    }
+  }
+  // Epochs are not required to match across restart, but must keep moving.
+  ASSERT_TRUE((*reopened)->Upsert(999, "post-restart record").ok());
+  EXPECT_GT((*reopened)->epoch(), 0u);
+  (void)epoch_before;
+  std::filesystem::remove_all(options.data_dir);
+}
+
+TEST(MutableIndexDurabilityTest, ReopenAfterCompactionAndContinueChurn) {
+  auto master = Master(100, 53);
+  auto queries = DirtyQueries(master, 25, 17);
+  MutableIndexOptions options = ManualOptions();
+  options.data_dir = FreshDir("compact_reopen");
+
+  std::map<uint64_t, std::string> live;
+  {
+    auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+    for (size_t i = 0; i < master.size(); ++i) {
+      ASSERT_TRUE(index->Upsert(i, master[i]).ok());
+      live[i] = master[i];
+    }
+    ASSERT_TRUE(index->Seal().ok());
+    for (size_t i = 0; i < 40; i += 3) {
+      ASSERT_TRUE(index->Delete(i).ok());
+      live.erase(i);
+    }
+    ASSERT_TRUE(index->Compact().ok());
+  }
+  auto reopened = MutableFuzzyIndex::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectOracleEquivalent(**reopened, live, queries, 5, "compaction reopen");
+
+  // Keep mutating after the restart, then survive a second restart.
+  {
+    auto& index = *reopened;
+    ASSERT_TRUE(index->Upsert(1, "post restart replacement").ok());
+    live[1] = "post restart replacement";
+    ASSERT_TRUE(index->Delete(50).ok());
+    live.erase(50);
+  }
+  reopened->reset();
+  auto again = MutableFuzzyIndex::Open(options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ExpectOracleEquivalent(**again, live, queries, 5, "second reopen");
+  std::filesystem::remove_all(options.data_dir);
+}
+
+TEST(MutableIndexDurabilityTest, CreateRefusesExistingManifest) {
+  MutableIndexOptions options = ManualOptions();
+  options.data_dir = FreshDir("create_twice");
+  {
+    auto index = MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+    ASSERT_TRUE(index->Upsert(0, "hello world").ok());
+  }
+  auto second = MutableFuzzyIndex::Create(options);
+  EXPECT_FALSE(second.ok());
+  std::filesystem::remove_all(options.data_dir);
+}
+
+TEST(MutableIndexDurabilityTest, OpenWithoutManifestFails) {
+  MutableIndexOptions options = ManualOptions();
+  options.data_dir = FreshDir("open_missing");
+  EXPECT_FALSE(MutableFuzzyIndex::Open(options).ok());
+  std::filesystem::remove_all(options.data_dir);
+}
+
+}  // namespace
+}  // namespace ssjoin::index

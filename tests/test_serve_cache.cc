@@ -13,7 +13,7 @@
 namespace ssjoin::serve {
 namespace {
 
-using Match = simjoin::FuzzyMatchIndex::Match;
+using Match = index::MutableFuzzyIndex::Match;
 
 std::vector<Match> Matches(uint32_t ref) { return {{ref, 0.5}}; }
 
@@ -24,7 +24,7 @@ TEST(QueryCacheTest, HitMissAndCounters) {
   cache.Put("a", Matches(1));
   auto hit = cache.Get("a");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ((*hit)[0].ref_index, 1u);
+  EXPECT_EQ((*hit)[0].id, 1u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -48,7 +48,7 @@ TEST(QueryCacheTest, PutRefreshesExistingKey) {
   EXPECT_EQ(cache.size(), 1u);
   auto hit = cache.Get("a");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ((*hit)[0].ref_index, 9u);
+  EXPECT_EQ((*hit)[0].id, 9u);
 }
 
 TEST(QueryCacheTest, ZeroCapacityDisables) {
@@ -103,7 +103,7 @@ TEST(QueryCacheTest, ShardedConcurrentAccess) {
         if ((i + t) % 3 == 0) {
           cache.Put(key, Matches(static_cast<uint32_t>(i % 100)));
         } else if (auto hit = cache.Get(key)) {
-          EXPECT_EQ((*hit)[0].ref_index, static_cast<uint32_t>(i % 100));
+          EXPECT_EQ((*hit)[0].id, static_cast<uint32_t>(i % 100));
         }
       }
     });

@@ -49,13 +49,38 @@ FuzzyMatchIndex BuildIndex(const std::vector<std::string>& master) {
   return FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
 }
 
+/// The service-owned side of every test: a mutable index over the same rows
+/// (doc_id = row index), which the equivalence contract makes bit-identical
+/// to the immutable build.
+std::unique_ptr<index::MutableFuzzyIndex> BuildMutable(
+    const std::vector<std::string>& master) {
+  index::MutableIndexOptions options;
+  options.match.alpha = 0.35;
+  auto index = index::MutableFuzzyIndex::Create(options).MoveValueUnsafe();
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(master.size());
+  for (size_t i = 0; i < master.size(); ++i) records.emplace_back(i, master[i]);
+  EXPECT_TRUE(index->BulkLoad(records).ok());
+  return index;
+}
+
 void ExpectSameMatches(const std::vector<FuzzyMatchIndex::Match>& direct,
-                       const std::vector<FuzzyMatchIndex::Match>& served,
+                       const std::vector<LookupService::Match>& served,
                        const std::string& query) {
   ASSERT_EQ(direct.size(), served.size()) << "query: " << query;
   for (size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ(direct[i].ref_index, served[i].ref_index) << "query: " << query;
+    EXPECT_EQ(direct[i].ref_index, served[i].id) << "query: " << query;
     EXPECT_EQ(direct[i].similarity, served[i].similarity) << "query: " << query;
+  }
+}
+
+void ExpectSameMatches(const std::vector<LookupService::Match>& a,
+                       const std::vector<LookupService::Match>& b,
+                       const std::string& query) {
+  ASSERT_EQ(a.size(), b.size()) << "query: " << query;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "query: " << query;
+    EXPECT_EQ(a[i].similarity, b[i].similarity) << "query: " << query;
   }
 }
 
@@ -66,7 +91,7 @@ TEST(LookupServiceTest, BitIdenticalToDirectLookup) {
 
   LookupServiceOptions options;
   options.exec.num_threads = 2;
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
   for (const std::string& q : queries) {
     auto served = service->Lookup(q, 5);
@@ -91,7 +116,7 @@ TEST(LookupServiceTest, BitIdenticalFromReloadedSnapshot) {
 
   std::string path = ::testing::TempDir() + "/service_reload.snap";
   ASSERT_TRUE(SaveSnapshot(index, path).ok());
-  auto loaded = LoadSnapshot(path);
+  auto loaded = UpgradeSnapshotToMutable(path, {});
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   std::remove(path.c_str());
 
@@ -112,7 +137,7 @@ TEST(LookupServiceTest, ConcurrentClientsAgreeWithDirectLookup) {
   LookupServiceOptions options;
   options.exec.num_threads = 2;
   options.max_batch = 8;
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
   std::vector<std::thread> clients;
   for (int t = 0; t < 4; ++t) {
@@ -139,7 +164,7 @@ TEST(LookupServiceTest, OverloadRejectsWithUnavailable) {
   options.max_queue = 2;
   options.max_batch = 1;
   options.cache_capacity = 0;  // every request must go through the queue
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
 
   // Hold the dispatcher once it has claimed its first batch, so subsequent
@@ -195,7 +220,7 @@ TEST(LookupServiceTest, DeadlineExpiresQueuedRequest) {
   options.max_queue = 8;
   options.max_batch = 1;
   options.cache_capacity = 0;
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
 
   std::promise<void> entered_promise;
@@ -240,7 +265,7 @@ TEST(LookupServiceTest, AlreadyExpiredDeadlineRejectedAtAdmission) {
   auto master = Master(100, 42);
   LookupServiceOptions options;
   options.cache_capacity = 0;
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
 
   // A negative deadline is expired before the call even starts. Regression:
@@ -267,7 +292,7 @@ TEST(LookupServiceTest, ShutdownFailsPendingAndRejectsNew) {
   auto master = Master(100, 36);
   LookupServiceOptions options;
   options.cache_capacity = 0;
-  auto service = LookupService::Create(BuildIndex(master), options)
+  auto service = LookupService::Create(BuildMutable(master), options)
                      .MoveValueUnsafe();
   auto ok = service->Lookup(master[0], 1);
   EXPECT_TRUE(ok.ok());
@@ -280,7 +305,7 @@ TEST(LookupServiceTest, ShutdownFailsPendingAndRejectsNew) {
 
 TEST(LookupServiceTest, CacheKeyCoalescesTokenizationOnly) {
   auto master = Master(100, 37);
-  auto service = LookupService::Create(BuildIndex(master), {}).MoveValueUnsafe();
+  auto service = LookupService::Create(BuildMutable(master), {}).MoveValueUnsafe();
   auto a = service->Lookup(master[0], 2);
   ASSERT_TRUE(a.ok());
   // Same token sequence, different whitespace: must hit the cache and be
@@ -296,19 +321,70 @@ TEST(LookupServiceTest, CacheKeyCoalescesTokenizationOnly) {
   EXPECT_EQ(service->Stats().cache_misses, 2u);
 }
 
+TEST(LookupServiceTest, MutationNeverServesStaleCacheHits) {
+  auto master = Master(200, 43);
+  LookupServiceOptions options;
+  options.cache_capacity = 256;
+  auto service = LookupService::Create(BuildMutable(master), options)
+                     .MoveValueUnsafe();
+
+  // Warm the cache: the exact reference string is its own best match.
+  const std::string query = master[0];
+  auto first = service->Lookup(query, 3);
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first->empty());
+  EXPECT_EQ((*first)[0].id, 0u);
+  auto hit = service->Lookup(query, 3);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(service->Stats().cache_hits, 1u);
+
+  // Delete the top match. The epoch changes, so the cached entry's key no
+  // longer matches: the next lookup must be a miss and must not return doc 0.
+  uint64_t epoch_before = service->epoch();
+  ASSERT_TRUE(service->Delete(0).ok());
+  EXPECT_GT(service->epoch(), epoch_before);
+  auto after_delete = service->Lookup(query, 3);
+  ASSERT_TRUE(after_delete.ok());
+  for (const auto& m : *after_delete) EXPECT_NE(m.id, 0u);
+  EXPECT_EQ(service->Stats().cache_hits, 1u);  // no stale hit
+
+  // Upsert a new doc with the query's exact value: it must surface at the
+  // top immediately, again bypassing the now-stale cached entries.
+  ASSERT_TRUE(service->Upsert(999, query).ok());
+  auto after_upsert = service->Lookup(query, 3);
+  ASSERT_TRUE(after_upsert.ok());
+  ASSERT_FALSE(after_upsert->empty());
+  EXPECT_EQ((*after_upsert)[0].id, 999u);
+  EXPECT_EQ((*after_upsert)[0].similarity, 1.0);
+  EXPECT_EQ(service->ValueOf(999).value_or(""), query);
+
+  // Within one epoch the cache works as before: an immediate replay hits.
+  auto replay = service->Lookup(query, 3);
+  ASSERT_TRUE(replay.ok());
+  ExpectSameMatches(*after_upsert, *replay, query);
+  EXPECT_EQ(service->Stats().cache_hits, 2u);
+
+  // Seal/compact also advance the epoch without changing the answers.
+  ASSERT_TRUE(service->Seal().ok());
+  ASSERT_TRUE(service->Compact().ok());
+  auto after_compact = service->Lookup(query, 3);
+  ASSERT_TRUE(after_compact.ok());
+  ExpectSameMatches(*after_upsert, *after_compact, query);
+}
+
 TEST(LookupServiceTest, RejectsZeroSizedKnobs) {
   auto master = Master(10, 38);
   LookupServiceOptions options;
   options.max_queue = 0;
-  EXPECT_FALSE(LookupService::Create(BuildIndex(master), options).ok());
+  EXPECT_FALSE(LookupService::Create(BuildMutable(master), options).ok());
   options.max_queue = 1;
   options.max_batch = 0;
-  EXPECT_FALSE(LookupService::Create(BuildIndex(master), options).ok());
+  EXPECT_FALSE(LookupService::Create(BuildMutable(master), options).ok());
 }
 
 TEST(LookupServiceTest, StatsJsonIsWellFormed) {
   auto master = Master(50, 39);
-  auto service = LookupService::Create(BuildIndex(master), {}).MoveValueUnsafe();
+  auto service = LookupService::Create(BuildMutable(master), {}).MoveValueUnsafe();
   (void)service->Lookup(master[0], 1);
   std::string json = service->Stats().ToJson();
   // Parseable by our own flat parser except the nested latency object —

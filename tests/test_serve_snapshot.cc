@@ -7,11 +7,13 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/hash.h"
 #include "datagen/address_gen.h"
 #include "datagen/error_model.h"
@@ -410,6 +412,69 @@ TEST(SnapshotCompatTest, SaveAtUnknownVersionRejected) {
   std::string path = TempPath("fm_bad_version.snap");
   EXPECT_FALSE(SaveSnapshotAtVersion(index, path, 3).ok());
   EXPECT_FALSE(SaveSnapshotAtVersion(index, path, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Atomic-write failure injection: a failed SaveSnapshot must leave no stray
+// temp file behind and must never clobber the previous snapshot.
+
+size_t CountTempFiles(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") ++n;
+  }
+  return n;
+}
+
+TEST(SnapshotAtomicWriteTest, FailedSaveLeavesNoTempStrays) {
+  auto master = Master(80, 71);
+  FuzzyMatchIndex::Options options;
+  options.alpha = 0.4;
+  auto index = FuzzyMatchIndex::Build(master, options).MoveValueUnsafe();
+
+  std::string dir = TempPath("atomic_fail");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  std::string path = dir + "/index.snap";
+
+  // A good snapshot first, so a failed rewrite has something to preserve.
+  ASSERT_TRUE(SaveSnapshot(index, path).ok());
+  std::string good_bytes = ReadFile(path);
+
+  using common::AtomicWriteFailure;
+  for (AtomicWriteFailure mode :
+       {AtomicWriteFailure::kOpen, AtomicWriteFailure::kWrite,
+        AtomicWriteFailure::kRename}) {
+    common::InjectAtomicWriteFailureForTest(mode, 1);
+    Status s = SaveSnapshot(index, path);
+    EXPECT_FALSE(s.ok()) << "mode " << static_cast<int>(mode);
+    // Cleanup contract: no *.tmp stray, old snapshot byte-identical.
+    EXPECT_EQ(CountTempFiles(dir), 0u) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(ReadFile(path), good_bytes) << "mode " << static_cast<int>(mode);
+    // The loaded snapshot still works after the failed overwrite.
+    auto loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  }
+
+  // Injection is spent: the next save succeeds and replaces the file.
+  ASSERT_TRUE(SaveSnapshot(index, path).ok());
+  EXPECT_EQ(CountTempFiles(dir), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SnapshotAtomicWriteTest, InjectedCountDecrements) {
+  std::string dir = TempPath("atomic_count");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+  std::string path = dir + "/file.bin";
+
+  common::InjectAtomicWriteFailureForTest(common::AtomicWriteFailure::kWrite, 2);
+  EXPECT_FALSE(common::WriteFileAtomic(path, "payload").ok());
+  EXPECT_FALSE(common::WriteFileAtomic(path, "payload").ok());
+  EXPECT_TRUE(common::WriteFileAtomic(path, "payload").ok());
+  EXPECT_EQ(ReadFile(path), "payload");
+  EXPECT_EQ(CountTempFiles(dir), 0u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

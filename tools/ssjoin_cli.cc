@@ -156,7 +156,13 @@ int Usage() {
                "  --stats-json FILE  dump this process's metric registry as "
                "NDJSON\n"
                "  --metrics          fetch the server's metric registry as "
-               "NDJSON (with --socket)\n");
+               "NDJSON (with --socket)\n"
+               "\n"
+               "       ssjoin_cli upsert --socket PATH --id N --value STR\n"
+               "       ssjoin_cli delete --socket PATH --id N\n"
+               "       ssjoin_cli compact --socket PATH\n"
+               "           mutate a running ssjoin_served's index; each op\n"
+               "           publishes (and prints) a new index epoch\n");
   return 2;
 }
 
@@ -449,6 +455,33 @@ Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
   return SocketRoundTrip(socket_path, request);
 }
 
+/// The socket-only mutation subcommands (upsert/delete/compact): one JSON
+/// request, one JSON reply carrying the newly published epoch.
+Result<int> RunMutation(const Args& args, const std::string& op) {
+  auto socket_path = args.flags.find("socket");
+  if (socket_path == args.flags.end()) {
+    return Status::Invalid("--socket PATH is required for '" + op + "'");
+  }
+  std::string request = "{\"op\": \"" + op + "\"";
+  if (op != "compact") {
+    auto id = args.flags.find("id");
+    if (id == args.flags.end()) {
+      return Status::Invalid("--id N is required for '" + op + "'");
+    }
+    SSJOIN_ASSIGN_OR_RETURN(uint64_t doc_id, ParseUint64(id->second));
+    request += ", \"id\": " + std::to_string(doc_id);
+  }
+  if (op == "upsert") {
+    auto value = args.flags.find("value");
+    if (value == args.flags.end()) {
+      return Status::Invalid("--value STR is required for 'upsert'");
+    }
+    request += ", \"value\": \"" + serve::JsonEscape(value->second) + "\"";
+  }
+  request += "}";
+  return SocketRoundTrip(socket_path->second, request);
+}
+
 Result<int> RunLookup(const Args& args) {
   auto socket_path = args.flags.find("socket");
   if (socket_path != args.flags.end()) {
@@ -507,6 +540,9 @@ int main(int argc, char** argv) {
     rc = RunSnapshot(args);
   } else if (args.command == "lookup") {
     rc = RunLookup(args);
+  } else if (args.command == "upsert" || args.command == "delete" ||
+             args.command == "compact") {
+    rc = RunMutation(args, args.command);
   } else {
     return Usage();
   }

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstring>
 #include <atomic>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,8 @@
 #include "core/ssjoin.h"
 #include "engine/csv.h"
 #include "exec/metrics.h"
+#include "index/manifest.h"
+#include "index/mutable_index.h"
 #include "obs/metrics.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
@@ -100,10 +103,15 @@ Result<double> DoubleFlag(const Args& args, const std::string& name,
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ssjoin_served (--snapshot FILE | --reference FILE --col COL)\n"
+      "usage: ssjoin_served (--data DIR | --snapshot FILE | --reference FILE "
+      "--col COL)\n"
       "                     --socket PATH [--alpha A] [--qgrams Q]\n"
       "                     [--threads N] [--max-queue N] [--max-batch N]\n"
       "                     [--cache N] [--shards N] [--k-default N]\n"
+      "                     [--seal-threshold N] [--max-generations N]\n"
+      "  --data DIR       durable index directory: reopened (WAL replay) if it\n"
+      "                   holds a MANIFEST, initialized from --snapshot/\n"
+      "                   --reference otherwise\n"
       "  --snapshot FILE  warm-start from a snapshot (see ssjoin_cli snapshot)\n"
       "  --reference FILE cold-start: build the index from this CSV\n"
       "  --col COL        CSV column holding the reference strings\n"
@@ -114,8 +122,11 @@ int Usage() {
       "  --max-batch N    micro-batch size (default 64)\n"
       "  --cache N        query cache entries, 0 disables (default 4096)\n"
       "  --k-default N    k when a lookup omits it (default 3)\n"
-      "ops: ping, lookup, stats (one-line JSON), metrics / stats+format=ndjson\n"
-      "     (header line, then one NDJSON metric object per line), shutdown\n");
+      "  --seal-threshold N   auto-seal the mutable tail at N docs (default 256)\n"
+      "  --max-generations N  auto-compact beyond N sealed segments (default 4)\n"
+      "ops: ping, lookup, upsert, delete, compact, stats (one-line JSON),\n"
+      "     metrics / stats+format=ndjson (header line, then one NDJSON metric\n"
+      "     object per line), shutdown\n");
   return 2;
 }
 
@@ -210,14 +221,49 @@ std::string HandleLine(const std::string& line, ServerState* state,
       if (i > 0) out += ", ";
       char sim[32];
       std::snprintf(sim, sizeof(sim), "%.6f", m.similarity);
-      out += "{\"ref\": " + std::to_string(m.ref_index) + ", \"similarity\": " +
-             sim + ", \"value\": \"" +
-             serve::JsonEscape(state->service->index().reference(m.ref_index)) +
+      out += "{\"ref\": " + std::to_string(m.id) + ", \"similarity\": " + sim +
+             ", \"value\": \"" +
+             serve::JsonEscape(state->service->ValueOf(m.id).value_or("")) +
              "\"}";
     }
     out += "]}";
     return out;
   }
+
+  // Mutations. Each publishes a new index epoch; the response carries it so
+  // clients can correlate later lookups with the state they mutated.
+  auto id_field = [&obj]() -> Result<uint64_t> {
+    auto it = obj.find("id");
+    if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kNumber ||
+        it->second.num < 0) {
+      return Status::Invalid("op requires a nonnegative numeric field 'id'");
+    }
+    return static_cast<uint64_t>(it->second.num);
+  };
+  auto epoch_reply = [state](const Status& status) {
+    if (!status.ok()) return ErrorResponse(status);
+    return "{\"ok\": true, \"epoch\": " +
+           std::to_string(state->service->epoch()) + "}";
+  };
+
+  if (op == "upsert") {
+    auto id = id_field();
+    if (!id.ok()) return ErrorResponse(id.status());
+    auto value_it = obj.find("value");
+    if (value_it == obj.end() ||
+        value_it->second.type != serve::JsonScalar::Type::kString) {
+      return ErrorResponse(Status::Invalid("upsert requires string field 'value'"));
+    }
+    return epoch_reply(state->service->Upsert(*id, value_it->second.str));
+  }
+
+  if (op == "delete") {
+    auto id = id_field();
+    if (!id.ok()) return ErrorResponse(id.status());
+    return epoch_reply(state->service->Delete(*id));
+  }
+
+  if (op == "compact") return epoch_reply(state->service->Compact());
 
   return ErrorResponse(Status::Invalid("unknown op '" + op + "'"));
 }
@@ -266,41 +312,75 @@ void ServeConnection(int fd, ServerState* state) {
   ::close(fd);
 }
 
-Result<simjoin::FuzzyMatchIndex> BuildOrLoadIndex(const Args& args) {
-  auto snap = args.flags.find("snapshot");
-  if (snap != args.flags.end()) {
+Result<std::unique_ptr<index::MutableFuzzyIndex>> BuildOrLoadIndex(
+    const Args& args) {
+  index::MutableIndexOptions mopts;
+  if (auto data = args.flags.find("data"); data != args.flags.end()) {
+    mopts.data_dir = data->second;
+  }
+  SSJOIN_ASSIGN_OR_RETURN(mopts.seal_threshold,
+                          SizeFlag(args, "seal-threshold", 256));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.max_generations,
+                          SizeFlag(args, "max-generations", 4));
+
+  // A data dir that already holds a manifest wins over every other source:
+  // reopen it (sealed segments + WAL replay).
+  if (!mopts.data_dir.empty() &&
+      std::filesystem::exists(mopts.data_dir + "/" + index::kManifestFileName)) {
     Timer t;
-    auto index = serve::LoadSnapshot(snap->second);
+    auto index = index::MutableFuzzyIndex::Open(mopts);
     if (index.ok()) {
-      std::fprintf(stderr, "loaded snapshot %s (%zu reference strings) in %.1f ms\n",
-                   snap->second.c_str(), index->size(), t.ElapsedMillis());
+      auto stats = (*index)->GetStats();
+      std::fprintf(stderr,
+                   "opened data dir %s (%llu live docs, epoch %llu) in %.1f ms\n",
+                   mopts.data_dir.c_str(),
+                   static_cast<unsigned long long>(stats.live_docs),
+                   static_cast<unsigned long long>(stats.epoch),
+                   t.ElapsedMillis());
     }
     return index;
   }
+
+  auto snap = args.flags.find("snapshot");
+  if (snap != args.flags.end()) {
+    Timer t;
+    auto index = serve::UpgradeSnapshotToMutable(snap->second, mopts);
+    if (index.ok()) {
+      std::fprintf(stderr,
+                   "loaded snapshot %s (%llu live docs) in %.1f ms\n",
+                   snap->second.c_str(),
+                   static_cast<unsigned long long>((*index)->GetStats().live_docs),
+                   t.ElapsedMillis());
+    }
+    return index;
+  }
+
   auto ref = args.flags.find("reference");
   auto col = args.flags.find("col");
   if (ref == args.flags.end() || col == args.flags.end()) {
-    return Status::Invalid("either --snapshot or --reference/--col is required");
+    return Status::Invalid(
+        "either --data with a manifest, --snapshot, or --reference/--col is "
+        "required");
   }
-  simjoin::FuzzyMatchIndex::Options options;
-  SSJOIN_ASSIGN_OR_RETURN(options.alpha, DoubleFlag(args, "alpha", 0.5));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.match.alpha, DoubleFlag(args, "alpha", 0.5));
   if (args.flags.count("qgrams") > 0) {
-    options.word_tokens = false;
-    SSJOIN_ASSIGN_OR_RETURN(options.q, SizeFlag(args, "qgrams", 3));
+    mopts.match.word_tokens = false;
+    SSJOIN_ASSIGN_OR_RETURN(mopts.match.q, SizeFlag(args, "qgrams", 3));
   }
   SSJOIN_ASSIGN_OR_RETURN(engine::Table table, engine::ReadCsvFile(ref->second));
   SSJOIN_ASSIGN_OR_RETURN(size_t c, table.schema().FieldIndex(col->second));
-  std::vector<std::string> reference;
-  reference.reserve(table.num_rows());
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(table.num_rows());
   for (size_t r = 0; r < table.num_rows(); ++r) {
-    reference.push_back(table.GetValue(c, r).ToString());
+    records.emplace_back(r, table.GetValue(c, r).ToString());
   }
   Timer t;
-  auto index = simjoin::FuzzyMatchIndex::Build(reference, options);
-  if (index.ok()) {
-    std::fprintf(stderr, "built index over %zu reference strings in %.1f ms\n",
-                 index->size(), t.ElapsedMillis());
-  }
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                          index::MutableFuzzyIndex::Create(mopts));
+  SSJOIN_RETURN_NOT_OK(index->BulkLoad(records));
+  SSJOIN_RETURN_NOT_OK(index->Seal());
+  std::fprintf(stderr, "built index over %zu reference strings in %.1f ms\n",
+               records.size(), t.ElapsedMillis());
   return index;
 }
 
@@ -324,7 +404,8 @@ Result<int> RunServer(const Args& args) {
   SSJOIN_ASSIGN_OR_RETURN(options.cache_shards, SizeFlag(args, "shards", 8));
   SSJOIN_ASSIGN_OR_RETURN(size_t default_k, SizeFlag(args, "k-default", 3));
 
-  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, BuildOrLoadIndex(args));
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                          BuildOrLoadIndex(args));
 
   SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<serve::LookupService> service,
                           serve::LookupService::Create(std::move(index), options));
