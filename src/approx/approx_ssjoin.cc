@@ -1,0 +1,331 @@
+#include "approx/approx_ssjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "core/cost_model.h"
+#include "core/inverted_index.h"
+#include "exec/parallel_for.h"
+#include "exec/parallel_ssjoin.h"
+#include "obs/metrics.h"
+
+namespace ssjoin::approx {
+
+namespace {
+
+using core::GroupId;
+using core::SSJoinPair;
+using core::SSJoinStats;
+
+/// Per-worker epoch-marked dense "seen" array: O(1) candidate dedup per
+/// probe, reset in O(1) per R-group by bumping the epoch.
+struct ProbeScratch {
+  std::vector<uint32_t> seen;
+  uint32_t epoch = 0;
+
+  void EnsureSize(size_t n) {
+    if (seen.size() < n) seen.resize(n, 0);
+  }
+  uint32_t NextEpoch() {
+    if (++epoch == 0) {  // wrapped: stale marks could alias, clear them
+      std::fill(seen.begin(), seen.end(), 0);
+      epoch = 1;
+    }
+    return epoch;
+  }
+};
+
+/// Per-morsel output slot; concatenating slots in morsel order makes the
+/// result independent of scheduling.
+struct MorselOutput {
+  std::vector<SSJoinPair> pairs;
+  size_t equijoin_rows = 0;
+  size_t candidate_pairs = 0;
+  size_t bands_probed = 0;
+};
+
+size_t NumWorkers(const exec::ExecContext* ec) {
+  return ec != nullptr ? std::max<size_t>(1, ec->resolved_threads()) : 1;
+}
+
+/// Verifies one candidate with the exact sorted-merge overlap (identical
+/// accumulation order to every exact executor, so overlaps are bitwise
+/// equal) and appends it on success.
+inline void VerifyCandidate(const core::SetsRelation& r,
+                            const core::SetsRelation& s, GroupId rg, GroupId sg,
+                            const core::OverlapPredicate& pred,
+                            const core::WeightVector& w,
+                            std::vector<SSJoinPair>* out) {
+  double overlap = core::MergeOverlap(r.set(rg), s.set(sg), w);
+  if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+    out->push_back({rg, sg, overlap});
+  }
+}
+
+/// Exact candidate generation (recall 1.0): probe the inverted index over S
+/// with every element of each R-group. The fallback tier for small inputs
+/// and infeasible band budgets.
+std::vector<SSJoinPair> RunExactTier(const core::SetsRelation& r,
+                                     const core::SetsRelation& s,
+                                     const core::OverlapPredicate& pred,
+                                     const core::SSJoinContext& ctx,
+                                     SSJoinStats* stats) {
+  const core::WeightVector& w = *ctx.weights;
+  size_t num_elements = core::MaxElementId(r, s) + 1;
+  core::InvertedIndex s_index(s.store, num_elements);
+
+  exec::ExecContext serial;
+  const exec::ExecContext& ec = ctx.exec != nullptr ? *ctx.exec : serial;
+  size_t morsel = std::max<size_t>(1, ec.morsel_size);
+  size_t num_morsels = (r.num_groups() + morsel - 1) / morsel;
+  std::vector<MorselOutput> morsels(num_morsels);
+  std::vector<ProbeScratch> scratch(NumWorkers(ctx.exec));
+
+  exec::ParallelFor(ec, r.num_groups(),
+                    [&](size_t worker, size_t m, size_t begin, size_t end) {
+                      ProbeScratch& sc = scratch[worker];
+                      sc.EnsureSize(s.num_groups());
+                      MorselOutput& out = morsels[m];
+                      for (size_t g = begin; g < end; ++g) {
+                        auto rg = static_cast<GroupId>(g);
+                        if (r.set(rg).empty()) continue;
+                        uint32_t epoch = sc.NextEpoch();
+                        for (text::TokenId e : r.set(rg)) {
+                          auto [p, p_end] = s_index.Lookup(e);
+                          out.equijoin_rows += static_cast<size_t>(p_end - p);
+                          for (; p != p_end; ++p) {
+                            if (sc.seen[*p] == epoch) continue;
+                            sc.seen[*p] = epoch;
+                            ++out.candidate_pairs;
+                            VerifyCandidate(r, s, rg, *p, pred, w, &out.pairs);
+                          }
+                        }
+                      }
+                    });
+
+  std::vector<SSJoinPair> out;
+  for (MorselOutput& m : morsels) {
+    stats->equijoin_rows += m.equijoin_rows;
+    stats->candidate_pairs += m.candidate_pairs;
+    out.insert(out.end(), m.pairs.begin(), m.pairs.end());
+  }
+  return out;
+}
+
+/// LSH candidate generation: bucket S-groups by band keys, probe each
+/// R-group's bands, verify collisions exactly.
+std::vector<SSJoinPair> RunLshTier(const core::SetsRelation& r,
+                                   const core::SetsRelation& s,
+                                   const core::OverlapPredicate& pred,
+                                   const core::SSJoinContext& ctx,
+                                   const BandPlan& plan, uint64_t seed,
+                                   SSJoinStats* stats, size_t* bands_probed) {
+  const core::WeightVector& w = *ctx.weights;
+  size_t num_hashes = plan.num_hashes();
+
+  obs::Registry& reg = obs::Registry::Global();
+  Timer sig_timer;
+  SignatureMatrix r_sig = BuildSignatures(r.store, num_hashes, seed, ctx.exec);
+  // Self-joins share one store; reuse the R signatures bit-for-bit then.
+  bool same_store = &r.store == &s.store;
+  SignatureMatrix s_sig =
+      same_store ? SignatureMatrix{} : BuildSignatures(s.store, num_hashes,
+                                                       seed, ctx.exec);
+  const SignatureMatrix& s_sigs = same_store ? r_sig : s_sig;
+  double sig_ms = sig_timer.ElapsedMillis();
+  stats->phases.Add("Signature", sig_ms);
+  reg.GetCounter("approx.phase.signature.us")
+      ->Add(static_cast<uint64_t>(sig_ms * 1000.0));
+  reg.GetCounter("approx.phase.signature.count")->Add(1);
+
+  // Band buckets over S, built in ascending group order so every bucket list
+  // is deterministic. Cross-band key collisions only add extra verified
+  // candidates — never wrong results.
+  std::unordered_map<uint64_t, std::vector<GroupId>> buckets;
+  buckets.reserve(static_cast<size_t>(s.num_groups()) * plan.bands / 2 + 1);
+  for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
+    if (s.set(sg).empty()) continue;
+    std::span<const uint64_t> row = s_sigs.row(sg);
+    for (size_t b = 0; b < plan.bands; ++b) {
+      buckets[BandKey(row, b, plan.rows)].push_back(sg);
+    }
+  }
+
+  exec::ExecContext serial;
+  const exec::ExecContext& ec = ctx.exec != nullptr ? *ctx.exec : serial;
+  size_t morsel = std::max<size_t>(1, ec.morsel_size);
+  size_t num_morsels = (r.num_groups() + morsel - 1) / morsel;
+  std::vector<MorselOutput> morsels(num_morsels);
+  std::vector<ProbeScratch> scratch(NumWorkers(ctx.exec));
+
+  exec::ParallelFor(
+      ec, r.num_groups(), [&](size_t worker, size_t m, size_t begin, size_t end) {
+        ProbeScratch& sc = scratch[worker];
+        sc.EnsureSize(s.num_groups());
+        MorselOutput& out = morsels[m];
+        for (size_t g = begin; g < end; ++g) {
+          auto rg = static_cast<GroupId>(g);
+          if (r.set(rg).empty()) continue;
+          uint32_t epoch = sc.NextEpoch();
+          std::span<const uint64_t> row = r_sig.row(rg);
+          for (size_t b = 0; b < plan.bands; ++b) {
+            ++out.bands_probed;
+            auto it = buckets.find(BandKey(row, b, plan.rows));
+            if (it == buckets.end()) continue;
+            out.equijoin_rows += it->second.size();
+            for (GroupId sg : it->second) {
+              if (sc.seen[sg] == epoch) continue;
+              sc.seen[sg] = epoch;
+              ++out.candidate_pairs;
+              VerifyCandidate(r, s, rg, sg, pred, w, &out.pairs);
+            }
+          }
+        }
+      });
+
+  std::vector<SSJoinPair> out;
+  for (MorselOutput& m : morsels) {
+    stats->equijoin_rows += m.equijoin_rows;
+    stats->candidate_pairs += m.candidate_pairs;
+    *bands_probed += m.bands_probed;
+    out.insert(out.end(), m.pairs.begin(), m.pairs.end());
+  }
+  return out;
+}
+
+/// Samples up to `sample` R-groups (fixed stride, so the sample is a pure
+/// function of the input sizes), re-derives their exact result counts via
+/// full inverted-index probing, and returns the measured recall of `pairs`
+/// over the sample. Precision is 1.0 by construction, so counting suffices.
+double MeasureRecall(const core::SetsRelation& r, const core::SetsRelation& s,
+                     const core::OverlapPredicate& pred,
+                     const core::SSJoinContext& ctx,
+                     const std::vector<SSJoinPair>& pairs, size_t sample) {
+  const core::WeightVector& w = *ctx.weights;
+  size_t num_elements = core::MaxElementId(r, s) + 1;
+  core::InvertedIndex s_index(s.store, num_elements);
+
+  // Approximate result counts per R-group, one linear pass.
+  std::unordered_map<GroupId, size_t> got_counts;
+  for (const SSJoinPair& p : pairs) ++got_counts[p.r];
+
+  size_t stride = std::max<size_t>(1, r.num_groups() / std::max<size_t>(1, sample));
+  ProbeScratch sc;
+  sc.EnsureSize(s.num_groups());
+  std::vector<SSJoinPair> exact;
+  size_t exact_total = 0;
+  size_t got_total = 0;
+  for (size_t g = 0; g < r.num_groups(); g += stride) {
+    auto rg = static_cast<GroupId>(g);
+    if (r.set(rg).empty()) continue;
+    uint32_t epoch = sc.NextEpoch();
+    exact.clear();
+    for (text::TokenId e : r.set(rg)) {
+      auto [p, p_end] = s_index.Lookup(e);
+      for (; p != p_end; ++p) {
+        if (sc.seen[*p] == epoch) continue;
+        sc.seen[*p] = epoch;
+        VerifyCandidate(r, s, rg, *p, pred, w, &exact);
+      }
+    }
+    exact_total += exact.size();
+    auto it = got_counts.find(rg);
+    if (it != got_counts.end()) got_total += it->second;
+  }
+  return exact_total > 0
+             ? static_cast<double>(got_total) / static_cast<double>(exact_total)
+             : 1.0;
+}
+
+}  // namespace
+
+Result<std::vector<SSJoinPair>> ApproxSSJoin::Execute(
+    const core::SetsRelation& r, const core::SetsRelation& s,
+    const core::OverlapPredicate& pred, const core::SSJoinContext& ctx,
+    SSJoinStats* stats) const {
+  SSJOIN_RETURN_NOT_OK(
+      core::ValidateSSJoinInputs(r, s, ctx, /*needs_order=*/false));
+  if (!(params_.target_recall > 0.0) || params_.target_recall > 1.0) {
+    return Status::Invalid("target_recall must be in (0, 1]");
+  }
+  SSJoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  obs::Registry& reg = obs::Registry::Global();
+  reg.GetCounter("approx.joins")->Add(1);
+
+  BandPlan plan = TuneBands(r, s, pred, *ctx.weights, params_);
+  Timer join_timer;
+  std::vector<SSJoinPair> out;
+  size_t bands_probed = 0;
+  if (plan.use_lsh) {
+    reg.GetCounter("approx.lsh_joins")->Add(1);
+    out = RunLshTier(r, s, pred, ctx, plan, params_.seed, stats, &bands_probed);
+  } else {
+    reg.GetCounter("approx.exact_fallbacks")->Add(1);
+    out = RunExactTier(r, s, pred, ctx, stats);
+  }
+  stats->result_pairs = out.size();
+  stats->phases.Add("SSJoin", join_timer.ElapsedMillis());
+
+  reg.GetCounter("approx.bands_probed")->Add(bands_probed);
+  reg.GetCounter("approx.candidates")->Add(stats->candidate_pairs);
+  reg.GetGauge("approx.signature_hashes")
+      ->Set(static_cast<int64_t>(plan.num_hashes()));
+
+  // Measured-recall gauge from sampled exact re-checks. The exact tier is
+  // complete by construction; report it as such without re-probing.
+  double recall = 1.0;
+  if (plan.use_lsh && params_.recall_sample > 0) {
+    recall = MeasureRecall(r, s, pred, ctx, out, params_.recall_sample);
+  }
+  reg.GetGauge("approx.measured_recall_ppm")
+      ->Set(static_cast<int64_t>(std::llround(recall * 1e6)));
+  return out;
+}
+
+Result<std::vector<SSJoinPair>> ExecuteSSJoin(
+    core::SSJoinAlgorithm algorithm, const core::SetsRelation& r,
+    const core::SetsRelation& s, const core::OverlapPredicate& pred,
+    const core::SSJoinContext& ctx, const ApproxParams& params,
+    SSJoinStats* stats, core::SSJoinAlgorithm* resolved) {
+  if (algorithm == core::SSJoinAlgorithm::kHybrid) {
+    core::HybridRoutingDecision decision = core::ChooseHybridTier(r, s, pred, ctx);
+    algorithm = decision.chosen;
+    obs::Registry::Global()
+        .GetCounter(algorithm == core::SSJoinAlgorithm::kApprox
+                        ? "approx.hybrid_to_approx"
+                        : "approx.hybrid_to_exact")
+        ->Add(1);
+  }
+  if (resolved != nullptr) *resolved = algorithm;
+  if (algorithm == core::SSJoinAlgorithm::kApprox) {
+    SSJoinStats local_stats;
+    if (stats == nullptr) stats = &local_stats;
+    ApproxSSJoin executor(params);
+    Result<std::vector<SSJoinPair>> result =
+        executor.Execute(r, s, pred, ctx, stats);
+    // Parallel and serial approx runs both publish here, exactly once per
+    // join (mirrors the exec-layer publication discipline).
+    if (result.ok()) core::PublishSSJoinStats(*stats);
+    return result;
+  }
+  return exec::ExecuteSSJoin(algorithm, r, s, pred, ctx, stats);
+}
+
+void RegisterApproxMetrics() {
+  obs::Registry& reg = obs::Registry::Global();
+  for (const char* name :
+       {"approx.joins", "approx.lsh_joins", "approx.exact_fallbacks",
+        "approx.bands_probed", "approx.candidates", "approx.hybrid_to_approx",
+        "approx.hybrid_to_exact", "approx.phase.signature.us",
+        "approx.phase.signature.count"}) {
+    reg.GetCounter(name);
+  }
+  reg.GetGauge("approx.signature_hashes");
+  reg.GetGauge("approx.measured_recall_ppm");
+}
+
+}  // namespace ssjoin::approx

@@ -1,0 +1,96 @@
+#ifndef SSJOIN_APPROX_MINHASH_H_
+#define SSJOIN_APPROX_MINHASH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "approx/params.h"
+#include "common/hash.h"
+#include "core/predicate.h"
+#include "core/sets.h"
+#include "exec/exec_context.h"
+
+namespace ssjoin::approx {
+
+/// \brief One tuned LSH configuration: `bands` bands of `rows` MinHash rows.
+///
+/// A pair whose (unweighted) set resemblance is t collides in at least one
+/// band with probability 1 - (1 - t^rows)^bands. TuneBands picks the
+/// cheapest (rows, bands) whose collision probability at the similarity
+/// floor `t_min` leaves a per-pair miss probability of at most
+/// (1 - target_recall) / kMissSafety — a large safety margin, so the
+/// *measured* recall of a whole join concentrates well above the target.
+struct BandPlan {
+  /// False: run the exact inverted-index candidate generator instead
+  /// (recall 1.0). Chosen when the input is below the exact floor or when no
+  /// in-budget band configuration can meet the target.
+  bool use_lsh = false;
+  size_t rows = 1;
+  size_t bands = 0;
+  /// Provable lower bound on the resemblance of any result pair, from the
+  /// input statistics (see TuneBands).
+  double t_min = 0.0;
+  /// Frequency-derived background resemblance of a random pair, used to
+  /// weigh candidate-verification cost when choosing `rows`.
+  double t_background = 0.0;
+  /// Human-readable routing note for EXPLAIN output and tests.
+  const char* note = "";
+
+  size_t num_hashes() const { return use_lsh ? rows * bands : 0; }
+};
+
+/// \brief Tunes the band plan for one join from `target_recall` plus the
+/// inputs' statistics (the same per-element frequencies the cost model
+/// uses).
+///
+/// Recall floor: every SSJoin result pair shares at least one element (the
+/// operator's positive-threshold contract), so its resemblance is at least
+/// 1 / (max|r| + max|s| - 1). When the predicate is two-sided normalized
+/// (Overlap >= a*R.norm AND Overlap >= a*S.norm) and norms equal set
+/// weights, the tighter bound (wmin/wmax) * a / (2 - a) applies. t_min is
+/// the better of the two; band feasibility is judged against it, so the
+/// miss-probability bound holds for *every* result pair, not just average
+/// ones.
+BandPlan TuneBands(const core::SetsRelation& r, const core::SetsRelation& s,
+                   const core::OverlapPredicate& pred,
+                   const core::WeightVector& weights, const ApproxParams& params);
+
+/// \brief Flat group-major MinHash signature matrix over a SetStore.
+///
+/// Hash i of group g is min over the group's elements e of
+/// Mix64(seed ^ HashCombine(i, e)); empty groups get all-ones sentinels.
+/// Each group's row depends only on (seed, i, elements), so rows can be
+/// filled by any thread in any order with bit-identical results.
+struct SignatureMatrix {
+  size_t num_hashes = 0;
+  std::vector<uint64_t> values;  // values[g * num_hashes + i]
+
+  std::span<const uint64_t> row(core::GroupId g) const {
+    return {values.data() + static_cast<size_t>(g) * num_hashes, num_hashes};
+  }
+};
+
+/// Builds the signature matrix, parallelized over groups via `ec` (null or
+/// one thread = inline serial loop; output is identical either way).
+SignatureMatrix BuildSignatures(const core::SetStore& store, size_t num_hashes,
+                                uint64_t seed, const exec::ExecContext* ec);
+
+/// The key of band `b` (rows [b*rows, (b+1)*rows) of `sig`): a single 64-bit
+/// hash combining the band index with the band's MinHash values.
+inline uint64_t BandKey(std::span<const uint64_t> sig, size_t b, size_t rows) {
+  uint64_t key = HashCombine(0x9e3779b97f4a7c15ull, b + 1);
+  for (size_t i = b * rows; i < (b + 1) * rows; ++i) {
+    key = HashCombine(key, sig[i]);
+  }
+  return key;
+}
+
+/// Safety divisor of the tuner: per-pair miss probability is budgeted at
+/// (1 - target_recall) / kMissSafety, so even joins with a handful of true
+/// pairs measure recall >= target except with negligible probability.
+inline constexpr double kMissSafety = 1024.0;
+
+}  // namespace ssjoin::approx
+
+#endif  // SSJOIN_APPROX_MINHASH_H_

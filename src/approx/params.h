@@ -1,0 +1,41 @@
+#ifndef SSJOIN_APPROX_PARAMS_H_
+#define SSJOIN_APPROX_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssjoin::approx {
+
+/// \brief Knobs of the MinHash-LSH approximate candidate tier (src/approx).
+///
+/// Everything is deterministic in these fields plus the inputs: the hash
+/// family is seeded (no wall clock, no global RNG), so a fuzz reproducer or
+/// a repeated CLI run replays the exact same candidate set at any thread
+/// count.
+struct ApproxParams {
+  /// Fraction of the exact result the tier aims to return (0, 1]. Band
+  /// tuning drives the per-pair miss probability far below (1 - target), so
+  /// the measured recall concentrates at or above the target.
+  double target_recall = 0.9;
+  /// Hard cap on signature width (bands * rows). 0 = kDefaultMaxHashes.
+  /// When no band configuration within the cap can meet the target recall,
+  /// the tier degenerates to exact inverted-index candidates (recall 1.0) —
+  /// CPSJoin-style robustness rather than a silently missed target.
+  size_t max_hashes = 0;
+  /// Seed of the MinHash family (Mix64 over (seed, hash_index, token)).
+  uint64_t seed = 0x1CDE2006;
+  /// Inputs with |R| * |S| at or below this run the exact candidate
+  /// generator: below this scale LSH setup cost dominates and cannot pay
+  /// off. 0 disables the floor (fuzzing uses that to force the LSH path).
+  size_t exact_floor_pairs = 4096;
+  /// Number of R-groups re-checked exactly after an LSH join to estimate the
+  /// measured recall (obs gauge `approx.measured_recall_ppm`). 0 disables
+  /// sampling.
+  size_t recall_sample = 64;
+};
+
+inline constexpr size_t kDefaultMaxHashes = 512;
+
+}  // namespace ssjoin::approx
+
+#endif  // SSJOIN_APPROX_PARAMS_H_

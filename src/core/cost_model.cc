@@ -101,6 +101,46 @@ SSJoinAlgorithm ChooseAlgorithm(const SetsRelation& r, const SetsRelation& s,
   return EstimateCosts(r, s, pred, ctx).chosen;
 }
 
+HybridRoutingDecision ChooseHybridTier(const SetsRelation& r,
+                                       const SetsRelation& s,
+                                       const OverlapPredicate& pred,
+                                       const SSJoinContext& ctx) {
+  (void)pred;
+  (void)ctx;
+  HybridRoutingDecision decision;
+  size_t num_groups = r.num_groups() + s.num_groups();
+  decision.frequency_threshold =
+      std::max(kHybridMinFrequency, (num_groups + 19) / 20);  // 5% of groups
+
+  size_t num_elements = NumElements(r, s);
+  std::vector<uint32_t> fr = ElementFrequencies(r.store, num_elements);
+  std::vector<uint32_t> fs = ElementFrequencies(s.store, num_elements);
+  size_t frequent_occurrences = 0;
+  size_t total_occurrences = 0;
+  for (size_t e = 0; e < num_elements; ++e) {
+    size_t f = static_cast<size_t>(fr[e]) + fs[e];
+    total_occurrences += f;
+    if (f >= decision.frequency_threshold) frequent_occurrences += f;
+  }
+  decision.total_occurrences = total_occurrences;
+  decision.frequent_token_share =
+      total_occurrences > 0 ? static_cast<double>(frequent_occurrences) /
+                                  static_cast<double>(total_occurrences)
+                            : 0.0;
+  decision.chosen = decision.frequent_token_share >= kHybridShareCutoff
+                        ? SSJoinAlgorithm::kApprox
+                        : SSJoinAlgorithm::kPrefixFilterInline;
+  return decision;
+}
+
+std::string HybridRoutingDecision::ToString() const {
+  return StringPrintf(
+      "HybridRouting{freq_threshold=%zu frequent_share=%.3f occurrences=%zu "
+      "chosen=%s}",
+      frequency_threshold, frequent_token_share, total_occurrences,
+      SSJoinAlgorithmName(chosen));
+}
+
 std::string CostEstimate::ToString() const {
   return StringPrintf(
       "CostEstimate{basic_rows=%zu prefix_rows=%zu basic_cost=%.3g "

@@ -47,6 +47,44 @@ SSJoinAlgorithm ChooseAlgorithm(const SetsRelation& r, const SetsRelation& s,
                                 const OverlapPredicate& pred,
                                 const SSJoinContext& ctx);
 
+/// \brief The hybrid planner's tier choice for `--algorithm hybrid`
+/// (src/approx): exact prefix filter or the MinHash-LSH approximate tier.
+///
+/// The prefix filter degrades on frequent-token-heavy inputs — every set
+/// containing a frequent element lands in that element's posting list, so
+/// the prefix equi-join blows up quadratically in the token frequency while
+/// LSH bucket sizes stay bounded by signature collisions. The router
+/// therefore measures how much of the element mass sits on frequent tokens
+/// and sends skew-heavy inputs to the approximate tier.
+struct HybridRoutingDecision {
+  /// A token is "frequent" when its combined R+S frequency reaches this
+  /// (max(kHybridMinFrequency, 5% of the total group count)).
+  size_t frequency_threshold = 0;
+  /// Fraction of all element occurrences that lie on frequent tokens.
+  double frequent_token_share = 0.0;
+  /// Total element occurrences across both sides (the share's denominator).
+  size_t total_occurrences = 0;
+  /// kApprox when frequent_token_share >= kHybridShareCutoff, else
+  /// kPrefixFilterInline.
+  SSJoinAlgorithm chosen = SSJoinAlgorithm::kPrefixFilterInline;
+
+  std::string ToString() const;
+};
+
+/// Tokens this common across R+S are "frequent" even in tiny inputs.
+inline constexpr size_t kHybridMinFrequency = 4;
+/// Share of element occurrences on frequent tokens at/above which the hybrid
+/// planner routes to the approximate tier.
+inline constexpr double kHybridShareCutoff = 0.5;
+
+/// \brief Routes one hybrid SSJoin invocation: computes the frequent-token
+/// share from the same per-element frequency statistics the cost model uses
+/// and picks kApprox or kPrefixFilterInline. Deterministic in the inputs.
+HybridRoutingDecision ChooseHybridTier(const SetsRelation& r,
+                                       const SetsRelation& s,
+                                       const OverlapPredicate& pred,
+                                       const SSJoinContext& ctx);
+
 }  // namespace ssjoin::core
 
 #endif  // SSJOIN_CORE_COST_MODEL_H_

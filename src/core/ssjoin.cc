@@ -389,6 +389,10 @@ const char* SSJoinAlgorithmName(SSJoinAlgorithm algorithm) {
       return "prefix-filter";
     case SSJoinAlgorithm::kPrefixFilterInline:
       return "prefix-filter-inline";
+    case SSJoinAlgorithm::kApprox:
+      return "approx";
+    case SSJoinAlgorithm::kHybrid:
+      return "hybrid";
   }
   return "unknown";
 }
@@ -405,6 +409,12 @@ std::unique_ptr<SSJoinExecutor> MakeExecutor(SSJoinAlgorithm algorithm) {
       return std::make_unique<PrefixFilterSSJoin>();
     case SSJoinAlgorithm::kPrefixFilterInline:
       return std::make_unique<InlinePrefixFilterSSJoin>();
+    case SSJoinAlgorithm::kApprox:
+    case SSJoinAlgorithm::kHybrid:
+      // Implemented in src/approx (needs the parallel runtime, which core
+      // cannot link). approx::ExecuteSSJoin intercepts these before dispatch
+      // ever reaches this factory.
+      return nullptr;
   }
   return nullptr;
 }
@@ -417,7 +427,10 @@ Result<std::vector<SSJoinPair>> ExecuteSSJoin(SSJoinAlgorithm algorithm,
                                               SSJoinStats* stats) {
   std::unique_ptr<SSJoinExecutor> executor = MakeExecutor(algorithm);
   if (executor == nullptr) {
-    return Status::Invalid("unknown SSJoin algorithm");
+    return Status::Invalid(std::string("SSJoin algorithm '") +
+                           SSJoinAlgorithmName(algorithm) +
+                           "' is not available through the core dispatcher "
+                           "(use approx::ExecuteSSJoin)");
   }
   SSJoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;

@@ -81,6 +81,15 @@ enum class SSJoinAlgorithm {
   /// are verified by a direct overlap "UDF" on the carried sets, avoiding
   /// the re-joins with the base relations.
   kPrefixFilterInline,
+  /// MinHash-LSH approximate candidate tier (src/approx, CPSJoin-style):
+  /// candidates from banded signatures tuned to a target recall, verified by
+  /// the exact overlap path — precision 1.0, recall approximate. Only
+  /// runnable through approx::ExecuteSSJoin; core::MakeExecutor returns null.
+  kApprox,
+  /// Planner mode: route frequent-token-heavy inputs to kApprox and the rest
+  /// to kPrefixFilterInline (core::ChooseHybridTier). Resolved by the approx
+  /// layer's dispatch, never a physical executor itself.
+  kHybrid,
 };
 
 const char* SSJoinAlgorithmName(SSJoinAlgorithm algorithm);

@@ -160,8 +160,11 @@ Result<std::string> ExplainSSJoin(const engine::Table& r, const engine::Table& s
   SSJOIN_ASSIGN_OR_RETURN(DecodedRelation ds, TableToSetsRelation(s));
   MergedContext merged = MergeContexts(dr, ds);
   CostEstimate est = EstimateCosts(dr.rel, ds.rel, pred, merged.Context());
-  return StringPrintf("SSJoin %s\n  %s\n  physical plan: %s\n",
+  HybridRoutingDecision hybrid =
+      ChooseHybridTier(dr.rel, ds.rel, pred, merged.Context());
+  return StringPrintf("SSJoin %s\n  %s\n  %s\n  physical plan: %s\n",
                       pred.ToString().c_str(), est.ToString().c_str(),
+                      hybrid.ToString().c_str(),
                       SSJoinAlgorithmName(est.chosen));
 }
 

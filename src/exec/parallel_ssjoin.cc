@@ -522,6 +522,11 @@ std::unique_ptr<core::SSJoinExecutor> MakeParallelExecutor(
       return std::make_unique<ParallelPrefixFilterSSJoin>();
     case core::SSJoinAlgorithm::kPrefixFilterInline:
       return std::make_unique<ParallelInlinePrefixFilterSSJoin>();
+    case core::SSJoinAlgorithm::kApprox:
+    case core::SSJoinAlgorithm::kHybrid:
+      // The approx tier parallelizes internally (approx::ExecuteSSJoin);
+      // there is no separate exec-layer executor for it.
+      return nullptr;
   }
   return nullptr;
 }

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 
+#include "approx/approx_ssjoin.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -149,6 +150,20 @@ size_t EditSimBudget(double alpha, size_t len_r, size_t len_s) {
   return static_cast<size_t>(std::floor(allowed + 1e-9));
 }
 
+/// Shared predicate construction for the SSJoin-shaped scenarios.
+core::OverlapPredicate MakePredicate(const Reproducer& rp) {
+  switch (rp.GetUint("pred_kind", 2) % 3) {
+    case 0:
+      return core::OverlapPredicate::Absolute(rp.GetDouble("threshold", 1.0));
+    case 1:
+      return core::OverlapPredicate::OneSidedNormalized(
+          rp.GetDouble("alpha", 0.5));
+    default:
+      return core::OverlapPredicate::TwoSidedNormalized(
+          rp.GetDouble("alpha", 0.5));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Scenario checks
 // ---------------------------------------------------------------------------
@@ -161,18 +176,7 @@ Result<CheckResult> CheckSSJoinExecutors(const Reproducer& rp) {
   SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
                           PrepareStrings(rp.r, rp.s, *tok, mode));
 
-  core::OverlapPredicate pred;
-  switch (rp.GetUint("pred_kind", 2) % 3) {
-    case 0:
-      pred = core::OverlapPredicate::Absolute(rp.GetDouble("threshold", 1.0));
-      break;
-    case 1:
-      pred = core::OverlapPredicate::OneSidedNormalized(rp.GetDouble("alpha", 0.5));
-      break;
-    default:
-      pred = core::OverlapPredicate::TwoSidedNormalized(rp.GetDouble("alpha", 0.5));
-      break;
-  }
+  core::OverlapPredicate pred = MakePredicate(rp);
 
   std::vector<core::SSJoinPair> oracle =
       SSJoinOracle(prep.r, prep.s, prep.weights, pred);
@@ -507,6 +511,84 @@ Result<CheckResult> CheckLookupService(const Reproducer& rp) {
   return result;
 }
 
+/// Differential check of the approximate tier against the exact oracle:
+///  - precision: approx output ⊆ oracle, with exact overlaps;
+///  - determinism: the parallel run is bitwise identical to the serial run;
+///  - recall: |approx| / |oracle| >= target_recall (counting suffices
+///    because the subset property has already been established);
+///  - hybrid: whatever tier kHybrid routes to obeys the same bounds.
+/// With `exact_floor` on, small workloads take the exact path and recall is
+/// 1.0 by construction; with it off, the LSH path is forced whenever the
+/// band tuner finds an in-budget plan.
+Result<CheckResult> CheckRecall(const Reproducer& rp) {
+  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
+  auto mode = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
+  std::unique_ptr<text::Tokenizer> tok =
+      MakeTokenizer(rp.GetBool("word_tokens", true), q);
+  SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
+                          PrepareStrings(rp.r, rp.s, *tok, mode));
+  core::OverlapPredicate pred = MakePredicate(rp);
+
+  approx::ApproxParams params;
+  params.target_recall = rp.GetDouble("target_recall", 0.9);
+  params.seed = rp.GetUint("minhash_seed", 1);
+  if (!rp.GetBool("exact_floor", true)) params.exact_floor_pairs = 0;
+  params.recall_sample = 16;
+
+  std::vector<core::SSJoinPair> oracle =
+      SSJoinOracle(prep.r, prep.s, prep.weights, pred);
+  std::vector<MatchPair> oracle_matches = ToMatches(oracle);
+
+  exec::ExecContext parallel_ctx;
+  parallel_ctx.num_threads = std::max<uint64_t>(2, rp.GetUint("threads", 2));
+  parallel_ctx.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2));
+
+  CheckResult result;
+  std::vector<MatchPair> serial_matches;
+  for (core::SSJoinAlgorithm algorithm :
+       {core::SSJoinAlgorithm::kApprox, core::SSJoinAlgorithm::kHybrid}) {
+    for (bool parallel : {false, true}) {
+      core::SSJoinContext ctx = prep.Context();
+      if (parallel) ctx.exec = &parallel_ctx;
+      Result<std::vector<core::SSJoinPair>> got = approx::ExecuteSSJoin(
+          algorithm, prep.r, prep.s, pred, ctx, params, nullptr);
+      std::string name = std::string(core::SSJoinAlgorithmName(algorithm)) +
+                         (parallel ? " (parallel)" : " (serial)");
+      if (!got.ok()) {
+        return CheckResult{false, name + " failed: " + got.status().ToString()};
+      }
+      std::vector<MatchPair> matches = ToMatches(*got);
+      if (!SubsetOf(name + " (precision)", matches, oracle_matches,
+                    kOverlapTol, &result.detail)) {
+        result.pass = false;
+        return result;
+      }
+      if (!oracle_matches.empty()) {
+        double recall = static_cast<double>(matches.size()) /
+                        static_cast<double>(oracle_matches.size());
+        if (recall + 1e-12 < params.target_recall) {
+          return CheckResult{
+              false, name + ": recall " + StringPrintf("%.6f", recall) +
+                         " below target " +
+                         StringPrintf("%.6f", params.target_recall) + " (" +
+                         std::to_string(matches.size()) + "/" +
+                         std::to_string(oracle_matches.size()) + " pairs)"};
+        }
+      }
+      if (algorithm == core::SSJoinAlgorithm::kApprox) {
+        if (!parallel) {
+          serial_matches = matches;
+        } else if (!SameMatches("approx parallel-vs-serial", matches,
+                                serial_matches, 0.0, &result.detail)) {
+          result.pass = false;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
 /// Removes a scratch data directory on scope exit (durable fuzz cases).
 struct ScratchDirGuard {
   std::string dir;
@@ -716,7 +798,7 @@ std::vector<std::string> AllScenarios() {
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
           "lookup_service",        "mutable_index",
-          "wire_parser"};
+          "wire_parser",           "recall"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -815,6 +897,21 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
                                                 : uint64_t{0});
     rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
                                                  : uint64_t{0});
+  } else if (scenario == "recall") {
+    GenerateCollections(&rng, wopts, &rp);
+    rp.Set("word_tokens", rng.Bernoulli(0.7));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("weight_mode", rng.Uniform(3));
+    rp.Set("pred_kind", rng.Uniform(3));
+    rp.Set("alpha", 0.1 + 0.85 * rng.NextDouble());
+    rp.Set("threshold", 0.25 + 3.75 * rng.NextDouble());
+    rp.Set("target_recall", 0.6 + 0.35 * rng.NextDouble());
+    // Half the cases disable the exact floor so the LSH path is exercised
+    // even at fuzz-sized workloads.
+    rp.Set("exact_floor", rng.Bernoulli(0.5));
+    rp.Set("minhash_seed", rng.Next());
+    rp.Set("threads", 2 + rng.Uniform(3));
+    rp.Set("morsel", 1 + rng.Uniform(4));
   } else if (scenario == "wire_parser") {
     // Lean harder on the adversarial string classes: control bytes, high
     // bytes and empty strings are exactly what a wire parser mishandles.
@@ -847,6 +944,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
   if (repro.scenario == "lookup_service") return CheckLookupService(repro);
   if (repro.scenario == "mutable_index") return CheckMutableIndex(repro);
   if (repro.scenario == "wire_parser") return CheckWireParser(repro);
+  if (repro.scenario == "recall") return CheckRecall(repro);
   return Status::Invalid("unknown fuzz scenario: " + repro.scenario);
 }
 

@@ -53,6 +53,12 @@ struct CheckResult {
 ///                            accepted), and random byte-level mutations and
 ///                            raw adversarial lines parse deterministically
 ///                            without crashing.
+///  - `recall`                the approximate tier (kApprox, serial and
+///                            parallel, plus kHybrid routing) vs the exact
+///                            SSJoin oracle: output must be a subset with
+///                            exact overlaps (precision 1.0), bitwise
+///                            identical across thread counts, with recall at
+///                            or above the drawn target_recall.
 std::vector<std::string> AllScenarios();
 
 /// Draws a random case for `scenario` from `seed`. Deterministic: equal

@@ -570,9 +570,16 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::Lookup(
 
 std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
     const EpochState& state, const std::string& query, size_t k) const {
+  return LookupAt(state, query, k, 1.0);
+}
+
+std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
+    const EpochState& state, const std::string& query, size_t k,
+    double target_recall) const {
   // This function replicates FuzzyMatchIndex::Lookup step by step; every
   // arithmetic expression below must stay bit-for-bit in sync with it (see
-  // the equivalence contract in the header).
+  // the equivalence contract in the header). The only sanctioned deviation
+  // is the target_recall prefix truncation, which at 1.0 does nothing.
   std::vector<Match> out;
   if (k == 0) return out;
   std::vector<std::string> tokens = tokenizer_->Tokenize(query);
@@ -605,6 +612,20 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
   std::vector<text::TokenId> prefix = known;
   SortByEpochRank(state, &prefix);
   core::TrimSortedToPrefix(state.weights, beta, &prefix);
+  if (target_recall < 1.0 && prefix.size() > 1) {
+    // Approximate serving: probe only the rank-ordered head carrying
+    // `target_recall` of the prefix's weight mass. The dropped tail is the
+    // most frequent (cheapest-signal, longest-postings) slice of the prefix.
+    double total = 0.0;
+    for (text::TokenId e : prefix) total += state.weights[e];
+    double kept = 0.0;
+    size_t keep = 0;
+    while (keep < prefix.size() && kept < target_recall * total) {
+      kept += state.weights[prefix[keep]];
+      ++keep;
+    }
+    prefix.resize(std::max<size_t>(1, keep));
+  }
   std::unordered_set<text::TokenId> query_prefix(prefix.begin(), prefix.end());
 
   core::OverlapPredicate pred =

@@ -175,6 +175,15 @@ class MutableFuzzyIndex {
   std::vector<Match> LookupAt(const EpochState& state, const std::string& query,
                               size_t k) const;
 
+  /// LookupAt with a recall knob: `target_recall` < 1.0 probes only the
+  /// rank-ordered head of the query prefix that retains at least that
+  /// fraction of the prefix's weight mass (at least one element), trading
+  /// the frequent tail's long posting scans for possible misses. Every
+  /// returned match is still exact and above alpha — precision stays 1.0.
+  /// `target_recall` >= 1.0 is byte-identical to the 3-argument overload.
+  std::vector<Match> LookupAt(const EpochState& state, const std::string& query,
+                              size_t k, double target_recall) const;
+
   /// The live value of `doc_id` in the given epoch, if any.
   std::optional<std::string> ValueAt(const EpochState& state,
                                      uint64_t doc_id) const;

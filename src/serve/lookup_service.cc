@@ -77,7 +77,8 @@ LookupService::LookupService(std::unique_ptr<index::MutableFuzzyIndex> index,
 LookupService::~LookupService() { Shutdown(); }
 
 std::string LookupService::CacheKey(const std::string& query, size_t k,
-                                    uint64_t epoch) const {
+                                    uint64_t epoch,
+                                    double target_recall) const {
   std::string key;
   key.reserve(query.size() + 32);
   for (const std::string& token : index_->tokenizer().Tokenize(query)) {
@@ -94,12 +95,20 @@ std::string LookupService::CacheKey(const std::string& query, size_t k,
   // The epoch makes every mutation a cache-wide invalidation: entries for
   // older epochs are unreachable and age out of the LRU.
   key += std::to_string(epoch);
+  key.push_back('\x1e');
+  // Approximate and exact lookups of the same query must never share an
+  // entry: the recall knob changes the result.
+  key += std::to_string(target_recall);
   return key;
 }
 
 Result<std::vector<LookupService::Match>> LookupService::Lookup(
-    const std::string& query, size_t k, std::chrono::milliseconds deadline) {
+    const std::string& query, size_t k, std::chrono::milliseconds deadline,
+    double target_recall) {
   Clock::time_point start = Clock::now();
+  if (!(target_recall > 0.0) || target_recall > 1.0) {
+    return Status::Invalid("target_recall must be in (0, 1]");
+  }
   if (deadline.count() < 0) {
     // An already-expired deadline can never be met; reject at admission so
     // it neither queues nor touches the index (it would previously be
@@ -112,7 +121,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
   // eventual LookupAt all use this one view, so a concurrent mutation can
   // neither tear a request across epochs nor satisfy it from a stale entry.
   std::shared_ptr<const index::EpochState> state = index_->Snapshot();
-  std::string cache_key = CacheKey(query, k, state->epoch);
+  std::string cache_key = CacheKey(query, k, state->epoch, target_recall);
   if (auto cached = cache_.Get(cache_key)) {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +147,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     pending.cache_key = std::move(cache_key);
     pending.state = std::move(state);
     pending.k = k;
+    pending.target_recall = target_recall;
     pending.start = start;
     pending.has_deadline = deadline.count() > 0;
     pending.deadline = start + deadline;
@@ -218,8 +228,9 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
                         size_t end) {
                       for (size_t i = begin; i < end; ++i) {
                         obs::ObsSpan span(&metrics_.span_lookup);
-                        results[i] = index_->LookupAt(*live[i].state,
-                                                      live[i].query, live[i].k);
+                        results[i] =
+                            index_->LookupAt(*live[i].state, live[i].query,
+                                             live[i].k, live[i].target_recall);
                       }
                     });
 

@@ -80,11 +80,15 @@ class LookupService {
   ///  - DeadlineExceeded   if `deadline` elapsed before dispatch; a negative
   ///    `deadline` (already expired at the call) is rejected at admission
   ///    without queueing (deadline zero = no deadline).
-  /// Blocks the caller until the result is ready; safe to call from any
-  /// number of threads concurrently.
+  /// `target_recall` in (0, 1] selects the approximate lookup tier below
+  /// 1.0 (see MutableFuzzyIndex::LookupAt); it is part of the cache key, so
+  /// exact and approximate results never alias. Out-of-range values are
+  /// Invalid. Blocks the caller until the result is ready; safe to call from
+  /// any number of threads concurrently.
   Result<std::vector<Match>> Lookup(
       const std::string& query, size_t k,
-      std::chrono::milliseconds deadline = std::chrono::milliseconds::zero());
+      std::chrono::milliseconds deadline = std::chrono::milliseconds::zero(),
+      double target_recall = 1.0);
 
   /// Mutations: thin passthroughs to the index. Each publishes a new epoch,
   /// naturally invalidating every cached lookup (the epoch is in the key).
@@ -124,6 +128,7 @@ class LookupService {
     /// the result matches the epoch its cache key names.
     std::shared_ptr<const index::EpochState> state;
     size_t k;
+    double target_recall;
     std::chrono::steady_clock::time_point start;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline;
@@ -138,8 +143,10 @@ class LookupService {
   void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
 
   /// Cache key: the query's token sequence (unit-separator joined) plus k,
-  /// alpha and the epoch — exactly the inputs Lookup's result depends on.
-  std::string CacheKey(const std::string& query, size_t k, uint64_t epoch) const;
+  /// alpha, the epoch and the target recall — exactly the inputs Lookup's
+  /// result depends on.
+  std::string CacheKey(const std::string& query, size_t k, uint64_t epoch,
+                       double target_recall) const;
 
   void DispatcherLoop();
   void RunBatch(std::vector<Pending>* batch);

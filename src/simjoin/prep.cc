@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "approx/approx_ssjoin.h"
 #include "core/cost_model.h"
 #include "exec/parallel_ssjoin.h"
 #include "text/weights.h"
@@ -67,9 +68,12 @@ Result<std::vector<core::SSJoinPair>> RunSSJoinStage(const Prepared& prep,
   if (execution.use_cost_model) {
     algorithm = core::ChooseAlgorithm(prep.r, prep.s, pred, ctx);
   }
+  // The approx-layer dispatch is a superset of exec::ExecuteSSJoin: it adds
+  // kApprox/kHybrid handling and forwards the exact algorithms unchanged.
   SSJOIN_ASSIGN_OR_RETURN(
       std::vector<core::SSJoinPair> pairs,
-      exec::ExecuteSSJoin(algorithm, prep.r, prep.s, pred, ctx, &stats->ssjoin));
+      approx::ExecuteSSJoin(algorithm, prep.r, prep.s, pred, ctx,
+                            execution.approx, &stats->ssjoin));
   stats->phases.Merge(stats->ssjoin.phases);
   return pairs;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "approx/params.h"
 #include "common/timer.h"
 #include "core/ssjoin.h"
 #include "exec/exec_context.h"
@@ -47,6 +48,9 @@ struct JoinExecution {
   /// Parallel-runtime knobs (src/exec): thread count and morsel size for the
   /// SSJoin stage and the UDF verification loop. Defaults to serial.
   exec::ExecContext exec;
+  /// Knobs of the approximate tier (src/approx), consulted when `algorithm`
+  /// is kApprox or kHybrid; ignored by the exact algorithms.
+  approx::ApproxParams approx;
 };
 
 /// Sorts match pairs by (r, s).

@@ -28,6 +28,9 @@
 #ifndef SSJOIN_SERVED_PATH
 #error "SSJOIN_SERVED_PATH must be defined by the build"
 #endif
+#ifndef SSJOIN_FUZZ_PATH
+#error "SSJOIN_FUZZ_PATH must be defined by the build"
+#endif
 
 namespace ssjoin {
 namespace {
@@ -52,6 +55,19 @@ std::string ReadWholeFile(const std::string& path) {
 int RunCli(const std::string& args) {
   std::string cmd = std::string(SSJOIN_CLI_PATH) + " " + args + " 2>/dev/null";
   int rc = std::system(cmd.c_str());
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+// Runs an arbitrary binary and captures its stderr into *err.
+int RunCaptureStderr(const std::string& binary, const std::string& args,
+                     std::string* err) {
+  std::string err_path =
+      TempPath("cli_stderr_" + std::to_string(::getpid()) + ".txt");
+  std::string cmd =
+      binary + " " + args + " >/dev/null 2>" + err_path;
+  int rc = std::system(cmd.c_str());
+  *err = ReadWholeFile(err_path);
+  std::remove(err_path.c_str());
   return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
 }
 
@@ -128,6 +144,73 @@ TEST(CliTest, UsageAndErrorPaths) {
   EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim bogus"), 0);
   EXPECT_NE(RunCli("join --left " + in + " --left-col name --algorithm bogus"), 0);
   std::remove(in.c_str());
+}
+
+TEST(CliTest, UnknownAlgorithmListsValidNames) {
+  std::string in = TempPath("cli_alg_err.csv");
+  WriteFile(in, "name\nfoo\nfood\n");
+  std::string err;
+  int rc = RunCaptureStderr(SSJOIN_CLI_PATH,
+                            "join --left " + in + " --left-col name "
+                            "--threshold 0.5 --algorithm bogus", &err);
+  EXPECT_NE(rc, 0);
+  // The error must name the offender and enumerate every valid spelling.
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
+  for (const char* name : {"basic", "inverted-index", "prefix-filter",
+                           "inline", "approx", "hybrid", "cost"}) {
+    EXPECT_NE(err.find(name), std::string::npos) << "missing " << name
+                                                 << " in: " << err;
+  }
+  std::remove(in.c_str());
+}
+
+TEST(CliTest, ApproxAndHybridAlgorithmsJoin) {
+  std::string in = TempPath("cli_approx.csv");
+  std::string out = TempPath("cli_approx_out.csv");
+  WriteFile(in,
+            "name\n"
+            "Microsoft Corp\n"
+            "Mcrosoft Corp\n"
+            "Oracle Corporation\n"
+            "Apple Inc\n");
+  for (std::string algorithm : {"approx", "hybrid"}) {
+    int rc = RunCli("join --left " + in + " --left-col name --sim jaccard "
+                    "--threshold 0.1 --algorithm " + algorithm +
+                    " --target-recall 0.9 --out " + out);
+    ASSERT_EQ(rc, 0) << algorithm;
+    auto table = *engine::ReadCsvFile(out);
+    // At this scale the exact floor fires, so the approximate tier returns
+    // the full exact result: the one Microsoft/Mcrosoft pair.
+    ASSERT_EQ(table.num_rows(), 1u) << algorithm;
+    std::remove(out.c_str());
+  }
+  // Recall knob validation: out-of-range values die loudly.
+  EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim jaccard "
+                   "--threshold 0.4 --algorithm approx --target-recall 0"),
+            0);
+  EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim jaccard "
+                   "--threshold 0.4 --algorithm approx --target-recall 1.5"),
+            0);
+  EXPECT_NE(RunCli("join --left " + in + " --left-col name --sim jaccard "
+                   "--threshold 0.4 --algorithm approx --target-recall abc"),
+            0);
+  std::remove(in.c_str());
+}
+
+TEST(CliTest, FuzzToolRejectsMalformedNumericFlags) {
+  std::string err;
+  // std::atoi previously turned these into 0 silently; each must now be a
+  // loud usage error naming the flag.
+  EXPECT_EQ(RunCaptureStderr(SSJOIN_FUZZ_PATH, "--seeds=abc", &err), 2);
+  EXPECT_NE(err.find("--seeds"), std::string::npos) << err;
+  EXPECT_EQ(RunCaptureStderr(SSJOIN_FUZZ_PATH, "--start-seed=1x", &err), 2);
+  EXPECT_NE(err.find("--start-seed"), std::string::npos) << err;
+  EXPECT_EQ(RunCaptureStderr(SSJOIN_FUZZ_PATH, "--max-failures=-3", &err), 2);
+  EXPECT_NE(err.find("--max-failures"), std::string::npos) << err;
+  EXPECT_EQ(
+      RunCaptureStderr(SSJOIN_FUZZ_PATH,
+                       "--seeds=99999999999999999999999999", &err),
+      2);
 }
 
 int RunServed(const std::string& args) {

@@ -181,6 +181,11 @@ TEST_P(StatsExactnessTest, CountersMatchBruteForceOracles) {
             EXPECT_EQ(stats.s_prefix_elements, prefix_stats.s_prefix_elements);
           }
           break;
+        case SSJoinAlgorithm::kApprox:
+        case SSJoinAlgorithm::kHybrid:
+          // Not dispatchable through core::ExecuteSSJoin (and not part of
+          // kAllAlgorithms); covered by test_approx.cc.
+          break;
       }
     }
   }

@@ -19,7 +19,9 @@
 ///
 /// Similarity functions: jaccard (resemblance, word tokens, IDF),
 /// containment, cosine, edit (edit similarity, 3-grams), ges, soundex.
-/// Algorithms: basic, inverted-index, prefix-filter, inline (default), cost.
+/// Algorithms: basic, inverted-index, prefix-filter, inline (default),
+/// approx (MinHash-LSH candidate tier, see --target-recall), hybrid
+/// (route frequent-token-heavy inputs to approx), cost.
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -31,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "approx/approx_ssjoin.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/ssjoin.h"
@@ -129,8 +132,8 @@ int Usage() {
                "                  [--sim jaccard|containment|cosine|edit|ges|"
                "soundex] [--threshold A]\n"
                "                  [--algorithm basic|inverted-index|"
-               "prefix-filter|inline|cost]\n"
-               "                  [--threads N] [--morsel N]\n"
+               "prefix-filter|inline|approx|hybrid|cost]\n"
+               "                  [--target-recall R] [--threads N] [--morsel N]\n"
                "                  [--q N] [--out FILE] [--max-print N]\n"
                "                  [--stats-json FILE]\n"
                "  --threads N   worker threads for the SSJoin + verify stages"
@@ -138,6 +141,9 @@ int Usage() {
                "                0 = one per hardware thread)\n"
                "  --morsel N    scheduler work-unit size in groups/pairs "
                "(default 2048)\n"
+               "  --target-recall R  recall target in (0, 1] of the approx/"
+               "hybrid tiers\n"
+               "                (default 0.9; exact algorithms ignore it)\n"
                "\n"
                "       ssjoin_cli snapshot --reference FILE --col COL --out SNAP\n"
                "                  [--alpha A] [--qgrams Q]\n"
@@ -148,6 +154,7 @@ int Usage() {
                "--col COL | --socket PATH)\n"
                "                  [--query STR] [--k N] [--alpha A] "
                "[--deadline-ms D]\n"
+               "                  [--target-recall R]\n"
                "                  [--stats] [--metrics] [--ping] [--shutdown]\n"
                "                  [--stats-json FILE]\n"
                "           top-k fuzzy lookups, in-process or against a running\n"
@@ -188,10 +195,17 @@ Result<simjoin::JoinExecution> ParseAlgorithm(const std::string& name) {
     exec.algorithm = core::SSJoinAlgorithm::kPrefixFilter;
   } else if (name == "inline") {
     exec.algorithm = core::SSJoinAlgorithm::kPrefixFilterInline;
+  } else if (name == "approx") {
+    exec.algorithm = core::SSJoinAlgorithm::kApprox;
+  } else if (name == "hybrid") {
+    exec.algorithm = core::SSJoinAlgorithm::kHybrid;
   } else if (name == "cost") {
     exec.use_cost_model = true;
   } else {
-    return Status::Invalid("unknown algorithm '" + name + "'");
+    return Status::Invalid(
+        "unknown algorithm '" + name +
+        "' (valid: basic, inverted-index, prefix-filter, inline, approx, "
+        "hybrid, cost)");
   }
   return exec;
 }
@@ -220,6 +234,11 @@ Result<int> RunJoin(const Args& args) {
   SSJOIN_ASSIGN_OR_RETURN(size_t q, SizeFlag(args, "q", 3));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec,
                           ParseAlgorithm(FlagOr(args, "algorithm", "inline")));
+  SSJOIN_ASSIGN_OR_RETURN(exec.approx.target_recall,
+                          DoubleFlag(args, "target-recall", 0.9));
+  if (!(exec.approx.target_recall > 0.0) || exec.approx.target_recall > 1.0) {
+    return Status::Invalid("--target-recall must be in (0, 1]");
+  }
   SSJOIN_ASSIGN_OR_RETURN(exec.exec.num_threads, SizeFlag(args, "threads", 1));
   SSJOIN_ASSIGN_OR_RETURN(size_t morsel, SizeFlag(args, "morsel", 0));
   if (morsel > 0) exec.exec.morsel_size = morsel;
@@ -451,6 +470,16 @@ Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
     SSJOIN_ASSIGN_OR_RETURN(size_t deadline, SizeFlag(args, "deadline-ms", 0));
     request += ", \"deadline_ms\": " + std::to_string(deadline);
   }
+  if (args.flags.count("target-recall") > 0) {
+    SSJOIN_ASSIGN_OR_RETURN(double target,
+                            DoubleFlag(args, "target-recall", 1.0));
+    if (!(target > 0.0) || target > 1.0) {
+      return Status::Invalid("--target-recall must be in (0, 1]");
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", target);
+    request += std::string(", \"target_recall\": ") + buf;
+  }
   request += "}";
   return SocketRoundTrip(socket_path, request);
 }
@@ -528,10 +557,11 @@ Result<int> RunLookup(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pre-create the core/exec metric names so --stats-json output covers the
-  // full set even for commands that never touch a layer.
+  // Pre-create the core/exec/approx metric names so --stats-json output
+  // covers the full set even for commands that never touch a layer.
   core::RegisterCoreMetrics();
   exec::RegisterExecMetrics();
+  approx::RegisterApproxMetrics();
   Args args = ParseArgs(argc, argv);
   Result<int> rc = Status::Invalid("unreachable");
   if (args.command == "join") {

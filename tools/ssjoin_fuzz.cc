@@ -12,12 +12,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "fuzz/reproducer.h"
 #include "fuzz/scenarios.h"
 
@@ -44,6 +44,20 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   size_t len = std::strlen(name);
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
   *value = arg + len + 1;
+  return true;
+}
+
+/// Numeric flags go through the strict whole-string parser the other tools
+/// use: `--seeds=abc` is a loud usage error, not a silent 0.
+bool ParseCountOrDie(const char* flag, const std::string& value, uint64_t* out) {
+  ssjoin::Result<uint64_t> parsed = ssjoin::ParseUint64(value);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "ssjoin_fuzz: %s: %s\n", flag,
+                 parsed.status().message().c_str());
+    Usage();
+    return false;
+  }
+  *out = *parsed;
   return true;
 }
 
@@ -104,15 +118,19 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (ParseFlag(arg, "--seeds", &value)) {
-      options.seeds = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseCountOrDie("--seeds", value, &options.seeds)) return 2;
     } else if (ParseFlag(arg, "--start-seed", &value)) {
-      options.start_seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseCountOrDie("--start-seed", value, &options.start_seed)) {
+        return 2;
+      }
     } else if (ParseFlag(arg, "--scenario", &value)) {
       options.scenario = value;
     } else if (ParseFlag(arg, "--out", &value)) {
       options.out_dir = value;
     } else if (ParseFlag(arg, "--max-failures", &value)) {
-      options.max_failures = std::strtoull(value.c_str(), nullptr, 10);
+      uint64_t max_failures = 0;
+      if (!ParseCountOrDie("--max-failures", value, &max_failures)) return 2;
+      options.max_failures = static_cast<size_t>(max_failures);
     } else if (ParseFlag(arg, "--replay", &value)) {
       replay_target = value;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {

@@ -126,7 +126,10 @@ int Usage() {
       "  --max-generations N  auto-compact beyond N sealed segments (default 4)\n"
       "ops: ping, lookup, upsert, delete, compact, stats (one-line JSON),\n"
       "     metrics / stats+format=ndjson (header line, then one NDJSON metric\n"
-      "     object per line), shutdown\n");
+      "     object per line), shutdown\n"
+      "lookup accepts optional \"target_recall\" in (0, 1]: below 1.0 the\n"
+      "     prefix probe is truncated to that fraction of its weight mass\n"
+      "     (approximate recall, exact similarities)\n");
   return 2;
 }
 
@@ -213,7 +216,17 @@ std::string HandleLine(const std::string& line, ServerState* state,
       }
       deadline = std::chrono::milliseconds(static_cast<int64_t>(it->second.num));
     }
-    auto result = state->service->Lookup(query_it->second.str, k, deadline);
+    double target_recall = 1.0;
+    if (auto it = obj.find("target_recall"); it != obj.end()) {
+      if (it->second.type != serve::JsonScalar::Type::kNumber ||
+          !(it->second.num > 0.0) || it->second.num > 1.0) {
+        return ErrorResponse(
+            Status::Invalid("'target_recall' must be a number in (0, 1]"));
+      }
+      target_recall = it->second.num;
+    }
+    auto result = state->service->Lookup(query_it->second.str, k, deadline,
+                                         target_recall);
     if (!result.ok()) return ErrorResponse(result.status());
     std::string out = "{\"ok\": true, \"matches\": [";
     for (size_t i = 0; i < result->size(); ++i) {
