@@ -13,6 +13,7 @@
 #include "common/string_util.h"
 #include "datagen/address_gen.h"
 #include "exec/exec_context.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "simjoin/types.h"
 
@@ -28,16 +29,23 @@ inline exec::ExecContext& BenchExec() {
   return ec;
 }
 
-/// Strips `--threads[=| ]N` and `--morsel[=| ]N` from argv (so that
-/// benchmark::Initialize never sees them) and stores them in BenchExec().
-/// Call at the top of every bench main, before benchmark::Initialize.
+/// Strips `--threads[=| ]N`, `--morsel[=| ]N` and
+/// `--kernel[=| ]scalar|gallop|simd|auto` from argv (so that
+/// benchmark::Initialize never sees them); thread/morsel values go to
+/// BenchExec(), the kernel tier is applied process-wide. Call at the top of
+/// every bench main, before benchmark::Initialize.
 inline void InitBenchFlags(int* argc, char** argv) {
+  if (Status st = kernels::InitFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    std::exit(2);
+  }
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     std::string arg = argv[i];
     size_t* target = nullptr;
     std::string value;
-    for (const char* name : {"--threads", "--morsel"}) {
+    bool is_kernel = false;
+    for (const char* name : {"--threads", "--morsel", "--kernel"}) {
       size_t len = std::strlen(name);
       if (arg.compare(0, len, name) != 0) continue;
       if (arg.size() == len && i + 1 < *argc) {
@@ -47,11 +55,22 @@ inline void InitBenchFlags(int* argc, char** argv) {
       } else {
         continue;
       }
-      target = std::strcmp(name, "--threads") == 0 ? &BenchExec().num_threads
-                                                   : &BenchExec().morsel_size;
+      if (std::strcmp(name, "--kernel") == 0) {
+        is_kernel = true;
+      } else {
+        target = std::strcmp(name, "--threads") == 0 ? &BenchExec().num_threads
+                                                     : &BenchExec().morsel_size;
+      }
       break;
     }
-    if (target != nullptr) {
+    if (is_kernel) {
+      Result<kernels::Tier> tier = kernels::ParseTier(value);
+      Status st = tier.ok() ? kernels::SetTier(*tier) : tier.status();
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: --kernel: %s\n", st.ToString().c_str());
+        std::exit(2);
+      }
+    } else if (target != nullptr) {
       Result<uint64_t> parsed = ParseUint64(value);
       if (!parsed.ok()) {
         std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());

@@ -17,6 +17,7 @@
 
 #include "bench/bench_common.h"
 #include "common/timer.h"
+#include "kernels/kernels.h"
 #include "simjoin/string_joins.h"
 
 namespace ssjoin::bench {
@@ -30,6 +31,8 @@ struct Table2Row {
   size_t ssjoin_input_rows;
   size_t output_pairs;
   double total_ms;
+  std::string kernel;     // requested kernel tier this row ran under
+  double ssjoin_ms = 0.0; // SSJoin phase (candidate gen + verify hot loops)
 };
 
 std::vector<Table2Row>& Table2Rows() {
@@ -37,7 +40,13 @@ std::vector<Table2Row>& Table2Rows() {
   return *rows;
 }
 
-void BM_Scaling(benchmark::State& state, size_t records, size_t threads) {
+/// `kernel` pins a kernel tier for this run (empty = leave the process-wide
+/// setting, i.e. --kernel / SSJOIN_KERNEL / auto).
+void BM_Scaling(benchmark::State& state, size_t records, size_t threads,
+                const char* kernel) {
+  if (*kernel != '\0') {
+    kernels::SetTier(*kernels::ParseTier(kernel)).AbortIfError();
+  }
   const auto& data = AddressCorpus(records, /*with_name=*/true);
   simjoin::JoinExecution execution =
       MakeExec(core::SSJoinAlgorithm::kPrefixFilterInline);
@@ -56,7 +65,9 @@ void BM_Scaling(benchmark::State& state, size_t records, size_t threads) {
     Table2Rows().push_back(
         {records, threads,
          stats.ssjoin.r_prefix_elements + stats.ssjoin.s_prefix_elements,
-         stats.result_pairs, total_ms});
+         stats.result_pairs, total_ms,
+         *kernel != '\0' ? kernel : kernels::ActiveTierName(),
+         stats.phases.Millis("SSJoin") + stats.phases.Millis("Filter")});
   }
   ExportCounters(state, stats);
   state.counters["threads"] = static_cast<double>(threads);
@@ -70,7 +81,22 @@ void RegisterAll() {
     for (size_t threads : {size_t{1}, par}) {
       std::string name = "table2/records=" + std::to_string(records / 1000) +
                          "K/threads=" + std::to_string(threads);
-      benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, records, threads)
+      benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, records, threads,
+                                   "")
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  // Kernel before/after arms: the canonical 25K workload pinned to the
+  // scalar oracle vs the auto-dispatched tiers, serial and parallel, so the
+  // kernel subsystem's end-to-end effect on the SSJoin phase is tracked in
+  // the same table.
+  for (const char* kernel : {"scalar", "auto"}) {
+    for (size_t threads : {size_t{1}, par}) {
+      std::string name = "table2/records=25K/threads=" +
+                         std::to_string(threads) + "/kernel=" + kernel;
+      benchmark::RegisterBenchmark(name.c_str(), BM_Scaling, size_t{25000},
+                                   threads, kernel)
           ->Iterations(1)
           ->Unit(benchmark::kMillisecond);
     }
@@ -88,11 +114,13 @@ int main(int argc, char** argv) {
   std::printf(
       "\n=== Table 2: varying input data sizes (Jaccard 0.85, "
       "prefix-filter-inline) ===\n");
-  std::printf("%10s %8s %18s %12s %12s\n", "records", "threads",
-              "prefix input rows", "output", "time(ms)");
+  std::printf("%10s %8s %8s %18s %12s %12s %12s\n", "records", "threads",
+              "kernel", "prefix input rows", "output", "time(ms)",
+              "ssjoin(ms)");
   for (const auto& row : ssjoin::bench::Table2Rows()) {
-    std::printf("%10zu %8zu %18zu %12zu %12.1f\n", row.records, row.threads,
-                row.ssjoin_input_rows, row.output_pairs, row.total_ms);
+    std::printf("%10zu %8zu %8s %18zu %12zu %12.1f %12.1f\n", row.records,
+                row.threads, row.kernel.c_str(), row.ssjoin_input_rows,
+                row.output_pairs, row.total_ms, row.ssjoin_ms);
   }
   {
     std::vector<ssjoin::bench::JsonRecord> recs;
@@ -101,9 +129,11 @@ int main(int argc, char** argv) {
       recs.push_back(ssjoin::bench::JsonRecord()
                          .Int("records", row.records)
                          .Int("threads", row.threads)
+                         .Str("kernel", row.kernel)
                          .Int("ssjoin_input_rows", row.ssjoin_input_rows)
                          .Int("output_pairs", row.output_pairs)
-                         .Num("total_ms", row.total_ms));
+                         .Num("total_ms", row.total_ms)
+                         .Num("ssjoin_ms", row.ssjoin_ms));
     }
     ssjoin::bench::WriteBenchJson("table2", recs);
   }

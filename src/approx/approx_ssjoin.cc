@@ -9,6 +9,7 @@
 #include "core/inverted_index.h"
 #include "exec/parallel_for.h"
 #include "exec/parallel_ssjoin.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 
 namespace ssjoin::approx {
@@ -24,6 +25,7 @@ using core::SSJoinStats;
 struct ProbeScratch {
   std::vector<uint32_t> seen;
   uint32_t epoch = 0;
+  std::vector<GroupId> cands;
 
   void EnsureSize(size_t n) {
     if (seen.size() < n) seen.resize(n, 0);
@@ -58,7 +60,7 @@ inline void VerifyCandidate(const core::SetsRelation& r,
                             const core::OverlapPredicate& pred,
                             const core::WeightVector& w,
                             std::vector<SSJoinPair>* out) {
-  double overlap = core::MergeOverlap(r.set(rg), s.set(sg), w);
+  double overlap = kernels::IntersectWeighted(r.set(rg), s.set(sg), w.data());
   if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
     out->push_back({rg, sg, overlap});
   }
@@ -92,15 +94,16 @@ std::vector<SSJoinPair> RunExactTier(const core::SetsRelation& r,
                         auto rg = static_cast<GroupId>(g);
                         if (r.set(rg).empty()) continue;
                         uint32_t epoch = sc.NextEpoch();
+                        sc.cands.clear();
                         for (text::TokenId e : r.set(rg)) {
                           auto [p, p_end] = s_index.Lookup(e);
                           out.equijoin_rows += static_cast<size_t>(p_end - p);
-                          for (; p != p_end; ++p) {
-                            if (sc.seen[*p] == epoch) continue;
-                            sc.seen[*p] = epoch;
-                            ++out.candidate_pairs;
-                            VerifyCandidate(r, s, rg, *p, pred, w, &out.pairs);
-                          }
+                          kernels::ProbePostings({p, p_end}, epoch,
+                                                 sc.seen.data(), &sc.cands);
+                        }
+                        out.candidate_pairs += sc.cands.size();
+                        for (GroupId sg : sc.cands) {
+                          VerifyCandidate(r, s, rg, sg, pred, w, &out.pairs);
                         }
                       }
                     });
@@ -170,17 +173,19 @@ std::vector<SSJoinPair> RunLshTier(const core::SetsRelation& r,
           if (r.set(rg).empty()) continue;
           uint32_t epoch = sc.NextEpoch();
           std::span<const uint64_t> row = r_sig.row(rg);
+          sc.cands.clear();
           for (size_t b = 0; b < plan.bands; ++b) {
             ++out.bands_probed;
             auto it = buckets.find(BandKey(row, b, plan.rows));
             if (it == buckets.end()) continue;
             out.equijoin_rows += it->second.size();
-            for (GroupId sg : it->second) {
-              if (sc.seen[sg] == epoch) continue;
-              sc.seen[sg] = epoch;
-              ++out.candidate_pairs;
-              VerifyCandidate(r, s, rg, sg, pred, w, &out.pairs);
-            }
+            kernels::ProbePostings(
+                {it->second.data(), it->second.size()}, epoch,
+                sc.seen.data(), &sc.cands);
+          }
+          out.candidate_pairs += sc.cands.size();
+          for (GroupId sg : sc.cands) {
+            VerifyCandidate(r, s, rg, sg, pred, w, &out.pairs);
           }
         }
       });

@@ -43,29 +43,10 @@ class InvertedIndex {
   std::vector<GroupId> lists_;
 };
 
-/// \brief Weighted overlap of two canonical (sorted, deduplicated) sets via
-/// sorted merge. The summation order is the sorted element order, so the
-/// floating-point result is identical wherever it is computed — the property
-/// the parallel executors rely on for bit-equal output.
-inline double MergeOverlap(std::span<const text::TokenId> a,
-                           std::span<const text::TokenId> b,
-                           const WeightVector& w) {
-  double overlap = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      overlap += w[a[i]];
-      ++i;
-      ++j;
-    }
-  }
-  return overlap;
-}
+// (The weighted-overlap merge that used to live here is now
+// kernels::IntersectWeighted — src/kernels owns every hot intersection
+// loop, with the same ascending-token accumulation order the parallel
+// executors rely on for bit-equal output.)
 
 /// Largest element id appearing in either relation (0 when both are empty):
 /// one linear pass over each store's contiguous token column.

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "core/inverted_index.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 
 namespace ssjoin::core {
@@ -55,12 +56,7 @@ void GeneratePrefixCandidates(const PrefixFilteredRelation& r_pref,
     for (text::TokenId e : prefix) {
       auto [begin, end] = s_index.Lookup(e);
       stats->equijoin_rows += static_cast<size_t>(end - begin);
-      for (const GroupId* p = begin; p != end; ++p) {
-        if (seen_epoch[*p] != epoch) {
-          seen_epoch[*p] = epoch;
-          cands.push_back(*p);
-        }
-      }
+      kernels::ProbePostings({begin, end}, epoch, seen_epoch.data(), &cands);
     }
     if (!cands.empty()) emit(rg, cands);
   }
@@ -82,7 +78,7 @@ class NaiveSSJoin final : public SSJoinExecutor {
     for (GroupId rg = 0; rg < r.num_groups(); ++rg) {
       for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
         ++stats->candidate_pairs;
-        double overlap = MergeOverlap(r.set(rg), s.set(sg), w);
+        double overlap = kernels::IntersectWeighted(r.set(rg), s.set(sg), w.data());
         if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
           out.push_back({rg, sg, overlap});
         }
@@ -193,15 +189,8 @@ class InvertedIndexSSJoin final : public SSJoinExecutor {
       for (text::TokenId e : r.set(rg)) {
         auto [begin, end] = s_index.Lookup(e);
         stats->equijoin_rows += static_cast<size_t>(end - begin);
-        double we = w[e];
-        for (const GroupId* p = begin; p != end; ++p) {
-          if (seen_epoch[*p] != epoch) {
-            seen_epoch[*p] = epoch;
-            acc[*p] = 0.0;
-            touched.push_back(*p);
-          }
-          acc[*p] += we;
-        }
+        kernels::AccumulatePostings({begin, end}, w[e], epoch,
+                                    seen_epoch.data(), acc.data(), &touched);
       }
       stats->candidate_pairs += touched.size();
       for (GroupId sg : touched) {
@@ -261,22 +250,13 @@ class PrefixFilterSSJoin final : public SSJoinExecutor {
       double weight;
     };
     std::vector<VerifyRow> rows;
+    std::vector<text::TokenId> matched;
     for (uint32_t c = 0; c < candidates.size(); ++c) {
       SetView rset = r.set(candidates[c].r);
       SetView sset = s.set(candidates[c].s);
-      size_t i = 0;
-      size_t j = 0;
-      while (i < rset.size() && j < sset.size()) {
-        if (rset[i] < sset[j]) {
-          ++i;
-        } else if (sset[j] < rset[i]) {
-          ++j;
-        } else {
-          rows.push_back({c, w[rset[i]]});
-          ++i;
-          ++j;
-        }
-      }
+      matched.resize(std::min(rset.size(), sset.size()));
+      size_t n = kernels::IntersectTokens(rset, sset, matched.data());
+      for (size_t k = 0; k < n; ++k) rows.push_back({c, w[matched[k]]});
     }
     // Group by candidate (rows are clustered by construction) + HAVING.
     std::vector<SSJoinPair> out;
@@ -352,7 +332,8 @@ class InlinePrefixFilterSSJoin final : public SSJoinExecutor {
         [&](GroupId rg, const std::vector<GroupId>& ss) {
           stats->candidate_pairs += ss.size();
           for (GroupId sg : ss) {
-            double overlap = MergeOverlap(r.set(rg), s.set(sg), w);
+            double overlap =
+                kernels::IntersectWeighted(r.set(rg), s.set(sg), w.data());
             if (overlap > 0.0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
               out.push_back({rg, sg, overlap});
             }

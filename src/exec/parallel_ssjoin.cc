@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "core/inverted_index.h"
 #include "exec/parallel_for.h"
+#include "kernels/kernels.h"
 
 namespace ssjoin::exec {
 
@@ -102,12 +103,8 @@ void GenerateCandidatesRange(const core::PrefixFilteredRelation& r_pref,
     for (text::TokenId e : prefix) {
       auto [begin, end] = s_index.Lookup(e);
       stats->equijoin_rows += static_cast<size_t>(end - begin);
-      for (const GroupId* p = begin; p != end; ++p) {
-        if (scratch.seen_epoch[*p] != epoch) {
-          scratch.seen_epoch[*p] = epoch;
-          scratch.cands.push_back(*p);
-        }
-      }
+      kernels::ProbePostings({begin, end}, epoch, scratch.seen_epoch.data(),
+                             &scratch.cands);
     }
     if (!scratch.cands.empty()) {
       emit(static_cast<GroupId>(rg), scratch.cands);
@@ -189,7 +186,8 @@ class ParallelNaiveSSJoin final : public core::SSJoinExecutor {
                   for (size_t rg = begin; rg < end; ++rg) {
                     for (GroupId sg = 0; sg < s.num_groups(); ++sg) {
                       ++out.stats.candidate_pairs;
-                      double overlap = core::MergeOverlap(r.set(static_cast<GroupId>(rg)), s.set(sg), w);
+                      double overlap = kernels::IntersectWeighted(
+                          r.set(static_cast<GroupId>(rg)), s.set(sg), w.data());
                       if (overlap > 0.0 &&
                           pred.Test(overlap, r.norms[rg], s.norms[sg])) {
                         out.pairs.push_back({static_cast<GroupId>(rg), sg, overlap});
@@ -318,15 +316,9 @@ class ParallelInvertedIndexSSJoin final : public core::SSJoinExecutor {
                     for (text::TokenId e : r.set(static_cast<GroupId>(rg))) {
                       auto [lo, hi] = s_index.Lookup(e);
                       out.stats.equijoin_rows += static_cast<size_t>(hi - lo);
-                      double we = w[e];
-                      for (const GroupId* p = lo; p != hi; ++p) {
-                        if (sc.seen_epoch[*p] != sc.epoch) {
-                          sc.seen_epoch[*p] = sc.epoch;
-                          sc.acc[*p] = 0.0;
-                          sc.touched.push_back(*p);
-                        }
-                        sc.acc[*p] += we;
-                      }
+                      kernels::AccumulatePostings({lo, hi}, w[e], sc.epoch,
+                                                  sc.seen_epoch.data(),
+                                                  sc.acc.data(), &sc.touched);
                     }
                     out.stats.candidate_pairs += sc.touched.size();
                     for (GroupId sg : sc.touched) {
@@ -419,25 +411,12 @@ class ParallelPrefixFilterSSJoin final : public core::SSJoinExecutor {
           for (size_t c = begin; c < end; ++c) {
             core::SetView rset = r.set(candidates[c].r);
             core::SetView sset = s.set(candidates[c].s);
-            double overlap = 0.0;
-            bool intersects = false;
-            size_t i = 0;
-            size_t j = 0;
-            while (i < rset.size() && j < sset.size()) {
-              if (rset[i] < sset[j]) {
-                ++i;
-              } else if (sset[j] < rset[i]) {
-                ++j;
-              } else {
-                overlap += w[rset[i]];
-                intersects = true;
-                ++i;
-                ++j;
-              }
-            }
+            size_t matches = 0;
+            double overlap =
+                kernels::IntersectWeighted(rset, sset, w.data(), &matches);
             GroupId rg = candidates[c].r;
             GroupId sg = candidates[c].s;
-            if (intersects && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
+            if (matches > 0 && pred.Test(overlap, r.norms[rg], s.norms[sg])) {
               out.pairs.push_back({rg, sg, overlap});
             }
           }
@@ -490,8 +469,9 @@ class ParallelInlinePrefixFilterSSJoin final : public core::SSJoinExecutor {
                       [&](GroupId rg, const std::vector<GroupId>& ss) {
                         out.stats.candidate_pairs += ss.size();
                         for (GroupId sg : ss) {
-                          double overlap =
-                              core::MergeOverlap(r.set(static_cast<GroupId>(rg)), s.set(sg), w);
+                          double overlap = kernels::IntersectWeighted(
+                              r.set(static_cast<GroupId>(rg)), s.set(sg),
+                              w.data());
                           if (overlap > 0.0 &&
                               pred.Test(overlap, r.norms[rg], s.norms[sg])) {
                             out.pairs.push_back({rg, sg, overlap});

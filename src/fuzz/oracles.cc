@@ -2,44 +2,24 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace ssjoin::fuzz {
 
 namespace {
 
-/// Weighted overlap of two canonical sets, accumulated in sorted element
-/// order (matching the executors' accumulation order bit-for-bit).
+/// Weighted overlap of two canonical sets via the pinned scalar kernel tier
+/// (the differential oracle), accumulated in sorted element order — matching
+/// the executors' accumulation order bit-for-bit while staying independent
+/// of whatever tier the executors under test are dispatched to.
 double OverlapOf(core::SetView a, core::SetView b,
                  const core::WeightVector& weights) {
-  double overlap = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      overlap += weights[a[i]];
-      ++i;
-      ++j;
-    }
-  }
-  return overlap;
+  return kernels::IntersectWeightedTier(kernels::Tier::kScalar, a, b,
+                                        weights.data(), nullptr);
 }
 
 bool Intersects(core::SetView a, core::SetView b) {
-  size_t i = 0;
-  size_t j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  return false;
+  return kernels::IntersectCountTier(kernels::Tier::kScalar, a, b) > 0;
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "fuzz/shrink.h"
 #include "fuzz/workload.h"
 #include "index/mutable_index.h"
+#include "kernels/kernels.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
@@ -781,8 +782,174 @@ Result<CheckResult> CheckWireParser(const Reproducer& rp) {
 }
 
 // ---------------------------------------------------------------------------
+// kernel_diff: every kernel tier vs the scalar oracle over adversarial spans
+// ---------------------------------------------------------------------------
+
+/// Decodes one whitespace-delimited number string into a sorted uint32 span.
+/// Lenient by design so the shrinker can hand us any substring: unparsable
+/// pieces are dropped, values are clamped to the weight-table range, and the
+/// result is re-sorted (kernels require ascending input). Duplicates are
+/// kept — multiset min-multiplicity is part of the contract under test.
+std::vector<uint32_t> DecodeSpan(const std::string& text, uint32_t max_value) {
+  std::vector<uint32_t> out;
+  for (const std::string& piece : SplitAndDropEmpty(text, " \t,")) {
+    Result<uint64_t> v = ParseUint64(piece);
+    if (!v.ok()) continue;
+    out.push_back(static_cast<uint32_t>(*v % (uint64_t{max_value} + 1)));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Token values stay below this so a dense weight table is allocatable.
+/// Chosen just past 2^16 so spans can straddle the 65535/65536 boundary
+/// (16-bit truncation bugs in a compare kernel show up exactly there).
+constexpr uint32_t kKernelDiffMaxToken = 70000;
+
+Result<CheckResult> CheckKernelDiff(const Reproducer& rp) {
+  CheckResult result;
+  const size_t pairs = std::min(rp.r.size(), rp.s.size());
+
+  // Deterministic, irregular weights: equal results across tiers must come
+  // from equal match sequences, not from weights that forgive reordering.
+  std::vector<double> weights(size_t{kKernelDiffMaxToken} + 1);
+  for (size_t t = 0; t < weights.size(); ++t) {
+    weights[t] = 0.125 + static_cast<double>(t % 97) * 0.0625;
+  }
+
+  const std::vector<kernels::Tier> tiers = kernels::AvailableTiers();
+  for (size_t p = 0; p < pairs; ++p) {
+    std::vector<uint32_t> a = DecodeSpan(rp.r[p], kKernelDiffMaxToken);
+    std::vector<uint32_t> b = DecodeSpan(rp.s[p], kKernelDiffMaxToken);
+
+    // Scalar-tier oracle for every kernel entry point.
+    const size_t want_count =
+        kernels::IntersectCountTier(kernels::Tier::kScalar, a, b);
+    size_t want_matches = 0;
+    const double want_overlap = kernels::IntersectWeightedTier(
+        kernels::Tier::kScalar, a, b, weights.data(), &want_matches);
+    std::vector<uint32_t> want_tokens(std::min(a.size(), b.size()));
+    want_tokens.resize(kernels::IntersectTokensTier(
+        kernels::Tier::kScalar, a, b, want_tokens.data()));
+    std::vector<double> a_weights(a.size());
+    for (size_t i = 0; i < a.size(); ++i) a_weights[i] = weights[a[i]];
+    const double want_cols = kernels::IntersectWeightedColsTier(
+        kernels::Tier::kScalar, a, a_weights, b);
+    std::vector<uint32_t> seen(size_t{kKernelDiffMaxToken} + 1, 0);
+    std::vector<uint32_t> want_probe;
+    // Probe the same postings twice in one epoch: the second pass must be
+    // filtered entirely by the seen-epoch table.
+    kernels::ProbePostingsTier(kernels::Tier::kScalar, a, 1, seen.data(),
+                               &want_probe);
+    kernels::ProbePostingsTier(kernels::Tier::kScalar, a, 1, seen.data(),
+                               &want_probe);
+
+    for (kernels::Tier tier : tiers) {
+      if (tier == kernels::Tier::kScalar) continue;
+      const char* tn = kernels::TierName(tier);
+      const std::string where =
+          StringPrintf("pair %zu (|a|=%zu, |b|=%zu) tier %s", p, a.size(),
+                       b.size(), tn);
+      size_t got_count = kernels::IntersectCountTier(tier, a, b);
+      if (got_count != want_count) {
+        return CheckResult{false, where + ": IntersectCount " +
+                                      std::to_string(got_count) + " != " +
+                                      std::to_string(want_count)};
+      }
+      size_t got_matches = 0;
+      double got_overlap = kernels::IntersectWeightedTier(
+          tier, a, b, weights.data(), &got_matches);
+      if (got_matches != want_matches || got_overlap != want_overlap) {
+        return CheckResult{
+            false, where + StringPrintf(": IntersectWeighted %.17g/%zu != "
+                                        "%.17g/%zu",
+                                        got_overlap, got_matches, want_overlap,
+                                        want_matches)};
+      }
+      std::vector<uint32_t> got_tokens(std::min(a.size(), b.size()));
+      got_tokens.resize(
+          kernels::IntersectTokensTier(tier, a, b, got_tokens.data()));
+      if (got_tokens != want_tokens) {
+        return CheckResult{false, where + ": IntersectTokens sequence differs"};
+      }
+      double got_cols = kernels::IntersectWeightedColsTier(tier, a, a_weights, b);
+      if (got_cols != want_cols) {
+        return CheckResult{
+            false, where + StringPrintf(": IntersectWeightedCols %.17g != %.17g",
+                                        got_cols, want_cols)};
+      }
+      std::fill(seen.begin(), seen.end(), 0);
+      std::vector<uint32_t> got_probe;
+      kernels::ProbePostingsTier(tier, a, 1, seen.data(), &got_probe);
+      kernels::ProbePostingsTier(tier, a, 1, seen.data(), &got_probe);
+      if (got_probe != want_probe) {
+        return CheckResult{false, where + ": ProbePostings sequence differs"};
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Generation
 // ---------------------------------------------------------------------------
+
+/// One adversarial span for kernel_diff, encoded as a space-delimited number
+/// string. The classes target exactly the kernel edge paths: empty and
+/// length-1 spans, all-equal runs (multiset multiplicity), disjoint ranges
+/// (zero-match fast paths), values straddling 2^16, lengths at SIMD block
+/// boundaries (multiples of 4/8/16 plus or minus one → every tail length),
+/// and long spans for the gallop skew heuristic.
+std::string GenerateKernelSpan(Rng* rng) {
+  uint64_t cls = rng->Uniform(100);
+  size_t len;
+  if (cls < 8) {
+    return "";  // empty span
+  } else if (cls < 16) {
+    len = 1;
+  } else if (cls < 30) {
+    // All-equal run: every element the same value.
+    len = 1 + rng->Uniform(40);
+    uint64_t v = rng->Uniform(70001);
+    std::string out;
+    for (size_t i = 0; i < len; ++i) {
+      if (!out.empty()) out.push_back(' ');
+      out += std::to_string(v);
+    }
+    return out;
+  } else if (cls < 45) {
+    // Block-boundary length: w*k ± 1 for SIMD widths.
+    const uint64_t widths[] = {4, 8, 16, 32};
+    uint64_t w = widths[rng->Uniform(4)];
+    len = static_cast<size_t>(w * (1 + rng->Uniform(4)) + rng->Uniform(3)) - 1;
+  } else if (cls < 55) {
+    len = 64 + rng->Uniform(512);  // long span → skewed pairs hit gallop
+  } else {
+    len = rng->Uniform(34);  // short spans, every length 0..33
+  }
+  // Value population: dense low range (forces matches + duplicates), a
+  // window straddling 65535/65536, or a disjoint high block.
+  uint64_t pop = rng->Uniform(100);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    uint64_t v;
+    if (pop < 45) {
+      v = rng->Uniform(48);
+    } else if (pop < 70) {
+      v = 65504 + rng->Uniform(64);
+    } else if (pop < 85) {
+      v = 50000 + rng->Uniform(200);
+    } else {
+      v = rng->Uniform(70001);
+    }
+    size_t reps = rng->Bernoulli(0.25) ? 1 + rng->Uniform(3) : 1;
+    for (size_t k = 0; k < reps; ++k) {
+      if (!out.empty()) out.push_back(' ');
+      out += std::to_string(v);
+    }
+  }
+  return out;
+}
 
 void GenerateCollections(Rng* rng, const WorkloadOptions& opts, Reproducer* rp) {
   rp->r = GenerateStrings(rng, opts);
@@ -798,7 +965,8 @@ std::vector<std::string> AllScenarios() {
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
           "lookup_service",        "mutable_index",
-          "wire_parser",           "recall"};
+          "wire_parser",           "recall",
+          "kernel_diff"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -912,6 +1080,12 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
     rp.Set("minhash_seed", rng.Next());
     rp.Set("threads", 2 + rng.Uniform(3));
     rp.Set("morsel", 1 + rng.Uniform(4));
+  } else if (scenario == "kernel_diff") {
+    size_t pairs = 1 + rng.Uniform(8);
+    for (size_t i = 0; i < pairs; ++i) {
+      rp.r.push_back(GenerateKernelSpan(&rng));
+      rp.s.push_back(GenerateKernelSpan(&rng));
+    }
   } else if (scenario == "wire_parser") {
     // Lean harder on the adversarial string classes: control bytes, high
     // bytes and empty strings are exactly what a wire parser mishandles.
@@ -945,6 +1119,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
   if (repro.scenario == "mutable_index") return CheckMutableIndex(repro);
   if (repro.scenario == "wire_parser") return CheckWireParser(repro);
   if (repro.scenario == "recall") return CheckRecall(repro);
+  if (repro.scenario == "kernel_diff") return CheckKernelDiff(repro);
   return Status::Invalid("unknown fuzz scenario: " + repro.scenario);
 }
 

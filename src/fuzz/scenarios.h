@@ -53,6 +53,15 @@ struct CheckResult {
 ///                            accepted), and random byte-level mutations and
 ///                            raw adversarial lines parse deterministically
 ///                            without crashing.
+///  - `kernel_diff`           every available kernel tier (gallop, simd,
+///                            auto) vs the pinned scalar oracle across all
+///                            kernel entry points, over adversarial span
+///                            pairs: empty, length-1, all-equal runs,
+///                            disjoint ranges, values straddling 2^16,
+///                            SIMD-block-boundary lengths, and duplicate-
+///                            token multisets. Counts, weighted overlaps
+///                            (bitwise), matched-token sequences and probe
+///                            orders must all be identical.
 ///  - `recall`                the approximate tier (kApprox, serial and
 ///                            parallel, plus kHybrid routing) vs the exact
 ///                            SSJoin oracle: output must be a subset with

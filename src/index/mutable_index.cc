@@ -11,6 +11,7 @@
 #include "core/predicate.h"
 #include "core/prefix_filter.h"
 #include "index/manifest.h"
+#include "kernels/kernels.h"
 #include "text/weights.h"
 
 namespace ssjoin::index {
@@ -667,20 +668,8 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
       }
       if (!is_candidate) continue;
 
-      double overlap = 0.0;
-      size_t i = 0;
-      size_t j = 0;
-      while (i < known.size() && j < elems.size()) {
-        if (known[i] < elems[j]) {
-          ++i;
-        } else if (elems[j] < known[i]) {
-          ++j;
-        } else {
-          overlap += state.weights[known[i]];
-          ++i;
-          ++j;
-        }
-      }
+      double overlap =
+          kernels::IntersectWeighted(known, elems, state.weights.data());
       double uni = query_weight + set_weight - overlap;
       double jr = uni > 0.0 ? overlap / uni : 1.0;
       if (jr >= options_.match.alpha - 1e-12) out.push_back({doc_id, jr});

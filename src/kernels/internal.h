@@ -1,0 +1,246 @@
+#ifndef SSJOIN_KERNELS_INTERNAL_H_
+#define SSJOIN_KERNELS_INTERNAL_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define SSJOIN_KERNELS_X86 1
+#endif
+
+/// \file
+/// \brief Shared building blocks of the kernel tiers: the emitter policies
+/// that turn one generic intersection into the count/weighted/tokens/cols
+/// variants, the scalar merge (the oracle all tiers must reproduce), the
+/// galloping merge, and the block-intersection skeleton the SSE2 and AVX2
+/// translation units instantiate with their compare ops.
+
+namespace ssjoin::kernels::internal {
+
+/// \name Emitter policies
+/// Every intersection calls `emit(ai, token)` once per match, in ascending
+/// token order, where `ai` is the matched position in `a`. The policies
+/// below fold that stream into each public variant's result. Keeping the
+/// order identical across tiers is what makes weighted sums bit-equal.
+/// @{
+struct CountEmit {
+  size_t count = 0;
+  void operator()(size_t, uint32_t) { ++count; }
+};
+
+struct TokensEmit {
+  uint32_t* out;
+  size_t count = 0;
+  void operator()(size_t, uint32_t t) { out[count++] = t; }
+};
+
+struct WeightedEmit {
+  const double* w;
+  double sum = 0.0;
+  size_t count = 0;
+  void operator()(size_t, uint32_t t) {
+    sum += w[t];
+    ++count;
+  }
+};
+
+struct ColsEmit {
+  const double* aw;
+  double sum = 0.0;
+  size_t count = 0;
+  void operator()(size_t ai, uint32_t) {
+    sum += aw[ai];
+    ++count;
+  }
+};
+/// @}
+
+/// The oracle: two-pointer merge from positions (i, j). Correct for any
+/// sorted inputs including duplicates (min-multiplicity intersection).
+/// Exposed with explicit start positions so the SIMD tier can finish tails
+/// and rescan non-strict windows with absolute `a` indices intact.
+template <typename Emit>
+inline void ScalarMergeFrom(const uint32_t* a, size_t na, size_t i,
+                            const uint32_t* b, size_t nb, size_t j,
+                            Emit& emit) {
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      emit(i, a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// First position in [first, last) with value >= key, found by doubling
+/// steps from `first` then binary search over the bracketed window — the
+/// O(log d) step the gallop tier leans on when one span dwarfs the other.
+inline const uint32_t* GallopLowerBound(const uint32_t* first,
+                                        const uint32_t* last, uint32_t key) {
+  const size_t n = static_cast<size_t>(last - first);
+  size_t prev = 0;
+  size_t idx = 1;
+  while (idx < n && first[idx] < key) {
+    prev = idx;
+    idx = idx * 2 + 1;
+  }
+  return std::lower_bound(first + prev, first + std::min(idx + 1, n), key);
+}
+
+/// Galloping intersection driven from the shorter span. Advancing past each
+/// match in the searched span replicates the scalar merge's multiset
+/// min-multiplicity semantics exactly, duplicates included.
+template <typename Emit>
+inline void GallopIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                            size_t nb, Emit& emit) {
+  if (na <= nb) {
+    size_t j = 0;
+    for (size_t i = 0; i < na && j < nb; ++i) {
+      j = static_cast<size_t>(GallopLowerBound(b + j, b + nb, a[i]) - b);
+      if (j < nb && b[j] == a[i]) {
+        emit(i, a[i]);
+        ++j;
+      }
+    }
+  } else {
+    size_t i = 0;
+    for (size_t j = 0; j < nb && i < na; ++j) {
+      i = static_cast<size_t>(GallopLowerBound(a + i, a + na, b[j]) - a);
+      if (i < na && a[i] == b[j]) {
+        emit(i, b[j]);
+        ++i;
+      }
+    }
+  }
+}
+
+/// A width-W block at `p` is clean when it is strictly increasing, greater
+/// than the element before it, and — crucially — less than the element
+/// after it. The lookahead guarantees that when a block is consumed, no
+/// later element (block or tail) can equal anything inside it, so block
+/// emission and the scalar tail never double-count. Any dirty block drops
+/// the whole remaining window to the scalar merge.
+template <size_t W>
+inline bool CleanBlock(const uint32_t* arr, size_t n, size_t p) {
+  if (p > 0 && arr[p] <= arr[p - 1]) return false;
+  for (size_t k = 1; k < W; ++k) {
+    if (arr[p + k] <= arr[p + k - 1]) return false;
+  }
+  if (p + W < n && arr[p + W] <= arr[p + W - 1]) return false;
+  return true;
+}
+
+template <typename Emit>
+inline void EmitMaskLanes(uint32_t mask, const uint32_t* a, size_t base,
+                          Emit& emit) {
+  while (mask != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
+    mask &= mask - 1;
+    emit(base + lane, a[base + lane]);
+  }
+}
+
+/// Block all-vs-all intersection skeleton (Schlegel/Inoue-style). `Ops`
+/// supplies kWidth and MatchMask(pa, pb) -> lane bitmask of a-elements that
+/// occur in the b block. Matches for the current a block accumulate in
+/// `pending` and are emitted in lane order when the block is consumed, so
+/// the overall emission order is ascending — identical to the scalar merge.
+/// Duplicate tokens make a block dirty (CleanBlock) and the affected window
+/// is redone with the scalar merge from (i, saved_j), where saved_j marks
+/// the b position the current a block first compared against; everything
+/// before that point is unaffected by construction.
+template <typename Ops, typename Emit>
+inline void BlockIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, Emit& emit) {
+  constexpr size_t W = Ops::kWidth;
+  size_t i = 0;
+  size_t j = 0;
+  uint32_t pending = 0;
+  if (na >= W && nb >= W) {
+    size_t saved_j = 0;
+    bool a_ok = CleanBlock<W>(a, na, 0);
+    bool b_ok = CleanBlock<W>(b, nb, 0);
+    while (true) {
+      if (!a_ok || !b_ok) {
+        ScalarMergeFrom(a, na, i, b, nb, saved_j, emit);
+        return;
+      }
+      pending |= Ops::MatchMask(a + i, b + j);
+      const uint32_t amax = a[i + W - 1];
+      const uint32_t bmax = b[j + W - 1];
+      const bool adv_a = amax <= bmax;
+      const bool adv_b = bmax <= amax;
+      if (adv_a) {
+        EmitMaskLanes(pending, a, i, emit);
+        pending = 0;
+        i += W;
+        if (na - i < W) break;
+        a_ok = CleanBlock<W>(a, na, i);
+        saved_j = adv_b ? j + W : j;
+      }
+      if (adv_b) {
+        j += W;
+        if (nb - j < W) break;
+        b_ok = CleanBlock<W>(b, nb, j);
+      }
+    }
+  }
+  EmitMaskLanes(pending, a, i, emit);
+  ScalarMergeFrom(a, na, i, b, nb, j, emit);
+}
+
+/// Scalar posting probe: the oracle for ProbePostings.
+inline size_t ScalarProbePostings(const uint32_t* postings, size_t n,
+                                  uint32_t epoch, uint32_t* seen_epoch,
+                                  std::vector<uint32_t>* out) {
+  size_t appended = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t g = postings[k];
+    if (seen_epoch[g] != epoch) {
+      seen_epoch[g] = epoch;
+      out->push_back(g);
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+#ifdef SSJOIN_KERNELS_X86
+/// x86 entry points (simd_x86.cc): SSE2 baseline, upgraded to the AVX2
+/// versions below when CPUID says so.
+bool SimdHasAvx2();
+size_t SimdIntersectCount(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb);
+double SimdIntersectWeighted(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, const double* w, size_t* match_count);
+size_t SimdIntersectTokens(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out);
+double SimdIntersectWeightedCols(const uint32_t* a, const double* aw,
+                                 size_t na, const uint32_t* b, size_t nb);
+size_t SimdProbePostings(const uint32_t* postings, size_t n, uint32_t epoch,
+                         uint32_t* seen_epoch, std::vector<uint32_t>* out);
+
+/// AVX2 translation unit (simd_avx2.cc, compiled with -mavx2); call only
+/// after SimdHasAvx2() returned true.
+size_t Avx2IntersectCount(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb);
+double Avx2IntersectWeighted(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, const double* w, size_t* match_count);
+size_t Avx2IntersectTokens(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out);
+double Avx2IntersectWeightedCols(const uint32_t* a, const double* aw,
+                                 size_t na, const uint32_t* b, size_t nb);
+size_t Avx2ProbePostings(const uint32_t* postings, size_t n, uint32_t epoch,
+                         uint32_t* seen_epoch, std::vector<uint32_t>* out);
+#endif  // SSJOIN_KERNELS_X86
+
+}  // namespace ssjoin::kernels::internal
+
+#endif  // SSJOIN_KERNELS_INTERNAL_H_

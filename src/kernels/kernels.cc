@@ -1,0 +1,357 @@
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "kernels/internal.h"
+#include "obs/metrics.h"
+
+namespace ssjoin::kernels {
+
+namespace {
+
+using internal::ColsEmit;
+using internal::CountEmit;
+using internal::GallopIntersect;
+using internal::ScalarMergeFrom;
+using internal::TokensEmit;
+using internal::WeightedEmit;
+
+std::atomic<Tier> g_requested{Tier::kAuto};
+
+/// Set once SetTier/InitFromEnv ran. A --kernel flag applied before the
+/// first kernel call must not be clobbered by the lazy env pickup: flag
+/// beats env.
+std::atomic<bool> g_configured{false};
+
+/// One span at least this many times longer than the other sends an `auto`
+/// intersection to the gallop tier; balanced lengths go to simd/scalar.
+constexpr size_t kGallopSkew = 32;
+
+struct KernelCounters {
+  obs::Counter* intersect_calls;
+  obs::Counter* intersect_elements;
+  obs::Counter* probe_calls;
+  obs::Counter* probe_rows;
+  obs::Counter* accumulate_calls;
+  obs::Counter* accumulate_rows;
+};
+
+KernelCounters& Counters() {
+  static KernelCounters c = [] {
+    auto& reg = obs::Registry::Global();
+    return KernelCounters{
+        reg.GetCounter("kernels.intersect.calls"),
+        reg.GetCounter("kernels.intersect.elements"),
+        reg.GetCounter("kernels.probe.calls"),
+        reg.GetCounter("kernels.probe.rows"),
+        reg.GetCounter("kernels.accumulate.calls"),
+        reg.GetCounter("kernels.accumulate.rows"),
+    };
+  }();
+  return c;
+}
+
+bool SimdSupported() {
+#ifdef SSJOIN_KERNELS_X86
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// The concrete tier `requested` uses for balanced inputs (what the gauges
+/// report; the per-call resolution below may still pick gallop for skew).
+Tier PrimaryTier(Tier requested) {
+  if (requested == Tier::kAuto) {
+    return SimdSupported() ? Tier::kSimd : Tier::kScalar;
+  }
+  return requested;
+}
+
+void PublishTierGauges(Tier requested) {
+  auto& reg = obs::Registry::Global();
+  const Tier primary = PrimaryTier(requested);
+  reg.GetGauge("kernels.tier.scalar")->Set(primary == Tier::kScalar ? 1 : 0);
+  reg.GetGauge("kernels.tier.gallop")->Set(primary == Tier::kGallop ? 1 : 0);
+  reg.GetGauge("kernels.tier.simd")->Set(primary == Tier::kSimd ? 1 : 0);
+  reg.GetGauge("kernels.simd.available")->Set(SimdSupported() ? 1 : 0);
+#ifdef SSJOIN_KERNELS_X86
+  reg.GetGauge("kernels.simd.avx2")->Set(internal::SimdHasAvx2() ? 1 : 0);
+#else
+  reg.GetGauge("kernels.simd.avx2")->Set(0);
+#endif
+}
+
+/// Lazy SSJOIN_KERNEL pickup for entry points that don't go through a tool
+/// main (tests, benches under ctest). Invalid values abort loudly: a typo'd
+/// override silently falling back to auto would invalidate a differential
+/// run.
+void EnsureInitFromEnv() {
+  static const bool once = [] {
+    if (g_configured.load(std::memory_order_relaxed)) return true;
+    Status s = InitFromEnv();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ssjoin: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+/// Per-call tier resolution. Concrete requests are honored as-is (the
+/// differential contract: `--kernel gallop` means gallop everywhere); auto
+/// picks gallop for skewed lengths, else the widest available path.
+Tier ResolveIntersect(Tier requested, size_t na, size_t nb) {
+  if (requested != Tier::kAuto) return requested;
+  const size_t lo = na < nb ? na : nb;
+  const size_t hi = na < nb ? nb : na;
+  if (hi / kGallopSkew > lo) return Tier::kGallop;
+  return SimdSupported() ? Tier::kSimd : Tier::kScalar;
+}
+
+}  // namespace
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kGallop:
+      return "gallop";
+    case Tier::kSimd:
+      return "simd";
+    case Tier::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<Tier> ParseTier(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "gallop") return Tier::kGallop;
+  if (name == "simd") return Tier::kSimd;
+  if (name == "auto") return Tier::kAuto;
+  return Status::Invalid("unknown kernel tier '" + std::string(name) +
+                         "' (valid: scalar, gallop, simd, auto)");
+}
+
+bool TierAvailable(Tier t) {
+  if (t == Tier::kSimd) return SimdSupported();
+  return true;
+}
+
+std::vector<Tier> AvailableTiers() {
+  std::vector<Tier> tiers = {Tier::kScalar, Tier::kGallop};
+  if (SimdSupported()) tiers.push_back(Tier::kSimd);
+  return tiers;
+}
+
+Status SetTier(Tier t) {
+  if (!TierAvailable(t)) {
+    return Status::Invalid(std::string("kernel tier '") + TierName(t) +
+                           "' is not available on this build (no x86 SIMD)");
+  }
+  g_requested.store(t, std::memory_order_relaxed);
+  g_configured.store(true, std::memory_order_relaxed);
+  PublishTierGauges(t);
+  return Status::OK();
+}
+
+Tier CurrentTier() {
+  EnsureInitFromEnv();
+  return g_requested.load(std::memory_order_relaxed);
+}
+
+const char* ActiveTierName() { return TierName(PrimaryTier(CurrentTier())); }
+
+Status InitFromEnv() {
+  const char* v = std::getenv("SSJOIN_KERNEL");
+  if (v == nullptr || *v == '\0') {
+    g_configured.store(true, std::memory_order_relaxed);
+    PublishTierGauges(g_requested.load(std::memory_order_relaxed));
+    return Status::OK();
+  }
+  auto parsed = ParseTier(v);
+  if (!parsed.ok()) {
+    return Status::Invalid("SSJOIN_KERNEL: " + parsed.status().message());
+  }
+  return SetTier(*parsed);
+}
+
+void RegisterKernelMetrics() {
+  Counters();
+  PublishTierGauges(g_requested.load(std::memory_order_relaxed));
+}
+
+size_t IntersectCount(std::span<const uint32_t> a,
+                      std::span<const uint32_t> b) {
+  return IntersectCountTier(CurrentTier(), a, b);
+}
+
+double IntersectWeighted(std::span<const uint32_t> a,
+                         std::span<const uint32_t> b, const double* weights) {
+  return IntersectWeightedTier(CurrentTier(), a, b, weights, nullptr);
+}
+
+double IntersectWeighted(std::span<const uint32_t> a,
+                         std::span<const uint32_t> b, const double* weights,
+                         size_t* match_count) {
+  return IntersectWeightedTier(CurrentTier(), a, b, weights, match_count);
+}
+
+size_t IntersectTokens(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                       uint32_t* out) {
+  return IntersectTokensTier(CurrentTier(), a, b, out);
+}
+
+double IntersectWeightedCols(std::span<const uint32_t> a,
+                             std::span<const double> a_weights,
+                             std::span<const uint32_t> b) {
+  return IntersectWeightedColsTier(CurrentTier(), a, a_weights, b);
+}
+
+size_t ProbePostings(std::span<const uint32_t> postings, uint32_t epoch,
+                     uint32_t* seen_epoch, std::vector<uint32_t>* out) {
+  return ProbePostingsTier(CurrentTier(), postings, epoch, seen_epoch, out);
+}
+
+void AccumulatePostings(std::span<const uint32_t> postings, double weight,
+                        uint32_t epoch, uint32_t* seen_epoch, double* acc,
+                        std::vector<uint32_t>* touched) {
+  KernelCounters& c = Counters();
+  c.accumulate_calls->Add(1);
+  c.accumulate_rows->Add(postings.size());
+  for (const uint32_t g : postings) {
+    if (seen_epoch[g] != epoch) {
+      seen_epoch[g] = epoch;
+      acc[g] = 0.0;
+      touched->push_back(g);
+    }
+    acc[g] += weight;
+  }
+}
+
+size_t IntersectCountTier(Tier t, std::span<const uint32_t> a,
+                          std::span<const uint32_t> b) {
+  KernelCounters& c = Counters();
+  c.intersect_calls->Add(1);
+  c.intersect_elements->Add(a.size() + b.size());
+  t = ResolveIntersect(t, a.size(), b.size());
+#ifdef SSJOIN_KERNELS_X86
+  if (t == Tier::kSimd) {
+    return internal::SimdIntersectCount(a.data(), a.size(), b.data(),
+                                        b.size());
+  }
+#endif
+  if (t == Tier::kGallop) {
+    CountEmit e;
+    GallopIntersect(a.data(), a.size(), b.data(), b.size(), e);
+    return e.count;
+  }
+  CountEmit e;
+  ScalarMergeFrom(a.data(), a.size(), 0, b.data(), b.size(), 0, e);
+  return e.count;
+}
+
+double IntersectWeightedTier(Tier t, std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             const double* weights, size_t* match_count) {
+  KernelCounters& c = Counters();
+  c.intersect_calls->Add(1);
+  c.intersect_elements->Add(a.size() + b.size());
+  t = ResolveIntersect(t, a.size(), b.size());
+#ifdef SSJOIN_KERNELS_X86
+  if (t == Tier::kSimd) {
+    return internal::SimdIntersectWeighted(a.data(), a.size(), b.data(),
+                                           b.size(), weights, match_count);
+  }
+#endif
+  WeightedEmit e{weights};
+  if (t == Tier::kGallop) {
+    GallopIntersect(a.data(), a.size(), b.data(), b.size(), e);
+  } else {
+    ScalarMergeFrom(a.data(), a.size(), 0, b.data(), b.size(), 0, e);
+  }
+  if (match_count != nullptr) *match_count = e.count;
+  return e.sum;
+}
+
+size_t IntersectTokensTier(Tier t, std::span<const uint32_t> a,
+                           std::span<const uint32_t> b, uint32_t* out) {
+  KernelCounters& c = Counters();
+  c.intersect_calls->Add(1);
+  c.intersect_elements->Add(a.size() + b.size());
+  t = ResolveIntersect(t, a.size(), b.size());
+#ifdef SSJOIN_KERNELS_X86
+  if (t == Tier::kSimd) {
+    return internal::SimdIntersectTokens(a.data(), a.size(), b.data(),
+                                         b.size(), out);
+  }
+#endif
+  TokensEmit e{out};
+  if (t == Tier::kGallop) {
+    GallopIntersect(a.data(), a.size(), b.data(), b.size(), e);
+  } else {
+    ScalarMergeFrom(a.data(), a.size(), 0, b.data(), b.size(), 0, e);
+  }
+  return e.count;
+}
+
+double IntersectWeightedColsTier(Tier t, std::span<const uint32_t> a,
+                                 std::span<const double> a_weights,
+                                 std::span<const uint32_t> b) {
+  KernelCounters& c = Counters();
+  c.intersect_calls->Add(1);
+  c.intersect_elements->Add(a.size() + b.size());
+  t = ResolveIntersect(t, a.size(), b.size());
+#ifdef SSJOIN_KERNELS_X86
+  if (t == Tier::kSimd) {
+    return internal::SimdIntersectWeightedCols(a.data(), a_weights.data(),
+                                               a.size(), b.data(), b.size());
+  }
+#endif
+  if (t == Tier::kGallop) {
+    ColsEmit e{a_weights.data()};
+    GallopIntersect(a.data(), a.size(), b.data(), b.size(), e);
+    return e.sum;
+  }
+  // The branch-free scalar accumulation the SetStore weight columns were
+  // laid out for: both cursors advance by comparison outcome and the weight
+  // contributes under a mask, with no unpredictable branch in the loop.
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  double sum = 0.0;
+  while (i < na && j < nb) {
+    const uint32_t av = a[i];
+    const uint32_t bv = b[j];
+    sum += (av == bv) ? a_weights[i] : 0.0;
+    i += (av <= bv) ? 1 : 0;
+    j += (bv <= av) ? 1 : 0;
+  }
+  return sum;
+}
+
+size_t ProbePostingsTier(Tier t, std::span<const uint32_t> postings,
+                         uint32_t epoch, uint32_t* seen_epoch,
+                         std::vector<uint32_t>* out) {
+  KernelCounters& c = Counters();
+  c.probe_calls->Add(1);
+  c.probe_rows->Add(postings.size());
+  if (t == Tier::kAuto) t = PrimaryTier(t);
+#ifdef SSJOIN_KERNELS_X86
+  if (t == Tier::kSimd) {
+    return internal::SimdProbePostings(postings.data(), postings.size(), epoch,
+                                       seen_epoch, out);
+  }
+#endif
+  // The gallop tier has no distinct probe shape; it shares the scalar loop.
+  return internal::ScalarProbePostings(postings.data(), postings.size(), epoch,
+                                       seen_epoch, out);
+}
+
+}  // namespace ssjoin::kernels

@@ -1,0 +1,164 @@
+#ifndef SSJOIN_KERNELS_KERNELS_H_
+#define SSJOIN_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file
+/// \brief The single owner of the SSJoin hot inner loops.
+///
+/// The operator of Chaudhuri/Ganti/Kaushik spends nearly all of its time in
+/// two loops: the sorted-span set intersection that verifies candidate pairs
+/// (Overlap(s1, s2), Section 2) and the candidate equi-join that probes
+/// prefix postings (Section 3.2). After the flat CSR SetStore both loops run
+/// over contiguous uint32 columns, so they vectorize; this module provides
+/// the one implementation of each, behind a runtime-dispatched tier:
+///
+///  - `scalar`  textbook two-pointer merge / linear probe. This tier is the
+///              differential-fuzz oracle: every other tier must reproduce
+///              its results bit-for-bit (counts, match order, and therefore
+///              floating-point sums).
+///  - `gallop`  exponential-search merge driven from the shorter span; wins
+///              when span lengths are heavily skewed (a short probe against
+///              a long posting list).
+///  - `simd`    block all-vs-all compare (SSE2 4x4, AVX2 8x8 chosen by CPUID
+///              at runtime) for the intersections, and an AVX2 gather-based
+///              seen-epoch filter for the posting probe. Only available on
+///              x86; `SetTier(kSimd)` fails loudly elsewhere.
+///  - `auto`    per-call choice: gallop for skewed lengths, else simd when
+///              available, else scalar.
+///
+/// Bit-identity contract (PR-1/PR-3 acceptance): all tiers emit matches in
+/// ascending token order, so weighted sums accumulate in the same order and
+/// compare equal bitwise. Inputs are sorted ascending; duplicates are
+/// allowed and intersect with multiset min-multiplicity semantics (the SIMD
+/// tier detects non-strict blocks and falls back to the scalar merge for the
+/// affected window, preserving exact equivalence).
+///
+/// Dispatch is process-wide, observable (`kernels.tier.*` gauges,
+/// `kernels.*` call/element counters) and overridable with the `--kernel`
+/// tool flag or the `SSJOIN_KERNEL` environment variable; unknown names fail
+/// loudly like `--algorithm` does.
+
+namespace ssjoin::kernels {
+
+/// Dispatch tier. kScalar/kGallop/kSimd name concrete implementations;
+/// kAuto picks per call.
+enum class Tier : uint8_t { kScalar = 0, kGallop = 1, kSimd = 2, kAuto = 3 };
+
+/// Stable lowercase name ("scalar", "gallop", "simd", "auto").
+const char* TierName(Tier t);
+
+/// Parses a tier name; unknown names yield an invalid-argument status that
+/// lists the valid spellings (mirrors ParseAlgorithm's loud failure).
+Result<Tier> ParseTier(std::string_view name);
+
+/// True when `t` can be selected on this build/CPU. kScalar, kGallop and
+/// kAuto are always available; kSimd requires x86.
+bool TierAvailable(Tier t);
+
+/// The concrete tiers available on this machine, scalar first. Tests and
+/// the fuzz harness iterate this to differentially check every tier.
+std::vector<Tier> AvailableTiers();
+
+/// Sets the process-wide requested tier. Fails (without changing the
+/// active tier) when the tier is unavailable on this build.
+Status SetTier(Tier t);
+
+/// The currently requested tier (default kAuto, unless SSJOIN_KERNEL
+/// overrode it).
+Tier CurrentTier();
+
+/// The concrete tier `CurrentTier()` resolves to for balanced inputs —
+/// what the `kernels.tier.<name>` gauge reports as active.
+const char* ActiveTierName();
+
+/// Applies the SSJOIN_KERNEL environment variable, if set. Invalid values
+/// are an error; tools call this before their first join so the failure is
+/// a clean exit rather than the lazy-init abort.
+Status InitFromEnv();
+
+/// Pre-creates the kernels.* counters and publishes the dispatch gauges so
+/// they appear in metric dumps before the first join.
+void RegisterKernelMetrics();
+
+/// \name Sorted-span intersection
+/// Spans must be sorted ascending; duplicates allowed (multiset
+/// min-multiplicity). TokenId and GroupId are both uint32_t, so these
+/// accept either column type.
+/// @{
+
+/// |a ∩ b|.
+size_t IntersectCount(std::span<const uint32_t> a, std::span<const uint32_t> b);
+
+/// Σ weights[t] over t ∈ a ∩ b, accumulated in ascending token order (the
+/// order every executor relies on for bit-equal parallel output).
+double IntersectWeighted(std::span<const uint32_t> a,
+                         std::span<const uint32_t> b, const double* weights);
+
+/// As above; also reports |a ∩ b| (the prefix-filter verify loop needs the
+/// "did anything intersect" bit alongside the overlap).
+double IntersectWeighted(std::span<const uint32_t> a,
+                         std::span<const uint32_t> b, const double* weights,
+                         size_t* match_count);
+
+/// Writes the matched tokens, in ascending order, to `out` (caller provides
+/// at least min(|a|, |b|) slots). Returns the match count.
+size_t IntersectTokens(std::span<const uint32_t> a, std::span<const uint32_t> b,
+                       uint32_t* out);
+
+/// Weighted overlap against a SetStore element-weight column: the weight of
+/// a match is read from `a_weights` at the matched position in `a` (branch-
+/// free accumulation in the scalar tier). `a_weights.size() == a.size()`.
+double IntersectWeightedCols(std::span<const uint32_t> a,
+                             std::span<const double> a_weights,
+                             std::span<const uint32_t> b);
+/// @}
+
+/// \name Posting-list probe (candidate equi-join)
+/// @{
+
+/// Appends each group in `postings` not yet seen this `epoch` to `out` and
+/// marks it seen. Returns the number appended. Append order is postings
+/// order (identical across tiers).
+size_t ProbePostings(std::span<const uint32_t> postings, uint32_t epoch,
+                     uint32_t* seen_epoch, std::vector<uint32_t>* out);
+
+/// Weighted accumulate probe: `acc[g] += weight` for each posting, zeroing
+/// `acc[g]` and recording g in `touched` on first touch this epoch. One
+/// scalar implementation serves every tier: the loop is a gather-modify-
+/// scatter with no x86 scatter instruction to vectorize it, and it is
+/// memory-bound, so all tiers share it (trivially bit-identical).
+void AccumulatePostings(std::span<const uint32_t> postings, double weight,
+                        uint32_t epoch, uint32_t* seen_epoch, double* acc,
+                        std::vector<uint32_t>* touched);
+/// @}
+
+/// \name Explicit-tier entry points
+/// Differential testing and the `kernel_diff` fuzz scenario call these to
+/// pin a concrete tier regardless of the process-wide setting. kAuto
+/// resolves per call like the public entry points.
+/// @{
+size_t IntersectCountTier(Tier t, std::span<const uint32_t> a,
+                          std::span<const uint32_t> b);
+double IntersectWeightedTier(Tier t, std::span<const uint32_t> a,
+                             std::span<const uint32_t> b,
+                             const double* weights, size_t* match_count);
+size_t IntersectTokensTier(Tier t, std::span<const uint32_t> a,
+                           std::span<const uint32_t> b, uint32_t* out);
+double IntersectWeightedColsTier(Tier t, std::span<const uint32_t> a,
+                                 std::span<const double> a_weights,
+                                 std::span<const uint32_t> b);
+size_t ProbePostingsTier(Tier t, std::span<const uint32_t> postings,
+                         uint32_t epoch, uint32_t* seen_epoch,
+                         std::vector<uint32_t>* out);
+/// @}
+
+}  // namespace ssjoin::kernels
+
+#endif  // SSJOIN_KERNELS_KERNELS_H_

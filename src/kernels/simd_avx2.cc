@@ -1,0 +1,131 @@
+#include "kernels/internal.h"
+
+#if defined(SSJOIN_KERNELS_X86) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+/// \file
+/// \brief AVX2 implementations of the simd tier. This translation unit is
+/// the only one compiled with -mavx2 (see src/kernels/CMakeLists.txt);
+/// callers must check SimdHasAvx2() first, so no instruction here executes
+/// on a CPU without AVX2.
+
+namespace ssjoin::kernels::internal {
+
+namespace {
+
+/// 8-lane all-vs-all equality: the a block against the b block and its
+/// seven lane rotations via _mm256_permutevar8x32_epi32.
+struct Avx2Ops {
+  static constexpr size_t kWidth = 8;
+  static uint32_t MatchMask(const uint32_t* pa, const uint32_t* pb) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    __m256i m = _mm256_cmpeq_epi32(va, vb);
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(1, 2, 3, 4, 5, 6,
+                                                            7, 0))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(2, 3, 4, 5, 6, 7,
+                                                            0, 1))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(3, 4, 5, 6, 7, 0,
+                                                            1, 2))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(4, 5, 6, 7, 0, 1,
+                                                            2, 3))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(5, 6, 7, 0, 1, 2,
+                                                            3, 4))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(6, 7, 0, 1, 2, 3,
+                                                            4, 5))));
+    m = _mm256_or_si256(
+        m, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(
+                                      vb, _mm256_setr_epi32(7, 0, 1, 2, 3, 4,
+                                                            5, 6))));
+    return static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(m)));
+  }
+};
+
+}  // namespace
+
+size_t Avx2IntersectCount(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  CountEmit e;
+  BlockIntersect<Avx2Ops>(a, na, b, nb, e);
+  return e.count;
+}
+
+double Avx2IntersectWeighted(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, const double* w, size_t* match_count) {
+  WeightedEmit e{w};
+  BlockIntersect<Avx2Ops>(a, na, b, nb, e);
+  if (match_count != nullptr) *match_count = e.count;
+  return e.sum;
+}
+
+size_t Avx2IntersectTokens(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out) {
+  TokensEmit e{out};
+  BlockIntersect<Avx2Ops>(a, na, b, nb, e);
+  return e.count;
+}
+
+double Avx2IntersectWeightedCols(const uint32_t* a, const double* aw,
+                                 size_t na, const uint32_t* b, size_t nb) {
+  ColsEmit e{aw};
+  BlockIntersect<Avx2Ops>(a, na, b, nb, e);
+  return e.sum;
+}
+
+size_t Avx2ProbePostings(const uint32_t* postings, size_t n, uint32_t epoch,
+                         uint32_t* seen_epoch, std::vector<uint32_t>* out) {
+  size_t appended = 0;
+  size_t i = 0;
+  const __m256i vepoch = _mm256_set1_epi32(static_cast<int>(epoch));
+  for (; i + 8 <= n; i += 8) {
+    const __m256i g = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(postings + i));
+    const __m256i seen = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(seen_epoch), g, 4);
+    const uint32_t seen_mask = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(seen,
+                                                                  vepoch))));
+    uint32_t fresh = ~seen_mask & 0xFFu;
+    // Scalar re-check per fresh lane keeps duplicate group ids within one
+    // window correct (the gather saw the pre-update epoch for all lanes).
+    while (fresh != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(fresh));
+      fresh &= fresh - 1;
+      const uint32_t gid = postings[i + lane];
+      if (seen_epoch[gid] != epoch) {
+        seen_epoch[gid] = epoch;
+        out->push_back(gid);
+        ++appended;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const uint32_t gid = postings[i];
+    if (seen_epoch[gid] != epoch) {
+      seen_epoch[gid] = epoch;
+      out->push_back(gid);
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+}  // namespace ssjoin::kernels::internal
+
+#endif  // SSJOIN_KERNELS_X86 && __AVX2__

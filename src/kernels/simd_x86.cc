@@ -1,0 +1,93 @@
+#include "kernels/internal.h"
+
+#ifdef SSJOIN_KERNELS_X86
+
+#include <emmintrin.h>
+#include <xmmintrin.h>
+
+/// \file
+/// \brief x86 entry points for the simd tier. SSE2 is part of the x86-64
+/// baseline, so the 4x4 block intersection here needs no compiler flags and
+/// no CPUID check; when the CPU reports AVX2 the calls forward to the 8x8
+/// versions in simd_avx2.cc (a separate translation unit built with -mavx2).
+
+namespace ssjoin::kernels::internal {
+
+namespace {
+
+/// 4-lane all-vs-all equality: compares the a block against the b block and
+/// its three rotations (_mm_shuffle_epi32 is SSE2). Equality compares are
+/// bitwise, so unsigned token ids are handled exactly.
+struct SseOps {
+  static constexpr size_t kWidth = 4;
+  static uint32_t MatchMask(const uint32_t* pa, const uint32_t* pb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    __m128i m = _mm_cmpeq_epi32(va, vb);
+    m = _mm_or_si128(
+        m, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    m = _mm_or_si128(
+        m, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    m = _mm_or_si128(
+        m, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    return static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+  }
+};
+
+}  // namespace
+
+bool SimdHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+size_t SimdIntersectCount(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  if (SimdHasAvx2()) return Avx2IntersectCount(a, na, b, nb);
+  CountEmit e;
+  BlockIntersect<SseOps>(a, na, b, nb, e);
+  return e.count;
+}
+
+double SimdIntersectWeighted(const uint32_t* a, size_t na, const uint32_t* b,
+                             size_t nb, const double* w, size_t* match_count) {
+  if (SimdHasAvx2()) {
+    return Avx2IntersectWeighted(a, na, b, nb, w, match_count);
+  }
+  WeightedEmit e{w};
+  BlockIntersect<SseOps>(a, na, b, nb, e);
+  if (match_count != nullptr) *match_count = e.count;
+  return e.sum;
+}
+
+size_t SimdIntersectTokens(const uint32_t* a, size_t na, const uint32_t* b,
+                           size_t nb, uint32_t* out) {
+  if (SimdHasAvx2()) return Avx2IntersectTokens(a, na, b, nb, out);
+  TokensEmit e{out};
+  BlockIntersect<SseOps>(a, na, b, nb, e);
+  return e.count;
+}
+
+double SimdIntersectWeightedCols(const uint32_t* a, const double* aw,
+                                 size_t na, const uint32_t* b, size_t nb) {
+  if (SimdHasAvx2()) return Avx2IntersectWeightedCols(a, aw, na, b, nb);
+  ColsEmit e{aw};
+  BlockIntersect<SseOps>(a, na, b, nb, e);
+  return e.sum;
+}
+
+size_t SimdProbePostings(const uint32_t* postings, size_t n, uint32_t epoch,
+                         uint32_t* seen_epoch, std::vector<uint32_t>* out) {
+  // The vectorized probe needs AVX2 gathers; plain SSE2 machines use the
+  // scalar loop (bit-identical by construction).
+  if (SimdHasAvx2()) {
+    return Avx2ProbePostings(postings, n, epoch, seen_epoch, out);
+  }
+  return ScalarProbePostings(postings, n, epoch, seen_epoch, out);
+}
+
+}  // namespace ssjoin::kernels::internal
+
+#endif  // SSJOIN_KERNELS_X86

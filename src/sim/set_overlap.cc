@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string_view>
 
+#include "kernels/kernels.h"
+
 namespace ssjoin::sim {
 
 void Canonicalize(std::vector<text::TokenId>* set) {
@@ -14,40 +16,21 @@ void Canonicalize(std::vector<text::TokenId>* set) {
 double WeightedOverlap(std::span<const text::TokenId> s1,
                        std::span<const text::TokenId> s2,
                        const text::WeightProvider& weights) {
+  // The WeightProvider is a virtual interface, so the kernel collects the
+  // matched tokens first (vectorizable) and the provider is consulted once
+  // per match, still in ascending token order — the same accumulation order
+  // as a fused merge, hence the same floating-point sum.
+  thread_local std::vector<text::TokenId> matched;
+  matched.resize(std::min(s1.size(), s2.size()));
+  const size_t n = kernels::IntersectTokens(s1, s2, matched.data());
   double overlap = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < s1.size() && j < s2.size()) {
-    if (s1[i] < s2[j]) {
-      ++i;
-    } else if (s2[j] < s1[i]) {
-      ++j;
-    } else {
-      overlap += weights.Weight(s1[i]);
-      ++i;
-      ++j;
-    }
-  }
+  for (size_t k = 0; k < n; ++k) overlap += weights.Weight(matched[k]);
   return overlap;
 }
 
 size_t OverlapCount(std::span<const text::TokenId> s1,
                     std::span<const text::TokenId> s2) {
-  size_t count = 0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < s1.size() && j < s2.size()) {
-    if (s1[i] < s2[j]) {
-      ++i;
-    } else if (s2[j] < s1[i]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return kernels::IntersectCount(s1, s2);
 }
 
 double JaccardContainment(std::span<const text::TokenId> s1,

@@ -5,6 +5,7 @@
 
 #include "core/predicate.h"
 #include "core/prefix_filter.h"
+#include "kernels/kernels.h"
 #include "sim/set_overlap.h"
 #include "text/weights.h"
 
@@ -176,23 +177,12 @@ std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& q
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
 
-  // Verify: exact weighted resemblance against each candidate.
+  // Verify: exact weighted resemblance against each candidate. The merge is
+  // the shared kernel (same ascending accumulation order as the executors).
   for (core::GroupId g : candidates) {
-    double overlap = 0.0;
-    size_t i = 0;
-    size_t j = 0;
     core::SetView ref_set = sets_.set(g);
-    while (i < known.size() && j < ref_set.size()) {
-      if (known[i] < ref_set[j]) {
-        ++i;
-      } else if (ref_set[j] < known[i]) {
-        ++j;
-      } else {
-        overlap += weights_[known[i]];
-        ++i;
-        ++j;
-      }
-    }
+    double overlap =
+        kernels::IntersectWeighted(known, ref_set, weights_.data());
     double uni = query_weight + sets_.set_weights[g] - overlap;
     double jr = uni > 0.0 ? overlap / uni : 1.0;
     if (jr >= options_.alpha - 1e-12) out.push_back({g, jr});

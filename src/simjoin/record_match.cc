@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "kernels/kernels.h"
 #include "sim/edit_distance.h"
 #include "sim/jaro.h"
 #include "sim/set_overlap.h"
@@ -57,22 +58,10 @@ class RuleVerifier {
         return sim::JaroWinklerSimilarity(r_col_[r], s_col_[s]) >=
                rule_.threshold - 1e-12;
       case ColumnSim::kJaccard: {
-        double overlap = 0.0;
         core::SetView rs = prep_.r.set(r);
         core::SetView ss = prep_.s.set(s);
-        size_t i = 0;
-        size_t j = 0;
-        while (i < rs.size() && j < ss.size()) {
-          if (rs[i] < ss[j]) {
-            ++i;
-          } else if (ss[j] < rs[i]) {
-            ++j;
-          } else {
-            overlap += prep_.weights[rs[i]];
-            ++i;
-            ++j;
-          }
-        }
+        double overlap =
+            kernels::IntersectWeighted(rs, ss, prep_.weights.data());
         double uni =
             prep_.r.set_weights[r] + prep_.s.set_weights[s] - overlap;
         double jr = uni > 0.0 ? overlap / uni : 1.0;

@@ -39,6 +39,7 @@
 #include "core/ssjoin.h"
 #include "engine/csv.h"
 #include "exec/metrics.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
@@ -135,7 +136,12 @@ int Usage() {
                "prefix-filter|inline|approx|hybrid|cost]\n"
                "                  [--target-recall R] [--threads N] [--morsel N]\n"
                "                  [--q N] [--out FILE] [--max-print N]\n"
-               "                  [--stats-json FILE]\n"
+               "                  [--stats-json FILE] "
+               "[--kernel scalar|gallop|simd|auto]\n"
+               "  --kernel T    intersection kernel tier for hot loops "
+               "(default auto;\n"
+               "                also via the SSJOIN_KERNEL env var; all tiers "
+               "are bit-identical)\n"
                "  --threads N   worker threads for the SSJoin + verify stages"
                " (default 1;\n"
                "                0 = one per hardware thread)\n"
@@ -183,6 +189,17 @@ Result<std::vector<std::string>> LoadColumn(const std::string& path,
     out.push_back(table.GetValue(col, r).ToString());
   }
   return out;
+}
+
+/// --kernel scalar|gallop|simd|auto: pins the intersection kernel tier for
+/// the whole process (default: auto, or the SSJOIN_KERNEL env var). Unknown
+/// names fail loudly, like --algorithm.
+Status ApplyKernelFlag(const Args& args) {
+  SSJOIN_RETURN_NOT_OK(kernels::InitFromEnv());
+  auto it = args.flags.find("kernel");
+  if (it == args.flags.end()) return Status::OK();
+  SSJOIN_ASSIGN_OR_RETURN(kernels::Tier tier, kernels::ParseTier(it->second));
+  return kernels::SetTier(tier);
 }
 
 Result<simjoin::JoinExecution> ParseAlgorithm(const std::string& name) {
@@ -562,7 +579,12 @@ int main(int argc, char** argv) {
   core::RegisterCoreMetrics();
   exec::RegisterExecMetrics();
   approx::RegisterApproxMetrics();
+  kernels::RegisterKernelMetrics();
   Args args = ParseArgs(argc, argv);
+  if (Status st = ApplyKernelFlag(args); !st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
   Result<int> rc = Status::Invalid("unreachable");
   if (args.command == "join") {
     rc = RunJoin(args);

@@ -20,6 +20,7 @@
 #include "common/string_util.h"
 #include "fuzz/reproducer.h"
 #include "fuzz/scenarios.h"
+#include "kernels/kernels.h"
 
 namespace {
 
@@ -37,7 +38,11 @@ void Usage() {
                "usage: ssjoin_fuzz [--seeds=N] [--start-seed=N]\n"
                "                   [--scenario=NAME|all] [--out=DIR]\n"
                "                   [--no-shrink] [--max-failures=N] [-v]\n"
-               "       ssjoin_fuzz --replay=FILE_OR_DIR [-v]\n");
+               "                   [--kernel=scalar|gallop|simd|auto]\n"
+               "       ssjoin_fuzz --replay=FILE_OR_DIR [-v]\n"
+               "  --kernel=T  dispatch executors-under-test to kernel tier T\n"
+               "              (default auto; also via SSJOIN_KERNEL; oracles\n"
+               "              stay pinned to the scalar tier)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -111,6 +116,11 @@ int Replay(const std::string& target, bool verbose) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Env pickup first so --kernel (below) beats SSJOIN_KERNEL.
+  if (ssjoin::Status st = ssjoin::kernels::InitFromEnv(); !st.ok()) {
+    std::fprintf(stderr, "ssjoin_fuzz: %s\n", st.ToString().c_str());
+    return 2;
+  }
   FuzzOptions options;
   std::string replay_target;
   std::string value;
@@ -131,6 +141,17 @@ int main(int argc, char** argv) {
       uint64_t max_failures = 0;
       if (!ParseCountOrDie("--max-failures", value, &max_failures)) return 2;
       options.max_failures = static_cast<size_t>(max_failures);
+    } else if (ParseFlag(arg, "--kernel", &value)) {
+      ssjoin::Result<ssjoin::kernels::Tier> tier =
+          ssjoin::kernels::ParseTier(value);
+      ssjoin::Status st =
+          tier.ok() ? ssjoin::kernels::SetTier(*tier) : tier.status();
+      if (!st.ok()) {
+        std::fprintf(stderr, "ssjoin_fuzz: --kernel: %s\n",
+                     st.message().c_str());
+        Usage();
+        return 2;
+      }
     } else if (ParseFlag(arg, "--replay", &value)) {
       replay_target = value;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {

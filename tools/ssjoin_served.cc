@@ -42,6 +42,7 @@
 #include "exec/metrics.h"
 #include "index/manifest.h"
 #include "index/mutable_index.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
@@ -122,6 +123,8 @@ int Usage() {
       "  --max-batch N    micro-batch size (default 64)\n"
       "  --cache N        query cache entries, 0 disables (default 4096)\n"
       "  --k-default N    k when a lookup omits it (default 3)\n"
+      "  --kernel T       intersection kernel tier: scalar|gallop|simd|auto\n"
+      "                   (default auto; also via the SSJOIN_KERNEL env var)\n"
       "  --seal-threshold N   auto-seal the mutable tail at N docs (default 256)\n"
       "  --max-generations N  auto-compact beyond N sealed segments (default 4)\n"
       "ops: ping, lookup, upsert, delete, compact, stats (one-line JSON),\n"
@@ -479,8 +482,22 @@ int main(int argc, char** argv) {
   // come from the LookupService's registry provider).
   core::RegisterCoreMetrics();
   exec::RegisterExecMetrics();
+  kernels::RegisterKernelMetrics();
   Args args = ParseArgs(argc, argv);
   if (args.flags.count("help") > 0 || argc < 2) return Usage();
+  // --kernel scalar|gallop|simd|auto (or SSJOIN_KERNEL): pin the
+  // intersection kernel tier; unknown names are a loud startup error.
+  Status kernel_status = kernels::InitFromEnv();
+  if (kernel_status.ok()) {
+    if (auto it = args.flags.find("kernel"); it != args.flags.end()) {
+      Result<kernels::Tier> tier = kernels::ParseTier(it->second);
+      kernel_status = tier.ok() ? kernels::SetTier(*tier) : tier.status();
+    }
+  }
+  if (!kernel_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", kernel_status.ToString().c_str());
+    return 1;
+  }
   Result<int> rc = RunServer(args);
   if (!rc.ok()) {
     std::fprintf(stderr, "error: %s\n", rc.status().ToString().c_str());
