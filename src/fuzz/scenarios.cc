@@ -23,6 +23,7 @@
 #include "fuzz/shrink.h"
 #include "fuzz/workload.h"
 #include "index/mutable_index.h"
+#include "shard/sharded_index.h"
 #include "kernels/kernels.h"
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
@@ -713,6 +714,122 @@ Result<CheckResult> CheckMutableIndex(const Reproducer& rp) {
   return result;
 }
 
+/// Differential churn fuzz for the sharded index: the same op encoding as
+/// `mutable_index` ("u<id>\x1f<value>", "d<id>", "s", "c", "x"), applied to
+/// a ShardedLookupIndex with a seed-drawn shard count, checked bitwise after
+/// EVERY op against the 1-shard oracle semantics (a from-scratch immutable
+/// build over the live records) — the shard-count invariance contract under
+/// arbitrary upsert/delete/seal/compact/reopen interleavings.
+Result<CheckResult> CheckShardedLookup(const Reproducer& rp) {
+  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  shard::ShardedIndexOptions sopts;
+  sopts.num_shards =
+      static_cast<uint32_t>(std::max<uint64_t>(1, rp.GetUint("shards", 2)));
+  sopts.match = IndexOptions(rp);
+  sopts.seal_threshold = rp.GetUint("seal_threshold", 0);
+  sopts.max_generations = rp.GetUint("max_generations", 0);
+  const bool durable = rp.GetBool("durable", false);
+
+  ScratchDirGuard guard;
+  if (durable) {
+    static std::atomic<uint64_t> counter{0};
+    guard.dir =
+        (std::filesystem::temp_directory_path() /
+         StringPrintf("ssjoin_fuzz_shard_%d_%llu", static_cast<int>(::getpid()),
+                      static_cast<unsigned long long>(
+                          counter.fetch_add(1, std::memory_order_relaxed))))
+            .string();
+    std::filesystem::remove_all(guard.dir);
+    sopts.data_dir = guard.dir;
+  }
+
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<shard::ShardedLookupIndex> index,
+                          shard::ShardedLookupIndex::Create(sopts));
+  std::map<uint64_t, std::string> live;
+  CheckResult result;
+
+  auto check_epoch = [&](const std::string& ctx) -> Result<bool> {
+    std::vector<uint64_t> ids;
+    std::vector<std::string> refs;
+    ids.reserve(live.size());
+    refs.reserve(live.size());
+    for (const auto& [id, value] : live) {
+      ids.push_back(id);
+      refs.push_back(value);
+    }
+    SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex oracle,
+                            simjoin::FuzzyMatchIndex::Build(refs, sopts.match));
+    for (const std::string& query : rp.s) {
+      SSJOIN_ASSIGN_OR_RETURN(std::vector<index::MutableFuzzyIndex::Match> got,
+                              index->Lookup(query, k));
+      std::vector<simjoin::FuzzyMatchIndex::Match> want = oracle.Lookup(query, k);
+      if (got.size() != want.size()) {
+        result.detail = "sharded_lookup N=" +
+                        std::to_string(sopts.num_shards) + " after '" + ctx +
+                        "': result count " + std::to_string(got.size()) +
+                        " vs oracle " + std::to_string(want.size()) +
+                        " for query \"" + query + "\"";
+        return false;
+      }
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i].id != ids[want[i].ref_index] ||
+            got[i].similarity != want[i].similarity) {
+          result.detail =
+              "sharded_lookup N=" + std::to_string(sopts.num_shards) +
+              " after '" + ctx + "': match " + std::to_string(i) +
+              " diverges (id=" + std::to_string(got[i].id) +
+              " sim=" + StringPrintf("%.17g", got[i].similarity) +
+              " vs oracle id=" + std::to_string(ids[want[i].ref_index]) +
+              " sim=" + StringPrintf("%.17g", want[i].similarity) +
+              ") for query \"" + query + "\"";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (const std::string& op : rp.r) {
+    if (op.empty()) continue;
+    if (op[0] == 'u') {
+      size_t sep = op.find('\x1f');
+      if (sep == std::string::npos || sep <= 1) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + sep) continue;
+      std::string value = op.substr(sep + 1);
+      SSJOIN_RETURN_NOT_OK(index->Upsert(id, value));
+      live[id] = std::move(value);
+    } else if (op[0] == 'd') {
+      if (op.size() < 2) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + op.size()) continue;
+      SSJOIN_RETURN_NOT_OK(index->Delete(id));
+      live.erase(id);
+    } else if (op == "s") {
+      SSJOIN_RETURN_NOT_OK(index->Seal());
+    } else if (op == "c") {
+      SSJOIN_RETURN_NOT_OK(index->Compact());
+    } else if (op == "x" && durable) {
+      index.reset();
+      shard::ShardedIndexOptions reopen = sopts;
+      reopen.num_shards = 0;  // take the persisted shard count
+      SSJOIN_ASSIGN_OR_RETURN(index, shard::ShardedLookupIndex::Open(reopen));
+    } else {
+      continue;  // unknown op byte: no-op, keeps shrinking safe
+    }
+    SSJOIN_ASSIGN_OR_RETURN(bool ok, check_epoch(op));
+    if (!ok) {
+      result.pass = false;
+      return result;
+    }
+  }
+  SSJOIN_ASSIGN_OR_RETURN(bool ok, check_epoch("<end>"));
+  result.pass = ok;
+  return result;
+}
+
 Result<CheckResult> CheckWireParser(const Reproducer& rp) {
   uint64_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
   uint64_t deadline_ms = rp.GetUint("deadline_ms", 0);
@@ -965,8 +1082,8 @@ std::vector<std::string> AllScenarios() {
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
           "lookup_service",        "mutable_index",
-          "wire_parser",           "recall",
-          "kernel_diff"};
+          "sharded_lookup",        "wire_parser",
+          "recall",                "kernel_diff"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -1065,6 +1182,43 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
                                                 : uint64_t{0});
     rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
                                                  : uint64_t{0});
+  } else if (scenario == "sharded_lookup") {
+    // Same churn shape as mutable_index, but applied to an N-shard index and
+    // checked against the 1-shard oracle: random shard counts × interleaved
+    // upserts and deletes is exactly where a stats-propagation bug would
+    // surface as a one-ULP similarity difference.
+    wopts.max_records = 12;
+    std::vector<std::string> pool = GenerateStrings(&rng, wopts);
+    if (pool.empty()) pool.push_back("");
+    rp.s = GenerateStrings(&rng, wopts);
+    bool durable = rng.Bernoulli(0.4);
+    size_t num_ops = 1 + rng.Uniform(30);
+    for (size_t i = 0; i < num_ops; ++i) {
+      uint64_t roll = rng.Uniform(100);
+      if (roll < 55) {
+        rp.r.push_back("u" + std::to_string(rng.Uniform(10)) + "\x1f" +
+                       pool[rng.Uniform(pool.size())]);
+      } else if (roll < 75) {
+        rp.r.push_back("d" + std::to_string(rng.Uniform(10)));
+      } else if (roll < 85) {
+        rp.r.push_back("s");
+      } else if (roll < 92) {
+        rp.r.push_back("c");
+      } else {
+        rp.r.push_back("x");  // no-op unless durable
+      }
+    }
+    const uint64_t shard_counts[] = {2, 3, 4, 8};
+    rp.Set("shards", shard_counts[rng.Uniform(4)]);
+    rp.Set("durable", durable);
+    rp.Set("word_tokens", rng.Bernoulli(0.6));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.2 + 0.6 * rng.NextDouble());
+    rp.Set("k", 1 + rng.Uniform(5));
+    rp.Set("seal_threshold", rng.Bernoulli(0.3) ? 1 + rng.Uniform(8)
+                                                : uint64_t{0});
+    rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
+                                                 : uint64_t{0});
   } else if (scenario == "recall") {
     GenerateCollections(&rng, wopts, &rp);
     rp.Set("word_tokens", rng.Bernoulli(0.7));
@@ -1117,6 +1271,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
   }
   if (repro.scenario == "lookup_service") return CheckLookupService(repro);
   if (repro.scenario == "mutable_index") return CheckMutableIndex(repro);
+  if (repro.scenario == "sharded_lookup") return CheckShardedLookup(repro);
   if (repro.scenario == "wire_parser") return CheckWireParser(repro);
   if (repro.scenario == "recall") return CheckRecall(repro);
   if (repro.scenario == "kernel_diff") return CheckKernelDiff(repro);

@@ -55,16 +55,21 @@ Status SaveManifest(const Manifest& manifest, const std::string& path) {
 Result<Manifest> LoadManifest(const std::string& path) {
   std::string bytes;
   SSJOIN_RETURN_NOT_OK(common::ReadFile(path, &bytes));
+  return DecodeManifest(bytes, "'" + path + "'");
+}
+
+Result<Manifest> DecodeManifest(std::string_view bytes,
+                                const std::string& context) {
   if (bytes.size() < kHeaderSize + sizeof(uint64_t)) {
-    return Status::IOError("manifest '" + path + "' is truncated");
+    return Status::IOError("manifest " + context + " is truncated");
   }
   if (std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
-    return Status::IOError("manifest '" + path + "' has a bad magic");
+    return Status::IOError("manifest " + context + " has a bad magic");
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
   if (version != kManifestVersion) {
-    return Status::Invalid("manifest '" + path + "' has snapshot version " +
+    return Status::Invalid("manifest " + context + " has snapshot version " +
                            std::to_string(version) + ", expected " +
                            std::to_string(kManifestVersion));
   }
@@ -73,7 +78,7 @@ Result<Manifest> LoadManifest(const std::string& path) {
   uint64_t stored = 0;
   std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(stored), sizeof(stored));
   if (HashString(std::string_view(payload, payload_size)) != stored) {
-    return Status::IOError("manifest '" + path + "' checksum mismatch");
+    return Status::IOError("manifest " + context + " checksum mismatch");
   }
 
   common::PayloadReader r(payload, payload_size);

@@ -54,6 +54,12 @@ Status SaveManifest(const Manifest& manifest, const std::string& path);
 /// immutable-snapshot loader.
 Result<Manifest> LoadManifest(const std::string& path);
 
+/// Decodes and validates v3 manifest bytes that arrived from somewhere other
+/// than the local filesystem (replication fetches). `context` names the
+/// source in error messages the way LoadManifest uses the path.
+Result<Manifest> DecodeManifest(std::string_view bytes,
+                                const std::string& context);
+
 }  // namespace ssjoin::index
 
 #endif  // SSJOIN_INDEX_MANIFEST_H_

@@ -334,16 +334,25 @@ void MutableFuzzyIndex::PublishLocked() {
   auto state = std::make_shared<EpochState>();
   state->epoch = ++epoch_;
   state->live_docs = live_docs_;
-  double n = static_cast<double>(live_docs_);
+  // In global-stats mode every weight input is the cluster-wide value: the
+  // postings below still hold only this shard's documents, but n, df and
+  // liveness come from the accumulator fed by every shard's values — the
+  // invariant that makes a sharded scatter-gather bit-identical to one
+  // unsharded index.
+  double n = static_cast<double>(global_mode_ ? global_live_docs_ : live_docs_);
   state->unseen_weight =
       text::QuantizeWeight(std::log(std::max<double>(2.0, n)));
   size_t num_elements = dict_.num_elements();
   if (df_live_.size() < num_elements) df_live_.resize(num_elements, 0);
+  if (global_mode_ && df_global_.size() < num_elements) {
+    df_global_.resize(num_elements, 0);
+  }
+  const std::vector<uint64_t>& df = global_mode_ ? df_global_ : df_live_;
   state->weights.resize(num_elements);
   state->tie_keys.resize(num_elements);
   state->live.resize(num_elements);
   for (text::TokenId e = 0; e < num_elements; ++e) {
-    uint64_t f = df_live_[e];
+    uint64_t f = df[e];
     state->live[e] = f > 0 ? 1 : 0;
     state->weights[e] = text::QuantizeWeight(text::IdfWeightFromFrequency(n, f));
     state->tie_keys[e] = dict_.KeyHash(e);
@@ -355,6 +364,125 @@ void MutableFuzzyIndex::PublishLocked() {
     state->segments.push_back(std::move(frozen));
   }
   published_.store(std::move(state), std::memory_order_release);
+}
+
+std::vector<text::TokenId> MutableFuzzyIndex::EncodeValueLocked(
+    const std::string& value) {
+  std::vector<text::TokenId> ids;
+  {
+    std::unique_lock<std::shared_mutex> dict_lock(dict_mu_);
+    ids = dict_.EncodeDocument(tokenizer_->Tokenize(value));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void MutableFuzzyIndex::GlobalAddLocked(const std::string& value) {
+  // Interning (not read-only encoding) is load-bearing: a token live only on
+  // another shard must still exist in THIS dictionary, or queries containing
+  // it would classify it "unseen" where the unsharded oracle knows it.
+  std::vector<text::TokenId> ids = EncodeValueLocked(value);
+  if (df_global_.size() < dict_.num_elements()) {
+    df_global_.resize(dict_.num_elements(), 0);
+  }
+  for (text::TokenId e : ids) ++df_global_[e];
+  ++global_live_docs_;
+}
+
+void MutableFuzzyIndex::GlobalRemoveLocked(const std::string& value) {
+  std::vector<text::TokenId> ids = EncodeValueLocked(value);
+  if (df_global_.size() < dict_.num_elements()) {
+    df_global_.resize(dict_.num_elements(), 0);
+  }
+  for (text::TokenId e : ids) {
+    if (df_global_[e] > 0) --df_global_[e];
+  }
+  if (global_live_docs_ > 0) --global_live_docs_;
+}
+
+std::optional<std::string> MutableFuzzyIndex::LiveValueLocked(
+    uint64_t doc_id) const {
+  auto it = doc_map_.find(doc_id);
+  if (it == doc_map_.end()) return std::nullopt;
+  const DocLoc& loc = it->second;
+  return loc.segment == kTailSegment ? tail_.values[loc.local]
+                                     : sealed_[loc.segment]->values[loc.local];
+}
+
+Status MutableFuzzyIndex::UpsertGlobal(uint64_t doc_id, const std::string& value,
+                                       GlobalDelta* delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  GlobalDelta d;
+  std::optional<std::string> old = LiveValueLocked(doc_id);
+  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+  global_mode_ = true;
+  if (old.has_value()) {
+    d.removed = *old;
+    GlobalRemoveLocked(*old);
+  }
+  d.added = value;
+  GlobalAddLocked(value);
+  PublishLocked();
+  MaybeMaintainLocked();
+  if (delta != nullptr) *delta = std::move(d);
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::DeleteGlobal(uint64_t doc_id, GlobalDelta* delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  GlobalDelta d;
+  std::optional<std::string> old = LiveValueLocked(doc_id);
+  SSJOIN_RETURN_NOT_OK(ApplyDelete(doc_id, /*log_wal=*/true));
+  global_mode_ = true;
+  if (old.has_value()) {
+    d.removed = *old;
+    GlobalRemoveLocked(*old);
+  }
+  PublishLocked();
+  MaybeMaintainLocked();
+  if (delta != nullptr) *delta = std::move(d);
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::ApplyGlobalDelta(const GlobalDelta& delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  global_mode_ = true;
+  if (delta.removed.has_value()) GlobalRemoveLocked(*delta.removed);
+  if (delta.added.has_value()) GlobalAddLocked(*delta.added);
+  PublishLocked();
+  return Status::OK();
+}
+
+Status MutableFuzzyIndex::ResetGlobalStats(
+    const std::vector<std::string>& values) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  global_mode_ = true;
+  df_global_.assign(dict_.num_elements(), 0);
+  global_live_docs_ = 0;
+  for (const std::string& value : values) GlobalAddLocked(value);
+  PublishLocked();
+  return Status::OK();
+}
+
+std::vector<std::pair<uint64_t, std::string>> MutableFuzzyIndex::LiveDocs()
+    const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  out.reserve(doc_map_.size());
+  for (const auto& [doc_id, loc] : doc_map_) {
+    out.emplace_back(doc_id, loc.segment == kTailSegment
+                                 ? tail_.values[loc.local]
+                                 : sealed_[loc.segment]->values[loc.local]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool MutableFuzzyIndex::global_stats_enabled() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return global_mode_;
 }
 
 Status MutableFuzzyIndex::PersistSealedLocked(

@@ -47,6 +47,16 @@ struct MutableIndexOptions {
   bool background_maintenance = false;
 };
 
+/// The effect of one owner-shard mutation on the cluster-wide IDF
+/// statistics: the raw document value that stopped being live and/or the one
+/// that became live. Raw values (not token ids) travel between shards so
+/// each shard tokenizes and interns with its own dictionary — token id
+/// spaces never have to agree, only token *content* does.
+struct GlobalDelta {
+  std::optional<std::string> removed;
+  std::optional<std::string> added;
+};
+
 /// One epoch's immutable read view: the per-element IDF weights, liveness
 /// flags and tie keys frozen at publish time, plus the segment list (sealed
 /// generations shared by pointer, the tail copied and frozen). Lookups
@@ -188,6 +198,55 @@ class MutableFuzzyIndex {
   std::optional<std::string> ValueAt(const EpochState& state,
                                      uint64_t doc_id) const;
 
+  /// \name Global-statistics mode (sharded serving)
+  ///
+  /// A shard holds only its slice of the documents, but bit-identity with an
+  /// unsharded index requires every weight input — live-document count n,
+  /// per-token document frequency, token liveness — to be the CLUSTER-WIDE
+  /// value. The methods below latch the index into global mode: published
+  /// epochs draw n/df/live from a cluster-wide accumulator fed by raw
+  /// document values, while the local postings keep holding only this
+  /// shard's documents. Every value that is live anywhere in the cluster is
+  /// tokenized and *interned* here, so a query token that exists only on
+  /// another shard still classifies as "known" exactly as the oracle would.
+  ///
+  /// Caller contract (enforced by shard::ShardedLookupIndex): once any
+  /// Global call is made, ALL mutations must go through the Global API (the
+  /// owner shard via UpsertGlobal/DeleteGlobal, every other shard via
+  /// ApplyGlobalDelta), and after BulkLoad or Open the accumulator must be
+  /// rebuilt with ResetGlobalStats over every live value in the cluster.
+  /// Global statistics are deliberately not persisted — restart rebuilds
+  /// them from the shards' durable live sets, so the manifest format is
+  /// untouched.
+  /// @{
+
+  /// Owner-shard upsert: applies the document locally (WAL-logged like
+  /// Upsert), folds the value change into the global accumulator, publishes
+  /// once, and reports what changed via `delta` for broadcast to the other
+  /// shards.
+  Status UpsertGlobal(uint64_t doc_id, const std::string& value,
+                      GlobalDelta* delta);
+
+  /// Owner-shard delete; see UpsertGlobal.
+  Status DeleteGlobal(uint64_t doc_id, GlobalDelta* delta);
+
+  /// Non-owner shard: folds another shard's mutation into the global
+  /// accumulator (no local documents change) and publishes a new epoch.
+  Status ApplyGlobalDelta(const GlobalDelta& delta);
+
+  /// Rebuilds the global accumulator from scratch over `values` (every live
+  /// value in the whole cluster, this shard's included) with one publish.
+  Status ResetGlobalStats(const std::vector<std::string>& values);
+
+  /// This shard's live (doc_id, value) pairs in ascending doc_id order —
+  /// the input other shards need for ResetGlobalStats after a restart.
+  std::vector<std::pair<uint64_t, std::string>> LiveDocs() const;
+
+  /// Whether a Global call has latched this index into global-stats mode.
+  bool global_stats_enabled() const;
+
+  /// @}
+
   uint64_t epoch() const { return Snapshot()->epoch; }
   const text::Tokenizer& tokenizer() const { return *tokenizer_; }
   const MutableIndexOptions& options() const { return options_; }
@@ -210,6 +269,15 @@ class MutableFuzzyIndex {
 
   Status ApplyUpsert(uint64_t doc_id, const std::string& value, bool log_wal);
   Status ApplyDelete(uint64_t doc_id, bool log_wal);
+  /// Tokenizes `value`, interning new tokens, and returns the sorted unique
+  /// token ids. Requires writer_mu_.
+  std::vector<text::TokenId> EncodeValueLocked(const std::string& value);
+  /// Folds one live value into / out of the global accumulator. Requires
+  /// writer_mu_; callers publish afterwards.
+  void GlobalAddLocked(const std::string& value);
+  void GlobalRemoveLocked(const std::string& value);
+  /// The currently live value of `doc_id`, if any. Requires writer_mu_.
+  std::optional<std::string> LiveValueLocked(uint64_t doc_id) const;
   /// Removes `doc_id` from the live set (doc map + df + live count); returns
   /// whether it was live.
   bool RemoveLive(uint64_t doc_id);
@@ -250,6 +318,12 @@ class MutableFuzzyIndex {
   Segment tail_;
   std::vector<uint64_t> df_live_;
   uint64_t live_docs_ = 0;
+  /// Global-stats mode (see the Global API section): when latched, published
+  /// epochs compute weights from these cluster-wide accumulators instead of
+  /// the local df_live_/live_docs_.
+  bool global_mode_ = false;
+  std::vector<uint64_t> df_global_;
+  uint64_t global_live_docs_ = 0;
   std::unordered_map<uint64_t, DocLoc> doc_map_;
   uint64_t epoch_ = 0;
   uint64_t next_seq_ = 1;

@@ -51,6 +51,8 @@ void LookupService::CollectMetrics(std::vector<obs::MetricPoint>* out) const {
   out->push_back(obs::MetricPoint::FromCounter("serve.cache_misses", s.cache_misses));
   out->push_back(
       obs::MetricPoint::FromCounter("serve.cache_evictions", s.cache_evictions));
+  out->push_back(obs::MetricPoint::FromCounter("serve.cache_stale_purged",
+                                               s.cache_stale_purged));
   out->push_back(obs::MetricPoint::FromCounter("serve.batches", s.batches));
   out->push_back(
       obs::MetricPoint::FromCounter("serve.batched_lookups", s.batched_lookups));
@@ -121,6 +123,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
   // eventual LookupAt all use this one view, so a concurrent mutation can
   // neither tear a request across epochs nor satisfy it from a stale entry.
   std::shared_ptr<const index::EpochState> state = index_->Snapshot();
+  PurgeStaleCache(state->epoch);
   std::string cache_key = CacheKey(query, k, state->epoch, target_recall);
   if (auto cached = cache_.Get(cache_key)) {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
@@ -173,6 +176,21 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
   return result;
 }
 
+void LookupService::PurgeStaleCache(uint64_t epoch) {
+  // One thread wins the CAS per epoch advance and pays for the sweep; the
+  // rest proceed. Entries keyed to older epochs are unreachable (the epoch
+  // is in the cache key) — purging returns their capacity immediately
+  // instead of letting dead weight ride the LRU.
+  uint64_t seen = purged_epoch_.load(std::memory_order_relaxed);
+  while (seen < epoch) {
+    if (purged_epoch_.compare_exchange_weak(seen, epoch,
+                                            std::memory_order_relaxed)) {
+      cache_.PurgeEpochsBelow(epoch);
+      return;
+    }
+  }
+}
+
 void LookupService::DispatcherLoop() {
   for (;;) {
     std::vector<Pending> batch;
@@ -218,25 +236,46 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
   metrics_.batches.fetch_add(1, std::memory_order_relaxed);
   metrics_.batched_lookups.fetch_add(live.size(), std::memory_order_relaxed);
 
+  std::function<void(size_t)> item_hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    item_hook = item_hook_;
+  }
+
   // One lookup per morsel: lookups are coarse enough that per-item stealing
   // beats chunking, and batch sizes are far below morsel-granularity scale.
   exec::ExecContext ctx = options_.exec;
   ctx.morsel_size = 1;
   std::vector<std::vector<Match>> results(live.size());
-  exec::ParallelFor(ctx, live.size(),
-                    [&](size_t /*worker*/, size_t /*morsel*/, size_t begin,
-                        size_t end) {
-                      for (size_t i = begin; i < end; ++i) {
-                        obs::ObsSpan span(&metrics_.span_lookup);
-                        results[i] =
-                            index_->LookupAt(*live[i].state, live[i].query,
-                                             live[i].k, live[i].target_recall);
-                      }
-                    });
+  std::vector<uint8_t> expired(live.size(), 0);
+  exec::ParallelFor(
+      ctx, live.size(),
+      [&](size_t /*worker*/, size_t /*morsel*/, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (item_hook) item_hook(i);
+          // The batch-claim check above charged queue time, but an item can
+          // still go over budget while earlier items of the SAME batch run
+          // (batch formation is not free for mid-batch arrivals). Recompute
+          // the remaining budget at execution start and refuse over-budget
+          // work rather than spending index time on an answer the caller
+          // already abandoned.
+          if (live[i].has_deadline && live[i].deadline <= Clock::now()) {
+            expired[i] = 1;
+            metrics_.rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+            live[i].promise.set_value(
+                Status::DeadlineExceeded("deadline expired before execution"));
+            continue;
+          }
+          obs::ObsSpan span(&metrics_.span_lookup);
+          results[i] = index_->LookupAt(*live[i].state, live[i].query,
+                                        live[i].k, live[i].target_recall);
+        }
+      });
 
   obs::ObsSpan reply_span(&metrics_.span_reply);
   for (size_t i = 0; i < live.size(); ++i) {
-    cache_.Put(live[i].cache_key, results[i]);
+    if (expired[i]) continue;  // promise already failed with DeadlineExceeded
+    cache_.Put(live[i].cache_key, live[i].state->epoch, results[i]);
     live[i].promise.set_value(std::move(results[i]));
   }
 }
@@ -244,6 +283,7 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
 StatsSnapshot LookupService::Stats() const {
   StatsSnapshot s = SnapshotMetrics(metrics_);
   s.cache_evictions = cache_.evictions();
+  s.cache_stale_purged = cache_.stale_purged();
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.queue_depth = queue_.size();
@@ -275,6 +315,11 @@ void LookupService::Shutdown() {
 void LookupService::SetDispatchHookForTest(std::function<void()> hook) {
   std::lock_guard<std::mutex> lock(mu_);
   dispatch_hook_ = std::move(hook);
+}
+
+void LookupService::SetItemHookForTest(std::function<void(size_t)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  item_hook_ = std::move(hook);
 }
 
 }  // namespace ssjoin::serve

@@ -96,9 +96,32 @@ class LookupService {
     return index_->Upsert(doc_id, value);
   }
   Status Delete(uint64_t doc_id) { return index_->Delete(doc_id); }
+  Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& records) {
+    return index_->BulkLoad(records);
+  }
   Status Seal() { return index_->Seal(); }
   Status Compact() { return index_->Compact(); }
   uint64_t epoch() const { return index_->epoch(); }
+
+  /// Global-statistics passthroughs for sharded serving (see the Global API
+  /// section of MutableFuzzyIndex); each publishes a new epoch, invalidating
+  /// the cache exactly like the local mutations above.
+  Status UpsertGlobal(uint64_t doc_id, const std::string& value,
+                      index::GlobalDelta* delta) {
+    return index_->UpsertGlobal(doc_id, value, delta);
+  }
+  Status DeleteGlobal(uint64_t doc_id, index::GlobalDelta* delta) {
+    return index_->DeleteGlobal(doc_id, delta);
+  }
+  Status ApplyGlobalDelta(const index::GlobalDelta& delta) {
+    return index_->ApplyGlobalDelta(delta);
+  }
+  Status ResetGlobalStats(const std::vector<std::string>& values) {
+    return index_->ResetGlobalStats(values);
+  }
+  std::vector<std::pair<uint64_t, std::string>> LiveDocs() const {
+    return index_->LiveDocs();
+  }
 
   /// The current live value of `doc_id`, if any (display convenience).
   std::optional<std::string> ValueOf(uint64_t doc_id) const {
@@ -119,6 +142,11 @@ class LookupService {
   /// running it — lets tests hold the dispatcher to saturate the admission
   /// queue deterministically. Not for production use.
   void SetDispatchHookForTest(std::function<void()> hook);
+
+  /// Test hook invoked with each batch item's index right before that item
+  /// executes — lets tests stall one item and observe the per-item deadline
+  /// recheck on the next. Not for production use.
+  void SetItemHookForTest(std::function<void(size_t)> hook);
 
  private:
   struct Pending {
@@ -150,6 +178,10 @@ class LookupService {
 
   void DispatcherLoop();
   void RunBatch(std::vector<Pending>* batch);
+  /// Purges cache entries from epochs below `epoch` the first time that
+  /// epoch is observed (every mutation path funnels through the next
+  /// Lookup's Snapshot, so no separate publication callback is needed).
+  void PurgeStaleCache(uint64_t epoch);
 
   std::unique_ptr<index::MutableFuzzyIndex> index_;
   LookupServiceOptions options_;
@@ -162,6 +194,9 @@ class LookupService {
   std::deque<Pending> queue_;
   bool stopping_ = false;
   std::function<void()> dispatch_hook_;
+  std::function<void(size_t)> item_hook_;
+  /// Highest epoch the cache has been purged up to (see PurgeStaleCache).
+  std::atomic<uint64_t> purged_epoch_{0};
   std::thread dispatcher_;
 };
 

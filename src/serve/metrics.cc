@@ -33,6 +33,7 @@ std::string StatsSnapshot::ToJson() const {
       "{\"requests\": %llu, \"rejected_overload\": %llu, "
       "\"rejected_deadline\": %llu, \"cache_hits\": %llu, "
       "\"cache_misses\": %llu, \"cache_evictions\": %llu, "
+      "\"cache_stale_purged\": %llu, "
       "\"batches\": %llu, \"batched_lookups\": %llu, \"queue_depth\": %llu, "
       "\"latency_us\": {\"count\": %llu, \"mean\": %.1f, \"p50\": %.1f, "
       "\"p95\": %.1f, \"p99\": %.1f, \"max\": %llu}}",
@@ -42,6 +43,7 @@ std::string StatsSnapshot::ToJson() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(cache_misses),
       static_cast<unsigned long long>(cache_evictions),
+      static_cast<unsigned long long>(cache_stale_purged),
       static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(batched_lookups),
       static_cast<unsigned long long>(queue_depth),

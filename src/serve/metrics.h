@@ -51,6 +51,8 @@ struct StatsSnapshot {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
+  /// Stale-epoch entries reclaimed by purge-on-publication (vs. aged out).
+  uint64_t cache_stale_purged = 0;
   uint64_t batches = 0;
   uint64_t batched_lookups = 0;
   uint64_t queue_depth = 0;

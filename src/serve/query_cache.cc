@@ -45,13 +45,20 @@ std::optional<std::vector<index::MutableFuzzyIndex::Match>> QueryCache::Get(
   return it->second->matches;
 }
 
-void QueryCache::Put(const std::string& key,
+void QueryCache::Put(const std::string& key, uint64_t epoch,
                      std::vector<index::MutableFuzzyIndex::Match> matches) {
   if (!enabled()) return;
+  if (epoch < min_epoch_.load(std::memory_order_relaxed)) {
+    // A request admitted before the purge is completing after it; its result
+    // is already unreachable (the key names a superseded epoch), so parking
+    // it would waste a capacity slot until the next purge.
+    return;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
+    it->second->epoch = epoch;
     it->second->matches = std::move(matches);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
@@ -61,8 +68,33 @@ void QueryCache::Put(const std::string& key,
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.push_front(Entry{key, std::move(matches)});
+  shard.lru.push_front(Entry{key, epoch, std::move(matches)});
   shard.map.emplace(key, shard.lru.begin());
+}
+
+void QueryCache::PurgeEpochsBelow(uint64_t epoch) {
+  if (!enabled()) return;
+  // Raise the floor first so no Put() re-parks a stale entry behind the
+  // sweep's back (monotonic max under concurrent purges).
+  uint64_t prev = min_epoch_.load(std::memory_order_relaxed);
+  while (prev < epoch &&
+         !min_epoch_.compare_exchange_weak(prev, epoch,
+                                           std::memory_order_relaxed)) {
+  }
+  uint64_t purged = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->epoch < epoch) {
+        shard->map.erase(it->key);
+        it = shard->lru.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (purged > 0) stale_purged_.fetch_add(purged, std::memory_order_relaxed);
 }
 
 size_t QueryCache::size() const {

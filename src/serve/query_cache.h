@@ -24,7 +24,12 @@ namespace ssjoin::serve {
 /// produce bit-identical Lookup results — share one entry. The key also
 /// carries the index epoch the result was computed against: a mutation
 /// publishes a new epoch, so stale entries become unreachable immediately
-/// (and age out of the LRU) rather than ever being served. Sharding by key
+/// rather than ever being served. Unreachable is not free, though — a stale
+/// entry still holds a capacity slot until LRU pressure happens to reach it,
+/// so each entry also records its epoch as a plain field and
+/// PurgeEpochsBelow() reclaims every superseded entry the moment a new epoch
+/// is observed (it also raises a floor that drops late Put()s from old
+/// in-flight requests). Sharding by key
 /// hash keeps the lock a short per-shard critical section instead of a
 /// service-wide serialization point; each shard maintains its own intrusive
 /// LRU list. Capacity is split exactly across shards — floor(capacity/shards)
@@ -44,18 +49,30 @@ class QueryCache {
       const std::string& key);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU tail if full.
-  void Put(const std::string& key,
+  /// `epoch` is the index epoch the result was computed against; an entry
+  /// older than the last PurgeEpochsBelow() floor is dropped on arrival (a
+  /// slow in-flight request must not re-park a stale result).
+  void Put(const std::string& key, uint64_t epoch,
            std::vector<index::MutableFuzzyIndex::Match> matches);
+
+  /// Removes every entry whose epoch is below `epoch` and raises the floor
+  /// future Put()s are checked against. Called on epoch publication; stale
+  /// entries stop consuming capacity instead of waiting for LRU pressure.
+  void PurgeEpochsBelow(uint64_t epoch);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  uint64_t stale_purged() const {
+    return stale_purged_.load(std::memory_order_relaxed);
+  }
 
   size_t size() const;
 
  private:
   struct Entry {
     std::string key;
+    uint64_t epoch = 0;
     std::vector<index::MutableFuzzyIndex::Match> matches;
   };
   struct Shard {
@@ -74,6 +91,9 @@ class QueryCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> stale_purged_{0};
+  /// Highest epoch ever passed to PurgeEpochsBelow; Put()s below it drop.
+  std::atomic<uint64_t> min_epoch_{0};
 };
 
 }  // namespace ssjoin::serve

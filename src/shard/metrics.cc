@@ -1,0 +1,32 @@
+#include "shard/metrics.h"
+
+namespace ssjoin::shard {
+
+void CollectShardMetrics(const ShardMetrics& m, uint32_t num_shards,
+                         std::vector<obs::MetricPoint>* out) {
+  auto load = [](const std::atomic<uint64_t>& c) {
+    return c.load(std::memory_order_relaxed);
+  };
+  out->push_back(obs::MetricPoint::FromGauge("shard.num_shards",
+                                             static_cast<int64_t>(num_shards)));
+  out->push_back(obs::MetricPoint::FromCounter("shard.lookups", load(m.lookups)));
+  out->push_back(obs::MetricPoint::FromCounter("shard.fanouts", load(m.fanouts)));
+  out->push_back(obs::MetricPoint::FromCounter("shard.failed_lookups",
+                                               load(m.failed_lookups)));
+  out->push_back(obs::MetricPoint::FromCounter("shard.deadline_rejects",
+                                               load(m.deadline_rejects)));
+  out->push_back(obs::MetricPoint::FromCounter("shard.hedges", load(m.hedges)));
+  out->push_back(
+      obs::MetricPoint::FromCounter("shard.hedge_wins", load(m.hedge_wins)));
+  out->push_back(
+      obs::MetricPoint::FromCounter("shard.stragglers", load(m.stragglers)));
+  out->push_back(
+      obs::MetricPoint::FromCounter("shard.degraded", load(m.degraded)));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("shard.latency_us", m.latency_us));
+  out->push_back(
+      obs::MetricPoint::FromHistogram("shard.slowest_us", m.slowest_us));
+  out->push_back(obs::MetricPoint::FromHistogram("shard.merge_us", m.merge_us));
+}
+
+}  // namespace ssjoin::shard

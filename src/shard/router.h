@@ -1,0 +1,22 @@
+#ifndef SSJOIN_SHARD_ROUTER_H_
+#define SSJOIN_SHARD_ROUTER_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace ssjoin::shard {
+
+/// The shard owning `doc_id` under an N-way hash partition. Mix64 gives full
+/// avalanche so sequential ids spread evenly; the mapping is a pure function
+/// of (doc_id, num_shards), which every process of a cluster must agree on —
+/// the coordinator, every shard server and every test route with this one
+/// function.
+inline uint32_t ShardOf(uint64_t doc_id, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<uint32_t>(Mix64(doc_id) % num_shards);
+}
+
+}  // namespace ssjoin::shard
+
+#endif  // SSJOIN_SHARD_ROUTER_H_

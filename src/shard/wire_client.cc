@@ -1,0 +1,217 @@
+#include "shard/wire_client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ssjoin::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline` for poll(); -1 when unbounded, 0 when
+/// already past (poll returns immediately and we report timeout).
+int PollBudget(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;  // re-check the clock periodically
+  return static_cast<int>(left.count());
+}
+
+Status TimeoutError(const char* what) {
+  return Status::DeadlineExceeded(std::string("wire ") + what +
+                                  " timed out");
+}
+
+Status SocketError(const char* what) {
+  return Status::IOError(std::string("wire ") + what + " failed: " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+WireClient::~WireClient() { Close(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), buf_(std::move(other.buf_)) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Result<WireClient> WireClient::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return Status::Unavailable("cannot connect to '" + socket_path +
+                               "': " + std::strerror(saved));
+  }
+  return WireClient(fd);
+}
+
+Result<std::string> WireClient::Call(std::string_view line,
+                                     std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status::Unavailable("wire client is not connected");
+  bool has_deadline = timeout.count() > 0;
+  Clock::time_point deadline = Clock::now() + timeout;
+
+  std::string out(line);
+  out.push_back('\n');
+  size_t off = 0;
+  while (off < out.size()) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, PollBudget(has_deadline, deadline));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("poll");
+    }
+    if (pr == 0) return TimeoutError("write");
+    ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("write");
+    }
+    if (n == 0) return Status::IOError("wire peer closed during write");
+    off += static_cast<size_t>(n);
+  }
+
+  for (;;) {
+    size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string result = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return result;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, PollBudget(has_deadline, deadline));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("poll");
+    }
+    if (pr == 0) return TimeoutError("read");
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("read");
+    }
+    if (n == 0) return Status::IOError("wire peer closed mid-response");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> WireClient::ReadRaw(size_t n,
+                                        std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status::Unavailable("wire client is not connected");
+  bool has_deadline = timeout.count() > 0;
+  Clock::time_point deadline = Clock::now() + timeout;
+  while (buf_.size() < n) {
+    pollfd pfd{fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, PollBudget(has_deadline, deadline));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("poll");
+    }
+    if (pr == 0) return TimeoutError("raw read");
+    char chunk[65536];
+    ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("read");
+    }
+    if (r == 0) return Status::IOError("wire peer closed mid-body");
+    buf_.append(chunk, static_cast<size_t>(r));
+  }
+  std::string result = buf_.substr(0, n);
+  buf_.erase(0, n);
+  return result;
+}
+
+std::string FormatHexDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+Result<double> ParseHexDouble(std::string_view s) {
+  std::string z(s);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(z.c_str(), &end);
+  if (errno != 0 || end != z.c_str() + z.size() || z.empty()) {
+    return Status::Invalid("bad hex-float '" + z + "'");
+  }
+  return v;
+}
+
+std::string PackNetstrings(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    out += std::to_string(item.size());
+    out.push_back(':');
+    out += item;
+    out.push_back(',');
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> UnpackNetstrings(std::string_view s) {
+  std::vector<std::string> items;
+  size_t i = 0;
+  while (i < s.size()) {
+    size_t colon = s.find(':', i);
+    if (colon == std::string_view::npos || colon == i ||
+        colon - i > 19) {  // 19 digits > any sane length
+      return Status::Invalid("malformed netstring length");
+    }
+    uint64_t len = 0;
+    for (size_t j = i; j < colon; ++j) {
+      char c = s[j];
+      if (c < '0' || c > '9') return Status::Invalid("malformed netstring length");
+      len = len * 10 + static_cast<uint64_t>(c - '0');
+    }
+    size_t body = colon + 1;
+    if (body + len + 1 > s.size() || s[body + len] != ',') {
+      return Status::Invalid("truncated netstring");
+    }
+    items.emplace_back(s.substr(body, len));
+    i = body + len + 1;
+  }
+  return items;
+}
+
+}  // namespace ssjoin::shard

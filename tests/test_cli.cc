@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include <cstring>
 
 #include <chrono>
 #include <cstdio>
@@ -408,6 +412,76 @@ TEST(CliTest, ServedSocketRoundTrip) {
 
   // A client against the dead socket fails cleanly.
   EXPECT_NE(RunCli("lookup --socket " + sock + " --ping"), 0);
+
+  std::remove(in.c_str());
+  std::remove(snap.c_str());
+  std::remove(server_log.c_str());
+}
+
+/// Raw-socket client that misbehaves on purpose: connects, sends `bytes`
+/// (possibly a partial request), optionally reads `read_bytes` of response,
+/// then slams the connection shut.
+void TruncatedClient(const std::string& sock, const std::string& bytes,
+                     size_t read_bytes) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  if (read_bytes > 0) {
+    std::string buf(read_bytes, '\0');
+    (void)!::read(fd, buf.data(), buf.size());
+  }
+  ::close(fd);  // no clean goodbye: the server's write hits a dead peer
+}
+
+TEST(CliTest, ServedSurvivesTruncatedClients) {
+  std::string in = TempPath("trunc_ref.csv");
+  std::string snap = TempPath("trunc_ref.snap");
+  std::string sock = TempPath("trunc.sock");
+  WriteFile(in, kReferenceCsv);
+  std::remove(sock.c_str());
+  ASSERT_EQ(RunCli("snapshot --reference " + in + " --col name --alpha 0.4 "
+                   "--out " + snap),
+            0);
+  std::string server_log = TempPath("trunc_served.log");
+  std::string server_cmd = std::string(SSJOIN_SERVED_PATH) + " --snapshot " +
+                           snap + " --socket " + sock + " >" + server_log +
+                           " 2>&1 &";
+  ASSERT_EQ(std::system(server_cmd.c_str()), 0);
+  ASSERT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) == 0; },
+                      std::chrono::seconds(10)))
+      << ReadWholeFile(server_log);
+
+  const std::string lookup =
+      "{\"op\": \"lookup\", \"query\": \"International Business Machines\", "
+      "\"k\": 3}\n";
+  for (int round = 0; round < 5; ++round) {
+    // Full request, zero response bytes read: the server's response write
+    // lands on a closed peer (EPIPE path of the write loop).
+    TruncatedClient(sock, lookup, 0);
+    // Full request, response truncated after 1 byte (close mid-response).
+    TruncatedClient(sock, lookup, 1);
+    // Half a request and no newline: EOF mid-line must not be treated as a
+    // request, and must not wedge the connection thread.
+    TruncatedClient(sock, lookup.substr(0, lookup.size() / 2), 0);
+  }
+
+  // The server is still healthy for well-behaved clients afterwards.
+  std::string out;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock +
+                              " --query \"International Business Machines\" --k 2",
+                          &out),
+            0)
+      << ReadWholeFile(server_log);
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  ASSERT_EQ(RunCliCapture("lookup --socket " + sock + " --shutdown", &out), 0);
+  EXPECT_TRUE(WaitFor([&] { return ::access(sock.c_str(), F_OK) != 0; },
+                      std::chrono::seconds(10)))
+      << ReadWholeFile(server_log);
 
   std::remove(in.c_str());
   std::remove(snap.c_str());

@@ -288,6 +288,65 @@ TEST(LookupServiceTest, AlreadyExpiredDeadlineRejectedAtAdmission) {
   EXPECT_EQ(service->Stats().requests, 2u);
 }
 
+TEST(LookupServiceTest, DeadlineExpiringMidBatchRejectsOnlyThatItem) {
+  auto master = Master(100, 37);
+  LookupServiceOptions options;
+  options.max_queue = 8;
+  options.max_batch = 4;
+  options.cache_capacity = 0;
+  auto service = LookupService::Create(BuildMutable(master), options)
+                     .MoveValueUnsafe();
+
+  // Stall the first batch so two more requests land in the SAME second
+  // batch: one unbounded, one with a budget that is still valid at batch
+  // claim but expires while the first item of the batch executes.
+  std::promise<void> entered_promise;
+  std::shared_future<void> entered(entered_promise.get_future());
+  std::promise<void> release_promise;
+  std::shared_future<void> release(release_promise.get_future());
+  std::atomic<bool> first_batch{true};
+  service->SetDispatchHookForTest([&] {
+    if (first_batch.exchange(false)) {
+      entered_promise.set_value();
+      release.wait();
+    }
+  });
+  // Burn 150ms inside item 0's execution slot, well past item 1's 60ms
+  // budget; the per-item recheck must catch it at execution start.
+  service->SetItemHookForTest([](size_t i) {
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  });
+
+  std::thread stalled([&] {
+    auto r = service->Lookup(master[0], 1);
+    EXPECT_TRUE(r.ok());
+  });
+  entered.wait();
+
+  std::thread unbounded([&] {
+    auto r = service->Lookup(master[1], 1);
+    EXPECT_TRUE(r.ok());  // the slow item itself still succeeds
+  });
+  while (service->Stats().queue_depth < 1) std::this_thread::yield();
+  std::thread bounded([&] {
+    auto r = service->Lookup(master[2], 1, std::chrono::milliseconds(60));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  });
+  while (service->Stats().queue_depth < 2) std::this_thread::yield();
+
+  release_promise.set_value();
+  stalled.join();
+  unbounded.join();
+  bounded.join();
+
+  StatsSnapshot stats = service->Stats();
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+  // Exactly the two surviving lookups touched the index.
+  EXPECT_EQ(stats.latency_count, 2u);
+}
+
 TEST(LookupServiceTest, ShutdownFailsPendingAndRejectsNew) {
   auto master = Master(100, 36);
   LookupServiceOptions options;

@@ -174,8 +174,22 @@ int Usage() {
                "       ssjoin_cli upsert --socket PATH --id N --value STR\n"
                "       ssjoin_cli delete --socket PATH --id N\n"
                "       ssjoin_cli compact --socket PATH\n"
+               "       ssjoin_cli seal --socket PATH\n"
                "           mutate a running ssjoin_served's index; each op\n"
-               "           publishes (and prints) a new index epoch\n");
+               "           publishes (and prints) a new index epoch. Against a\n"
+               "           coordinator, upsert/delete route to the owner shard\n"
+               "           and seal/compact broadcast to every shard\n"
+               "\n"
+               "       ssjoin_cli epoch --socket PATH\n"
+               "           print the index epoch (cluster epoch on a "
+               "coordinator)\n"
+               "       ssjoin_cli resync --socket PATH\n"
+               "           coordinator only: rebuild every shard's global IDF\n"
+               "           statistics from a full cluster dump (run after a\n"
+               "           shard process restart)\n"
+               "       ssjoin_cli sync --socket PATH\n"
+               "           follower only: force a replication round against "
+               "the leader\n");
   return 2;
 }
 
@@ -509,7 +523,7 @@ Result<int> RunMutation(const Args& args, const std::string& op) {
     return Status::Invalid("--socket PATH is required for '" + op + "'");
   }
   std::string request = "{\"op\": \"" + op + "\"";
-  if (op != "compact") {
+  if (op == "upsert" || op == "delete") {
     auto id = args.flags.find("id");
     if (id == args.flags.end()) {
       return Status::Invalid("--id N is required for '" + op + "'");
@@ -593,7 +607,9 @@ int main(int argc, char** argv) {
   } else if (args.command == "lookup") {
     rc = RunLookup(args);
   } else if (args.command == "upsert" || args.command == "delete" ||
-             args.command == "compact") {
+             args.command == "compact" || args.command == "seal" ||
+             args.command == "resync" || args.command == "sync" ||
+             args.command == "epoch") {
     rc = RunMutation(args, args.command);
   } else {
     return Usage();

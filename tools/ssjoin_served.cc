@@ -26,15 +26,21 @@
 #include <cstdio>
 #include <cstring>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/ssjoin.h"
@@ -47,6 +53,11 @@
 #include "serve/lookup_service.h"
 #include "serve/snapshot.h"
 #include "serve/wire.h"
+#include "shard/coordinator.h"
+#include "shard/replication.h"
+#include "shard/router.h"
+#include "shard/sharded_index.h"
+#include "shard/wire_client.h"
 
 namespace {
 
@@ -108,8 +119,13 @@ int Usage() {
       "--col COL)\n"
       "                     --socket PATH [--alpha A] [--qgrams Q]\n"
       "                     [--threads N] [--max-queue N] [--max-batch N]\n"
-      "                     [--cache N] [--shards N] [--k-default N]\n"
+      "                     [--cache N] [--cache-shards N] [--k-default N]\n"
       "                     [--seal-threshold N] [--max-generations N]\n"
+      "                     [--shards N]\n"
+      "       ssjoin_served --coordinator SOCK1,SOCK2,... --socket PATH\n"
+      "                     [--hedge-ms N] [--straggler-ms N] [--no-degraded]\n"
+      "       ssjoin_served --follow LEADER_SOCK --data DIR --socket PATH\n"
+      "                     [--sync-interval-ms N]\n"
       "  --data DIR       durable index directory: reopened (WAL replay) if it\n"
       "                   holds a MANIFEST, initialized from --snapshot/\n"
       "                   --reference otherwise\n"
@@ -122,14 +138,27 @@ int Usage() {
       "  --max-queue N    admission queue bound (default 1024)\n"
       "  --max-batch N    micro-batch size (default 64)\n"
       "  --cache N        query cache entries, 0 disables (default 4096)\n"
+      "  --cache-shards N query cache shard count (default 8)\n"
       "  --k-default N    k when a lookup omits it (default 3)\n"
       "  --kernel T       intersection kernel tier: scalar|gallop|simd|auto\n"
       "                   (default auto; also via the SSJOIN_KERNEL env var)\n"
       "  --seal-threshold N   auto-seal the mutable tail at N docs (default 256)\n"
       "  --max-generations N  auto-compact beyond N sealed segments (default 4)\n"
-      "ops: ping, lookup, upsert, delete, compact, stats (one-line JSON),\n"
-      "     metrics / stats+format=ndjson (header line, then one NDJSON metric\n"
-      "     object per line), shutdown\n"
+      "modes:\n"
+      "  --shards N       serve an in-process N-way sharded index (scatter-\n"
+      "                   gather per lookup; results bit-identical to N=1)\n"
+      "  --coordinator L  scatter-gather over shard SERVER processes at the\n"
+      "                   listed sockets (position = shard id); --hedge-ms\n"
+      "                   hedges stragglers, degraded partial responses when\n"
+      "                   a shard is down unless --no-degraded\n"
+      "  --follow SOCK    replicate the leader's sealed snapshots into --data\n"
+      "                   and serve them read-only at the last sealed epoch\n"
+      "ops: ping, lookup, upsert, delete, compact, seal, epoch, stats\n"
+      "     (one-line JSON), metrics / stats+format=ndjson (header line, then\n"
+      "     one NDJSON metric object per line), shutdown\n"
+      "shard-server ops (single mode): slookup (exact hex-float scores),\n"
+      "     upsert/delete with \"global\": true, gstats, gstats_reset, dump,\n"
+      "     getvalue, repl_fetch; coordinator adds resync, follower adds sync\n"
       "lookup accepts optional \"target_recall\" in (0, 1]: below 1.0 the\n"
       "     prefix probe is truncated to that fraction of its weight mass\n"
       "     (approximate recall, exact similarities)\n");
@@ -137,18 +166,126 @@ int Usage() {
 }
 
 struct ServerState {
-  serve::LookupService* service = nullptr;
+  /// Exactly one backend is set, selecting the serving mode. `service` is a
+  /// shared_ptr because the follower's sync loop swaps in a freshly opened
+  /// service after each replicated epoch; requests pin the one they started
+  /// on via Service().
+  std::shared_ptr<serve::LookupService> service;
+  std::mutex service_mu;
+  shard::ShardedLookupIndex* sharded = nullptr;
+  shard::Coordinator* coordinator = nullptr;
+
+  /// Data directory served by repl_fetch (replication leader role); empty
+  /// disables the op.
+  std::string data_dir;
+  /// Follower: every mutating op is rejected with Unavailable.
+  bool read_only = false;
+  /// Follower: forced replication round; returns (updated, epoch).
+  std::function<Result<std::pair<bool, uint64_t>>()> sync_now;
+
   size_t default_k = 3;
   int listen_fd = -1;
   std::atomic<bool> stop{false};
   std::mutex conn_mu;
   std::set<int> conn_fds;
+
+  std::shared_ptr<serve::LookupService> Service() {
+    std::lock_guard<std::mutex> lock(service_mu);
+    return service;
+  }
 };
 
 std::string ErrorResponse(const Status& status) {
   return "{\"ok\": false, \"code\": \"" +
          serve::JsonEscape(StatusCodeToString(status.code())) +
          "\", \"error\": \"" + serve::JsonEscape(status.message()) + "\"}";
+}
+
+using JsonObj = std::map<std::string, serve::JsonScalar>;
+
+struct LookupParams {
+  std::string query;
+  size_t k = 3;
+  std::chrono::milliseconds deadline{0};
+  double target_recall = 1.0;
+};
+
+Result<LookupParams> ParseLookupParams(const JsonObj& obj, size_t default_k) {
+  LookupParams p;
+  p.k = default_k;
+  auto query_it = obj.find("query");
+  if (query_it == obj.end() ||
+      query_it->second.type != serve::JsonScalar::Type::kString) {
+    return Status::Invalid("lookup requires string field 'query'");
+  }
+  p.query = query_it->second.str;
+  if (auto it = obj.find("k"); it != obj.end()) {
+    if (it->second.type != serve::JsonScalar::Type::kNumber ||
+        it->second.num < 0) {
+      return Status::Invalid("'k' must be a nonnegative number");
+    }
+    p.k = static_cast<size_t>(it->second.num);
+  }
+  if (auto it = obj.find("deadline_ms"); it != obj.end()) {
+    if (it->second.type != serve::JsonScalar::Type::kNumber ||
+        it->second.num < 0) {
+      return Status::Invalid("'deadline_ms' must be a nonnegative number");
+    }
+    p.deadline = std::chrono::milliseconds(static_cast<int64_t>(it->second.num));
+  }
+  if (auto it = obj.find("target_recall"); it != obj.end()) {
+    if (it->second.type != serve::JsonScalar::Type::kNumber ||
+        !(it->second.num > 0.0) || it->second.num > 1.0) {
+      return Status::Invalid("'target_recall' must be a number in (0, 1]");
+    }
+    p.target_recall = it->second.num;
+  }
+  return p;
+}
+
+Result<uint64_t> IdField(const JsonObj& obj) {
+  auto it = obj.find("id");
+  if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kNumber ||
+      it->second.num < 0) {
+    return Status::Invalid("op requires a nonnegative numeric field 'id'");
+  }
+  return static_cast<uint64_t>(it->second.num);
+}
+
+Result<std::string> StringField(const JsonObj& obj, const char* key) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kString) {
+    return Status::Invalid(std::string("op requires string field '") + key +
+                           "'");
+  }
+  return it->second.str;
+}
+
+bool BoolField(const JsonObj& obj, const char* key) {
+  auto it = obj.find(key);
+  return it != obj.end() &&
+         it->second.type == serve::JsonScalar::Type::kBool &&
+         it->second.boolean;
+}
+
+/// The human-facing match list: decimal similarity for display plus the
+/// document value. Each entry is (id, similarity, value).
+std::string MatchesResponse(
+    const std::vector<std::tuple<uint64_t, double, std::string>>& matches,
+    const char* extra) {
+  std::string out = "{\"ok\": true";
+  out += extra;
+  out += ", \"matches\": [";
+  for (size_t i = 0; i < matches.size(); ++i) {
+    const auto& [id, similarity, value] = matches[i];
+    if (i > 0) out += ", ";
+    char sim[32];
+    std::snprintf(sim, sizeof(sim), "%.6f", similarity);
+    out += "{\"ref\": " + std::to_string(id) + ", \"similarity\": " + sim +
+           ", \"value\": \"" + serve::JsonEscape(value) + "\"}";
+  }
+  out += "]}";
+  return out;
 }
 
 std::string HandleLine(const std::string& line, ServerState* state,
@@ -182,113 +319,321 @@ std::string HandleLine(const std::string& line, ServerState* state,
 
   if (op == "metrics") return ndjson_metrics();
 
+  if (op == "shutdown") {
+    *stop_after_reply = true;
+    return "{\"ok\": true, \"stopping\": true}";
+  }
+
   if (op == "stats") {
     auto fmt = obj.find("format");
     if (fmt != obj.end() && fmt->second.type == serve::JsonScalar::Type::kString &&
         fmt->second.str == "ndjson") {
       return ndjson_metrics();
     }
-    return "{\"ok\": true, \"stats\": " + state->service->Stats().ToJson() + "}";
   }
 
-  if (op == "shutdown") {
-    *stop_after_reply = true;
-    return "{\"ok\": true, \"stopping\": true}";
+  // ---- Coordinator mode: scatter-gather over shard server processes. ----
+  if (state->coordinator != nullptr) {
+    shard::Coordinator* coord = state->coordinator;
+    if (op == "stats") {
+      // The coordinator owns no LookupService; its observable surface is the
+      // shard.* fan-out metrics, already in the registry export above.
+      return "{\"ok\": true, \"mode\": \"coordinator\", \"shards\": " +
+             std::to_string(coord->num_shards()) + "}";
+    }
+    if (op == "lookup") {
+      auto params = ParseLookupParams(obj, state->default_k);
+      if (!params.ok()) return ErrorResponse(params.status());
+      auto result = coord->Lookup(params->query, params->k, params->deadline,
+                                  params->target_recall);
+      if (!result.ok()) return ErrorResponse(result.status());
+      std::vector<std::tuple<uint64_t, double, std::string>> matches;
+      matches.reserve(result->matches.size());
+      for (const auto& m : result->matches) {
+        matches.emplace_back(m.id, m.similarity, m.value);
+      }
+      std::string extra = std::string(", \"degraded\": ") +
+                          (result->degraded ? "true" : "false") +
+                          ", \"shards_ok\": " +
+                          std::to_string(result->shards_ok);
+      return MatchesResponse(matches, extra.c_str());
+    }
+    if (op == "upsert" || op == "delete") {
+      auto id = IdField(obj);
+      if (!id.ok()) return ErrorResponse(id.status());
+      auto epoch_response = [](const Result<uint64_t>& epoch) {
+        if (!epoch.ok()) return ErrorResponse(epoch.status());
+        return "{\"ok\": true, \"epoch\": " + std::to_string(*epoch) + "}";
+      };
+      if (op == "upsert") {
+        auto value = StringField(obj, "value");
+        if (!value.ok()) return ErrorResponse(value.status());
+        return epoch_response(coord->Upsert(*id, *value));
+      }
+      return epoch_response(coord->Delete(*id));
+    }
+    if (op == "resync") {
+      Status s = coord->Resync();
+      if (!s.ok()) return ErrorResponse(s);
+      return "{\"ok\": true, \"resynced\": true}";
+    }
+    if (op == "seal" || op == "compact") {
+      Status s = coord->Broadcast(op);
+      if (!s.ok()) return ErrorResponse(s);
+      return "{\"ok\": true}";
+    }
+    if (op == "epoch") {
+      auto epoch = coord->ClusterEpoch();
+      if (!epoch.ok()) return ErrorResponse(epoch.status());
+      return "{\"ok\": true, \"epoch\": " + std::to_string(*epoch) + "}";
+    }
+    return ErrorResponse(Status::Invalid("unknown coordinator op '" + op + "'"));
   }
 
-  if (op == "lookup") {
-    auto query_it = obj.find("query");
-    if (query_it == obj.end() ||
-        query_it->second.type != serve::JsonScalar::Type::kString) {
-      return ErrorResponse(Status::Invalid("lookup requires string field 'query'"));
+  // ---- In-process sharded mode. ----
+  if (state->sharded != nullptr) {
+    shard::ShardedLookupIndex* sharded = state->sharded;
+    auto epoch_reply = [sharded](const Status& status) {
+      if (!status.ok()) return ErrorResponse(status);
+      return "{\"ok\": true, \"epoch\": " + std::to_string(sharded->epoch()) +
+             "}";
+    };
+    if (op == "stats") {
+      return "{\"ok\": true, \"stats\": " + sharded->Stats().ToJson() + "}";
     }
-    size_t k = state->default_k;
-    if (auto it = obj.find("k"); it != obj.end()) {
-      if (it->second.type != serve::JsonScalar::Type::kNumber ||
-          it->second.num < 0) {
-        return ErrorResponse(Status::Invalid("'k' must be a nonnegative number"));
+    if (op == "lookup") {
+      auto params = ParseLookupParams(obj, state->default_k);
+      if (!params.ok()) return ErrorResponse(params.status());
+      auto result = sharded->Lookup(params->query, params->k, params->deadline,
+                                    params->target_recall);
+      if (!result.ok()) return ErrorResponse(result.status());
+      std::vector<std::tuple<uint64_t, double, std::string>> matches;
+      matches.reserve(result->size());
+      for (const auto& m : *result) {
+        matches.emplace_back(m.id, m.similarity,
+                             sharded->ValueOf(m.id).value_or(""));
       }
-      k = static_cast<size_t>(it->second.num);
+      return MatchesResponse(matches, "");
     }
-    std::chrono::milliseconds deadline{0};
-    if (auto it = obj.find("deadline_ms"); it != obj.end()) {
-      if (it->second.type != serve::JsonScalar::Type::kNumber ||
-          it->second.num < 0) {
-        return ErrorResponse(
-            Status::Invalid("'deadline_ms' must be a nonnegative number"));
-      }
-      deadline = std::chrono::milliseconds(static_cast<int64_t>(it->second.num));
+    if (op == "upsert") {
+      auto id = IdField(obj);
+      if (!id.ok()) return ErrorResponse(id.status());
+      auto value = StringField(obj, "value");
+      if (!value.ok()) return ErrorResponse(value.status());
+      return epoch_reply(sharded->Upsert(*id, *value));
     }
-    double target_recall = 1.0;
-    if (auto it = obj.find("target_recall"); it != obj.end()) {
-      if (it->second.type != serve::JsonScalar::Type::kNumber ||
-          !(it->second.num > 0.0) || it->second.num > 1.0) {
-        return ErrorResponse(
-            Status::Invalid("'target_recall' must be a number in (0, 1]"));
-      }
-      target_recall = it->second.num;
+    if (op == "delete") {
+      auto id = IdField(obj);
+      if (!id.ok()) return ErrorResponse(id.status());
+      return epoch_reply(sharded->Delete(*id));
     }
-    auto result = state->service->Lookup(query_it->second.str, k, deadline,
-                                         target_recall);
+    if (op == "seal") return epoch_reply(sharded->Seal());
+    if (op == "compact") return epoch_reply(sharded->Compact());
+    if (op == "epoch") return epoch_reply(Status::OK());
+    return ErrorResponse(Status::Invalid("unknown sharded op '" + op + "'"));
+  }
+
+  // ---- Single-service modes: standalone server, shard server, follower. --
+  std::shared_ptr<serve::LookupService> service = state->Service();
+  auto epoch_reply = [&service](const Status& status) {
+    if (!status.ok()) return ErrorResponse(status);
+    return "{\"ok\": true, \"epoch\": " + std::to_string(service->epoch()) +
+           "}";
+  };
+  auto read_only_error = [] {
+    return ErrorResponse(
+        Status::Unavailable("follower is read-only; mutate the leader"));
+  };
+
+  if (op == "stats") {
+    return "{\"ok\": true, \"stats\": " + service->Stats().ToJson() + "}";
+  }
+
+  if (op == "lookup" || op == "slookup") {
+    auto params = ParseLookupParams(obj, state->default_k);
+    if (!params.ok()) return ErrorResponse(params.status());
+    auto result = service->Lookup(params->query, params->k, params->deadline,
+                                  params->target_recall);
     if (!result.ok()) return ErrorResponse(result.status());
-    std::string out = "{\"ok\": true, \"matches\": [";
+    if (op == "lookup") {
+      std::vector<std::tuple<uint64_t, double, std::string>> matches;
+      matches.reserve(result->size());
+      for (const auto& m : *result) {
+        matches.emplace_back(m.id, m.similarity,
+                             service->ValueOf(m.id).value_or(""));
+      }
+      return MatchesResponse(matches, "");
+    }
+    // slookup: the machine-facing flat encoding of the same result. Scores
+    // cross as hex-float literals, which round-trip the exact doubles — the
+    // coordinator's merge stays bit-identical to an unsharded lookup.
+    std::string ids, sims;
+    std::vector<std::string> values;
+    values.reserve(result->size());
     for (size_t i = 0; i < result->size(); ++i) {
       const auto& m = (*result)[i];
-      if (i > 0) out += ", ";
-      char sim[32];
-      std::snprintf(sim, sizeof(sim), "%.6f", m.similarity);
-      out += "{\"ref\": " + std::to_string(m.id) + ", \"similarity\": " + sim +
-             ", \"value\": \"" +
-             serve::JsonEscape(state->service->ValueOf(m.id).value_or("")) +
-             "\"}";
+      if (i > 0) {
+        ids += ',';
+        sims += ',';
+      }
+      ids += std::to_string(m.id);
+      sims += shard::FormatHexDouble(m.similarity);
+      values.push_back(service->ValueOf(m.id).value_or(""));
     }
-    out += "]}";
+    return "{\"ok\": true, \"n\": " + std::to_string(result->size()) +
+           ", \"ids\": \"" + ids + "\", \"sims\": \"" + sims +
+           "\", \"values\": \"" +
+           serve::JsonEscape(shard::PackNetstrings(values)) + "\"}";
+  }
+
+  if (op == "upsert" || op == "delete") {
+    if (state->read_only) return read_only_error();
+    auto id = IdField(obj);
+    if (!id.ok()) return ErrorResponse(id.status());
+    if (!BoolField(obj, "global")) {
+      if (op == "upsert") {
+        auto value = StringField(obj, "value");
+        if (!value.ok()) return ErrorResponse(value.status());
+        return epoch_reply(service->Upsert(*id, *value));
+      }
+      return epoch_reply(service->Delete(*id));
+    }
+    // Shard-server role ("global": true): apply through the Global API and
+    // report the replaced value, so the coordinator can broadcast the
+    // global-stats delta to the other shards.
+    index::GlobalDelta delta;
+    Status status;
+    if (op == "upsert") {
+      auto value = StringField(obj, "value");
+      if (!value.ok()) return ErrorResponse(value.status());
+      status = service->UpsertGlobal(*id, *value, &delta);
+    } else {
+      status = service->DeleteGlobal(*id, &delta);
+    }
+    if (!status.ok()) return ErrorResponse(status);
+    std::string out = "{\"ok\": true, \"epoch\": " +
+                      std::to_string(service->epoch()) + ", \"had_prev\": ";
+    out += delta.removed.has_value() ? "true" : "false";
+    if (delta.removed.has_value()) {
+      out += ", \"prev\": \"" + serve::JsonEscape(*delta.removed) + "\"";
+    }
+    out += "}";
     return out;
   }
 
-  // Mutations. Each publishes a new index epoch; the response carries it so
-  // clients can correlate later lookups with the state they mutated.
-  auto id_field = [&obj]() -> Result<uint64_t> {
-    auto it = obj.find("id");
-    if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kNumber ||
-        it->second.num < 0) {
-      return Status::Invalid("op requires a nonnegative numeric field 'id'");
+  if (op == "gstats") {
+    if (state->read_only) return read_only_error();
+    index::GlobalDelta delta;
+    if (BoolField(obj, "has_added")) {
+      auto added = StringField(obj, "added");
+      if (!added.ok()) return ErrorResponse(added.status());
+      delta.added = *added;
     }
-    return static_cast<uint64_t>(it->second.num);
-  };
-  auto epoch_reply = [state](const Status& status) {
-    if (!status.ok()) return ErrorResponse(status);
-    return "{\"ok\": true, \"epoch\": " +
-           std::to_string(state->service->epoch()) + "}";
-  };
-
-  if (op == "upsert") {
-    auto id = id_field();
-    if (!id.ok()) return ErrorResponse(id.status());
-    auto value_it = obj.find("value");
-    if (value_it == obj.end() ||
-        value_it->second.type != serve::JsonScalar::Type::kString) {
-      return ErrorResponse(Status::Invalid("upsert requires string field 'value'"));
+    if (BoolField(obj, "has_removed")) {
+      auto removed = StringField(obj, "removed");
+      if (!removed.ok()) return ErrorResponse(removed.status());
+      delta.removed = *removed;
     }
-    return epoch_reply(state->service->Upsert(*id, value_it->second.str));
+    return epoch_reply(service->ApplyGlobalDelta(delta));
   }
 
-  if (op == "delete") {
-    auto id = id_field();
-    if (!id.ok()) return ErrorResponse(id.status());
-    return epoch_reply(state->service->Delete(*id));
+  if (op == "gstats_reset") {
+    if (state->read_only) return read_only_error();
+    auto packed = StringField(obj, "values");
+    if (!packed.ok()) return ErrorResponse(packed.status());
+    auto values = shard::UnpackNetstrings(*packed);
+    if (!values.ok()) return ErrorResponse(values.status());
+    return epoch_reply(service->ResetGlobalStats(*values));
   }
 
-  if (op == "compact") return epoch_reply(state->service->Compact());
+  if (op == "dump") {
+    std::vector<std::pair<uint64_t, std::string>> docs = service->LiveDocs();
+    std::string ids;
+    std::vector<std::string> values;
+    values.reserve(docs.size());
+    for (size_t i = 0; i < docs.size(); ++i) {
+      if (i > 0) ids += ',';
+      ids += std::to_string(docs[i].first);
+      values.push_back(std::move(docs[i].second));
+    }
+    return "{\"ok\": true, \"n\": " + std::to_string(values.size()) +
+           ", \"ids\": \"" + ids + "\", \"values\": \"" +
+           serve::JsonEscape(shard::PackNetstrings(values)) + "\"}";
+  }
+
+  if (op == "getvalue") {
+    auto id = IdField(obj);
+    if (!id.ok()) return ErrorResponse(id.status());
+    std::optional<std::string> value = service->ValueOf(*id);
+    if (!value.has_value()) return "{\"ok\": true, \"found\": false}";
+    return "{\"ok\": true, \"found\": true, \"value\": \"" +
+           serve::JsonEscape(*value) + "\"}";
+  }
+
+  if (op == "repl_fetch") {
+    if (state->data_dir.empty()) {
+      return ErrorResponse(
+          Status::Invalid("repl_fetch requires a --data directory"));
+    }
+    auto name = StringField(obj, "name");
+    if (!name.ok()) return ErrorResponse(name.status());
+    if (name->empty() || *name == "." || *name == ".." ||
+        name->find('/') != std::string::npos ||
+        name->find('\\') != std::string::npos) {
+      return ErrorResponse(
+          Status::Invalid("repl_fetch name must be a basename"));
+    }
+    std::string path = state->data_dir + "/" + *name;
+    if (!std::filesystem::exists(path)) {
+      return ErrorResponse(Status::KeyError("no file '" + *name + "'"));
+    }
+    std::string bytes;
+    Status read = common::ReadFile(path, &bytes);
+    if (!read.ok()) return ErrorResponse(read);
+    // Header line, then the raw body. ServeConnection's trailing newline
+    // lands after the body; WireClient::ReadRaw consumes exactly `len`.
+    return "{\"ok\": true, \"len\": " + std::to_string(bytes.size()) + "}\n" +
+           bytes;
+  }
+
+  if (op == "sync") {
+    if (!state->sync_now) {
+      return ErrorResponse(Status::Invalid("sync is a follower-mode op"));
+    }
+    auto result = state->sync_now();
+    if (!result.ok()) return ErrorResponse(result.status());
+    return std::string("{\"ok\": true, \"updated\": ") +
+           (result->first ? "true" : "false") +
+           ", \"epoch\": " + std::to_string(result->second) + "}";
+  }
+
+  if (op == "seal") {
+    if (state->read_only) return read_only_error();
+    return epoch_reply(service->Seal());
+  }
+  if (op == "compact") {
+    if (state->read_only) return read_only_error();
+    return epoch_reply(service->Compact());
+  }
+  if (op == "epoch") return epoch_reply(Status::OK());
 
   return ErrorResponse(Status::Invalid("unknown op '" + op + "'"));
 }
 
+/// Writes the whole buffer, riding out EINTR and short writes. Returns false
+/// only when the peer is genuinely gone (EPIPE/ECONNRESET/EOF-like), which
+/// tears down this one connection — never the accept loop. The previous
+/// `n <= 0` check treated a signal interruption as a dead client, silently
+/// dropping every byte after the interrupt point mid-response.
 bool WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
     ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-    if (n <= 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // cannot make progress; avoid spinning
     off += static_cast<size_t>(n);
   }
   return true;
@@ -316,6 +661,7 @@ void ServeConnection(int fd, ServerState* state) {
       continue;
     }
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;  // signal, not a dead client
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
   }
@@ -326,6 +672,18 @@ void ServeConnection(int fd, ServerState* state) {
     state->conn_fds.erase(fd);
   }
   ::close(fd);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ReadReferenceRecords(
+    const std::string& csv_path, const std::string& col) {
+  SSJOIN_ASSIGN_OR_RETURN(engine::Table table, engine::ReadCsvFile(csv_path));
+  SSJOIN_ASSIGN_OR_RETURN(size_t c, table.schema().FieldIndex(col));
+  std::vector<std::pair<uint64_t, std::string>> records;
+  records.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    records.emplace_back(r, table.GetValue(c, r).ToString());
+  }
+  return records;
 }
 
 Result<std::unique_ptr<index::MutableFuzzyIndex>> BuildOrLoadIndex(
@@ -373,23 +731,26 @@ Result<std::unique_ptr<index::MutableFuzzyIndex>> BuildOrLoadIndex(
 
   auto ref = args.flags.find("reference");
   auto col = args.flags.find("col");
-  if (ref == args.flags.end() || col == args.flags.end()) {
-    return Status::Invalid(
-        "either --data with a manifest, --snapshot, or --reference/--col is "
-        "required");
-  }
   SSJOIN_ASSIGN_OR_RETURN(mopts.match.alpha, DoubleFlag(args, "alpha", 0.5));
   if (args.flags.count("qgrams") > 0) {
     mopts.match.word_tokens = false;
     SSJOIN_ASSIGN_OR_RETURN(mopts.match.q, SizeFlag(args, "qgrams", 3));
   }
-  SSJOIN_ASSIGN_OR_RETURN(engine::Table table, engine::ReadCsvFile(ref->second));
-  SSJOIN_ASSIGN_OR_RETURN(size_t c, table.schema().FieldIndex(col->second));
-  std::vector<std::pair<uint64_t, std::string>> records;
-  records.reserve(table.num_rows());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    records.emplace_back(r, table.GetValue(c, r).ToString());
+  if (ref == args.flags.end() || col == args.flags.end()) {
+    // A bare --data dir starts an empty index to be filled over the wire —
+    // how a fresh shard server in a coordinator deployment comes up.
+    if (!mopts.data_dir.empty()) {
+      SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                              index::MutableFuzzyIndex::Create(mopts));
+      std::fprintf(stderr, "created empty index in %s\n",
+                   mopts.data_dir.c_str());
+      return index;
+    }
+    return Status::Invalid(
+        "either --data, --snapshot, or --reference/--col is required");
   }
+  SSJOIN_ASSIGN_OR_RETURN(auto records,
+                          ReadReferenceRecords(ref->second, col->second));
   Timer t;
   SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
                           index::MutableFuzzyIndex::Create(mopts));
@@ -398,6 +759,259 @@ Result<std::unique_ptr<index::MutableFuzzyIndex>> BuildOrLoadIndex(
   std::fprintf(stderr, "built index over %zu reference strings in %.1f ms\n",
                records.size(), t.ElapsedMillis());
   return index;
+}
+
+/// Binds the unix socket and serves connections until an op (or signal)
+/// stops the server. Backend-agnostic: HandleLine routes per state's mode.
+Result<int> ServeLoop(const std::string& socket_path, ServerState* state) {
+  state->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (state->listen_fd < 0) return Status::IOError("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());
+  if (::bind(state->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(state->listen_fd);
+    return Status::IOError("cannot bind '" + socket_path + "'");
+  }
+  if (::listen(state->listen_fd, 64) != 0) {
+    ::close(state->listen_fd);
+    return Status::IOError("listen() failed");
+  }
+  std::printf("listening on %s\n", socket_path.c_str());
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    int fd = ::accept(state->listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (state->stop.load() || errno != EINTR) break;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->conn_mu);
+      state->conn_fds.insert(fd);
+    }
+    connections.emplace_back(ServeConnection, fd, state);
+  }
+  ::close(state->listen_fd);
+  // Nudge lingering connections so their threads observe EOF and exit.
+  {
+    std::lock_guard<std::mutex> lock(state->conn_mu);
+    for (int fd : state->conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connections) t.join();
+  ::unlink(socket_path.c_str());
+  state->stop.store(true);
+  return 0;
+}
+
+/// Follower-side Fetcher speaking the leader's repl_fetch op: header line
+/// with the byte count, then the raw body. One fresh connection per file.
+class WireFetcher : public shard::Fetcher {
+ public:
+  explicit WireFetcher(std::string leader_socket)
+      : leader_socket_(std::move(leader_socket)) {}
+
+  Result<std::string> Fetch(const std::string& name) override {
+    SSJOIN_ASSIGN_OR_RETURN(shard::WireClient client,
+                            shard::WireClient::Connect(leader_socket_));
+    std::string line = "{\"op\": \"repl_fetch\", \"name\": \"" +
+                       serve::JsonEscape(name) + "\"}";
+    SSJOIN_ASSIGN_OR_RETURN(
+        std::string header, client.Call(line, std::chrono::milliseconds(30000)));
+    SSJOIN_ASSIGN_OR_RETURN(JsonObj obj, serve::ParseJsonObject(header));
+    auto ok = obj.find("ok");
+    if (ok == obj.end() || ok->second.type != serve::JsonScalar::Type::kBool) {
+      return Status::IOError("repl_fetch header lacks 'ok'");
+    }
+    if (!ok->second.boolean) {
+      auto code = obj.find("code");
+      auto msg = obj.find("error");
+      std::string message =
+          msg != obj.end() && msg->second.type == serve::JsonScalar::Type::kString
+              ? msg->second.str
+              : "repl_fetch failed";
+      if (code != obj.end() && code->second.str == "Key error") {
+        return Status::KeyError(message);
+      }
+      return Status::IOError(message);
+    }
+    auto len = obj.find("len");
+    if (len == obj.end() || len->second.type != serve::JsonScalar::Type::kNumber ||
+        len->second.num < 0) {
+      return Status::IOError("repl_fetch header lacks 'len'");
+    }
+    return client.ReadRaw(static_cast<size_t>(len->second.num),
+                          std::chrono::milliseconds(60000));
+  }
+
+ private:
+  std::string leader_socket_;
+};
+
+Result<int> RunCoordinator(const Args& args, const std::string& socket_path,
+                           const std::string& shard_list, size_t default_k) {
+  shard::CoordinatorOptions copts;
+  copts.shard_sockets = SplitAndDropEmpty(shard_list, ",");
+  SSJOIN_ASSIGN_OR_RETURN(size_t hedge_ms, SizeFlag(args, "hedge-ms", 0));
+  SSJOIN_ASSIGN_OR_RETURN(size_t straggler_ms, SizeFlag(args, "straggler-ms", 0));
+  SSJOIN_ASSIGN_OR_RETURN(size_t admin_ms,
+                          SizeFlag(args, "admin-timeout-ms", 30000));
+  copts.hedge_delay = std::chrono::milliseconds(hedge_ms);
+  copts.straggler_threshold = std::chrono::milliseconds(straggler_ms);
+  copts.admin_timeout = std::chrono::milliseconds(admin_ms);
+  copts.allow_degraded = args.flags.count("no-degraded") == 0;
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<shard::Coordinator> coordinator,
+                          shard::Coordinator::Create(copts));
+  std::fprintf(stderr, "coordinating %u shard servers\n",
+               coordinator->num_shards());
+  ServerState state;
+  state.coordinator = coordinator.get();
+  state.default_k = default_k;
+  return ServeLoop(socket_path, &state);
+}
+
+Result<int> RunFollower(const Args& args, const std::string& socket_path,
+                        const std::string& leader_socket, size_t default_k,
+                        const serve::LookupServiceOptions& options) {
+  auto data = args.flags.find("data");
+  if (data == args.flags.end()) {
+    return Status::Invalid("--follow requires --data DIR");
+  }
+  const std::string& dir = data->second;
+  SSJOIN_ASSIGN_OR_RETURN(size_t interval_ms,
+                          SizeFlag(args, "sync-interval-ms", 500));
+
+  WireFetcher fetcher(leader_socket);
+  // First sync before serving. An unreachable leader is tolerated only when
+  // a previously replicated manifest exists — stale reads beat no reads.
+  Result<shard::SyncResult> first = shard::SyncFromLeader(fetcher, dir);
+  if (!first.ok() &&
+      !std::filesystem::exists(dir + "/" + index::kManifestFileName)) {
+    return first.status();
+  }
+
+  index::MutableIndexOptions mopts;
+  mopts.data_dir = dir;
+  auto open_service = [&]() -> Result<std::shared_ptr<serve::LookupService>> {
+    SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                            index::MutableFuzzyIndex::Open(mopts));
+    SSJOIN_ASSIGN_OR_RETURN(
+        std::unique_ptr<serve::LookupService> svc,
+        serve::LookupService::Create(std::move(index), options));
+    return std::shared_ptr<serve::LookupService>(std::move(svc));
+  };
+  SSJOIN_ASSIGN_OR_RETURN(std::shared_ptr<serve::LookupService> service,
+                          open_service());
+  std::fprintf(stderr, "following %s at epoch %llu\n", leader_socket.c_str(),
+               static_cast<unsigned long long>(service->epoch()));
+
+  ServerState state;
+  state.service = std::move(service);
+  state.read_only = true;
+  state.data_dir = dir;  // chained followers may repl_fetch from us
+  state.default_k = default_k;
+
+  std::mutex sync_mu;
+  auto sync_once = [&]() -> Result<std::pair<bool, uint64_t>> {
+    std::lock_guard<std::mutex> lock(sync_mu);
+    SSJOIN_ASSIGN_OR_RETURN(shard::SyncResult sr,
+                            shard::SyncFromLeader(fetcher, dir));
+    if (!sr.updated) return std::make_pair(false, state.Service()->epoch());
+    SSJOIN_ASSIGN_OR_RETURN(std::shared_ptr<serve::LookupService> fresh,
+                            open_service());
+    uint64_t epoch = fresh->epoch();
+    {
+      std::lock_guard<std::mutex> swap_lock(state.service_mu);
+      state.service = std::move(fresh);
+    }
+    return std::make_pair(true, epoch);
+  };
+  state.sync_now = sync_once;
+
+  std::thread syncer([&] {
+    while (!state.stop.load()) {
+      for (size_t waited = 0; waited < interval_ms && !state.stop.load();
+           waited += 50) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (state.stop.load()) break;
+      Result<std::pair<bool, uint64_t>> r = sync_once();
+      if (!r.ok()) {
+        std::fprintf(stderr, "sync: %s\n", r.status().ToString().c_str());
+      }
+    }
+  });
+  Result<int> rc = ServeLoop(socket_path, &state);
+  state.stop.store(true);
+  syncer.join();
+  std::shared_ptr<serve::LookupService> final_service = state.Service();
+  final_service->Shutdown();
+  std::fprintf(stderr, "final stats: %s\n",
+               final_service->Stats().ToJson().c_str());
+  return rc;
+}
+
+Result<int> RunSharded(const Args& args, const std::string& socket_path,
+                       size_t num_shards, size_t default_k,
+                       const serve::LookupServiceOptions& options) {
+  if (args.flags.count("snapshot") > 0) {
+    return Status::Invalid("--shards does not support --snapshot; use "
+                           "--reference/--col or a sharded --data dir");
+  }
+  shard::ShardedIndexOptions sopts;
+  sopts.num_shards = static_cast<uint32_t>(num_shards);
+  sopts.service = options;
+  if (auto it = args.flags.find("data"); it != args.flags.end()) {
+    sopts.data_dir = it->second;
+  }
+  SSJOIN_ASSIGN_OR_RETURN(sopts.seal_threshold,
+                          SizeFlag(args, "seal-threshold", 256));
+  SSJOIN_ASSIGN_OR_RETURN(sopts.max_generations,
+                          SizeFlag(args, "max-generations", 4));
+  SSJOIN_ASSIGN_OR_RETURN(sopts.match.alpha, DoubleFlag(args, "alpha", 0.5));
+  if (args.flags.count("qgrams") > 0) {
+    sopts.match.word_tokens = false;
+    SSJOIN_ASSIGN_OR_RETURN(sopts.match.q, SizeFlag(args, "qgrams", 3));
+  }
+  SSJOIN_ASSIGN_OR_RETURN(size_t hedge_ms, SizeFlag(args, "hedge-ms", 0));
+  SSJOIN_ASSIGN_OR_RETURN(size_t straggler_ms, SizeFlag(args, "straggler-ms", 0));
+  sopts.hedge_delay = std::chrono::milliseconds(hedge_ms);
+  sopts.straggler_threshold = std::chrono::milliseconds(straggler_ms);
+
+  std::unique_ptr<shard::ShardedLookupIndex> sharded;
+  if (!sopts.data_dir.empty() &&
+      std::filesystem::exists(sopts.data_dir + "/SHARDS")) {
+    Timer t;
+    SSJOIN_ASSIGN_OR_RETURN(sharded, shard::ShardedLookupIndex::Open(sopts));
+    std::fprintf(stderr, "opened %u-shard data dir %s in %.1f ms\n",
+                 sharded->num_shards(), sopts.data_dir.c_str(),
+                 t.ElapsedMillis());
+  } else {
+    SSJOIN_ASSIGN_OR_RETURN(sharded, shard::ShardedLookupIndex::Create(sopts));
+    auto ref = args.flags.find("reference");
+    auto col = args.flags.find("col");
+    if (ref != args.flags.end() && col != args.flags.end()) {
+      Timer t;
+      SSJOIN_ASSIGN_OR_RETURN(
+          auto records, ReadReferenceRecords(ref->second, col->second));
+      SSJOIN_RETURN_NOT_OK(sharded->BulkLoad(records));
+      SSJOIN_RETURN_NOT_OK(sharded->Seal());
+      std::fprintf(stderr,
+                   "built %u-shard index over %zu reference strings in %.1f ms\n",
+                   sharded->num_shards(), records.size(), t.ElapsedMillis());
+    }
+  }
+
+  ServerState state;
+  state.sharded = sharded.get();
+  state.default_k = default_k;
+  Result<int> rc = ServeLoop(socket_path, &state);
+  std::fprintf(stderr, "final stats: %s\n",
+               sharded->Stats().ToJson().c_str());
+  return rc;
 }
 
 Result<int> RunServer(const Args& args) {
@@ -409,6 +1023,11 @@ Result<int> RunServer(const Args& args) {
   if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return Status::Invalid("socket path too long");
   }
+  SSJOIN_ASSIGN_OR_RETURN(size_t default_k, SizeFlag(args, "k-default", 3));
+
+  if (auto it = args.flags.find("coordinator"); it != args.flags.end()) {
+    return RunCoordinator(args, socket_path, it->second, default_k);
+  }
 
   // Validate every numeric flag before the (possibly slow) index build, so
   // a typo'd flag fails in milliseconds instead of after a CSV load.
@@ -417,8 +1036,17 @@ Result<int> RunServer(const Args& args) {
   SSJOIN_ASSIGN_OR_RETURN(options.max_queue, SizeFlag(args, "max-queue", 1024));
   SSJOIN_ASSIGN_OR_RETURN(options.max_batch, SizeFlag(args, "max-batch", 64));
   SSJOIN_ASSIGN_OR_RETURN(options.cache_capacity, SizeFlag(args, "cache", 4096));
-  SSJOIN_ASSIGN_OR_RETURN(options.cache_shards, SizeFlag(args, "shards", 8));
-  SSJOIN_ASSIGN_OR_RETURN(size_t default_k, SizeFlag(args, "k-default", 3));
+  SSJOIN_ASSIGN_OR_RETURN(options.cache_shards,
+                          SizeFlag(args, "cache-shards", 8));
+
+  if (auto it = args.flags.find("follow"); it != args.flags.end()) {
+    return RunFollower(args, socket_path, it->second, default_k, options);
+  }
+
+  SSJOIN_ASSIGN_OR_RETURN(size_t num_shards, SizeFlag(args, "shards", 1));
+  if (num_shards > 1) {
+    return RunSharded(args, socket_path, num_shards, default_k, options);
+  }
 
   SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
                           BuildOrLoadIndex(args));
@@ -427,50 +1055,17 @@ Result<int> RunServer(const Args& args) {
                           serve::LookupService::Create(std::move(index), options));
 
   ServerState state;
-  state.service = service.get();
+  state.service = std::shared_ptr<serve::LookupService>(std::move(service));
   state.default_k = default_k;
-
-  state.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (state.listen_fd < 0) return Status::IOError("socket() failed");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(socket_path.c_str());
-  if (::bind(state.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(state.listen_fd);
-    return Status::IOError("cannot bind '" + socket_path + "'");
+  if (auto it = args.flags.find("data"); it != args.flags.end()) {
+    state.data_dir = it->second;  // serve repl_fetch (replication leader role)
   }
-  if (::listen(state.listen_fd, 64) != 0) {
-    ::close(state.listen_fd);
-    return Status::IOError("listen() failed");
-  }
-  std::printf("listening on %s\n", socket_path.c_str());
-  std::fflush(stdout);
-
-  std::vector<std::thread> connections;
-  for (;;) {
-    int fd = ::accept(state.listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (state.stop.load() || errno != EINTR) break;
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(state.conn_mu);
-      state.conn_fds.insert(fd);
-    }
-    connections.emplace_back(ServeConnection, fd, &state);
-  }
-  ::close(state.listen_fd);
-  // Nudge lingering connections so their threads observe EOF and exit.
-  {
-    std::lock_guard<std::mutex> lock(state.conn_mu);
-    for (int fd : state.conn_fds) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (std::thread& t : connections) t.join();
-  ::unlink(socket_path.c_str());
-  service->Shutdown();
-  std::fprintf(stderr, "final stats: %s\n", service->Stats().ToJson().c_str());
-  return 0;
+  Result<int> rc = ServeLoop(socket_path, &state);
+  std::shared_ptr<serve::LookupService> final_service = state.Service();
+  final_service->Shutdown();
+  std::fprintf(stderr, "final stats: %s\n",
+               final_service->Stats().ToJson().c_str());
+  return rc;
 }
 
 }  // namespace
