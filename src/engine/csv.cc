@@ -1,6 +1,8 @@
 #include "engine/csv.h"
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -78,8 +80,44 @@ Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view content,
   return records;
 }
 
+namespace {
+
+/// Strict number shape, same grammar as the serve wire parser:
+/// -?int frac? exp? with int = 0 | [1-9][0-9]*. strtoll/strtod alone skip
+/// leading whitespace and take "+1", "01" and hex floats — so a zip-code
+/// column like "01234" would silently infer as int64 and lose its leading
+/// zero on round-trip, and "1e999" would infer as an infinite float64.
+bool HasStrictNumberShape(const std::string& s, bool allow_real) {
+  size_t i = 0;
+  auto digit = [&] {
+    return i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]));
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (!digit()) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (digit()) ++i;
+  }
+  if (!allow_real) return i == s.size();
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (!digit()) return false;
+    while (digit()) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (!digit()) return false;
+    while (digit()) ++i;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
 bool ParsesAsInt64(const std::string& s, int64_t* value) {
-  if (s.empty()) return false;
+  if (!HasStrictNumberShape(s, /*allow_real=*/false)) return false;
   errno = 0;
   char* end = nullptr;
   long long v = std::strtoll(s.c_str(), &end, 10);
@@ -89,11 +127,11 @@ bool ParsesAsInt64(const std::string& s, int64_t* value) {
 }
 
 bool ParsesAsFloat64(const std::string& s, double* value) {
-  if (s.empty()) return false;
+  if (!HasStrictNumberShape(s, /*allow_real=*/true)) return false;
   errno = 0;
   char* end = nullptr;
   double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
   *value = v;
   return true;
 }

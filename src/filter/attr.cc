@@ -1,0 +1,120 @@
+#include "filter/attr.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ssjoin::filter {
+
+namespace {
+
+constexpr size_t kMaxAttrNameBytes = 256;
+
+Status CheckBytes(std::string_view s, const char* what) {
+  for (unsigned char c : s) {
+    if (c < 0x20 || c == 0x7f) {
+      return Status::Invalid(StringPrintf(
+          "%s contains a raw control byte 0x%02x; control bytes are "
+          "rejected at upsert time (they would not survive the NDJSON "
+          "dump path)",
+          what, c));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string AttrValue::ToString() const {
+  return type == AttrType::kString ? str : std::to_string(i64);
+}
+
+Status ValidateAttrName(std::string_view name) {
+  if (name.empty()) return Status::Invalid("attribute name is empty");
+  if (name.size() > kMaxAttrNameBytes) {
+    return Status::Invalid(StringPrintf(
+        "attribute name is %zu bytes; the limit is %zu", name.size(),
+        kMaxAttrNameBytes));
+  }
+  if (name.front() == '!') {
+    return Status::Invalid(
+        "attribute name '" + std::string(name) +
+        "' starts with '!', which the filter syntax reserves for NOT-IN");
+  }
+  return CheckBytes(name, "attribute name");
+}
+
+Status ValidateAttrStringValue(std::string_view value) {
+  return CheckBytes(value, "attribute value");
+}
+
+Status ValidateAttrValue(const AttrValue& value) {
+  if (value.type == AttrType::kString) {
+    return ValidateAttrStringValue(value.str);
+  }
+  return Status::OK();
+}
+
+Status AttrSet::Set(std::string name, AttrValue value) {
+  SSJOIN_RETURN_NOT_OK(ValidateAttrName(name));
+  SSJOIN_RETURN_NOT_OK(ValidateAttrValue(value));
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) {
+    it->second = std::move(value);
+  } else {
+    entries_.insert(it, {std::move(name), std::move(value)});
+  }
+  return Status::OK();
+}
+
+const AttrValue* AttrSet::Find(std::string_view name) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, std::string_view n) { return e.first < n; });
+  if (it != entries_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+void AttrSet::EncodeTo(common::PayloadWriter* w) const {
+  w->U64(entries_.size());
+  for (const auto& [name, value] : entries_) {
+    w->Str(name);
+    w->U8(static_cast<uint8_t>(value.type));
+    if (value.type == AttrType::kString) {
+      w->Str(value.str);
+    } else {
+      w->U64(static_cast<uint64_t>(value.i64));
+    }
+  }
+}
+
+Status AttrSet::DecodeFrom(common::PayloadReader* r, AttrSet* out) {
+  *out = AttrSet();
+  uint64_t count = 0;
+  SSJOIN_RETURN_NOT_OK(r->U64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    SSJOIN_RETURN_NOT_OK(r->Str(&name));
+    uint8_t type = 0;
+    SSJOIN_RETURN_NOT_OK(r->U8(&type));
+    AttrValue value;
+    if (type == static_cast<uint8_t>(AttrType::kString)) {
+      value.type = AttrType::kString;
+      SSJOIN_RETURN_NOT_OK(r->Str(&value.str));
+    } else if (type == static_cast<uint8_t>(AttrType::kInt64)) {
+      value.type = AttrType::kInt64;
+      uint64_t bits = 0;
+      SSJOIN_RETURN_NOT_OK(r->U64(&bits));
+      value.i64 = static_cast<int64_t>(bits);
+    } else {
+      return Status::Invalid(
+          StringPrintf("attribute payload: unknown value type %u", type));
+    }
+    SSJOIN_RETURN_NOT_OK(out->Set(std::move(name), std::move(value)));
+  }
+  return Status::OK();
+}
+
+}  // namespace ssjoin::filter

@@ -76,20 +76,31 @@ Result<std::string> UnescapeString(const std::string& line) {
 
 }  // namespace
 
-double Reproducer::GetDouble(const std::string& key, double fallback) const {
+Result<double> Reproducer::GetDouble(const std::string& key, double fallback) const {
   auto it = params.find(key);
   if (it == params.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  Result<double> v = ParseDouble(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("reproducer param '" + key +
+                           "': " + v.status().message());
+  }
+  return *v;
 }
 
-uint64_t Reproducer::GetUint(const std::string& key, uint64_t fallback) const {
+Result<uint64_t> Reproducer::GetUint(const std::string& key, uint64_t fallback) const {
   auto it = params.find(key);
   if (it == params.end()) return fallback;
-  return std::strtoull(it->second.c_str(), nullptr, 10);
+  Result<uint64_t> v = ParseUint64(it->second);
+  if (!v.ok()) {
+    return Status::Invalid("reproducer param '" + key +
+                           "': " + v.status().message());
+  }
+  return *v;
 }
 
-bool Reproducer::GetBool(const std::string& key, bool fallback) const {
-  return GetUint(key, fallback ? 1 : 0) != 0;
+Result<bool> Reproducer::GetBool(const std::string& key, bool fallback) const {
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t v, GetUint(key, fallback ? 1 : 0));
+  return v != 0;
 }
 
 void Reproducer::Set(const std::string& key, double value) {
@@ -138,7 +149,9 @@ Result<Reproducer> ParseReproducer(const std::string& text) {
       return Status::Invalid("reproducer: expected '" + std::string(tag) +
                              " <count>' line, got: " + line);
     }
-    size_t count = std::strtoull(line.c_str() + expect.size(), nullptr, 10);
+    uint64_t count = 0;
+    SSJOIN_ASSIGN_OR_RETURN(count,
+                            ParseUint64(line.substr(expect.size())));
     for (size_t i = 0; i < count; ++i) {
       if (!std::getline(in, line)) {
         return Status::Invalid("reproducer: truncated string list");

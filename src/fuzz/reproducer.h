@@ -25,10 +25,16 @@ struct Reproducer {
   std::vector<std::string> s;
 
   /// \name Typed parameter accessors (returning `fallback` when absent).
+  ///
+  /// A present-but-malformed value is an error naming the offending key,
+  /// never a silent fallback: reproducers are hand-edited during triage, and
+  /// a typo'd alpha replaying as 0.0 would "verify" a different case than
+  /// the one on disk. Values parse with the strict common/string_util
+  /// grammar (no sign/whitespace slack, no trailing junk, finite only).
   /// @{
-  double GetDouble(const std::string& key, double fallback) const;
-  uint64_t GetUint(const std::string& key, uint64_t fallback) const;
-  bool GetBool(const std::string& key, bool fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<uint64_t> GetUint(const std::string& key, uint64_t fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
   /// @}
 
   void Set(const std::string& key, double value);

@@ -22,6 +22,8 @@
 #include "fuzz/oracles.h"
 #include "fuzz/shrink.h"
 #include "fuzz/workload.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 #include "index/mutable_index.h"
 #include "shard/sharded_index.h"
 #include "kernels/kernels.h"
@@ -136,12 +138,14 @@ std::unique_ptr<text::Tokenizer> MakeTokenizer(bool word_tokens, size_t q) {
   return std::make_unique<text::QGramTokenizer>(q);
 }
 
-simjoin::JoinExecution MakeExecution(const Reproducer& rp) {
+Result<simjoin::JoinExecution> MakeExecution(const Reproducer& rp) {
   simjoin::JoinExecution exec;
-  exec.algorithm = kAllAlgorithms[rp.GetUint("algorithm", 4) %
-                                  std::size(kAllAlgorithms)];
-  exec.exec.num_threads = rp.GetUint("threads", 1);
-  exec.exec.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2048));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t algorithm, rp.GetUint("algorithm", 4));
+  exec.algorithm = kAllAlgorithms[algorithm % std::size(kAllAlgorithms)];
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t threads, rp.GetUint("threads", 1));
+  exec.exec.num_threads = threads;
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t morsel, rp.GetUint("morsel", 2048));
+  exec.exec.morsel_size = std::max<uint64_t>(1, morsel);
   return exec;
 }
 
@@ -153,16 +157,21 @@ size_t EditSimBudget(double alpha, size_t len_r, size_t len_s) {
 }
 
 /// Shared predicate construction for the SSJoin-shaped scenarios.
-core::OverlapPredicate MakePredicate(const Reproducer& rp) {
-  switch (rp.GetUint("pred_kind", 2) % 3) {
-    case 0:
-      return core::OverlapPredicate::Absolute(rp.GetDouble("threshold", 1.0));
-    case 1:
-      return core::OverlapPredicate::OneSidedNormalized(
-          rp.GetDouble("alpha", 0.5));
-    default:
-      return core::OverlapPredicate::TwoSidedNormalized(
-          rp.GetDouble("alpha", 0.5));
+Result<core::OverlapPredicate> MakePredicate(const Reproducer& rp) {
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t pred_kind, rp.GetUint("pred_kind", 2));
+  switch (pred_kind % 3) {
+    case 0: {
+      SSJOIN_ASSIGN_OR_RETURN(double threshold, rp.GetDouble("threshold", 1.0));
+      return core::OverlapPredicate::Absolute(threshold);
+    }
+    case 1: {
+      SSJOIN_ASSIGN_OR_RETURN(double alpha, rp.GetDouble("alpha", 0.5));
+      return core::OverlapPredicate::OneSidedNormalized(alpha);
+    }
+    default: {
+      SSJOIN_ASSIGN_OR_RETURN(double alpha, rp.GetDouble("alpha", 0.5));
+      return core::OverlapPredicate::TwoSidedNormalized(alpha);
+    }
   }
 }
 
@@ -171,14 +180,16 @@ core::OverlapPredicate MakePredicate(const Reproducer& rp) {
 // ---------------------------------------------------------------------------
 
 Result<CheckResult> CheckSSJoinExecutors(const Reproducer& rp) {
-  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  auto mode = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
-  std::unique_ptr<text::Tokenizer> tok =
-      MakeTokenizer(rp.GetBool("word_tokens", true), q);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  size_t q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t weight_mode, rp.GetUint("weight_mode", 1));
+  auto mode = static_cast<WeightMode>(weight_mode % 3);
+  SSJOIN_ASSIGN_OR_RETURN(bool word_tokens, rp.GetBool("word_tokens", true));
+  std::unique_ptr<text::Tokenizer> tok = MakeTokenizer(word_tokens, q);
   SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
                           PrepareStrings(rp.r, rp.s, *tok, mode));
 
-  core::OverlapPredicate pred = MakePredicate(rp);
+  SSJOIN_ASSIGN_OR_RETURN(core::OverlapPredicate pred, MakePredicate(rp));
 
   std::vector<core::SSJoinPair> oracle =
       SSJoinOracle(prep.r, prep.s, prep.weights, pred);
@@ -186,8 +197,10 @@ Result<CheckResult> CheckSSJoinExecutors(const Reproducer& rp) {
   std::vector<MatchPair> oracle_matches = ToMatches(oracle);
 
   exec::ExecContext parallel_ctx;
-  parallel_ctx.num_threads = std::max<uint64_t>(2, rp.GetUint("threads", 2));
-  parallel_ctx.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t threads, rp.GetUint("threads", 2));
+  parallel_ctx.num_threads = std::max<uint64_t>(2, threads);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t morsel, rp.GetUint("morsel", 2));
+  parallel_ctx.morsel_size = std::max<uint64_t>(1, morsel);
 
   CheckResult result;
   for (core::SSJoinAlgorithm algorithm : kAllAlgorithms) {
@@ -215,8 +228,10 @@ Result<CheckResult> CheckSSJoinExecutors(const Reproducer& rp) {
 }
 
 Result<CheckResult> CheckEditDistanceJoins(const Reproducer& rp) {
-  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  size_t d = rp.GetUint("max_distance", 1);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  size_t q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t d_raw, rp.GetUint("max_distance", 1));
+  size_t d = d_raw;
 
   std::vector<MatchPair> oracle;
   for (uint32_t i = 0; i < rp.r.size(); ++i) {
@@ -239,8 +254,9 @@ Result<CheckResult> CheckEditDistanceJoins(const Reproducer& rp) {
     return result;
   }
 
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec, MakeExecution(rp));
   Result<std::vector<MatchPair>> ssjoin =
-      simjoin::EditDistanceJoin(rp.r, rp.s, d, q, MakeExecution(rp));
+      simjoin::EditDistanceJoin(rp.r, rp.s, d, q, exec);
   if (!ssjoin.ok()) {
     return CheckResult{false,
                        "EditDistanceJoin failed: " + ssjoin.status().ToString()};
@@ -261,8 +277,9 @@ Result<CheckResult> CheckEditDistanceJoins(const Reproducer& rp) {
 }
 
 Result<CheckResult> CheckEditSimilarityJoins(const Reproducer& rp) {
-  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  double alpha = rp.GetDouble("alpha", 0.8);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  size_t q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(double alpha, rp.GetDouble("alpha", 0.8));
 
   Result<std::vector<MatchPair>> oracle =
       simjoin::CrossProductEditSimilarityJoin(rp.r, rp.s, alpha);
@@ -281,8 +298,9 @@ Result<CheckResult> CheckEditSimilarityJoins(const Reproducer& rp) {
     return result;
   }
 
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec, MakeExecution(rp));
   Result<std::vector<MatchPair>> ssjoin =
-      simjoin::EditSimilarityJoin(rp.r, rp.s, alpha, q, MakeExecution(rp));
+      simjoin::EditSimilarityJoin(rp.r, rp.s, alpha, q, exec);
   if (!ssjoin.ok()) {
     return CheckResult{
         false, "EditSimilarityJoin failed: " + ssjoin.status().ToString()};
@@ -306,11 +324,13 @@ Result<CheckResult> CheckEditSimilarityJoins(const Reproducer& rp) {
 
 Result<CheckResult> CheckJaccardJoins(const Reproducer& rp) {
   simjoin::SetJoinOptions opts;
-  opts.word_tokens = rp.GetBool("word_tokens", true);
-  opts.q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  opts.weights = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
-  double alpha = rp.GetDouble("alpha", 0.5);
-  simjoin::JoinExecution exec = MakeExecution(rp);
+  SSJOIN_ASSIGN_OR_RETURN(opts.word_tokens, rp.GetBool("word_tokens", true));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  opts.q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t weight_mode, rp.GetUint("weight_mode", 1));
+  opts.weights = static_cast<WeightMode>(weight_mode % 3);
+  SSJOIN_ASSIGN_OR_RETURN(double alpha, rp.GetDouble("alpha", 0.5));
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::JoinExecution exec, MakeExecution(rp));
 
   std::unique_ptr<text::Tokenizer> tok = MakeTokenizer(opts.word_tokens, opts.q);
   SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
@@ -349,7 +369,7 @@ Result<CheckResult> CheckJaccardJoins(const Reproducer& rp) {
 }
 
 Result<CheckResult> CheckGESJoin(const Reproducer& rp) {
-  double alpha = rp.GetDouble("alpha", 0.7);
+  SSJOIN_ASSIGN_OR_RETURN(double alpha, rp.GetDouble("alpha", 0.7));
   Result<std::vector<MatchPair>> ges = simjoin::GESJoin(rp.r, rp.s, alpha);
   if (!ges.ok()) {
     return CheckResult{false, "GESJoin failed: " + ges.status().ToString()};
@@ -390,18 +410,22 @@ bool SameLookups(const std::string& name,
   return true;
 }
 
-simjoin::FuzzyMatchIndex::Options IndexOptions(const Reproducer& rp) {
+Result<simjoin::FuzzyMatchIndex::Options> IndexOptions(const Reproducer& rp) {
   simjoin::FuzzyMatchIndex::Options options;
-  options.word_tokens = rp.GetBool("word_tokens", true);
-  options.q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  options.alpha = rp.GetDouble("alpha", 0.5);
+  SSJOIN_ASSIGN_OR_RETURN(options.word_tokens, rp.GetBool("word_tokens", true));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  options.q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(options.alpha, rp.GetDouble("alpha", 0.5));
   return options;
 }
 
 Result<CheckResult> CheckSnapshotRoundtrip(const Reproducer& rp) {
-  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  size_t k = std::max<uint64_t>(1, k_raw);
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex::Options iopts,
+                          IndexOptions(rp));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index,
-                          simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+                          simjoin::FuzzyMatchIndex::Build(rp.r, iopts));
 
   std::vector<std::vector<simjoin::FuzzyMatchIndex::Match>> direct;
   direct.reserve(rp.s.size());
@@ -469,13 +493,16 @@ bool SameServedLookups(const std::string& name,
 }
 
 Result<CheckResult> CheckLookupService(const Reproducer& rp) {
-  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  size_t k = std::max<uint64_t>(1, k_raw);
+  SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex::Options iopts,
+                          IndexOptions(rp));
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index,
-                          simjoin::FuzzyMatchIndex::Build(rp.r, IndexOptions(rp)));
+                          simjoin::FuzzyMatchIndex::Build(rp.r, iopts));
   // The service owns a mutable index over the same rows (doc_id = row
   // index); its lookups must agree with the immutable build bit for bit.
   index::MutableIndexOptions mopts;
-  mopts.match = IndexOptions(rp);
+  mopts.match = iopts;
   SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> service_index,
                           index::MutableFuzzyIndex::Create(mopts));
   std::vector<std::pair<uint64_t, std::string>> records;
@@ -484,9 +511,12 @@ Result<CheckResult> CheckLookupService(const Reproducer& rp) {
   SSJOIN_RETURN_NOT_OK(service_index->BulkLoad(records));
 
   serve::LookupServiceOptions options;
-  options.cache_capacity = rp.GetBool("cache_on", true) ? 256 : 0;
-  options.exec.num_threads = std::max<uint64_t>(1, rp.GetUint("threads", 1));
-  options.max_batch = std::max<uint64_t>(1, rp.GetUint("max_batch", 4));
+  SSJOIN_ASSIGN_OR_RETURN(bool cache_on, rp.GetBool("cache_on", true));
+  options.cache_capacity = cache_on ? 256 : 0;
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t threads, rp.GetUint("threads", 1));
+  options.exec.num_threads = std::max<uint64_t>(1, threads);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t max_batch, rp.GetUint("max_batch", 4));
+  options.max_batch = std::max<uint64_t>(1, max_batch);
   SSJOIN_ASSIGN_OR_RETURN(
       std::unique_ptr<serve::LookupService> service,
       serve::LookupService::Create(std::move(service_index), options));
@@ -523,18 +553,22 @@ Result<CheckResult> CheckLookupService(const Reproducer& rp) {
 /// 1.0 by construction; with it off, the LSH path is forced whenever the
 /// band tuner finds an in-budget plan.
 Result<CheckResult> CheckRecall(const Reproducer& rp) {
-  size_t q = std::max<uint64_t>(1, rp.GetUint("q", 3));
-  auto mode = static_cast<WeightMode>(rp.GetUint("weight_mode", 1) % 3);
-  std::unique_ptr<text::Tokenizer> tok =
-      MakeTokenizer(rp.GetBool("word_tokens", true), q);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t q_raw, rp.GetUint("q", 3));
+  size_t q = std::max<uint64_t>(1, q_raw);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t weight_mode, rp.GetUint("weight_mode", 1));
+  auto mode = static_cast<WeightMode>(weight_mode % 3);
+  SSJOIN_ASSIGN_OR_RETURN(bool word_tokens, rp.GetBool("word_tokens", true));
+  std::unique_ptr<text::Tokenizer> tok = MakeTokenizer(word_tokens, q);
   SSJOIN_ASSIGN_OR_RETURN(Prepared prep,
                           PrepareStrings(rp.r, rp.s, *tok, mode));
-  core::OverlapPredicate pred = MakePredicate(rp);
+  SSJOIN_ASSIGN_OR_RETURN(core::OverlapPredicate pred, MakePredicate(rp));
 
   approx::ApproxParams params;
-  params.target_recall = rp.GetDouble("target_recall", 0.9);
-  params.seed = rp.GetUint("minhash_seed", 1);
-  if (!rp.GetBool("exact_floor", true)) params.exact_floor_pairs = 0;
+  SSJOIN_ASSIGN_OR_RETURN(params.target_recall,
+                          rp.GetDouble("target_recall", 0.9));
+  SSJOIN_ASSIGN_OR_RETURN(params.seed, rp.GetUint("minhash_seed", 1));
+  SSJOIN_ASSIGN_OR_RETURN(bool exact_floor, rp.GetBool("exact_floor", true));
+  if (!exact_floor) params.exact_floor_pairs = 0;
   params.recall_sample = 16;
 
   std::vector<core::SSJoinPair> oracle =
@@ -542,8 +576,10 @@ Result<CheckResult> CheckRecall(const Reproducer& rp) {
   std::vector<MatchPair> oracle_matches = ToMatches(oracle);
 
   exec::ExecContext parallel_ctx;
-  parallel_ctx.num_threads = std::max<uint64_t>(2, rp.GetUint("threads", 2));
-  parallel_ctx.morsel_size = std::max<uint64_t>(1, rp.GetUint("morsel", 2));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t threads, rp.GetUint("threads", 2));
+  parallel_ctx.num_threads = std::max<uint64_t>(2, threads);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t morsel, rp.GetUint("morsel", 2));
+  parallel_ctx.morsel_size = std::max<uint64_t>(1, morsel);
 
   CheckResult result;
   std::vector<MatchPair> serial_matches;
@@ -612,12 +648,15 @@ struct ScratchDirGuard {
 /// live records sorted by ascending doc_id — the equivalence contract under
 /// arbitrary interleavings, epoch by epoch.
 Result<CheckResult> CheckMutableIndex(const Reproducer& rp) {
-  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  size_t k = std::max<uint64_t>(1, k_raw);
   index::MutableIndexOptions mopts;
-  mopts.match = IndexOptions(rp);
-  mopts.seal_threshold = rp.GetUint("seal_threshold", 0);
-  mopts.max_generations = rp.GetUint("max_generations", 0);
-  const bool durable = rp.GetBool("durable", false);
+  SSJOIN_ASSIGN_OR_RETURN(mopts.match, IndexOptions(rp));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.seal_threshold,
+                          rp.GetUint("seal_threshold", 0));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.max_generations,
+                          rp.GetUint("max_generations", 0));
+  SSJOIN_ASSIGN_OR_RETURN(const bool durable, rp.GetBool("durable", false));
 
   ScratchDirGuard guard;
   if (durable) {
@@ -714,6 +753,201 @@ Result<CheckResult> CheckMutableIndex(const Reproducer& rp) {
   return result;
 }
 
+/// Deterministic attributes for a churned (id, value) doc: drawn from the
+/// content hash so a shrunk op string still reproduces the same attributes.
+/// Roughly a fifth of docs carry no country and a third no tier, keeping the
+/// absent-attribute edge of the filter semantics in every workload.
+filter::AttrSet FuzzAttrsFor(uint64_t id, const std::string& value) {
+  static const char* const kCountries[] = {"DE", "FR", "US", "JP"};
+  filter::AttrSet attrs;
+  uint64_t h = HashCombine(HashString(value), id);
+  if (h % 5 != 4) {
+    (void)attrs.Set("country", filter::AttrValue::String(kCountries[h % 4]));
+  }
+  if ((h >> 8) % 3 != 2) {
+    (void)attrs.Set("tier", filter::AttrValue::Int64(
+                                static_cast<int64_t>((h >> 16) % 4)));
+  }
+  return attrs;
+}
+
+/// Builds the seed-drawn predicate of a `filtered_lookup` case from its
+/// `f_*` params. Selector values one past the drawn range intentionally
+/// produce zero-match conjuncts ("ZZ", tier 4); `f_ghost` adds a conjunct on
+/// an attribute no doc ever carries.
+Result<filter::FilterPredicate> FuzzPredicate(const Reproducer& rp) {
+  static const char* const kCountries[] = {"DE", "FR", "US", "JP", "ZZ"};
+  filter::FilterPredicate pred;
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t country_sel, rp.GetUint("f_country", 5));
+  if (country_sel < 5) {
+    filter::FilterConjunct c;
+    c.name = "country";
+    SSJOIN_ASSIGN_OR_RETURN(c.negated, rp.GetBool("f_country_neg", false));
+    c.values.push_back(filter::AttrValue::String(kCountries[country_sel]));
+    SSJOIN_ASSIGN_OR_RETURN(bool wide, rp.GetBool("f_country_wide", false));
+    if (wide) {
+      c.values.push_back(
+          filter::AttrValue::String(kCountries[(country_sel + 1) % 5]));
+    }
+    SSJOIN_RETURN_NOT_OK(pred.AddConjunct(std::move(c)));
+  }
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t tier_sel, rp.GetUint("f_tier", 5));
+  if (tier_sel < 5) {
+    filter::FilterConjunct c;
+    c.name = "tier";
+    SSJOIN_ASSIGN_OR_RETURN(c.negated, rp.GetBool("f_tier_neg", false));
+    c.values.push_back(
+        filter::AttrValue::Int64(static_cast<int64_t>(tier_sel)));
+    SSJOIN_RETURN_NOT_OK(pred.AddConjunct(std::move(c)));
+  }
+  SSJOIN_ASSIGN_OR_RETURN(bool ghost, rp.GetBool("f_ghost", false));
+  if (ghost) {
+    filter::FilterConjunct c;
+    c.name = "ghost";
+    SSJOIN_ASSIGN_OR_RETURN(c.negated, rp.GetBool("f_ghost_neg", false));
+    c.values.push_back(filter::AttrValue::Int64(1));
+    SSJOIN_RETURN_NOT_OK(pred.AddConjunct(std::move(c)));
+  }
+  return pred;
+}
+
+/// Differential fuzz for the filtered-lookup contract: the same churn op
+/// encoding as `mutable_index` ("u<id>\x1f<value>", "d<id>", "s", "c", "x"),
+/// with every upsert carrying content-derived attributes. After EVERY op,
+/// for every query, the filtered lookup (BE-index composed with similarity
+/// candidate generation) must be bitwise identical to the exact post-filter
+/// oracle — the unfiltered lookup with unbounded k, records failing
+/// FilterPredicate::Matches dropped, truncated to k — and the empty filter
+/// must be byte-identical to the unfiltered overload.
+Result<CheckResult> CheckFilteredLookup(const Reproducer& rp) {
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  size_t k = std::max<uint64_t>(1, k_raw);
+  index::MutableIndexOptions mopts;
+  SSJOIN_ASSIGN_OR_RETURN(mopts.match, IndexOptions(rp));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.seal_threshold,
+                          rp.GetUint("seal_threshold", 0));
+  SSJOIN_ASSIGN_OR_RETURN(mopts.max_generations,
+                          rp.GetUint("max_generations", 0));
+  SSJOIN_ASSIGN_OR_RETURN(const bool durable, rp.GetBool("durable", false));
+  SSJOIN_ASSIGN_OR_RETURN(filter::FilterPredicate pred, FuzzPredicate(rp));
+
+  ScratchDirGuard guard;
+  if (durable) {
+    static std::atomic<uint64_t> counter{0};
+    guard.dir =
+        (std::filesystem::temp_directory_path() /
+         StringPrintf("ssjoin_fuzz_filt_%d_%llu", static_cast<int>(::getpid()),
+                      static_cast<unsigned long long>(
+                          counter.fetch_add(1, std::memory_order_relaxed))))
+            .string();
+    std::filesystem::remove_all(guard.dir);
+    mopts.data_dir = guard.dir;
+  }
+
+  SSJOIN_ASSIGN_OR_RETURN(std::unique_ptr<index::MutableFuzzyIndex> index,
+                          index::MutableFuzzyIndex::Create(mopts));
+  CheckResult result;
+
+  auto check_epoch = [&](const std::string& ctx) -> bool {
+    std::shared_ptr<const index::EpochState> state = index->Snapshot();
+    const filter::FilterPredicate empty_pred;
+    for (const std::string& query : rp.s) {
+      std::vector<index::MutableFuzzyIndex::Match> got =
+          index->LookupAt(*state, query, k, 1.0, pred);
+      // Oracle: unbounded-k unfiltered lookup, post-filtered, truncated.
+      std::vector<index::MutableFuzzyIndex::Match> all = index->LookupAt(
+          *state, query, static_cast<size_t>(state->live_docs) + 1);
+      std::vector<index::MutableFuzzyIndex::Match> want;
+      for (const auto& m : all) {
+        std::optional<filter::AttrSet> attrs = index->AttrsAt(*state, m.id);
+        if (!attrs) {
+          result.detail = "filtered_lookup after '" + ctx +
+                          "': live match id " + std::to_string(m.id) +
+                          " has no attribute set";
+          return false;
+        }
+        if (pred.Matches(*attrs)) want.push_back(m);
+        if (want.size() == k) break;
+      }
+      if (got.size() != want.size()) {
+        result.detail = "filtered_lookup after '" + ctx + "': filtered count " +
+                        std::to_string(got.size()) + " vs post-filter oracle " +
+                        std::to_string(want.size()) + " for query \"" + query +
+                        "\" pred " + pred.CanonicalJson();
+        return false;
+      }
+      for (size_t i = 0; i < got.size(); ++i) {
+        if (got[i].id != want[i].id ||
+            got[i].similarity != want[i].similarity) {
+          result.detail =
+              "filtered_lookup after '" + ctx + "': match " +
+              std::to_string(i) + " diverges (id=" + std::to_string(got[i].id) +
+              " sim=" + StringPrintf("%.17g", got[i].similarity) +
+              " vs oracle id=" + std::to_string(want[i].id) +
+              " sim=" + StringPrintf("%.17g", want[i].similarity) +
+              ") for query \"" + query + "\" pred " + pred.CanonicalJson();
+          return false;
+        }
+      }
+      // The empty filter must take the identical code path result.
+      std::vector<index::MutableFuzzyIndex::Match> plain =
+          index->LookupAt(*state, query, k);
+      std::vector<index::MutableFuzzyIndex::Match> via_empty =
+          index->LookupAt(*state, query, k, 1.0, empty_pred);
+      if (plain.size() != via_empty.size()) {
+        result.detail = "filtered_lookup after '" + ctx +
+                        "': empty filter changed result count for query \"" +
+                        query + "\"";
+        return false;
+      }
+      for (size_t i = 0; i < plain.size(); ++i) {
+        if (plain[i].id != via_empty[i].id ||
+            plain[i].similarity != via_empty[i].similarity) {
+          result.detail = "filtered_lookup after '" + ctx +
+                          "': empty filter diverges at match " +
+                          std::to_string(i) + " for query \"" + query + "\"";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (const std::string& op : rp.r) {
+    if (op.empty()) continue;
+    if (op[0] == 'u') {
+      size_t sep = op.find('\x1f');
+      if (sep == std::string::npos || sep <= 1) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + sep) continue;
+      std::string value = op.substr(sep + 1);
+      SSJOIN_RETURN_NOT_OK(index->Upsert(id, value, FuzzAttrsFor(id, value)));
+    } else if (op[0] == 'd') {
+      if (op.size() < 2) continue;
+      char* end = nullptr;
+      uint64_t id = std::strtoull(op.c_str() + 1, &end, 10);
+      if (end != op.c_str() + op.size()) continue;
+      SSJOIN_RETURN_NOT_OK(index->Delete(id));
+    } else if (op == "s") {
+      SSJOIN_RETURN_NOT_OK(index->Seal());
+    } else if (op == "c") {
+      SSJOIN_RETURN_NOT_OK(index->Compact());
+    } else if (op == "x" && durable) {
+      index.reset();
+      SSJOIN_ASSIGN_OR_RETURN(index, index::MutableFuzzyIndex::Open(mopts));
+    } else {
+      continue;  // unknown op byte: no-op, keeps shrinking safe
+    }
+    if (!check_epoch(op)) {
+      result.pass = false;
+      return result;
+    }
+  }
+  result.pass = check_epoch("<end>");
+  return result;
+}
+
 /// Differential churn fuzz for the sharded index: the same op encoding as
 /// `mutable_index` ("u<id>\x1f<value>", "d<id>", "s", "c", "x"), applied to
 /// a ShardedLookupIndex with a seed-drawn shard count, checked bitwise after
@@ -721,14 +955,17 @@ Result<CheckResult> CheckMutableIndex(const Reproducer& rp) {
 /// build over the live records) — the shard-count invariance contract under
 /// arbitrary upsert/delete/seal/compact/reopen interleavings.
 Result<CheckResult> CheckShardedLookup(const Reproducer& rp) {
-  size_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  size_t k = std::max<uint64_t>(1, k_raw);
   shard::ShardedIndexOptions sopts;
-  sopts.num_shards =
-      static_cast<uint32_t>(std::max<uint64_t>(1, rp.GetUint("shards", 2)));
-  sopts.match = IndexOptions(rp);
-  sopts.seal_threshold = rp.GetUint("seal_threshold", 0);
-  sopts.max_generations = rp.GetUint("max_generations", 0);
-  const bool durable = rp.GetBool("durable", false);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t shards, rp.GetUint("shards", 2));
+  sopts.num_shards = static_cast<uint32_t>(std::max<uint64_t>(1, shards));
+  SSJOIN_ASSIGN_OR_RETURN(sopts.match, IndexOptions(rp));
+  SSJOIN_ASSIGN_OR_RETURN(sopts.seal_threshold,
+                          rp.GetUint("seal_threshold", 0));
+  SSJOIN_ASSIGN_OR_RETURN(sopts.max_generations,
+                          rp.GetUint("max_generations", 0));
+  SSJOIN_ASSIGN_OR_RETURN(const bool durable, rp.GetBool("durable", false));
 
   ScratchDirGuard guard;
   if (durable) {
@@ -831,10 +1068,12 @@ Result<CheckResult> CheckShardedLookup(const Reproducer& rp) {
 }
 
 Result<CheckResult> CheckWireParser(const Reproducer& rp) {
-  uint64_t k = std::max<uint64_t>(1, rp.GetUint("k", 3));
-  uint64_t deadline_ms = rp.GetUint("deadline_ms", 0);
-  uint64_t mutations = rp.GetUint("mutations", 32);
-  Rng rng(rp.GetUint("mutate_seed", 1));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t k_raw, rp.GetUint("k", 3));
+  uint64_t k = std::max<uint64_t>(1, k_raw);
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t deadline_ms, rp.GetUint("deadline_ms", 0));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t mutations, rp.GetUint("mutations", 32));
+  SSJOIN_ASSIGN_OR_RETURN(uint64_t mutate_seed, rp.GetUint("mutate_seed", 1));
+  Rng rng(mutate_seed);
 
   CheckResult result;
   for (const std::string& query : rp.r) {
@@ -1082,8 +1321,9 @@ std::vector<std::string> AllScenarios() {
           "edit_similarity_joins", "jaccard_joins",
           "ges_join",              "snapshot_roundtrip",
           "lookup_service",        "mutable_index",
-          "sharded_lookup",        "wire_parser",
-          "recall",                "kernel_diff"};
+          "sharded_lookup",        "filtered_lookup",
+          "wire_parser",           "recall",
+          "kernel_diff"};
 }
 
 Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
@@ -1182,6 +1422,49 @@ Reproducer GenerateCase(const std::string& scenario, uint64_t seed) {
                                                 : uint64_t{0});
     rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
                                                  : uint64_t{0});
+  } else if (scenario == "filtered_lookup") {
+    // The mutable_index churn shape with content-derived attributes and a
+    // seed-drawn predicate: selector one past the drawn attribute range
+    // yields zero-match conjuncts, skipped selectors exercise the
+    // one-conjunct and NOT-IN-only forms, and f_ghost adds a conjunct on an
+    // attribute no doc carries.
+    wopts.max_records = 12;
+    std::vector<std::string> pool = GenerateStrings(&rng, wopts);
+    if (pool.empty()) pool.push_back("");
+    rp.s = GenerateStrings(&rng, wopts);
+    bool durable = rng.Bernoulli(0.5);
+    size_t num_ops = 1 + rng.Uniform(40);
+    for (size_t i = 0; i < num_ops; ++i) {
+      uint64_t roll = rng.Uniform(100);
+      if (roll < 55) {
+        rp.r.push_back("u" + std::to_string(rng.Uniform(10)) + "\x1f" +
+                       pool[rng.Uniform(pool.size())]);
+      } else if (roll < 75) {
+        rp.r.push_back("d" + std::to_string(rng.Uniform(10)));
+      } else if (roll < 85) {
+        rp.r.push_back("s");
+      } else if (roll < 92) {
+        rp.r.push_back("c");
+      } else {
+        rp.r.push_back("x");  // no-op unless durable
+      }
+    }
+    rp.Set("durable", durable);
+    rp.Set("word_tokens", rng.Bernoulli(0.6));
+    rp.Set("q", 1 + rng.Uniform(4));
+    rp.Set("alpha", 0.2 + 0.6 * rng.NextDouble());
+    rp.Set("k", 1 + rng.Uniform(5));
+    rp.Set("seal_threshold", rng.Bernoulli(0.3) ? 1 + rng.Uniform(8)
+                                                : uint64_t{0});
+    rp.Set("max_generations", rng.Bernoulli(0.3) ? 1 + rng.Uniform(3)
+                                                 : uint64_t{0});
+    rp.Set("f_country", rng.Uniform(7));  // 5, 6 = no country conjunct
+    rp.Set("f_country_neg", rng.Bernoulli(0.4));
+    rp.Set("f_country_wide", rng.Bernoulli(0.4));
+    rp.Set("f_tier", rng.Uniform(7));  // 5, 6 = no tier conjunct
+    rp.Set("f_tier_neg", rng.Bernoulli(0.4));
+    rp.Set("f_ghost", rng.Bernoulli(0.2));
+    rp.Set("f_ghost_neg", rng.Bernoulli(0.5));
   } else if (scenario == "sharded_lookup") {
     // Same churn shape as mutable_index, but applied to an N-shard index and
     // checked against the 1-shard oracle: random shard counts × interleaved
@@ -1272,6 +1555,7 @@ Result<CheckResult> CheckCase(const Reproducer& repro) {
   if (repro.scenario == "lookup_service") return CheckLookupService(repro);
   if (repro.scenario == "mutable_index") return CheckMutableIndex(repro);
   if (repro.scenario == "sharded_lookup") return CheckShardedLookup(repro);
+  if (repro.scenario == "filtered_lookup") return CheckFilteredLookup(repro);
   if (repro.scenario == "wire_parser") return CheckWireParser(repro);
   if (repro.scenario == "recall") return CheckRecall(repro);
   if (repro.scenario == "kernel_diff") return CheckKernelDiff(repro);

@@ -46,6 +46,14 @@ struct CheckResult {
 ///                            threaded) vs direct FuzzyMatchIndex::Lookup,
 ///                            bit-identical, including repeat queries served
 ///                            from the cache.
+///  - `filtered_lookup`       MutableFuzzyIndex filtered lookups (BE-index
+///                            composed with similarity candidates) under
+///                            upsert/delete/seal/compact/reopen churn vs the
+///                            exact post-filter oracle: the unfiltered
+///                            lookup with unbounded k, records failing
+///                            FilterPredicate::Matches dropped, truncated to
+///                            k — bitwise identical, with the empty filter
+///                            byte-identical to the unfiltered overload.
 ///  - `wire_parser`           serve::ParseJsonObject over generated request
 ///                            lines: every well-formed line round-trips its
 ///                            fields byte-exactly, every strict prefix is

@@ -68,9 +68,10 @@ Result<Manifest> DecodeManifest(std::string_view bytes,
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
-  if (version != kManifestVersion) {
+  if (version != kManifestVersion && version != kManifestVersionPreAttrs) {
     return Status::Invalid("manifest " + context + " has snapshot version " +
                            std::to_string(version) + ", expected " +
+                           std::to_string(kManifestVersionPreAttrs) + " or " +
                            std::to_string(kManifestVersion));
   }
   const char* payload = bytes.data() + kHeaderSize;

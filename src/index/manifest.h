@@ -11,15 +11,21 @@
 
 namespace ssjoin::index {
 
-/// Snapshot-format v3: the same "SSJSNAPS" container as the serve-layer
+/// Snapshot-format v3/v4: the same "SSJSNAPS" container as the serve-layer
 /// snapshots (magic, u32 version, u32 flags, payload, u64 FNV-1a trailer)
-/// but version 3, whose payload is a *manifest* describing a mutable index's
-/// durable state instead of one materialized immutable index: match options,
-/// epoch, the global dictionary, the sealed-generation list (with
-/// per-segment file checksums) and the active WAL's name. v1/v2 payloads
-/// remain immutable-index snapshots; a v1/v2 file is upgraded by loading it
-/// as a single sealed generation (serve::UpgradeSnapshotToMutable).
-inline constexpr uint32_t kManifestVersion = 3;
+/// whose payload is a *manifest* describing a mutable index's durable state
+/// instead of one materialized immutable index: match options, epoch, the
+/// global dictionary, the sealed-generation list (with per-segment file
+/// checksums) and the active WAL's name. v1/v2 payloads remain
+/// immutable-index snapshots; a v1/v2 file is upgraded by loading it as a
+/// single sealed generation (serve::UpgradeSnapshotToMutable).
+///
+/// v4 has the same payload layout as v3; the bump marks an index whose
+/// segments/WAL may carry structured attributes (segment v2, WAL "SSJWALV2"),
+/// so pre-attribute binaries refuse to open it instead of silently dropping
+/// attribute data. The loader accepts v3 and v4 and always writes v4.
+inline constexpr uint32_t kManifestVersion = 4;
+inline constexpr uint32_t kManifestVersionPreAttrs = 3;
 inline constexpr char kManifestMagic[8] = {'S', 'S', 'J', 'S', 'N', 'A', 'P', 'S'};
 inline constexpr char kManifestFileName[] = "MANIFEST";
 
@@ -49,14 +55,14 @@ struct Manifest {
 /// Atomically writes the manifest (temp file + rename; see WriteFileAtomic).
 Status SaveManifest(const Manifest& manifest, const std::string& path);
 
-/// Loads and validates a v3 manifest. A v1/v2 snapshot file yields a clean
-/// Invalid status naming the version, so callers can fall back to the
+/// Loads and validates a v3/v4 manifest. A v1/v2 snapshot file yields a
+/// clean Invalid status naming the version, so callers can fall back to the
 /// immutable-snapshot loader.
 Result<Manifest> LoadManifest(const std::string& path);
 
-/// Decodes and validates v3 manifest bytes that arrived from somewhere other
-/// than the local filesystem (replication fetches). `context` names the
-/// source in error messages the way LoadManifest uses the path.
+/// Decodes and validates v3/v4 manifest bytes that arrived from somewhere
+/// other than the local filesystem (replication fetches). `context` names
+/// the source in error messages the way LoadManifest uses the path.
 Result<Manifest> DecodeManifest(std::string_view bytes,
                                 const std::string& context);
 

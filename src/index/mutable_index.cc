@@ -9,6 +9,8 @@
 #include "common/atomic_file.h"
 #include "common/hash.h"
 #include "core/predicate.h"
+#include "filter/be_index.h"
+#include "filter/metrics.h"
 #include "core/prefix_filter.h"
 #include "index/manifest.h"
 #include "kernels/kernels.h"
@@ -158,13 +160,14 @@ Result<std::unique_ptr<MutableFuzzyIndex>> MutableFuzzyIndex::Open(
       if (rec.seq <= index->last_sealed_seq_) continue;  // stale
       index->next_seq_ = rec.seq;
       if (rec.type == WalRecord::kUpsert) {
-        SSJOIN_RETURN_NOT_OK(
-            index->ApplyUpsert(rec.doc_id, rec.value, /*log_wal=*/false));
+        SSJOIN_RETURN_NOT_OK(index->ApplyUpsert(rec.doc_id, rec.value,
+                                                rec.attrs, /*log_wal=*/false));
       } else {
         SSJOIN_RETURN_NOT_OK(index->ApplyDelete(rec.doc_id, /*log_wal=*/false));
       }
     }
-    SSJOIN_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::OpenForAppend(wal_path));
+    SSJOIN_ASSIGN_OR_RETURN(
+        WalWriter writer, WalWriter::OpenForAppend(wal_path, wal.version));
     index->wal_.emplace(std::move(writer));
   } else {
     SSJOIN_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(wal_path));
@@ -254,6 +257,7 @@ bool MutableFuzzyIndex::RemoveLive(uint64_t doc_id) {
 }
 
 Status MutableFuzzyIndex::ApplyUpsert(uint64_t doc_id, const std::string& value,
+                                      const filter::AttrSet& attrs,
                                       bool log_wal) {
   if (log_wal && wal_.has_value()) {
     WalRecord rec;
@@ -261,6 +265,7 @@ Status MutableFuzzyIndex::ApplyUpsert(uint64_t doc_id, const std::string& value,
     rec.seq = next_seq_;
     rec.doc_id = doc_id;
     rec.value = value;
+    rec.attrs = attrs;
     SSJOIN_RETURN_NOT_OK(wal_->Append(rec));
   }
   ++next_seq_;
@@ -275,7 +280,7 @@ Status MutableFuzzyIndex::ApplyUpsert(uint64_t doc_id, const std::string& value,
   if (tail_.num_docs() >= UINT32_MAX - 1) {
     return Status::Invalid("tail segment is full");
   }
-  tail_.AppendDoc(doc_id, value, ids);
+  tail_.AppendDoc(doc_id, value, ids, attrs);
   if (df_live_.size() < dict_.num_elements()) {
     df_live_.resize(dict_.num_elements(), 0);
   }
@@ -302,9 +307,10 @@ Status MutableFuzzyIndex::ApplyDelete(uint64_t doc_id, bool log_wal) {
   return Status::OK();
 }
 
-Status MutableFuzzyIndex::Upsert(uint64_t doc_id, const std::string& value) {
+Status MutableFuzzyIndex::Upsert(uint64_t doc_id, const std::string& value,
+                                 const filter::AttrSet& attrs) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, attrs, /*log_wal=*/true));
   PublishLocked();
   MaybeMaintainLocked();
   return Status::OK();
@@ -322,7 +328,7 @@ Status MutableFuzzyIndex::BulkLoad(
     const std::vector<std::pair<uint64_t, std::string>>& records) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   for (const auto& [doc_id, value] : records) {
-    SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+    SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, {}, /*log_wal=*/true));
   }
   PublishLocked();
   MaybeMaintainLocked();
@@ -411,11 +417,12 @@ std::optional<std::string> MutableFuzzyIndex::LiveValueLocked(
 }
 
 Status MutableFuzzyIndex::UpsertGlobal(uint64_t doc_id, const std::string& value,
+                                       const filter::AttrSet& attrs,
                                        GlobalDelta* delta) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   GlobalDelta d;
   std::optional<std::string> old = LiveValueLocked(doc_id);
-  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, /*log_wal=*/true));
+  SSJOIN_RETURN_NOT_OK(ApplyUpsert(doc_id, value, attrs, /*log_wal=*/true));
   global_mode_ = true;
   if (old.has_value()) {
     d.removed = *old;
@@ -567,10 +574,10 @@ Status MutableFuzzyIndex::CompactLocked() {
   std::sort(live.begin(), live.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [doc_id, loc] : live) {
-    const std::string& value = loc.segment == kTailSegment
-                                   ? tail_.values[loc.local]
-                                   : sealed_[loc.segment]->values[loc.local];
-    merged.AppendDoc(doc_id, value, ElementsOf(loc));
+    const Segment& src =
+        loc.segment == kTailSegment ? tail_ : *sealed_[loc.segment];
+    merged.AppendDoc(doc_id, src.values[loc.local], ElementsOf(loc),
+                     src.attrs[loc.local]);
   }
   merged.BuildPostings();
   auto sealed = std::make_shared<const Segment>(std::move(merged));
@@ -705,10 +712,20 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
 std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
     const EpochState& state, const std::string& query, size_t k,
     double target_recall) const {
+  return LookupAt(state, query, k, target_recall, filter::FilterPredicate());
+}
+
+std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
+    const EpochState& state, const std::string& query, size_t k,
+    double target_recall, const filter::FilterPredicate& filter) const {
   // This function replicates FuzzyMatchIndex::Lookup step by step; every
   // arithmetic expression below must stay bit-for-bit in sync with it (see
   // the equivalence contract in the header). The only sanctioned deviation
   // is the target_recall prefix truncation, which at 1.0 does nothing.
+  // The predicate filter only ever REMOVES candidate locals before
+  // verification (each candidate's similarity is computed independently and
+  // weights stay full-corpus IDF), so filtered output is bit-identical to
+  // post-filtering the unfiltered output.
   std::vector<Match> out;
   if (k == 0) return out;
   std::vector<std::string> tokens = tokenizer_->Tokenize(query);
@@ -759,10 +776,20 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
 
   core::OverlapPredicate pred =
       core::OverlapPredicate::TwoSidedNormalized(options_.match.alpha);
+  const bool filtered = !filter.empty();
+  if (filtered) filter::FilterMetrics().lookups->Add(1);
   std::vector<uint32_t> locals;
   std::vector<text::TokenId> ref_prefix;
   for (size_t si = 0; si < state.segments.size(); ++si) {
     const Segment& seg = *state.segments[si];
+    filter::EligibleSet eligible = filter::EligibleSet::All();
+    if (filtered) {
+      eligible = seg.attr_index().Eval(filter);
+      if (eligible.kind() == filter::EligibleSet::Kind::kNone) {
+        filter::FilterMetrics().segments_skipped->Add(1);
+        continue;
+      }
+    }
     locals.clear();
     for (text::TokenId e : prefix) {
       std::span<const uint32_t> post = seg.Postings(e);
@@ -770,6 +797,13 @@ std::vector<MutableFuzzyIndex::Match> MutableFuzzyIndex::LookupAt(
     }
     std::sort(locals.begin(), locals.end());
     locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+    if (filtered) {
+      // Compose BEFORE verification: ineligible candidates never reach the
+      // per-doc prefix recomputation or the weighted-intersection verify.
+      filter::FilterMetrics().candidates_in->Add(locals.size());
+      eligible.FilterSorted(&locals);
+      filter::FilterMetrics().candidates_kept->Add(locals.size());
+    }
 
     for (uint32_t local : locals) {
       uint64_t doc_id = seg.doc_ids[local];
@@ -822,6 +856,20 @@ std::optional<std::string> MutableFuzzyIndex::ValueAt(const EpochState& state,
       return std::nullopt;
     }
     return seg.values[it->second.last_local];
+  }
+  return std::nullopt;
+}
+
+std::optional<filter::AttrSet> MutableFuzzyIndex::AttrsAt(
+    const EpochState& state, uint64_t doc_id) const {
+  for (size_t j = state.segments.size(); j-- > 0;) {
+    const Segment& seg = *state.segments[j];
+    auto it = seg.doc_states.find(doc_id);
+    if (it == seg.doc_states.end()) continue;
+    if (it->second.deleted || it->second.last_local == kNoLocalDoc) {
+      return std::nullopt;
+    }
+    return seg.attrs[it->second.last_local];
   }
   return std::nullopt;
 }

@@ -16,6 +16,8 @@
 
 #include "common/result.h"
 #include "core/sets.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 #include "index/manifest.h"
 #include "index/segment.h"
 #include "index/wal.h"
@@ -152,8 +154,11 @@ class MutableFuzzyIndex {
   MutableFuzzyIndex(const MutableFuzzyIndex&) = delete;
   MutableFuzzyIndex& operator=(const MutableFuzzyIndex&) = delete;
 
-  /// Inserts or replaces the document `doc_id`, then publishes a new epoch.
-  Status Upsert(uint64_t doc_id, const std::string& value);
+  /// Inserts or replaces the document `doc_id` (optionally with structured
+  /// attributes), then publishes a new epoch. An upsert always replaces the
+  /// whole attribute set — re-upserting without attributes clears them.
+  Status Upsert(uint64_t doc_id, const std::string& value,
+                const filter::AttrSet& attrs = {});
 
   /// Deletes `doc_id` (a no-op tombstone if absent), then publishes.
   Status Delete(uint64_t doc_id);
@@ -194,9 +199,27 @@ class MutableFuzzyIndex {
   std::vector<Match> LookupAt(const EpochState& state, const std::string& query,
                               size_t k, double target_recall) const;
 
+  /// Filtered lookup: composes the per-segment boolean-expression attribute
+  /// index with similarity candidate generation. Each segment's eligible-doc
+  /// set (by `filter`, k-of-n counting match) is intersected with the
+  /// similarity posting candidates BEFORE verification, so ineligible docs
+  /// never reach the verify loop. Results are bit-identical to running the
+  /// unfiltered lookup with unbounded k, dropping records whose attributes
+  /// fail `filter.Matches`, and truncating to `k` — the contract the
+  /// `filtered_lookup` fuzz scenario enforces. An empty filter is
+  /// byte-identical to the unfiltered overload.
+  std::vector<Match> LookupAt(const EpochState& state, const std::string& query,
+                              size_t k, double target_recall,
+                              const filter::FilterPredicate& filter) const;
+
   /// The live value of `doc_id` in the given epoch, if any.
   std::optional<std::string> ValueAt(const EpochState& state,
                                      uint64_t doc_id) const;
+
+  /// The live attribute set of `doc_id` in the given epoch, if the doc is
+  /// live (an attribute-less doc yields an empty set).
+  std::optional<filter::AttrSet> AttrsAt(const EpochState& state,
+                                         uint64_t doc_id) const;
 
   /// \name Global-statistics mode (sharded serving)
   ///
@@ -223,9 +246,10 @@ class MutableFuzzyIndex {
   /// Owner-shard upsert: applies the document locally (WAL-logged like
   /// Upsert), folds the value change into the global accumulator, publishes
   /// once, and reports what changed via `delta` for broadcast to the other
-  /// shards.
+  /// shards. Attributes stay owner-local: they never affect IDF weights, so
+  /// the broadcast delta carries only raw values.
   Status UpsertGlobal(uint64_t doc_id, const std::string& value,
-                      GlobalDelta* delta);
+                      const filter::AttrSet& attrs, GlobalDelta* delta);
 
   /// Owner-shard delete; see UpsertGlobal.
   Status DeleteGlobal(uint64_t doc_id, GlobalDelta* delta);
@@ -267,7 +291,8 @@ class MutableFuzzyIndex {
   /// obs::Registry provider mirroring Stats() as `index.*` metrics.
   void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
 
-  Status ApplyUpsert(uint64_t doc_id, const std::string& value, bool log_wal);
+  Status ApplyUpsert(uint64_t doc_id, const std::string& value,
+                     const filter::AttrSet& attrs, bool log_wal);
   Status ApplyDelete(uint64_t doc_id, bool log_wal);
   /// Tokenizes `value`, interning new tokens, and returns the sorted unique
   /// token ids. Requires writer_mu_.

@@ -11,16 +11,22 @@ namespace ssjoin::index {
 namespace {
 
 constexpr char kSegmentMagic[8] = {'S', 'S', 'J', 'S', 'E', 'G', 'V', '1'};
-constexpr uint32_t kSegmentVersion = 1;
+// v1: doc ids, values, sets, tombstones. v2 appends per-doc attribute sets.
+// Writers emit v2; v1 files still load (with empty attributes), so indexes
+// sealed before the attribute format bump reopen unchanged.
+constexpr uint32_t kSegmentVersion = 2;
+constexpr uint32_t kSegmentVersionNoAttrs = 1;
 constexpr size_t kSegmentHeaderSize = 16;
 
 }  // namespace
 
 void Segment::AppendDoc(uint64_t doc_id, std::string value,
-                        std::span<const text::TokenId> elements) {
+                        std::span<const text::TokenId> elements,
+                        filter::AttrSet doc_attrs) {
   uint32_t local = static_cast<uint32_t>(doc_ids.size());
   doc_ids.push_back(doc_id);
   values.push_back(std::move(value));
+  attrs.push_back(std::move(doc_attrs));
   sets.AppendSet(elements);
   doc_states[doc_id] = DocState{local, false};
 }
@@ -49,6 +55,7 @@ void Segment::BuildPostings() {
   for (const auto& [id, st] : doc_states) {
     if (st.deleted) ++tombstone_count_;
   }
+  attr_index_ = filter::AttrIndex::Build(attrs);
 }
 
 std::span<const uint32_t> Segment::Postings(text::TokenId e) const {
@@ -75,6 +82,15 @@ std::string Segment::EncodeFile() const {
   }
   std::sort(tombstones.begin(), tombstones.end());
   w.Vec(tombstones);
+  // v2: per-doc attribute sets (AttrSet keeps entries sorted by name, so
+  // the encoding — and the file checksum — is canonical).
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i < attrs.size()) {
+      attrs[i].EncodeTo(&w);
+    } else {
+      filter::AttrSet().EncodeTo(&w);
+    }
+  }
 
   const std::string& payload = w.buffer();
   uint64_t checksum = HashString(payload);
@@ -99,7 +115,7 @@ Result<Segment> Segment::DecodeFile(std::string_view bytes) {
   }
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + 8, sizeof(version));
-  if (version != kSegmentVersion) {
+  if (version != kSegmentVersion && version != kSegmentVersionNoAttrs) {
     return Status::IOError("unsupported segment version " +
                            std::to_string(version));
   }
@@ -133,6 +149,12 @@ Result<Segment> Segment::DecodeFile(std::string_view bytes) {
   }
   std::vector<uint64_t> tombstones;
   SSJOIN_RETURN_NOT_OK(r.Vec(&tombstones));
+  seg.attrs.resize(seg.doc_ids.size());
+  if (version >= 2) {
+    for (filter::AttrSet& a : seg.attrs) {
+      SSJOIN_RETURN_NOT_OK(filter::AttrSet::DecodeFrom(&r, &a));
+    }
+  }
   if (!r.AtEnd()) {
     return Status::IOError("segment payload has trailing bytes");
   }

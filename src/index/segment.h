@@ -10,6 +10,8 @@
 
 #include "common/result.h"
 #include "core/set_store.h"
+#include "filter/attr.h"
+#include "filter/be_index.h"
 #include "text/dictionary.h"
 
 namespace ssjoin::index {
@@ -45,6 +47,9 @@ struct Segment {
   uint64_t serial = 0;
   std::vector<uint64_t> doc_ids;
   std::vector<std::string> values;
+  /// Structured attributes per local doc (parallel to `values`; empty sets
+  /// for docs without attributes).
+  std::vector<filter::AttrSet> attrs;
   core::SetStore sets;
   std::unordered_map<uint64_t, DocState> doc_states;
 
@@ -55,7 +60,8 @@ struct Segment {
   /// Appends one document version. `elements` must be canonical (sorted by
   /// id, duplicate-free).
   void AppendDoc(uint64_t doc_id, std::string value,
-                 std::span<const text::TokenId> elements);
+                 std::span<const text::TokenId> elements,
+                 filter::AttrSet doc_attrs = {});
 
   /// Records a delete: the latest state of `doc_id` in this segment becomes
   /// "deleted" (also suppressing any copy in older segments).
@@ -69,6 +75,10 @@ struct Segment {
   /// BuildPostings.
   std::span<const uint32_t> Postings(text::TokenId e) const;
 
+  /// The (attribute, value) -> locals predicate index over this segment's
+  /// docs. Valid only after BuildPostings.
+  const filter::AttrIndex& attr_index() const { return attr_index_; }
+
   /// Serialized segment file: magic, version, payload, FNV-1a trailer.
   std::string EncodeFile() const;
 
@@ -79,6 +89,7 @@ struct Segment {
  private:
   std::vector<text::TokenId> posting_elements_;
   std::vector<uint32_t> posting_locals_;
+  filter::AttrIndex attr_index_;
   size_t tombstone_count_ = 0;
 };
 

@@ -7,8 +7,15 @@
 #include <vector>
 
 #include "common/result.h"
+#include "filter/attr.h"
 
 namespace ssjoin::index {
+
+/// WAL format versions: 1 = pre-attribute bodies ("SSJWALV1" magic), 2 =
+/// bodies carry the doc's attribute set ("SSJWALV2"). New logs are always
+/// created at the current version.
+inline constexpr uint32_t kWalVersionNoAttrs = 1;
+inline constexpr uint32_t kWalVersion = 2;
 
 /// One logical mutation in the write-ahead log. `seq` is the index-wide
 /// monotone operation number; records whose seq is at or below the
@@ -20,33 +27,41 @@ struct WalRecord {
   uint8_t type = kUpsert;
   uint64_t seq = 0;
   uint64_t doc_id = 0;
-  std::string value;  // empty for deletes
+  std::string value;         // empty for deletes
+  filter::AttrSet attrs;     // structured attributes; empty for deletes
 };
 
 /// \brief Append-only writer for the tail's write-ahead log.
 ///
 /// File layout: an 8-byte magic, then per record
 /// `[u32 body_len][body][u64 FNV-1a(body)]` where body is the
-/// PayloadWriter encoding `[u8 type][u64 seq][u64 doc_id][str value]`.
-/// Each append is flushed to the OS before the mutation is applied, so a
-/// crashed process loses at most the record it was writing — which the
-/// reader detects as a torn tail and truncates.
+/// PayloadWriter encoding `[u8 type][u64 seq][u64 doc_id][str value]`
+/// followed, since the "SSJWALV2" magic, by the doc's attribute set. The
+/// reader accepts both magics — a V1 log written before the attribute
+/// format bump replays with empty attribute sets — while new logs are
+/// always created V2. Each append is flushed to the OS before the mutation
+/// is applied, so a crashed process loses at most the record it was
+/// writing — which the reader detects as a torn tail and truncates.
 class WalWriter {
  public:
-  /// Creates (truncating) a new WAL at `path` and writes the magic.
+  /// Creates (truncating) a new WAL at `path` and writes the (V2) magic.
   static Result<WalWriter> Create(const std::string& path);
 
   /// Opens an existing WAL for appending. The caller must have validated /
-  /// truncated it with ReadWal first.
-  static Result<WalWriter> OpenForAppend(const std::string& path);
+  /// truncated it with ReadWal first, and passes the version ReadWal
+  /// reported so appended record bodies match the file's magic.
+  static Result<WalWriter> OpenForAppend(const std::string& path,
+                                         uint32_t version);
 
-  WalWriter(WalWriter&& other) noexcept : file_(other.file_) {
+  WalWriter(WalWriter&& other) noexcept
+      : file_(other.file_), version_(other.version_) {
     other.file_ = nullptr;
   }
   WalWriter& operator=(WalWriter&& other) noexcept {
     if (this != &other) {
       Close();
       file_ = other.file_;
+      version_ = other.version_;
       other.file_ = nullptr;
     }
     return *this;
@@ -63,9 +78,11 @@ class WalWriter {
   }
 
  private:
-  explicit WalWriter(std::FILE* file) : file_(file) {}
+  WalWriter(std::FILE* file, uint32_t version)
+      : file_(file), version_(version) {}
 
   std::FILE* file_ = nullptr;
+  uint32_t version_ = 2;
 };
 
 /// Result of scanning a WAL: the cleanly-decoded records and the byte length
@@ -74,6 +91,8 @@ class WalWriter {
 struct WalReadResult {
   std::vector<WalRecord> records;
   uint64_t valid_bytes = 0;
+  /// The format the file's magic declared (1 = pre-attribute, 2 = current).
+  uint32_t version = 2;
 };
 
 /// Reads every intact record of the WAL at `path`. A torn or checksum-bad

@@ -79,8 +79,8 @@ LookupService::LookupService(std::unique_ptr<index::MutableFuzzyIndex> index,
 LookupService::~LookupService() { Shutdown(); }
 
 std::string LookupService::CacheKey(const std::string& query, size_t k,
-                                    uint64_t epoch,
-                                    double target_recall) const {
+                                    uint64_t epoch, double target_recall,
+                                    const filter::FilterPredicate& filter) const {
   std::string key;
   key.reserve(query.size() + 32);
   for (const std::string& token : index_->tokenizer().Tokenize(query)) {
@@ -101,12 +101,20 @@ std::string LookupService::CacheKey(const std::string& query, size_t k,
   // Approximate and exact lookups of the same query must never share an
   // entry: the recall knob changes the result.
   key += std::to_string(target_recall);
+  if (!filter.empty()) {
+    // Canonical JSON (sorted conjuncts, sorted deduped values) gives equal
+    // predicates equal keys. Appended only when non-empty so unfiltered keys
+    // stay byte-identical to pre-filter builds; '{' cannot collide with the
+    // number grammar of the recall component above.
+    key.push_back('\x1e');
+    key += filter.CanonicalJson();
+  }
   return key;
 }
 
 Result<std::vector<LookupService::Match>> LookupService::Lookup(
     const std::string& query, size_t k, std::chrono::milliseconds deadline,
-    double target_recall) {
+    double target_recall, const filter::FilterPredicate& filter) {
   Clock::time_point start = Clock::now();
   if (!(target_recall > 0.0) || target_recall > 1.0) {
     return Status::Invalid("target_recall must be in (0, 1]");
@@ -124,7 +132,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
   // neither tear a request across epochs nor satisfy it from a stale entry.
   std::shared_ptr<const index::EpochState> state = index_->Snapshot();
   PurgeStaleCache(state->epoch);
-  std::string cache_key = CacheKey(query, k, state->epoch, target_recall);
+  std::string cache_key = CacheKey(query, k, state->epoch, target_recall, filter);
   if (auto cached = cache_.Get(cache_key)) {
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -151,6 +159,7 @@ Result<std::vector<LookupService::Match>> LookupService::Lookup(
     pending.state = std::move(state);
     pending.k = k;
     pending.target_recall = target_recall;
+    pending.filter = filter;
     pending.start = start;
     pending.has_deadline = deadline.count() > 0;
     pending.deadline = start + deadline;
@@ -267,8 +276,9 @@ void LookupService::RunBatch(std::vector<Pending>* batch) {
             continue;
           }
           obs::ObsSpan span(&metrics_.span_lookup);
-          results[i] = index_->LookupAt(*live[i].state, live[i].query,
-                                        live[i].k, live[i].target_recall);
+          results[i] =
+              index_->LookupAt(*live[i].state, live[i].query, live[i].k,
+                               live[i].target_recall, live[i].filter);
         }
       });
 

@@ -15,6 +15,8 @@
 
 #include "common/result.h"
 #include "exec/exec_context.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 #include "index/mutable_index.h"
 #include "obs/metrics.h"
 #include "serve/metrics.h"
@@ -83,17 +85,22 @@ class LookupService {
   /// `target_recall` in (0, 1] selects the approximate lookup tier below
   /// 1.0 (see MutableFuzzyIndex::LookupAt); it is part of the cache key, so
   /// exact and approximate results never alias. Out-of-range values are
-  /// Invalid. Blocks the caller until the result is ready; safe to call from
-  /// any number of threads concurrently.
+  /// Invalid. A non-empty `filter` restricts matches to records whose
+  /// attributes satisfy the predicate (bit-identical to post-filtering an
+  /// unfiltered lookup); its canonical JSON joins the cache key, so filtered
+  /// and unfiltered results never alias either. Blocks the caller until the
+  /// result is ready; safe to call from any number of threads concurrently.
   Result<std::vector<Match>> Lookup(
       const std::string& query, size_t k,
       std::chrono::milliseconds deadline = std::chrono::milliseconds::zero(),
-      double target_recall = 1.0);
+      double target_recall = 1.0,
+      const filter::FilterPredicate& filter = {});
 
   /// Mutations: thin passthroughs to the index. Each publishes a new epoch,
   /// naturally invalidating every cached lookup (the epoch is in the key).
-  Status Upsert(uint64_t doc_id, const std::string& value) {
-    return index_->Upsert(doc_id, value);
+  Status Upsert(uint64_t doc_id, const std::string& value,
+                const filter::AttrSet& attrs = {}) {
+    return index_->Upsert(doc_id, value, attrs);
   }
   Status Delete(uint64_t doc_id) { return index_->Delete(doc_id); }
   Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& records) {
@@ -107,8 +114,8 @@ class LookupService {
   /// section of MutableFuzzyIndex); each publishes a new epoch, invalidating
   /// the cache exactly like the local mutations above.
   Status UpsertGlobal(uint64_t doc_id, const std::string& value,
-                      index::GlobalDelta* delta) {
-    return index_->UpsertGlobal(doc_id, value, delta);
+                      const filter::AttrSet& attrs, index::GlobalDelta* delta) {
+    return index_->UpsertGlobal(doc_id, value, attrs, delta);
   }
   Status DeleteGlobal(uint64_t doc_id, index::GlobalDelta* delta) {
     return index_->DeleteGlobal(doc_id, delta);
@@ -126,6 +133,11 @@ class LookupService {
   /// The current live value of `doc_id`, if any (display convenience).
   std::optional<std::string> ValueOf(uint64_t doc_id) const {
     return index_->ValueAt(*index_->Snapshot(), doc_id);
+  }
+
+  /// The current live attributes of `doc_id`, if live (display convenience).
+  std::optional<filter::AttrSet> AttrsOf(uint64_t doc_id) const {
+    return index_->AttrsAt(*index_->Snapshot(), doc_id);
   }
 
   /// Consistent-enough point-in-time counters and latency quantiles.
@@ -157,6 +169,7 @@ class LookupService {
     std::shared_ptr<const index::EpochState> state;
     size_t k;
     double target_recall;
+    filter::FilterPredicate filter;
     std::chrono::steady_clock::time_point start;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline;
@@ -171,10 +184,11 @@ class LookupService {
   void CollectMetrics(std::vector<obs::MetricPoint>* out) const;
 
   /// Cache key: the query's token sequence (unit-separator joined) plus k,
-  /// alpha, the epoch and the target recall — exactly the inputs Lookup's
-  /// result depends on.
+  /// alpha, the epoch, the target recall and (when non-empty) the filter's
+  /// canonical JSON — exactly the inputs Lookup's result depends on.
   std::string CacheKey(const std::string& query, size_t k, uint64_t epoch,
-                       double target_recall) const;
+                       double target_recall,
+                       const filter::FilterPredicate& filter) const;
 
   void DispatcherLoop();
   void RunBatch(std::vector<Pending>* batch);

@@ -53,6 +53,52 @@ class Parser {
     }
   }
 
+  Result<std::map<std::string, JsonValue>> ParseRequest() {
+    SkipSpace();
+    SSJOIN_RETURN_NOT_OK(Expect('{'));
+    std::map<std::string, JsonValue> out;
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return FinishRequest(std::move(out));
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      SSJOIN_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      SSJOIN_RETURN_NOT_OK(Expect(':'));
+      SkipSpace();
+      JsonValue value;
+      if (Peek() == '{') {
+        value.is_object = true;
+        SSJOIN_RETURN_NOT_OK(ParseInnerObject(&value.object));
+      } else if (Peek() == '[') {
+        return Status::Invalid(
+            "arrays are only supported inside a nested request object");
+      } else {
+        SSJOIN_RETURN_NOT_OK(ParseScalar(&value.scalar));
+      }
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        return Status::Invalid("duplicate key in JSON object");
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return FinishRequest(std::move(out));
+      }
+      if (AtEnd()) {
+        return Status::Invalid("unexpected end of input inside JSON object");
+      }
+      return Status::Invalid("expected ',' or '}' in JSON object");
+    }
+  }
+
  private:
   char Peek() const { return pos_ < in_.size() ? in_[pos_] : '\0'; }
 
@@ -84,6 +130,86 @@ class Parser {
       return Status::Invalid("trailing bytes after JSON object");
     }
     return out;
+  }
+
+  Result<std::map<std::string, JsonValue>> FinishRequest(
+      std::map<std::string, JsonValue> out) {
+    SkipSpace();
+    if (pos_ != in_.size()) {
+      return Status::Invalid("trailing bytes after JSON object");
+    }
+    return out;
+  }
+
+  /// The one nesting level: an object whose values are scalars or arrays of
+  /// scalars. Anything deeper is rejected (ParseScalar refuses '{'/'[').
+  Status ParseInnerObject(std::map<std::string, JsonNested>* out) {
+    SSJOIN_RETURN_NOT_OK(Expect('{'));
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      SSJOIN_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      SSJOIN_RETURN_NOT_OK(Expect(':'));
+      SkipSpace();
+      JsonNested value;
+      if (Peek() == '[') {
+        value.is_array = true;
+        ++pos_;
+        SkipSpace();
+        if (Peek() == ']') {
+          ++pos_;
+        } else {
+          for (;;) {
+            SkipSpace();
+            JsonScalar item;
+            SSJOIN_RETURN_NOT_OK(ParseScalar(&item));
+            value.items.push_back(std::move(item));
+            SkipSpace();
+            char c = Peek();
+            if (c == ',') {
+              ++pos_;
+              continue;
+            }
+            if (c == ']') {
+              ++pos_;
+              break;
+            }
+            if (AtEnd()) {
+              return Status::Invalid(
+                  "unexpected end of input inside JSON array");
+            }
+            return Status::Invalid("expected ',' or ']' in JSON array");
+          }
+        }
+      } else {
+        JsonScalar item;
+        SSJOIN_RETURN_NOT_OK(ParseScalar(&item));
+        value.items.push_back(std::move(item));
+      }
+      if (!out->emplace(std::move(key), std::move(value)).second) {
+        return Status::Invalid("duplicate key in nested JSON object");
+      }
+      SkipSpace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (AtEnd()) {
+        return Status::Invalid("unexpected end of input inside JSON object");
+      }
+      return Status::Invalid("expected ',' or '}' in JSON object");
+    }
   }
 
   Status ParseString(std::string* out) {
@@ -227,6 +353,91 @@ class Parser {
 
 Result<std::map<std::string, JsonScalar>> ParseJsonObject(std::string_view line) {
   return Parser(line).ParseObject();
+}
+
+Result<std::map<std::string, JsonValue>> ParseJsonRequest(std::string_view line) {
+  return Parser(line).ParseRequest();
+}
+
+namespace {
+
+/// Doubles carry JSON numbers across the parser; only integers exactly
+/// representable in both double and int64 may become attribute values.
+Result<filter::AttrValue> AttrValueFromScalar(const JsonScalar& scalar) {
+  switch (scalar.type) {
+    case JsonScalar::Type::kString:
+      return filter::AttrValue::String(scalar.str);
+    case JsonScalar::Type::kNumber: {
+      constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+      if (scalar.num != std::trunc(scalar.num) || scalar.num > kMaxExact ||
+          scalar.num < -kMaxExact) {
+        return Status::Invalid(
+            "attribute numbers must be integers with |x| <= 2^53");
+      }
+      return filter::AttrValue::Int64(static_cast<int64_t>(scalar.num));
+    }
+    case JsonScalar::Type::kBool:
+    case JsonScalar::Type::kNull:
+      return Status::Invalid(
+          "attribute values must be strings or integer numbers");
+  }
+  return Status::Invalid("unreachable attribute scalar type");
+}
+
+}  // namespace
+
+Result<filter::FilterPredicate> FilterFromWire(const JsonValue& value) {
+  if (!value.is_object) {
+    return Status::Invalid("'filter' must be a JSON object");
+  }
+  filter::FilterPredicate pred;
+  for (const auto& [key, nested] : value.object) {
+    filter::FilterConjunct conjunct;
+    conjunct.negated = !key.empty() && key[0] == '!';
+    conjunct.name = conjunct.negated ? key.substr(1) : key;
+    conjunct.values.reserve(nested.items.size());
+    for (const JsonScalar& item : nested.items) {
+      SSJOIN_ASSIGN_OR_RETURN(filter::AttrValue v, AttrValueFromScalar(item));
+      conjunct.values.push_back(std::move(v));
+    }
+    SSJOIN_RETURN_NOT_OK(pred.AddConjunct(std::move(conjunct)));
+  }
+  return pred;
+}
+
+Result<filter::AttrSet> AttrsFromWire(const JsonValue& value) {
+  if (!value.is_object) {
+    return Status::Invalid("'attrs' must be a JSON object");
+  }
+  filter::AttrSet attrs;
+  for (const auto& [key, nested] : value.object) {
+    if (nested.is_array) {
+      return Status::Invalid("attribute '" + key +
+                             "' must be a single scalar, not an array");
+    }
+    SSJOIN_ASSIGN_OR_RETURN(filter::AttrValue v,
+                            AttrValueFromScalar(nested.items.front()));
+    SSJOIN_RETURN_NOT_OK(attrs.Set(key, std::move(v)));
+  }
+  return attrs;
+}
+
+std::string AttrsToJson(const filter::AttrSet& attrs) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : attrs.entries()) {
+    if (!first) out.push_back(',');
+    first = false;
+    filter::AppendJsonString(&out, name);
+    out.push_back(':');
+    if (value.type == filter::AttrType::kString) {
+      filter::AppendJsonString(&out, value.str);
+    } else {
+      out += std::to_string(value.i64);
+    }
+  }
+  out.push_back('}');
+  return out;
 }
 
 std::string JsonEscape(std::string_view s) {

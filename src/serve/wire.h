@@ -4,24 +4,30 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 
 namespace ssjoin::serve {
 
 /// \brief The newline-delimited-JSON wire protocol of ssjoin_served.
 ///
-/// Requests are flat JSON objects, one per line:
+/// Requests are JSON objects, one per line:
 ///
 ///   {"op": "lookup", "query": "Mcrosoft Corp", "k": 3}
 ///   {"op": "lookup", "query": "...", "k": 1, "deadline_ms": 50}
+///   {"op": "lookup", "query": "...", "filter": {"country": ["DE", "FR"]}}
+///   {"op": "upsert", "id": 7, "value": "...", "attrs": {"country": "DE"}}
 ///   {"op": "stats"}
 ///   {"op": "ping"}
 ///   {"op": "shutdown"}
 ///
 /// Responses are one JSON object per line: {"ok": true, ...} on success or
-/// {"ok": false, "error": "..."} on failure. Only the flat scalar subset the
-/// protocol needs is implemented here — no nesting on the request side.
+/// {"ok": false, "error": "..."} on failure. Exactly ONE level of nesting is
+/// supported on the request side — object fields whose values are scalars or
+/// arrays of scalars, the shape of "filter" and "attrs"; responses stay flat.
 
 /// A scalar JSON value of a request field.
 struct JsonScalar {
@@ -31,9 +37,48 @@ struct JsonScalar {
   bool boolean = false;  // kBool
 };
 
+/// A field of a nested request object: one scalar, or an array of scalars.
+struct JsonNested {
+  bool is_array = false;
+  std::vector<JsonScalar> items;  // exactly one element when !is_array
+};
+
+/// A top-level request field: a scalar, or — one nesting level — an object
+/// of JsonNested values ("filter": {...}, "attrs": {...}).
+struct JsonValue {
+  bool is_object = false;
+  JsonScalar scalar;                          // valid when !is_object
+  std::map<std::string, JsonNested> object;   // valid when is_object
+};
+
 /// Parses one flat JSON object (string/number/bool/null values only;
 /// rejects nested arrays/objects). Keys must be unique.
 Result<std::map<std::string, JsonScalar>> ParseJsonObject(std::string_view line);
+
+/// Parses one request object allowing a single nesting level: values may be
+/// scalars, or objects whose values are scalars or arrays of scalars.
+/// Deeper nesting and top-level arrays are rejected. Keys must be unique at
+/// both levels.
+Result<std::map<std::string, JsonValue>> ParseJsonRequest(std::string_view line);
+
+/// Converts a request's "filter" object into a predicate. Each key is one
+/// conjunct name — a leading '!' marks NOT-IN — and its value is the IN-set:
+/// an array of scalars, or a bare scalar as an IN-set of one. Strings map to
+/// string attributes, integral numbers to int64; bools, nulls, non-integral
+/// numbers, empty arrays and duplicate (name, negated) conjuncts are
+/// Invalid. Attribute-name validation (control bytes, length) applies.
+Result<filter::FilterPredicate> FilterFromWire(const JsonValue& value);
+
+/// Converts a request's "attrs" object into a record attribute set. Each key
+/// is one attribute name and its value one scalar (arrays are Invalid —
+/// records hold at most one value per attribute). The hardened byte rules
+/// are enforced here, at upsert time, so malformed names and values never
+/// reach the WAL.
+Result<filter::AttrSet> AttrsFromWire(const JsonValue& value);
+
+/// Renders an attribute set as the JSON object AttrsFromWire parses back:
+/// {"name": "v", "n": 1}, entries sorted by name, ints as JSON numbers.
+std::string AttrsToJson(const filter::AttrSet& attrs);
 
 /// Escapes a string for embedding inside a JSON string literal.
 std::string JsonEscape(std::string_view s);

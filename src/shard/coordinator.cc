@@ -150,7 +150,8 @@ Result<std::unique_ptr<Coordinator>> Coordinator::Create(
 
 Result<std::vector<WireMatch>> Coordinator::LookupShard(
     uint32_t si, const std::string& query, size_t k, bool has_deadline,
-    Clock::time_point abs_deadline, double target_recall) {
+    Clock::time_point abs_deadline, double target_recall,
+    const filter::FilterPredicate& filter) {
   std::string line = "{\"op\": \"slookup\", \"query\": \"" +
                      serve::JsonEscape(query) +
                      "\", \"k\": " + std::to_string(k);
@@ -172,6 +173,11 @@ Result<std::vector<WireMatch>> Coordinator::LookupShard(
     std::snprintf(buf, sizeof(buf), ", \"target_recall\": %.17g", target_recall);
     line += buf;
   }
+  if (!filter.empty()) {
+    // The canonical form both sides agree on: the shard re-parses it into
+    // the same predicate, and its own cache keys use the same bytes.
+    line += ", \"filter\": " + filter.CanonicalJson();
+  }
   line += "}";
   SSJOIN_ASSIGN_OR_RETURN(
       JsonObject obj,
@@ -182,7 +188,8 @@ Result<std::vector<WireMatch>> Coordinator::LookupShard(
 Result<CoordinatorLookup> Coordinator::Lookup(const std::string& query,
                                               size_t k,
                                               std::chrono::milliseconds deadline,
-                                              double target_recall) {
+                                              double target_recall,
+                                              const filter::FilterPredicate& filter) {
   Clock::time_point start = Clock::now();
   if (deadline.count() < 0) {
     metrics_.deadline_rejects.fetch_add(1, std::memory_order_relaxed);
@@ -208,8 +215,8 @@ Result<CoordinatorLookup> Coordinator::Lookup(const std::string& query,
   threads.reserve(n + 1);
   auto launch = [&](uint32_t si, bool is_hedge) {
     threads.emplace_back([&, si, is_hedge] {
-      Result<std::vector<WireMatch>> r =
-          LookupShard(si, query, k, has_deadline, abs_deadline, target_recall);
+      Result<std::vector<WireMatch>> r = LookupShard(
+          si, query, k, has_deadline, abs_deadline, target_recall, filter);
       std::lock_guard<std::mutex> lock(gather.mu);
       if (!gather.first[si].has_value()) {
         gather.first[si] = std::move(r);
@@ -302,12 +309,17 @@ Result<CoordinatorLookup> Coordinator::Lookup(const std::string& query,
   return out;
 }
 
-Result<uint64_t> Coordinator::Upsert(uint64_t doc_id, const std::string& value) {
+Result<uint64_t> Coordinator::Upsert(uint64_t doc_id, const std::string& value,
+                                     const filter::AttrSet& attrs) {
   std::lock_guard<std::mutex> lock(mutation_mu_);
   uint32_t owner = ShardOf(doc_id, num_shards());
   std::string line = "{\"op\": \"upsert\", \"id\": " + std::to_string(doc_id) +
                      ", \"value\": \"" + serve::JsonEscape(value) +
-                     "\", \"global\": true}";
+                     "\", \"global\": true";
+  if (!attrs.empty()) {
+    line += ", \"attrs\": " + serve::AttrsToJson(attrs);
+  }
+  line += "}";
   SSJOIN_ASSIGN_OR_RETURN(
       JsonObject reply,
       CallShard(options_.shard_sockets[owner], line, options_.admin_timeout));

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 #include "shard/metrics.h"
 #include "shard/router.h"
 
@@ -77,14 +79,20 @@ class Coordinator {
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
+  /// A non-empty `filter` rides the slookup fan-out as its canonical JSON
+  /// (`"filter": {...}`), so every shard applies the identical predicate and
+  /// the merged result matches a filtered unsharded lookup bit for bit.
   Result<CoordinatorLookup> Lookup(
       const std::string& query, size_t k,
       std::chrono::milliseconds deadline = std::chrono::milliseconds::zero(),
-      double target_recall = 1.0);
+      double target_recall = 1.0,
+      const filter::FilterPredicate& filter = {});
 
   /// Routed mutations; the returned epoch is the cluster epoch (sum of every
-  /// shard's epoch after the broadcast).
-  Result<uint64_t> Upsert(uint64_t doc_id, const std::string& value);
+  /// shard's epoch after the broadcast). Attributes travel only to the owner
+  /// shard — they never affect global statistics.
+  Result<uint64_t> Upsert(uint64_t doc_id, const std::string& value,
+                          const filter::AttrSet& attrs = {});
   Result<uint64_t> Delete(uint64_t doc_id);
 
   /// Dumps every shard's live documents and resets every shard's global
@@ -108,7 +116,8 @@ class Coordinator {
   /// budget computed at dispatch.
   Result<std::vector<WireMatch>> LookupShard(
       uint32_t si, const std::string& query, size_t k, bool has_deadline,
-      std::chrono::steady_clock::time_point abs_deadline, double target_recall);
+      std::chrono::steady_clock::time_point abs_deadline, double target_recall,
+      const filter::FilterPredicate& filter);
 
   CoordinatorOptions options_;
   std::mutex mutation_mu_;

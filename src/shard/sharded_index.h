@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "filter/attr.h"
+#include "filter/predicate.h"
 #include "index/mutable_index.h"
 #include "serve/lookup_service.h"
 #include "shard/metrics.h"
@@ -103,16 +105,23 @@ class ShardedLookupIndex {
   ShardedLookupIndex& operator=(const ShardedLookupIndex&) = delete;
 
   /// Scatter-gathers the best k matches across all shards. See the contract
-  /// above; deadline zero = no deadline.
+  /// above; deadline zero = no deadline. A non-empty `filter` fans out to
+  /// every shard, where each restricts its own candidates — attributes are
+  /// owner-local, so the filtered merge stays bit-identical to a filtered
+  /// unsharded lookup (filtering removes candidates, never reweights them).
   Result<std::vector<Match>> Lookup(
       const std::string& query, size_t k,
       std::chrono::milliseconds deadline = std::chrono::milliseconds::zero(),
-      double target_recall = 1.0);
+      double target_recall = 1.0,
+      const filter::FilterPredicate& filter = {});
 
   /// Routed mutations: the owner shard applies the document and the
   /// resulting global-stats delta is broadcast to every other shard, keeping
   /// all published weights cluster-accurate. Serialized internally.
-  Status Upsert(uint64_t doc_id, const std::string& value);
+  /// Attributes never join the delta — they do not affect IDF weights and
+  /// stay on the owner shard.
+  Status Upsert(uint64_t doc_id, const std::string& value,
+                const filter::AttrSet& attrs = {});
   Status Delete(uint64_t doc_id);
 
   /// Partitions `records` across shards, bulk-loads each, then rebuilds the
@@ -143,7 +152,8 @@ class ShardedLookupIndex {
                                          size_t k, bool has_deadline,
                                          std::chrono::steady_clock::time_point
                                              abs_deadline,
-                                         double target_recall);
+                                         double target_recall,
+                                         const filter::FilterPredicate& filter);
 
   /// Re-derives every shard's global statistics from the union of all
   /// shards' live documents. Requires mutation_mu_.

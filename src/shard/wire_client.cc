@@ -5,7 +5,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -168,11 +170,48 @@ std::string FormatHexDouble(double v) {
 }
 
 Result<double> ParseHexDouble(std::string_view s) {
+  // Accept exactly the shape FormatHexDouble ("%a") emits:
+  // -?0x<hex>(.<hex>*)?p[+-]?<dec>. Bare strtod would also take "+1", "01",
+  // " 1", decimal literals and "inf" — none of which a well-behaved shard
+  // ever sends, so they indicate a corrupt or hostile peer and must fail
+  // loudly instead of merging a garbage score.
+  size_t i = 0;
+  auto hex_digit = [&] {
+    return i < s.size() && std::isxdigit(static_cast<unsigned char>(s[i]));
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (s.compare(i, 2, "0x") != 0) {
+    return Status::Invalid("bad hex-float '" + std::string(s) + "'");
+  }
+  i += 2;
+  if (!hex_digit()) {
+    return Status::Invalid("bad hex-float '" + std::string(s) + "'");
+  }
+  while (hex_digit()) ++i;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (hex_digit()) ++i;
+  }
+  if (i >= s.size() || s[i] != 'p') {
+    return Status::Invalid("bad hex-float '" + std::string(s) + "'");
+  }
+  ++i;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  auto dec_digit = [&] {
+    return i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]));
+  };
+  if (!dec_digit()) {
+    return Status::Invalid("bad hex-float '" + std::string(s) + "'");
+  }
+  while (dec_digit()) ++i;
+  if (i != s.size()) {
+    return Status::Invalid("bad hex-float '" + std::string(s) + "'");
+  }
+
   std::string z(s);
   char* end = nullptr;
-  errno = 0;
   double v = std::strtod(z.c_str(), &end);
-  if (errno != 0 || end != z.c_str() + z.size() || z.empty()) {
+  if (end != z.c_str() + z.size() || !std::isfinite(v)) {
     return Status::Invalid("bad hex-float '" + z + "'");
   }
   return v;

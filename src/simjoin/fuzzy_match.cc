@@ -5,6 +5,7 @@
 
 #include "core/predicate.h"
 #include "core/prefix_filter.h"
+#include "filter/metrics.h"
 #include "kernels/kernels.h"
 #include "sim/set_overlap.h"
 #include "text/weights.h"
@@ -76,6 +77,8 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::Build(
       index.prefix_postings_[cursor[e]++] = g;
     }
   }
+  index.attr_index_ =
+      filter::AttrIndex::Empty(static_cast<uint32_t>(reference.size()));
   return index;
 }
 
@@ -137,11 +140,30 @@ Result<FuzzyMatchIndex> FuzzyMatchIndex::FromParts(
   index.sets_ = std::move(sets);
   index.prefix_offsets_ = std::move(prefix_offsets);
   index.prefix_postings_ = std::move(prefix_postings);
+  index.attr_index_ =
+      filter::AttrIndex::Empty(static_cast<uint32_t>(index.reference_.size()));
   return index;
+}
+
+Status FuzzyMatchIndex::AssignAttributes(std::vector<filter::AttrSet> attrs) {
+  if (!attrs.empty() && attrs.size() != reference_.size()) {
+    return Status::Invalid(
+        "attribute count does not match the reference table size");
+  }
+  attrs_ = std::move(attrs);
+  attrs_.resize(reference_.size());
+  attr_index_ = filter::AttrIndex::Build(attrs_);
+  return Status::OK();
 }
 
 std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& query,
                                                             size_t k) const {
+  return Lookup(query, k, filter::FilterPredicate());
+}
+
+std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(
+    const std::string& query, size_t k,
+    const filter::FilterPredicate& filter) const {
   std::vector<Match> out;
   if (k == 0) return out;
   std::vector<std::string> tokens = tokenizer_->Tokenize(query);
@@ -176,6 +198,18 @@ std::vector<FuzzyMatchIndex::Match> FuzzyMatchIndex::Lookup(const std::string& q
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  if (!filter.empty()) {
+    // Compose the predicate index with similarity candidate generation
+    // BEFORE verification: only eligible groups pay the weighted-merge
+    // verify cost. Dropping candidates never changes the surviving ones'
+    // similarities, so this equals exact post-filtering bitwise.
+    const filter::FilterCounters& fc = filter::FilterMetrics();
+    fc.lookups->Add(1);
+    fc.candidates_in->Add(candidates.size());
+    filter::EligibleSet eligible = attr_index_.Eval(filter);
+    eligible.FilterSorted(&candidates);
+    fc.candidates_kept->Add(candidates.size());
+  }
 
   // Verify: exact weighted resemblance against each candidate. The merge is
   // the shared kernel (same ascending accumulation order as the executors).

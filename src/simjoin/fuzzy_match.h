@@ -8,6 +8,9 @@
 #include "common/result.h"
 #include "core/order.h"
 #include "core/sets.h"
+#include "filter/attr.h"
+#include "filter/be_index.h"
+#include "filter/predicate.h"
 #include "simjoin/prep.h"
 #include "text/dictionary.h"
 #include "text/tokenizer.h"
@@ -73,6 +76,24 @@ class FuzzyMatchIndex {
   /// under TSan by test_fuzzy_match's ConcurrentLookups).
   std::vector<Match> Lookup(const std::string& query, size_t k) const;
 
+  /// Filtered lookup: the boolean-expression attribute index yields the
+  /// records eligible under `filter` (k-of-n counting match over packed
+  /// posting entries), and that set is intersected with the similarity
+  /// prefix-posting candidates BEFORE verification. Bit-identical to
+  /// post-filtering the unfiltered lookup (same ids, similarity doubles and
+  /// order); an empty filter is byte-identical to the 2-argument overload.
+  std::vector<Match> Lookup(const std::string& query, size_t k,
+                            const filter::FilterPredicate& filter) const;
+
+  /// Attaches structured attributes (attrs[g] belongs to reference g) and
+  /// builds the predicate index over them. Pass an empty vector to clear.
+  /// Snapshot-loaded indexes start attribute-less; serving layers that need
+  /// filtering over snapshots re-attach attributes through this call.
+  Status AssignAttributes(std::vector<filter::AttrSet> attrs);
+
+  /// Per-reference attributes; empty when none were assigned.
+  const std::vector<filter::AttrSet>& attributes() const { return attrs_; }
+
   /// The reference string for a match.
   const std::string& reference(uint32_t index) const { return reference_[index]; }
   size_t size() const { return reference_.size(); }
@@ -108,6 +129,10 @@ class FuzzyMatchIndex {
   /// CSR layout.
   std::vector<uint32_t> prefix_offsets_;
   std::vector<core::GroupId> prefix_postings_;
+  /// Structured attributes (parallel to reference_; empty when unused) and
+  /// the (attribute, value) -> groups predicate index over them.
+  std::vector<filter::AttrSet> attrs_;
+  filter::AttrIndex attr_index_;
 };
 
 }  // namespace ssjoin::simjoin

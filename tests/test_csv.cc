@@ -57,6 +57,44 @@ TEST(CsvParseTest, MixedNumericFallsBackToString) {
   EXPECT_EQ(table.schema().field(0).type, DataType::kString);
 }
 
+// Type inference uses the strict number grammar, not bare strtod: lenient
+// shapes stay strings so their bytes survive a round trip.
+TEST(CsvParseTest, LenientNumberShapesStayStrings) {
+  // Leading zero: a zip-code column must not collapse "01234" -> 1234.
+  auto zip = *ParseCsv("v\n01234\n00042\n");
+  EXPECT_EQ(zip.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(zip.GetValue(0, 0).string(), "01234");
+
+  // Explicit plus sign.
+  auto plus = *ParseCsv("v\n+1\n+2\n");
+  EXPECT_EQ(plus.schema().field(0).type, DataType::kString);
+
+  // Overflowing exponent: strtod yields inf, which must not infer float64.
+  auto inf = *ParseCsv("v\n1e999\n2e999\n");
+  EXPECT_EQ(inf.schema().field(0).type, DataType::kString);
+
+  // Hex floats and whitespace-padded numbers stay strings too.
+  auto hex = *ParseCsv("v\n0x10\n0x20\n");
+  EXPECT_EQ(hex.schema().field(0).type, DataType::kString);
+  auto pad = *ParseCsv("v\n 1\n 2\n");
+  EXPECT_EQ(pad.schema().field(0).type, DataType::kString);
+
+  // Bare '.' fraction forms are not in the grammar.
+  auto dot = *ParseCsv("v\n.5\n.25\n");
+  EXPECT_EQ(dot.schema().field(0).type, DataType::kString);
+  auto trail = *ParseCsv("v\n1.\n2.\n");
+  EXPECT_EQ(trail.schema().field(0).type, DataType::kString);
+}
+
+TEST(CsvParseTest, StrictNumberShapesStillInfer) {
+  auto table = *ParseCsv("i,f,e\n-12,0.5,1e3\n0,-3.25,2.5e-2\n");
+  EXPECT_EQ(table.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(table.schema().field(1).type, DataType::kFloat64);
+  EXPECT_EQ(table.schema().field(2).type, DataType::kFloat64);
+  EXPECT_EQ(table.GetValue(0, 0).int64(), -12);
+  EXPECT_DOUBLE_EQ(table.GetValue(2, 1).float64(), 0.025);
+}
+
 TEST(CsvParseTest, IntThenFloatBecomesFloat) {
   auto table = *ParseCsv("v\n1\n2.5\n");
   EXPECT_EQ(table.schema().field(0).type, DataType::kFloat64);

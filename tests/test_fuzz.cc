@@ -35,9 +35,9 @@ TEST(ReproducerTest, FormatParseRoundTrip) {
   EXPECT_EQ(parsed->scenario, rp.scenario);
   EXPECT_EQ(parsed->r, rp.r);
   EXPECT_EQ(parsed->s, rp.s);
-  EXPECT_EQ(parsed->GetDouble("alpha", 0.0), 0.87654321);
-  EXPECT_EQ(parsed->GetUint("q", 0), 3u);
-  EXPECT_TRUE(parsed->GetBool("word_tokens", false));
+  EXPECT_EQ(*parsed->GetDouble("alpha", 0.0), 0.87654321);
+  EXPECT_EQ(*parsed->GetUint("q", 0), 3u);
+  EXPECT_TRUE(*parsed->GetBool("word_tokens", false));
 }
 
 TEST(ReproducerTest, RejectsMalformedInput) {
@@ -51,9 +51,40 @@ TEST(ReproducerTest, RejectsMalformedInput) {
 
 TEST(ReproducerTest, TypedAccessorsFallBack) {
   Reproducer rp;
-  EXPECT_EQ(rp.GetDouble("missing", 0.5), 0.5);
-  EXPECT_EQ(rp.GetUint("missing", 7), 7u);
-  EXPECT_TRUE(rp.GetBool("missing", true));
+  EXPECT_EQ(*rp.GetDouble("missing", 0.5), 0.5);
+  EXPECT_EQ(*rp.GetUint("missing", 7), 7u);
+  EXPECT_TRUE(*rp.GetBool("missing", true));
+}
+
+// A present-but-malformed param must be a loud error naming the key, never
+// a silent fallback (the strtod-nullptr regression: "0.x5" replayed as 0.0).
+TEST(ReproducerTest, TypedAccessorsRejectMalformedValues) {
+  Reproducer rp;
+  rp.params["alpha"] = "0.x5";
+  rp.params["q"] = "3junk";
+  rp.params["neg"] = "-1";
+  rp.params["huge"] = "1e999";
+  rp.params["flag"] = " 1";
+
+  Result<double> alpha = rp.GetDouble("alpha", 0.0);
+  ASSERT_FALSE(alpha.ok());
+  EXPECT_NE(alpha.status().message().find("alpha"), std::string::npos);
+
+  Result<uint64_t> q = rp.GetUint("q", 0);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("'q'"), std::string::npos);
+
+  EXPECT_FALSE(rp.GetUint("neg", 0).ok());
+  EXPECT_FALSE(rp.GetDouble("huge", 0.0).ok());  // 1e999 -> inf is an error
+  EXPECT_FALSE(rp.GetBool("flag", false).ok());  // leading space rejected
+}
+
+// The count line of the r/s sections parses strictly too: trailing junk
+// after the count is a parse error, not a truncated read.
+TEST(ReproducerTest, RejectsMalformedCountLine) {
+  EXPECT_FALSE(
+      ParseReproducer("ssjoin-fuzz-repro v1\nscenario: x\nr 1junk\n\"a\"\n")
+          .ok());
 }
 
 TEST(WorkloadTest, GeneratorIsDeterministic) {

@@ -221,7 +221,8 @@ TEST_F(ManifestCorruptionTest, StaleWalRecordSkippedAtReplay) {
   // Append a record whose seq is already covered by the sealed generation:
   // replay must skip it, so the bogus doc never appears.
   {
-    auto wal = WalWriter::OpenForAppend(dir_ + "/" + manifest->wal_file);
+    auto wal = WalWriter::OpenForAppend(dir_ + "/" + manifest->wal_file,
+                                        index::kWalVersion);
     ASSERT_TRUE(wal.ok()) << wal.status().ToString();
     WalRecord stale;
     stale.type = WalRecord::kUpsert;

@@ -436,6 +436,31 @@ TEST(WireEncoding, HexDoubleRoundTripsExactly) {
   EXPECT_FALSE(ParseHexDouble("0x1.8p1junk").ok());
 }
 
+// ParseHexDouble accepts exactly the "%a" output shape — the lenient strtod
+// grammar (whitespace, '+' sign, decimal literals, inf/nan, hex without an
+// exponent) indicates a corrupt or hostile peer and must be rejected.
+TEST(WireEncoding, HexDoubleRejectsLenientStrtodShapes) {
+  EXPECT_FALSE(ParseHexDouble(" 0x1.8p+1").ok());   // leading whitespace
+  EXPECT_FALSE(ParseHexDouble("0x1.8p+1 ").ok());   // trailing whitespace
+  EXPECT_FALSE(ParseHexDouble("+0x1.8p+1").ok());   // explicit plus
+  EXPECT_FALSE(ParseHexDouble("1.5").ok());         // decimal literal
+  EXPECT_FALSE(ParseHexDouble("+1").ok());
+  EXPECT_FALSE(ParseHexDouble("01").ok());
+  EXPECT_FALSE(ParseHexDouble("1e999").ok());       // inf via overflow
+  EXPECT_FALSE(ParseHexDouble("inf").ok());
+  EXPECT_FALSE(ParseHexDouble("nan").ok());
+  EXPECT_FALSE(ParseHexDouble("0x1.8").ok());       // missing exponent
+  EXPECT_FALSE(ParseHexDouble("0x").ok());          // no mantissa digits
+  EXPECT_FALSE(ParseHexDouble("0x1p").ok());        // no exponent digits
+  EXPECT_FALSE(ParseHexDouble("0x1p+").ok());
+  EXPECT_FALSE(ParseHexDouble("0x1p+1f").ok());     // trailing junk
+  EXPECT_FALSE(ParseHexDouble("0x1p+99999").ok());  // overflows to inf
+  EXPECT_FALSE(ParseHexDouble("-").ok());
+  // The canonical shapes still parse.
+  EXPECT_TRUE(ParseHexDouble("0x0p+0").ok());
+  EXPECT_TRUE(ParseHexDouble("-0x1.91eb851eb851fp-2").ok());
+}
+
 TEST(WireEncoding, NetstringsRoundTripArbitraryBytes) {
   std::vector<std::string> items = {
       "", "plain", std::string("nul\0byte", 8), "comma,colon:quote\"",

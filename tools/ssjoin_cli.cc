@@ -39,6 +39,9 @@
 #include "core/ssjoin.h"
 #include "engine/csv.h"
 #include "exec/metrics.h"
+#include "filter/attr.h"
+#include "filter/metrics.h"
+#include "filter/predicate.h"
 #include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
@@ -110,6 +113,54 @@ Result<double> DoubleFlag(const Args& args, const std::string& name,
   return *v;
 }
 
+/// --filter JSON: a boolean attribute predicate on lookups, e.g.
+/// '{"state": ["CA", "WA"], "!tier": [1]}' (a leading '!' negates the
+/// conjunct). Parsed with the same strict wire grammar ssjoin_served uses,
+/// so a typo fails here rather than at the server.
+Result<filter::FilterPredicate> FilterFlag(const Args& args) {
+  auto it = args.flags.find("filter");
+  if (it == args.flags.end()) return filter::FilterPredicate{};
+  auto parsed = serve::ParseJsonRequest("{\"filter\": " + it->second + "}");
+  if (!parsed.ok()) {
+    return Status::Invalid("--filter: " + parsed.status().message());
+  }
+  auto f = parsed->find("filter");
+  if (f == parsed->end() || !f->second.is_object) {
+    return Status::Invalid(
+        "--filter must be a JSON object of attribute conjuncts, e.g. "
+        "'{\"state\": [\"CA\"], \"!tier\": [1]}'");
+  }
+  auto predicate = serve::FilterFromWire(f->second);
+  if (!predicate.ok()) {
+    return Status::Invalid("--filter: " + predicate.status().message());
+  }
+  return *predicate;
+}
+
+/// --attrs JSON: structured attributes attached on upsert, e.g.
+/// '{"state": "CA", "tier": 3}'. Values must be strings or integers;
+/// names and string values reject NUL / raw control bytes client-side,
+/// the same rule the server enforces.
+Result<filter::AttrSet> AttrsFlag(const Args& args) {
+  auto it = args.flags.find("attrs");
+  if (it == args.flags.end()) return filter::AttrSet{};
+  auto parsed = serve::ParseJsonRequest("{\"attrs\": " + it->second + "}");
+  if (!parsed.ok()) {
+    return Status::Invalid("--attrs: " + parsed.status().message());
+  }
+  auto a = parsed->find("attrs");
+  if (a == parsed->end() || !a->second.is_object) {
+    return Status::Invalid(
+        "--attrs must be a JSON object of name -> string|int values, e.g. "
+        "'{\"state\": \"CA\", \"tier\": 3}'");
+  }
+  auto attrs = serve::AttrsFromWire(a->second);
+  if (!attrs.ok()) {
+    return Status::Invalid("--attrs: " + attrs.status().message());
+  }
+  return *attrs;
+}
+
 /// --stats-json PATH: dumps the global metric registry as NDJSON after the
 /// command ran (one {"metric": ...} object per line).
 Status MaybeWriteStatsJson(const Args& args) {
@@ -160,18 +211,25 @@ int Usage() {
                "--col COL | --socket PATH)\n"
                "                  [--query STR] [--k N] [--alpha A] "
                "[--deadline-ms D]\n"
-               "                  [--target-recall R]\n"
+               "                  [--target-recall R] [--filter JSON]\n"
                "                  [--stats] [--metrics] [--ping] [--shutdown]\n"
                "                  [--stats-json FILE]\n"
                "           top-k fuzzy lookups, in-process or against a running\n"
                "           ssjoin_served; without --query, queries are read from "
                "stdin\n"
+               "  --filter JSON  attribute predicate, e.g. "
+               "'{\"state\": [\"CA\"], \"!tier\": [1]}';\n"
+               "                a leading '!' on a name negates that conjunct "
+               "(NOT-IN)\n"
                "  --stats-json FILE  dump this process's metric registry as "
                "NDJSON\n"
                "  --metrics          fetch the server's metric registry as "
                "NDJSON (with --socket)\n"
                "\n"
-               "       ssjoin_cli upsert --socket PATH --id N --value STR\n"
+               "       ssjoin_cli upsert --socket PATH --id N --value STR "
+               "[--attrs JSON]\n"
+               "  --attrs JSON  structured attributes on the doc, e.g. "
+               "'{\"state\": \"CA\", \"tier\": 3}'\n"
                "       ssjoin_cli delete --socket PATH --id N\n"
                "       ssjoin_cli compact --socket PATH\n"
                "       ssjoin_cli seal --socket PATH\n"
@@ -511,6 +569,10 @@ Result<int> RunRemoteLookup(const Args& args, const std::string& socket_path) {
     std::snprintf(buf, sizeof(buf), "%.6f", target);
     request += std::string(", \"target_recall\": ") + buf;
   }
+  SSJOIN_ASSIGN_OR_RETURN(filter::FilterPredicate filter, FilterFlag(args));
+  if (!filter.empty()) {
+    request += ", \"filter\": " + filter.CanonicalJson();
+  }
   request += "}";
   return SocketRoundTrip(socket_path, request);
 }
@@ -537,6 +599,10 @@ Result<int> RunMutation(const Args& args, const std::string& op) {
       return Status::Invalid("--value STR is required for 'upsert'");
     }
     request += ", \"value\": \"" + serve::JsonEscape(value->second) + "\"";
+    SSJOIN_ASSIGN_OR_RETURN(filter::AttrSet attrs, AttrsFlag(args));
+    if (!attrs.empty()) {
+      request += ", \"attrs\": " + serve::AttrsToJson(attrs);
+    }
   }
   request += "}";
   return SocketRoundTrip(socket_path->second, request);
@@ -555,9 +621,10 @@ Result<int> RunLookup(const Args& args) {
   }();
   SSJOIN_ASSIGN_OR_RETURN(simjoin::FuzzyMatchIndex index, std::move(index_result));
   SSJOIN_ASSIGN_OR_RETURN(size_t k, SizeFlag(args, "k", 3));
+  SSJOIN_ASSIGN_OR_RETURN(filter::FilterPredicate filter, FilterFlag(args));
 
   auto print_matches = [&](const std::string& query) {
-    auto matches = index.Lookup(query, k);
+    auto matches = index.Lookup(query, k, filter);
     for (const auto& m : matches) {
       std::printf("%u\t%.6f\t%s\n", m.ref_index, m.similarity,
                   index.reference(m.ref_index).c_str());
@@ -594,6 +661,7 @@ int main(int argc, char** argv) {
   exec::RegisterExecMetrics();
   approx::RegisterApproxMetrics();
   kernels::RegisterKernelMetrics();
+  filter::RegisterFilterMetrics();
   Args args = ParseArgs(argc, argv);
   if (Status st = ApplyKernelFlag(args); !st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());

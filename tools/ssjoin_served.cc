@@ -46,6 +46,9 @@
 #include "core/ssjoin.h"
 #include "engine/csv.h"
 #include "exec/metrics.h"
+#include "filter/attr.h"
+#include "filter/metrics.h"
+#include "filter/predicate.h"
 #include "index/manifest.h"
 #include "index/mutable_index.h"
 #include "kernels/kernels.h"
@@ -201,71 +204,91 @@ std::string ErrorResponse(const Status& status) {
          "\", \"error\": \"" + serve::JsonEscape(status.message()) + "\"}";
 }
 
-using JsonObj = std::map<std::string, serve::JsonScalar>;
+using JsonObj = std::map<std::string, serve::JsonValue>;
 
 struct LookupParams {
   std::string query;
   size_t k = 3;
   std::chrono::milliseconds deadline{0};
   double target_recall = 1.0;
+  filter::FilterPredicate filter;
 };
 
 Result<LookupParams> ParseLookupParams(const JsonObj& obj, size_t default_k) {
   LookupParams p;
   p.k = default_k;
   auto query_it = obj.find("query");
-  if (query_it == obj.end() ||
-      query_it->second.type != serve::JsonScalar::Type::kString) {
+  if (query_it == obj.end() || query_it->second.is_object ||
+      query_it->second.scalar.type != serve::JsonScalar::Type::kString) {
     return Status::Invalid("lookup requires string field 'query'");
   }
-  p.query = query_it->second.str;
+  p.query = query_it->second.scalar.str;
   if (auto it = obj.find("k"); it != obj.end()) {
-    if (it->second.type != serve::JsonScalar::Type::kNumber ||
-        it->second.num < 0) {
+    if (it->second.is_object ||
+        it->second.scalar.type != serve::JsonScalar::Type::kNumber ||
+        it->second.scalar.num < 0) {
       return Status::Invalid("'k' must be a nonnegative number");
     }
-    p.k = static_cast<size_t>(it->second.num);
+    p.k = static_cast<size_t>(it->second.scalar.num);
   }
   if (auto it = obj.find("deadline_ms"); it != obj.end()) {
-    if (it->second.type != serve::JsonScalar::Type::kNumber ||
-        it->second.num < 0) {
+    if (it->second.is_object ||
+        it->second.scalar.type != serve::JsonScalar::Type::kNumber ||
+        it->second.scalar.num < 0) {
       return Status::Invalid("'deadline_ms' must be a nonnegative number");
     }
-    p.deadline = std::chrono::milliseconds(static_cast<int64_t>(it->second.num));
+    p.deadline =
+        std::chrono::milliseconds(static_cast<int64_t>(it->second.scalar.num));
   }
   if (auto it = obj.find("target_recall"); it != obj.end()) {
-    if (it->second.type != serve::JsonScalar::Type::kNumber ||
-        !(it->second.num > 0.0) || it->second.num > 1.0) {
+    if (it->second.is_object ||
+        it->second.scalar.type != serve::JsonScalar::Type::kNumber ||
+        !(it->second.scalar.num > 0.0) || it->second.scalar.num > 1.0) {
       return Status::Invalid("'target_recall' must be a number in (0, 1]");
     }
-    p.target_recall = it->second.num;
+    p.target_recall = it->second.scalar.num;
+  }
+  if (auto it = obj.find("filter"); it != obj.end()) {
+    SSJOIN_ASSIGN_OR_RETURN(p.filter, serve::FilterFromWire(it->second));
   }
   return p;
 }
 
 Result<uint64_t> IdField(const JsonObj& obj) {
   auto it = obj.find("id");
-  if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kNumber ||
-      it->second.num < 0) {
+  if (it == obj.end() || it->second.is_object ||
+      it->second.scalar.type != serve::JsonScalar::Type::kNumber ||
+      it->second.scalar.num < 0) {
     return Status::Invalid("op requires a nonnegative numeric field 'id'");
   }
-  return static_cast<uint64_t>(it->second.num);
+  return static_cast<uint64_t>(it->second.scalar.num);
 }
 
 Result<std::string> StringField(const JsonObj& obj, const char* key) {
   auto it = obj.find(key);
-  if (it == obj.end() || it->second.type != serve::JsonScalar::Type::kString) {
+  if (it == obj.end() || it->second.is_object ||
+      it->second.scalar.type != serve::JsonScalar::Type::kString) {
     return Status::Invalid(std::string("op requires string field '") + key +
                            "'");
   }
-  return it->second.str;
+  return it->second.scalar.str;
 }
 
 bool BoolField(const JsonObj& obj, const char* key) {
   auto it = obj.find(key);
-  return it != obj.end() &&
-         it->second.type == serve::JsonScalar::Type::kBool &&
-         it->second.boolean;
+  return it != obj.end() && !it->second.is_object &&
+         it->second.scalar.type == serve::JsonScalar::Type::kBool &&
+         it->second.scalar.boolean;
+}
+
+/// The optional "attrs" object of an upsert; absent = no attributes.
+/// Validation (control bytes, name length, leading '!') happens inside
+/// AttrsFromWire, so malformed attributes are rejected at the wire before
+/// they can reach the WAL.
+Result<filter::AttrSet> AttrsField(const JsonObj& obj) {
+  auto it = obj.find("attrs");
+  if (it == obj.end()) return filter::AttrSet{};
+  return serve::AttrsFromWire(it->second);
 }
 
 /// The human-facing match list: decimal similarity for display plus the
@@ -290,16 +313,16 @@ std::string MatchesResponse(
 
 std::string HandleLine(const std::string& line, ServerState* state,
                        bool* stop_after_reply) {
-  auto parsed = serve::ParseJsonObject(line);
+  auto parsed = serve::ParseJsonRequest(line);
   if (!parsed.ok()) return ErrorResponse(parsed.status());
   const auto& obj = *parsed;
 
   auto op_it = obj.find("op");
-  if (op_it == obj.end() ||
-      op_it->second.type != serve::JsonScalar::Type::kString) {
+  if (op_it == obj.end() || op_it->second.is_object ||
+      op_it->second.scalar.type != serve::JsonScalar::Type::kString) {
     return ErrorResponse(Status::Invalid("missing string field 'op'"));
   }
-  const std::string& op = op_it->second.str;
+  const std::string& op = op_it->second.scalar.str;
 
   if (op == "ping") return "{\"ok\": true}";
 
@@ -326,8 +349,9 @@ std::string HandleLine(const std::string& line, ServerState* state,
 
   if (op == "stats") {
     auto fmt = obj.find("format");
-    if (fmt != obj.end() && fmt->second.type == serve::JsonScalar::Type::kString &&
-        fmt->second.str == "ndjson") {
+    if (fmt != obj.end() && !fmt->second.is_object &&
+        fmt->second.scalar.type == serve::JsonScalar::Type::kString &&
+        fmt->second.scalar.str == "ndjson") {
       return ndjson_metrics();
     }
   }
@@ -345,7 +369,7 @@ std::string HandleLine(const std::string& line, ServerState* state,
       auto params = ParseLookupParams(obj, state->default_k);
       if (!params.ok()) return ErrorResponse(params.status());
       auto result = coord->Lookup(params->query, params->k, params->deadline,
-                                  params->target_recall);
+                                  params->target_recall, params->filter);
       if (!result.ok()) return ErrorResponse(result.status());
       std::vector<std::tuple<uint64_t, double, std::string>> matches;
       matches.reserve(result->matches.size());
@@ -368,7 +392,9 @@ std::string HandleLine(const std::string& line, ServerState* state,
       if (op == "upsert") {
         auto value = StringField(obj, "value");
         if (!value.ok()) return ErrorResponse(value.status());
-        return epoch_response(coord->Upsert(*id, *value));
+        auto attrs = AttrsField(obj);
+        if (!attrs.ok()) return ErrorResponse(attrs.status());
+        return epoch_response(coord->Upsert(*id, *value, *attrs));
       }
       return epoch_response(coord->Delete(*id));
     }
@@ -405,7 +431,7 @@ std::string HandleLine(const std::string& line, ServerState* state,
       auto params = ParseLookupParams(obj, state->default_k);
       if (!params.ok()) return ErrorResponse(params.status());
       auto result = sharded->Lookup(params->query, params->k, params->deadline,
-                                    params->target_recall);
+                                    params->target_recall, params->filter);
       if (!result.ok()) return ErrorResponse(result.status());
       std::vector<std::tuple<uint64_t, double, std::string>> matches;
       matches.reserve(result->size());
@@ -420,7 +446,9 @@ std::string HandleLine(const std::string& line, ServerState* state,
       if (!id.ok()) return ErrorResponse(id.status());
       auto value = StringField(obj, "value");
       if (!value.ok()) return ErrorResponse(value.status());
-      return epoch_reply(sharded->Upsert(*id, *value));
+      auto attrs = AttrsField(obj);
+      if (!attrs.ok()) return ErrorResponse(attrs.status());
+      return epoch_reply(sharded->Upsert(*id, *value, *attrs));
     }
     if (op == "delete") {
       auto id = IdField(obj);
@@ -453,7 +481,7 @@ std::string HandleLine(const std::string& line, ServerState* state,
     auto params = ParseLookupParams(obj, state->default_k);
     if (!params.ok()) return ErrorResponse(params.status());
     auto result = service->Lookup(params->query, params->k, params->deadline,
-                                  params->target_recall);
+                                  params->target_recall, params->filter);
     if (!result.ok()) return ErrorResponse(result.status());
     if (op == "lookup") {
       std::vector<std::tuple<uint64_t, double, std::string>> matches;
@@ -494,7 +522,9 @@ std::string HandleLine(const std::string& line, ServerState* state,
       if (op == "upsert") {
         auto value = StringField(obj, "value");
         if (!value.ok()) return ErrorResponse(value.status());
-        return epoch_reply(service->Upsert(*id, *value));
+        auto attrs = AttrsField(obj);
+        if (!attrs.ok()) return ErrorResponse(attrs.status());
+        return epoch_reply(service->Upsert(*id, *value, *attrs));
       }
       return epoch_reply(service->Delete(*id));
     }
@@ -506,7 +536,9 @@ std::string HandleLine(const std::string& line, ServerState* state,
     if (op == "upsert") {
       auto value = StringField(obj, "value");
       if (!value.ok()) return ErrorResponse(value.status());
-      status = service->UpsertGlobal(*id, *value, &delta);
+      auto attrs = AttrsField(obj);
+      if (!attrs.ok()) return ErrorResponse(attrs.status());
+      status = service->UpsertGlobal(*id, *value, *attrs, &delta);
     } else {
       status = service->DeleteGlobal(*id, &delta);
     }
@@ -566,8 +598,14 @@ std::string HandleLine(const std::string& line, ServerState* state,
     if (!id.ok()) return ErrorResponse(id.status());
     std::optional<std::string> value = service->ValueOf(*id);
     if (!value.has_value()) return "{\"ok\": true, \"found\": false}";
-    return "{\"ok\": true, \"found\": true, \"value\": \"" +
-           serve::JsonEscape(*value) + "\"}";
+    std::string out = "{\"ok\": true, \"found\": true, \"value\": \"" +
+                      serve::JsonEscape(*value) + "\"";
+    std::optional<filter::AttrSet> attrs = service->AttrsOf(*id);
+    if (attrs.has_value() && !attrs->empty()) {
+      out += ", \"attrs\": " + serve::AttrsToJson(*attrs);
+    }
+    out += "}";
+    return out;
   }
 
   if (op == "repl_fetch") {
@@ -821,7 +859,8 @@ class WireFetcher : public shard::Fetcher {
                        serve::JsonEscape(name) + "\"}";
     SSJOIN_ASSIGN_OR_RETURN(
         std::string header, client.Call(line, std::chrono::milliseconds(30000)));
-    SSJOIN_ASSIGN_OR_RETURN(JsonObj obj, serve::ParseJsonObject(header));
+    using FlatObj = std::map<std::string, serve::JsonScalar>;
+    SSJOIN_ASSIGN_OR_RETURN(FlatObj obj, serve::ParseJsonObject(header));
     auto ok = obj.find("ok");
     if (ok == obj.end() || ok->second.type != serve::JsonScalar::Type::kBool) {
       return Status::IOError("repl_fetch header lacks 'ok'");
@@ -1078,6 +1117,7 @@ int main(int argc, char** argv) {
   core::RegisterCoreMetrics();
   exec::RegisterExecMetrics();
   kernels::RegisterKernelMetrics();
+  filter::RegisterFilterMetrics();
   Args args = ParseArgs(argc, argv);
   if (args.flags.count("help") > 0 || argc < 2) return Usage();
   // --kernel scalar|gallop|simd|auto (or SSJOIN_KERNEL): pin the
